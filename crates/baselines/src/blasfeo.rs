@@ -1,0 +1,206 @@
+//! BLASFEO-class GEMM: the "embedded optimization" small-matrix strategy.
+//!
+//! Per the paper's §9 description (and the BLASFEO papers it cites):
+//!
+//! * the inputs are **eagerly converted to the panel-major format** as a
+//!   whole — both A and B, always, as a separate sequential phase (packing
+//!   and computation "performed in a sequential manner");
+//! * the design point is matrices that **fit entirely in L2** (§3,
+//!   footnote 3), so there is **no cache blocking**: one panel conversion,
+//!   one sweep of register tiles over the full `K`;
+//! * the register tile is the **8x8 micro-kernel** the paper names in
+//!   §8.1, with zero-padded edges (matrix sizes that are multiples of 8
+//!   incur no edge overhead — visible in Figure 8);
+//! * there is **no multi-threaded path** (§7.4 excludes BLASFEO from the
+//!   parallel experiments for exactly this reason).
+
+use crate::goto::goto_kernel;
+use crate::GemmImpl;
+use shalom_core::GemmElem;
+use shalom_kernels::pack::{pack_a_slivers_goto, pack_b_slivers_goto, pack_transpose};
+use shalom_kernels::Vector;
+use shalom_matrix::{MatMut, MatRef, Op};
+
+/// BLASFEO-class implementation; see the module docs.
+pub struct BlasfeoGemm;
+
+impl BlasfeoGemm {
+    /// Creates the implementation (stateless).
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Default for BlasfeoGemm {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Rows of the BLASFEO register tile.
+const BF_MR: usize = 8;
+
+impl<T: GemmElem> GemmImpl<T> for BlasfeoGemm {
+    fn name(&self) -> &'static str {
+        "BLASFEO-class"
+    }
+
+    fn supports_parallel(&self) -> bool {
+        false
+    }
+
+    fn gemm(
+        &self,
+        _threads: usize,
+        op_a: Op,
+        op_b: Op,
+        alpha: T,
+        a: MatRef<'_, T>,
+        b: MatRef<'_, T>,
+        beta: T,
+        mut c: MatMut<'_, T>,
+    ) {
+        let m = c.rows();
+        let n = c.cols();
+        let k = match op_a {
+            Op::NoTrans => a.cols(),
+            Op::Trans => a.rows(),
+        };
+        shalom_matrix::reference::check_dims(op_a, op_b, m, n, k, &a, &b);
+        if m == 0 || n == 0 {
+            return;
+        }
+        let nr = 2 * <T::Vec as Vector>::LANES; // 8 (FP32) / 4 (FP64)
+        if k == 0 || alpha == T::ZERO {
+            for i in 0..m {
+                for j in 0..n {
+                    let v = if beta == T::ZERO { T::ZERO } else { beta * c.at(i, j) };
+                    c.set(i, j, v);
+                }
+            }
+            return;
+        }
+        unsafe {
+            // Phase 1: whole-matrix panel-major conversion (the BLASFEO
+            // `cvt_mat2strmat` step), sequential and unconditional.
+            let mut ap = vec![T::ZERO; m.div_ceil(BF_MR) * BF_MR * k];
+            let mut bp = vec![T::ZERO; n.div_ceil(nr) * nr * k];
+            let mut stage = vec![T::ZERO; m.max(n) * k];
+            match op_a {
+                Op::NoTrans => {
+                    pack_a_slivers_goto(a.as_ptr(), a.ld(), m, k, BF_MR, ap.as_mut_ptr());
+                }
+                Op::Trans => {
+                    pack_transpose(a.as_ptr(), a.ld(), k, m, stage.as_mut_ptr(), k);
+                    pack_a_slivers_goto(stage.as_ptr(), k, m, k, BF_MR, ap.as_mut_ptr());
+                }
+            }
+            match op_b {
+                Op::NoTrans => {
+                    pack_b_slivers_goto(b.as_ptr(), b.ld(), k, n, nr, bp.as_mut_ptr());
+                }
+                Op::Trans => {
+                    pack_transpose(b.as_ptr(), b.ld(), n, k, stage.as_mut_ptr(), n);
+                    pack_b_slivers_goto(stage.as_ptr(), n, k, n, nr, bp.as_mut_ptr());
+                }
+            }
+            // Phase 2: register-tile sweep over the full K (no blocking).
+            let mut ctile = vec![T::ZERO; BF_MR * nr];
+            let ldc = c.ld();
+            let cptr = c.as_mut_ptr();
+            let mut is = 0usize;
+            while is < m {
+                let mrows = BF_MR.min(m - is);
+                let asl = ap.as_ptr().add((is / BF_MR) * BF_MR * k);
+                let mut js = 0usize;
+                while js < n {
+                    let ncols = nr.min(n - js);
+                    let bsl = bp.as_ptr().add((js / nr) * k * nr);
+                    let cdst = cptr.add(is * ldc + js);
+                    if mrows == BF_MR && ncols == nr {
+                        goto_kernel::<T::Vec, 8, 2>(k, alpha, asl, bsl, beta, cdst, ldc);
+                    } else {
+                        goto_kernel::<T::Vec, 8, 2>(
+                            k,
+                            alpha,
+                            asl,
+                            bsl,
+                            T::ZERO,
+                            ctile.as_mut_ptr(),
+                            nr,
+                        );
+                        for i in 0..mrows {
+                            for j in 0..ncols {
+                                let p = cdst.add(i * ldc + j);
+                                let v = ctile[i * nr + j];
+                                *p = if beta == T::ZERO { v } else { v + beta * *p };
+                            }
+                        }
+                    }
+                    js += nr;
+                }
+                is += BF_MR;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shalom_matrix::{assert_close, gemm_tolerance, reference, Matrix};
+
+    fn check<T: GemmElem>(op_a: Op, op_b: Op, m: usize, n: usize, k: usize) {
+        let (ar, ac) = if op_a == Op::NoTrans { (m, k) } else { (k, m) };
+        let (br, bc) = if op_b == Op::NoTrans { (k, n) } else { (n, k) };
+        let a = Matrix::<T>::random(ar, ac, 21);
+        let b = Matrix::<T>::random(br, bc, 22);
+        let mut c = Matrix::<T>::random(m, n, 23);
+        let mut want = c.clone();
+        reference::gemm(
+            op_a,
+            op_b,
+            T::from_f64(2.0),
+            a.as_ref(),
+            b.as_ref(),
+            T::from_f64(0.5),
+            want.as_mut(),
+        );
+        BlasfeoGemm.gemm(
+            1,
+            op_a,
+            op_b,
+            T::from_f64(2.0),
+            a.as_ref(),
+            b.as_ref(),
+            T::from_f64(0.5),
+            c.as_mut(),
+        );
+        assert_close(c.as_ref(), want.as_ref(), gemm_tolerance::<T>(k, 2.0));
+    }
+
+    #[test]
+    fn all_modes_both_precisions() {
+        for op_a in [Op::NoTrans, Op::Trans] {
+            for op_b in [Op::NoTrans, Op::Trans] {
+                check::<f32>(op_a, op_b, 19, 27, 15);
+                check::<f64>(op_a, op_b, 19, 27, 15);
+            }
+        }
+    }
+
+    #[test]
+    fn multiple_of_eight_no_edges() {
+        // The Figure 8 sweet spot: 8x8 multiples.
+        check::<f32>(Op::NoTrans, Op::NoTrans, 8, 8, 8);
+        check::<f32>(Op::NoTrans, Op::NoTrans, 64, 64, 64);
+        check::<f64>(Op::NoTrans, Op::Trans, 16, 8, 24);
+    }
+
+    #[test]
+    fn edge_and_degenerate() {
+        check::<f32>(Op::NoTrans, Op::NoTrans, 1, 1, 1);
+        check::<f32>(Op::NoTrans, Op::NoTrans, 9, 7, 5);
+        check::<f32>(Op::NoTrans, Op::NoTrans, 5, 5, 0);
+    }
+}

@@ -1,0 +1,387 @@
+//! LIBXSMM-class GEMM: runtime-specialized small-matrix kernels behind a
+//! code cache.
+//!
+//! LIBXSMM JIT-compiles a dedicated kernel per `(M, N, K)` triple and
+//! memoizes it in a code cache (paper §7.3, §9); it is designed for
+//! `(M*N*K)^(1/3) <= 64` and degrades beyond that envelope. A Rust
+//! library cannot emit machine code at runtime, so we model the strategy
+//! at the level that matters for the comparison:
+//!
+//! * the "JIT compile" step becomes **plan construction** — choosing, for
+//!   the exact `(M, N, K, mode)`, the register blocking that minimizes
+//!   padded/edge waste from a menu of monomorphized kernels (what the JIT
+//!   achieves by emitting an exact-size kernel);
+//! * the **code cache** is a real concurrent map keyed by
+//!   `(M, N, K, mode, elem)`; repeated calls skip planning (the paper
+//!   warms this cache before timing, and so do the benches);
+//! * like LIBXSMM's small-GEMM kernels, the plan performs **no packing
+//!   and no cache blocking** — operands are streamed in place, which is
+//!   excellent while everything is L1/L2-resident and increasingly poor
+//!   outside the design envelope (the degradation the paper observes).
+
+use crate::GemmImpl;
+use parking_lot::RwLock;
+use shalom_core::GemmElem;
+use shalom_kernels::edge::edge_kernel_pipelined;
+use shalom_kernels::main_kernel::main_kernel_shape;
+use shalom_kernels::pack::pack_transpose;
+use shalom_kernels::Vector;
+use shalom_matrix::{MatMut, MatRef, Op};
+use std::collections::HashMap;
+
+/// A memoized kernel plan: the register blocking chosen for one exact
+/// GEMM signature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Plan {
+    /// Register tile rows.
+    mr: usize,
+    /// Register tile columns, in 128-bit vectors.
+    nrv: usize,
+}
+
+type Key = (usize, usize, usize, char, char, usize);
+
+/// LIBXSMM-class implementation; see the module docs.
+pub struct LibxsmmGemm {
+    cache: RwLock<HashMap<Key, Plan>>,
+}
+
+impl LibxsmmGemm {
+    /// Creates an implementation with an empty code cache.
+    pub fn new() -> Self {
+        Self {
+            cache: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Number of distinct plans currently memoized (test/diagnostic aid).
+    pub fn cached_plans(&self) -> usize {
+        self.cache.read().len()
+    }
+
+    /// The design envelope from the paper: `(M*N*K)^(1/3) <= 64`.
+    pub fn in_design_scope(m: usize, n: usize, k: usize) -> bool {
+        (m as f64 * n as f64 * k as f64).cbrt() <= 64.0
+    }
+
+    fn plan(&self, key: Key, m: usize, n: usize, lanes: usize) -> Plan {
+        if let Some(p) = self.cache.read().get(&key) {
+            return *p;
+        }
+        // "JIT compile": pick the (mr, nrv) from the kernel menu that
+        // minimizes wasted register-tile area on this exact shape, ties
+        // broken toward the larger tile (better CMR).
+        let menu_rows = [1usize, 2, 3, 4, 5, 6, 7, 8];
+        let menu_nrv = [1usize, 2, 3];
+        let mut best = Plan { mr: 4, nrv: 1 };
+        let mut best_cost = f64::INFINITY;
+        for &mr in &menu_rows {
+            for &nrv in &menu_nrv {
+                // Register-file feasibility (Eq. 1's budget): a JIT would
+                // never emit a kernel whose accumulators spill.
+                if mr + nrv + mr * nrv > 31 {
+                    continue;
+                }
+                let nr = nrv * lanes;
+                let tiles = m.div_ceil(mr) * n.div_ceil(nr);
+                let padded = (m.div_ceil(mr) * mr) * (n.div_ceil(nr) * nr);
+                let waste = padded as f64 / (m * n).max(1) as f64;
+                // Cost: waste dominates; fewer/larger tiles preferred.
+                let cost = waste * 1e6 + tiles as f64 - (mr * nr) as f64 * 1e-3;
+                if cost < best_cost {
+                    best_cost = cost;
+                    best = Plan { mr, nrv };
+                }
+            }
+        }
+        self.cache.write().insert(key, best);
+        best
+    }
+}
+
+impl Default for LibxsmmGemm {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+type TileFn<V> = unsafe fn(
+    usize,
+    <V as Vector>::Elem,
+    *const <V as Vector>::Elem,
+    usize,
+    *const <V as Vector>::Elem,
+    usize,
+    <V as Vector>::Elem,
+    *mut <V as Vector>::Elem,
+    usize,
+);
+
+/// Resolves the monomorphized full-tile kernel for a plan ("the jitted
+/// code"). Shapes outside the menu fall back to the runtime edge kernel.
+fn tile_fn<V: Vector>(p: Plan) -> Option<TileFn<V>> {
+    Some(match (p.mr, p.nrv) {
+        (1, 1) => main_kernel_shape::<V, 1, 1>,
+        (2, 1) => main_kernel_shape::<V, 2, 1>,
+        (3, 1) => main_kernel_shape::<V, 3, 1>,
+        (4, 1) => main_kernel_shape::<V, 4, 1>,
+        (5, 1) => main_kernel_shape::<V, 5, 1>,
+        (6, 1) => main_kernel_shape::<V, 6, 1>,
+        (7, 1) => main_kernel_shape::<V, 7, 1>,
+        (8, 1) => main_kernel_shape::<V, 8, 1>,
+        (1, 2) => main_kernel_shape::<V, 1, 2>,
+        (2, 2) => main_kernel_shape::<V, 2, 2>,
+        (3, 2) => main_kernel_shape::<V, 3, 2>,
+        (4, 2) => main_kernel_shape::<V, 4, 2>,
+        (5, 2) => main_kernel_shape::<V, 5, 2>,
+        (6, 2) => main_kernel_shape::<V, 6, 2>,
+        (7, 2) => main_kernel_shape::<V, 7, 2>,
+        (8, 2) => main_kernel_shape::<V, 8, 2>,
+        (1, 3) => main_kernel_shape::<V, 1, 3>,
+        (2, 3) => main_kernel_shape::<V, 2, 3>,
+        (3, 3) => main_kernel_shape::<V, 3, 3>,
+        (4, 3) => main_kernel_shape::<V, 4, 3>,
+        (5, 3) => main_kernel_shape::<V, 5, 3>,
+        (6, 3) => main_kernel_shape::<V, 6, 3>,
+        (7, 3) => main_kernel_shape::<V, 7, 3>,
+        (8, 3) => main_kernel_shape::<V, 8, 3>,
+        _ => return None,
+    })
+}
+
+impl<T: GemmElem> GemmImpl<T> for LibxsmmGemm {
+    fn name(&self) -> &'static str {
+        "LIBXSMM-class"
+    }
+
+    fn supports_parallel(&self) -> bool {
+        false
+    }
+
+    fn gemm(
+        &self,
+        _threads: usize,
+        op_a: Op,
+        op_b: Op,
+        alpha: T,
+        a: MatRef<'_, T>,
+        b: MatRef<'_, T>,
+        beta: T,
+        mut c: MatMut<'_, T>,
+    ) {
+        let m = c.rows();
+        let n = c.cols();
+        let k = match op_a {
+            Op::NoTrans => a.cols(),
+            Op::Trans => a.rows(),
+        };
+        shalom_matrix::reference::check_dims(op_a, op_b, m, n, k, &a, &b);
+        if m == 0 || n == 0 {
+            return;
+        }
+        let lanes = <T::Vec as Vector>::LANES;
+        // Transposed operands are staged to row-major first (LIBXSMM's
+        // transpose handling is a copy kernel in front of the GEMM JIT).
+        let a_stage;
+        let (ap, lda) = match op_a {
+            Op::NoTrans => (a.as_ptr(), a.ld()),
+            Op::Trans => {
+                let mut buf = vec![T::ZERO; m * k.max(1)];
+                unsafe {
+                    pack_transpose(a.as_ptr(), a.ld(), k, m, buf.as_mut_ptr(), k.max(1));
+                }
+                a_stage = buf;
+                (a_stage.as_ptr(), k.max(1))
+            }
+        };
+        let b_stage;
+        let (bp, ldb) = match op_b {
+            Op::NoTrans => (b.as_ptr(), b.ld()),
+            Op::Trans => {
+                let mut buf = vec![T::ZERO; k * n.max(1)];
+                unsafe {
+                    pack_transpose(b.as_ptr(), b.ld(), n, k, buf.as_mut_ptr(), n.max(1));
+                }
+                b_stage = buf;
+                (b_stage.as_ptr(), n.max(1))
+            }
+        };
+        let key = (
+            m,
+            n,
+            k,
+            op_a.letter(),
+            op_b.letter(),
+            core::mem::size_of::<T>(),
+        );
+        let plan = self.plan(key, m, n, lanes);
+        let nr = plan.nrv * lanes;
+        let full = tile_fn::<T::Vec>(plan);
+        unsafe {
+            let cptr = c.as_mut_ptr();
+            let ldc = c.ld();
+            let mut i = 0usize;
+            while i < m {
+                let mrows = plan.mr.min(m - i);
+                let mut j = 0usize;
+                while j < n {
+                    let ncols = nr.min(n - j);
+                    let cdst = cptr.add(i * ldc + j);
+                    let asrc = ap.add(i * lda);
+                    let bsrc = bp.add(j);
+                    if mrows == plan.mr && ncols == nr {
+                        if let Some(kf) = full {
+                            kf(k, alpha, asrc, lda, bsrc, ldb, beta, cdst, ldc);
+                        } else {
+                            edge_kernel_pipelined::<T::Vec>(
+                                mrows, ncols, k, alpha, asrc, lda, bsrc, ldb, beta, cdst, ldc,
+                            );
+                        }
+                    } else {
+                        // Exact-size remainder "kernel": LIBXSMM emits
+                        // masked tails rather than padding.
+                        exact_remainder::<T::Vec>(
+                            mrows, ncols, k, alpha, asrc, lda, bsrc, ldb, beta, cdst, ldc,
+                        );
+                    }
+                    j += nr;
+                }
+                i += plan.mr;
+            }
+        }
+    }
+}
+
+/// Exact-size remainder update. Remainders wider than the edge kernel's
+/// 7-row/3-vector ceiling are split recursively.
+#[allow(clippy::too_many_arguments)]
+unsafe fn exact_remainder<V: Vector>(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: V::Elem,
+    a: *const V::Elem,
+    lda: usize,
+    b: *const V::Elem,
+    ldb: usize,
+    beta: V::Elem,
+    c: *mut V::Elem,
+    ldc: usize,
+) {
+    let max_n = 3 * V::LANES;
+    let mut i = 0usize;
+    while i < m {
+        let mrows = 7.min(m - i);
+        let mut j = 0usize;
+        while j < n {
+            let ncols = max_n.min(n - j);
+            edge_kernel_pipelined::<V>(
+                mrows,
+                ncols,
+                k,
+                alpha,
+                a.add(i * lda),
+                lda,
+                b.add(j),
+                ldb,
+                beta,
+                c.add(i * ldc + j),
+                ldc,
+            );
+            j += ncols;
+        }
+        i += mrows;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shalom_matrix::{assert_close, gemm_tolerance, reference, Matrix};
+
+    fn check<T: GemmElem>(imp: &LibxsmmGemm, op_a: Op, op_b: Op, m: usize, n: usize, k: usize) {
+        let (ar, ac) = if op_a == Op::NoTrans { (m, k) } else { (k, m) };
+        let (br, bc) = if op_b == Op::NoTrans { (k, n) } else { (n, k) };
+        let a = Matrix::<T>::random(ar, ac, 31);
+        let b = Matrix::<T>::random(br, bc, 32);
+        let mut c = Matrix::<T>::random(m, n, 33);
+        let mut want = c.clone();
+        reference::gemm(
+            op_a,
+            op_b,
+            T::from_f64(1.5),
+            a.as_ref(),
+            b.as_ref(),
+            T::from_f64(-1.0),
+            want.as_mut(),
+        );
+        imp.gemm(
+            1,
+            op_a,
+            op_b,
+            T::from_f64(1.5),
+            a.as_ref(),
+            b.as_ref(),
+            T::from_f64(-1.0),
+            c.as_mut(),
+        );
+        assert_close(c.as_ref(), want.as_ref(), gemm_tolerance::<T>(k, 2.0));
+    }
+
+    #[test]
+    fn all_modes_both_precisions() {
+        let imp = LibxsmmGemm::new();
+        for op_a in [Op::NoTrans, Op::Trans] {
+            for op_b in [Op::NoTrans, Op::Trans] {
+                check::<f32>(&imp, op_a, op_b, 13, 17, 11);
+                check::<f64>(&imp, op_a, op_b, 13, 17, 11);
+            }
+        }
+    }
+
+    #[test]
+    fn cp2k_kernel_sizes() {
+        let imp = LibxsmmGemm::new();
+        for &(m, n, k) in &[(5, 5, 5), (13, 5, 13), (13, 13, 13), (23, 23, 23), (26, 26, 13)] {
+            check::<f64>(&imp, Op::NoTrans, Op::NoTrans, m, n, k);
+        }
+    }
+
+    #[test]
+    fn code_cache_memoizes() {
+        let imp = LibxsmmGemm::new();
+        assert_eq!(imp.cached_plans(), 0);
+        check::<f32>(&imp, Op::NoTrans, Op::NoTrans, 8, 8, 8);
+        assert_eq!(imp.cached_plans(), 1);
+        check::<f32>(&imp, Op::NoTrans, Op::NoTrans, 8, 8, 8);
+        assert_eq!(imp.cached_plans(), 1, "warm call must hit the cache");
+        check::<f32>(&imp, Op::NoTrans, Op::NoTrans, 9, 8, 8);
+        assert_eq!(imp.cached_plans(), 2);
+        // Same dims, different element width => different plan entry.
+        check::<f64>(&imp, Op::NoTrans, Op::NoTrans, 8, 8, 8);
+        assert_eq!(imp.cached_plans(), 3);
+    }
+
+    #[test]
+    fn plans_avoid_padding_waste() {
+        let imp = LibxsmmGemm::new();
+        // m = 5: an exact 5-row tile beats padding 5 -> 8.
+        let p = imp.plan((5, 12, 5, 'N', 'N', 4), 5, 12, 4);
+        assert_eq!(p.mr, 5);
+        // n = 12 with 4 lanes: 3 vectors exactly.
+        assert_eq!(p.nrv, 3);
+    }
+
+    #[test]
+    fn design_scope_envelope() {
+        assert!(LibxsmmGemm::in_design_scope(64, 64, 64));
+        assert!(LibxsmmGemm::in_design_scope(5, 5, 5));
+        assert!(!LibxsmmGemm::in_design_scope(256, 256, 256));
+    }
+
+    #[test]
+    fn outside_envelope_still_correct() {
+        let imp = LibxsmmGemm::new();
+        check::<f32>(&imp, Op::NoTrans, Op::NoTrans, 100, 120, 90);
+    }
+}

@@ -1,0 +1,79 @@
+//! The textbook triple-loop GEMM — the floor every optimized library is
+//! measured against, and an independent correctness witness.
+
+use crate::GemmImpl;
+use shalom_core::GemmElem;
+use shalom_matrix::{MatMut, MatRef, Op};
+
+/// Unblocked, unvectorized `C = alpha * op(A)*op(B) + beta * C`,
+/// accumulating in the element type (unlike the `f64`-accumulating oracle
+/// in `shalom-matrix`, this is an honest same-precision baseline).
+pub struct NaiveGemm;
+
+impl<T: GemmElem> GemmImpl<T> for NaiveGemm {
+    fn name(&self) -> &'static str {
+        "Naive"
+    }
+
+    fn gemm(
+        &self,
+        _threads: usize,
+        op_a: Op,
+        op_b: Op,
+        alpha: T,
+        a: MatRef<'_, T>,
+        b: MatRef<'_, T>,
+        beta: T,
+        mut c: MatMut<'_, T>,
+    ) {
+        let m = c.rows();
+        let n = c.cols();
+        let k = match op_a {
+            Op::NoTrans => a.cols(),
+            Op::Trans => a.rows(),
+        };
+        shalom_matrix::reference::check_dims(op_a, op_b, m, n, k, &a, &b);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = T::ZERO;
+                for p in 0..k {
+                    let av = match op_a {
+                        Op::NoTrans => a.at(i, p),
+                        Op::Trans => a.at(p, i),
+                    };
+                    let bv = match op_b {
+                        Op::NoTrans => b.at(p, j),
+                        Op::Trans => b.at(j, p),
+                    };
+                    acc = acc + av * bv;
+                }
+                let old = if beta == T::ZERO { T::ZERO } else { c.at(i, j) };
+                c.set(i, j, alpha * acc + beta * old);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shalom_matrix::{assert_close, gemm_tolerance, reference, Matrix};
+
+    #[test]
+    fn matches_oracle_all_modes() {
+        for op_a in [Op::NoTrans, Op::Trans] {
+            for op_b in [Op::NoTrans, Op::Trans] {
+                let (m, n, k) = (9, 11, 7);
+                let (ar, ac) = if op_a == Op::NoTrans { (m, k) } else { (k, m) };
+                let (br, bc) = if op_b == Op::NoTrans { (k, n) } else { (n, k) };
+                let a = Matrix::<f32>::random(ar, ac, 1);
+                let b = Matrix::<f32>::random(br, bc, 2);
+                let mut c = Matrix::<f32>::random(m, n, 3);
+                let mut want = c.clone();
+                reference::gemm(op_a, op_b, 1.5, a.as_ref(), b.as_ref(), 0.5, want.as_mut());
+                NaiveGemm.gemm(1, op_a, op_b, 1.5, a.as_ref(), b.as_ref(), 0.5, c.as_mut());
+                assert_close(c.as_ref(), want.as_ref(), gemm_tolerance::<f32>(k, 1.0));
+            }
+        }
+    }
+}

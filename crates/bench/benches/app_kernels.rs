@@ -1,0 +1,72 @@
+//! Criterion bench for the application-kernel figures (14: CP2K FP64,
+//! 15: VGG FP32) at representative points.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use shalom_baselines::{small_gemm_contenders, ShalomGemm};
+use shalom_baselines::GemmImpl;
+use shalom_matrix::{Matrix, Op};
+use shalom_workloads::{cp2k_kernels, vgg_layers};
+
+fn bench_cp2k(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cp2k_f64");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_millis(500));
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    let libs = small_gemm_contenders::<f64>();
+    for shape in [cp2k_kernels()[0], cp2k_kernels()[3]] {
+        let a = Matrix::<f64>::random(shape.m, shape.k, 1);
+        let b = Matrix::<f64>::random(shape.k, shape.n, 2);
+        let mut cm = Matrix::<f64>::zeros(shape.m, shape.n);
+        group.throughput(criterion::Throughput::Elements(shape.flops() as u64));
+        for lib in &libs {
+            group.bench_with_input(BenchmarkId::new(lib.name(), shape.label), &shape, |bch, _| {
+                bch.iter(|| {
+                    lib.gemm(
+                        1,
+                        Op::NoTrans,
+                        Op::NoTrans,
+                        1.0,
+                        a.as_ref(),
+                        b.as_ref(),
+                        0.0,
+                        cm.as_mut(),
+                    );
+                    std::hint::black_box(cm.as_slice().first());
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_vgg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vgg_f32_nt_scaled");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(1));
+    // conv1.2 with N scaled 1/16 to keep the bench snappy.
+    let l = vgg_layers()[0];
+    let (m, n, k) = (l.m, l.n / 16, l.k);
+    let a = Matrix::<f32>::random(m, k, 1);
+    let b = Matrix::<f32>::random(n, k, 2);
+    let mut cm = Matrix::<f32>::zeros(m, n);
+    group.throughput(criterion::Throughput::Elements((2 * m * n * k) as u64));
+    group.bench_function(BenchmarkId::new("LibShalom", l.label), |bch| {
+        bch.iter(|| {
+            ShalomGemm.gemm(
+                1,
+                Op::NoTrans,
+                Op::Trans,
+                1.0,
+                a.as_ref(),
+                b.as_ref(),
+                0.0,
+                cm.as_mut(),
+            );
+            std::hint::black_box(cm.as_slice().first());
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cp2k, bench_vgg);
+criterion_main!(benches);

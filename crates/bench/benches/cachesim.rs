@@ -1,0 +1,58 @@
+//! Cache-simulator substrate benches: simulation throughput for the
+//! Figure 12 traces (the harness must replay full-K traces in reasonable
+//! time) and a loop-order ablation — the exchanged `jj->ii->kk` order
+//! (LibShalom, §3.3) vs the classical `jj->kk->ii`, measured as simulated
+//! L2 misses per GEMM flop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shalom_cachesim::gemm_trace::{trace_goto_nt, trace_shalom_nt, GemmGeom};
+use shalom_cachesim::{CacheGeom, CacheSim};
+
+fn geoms() -> [CacheGeom; 2] {
+    [
+        CacheGeom::new(64 * 1024, 4, 64),
+        CacheGeom::new(512 * 1024, 8, 64),
+    ]
+}
+
+fn bench_trace_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cachesim_trace");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(1));
+    let (m, n, k) = (64usize, 1024usize, 576usize);
+    group.bench_function("goto_nt_64x1024x576", |b| {
+        b.iter(|| {
+            let mut sim = CacheSim::new(&geoms());
+            trace_goto_nt(&mut sim, &GemmGeom::goto(m, n, k, 4, 16, 4));
+            std::hint::black_box(sim.stats(1).misses)
+        })
+    });
+    group.bench_function("shalom_nt_64x1024x576", |b| {
+        b.iter(|| {
+            let mut sim = CacheSim::new(&geoms());
+            trace_shalom_nt(&mut sim, &GemmGeom::shalom(m, n, k, 4, 64 * 1024, 512 * 1024));
+            std::hint::black_box(sim.stats(1).misses)
+        })
+    });
+    group.finish();
+}
+
+fn bench_raw_touch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cachesim_touch");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_millis(500));
+    group.throughput(criterion::Throughput::Elements(1 << 16));
+    group.bench_function("sequential_64k_touches", |b| {
+        let mut sim = CacheSim::new(&geoms());
+        b.iter(|| {
+            for i in 0..(1u64 << 16) {
+                sim.touch(i * 64);
+            }
+            std::hint::black_box(sim.stats(0).accesses())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_trace_throughput, bench_raw_touch);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Criterion bench for the Figure 9/10 family: irregular (tall-and-
+//! skinny) GEMM, NT mode, scaled sizes, plus the parallel-partition
+//! ablation (§6 analytic grid vs shape-blind splits — here measured as
+//! the serial cost structure; the multi-core curves come from the
+//! perfmodel projections in `fig9`/`fig10`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use shalom_baselines::irregular_gemm_contenders;
+use shalom_core::{gemm_batch_beta, partition_threads, BatchItem, GemmConfig};
+use shalom_matrix::{Matrix, Op};
+
+fn bench_irregular(c: &mut Criterion) {
+    let mut group = c.benchmark_group("irregular_gemm_f32_nt");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    let libs = irregular_gemm_contenders::<f32>();
+    let (k, n) = (500usize, 2048usize);
+    for &m in &[32usize, 128] {
+        let a = Matrix::<f32>::random(m, k, 1);
+        let b = Matrix::<f32>::random(n, k, 2); // stored N x K
+        let mut cm = Matrix::<f32>::zeros(m, n);
+        group.throughput(criterion::Throughput::Elements((2 * m * n * k) as u64));
+        for lib in &libs {
+            group.bench_with_input(BenchmarkId::new(lib.name(), m), &m, |bch, _| {
+                bch.iter(|| {
+                    lib.gemm(
+                        1,
+                        Op::NoTrans,
+                        Op::Trans,
+                        1.0,
+                        a.as_ref(),
+                        b.as_ref(),
+                        0.0,
+                        cm.as_mut(),
+                    );
+                    std::hint::black_box(cm.as_slice().first());
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_partitioner(c: &mut Criterion) {
+    // The §6 partitioner itself (pure function; confirms it is free at
+    // call granularity).
+    c.bench_function("partition_threads_64", |b| {
+        b.iter(|| {
+            for &(m, n) in &[(32usize, 10240usize), (2048, 256), (64, 50176)] {
+                std::hint::black_box(partition_threads(64, m, n));
+            }
+        })
+    });
+}
+
+fn bench_batched_small(c: &mut Criterion) {
+    // The §7.4 batch path: many independent 23^3 FP64 products, serial
+    // vs chunked fork-join dispatch (on 1 core the delta is pure batch
+    // overhead; on a real multi-core it is the scaling path).
+    let mut group = c.benchmark_group("gemm_batch_cp2k_23cubed");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(1));
+    let count = 256;
+    let aa: Vec<Matrix<f64>> = (0..count).map(|i| Matrix::random(23, 23, i as u64)).collect();
+    let bb: Vec<Matrix<f64>> = (0..count).map(|i| Matrix::random(23, 23, 999 + i as u64)).collect();
+    let mut cc: Vec<Matrix<f64>> = (0..count).map(|_| Matrix::zeros(23, 23)).collect();
+    group.throughput(criterion::Throughput::Elements(
+        (2 * 23 * 23 * 23 * count) as u64,
+    ));
+    for threads in [1usize, 4] {
+        let cfg = GemmConfig::with_threads(threads);
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |bch, _| {
+            bch.iter(|| {
+                let mut items: Vec<BatchItem<'_, f64>> = aa
+                    .iter()
+                    .zip(&bb)
+                    .zip(&mut cc)
+                    .map(|((a, b), c)| BatchItem {
+                        a: a.as_ref(),
+                        b: b.as_ref(),
+                        c: c.as_mut(),
+                    })
+                    .collect();
+                gemm_batch_beta(&cfg, Op::NoTrans, Op::NoTrans, 1.0, 0.0, &mut items);
+                drop(items);
+                std::hint::black_box(cc[0].as_slice().first());
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_irregular, bench_partitioner, bench_batched_small);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Packing-strategy ablation (the §4 decision and the §5.3 overlap):
+//!
+//! * `auto` — LibShalom's runtime decision (skip / fuse / lookahead);
+//! * `always_fused` — force the fused kernels even for L1-resident B;
+//! * `always_sequential` — classical pack-then-compute;
+//! * `never` — always read B in place.
+//!
+//! Two regimes: a small GEMM where packing should be *skipped* (the
+//! "packing can account for 50% of the execution time" motivation), and
+//! an irregular GEMM where fused packing should win.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use shalom_core::{gemm_with, GemmConfig, Op, PackingPolicy};
+use shalom_matrix::Matrix;
+
+fn policies() -> [(&'static str, PackingPolicy); 4] {
+    [
+        ("auto", PackingPolicy::Auto),
+        ("always_fused", PackingPolicy::AlwaysFused),
+        ("always_sequential", PackingPolicy::AlwaysSequential),
+        ("never", PackingPolicy::Never),
+    ]
+}
+
+fn bench_small_regime(c: &mut Criterion) {
+    let mut group = c.benchmark_group("packing_policy_small_32cubed");
+    group.sample_size(30);
+    group.measurement_time(std::time::Duration::from_millis(500));
+    let s = 32usize;
+    let a = Matrix::<f32>::random(s, s, 1);
+    let b = Matrix::<f32>::random(s, s, 2);
+    let mut cm = Matrix::<f32>::zeros(s, s);
+    group.throughput(criterion::Throughput::Elements((2 * s * s * s) as u64));
+    for (name, policy) in policies() {
+        let cfg = GemmConfig {
+            packing: policy,
+            ..GemmConfig::with_threads(1)
+        };
+        group.bench_function(BenchmarkId::new(name, s), |bch| {
+            bch.iter(|| {
+                gemm_with(
+                    &cfg,
+                    Op::NoTrans,
+                    Op::NoTrans,
+                    1.0,
+                    a.as_ref(),
+                    b.as_ref(),
+                    0.0,
+                    cm.as_mut(),
+                );
+                std::hint::black_box(cm.as_slice().first());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_irregular_regime(c: &mut Criterion) {
+    let mut group = c.benchmark_group("packing_policy_irregular_nn");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(1));
+    let (m, n, k) = (16usize, 4096usize, 512usize);
+    let a = Matrix::<f32>::random(m, k, 1);
+    let b = Matrix::<f32>::random(k, n, 2);
+    let mut cm = Matrix::<f32>::zeros(m, n);
+    group.throughput(criterion::Throughput::Elements((2 * m * n * k) as u64));
+    for (name, policy) in policies() {
+        let cfg = GemmConfig {
+            packing: policy,
+            ..GemmConfig::with_threads(1)
+        };
+        group.bench_function(BenchmarkId::new(name, "16x4096x512"), |bch| {
+            bch.iter(|| {
+                gemm_with(
+                    &cfg,
+                    Op::NoTrans,
+                    Op::NoTrans,
+                    1.0,
+                    a.as_ref(),
+                    b.as_ref(),
+                    0.0,
+                    cm.as_mut(),
+                );
+                std::hint::black_box(cm.as_slice().first());
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_small_regime, bench_irregular_regime);
+criterion_main!(benches);

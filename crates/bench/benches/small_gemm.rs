@@ -1,0 +1,43 @@
+//! Criterion bench for the Figure 7/8 family: single-threaded small
+//! square GEMM across the contender roster (representative sizes; the
+//! full sweep lives in the `fig7_small_warm` / `fig8_small_cold`
+//! binaries).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use shalom_baselines::small_gemm_contenders;
+use shalom_matrix::{Matrix, Op};
+
+fn bench_small(c: &mut Criterion) {
+    let mut group = c.benchmark_group("small_gemm_f32_nn");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_millis(600));
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    let libs = small_gemm_contenders::<f32>();
+    for &s in &[8usize, 32, 64, 120] {
+        let a = Matrix::<f32>::random(s, s, 1);
+        let b = Matrix::<f32>::random(s, s, 2);
+        let mut cm = Matrix::<f32>::zeros(s, s);
+        group.throughput(criterion::Throughput::Elements((2 * s * s * s) as u64));
+        for lib in &libs {
+            group.bench_with_input(BenchmarkId::new(lib.name(), s), &s, |bch, _| {
+                bch.iter(|| {
+                    lib.gemm(
+                        1,
+                        Op::NoTrans,
+                        Op::NoTrans,
+                        1.0,
+                        a.as_ref(),
+                        b.as_ref(),
+                        0.0,
+                        cm.as_mut(),
+                    );
+                    std::hint::black_box(cm.as_slice().first());
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_small);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Figure 12: reduction of L2 data-cache misses over OpenBLAS for
+//! irregular NT-mode GEMMs (M = 64, N = 50176, K swept 576..3744 step
+//! 128 in the paper) on KP920 and ThunderX2.
+//!
+//! The paper reads hardware counters via `perf`; this reproduction
+//! counts the same events with the trace-driven cache simulator (the
+//! documented substitution): each strategy's exact access stream is
+//! replayed through the platform's L1/L2 geometry. `N` is scaled down by
+//! default (full-N traces take minutes); the K sweep and the strategy
+//! set match the paper.
+
+use shalom_bench::{BenchArgs, Report};
+use shalom_cachesim::gemm_trace::{trace_goto_nt, trace_shalom_nt, GemmGeom};
+use shalom_cachesim::{CacheGeom, CacheSim};
+
+struct Platform {
+    name: &'static str,
+    l1: usize,
+    l1_ways: usize,
+    l2: usize,
+    l2_ways: usize,
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let m = 64usize;
+    let n = if args.full { 50176 } else { 2048 };
+    let kstep = if args.full { 128 } else { 640 };
+    let platforms = [
+        Platform {
+            name: "kp920",
+            l1: 64 * 1024,
+            l1_ways: 4,
+            l2: 512 * 1024,
+            l2_ways: 8,
+        },
+        Platform {
+            name: "thunderx2",
+            l1: 32 * 1024,
+            l1_ways: 8,
+            l2: 256 * 1024,
+            l2_ways: 8,
+        },
+    ];
+    for p in &platforms {
+        let geoms = [
+            CacheGeom::new(p.l1, p.l1_ways, 64),
+            CacheGeom::new(p.l2, p.l2_ways, 64),
+        ];
+        let mut r = Report::new(
+            &format!("fig12_l2_misses_{}", p.name),
+            &format!(
+                "L2 miss reduction vs OpenBLAS-class, NT mode, M={m} N={n}, {}",
+                p.name
+            ),
+        );
+        r.columns(&["K", "OpenBLAS-class", "BLIS-class", "ARMPL-class", "LibShalom"]);
+        let mut k = 576usize;
+        while k <= 3744 {
+            let run_goto = |mr: usize, nr: usize| -> u64 {
+                let mut sim = CacheSim::new(&geoms);
+                trace_goto_nt(&mut sim, &GemmGeom::goto(m, n, k, 4, mr, nr));
+                sim.stats(1).misses
+            };
+            let openblas = run_goto(16, 4);
+            let blis = run_goto(8, 12);
+            let armpl = run_goto(8, 8);
+            let shalom = {
+                let mut sim = CacheSim::new(&geoms);
+                trace_shalom_nt(&mut sim, &GemmGeom::shalom(m, n, k, 4, p.l1, p.l2));
+                sim.stats(1).misses
+            };
+            let red = |x: u64| 100.0 * (1.0 - x as f64 / openblas as f64);
+            r.row_values(
+                &k.to_string(),
+                &[red(openblas), red(blis), red(armpl), red(shalom)],
+            );
+            k += kstep;
+        }
+        r.note("simulated L2 misses (trace-driven; see DESIGN.md); paper shape: LibShalom has the largest reduction at every K (~20% on KP920)");
+        r.emit(&args.out);
+    }
+}

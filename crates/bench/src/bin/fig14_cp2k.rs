@@ -1,0 +1,70 @@
+//! Figure 14: FP64 small GEMM on the CP2K simulation kernels
+//! (5x5x5, 13x5x13, 13x13x13, 23x23x23, 26x26x13 — "matrix sizes
+//! involved range between 4-32", §8.6), all six contenders,
+//! single-threaded, GFLOPS.
+
+use shalom_baselines::small_gemm_contenders;
+use shalom_bench::{measure_gflops, BenchArgs, CacheState, Report};
+use shalom_matrix::Op;
+use shalom_perfmodel::{predict, MachineModel, Precision, StrategyModel};
+use shalom_workloads::cp2k_kernels;
+
+fn main() {
+    let args = BenchArgs::parse();
+    projection(&args);
+    let libs = small_gemm_contenders::<f64>();
+    let mut r = Report::new(
+        "fig14_cp2k",
+        "CP2K FP64 small-GEMM kernels (GFLOPS, 1 thread, NN mode, warm cache)",
+    );
+    let mut cols = vec!["MxNxK".to_string()];
+    cols.extend(libs.iter().map(|l| l.name().to_string()));
+    r.columns(&cols);
+    for shape in cp2k_kernels() {
+        let vals: Vec<f64> = libs
+            .iter()
+            .map(|l| {
+                measure_gflops::<f64>(
+                    l.as_ref(),
+                    1,
+                    Op::NoTrans,
+                    Op::NoTrans,
+                    shape,
+                    args.reps,
+                    CacheState::Warm,
+                )
+            })
+            .collect();
+        r.row_values(shape.label, &vals);
+    }
+    r.note("paper shape: LibShalom best everywhere, up to 2x over LIBXSMM at 5x5x5");
+    r.emit(&args.out);
+}
+
+/// Model projection on the three paper platforms (the hardware
+/// substitution for the multi-platform panels of Figure 14).
+fn projection(args: &BenchArgs) {
+    let strategies = StrategyModel::small_roster();
+    for machine in MachineModel::paper_platforms() {
+        let mut r = Report::new(
+            &format!(
+                "fig14_projection_{}",
+                machine.name.to_lowercase().replace([' ', '+'], "_")
+            ),
+            &format!("CP2K FP64 kernels projection on {} (model GFLOPS)", machine.name),
+        );
+        let mut cols = vec!["MxNxK".to_string()];
+        cols.extend(strategies.iter().map(|s| s.name.to_string()));
+        r.columns(&cols);
+        for shape in cp2k_kernels() {
+            let vals: Vec<f64> = strategies
+                .iter()
+                .map(|s| {
+                    predict(&machine, s, Precision::F64, shape.m, shape.n, shape.k, 1).gflops
+                })
+                .collect();
+            r.row_values(shape.label, &vals);
+        }
+        r.emit(&args.out);
+    }
+}

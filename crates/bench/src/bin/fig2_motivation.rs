@@ -1,0 +1,140 @@
+//! Figure 2: motivation — existing libraries are ineffective on small
+//! and irregular-shaped GEMMs.
+//!
+//! * Part (a): small square GEMMs (`M = N = K` in powers of two),
+//!   percentage of peak for the four classical libraries.
+//! * Part (b): irregular GEMMs (`N = K` large and fixed, `M` swept).
+//!
+//! Performance is normalized to the *measured* host micro-kernel peak
+//! (this container exposes no frequency metadata; see EXPERIMENTS.md).
+//! The default sizes are container-scaled; `--full` uses the paper's
+//! (part b at `N = K = 10000` allocates ~800 MB and runs for minutes).
+
+use shalom_baselines::{BlasfeoGemm, GemmImpl, GotoGemm};
+use shalom_bench::{host_peak_gflops, measure_gflops, BenchArgs, CacheState, Report};
+use shalom_matrix::Op;
+use shalom_perfmodel::{predict, MachineModel, Precision, StrategyModel};
+use shalom_workloads::{motivation_sizes, GemmShape};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let part = args.part.clone().unwrap_or_else(|| "ab".to_string());
+    let peak = host_peak_gflops::<f32>();
+    println!("host measured FP32 micro-kernel peak: {peak:.2} GFLOPS\n");
+
+    if part.contains('a') {
+        part_a(&args, peak);
+        part_a_projection(&args);
+    }
+    if part.contains('b') {
+        part_b(&args, peak);
+    }
+}
+
+/// Model projection of Figure 2a on the paper's Phytium 2000+: % of
+/// peak for the classical libraries across the square sweep.
+fn part_a_projection(args: &BenchArgs) {
+    let machine = MachineModel::phytium2000();
+    let libs = [
+        StrategyModel::blis_class(),
+        StrategyModel::armpl_class(),
+        StrategyModel::openblas_class(),
+        StrategyModel::blasfeo_class(),
+    ];
+    let mut r = Report::new(
+        "fig2a_projection_phytium",
+        "% of peak projection, small square GEMM on Phytium 2000+ (model)",
+    );
+    let mut cols = vec!["M=N=K".to_string()];
+    cols.extend(libs.iter().map(|s| s.name.to_string()));
+    r.columns(&cols);
+    for shape in motivation_sizes(4096) {
+        let vals: Vec<f64> = libs
+            .iter()
+            .map(|s| {
+                100.0
+                    * predict(&machine, s, Precision::F32, shape.m, shape.n, shape.k, 1)
+                        .peak_fraction
+            })
+            .collect();
+        r.row_values(&shape.m.to_string(), &vals);
+    }
+    r.note("paper shape: <60% below size 32, >80% at 256+; BLASFEO falls off once the working set leaves L2");
+    r.emit(&args.out);
+}
+
+fn part_a(args: &BenchArgs, peak: f64) {
+    let max = if args.full { 4096 } else { 1024 };
+    let libs: Vec<Box<dyn GemmImpl<f32>>> = vec![
+        Box::new(GotoGemm::blis_class()),
+        Box::new(GotoGemm::armpl_class()),
+        Box::new(GotoGemm::openblas_class()),
+        Box::new(BlasfeoGemm::new()),
+    ];
+    let mut r = Report::new(
+        "fig2a_motivation_small",
+        "% of peak on small square GEMM (FP32 NN, 1 thread)",
+    );
+    let mut cols = vec!["M=N=K".to_string()];
+    cols.extend(libs.iter().map(|l| l.name().to_string()));
+    r.columns(&cols);
+    for shape in motivation_sizes(max) {
+        let vals: Vec<f64> = libs
+            .iter()
+            .map(|l| {
+                let g = measure_gflops::<f32>(
+                    l.as_ref(),
+                    1,
+                    Op::NoTrans,
+                    Op::NoTrans,
+                    shape,
+                    args.reps,
+                    CacheState::Warm,
+                );
+                100.0 * g / peak
+            })
+            .collect();
+        r.row_values(&shape.m.to_string(), &vals);
+    }
+    r.note("paper shape: <60% of peak below size 32, >80% at 256+ (Fig 2a)");
+    r.emit(&args.out);
+}
+
+fn part_b(args: &BenchArgs, peak: f64) {
+    let (nk, m_max) = if args.full { (10000, 4096) } else { (1536, 512) };
+    let libs: Vec<Box<dyn GemmImpl<f32>>> = vec![
+        Box::new(GotoGemm::openblas_class()),
+        Box::new(GotoGemm::armpl_class()),
+        Box::new(GotoGemm::blis_class()),
+    ];
+    let mut r = Report::new(
+        "fig2b_motivation_irregular",
+        format!("% of peak on irregular GEMM, N=K={nk} (FP32 NN, 1 thread)").as_str(),
+    );
+    let mut cols = vec!["M".to_string()];
+    cols.extend(libs.iter().map(|l| l.name().to_string()));
+    r.columns(&cols);
+    let mut m = 8;
+    while m <= m_max {
+        let shape = GemmShape::new(m, nk, nk);
+        let vals: Vec<f64> = libs
+            .iter()
+            .map(|l| {
+                let g = measure_gflops::<f32>(
+                    l.as_ref(),
+                    1,
+                    Op::NoTrans,
+                    Op::NoTrans,
+                    shape,
+                    args.reps.min(3),
+                    CacheState::Warm,
+                );
+                100.0 * g / peak
+            })
+            .collect();
+        r.row_values(&m.to_string(), &vals);
+        m *= 2;
+    }
+    r.note("paper shape: <40% of peak for M < 128 (Fig 2b); BLASFEO excluded (L2-resident design)");
+    r.emit(&args.out);
+}

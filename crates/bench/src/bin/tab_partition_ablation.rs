@@ -1,0 +1,53 @@
+//! §6 companion table: the parallel-partition ablation.
+//!
+//! Holds everything else fixed (LibShalom tile, fused packing, pipelined
+//! edges) and varies only the thread-partition scheme, isolating the
+//! contribution of the analytic `Tn = ceil(sqrt(T*N/M))` rule against
+//! the shape-blind splits the classical libraries use (§3.2's third
+//! missed opportunity), on the paper's irregular shapes at 64 threads.
+
+use shalom_bench::{BenchArgs, Report};
+use shalom_perfmodel::{predict, MachineModel, PartitionScheme, Precision, StrategyModel};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let machine = MachineModel::phytium2000();
+    let base = StrategyModel::libshalom();
+    let variants = [
+        ("ShapeAware (§6)", PartitionScheme::ShapeAware),
+        ("N-split", PartitionScheme::NSplit),
+        ("Square grid", PartitionScheme::SquareGrid),
+    ];
+    let mut r = Report::new(
+        "tab_partition_ablation",
+        "partition-scheme ablation: LibShalom kernels under each thread split (Phytium 2000+, 64 threads, model GFLOPS)",
+    );
+    r.columns(&["MxNxK", "ShapeAware (§6)", "N-split", "Square grid", "grid(§6)"]);
+    for &(m, n, k) in &[
+        (32usize, 10240usize, 5000usize),
+        (256, 2048, 5000),
+        (2048, 256, 5000),
+        (64, 50176, 576),
+        (512, 196, 4608),
+    ] {
+        let mut vals = Vec::new();
+        let mut grid = (0, 0);
+        for (_, scheme) in variants {
+            let s = StrategyModel {
+                partition: scheme,
+                ..base
+            };
+            let p = predict(&machine, &s, Precision::F32, m, n, k, 64);
+            if scheme == PartitionScheme::ShapeAware {
+                grid = p.grid;
+            }
+            vals.push(p.gflops);
+        }
+        let mut cells = vec![format!("{m}x{n}x{k}")];
+        cells.extend(vals.iter().map(|v| format!("{v:.1}")));
+        cells.push(format!("{}x{}", grid.0, grid.1));
+        r.row(&cells);
+    }
+    r.note("shape-aware dominates on the highly skewed shapes the paper targets (rows 1 and 4, where a blind square grid collapses); on mildly skewed shapes its tile-quantization can inflate the slowest thread's block, which the blind splits avoid by accepting per-thread edges — the trade §6 discusses");
+    r.emit(&args.out);
+}

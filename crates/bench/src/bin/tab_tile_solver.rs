@@ -1,0 +1,38 @@
+//! §5.2 companion table: the analytic register-tile solutions across
+//! vector widths — the ARMv8 AdvSIMD answers the paper derives (7x12
+//! FP32, 7x6 FP64) plus the §5.5 SVE extrapolations.
+
+use shalom_bench::{BenchArgs, Report};
+use shalom_kernels::{solve_tile, TileConstraints};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let mut r = Report::new(
+        "tab_tile_solver",
+        "analytic micro-kernel tiles (Eq. 1-2): maximize CMR = 2*mr*nr/(mr+nr) over 31 registers",
+    );
+    r.columns(&["ISA/width", "elem", "lanes(j)", "mr", "nr", "CMR", "regs used"]);
+    let cases: Vec<(&str, &str, TileConstraints)> = vec![
+        ("AdvSIMD 128b", "f32", TileConstraints::armv8(4)),
+        ("AdvSIMD 128b", "f64", TileConstraints::armv8(2)),
+        ("SVE 256b", "f32", TileConstraints::sve(256, 32)),
+        ("SVE 256b", "f64", TileConstraints::sve(256, 64)),
+        ("SVE 512b (A64FX)", "f32", TileConstraints::sve(512, 32)),
+        ("SVE 512b (A64FX)", "f64", TileConstraints::sve(512, 64)),
+        ("SVE 2048b", "f32", TileConstraints::sve(2048, 32)),
+    ];
+    for (isa, elem, c) in cases {
+        let t = solve_tile(&c);
+        r.row(&[
+            isa.to_string(),
+            elem.to_string(),
+            c.lanes.to_string(),
+            t.mr.to_string(),
+            t.nr.to_string(),
+            format!("{:.2}", t.cmr),
+            format!("{}/{}", t.registers_used(&c), c.budget()),
+        ]);
+    }
+    r.note("AdvSIMD rows must read (7, 12) and (7, 6) — the paper's §5.2.3 solution");
+    r.emit(&args.out);
+}

@@ -1,0 +1,141 @@
+//! Shared measurement driver: allocate a workload, warm it, time an
+//! implementation, return GFLOPS.
+
+use crate::timer::{time_gemm, TimeStats};
+use shalom_baselines::GemmImpl;
+use shalom_core::GemmElem;
+use shalom_matrix::{Matrix, Op};
+use shalom_workloads::{CacheFlusher, GemmShape};
+
+/// Cache state before each timed repetition.
+pub enum CacheState<'a> {
+    /// Operands preloaded (Figure 7's methodology).
+    Warm,
+    /// Caches swept between repetitions (Figure 8's methodology).
+    Cold(&'a mut CacheFlusher),
+}
+
+/// Times `imp` on `shape` and returns the runtime stats.
+///
+/// The stored operand shapes follow the ops: A is `m x k` (N) or `k x m`
+/// (T), B is `k x n` (N) or `n x k` (T). Each repetition computes
+/// `C = A*B` (`alpha = 1, beta = 0`) so values stay bounded across any
+/// repetition count.
+pub fn measure<T: GemmElem>(
+    imp: &dyn GemmImpl<T>,
+    threads: usize,
+    op_a: Op,
+    op_b: Op,
+    shape: GemmShape,
+    reps: usize,
+    state: CacheState<'_>,
+) -> TimeStats {
+    let (ar, ac) = match op_a {
+        Op::NoTrans => (shape.m, shape.k),
+        Op::Trans => (shape.k, shape.m),
+    };
+    let (br, bc) = match op_b {
+        Op::NoTrans => (shape.k, shape.n),
+        Op::Trans => (shape.n, shape.k),
+    };
+    let a = Matrix::<T>::random(ar, ac, 0xA);
+    let b = Matrix::<T>::random(br, bc, 0xB);
+    let mut c = Matrix::<T>::zeros(shape.m, shape.n);
+    let alpha = T::from_f64(1.0);
+    // beta = 0 keeps C bounded across arbitrarily many repetitions.
+    let beta = T::ZERO;
+    let mut once = || {
+        imp.gemm(
+            threads,
+            op_a,
+            op_b,
+            alpha,
+            a.as_ref(),
+            b.as_ref(),
+            beta,
+            c.as_mut(),
+        );
+        std::hint::black_box(c.as_slice().first());
+    };
+    // Calibrate: batch enough calls per timed repetition that one
+    // measurement lasts >= ~1 ms — a single small GEMM runs for a couple
+    // of microseconds, far below timer noise. Cold-cache runs are not
+    // batched (each call must start cold), so small sizes there reflect
+    // cold-start latency by design.
+    let inner = match &state {
+        CacheState::Warm => {
+            let t0 = std::time::Instant::now();
+            once();
+            let est = t0.elapsed().as_secs_f64().max(1e-8);
+            ((1e-3 / est).ceil() as usize).clamp(1, 100_000)
+        }
+        CacheState::Cold(_) => 1,
+    };
+    let mut body = || {
+        for _ in 0..inner {
+            once();
+        }
+    };
+    let stats = match state {
+        CacheState::Warm => time_gemm(reps, 1, || {}, &mut body),
+        CacheState::Cold(flusher) => {
+            let s = time_gemm(reps, 1, || flusher.flush(), &mut body);
+            std::hint::black_box(flusher.checksum());
+            s
+        }
+    };
+    TimeStats {
+        geomean: stats.geomean / inner as f64,
+        min: stats.min / inner as f64,
+        max: stats.max / inner as f64,
+    }
+}
+
+/// Convenience: GFLOPS at the geometric-mean runtime.
+pub fn measure_gflops<T: GemmElem>(
+    imp: &dyn GemmImpl<T>,
+    threads: usize,
+    op_a: Op,
+    op_b: Op,
+    shape: GemmShape,
+    reps: usize,
+    state: CacheState<'_>,
+) -> f64 {
+    measure(imp, threads, op_a, op_b, shape, reps, state).gflops(shape.flops())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shalom_baselines::ShalomGemm;
+
+    #[test]
+    fn measures_positive_gflops() {
+        let g = measure_gflops::<f32>(
+            &ShalomGemm,
+            1,
+            Op::NoTrans,
+            Op::NoTrans,
+            GemmShape::new(16, 16, 16),
+            3,
+            CacheState::Warm,
+        );
+        assert!(g > 0.0);
+    }
+
+    #[test]
+    fn cold_state_runs_flusher() {
+        let mut f = CacheFlusher::new(1 << 16);
+        let before = f.checksum();
+        let _ = measure_gflops::<f32>(
+            &ShalomGemm,
+            1,
+            Op::NoTrans,
+            Op::Trans,
+            GemmShape::new(8, 8, 8),
+            2,
+            CacheState::Cold(&mut f),
+        );
+        assert_ne!(f.checksum(), before);
+    }
+}

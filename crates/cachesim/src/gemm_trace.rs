@@ -1,0 +1,726 @@
+//! Cache-line-granular access-trace generators for the GEMM strategies.
+//!
+//! Each generator replays the loop structure of one implementation,
+//! touching the simulator with the same address stream the real code
+//! issues (at line granularity: one touch per cache line per sweep —
+//! LRU state only depends on line-level reuse order).
+//!
+//! Two strategy families matter for the §8.4 experiment (NT mode):
+//!
+//! * [`trace_goto_nt`] — the classical library: loops `jj -> kk -> ii`,
+//!   **packs both operands** (B panel then, per `ii`, the A block — each
+//!   a full read+write sweep *before* any compute touches them), then
+//!   sweeps register tiles over the packed buffers.
+//! * [`trace_shalom_nt`] — LibShalom: exchanged loops `jj -> ii -> kk`
+//!   so A is walked contiguously and reused straight from cache, **no A
+//!   packing at all**, and the B panel's pack traffic happens inside the
+//!   first micro-kernel pass of each panel (same addresses, but touched
+//!   once, not twice).
+//!
+//! The NN variants ([`trace_goto_nn`], [`trace_shalom_nn`]) exist for the
+//! packing ablation.
+
+use crate::CacheSim;
+
+/// Problem and blocking geometry for a trace.
+#[derive(Debug, Clone, Copy)]
+pub struct GemmGeom {
+    /// GEMM M dimension.
+    pub m: usize,
+    /// GEMM N dimension.
+    pub n: usize,
+    /// GEMM K dimension.
+    pub k: usize,
+    /// Element size in bytes (4 = FP32, 8 = FP64).
+    pub elem: usize,
+    /// Depth block.
+    pub kc: usize,
+    /// Row block.
+    pub mc: usize,
+    /// Column block.
+    pub nc: usize,
+    /// Register-tile rows.
+    pub mr: usize,
+    /// Register-tile columns.
+    pub nr: usize,
+}
+
+impl GemmGeom {
+    /// LibShalom geometry: the analytic 7x12 tile with cache-derived
+    /// blocking (`kc`/`mc`/`nc` computed as in `shalom_core`).
+    pub fn shalom(m: usize, n: usize, k: usize, elem: usize, l1: usize, l2: usize) -> Self {
+        let nr = if elem == 4 { 12 } else { 6 };
+        let kc = (l1 / (2 * nr * elem)).clamp(32, 512) & !3;
+        let mc = ((l2 / (2 * kc * elem)) / 7 * 7).clamp(7, 8192);
+        Self {
+            m,
+            n,
+            k,
+            elem,
+            kc,
+            mc,
+            nc: 4096,
+            mr: 7,
+            nr,
+        }
+    }
+
+    /// Classical-library geometry: large fixed blocks and the given tile.
+    pub fn goto(m: usize, n: usize, k: usize, elem: usize, mr: usize, nr: usize) -> Self {
+        Self {
+            m,
+            n,
+            k,
+            elem,
+            kc: 256,
+            mc: 128,
+            nc: 4096,
+            mr,
+            nr,
+        }
+    }
+
+    fn a_base(&self) -> u64 {
+        0
+    }
+    fn b_base(&self) -> u64 {
+        (self.m * self.k * self.elem) as u64
+    }
+    fn c_base(&self) -> u64 {
+        self.b_base() + (self.n * self.k * self.elem) as u64
+    }
+    fn buf_base(&self) -> u64 {
+        self.c_base() + (self.m * self.n * self.elem) as u64
+    }
+}
+
+/// Touches one row-segment of a row-major matrix.
+#[inline]
+fn row_seg(sim: &mut CacheSim, base: u64, ld: usize, elem: usize, row: usize, col: usize, len: usize) {
+    sim.touch_range(base + ((row * ld + col) * elem) as u64, (len * elem) as u64);
+}
+
+/// Classical Goto trace, NT mode (`B` stored `N x K`): pack-everything,
+/// `jj -> kk -> ii` loop order.
+pub fn trace_goto_nt(sim: &mut CacheSim, g: &GemmGeom) {
+    let bc_base = g.buf_base();
+    let ac_base = bc_base + (g.kc * (g.nc + g.nr) * g.elem) as u64;
+    let mut jj = 0;
+    while jj < g.n {
+        let ncur = g.nc.min(g.n - jj);
+        let mut kk = 0;
+        while kk < g.k {
+            let kcur = g.kc.min(g.k - kk);
+            // Pack B panel: read ncur stored rows (k-contiguous), write Bc.
+            for j in 0..ncur {
+                row_seg(sim, g.b_base(), g.k, g.elem, jj + j, kk, kcur);
+            }
+            sim.touch_range(bc_base, (kcur * ncur.div_ceil(g.nr) * g.nr * g.elem) as u64);
+            let mut ii = 0;
+            while ii < g.m {
+                let mcur = g.mc.min(g.m - ii);
+                // Pack A block: read rows (contiguous), write Ac.
+                for i in 0..mcur {
+                    row_seg(sim, g.a_base(), g.k, g.elem, ii + i, kk, kcur);
+                }
+                sim.touch_range(ac_base, (kcur * mcur.div_ceil(g.mr) * g.mr * g.elem) as u64);
+                // Register-tile sweep over packed buffers.
+                let mut js = 0;
+                while js < ncur {
+                    let ncols = g.nr.min(ncur - js);
+                    let bsl = bc_base + ((js / g.nr) * g.kc * g.nr * g.elem) as u64;
+                    let mut is = 0;
+                    while is < mcur {
+                        let mrows = g.mr.min(mcur - is);
+                        let asl = ac_base + ((is / g.mr) * g.mr * g.kc * g.elem) as u64;
+                        sim.touch_range(asl, (kcur * g.mr * g.elem) as u64);
+                        sim.touch_range(bsl, (kcur * g.nr * g.elem) as u64);
+                        for i in 0..mrows {
+                            row_seg(sim, g.c_base(), g.n, g.elem, ii + is + i, jj + js, ncols);
+                        }
+                        is += g.mr;
+                    }
+                    js += g.nr;
+                }
+                ii += mcur;
+            }
+            kk += kcur;
+        }
+        jj += ncur;
+    }
+}
+
+/// LibShalom trace, NT mode: exchanged `jj -> ii -> kk` loops, no A pack,
+/// B pack fused into the first micro-kernel pass of each panel.
+pub fn trace_shalom_nt(sim: &mut CacheSim, g: &GemmGeom) {
+    let bc_base = g.buf_base();
+    let mut jj = 0;
+    while jj < g.n {
+        let ncur = g.nc.min(g.n - jj);
+        let mut ii = 0;
+        while ii < g.m {
+            let mcur = g.mc.min(g.m - ii);
+            let mut kk = 0;
+            while kk < g.k {
+                let kcur = g.kc.min(g.k - kk);
+                let mut js = 0;
+                while js < ncur {
+                    let ncols = g.nr.min(ncur - js);
+                    let m0 = g.mr.min(mcur);
+                    // Fused NT pack kernel: A rows + stored B rows read
+                    // once (k-contiguous), Bc written, C tile touched.
+                    for i in 0..m0 {
+                        row_seg(sim, g.a_base(), g.k, g.elem, ii + i, kk, kcur);
+                    }
+                    for j in 0..ncols {
+                        row_seg(sim, g.b_base(), g.k, g.elem, jj + js + j, kk, kcur);
+                    }
+                    sim.touch_range(bc_base, (kcur * g.nr * g.elem) as u64);
+                    for i in 0..m0 {
+                        row_seg(sim, g.c_base(), g.n, g.elem, ii + i, jj + js, ncols);
+                    }
+                    // Remaining row tiles read A in place + the packed Bc.
+                    let mut is = m0;
+                    while is < mcur {
+                        let mrows = g.mr.min(mcur - is);
+                        for i in 0..mrows {
+                            row_seg(sim, g.a_base(), g.k, g.elem, ii + is + i, kk, kcur);
+                        }
+                        sim.touch_range(bc_base, (kcur * g.nr * g.elem) as u64);
+                        for i in 0..mrows {
+                            row_seg(sim, g.c_base(), g.n, g.elem, ii + is + i, jj + js, ncols);
+                        }
+                        is += g.mr;
+                    }
+                    js += g.nr;
+                }
+                kk += kcur;
+            }
+            ii += mcur;
+        }
+        jj += ncur;
+    }
+}
+
+/// Classical Goto trace, NN mode (`B` stored `K x N`): as
+/// [`trace_goto_nt`] but the B pack reads column panels of a row-major B
+/// (short per-row segments).
+pub fn trace_goto_nn(sim: &mut CacheSim, g: &GemmGeom) {
+    let bc_base = g.buf_base();
+    let ac_base = bc_base + (g.kc * (g.nc + g.nr) * g.elem) as u64;
+    let mut jj = 0;
+    while jj < g.n {
+        let ncur = g.nc.min(g.n - jj);
+        let mut kk = 0;
+        while kk < g.k {
+            let kcur = g.kc.min(g.k - kk);
+            for kr in 0..kcur {
+                row_seg(sim, g.b_base(), g.n, g.elem, kk + kr, jj, ncur);
+            }
+            sim.touch_range(bc_base, (kcur * ncur.div_ceil(g.nr) * g.nr * g.elem) as u64);
+            let mut ii = 0;
+            while ii < g.m {
+                let mcur = g.mc.min(g.m - ii);
+                for i in 0..mcur {
+                    row_seg(sim, g.a_base(), g.k, g.elem, ii + i, kk, kcur);
+                }
+                sim.touch_range(ac_base, (kcur * mcur.div_ceil(g.mr) * g.mr * g.elem) as u64);
+                let mut js = 0;
+                while js < ncur {
+                    let ncols = g.nr.min(ncur - js);
+                    let bsl = bc_base + ((js / g.nr) * g.kc * g.nr * g.elem) as u64;
+                    let mut is = 0;
+                    while is < mcur {
+                        let mrows = g.mr.min(mcur - is);
+                        let asl = ac_base + ((is / g.mr) * g.mr * g.kc * g.elem) as u64;
+                        sim.touch_range(asl, (kcur * g.mr * g.elem) as u64);
+                        sim.touch_range(bsl, (kcur * g.nr * g.elem) as u64);
+                        for i in 0..mrows {
+                            row_seg(sim, g.c_base(), g.n, g.elem, ii + is + i, jj + js, ncols);
+                        }
+                        is += g.mr;
+                    }
+                    js += g.nr;
+                }
+                ii += mcur;
+            }
+            kk += kcur;
+        }
+        jj += ncur;
+    }
+}
+
+/// LibShalom trace, NN mode: no A pack; when `size(B) <= L1` B is read in
+/// place (`packs_b = false`), otherwise the panel pack is fused into the
+/// first row-tile pass.
+pub fn trace_shalom_nn(sim: &mut CacheSim, g: &GemmGeom, packs_b: bool) {
+    let bc_base = g.buf_base();
+    let mut jj = 0;
+    while jj < g.n {
+        let ncur = g.nc.min(g.n - jj);
+        let mut ii = 0;
+        while ii < g.m {
+            let mcur = g.mc.min(g.m - ii);
+            let mut kk = 0;
+            while kk < g.k {
+                let kcur = g.kc.min(g.k - kk);
+                let mut js = 0;
+                while js < ncur {
+                    let ncols = g.nr.min(ncur - js);
+                    let mut is = 0;
+                    while is < mcur {
+                        let mrows = g.mr.min(mcur - is);
+                        for i in 0..mrows {
+                            row_seg(sim, g.a_base(), g.k, g.elem, ii + is + i, kk, kcur);
+                        }
+                        if packs_b {
+                            if is == 0 {
+                                // Fused pass: read unpacked B rows + write Bc.
+                                for kr in 0..kcur {
+                                    row_seg(sim, g.b_base(), g.n, g.elem, kk + kr, jj + js, ncols);
+                                }
+                                sim.touch_range(bc_base, (kcur * g.nr * g.elem) as u64);
+                            } else {
+                                sim.touch_range(bc_base, (kcur * g.nr * g.elem) as u64);
+                            }
+                        } else {
+                            for kr in 0..kcur {
+                                row_seg(sim, g.b_base(), g.n, g.elem, kk + kr, jj + js, ncols);
+                            }
+                        }
+                        for i in 0..mrows {
+                            row_seg(sim, g.c_base(), g.n, g.elem, ii + is + i, jj + js, ncols);
+                        }
+                        is += g.mr;
+                    }
+                    js += g.nr;
+                }
+                kk += kcur;
+            }
+            ii += mcur;
+        }
+        jj += ncur;
+    }
+}
+
+/// Classical Goto trace, TN mode (`A` stored `K x M`): both operands
+/// packed; the transposed A goes through a staging transpose plus the
+/// sliver pack (two extra sweeps), loops `jj -> kk -> ii`.
+pub fn trace_goto_tn(sim: &mut CacheSim, g: &GemmGeom) {
+    let bc_base = g.buf_base();
+    let ac_base = bc_base + (g.kc * (g.nc + g.nr) * g.elem) as u64;
+    let stage_base = ac_base + (g.mc * g.kc * 2 * g.elem) as u64;
+    let mut jj = 0;
+    while jj < g.n {
+        let ncur = g.nc.min(g.n - jj);
+        let mut kk = 0;
+        while kk < g.k {
+            let kcur = g.kc.min(g.k - kk);
+            // Pack B panel (stored K x N): short row segments.
+            for kr in 0..kcur {
+                row_seg(sim, g.b_base(), g.n, g.elem, kk + kr, jj, ncur);
+            }
+            sim.touch_range(bc_base, (kcur * ncur.div_ceil(g.nr) * g.nr * g.elem) as u64);
+            let mut ii = 0;
+            while ii < g.m {
+                let mcur = g.mc.min(g.m - ii);
+                // Stage-transpose the A block (stored K x M: rows are
+                // k-indexed, segments m-contiguous), then sliver-pack it.
+                for kr in 0..kcur {
+                    row_seg(sim, g.a_base(), g.m, g.elem, kk + kr, ii, mcur);
+                }
+                sim.touch_range(stage_base, (mcur * kcur * g.elem) as u64);
+                sim.touch_range(stage_base, (mcur * kcur * g.elem) as u64); // re-read
+                sim.touch_range(ac_base, (kcur * mcur.div_ceil(g.mr) * g.mr * g.elem) as u64);
+                let mut js = 0;
+                while js < ncur {
+                    let ncols = g.nr.min(ncur - js);
+                    let bsl = bc_base + ((js / g.nr) * g.kc * g.nr * g.elem) as u64;
+                    let mut is = 0;
+                    while is < mcur {
+                        let mrows = g.mr.min(mcur - is);
+                        let asl = ac_base + ((is / g.mr) * g.mr * g.kc * g.elem) as u64;
+                        sim.touch_range(asl, (kcur * g.mr * g.elem) as u64);
+                        sim.touch_range(bsl, (kcur * g.nr * g.elem) as u64);
+                        for i in 0..mrows {
+                            row_seg(sim, g.c_base(), g.n, g.elem, ii + is + i, jj + js, ncols);
+                        }
+                        is += g.mr;
+                    }
+                    js += g.nr;
+                }
+                ii += mcur;
+            }
+            kk += kcur;
+        }
+        jj += ncur;
+    }
+}
+
+/// LibShalom trace, TN mode: the A block is transpose-packed **once per
+/// `(ii, kk)` block directly into the kernel-ready layout** (one read
+/// sweep + one write, no staging), then the NN-mode fused B handling
+/// runs over it with the exchanged loops.
+pub fn trace_shalom_tn(sim: &mut CacheSim, g: &GemmGeom, packs_b: bool) {
+    let bc_base = g.buf_base();
+    let at_base = bc_base + (2 * g.kc * g.nr * g.elem) as u64;
+    let mut jj = 0;
+    while jj < g.n {
+        let ncur = g.nc.min(g.n - jj);
+        let mut ii = 0;
+        while ii < g.m {
+            let mcur = g.mc.min(g.m - ii);
+            let mut kk = 0;
+            while kk < g.k {
+                let kcur = g.kc.min(g.k - kk);
+                // Transpose-pack the block: read stored A rows, write At.
+                for kr in 0..kcur {
+                    row_seg(sim, g.a_base(), g.m, g.elem, kk + kr, ii, mcur);
+                }
+                sim.touch_range(at_base, (mcur * kcur * g.elem) as u64);
+                let mut js = 0;
+                while js < ncur {
+                    let ncols = g.nr.min(ncur - js);
+                    let mut is = 0;
+                    while is < mcur {
+                        let mrows = g.mr.min(mcur - is);
+                        // A read from the packed block (contiguous rows).
+                        sim.touch_range(
+                            at_base + ((is * kcur) * g.elem) as u64,
+                            (mrows * kcur * g.elem) as u64,
+                        );
+                        if packs_b {
+                            if is == 0 {
+                                for kr in 0..kcur {
+                                    row_seg(sim, g.b_base(), g.n, g.elem, kk + kr, jj + js, ncols);
+                                }
+                                sim.touch_range(bc_base, (kcur * g.nr * g.elem) as u64);
+                            } else {
+                                sim.touch_range(bc_base, (kcur * g.nr * g.elem) as u64);
+                            }
+                        } else {
+                            for kr in 0..kcur {
+                                row_seg(sim, g.b_base(), g.n, g.elem, kk + kr, jj + js, ncols);
+                            }
+                        }
+                        for i in 0..mrows {
+                            row_seg(sim, g.c_base(), g.n, g.elem, ii + is + i, jj + js, ncols);
+                        }
+                        is += g.mr;
+                    }
+                    js += g.nr;
+                }
+                kk += kcur;
+            }
+            ii += mcur;
+        }
+        jj += ncur;
+    }
+}
+
+/// Classical Goto trace, TT mode (`A` stored `K x M`, `B` stored
+/// `N x K`): both operands pass through staging transposes plus sliver
+/// packs (the worst-case classical pipeline).
+pub fn trace_goto_tt(sim: &mut CacheSim, g: &GemmGeom) {
+    let bc_base = g.buf_base();
+    let ac_base = bc_base + (g.kc * (g.nc + g.nr) * g.elem) as u64;
+    let stage_base = ac_base + (g.mc * g.kc * 2 * g.elem) as u64;
+    let mut jj = 0;
+    while jj < g.n {
+        let ncur = g.nc.min(g.n - jj);
+        let mut kk = 0;
+        while kk < g.k {
+            let kcur = g.kc.min(g.k - kk);
+            // Stage-transpose + pack B (stored N x K: rows k-contiguous).
+            for j in 0..ncur {
+                row_seg(sim, g.b_base(), g.k, g.elem, jj + j, kk, kcur);
+            }
+            sim.touch_range(stage_base, (ncur * kcur * g.elem) as u64);
+            sim.touch_range(stage_base, (ncur * kcur * g.elem) as u64);
+            sim.touch_range(bc_base, (kcur * ncur.div_ceil(g.nr) * g.nr * g.elem) as u64);
+            let mut ii = 0;
+            while ii < g.m {
+                let mcur = g.mc.min(g.m - ii);
+                // Stage-transpose + pack A (stored K x M).
+                for kr in 0..kcur {
+                    row_seg(sim, g.a_base(), g.m, g.elem, kk + kr, ii, mcur);
+                }
+                sim.touch_range(stage_base, (mcur * kcur * g.elem) as u64);
+                sim.touch_range(stage_base, (mcur * kcur * g.elem) as u64);
+                sim.touch_range(ac_base, (kcur * mcur.div_ceil(g.mr) * g.mr * g.elem) as u64);
+                let mut js = 0;
+                while js < ncur {
+                    let ncols = g.nr.min(ncur - js);
+                    let bsl = bc_base + ((js / g.nr) * g.kc * g.nr * g.elem) as u64;
+                    let mut is = 0;
+                    while is < mcur {
+                        let mrows = g.mr.min(mcur - is);
+                        let asl = ac_base + ((is / g.mr) * g.mr * g.kc * g.elem) as u64;
+                        sim.touch_range(asl, (kcur * g.mr * g.elem) as u64);
+                        sim.touch_range(bsl, (kcur * g.nr * g.elem) as u64);
+                        for i in 0..mrows {
+                            row_seg(sim, g.c_base(), g.n, g.elem, ii + is + i, jj + js, ncols);
+                        }
+                        is += g.mr;
+                    }
+                    js += g.nr;
+                }
+                ii += mcur;
+            }
+            kk += kcur;
+        }
+        jj += ncur;
+    }
+}
+
+/// LibShalom trace, TT mode: A transpose-packed once per `(ii, kk)` block
+/// (as in TN), after which the problem is NT-shaped — B's stored rows are
+/// walked k-contiguously by the fused Algorithm-3 pack inside the first
+/// micro-kernel pass of each panel.
+pub fn trace_shalom_tt(sim: &mut CacheSim, g: &GemmGeom) {
+    let bc_base = g.buf_base();
+    let at_base = bc_base + (2 * g.kc * g.nr * g.elem) as u64;
+    let mut jj = 0;
+    while jj < g.n {
+        let ncur = g.nc.min(g.n - jj);
+        let mut ii = 0;
+        while ii < g.m {
+            let mcur = g.mc.min(g.m - ii);
+            let mut kk = 0;
+            while kk < g.k {
+                let kcur = g.kc.min(g.k - kk);
+                for kr in 0..kcur {
+                    row_seg(sim, g.a_base(), g.m, g.elem, kk + kr, ii, mcur);
+                }
+                sim.touch_range(at_base, (mcur * kcur * g.elem) as u64);
+                let mut js = 0;
+                while js < ncur {
+                    let ncols = g.nr.min(ncur - js);
+                    let m0 = g.mr.min(mcur);
+                    // Fused NT-style pass: packed-A rows + stored B rows.
+                    sim.touch_range(at_base, (m0 * kcur * g.elem) as u64);
+                    for j in 0..ncols {
+                        row_seg(sim, g.b_base(), g.k, g.elem, jj + js + j, kk, kcur);
+                    }
+                    sim.touch_range(bc_base, (kcur * g.nr * g.elem) as u64);
+                    for i in 0..m0 {
+                        row_seg(sim, g.c_base(), g.n, g.elem, ii + i, jj + js, ncols);
+                    }
+                    let mut is = m0;
+                    while is < mcur {
+                        let mrows = g.mr.min(mcur - is);
+                        sim.touch_range(
+                            at_base + ((is * kcur) * g.elem) as u64,
+                            (mrows * kcur * g.elem) as u64,
+                        );
+                        sim.touch_range(bc_base, (kcur * g.nr * g.elem) as u64);
+                        for i in 0..mrows {
+                            row_seg(sim, g.c_base(), g.n, g.elem, ii + is + i, jj + js, ncols);
+                        }
+                        is += g.mr;
+                    }
+                    js += g.nr;
+                }
+                kk += kcur;
+            }
+            ii += mcur;
+        }
+        jj += ncur;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CacheGeom;
+
+    const L1: usize = 64 * 1024;
+    const L2: usize = 512 * 1024;
+
+    fn kp920_like() -> Vec<CacheGeom> {
+        // KP920 geometry (Table 1): 64K L1, 512K private L2.
+        vec![CacheGeom::new(L1, 4, 64), CacheGeom::new(L2, 8, 64)]
+    }
+
+    fn run_nt(f: impl Fn(&mut CacheSim, &GemmGeom), g: &GemmGeom) -> u64 {
+        let mut sim = CacheSim::new(&kp920_like());
+        f(&mut sim, g);
+        sim.stats(1).misses
+    }
+
+    #[test]
+    fn shalom_nt_beats_goto_nt_on_irregular_shape() {
+        // Scaled Figure 12 shape: M = 64, wide N, deep K.
+        let m = 64;
+        let n = 512;
+        let k = 1024;
+        let goto = run_nt(trace_goto_nt, &GemmGeom::goto(m, n, k, 4, 16, 4));
+        let shalom = run_nt(trace_shalom_nt, &GemmGeom::shalom(m, n, k, 4, L1, L2));
+        assert!(
+            shalom < goto,
+            "LibShalom trace must miss L2 less: {shalom} vs {goto}"
+        );
+    }
+
+    #[test]
+    fn traces_are_deterministic() {
+        let g = GemmGeom::goto(32, 128, 256, 4, 8, 8);
+        assert_eq!(run_nt(trace_goto_nt, &g), run_nt(trace_goto_nt, &g));
+    }
+
+    #[test]
+    fn nn_unpacked_small_b_touches_fewer_lines() {
+        // Small B resident in L1: skipping the pack must reduce total
+        // traffic (no Bc writes at all).
+        let g = GemmGeom::shalom(32, 32, 32, 4, L1, L2);
+        let mut sim_pack = CacheSim::new(&kp920_like());
+        trace_shalom_nn(&mut sim_pack, &g, true);
+        let mut sim_nopack = CacheSim::new(&kp920_like());
+        trace_shalom_nn(&mut sim_nopack, &g, false);
+        // Skipping the pack removes the Bc buffer from the footprint
+        // entirely: strictly fewer compulsory L1 fills.
+        assert!(
+            sim_nopack.stats(0).misses < sim_pack.stats(0).misses,
+            "no-pack must have a smaller cache footprint: {} vs {}",
+            sim_nopack.stats(0).misses,
+            sim_pack.stats(0).misses
+        );
+    }
+
+    #[test]
+    fn goto_nn_packs_cost_l2_misses_vs_shalom() {
+        let m = 64;
+        let n = 512;
+        let k = 512;
+        let goto = {
+            let mut sim = CacheSim::new(&kp920_like());
+            trace_goto_nn(&mut sim, &GemmGeom::goto(m, n, k, 4, 16, 4));
+            sim.stats(1).misses
+        };
+        let shalom = {
+            let mut sim = CacheSim::new(&kp920_like());
+            trace_shalom_nn(&mut sim, &GemmGeom::shalom(m, n, k, 4, L1, L2), true);
+            sim.stats(1).misses
+        };
+        assert!(shalom <= goto, "shalom {shalom} vs goto {goto}");
+    }
+
+    #[test]
+    fn nt_reduction_larger_than_nn_reduction() {
+        // §8.2/§8.4: LibShalom's advantage is larger in NT mode, where it
+        // additionally avoids packing A and exchanges the loops.
+        let (m, n, k) = (64, 1024, 576);
+        let geoms = kp920_like();
+        let miss = |f: &dyn Fn(&mut CacheSim)| {
+            let mut sim = CacheSim::new(&geoms);
+            f(&mut sim);
+            sim.stats(1).misses as f64
+        };
+        let goto_geom = GemmGeom::goto(m, n, k, 4, 16, 4);
+        let shalom_geom = GemmGeom::shalom(m, n, k, 4, L1, L2);
+        let goto_nt = miss(&|s: &mut CacheSim| trace_goto_nt(s, &goto_geom));
+        let shalom_nt = miss(&|s: &mut CacheSim| trace_shalom_nt(s, &shalom_geom));
+        let goto_nn = miss(&|s: &mut CacheSim| trace_goto_nn(s, &goto_geom));
+        let shalom_nn = miss(&|s: &mut CacheSim| trace_shalom_nn(s, &shalom_geom, true));
+        let red_nt = 1.0 - shalom_nt / goto_nt;
+        let red_nn = 1.0 - shalom_nn / goto_nn;
+        assert!(red_nt > 0.0 && red_nn >= 0.0);
+        assert!(red_nt > red_nn, "NT reduction {red_nt} vs NN {red_nn}");
+    }
+
+    #[test]
+    fn shalom_tn_beats_goto_tn() {
+        // The TN mode's A handling (direct transpose-pack vs stage +
+        // sliver pack) plus the exchanged loops must reduce L2 misses.
+        let (m, n, k) = (64, 512, 1024);
+        let goto = {
+            let mut sim = CacheSim::new(&kp920_like());
+            trace_goto_tn(&mut sim, &GemmGeom::goto(m, n, k, 4, 16, 4));
+            sim.stats(1).misses
+        };
+        let shalom = {
+            let mut sim = CacheSim::new(&kp920_like());
+            trace_shalom_tn(&mut sim, &GemmGeom::shalom(m, n, k, 4, L1, L2), true);
+            sim.stats(1).misses
+        };
+        assert!(shalom < goto, "TN: shalom {shalom} !< goto {goto}");
+    }
+
+    #[test]
+    fn tn_traces_deterministic_and_nonempty() {
+        let g = GemmGeom::shalom(16, 128, 96, 8, L1, L2);
+        let run = |packs: bool| {
+            let mut sim = CacheSim::new(&kp920_like());
+            trace_shalom_tn(&mut sim, &g, packs);
+            (sim.stats(0).accesses(), sim.stats(1).misses)
+        };
+        assert_eq!(run(true), run(true));
+        assert!(run(false).0 > 0);
+    }
+
+    #[test]
+    fn shalom_tt_beats_goto_tt() {
+        let (m, n, k) = (64, 512, 1024);
+        let goto = {
+            let mut sim = CacheSim::new(&kp920_like());
+            trace_goto_tt(&mut sim, &GemmGeom::goto(m, n, k, 4, 16, 4));
+            sim.stats(1).misses
+        };
+        let shalom = {
+            let mut sim = CacheSim::new(&kp920_like());
+            trace_shalom_tt(&mut sim, &GemmGeom::shalom(m, n, k, 4, L1, L2));
+            sim.stats(1).misses
+        };
+        assert!(shalom < goto, "TT: shalom {shalom} !< goto {goto}");
+    }
+
+    #[test]
+    fn all_four_modes_have_shalom_advantage() {
+        // The full mode matrix at one irregular shape: the conditional/
+        // fused packing strategy must beat pack-everything in all modes.
+        let (m, n, k) = (64, 1024, 576);
+        let run = |f: &dyn Fn(&mut CacheSim)| {
+            let mut sim = CacheSim::new(&kp920_like());
+            f(&mut sim);
+            sim.stats(1).misses
+        };
+        let gg = GemmGeom::goto(m, n, k, 4, 16, 4);
+        let sg = GemmGeom::shalom(m, n, k, 4, L1, L2);
+        let pairs: Vec<(&str, u64, u64)> = vec![
+            (
+                "NN",
+                run(&|s: &mut CacheSim| trace_goto_nn(s, &gg)),
+                run(&|s: &mut CacheSim| trace_shalom_nn(s, &sg, true)),
+            ),
+            (
+                "NT",
+                run(&|s: &mut CacheSim| trace_goto_nt(s, &gg)),
+                run(&|s: &mut CacheSim| trace_shalom_nt(s, &sg)),
+            ),
+            (
+                "TN",
+                run(&|s: &mut CacheSim| trace_goto_tn(s, &gg)),
+                run(&|s: &mut CacheSim| trace_shalom_tn(s, &sg, true)),
+            ),
+            (
+                "TT",
+                run(&|s: &mut CacheSim| trace_goto_tt(s, &gg)),
+                run(&|s: &mut CacheSim| trace_shalom_tt(s, &sg)),
+            ),
+        ];
+        for (mode, goto, shalom) in pairs {
+            assert!(shalom < goto, "{mode}: {shalom} !< {goto}");
+        }
+    }
+
+    #[test]
+    fn compulsory_misses_lower_bound() {
+        // Any strategy must at least fill every A, B and C line once.
+        let g = GemmGeom::shalom(16, 64, 64, 4, L1, L2);
+        let mut sim = CacheSim::new(&kp920_like());
+        trace_shalom_nt(&mut sim, &g);
+        let bytes = (g.m * g.k + g.n * g.k + g.m * g.n) * g.elem;
+        let lines = bytes as u64 / 64;
+        assert!(sim.stats(0).misses >= lines);
+    }
+}

@@ -1,0 +1,32 @@
+//! Trace-driven multi-level cache simulator.
+//!
+//! The paper's §8.4 experiment reads the L2 data-cache miss counter
+//! through `perf` on KP920 and ThunderX2. This container has neither
+//! those CPUs nor reliable access to hardware counters, so — per the
+//! substitution rules in `DESIGN.md` — we count the same events over the
+//! same access streams in software: a set-associative, LRU, write-allocate
+//! cache hierarchy ([`CacheSim`]) driven by generators that replay each
+//! GEMM strategy's memory access pattern at cache-line granularity
+//! ([`gemm_trace`]).
+//!
+//! What the experiment claims is a property of *access patterns* (packing
+//! A adds a read-write sweep; the exchanged `L2`/`L3` loops walk A
+//! contiguously), which survives simulation exactly.
+
+#![deny(missing_docs)]
+
+pub mod gemm_trace;
+mod sim;
+
+pub use sim::{CacheGeom, CacheSim, LevelStats};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reexports_work() {
+        let sim = CacheSim::new(&[CacheGeom::new(1024, 4, 64)]);
+        assert_eq!(sim.stats(0).misses, 0);
+    }
+}

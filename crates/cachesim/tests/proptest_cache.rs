@@ -1,0 +1,115 @@
+//! Property tests for the cache simulator: structural invariants that
+//! must hold for any access sequence.
+
+use proptest::prelude::*;
+use shalom_cachesim::{CacheGeom, CacheSim};
+
+fn small_geom() -> impl Strategy<Value = CacheGeom> {
+    (0u32..3, 1usize..=4).prop_map(|(sets_pow, ways)| {
+        let sets = 1usize << (sets_pow + 1);
+        CacheGeom::new(sets * ways * 64, ways, 64)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn conservation_hits_plus_misses(geom in small_geom(),
+                                     addrs in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut sim = CacheSim::new(&[geom]);
+        for &a in &addrs {
+            sim.touch(a);
+        }
+        let s = sim.stats(0);
+        prop_assert_eq!(s.accesses(), addrs.len() as u64);
+        prop_assert!(s.miss_ratio() >= 0.0 && s.miss_ratio() <= 1.0);
+    }
+
+    #[test]
+    fn distinct_lines_lower_bound_misses(geom in small_geom(),
+                                         addrs in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        // Compulsory misses: at least one miss per distinct line touched.
+        let mut sim = CacheSim::new(&[geom]);
+        let mut lines = std::collections::HashSet::new();
+        for &a in &addrs {
+            sim.touch(a);
+            lines.insert(a / 64);
+        }
+        prop_assert!(sim.stats(0).misses >= lines.len() as u64);
+    }
+
+    #[test]
+    fn immediate_repeat_always_hits(geom in small_geom(), addr in 0u64..1_000_000) {
+        let mut sim = CacheSim::new(&[geom]);
+        sim.touch(addr);
+        let before = sim.stats(0).hits;
+        sim.touch(addr);
+        prop_assert_eq!(sim.stats(0).hits, before + 1);
+    }
+
+    #[test]
+    fn working_set_within_capacity_never_re_misses(
+        ways in 2usize..8,
+        lines in 1usize..8,
+    ) {
+        // Touch `lines <= ways` lines that all map to set 0; a second
+        // pass must be all hits (LRU keeps a fitting working set).
+        let sets = 4usize;
+        let geom = CacheGeom::new(sets * ways * 64, ways, 64);
+        let mut sim = CacheSim::new(&[geom]);
+        let lines = lines.min(ways);
+        let stride = (sets * 64) as u64; // same set
+        for i in 0..lines {
+            sim.touch(i as u64 * stride);
+        }
+        let misses_before = sim.stats(0).misses;
+        for i in 0..lines {
+            sim.touch(i as u64 * stride);
+        }
+        prop_assert_eq!(sim.stats(0).misses, misses_before);
+    }
+
+    #[test]
+    fn l2_misses_never_exceed_l1_misses(addrs in prop::collection::vec(0u64..100_000, 1..300)) {
+        let geoms = [
+            CacheGeom::new(1024, 2, 64),
+            CacheGeom::new(16 * 1024, 4, 64),
+        ];
+        let mut sim = CacheSim::new(&geoms);
+        for &a in &addrs {
+            sim.touch(a);
+        }
+        // Every L2 access is an L1 miss.
+        prop_assert_eq!(sim.stats(1).accesses(), sim.stats(0).misses);
+        prop_assert!(sim.stats(1).misses <= sim.stats(0).misses);
+    }
+
+    #[test]
+    fn touch_range_equals_per_line_touches(base in 0u64..10_000, bytes in 1u64..2048) {
+        let geom = CacheGeom::new(4096, 4, 64);
+        let mut sim_range = CacheSim::new(&[geom]);
+        sim_range.touch_range(base, bytes);
+        let mut sim_manual = CacheSim::new(&[geom]);
+        let mut line = base & !63;
+        while line < base + bytes {
+            sim_manual.touch(line);
+            line += 64;
+        }
+        prop_assert_eq!(sim_range.stats(0).accesses(), sim_manual.stats(0).accesses());
+        prop_assert_eq!(sim_range.stats(0).misses, sim_manual.stats(0).misses);
+    }
+
+    #[test]
+    fn determinism(addrs in prop::collection::vec(0u64..50_000, 1..200)) {
+        let geom = CacheGeom::new(2048, 2, 64);
+        let run = || {
+            let mut sim = CacheSim::new(&[geom]);
+            for &a in &addrs {
+                sim.touch(a);
+            }
+            (sim.stats(0).hits, sim.stats(0).misses)
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

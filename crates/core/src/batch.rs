@@ -1,0 +1,323 @@
+//! Batched small GEMM.
+//!
+//! The paper's methodology section (§7.4) states how small GEMMs are
+//! parallelized in practice: "parallelism is achieved by running multiple
+//! GEMM kernels to process independent matrices" — each individual
+//! product runs single-threaded (it is too small to split), and the
+//! *batch* is distributed across cores. This is exactly the CP2K/DBCSR
+//! block-sparse pattern and the `libxsmm_gemm_batch` use case.
+//!
+//! [`gemm_batch`] runs `C_i = alpha * op(A_i) * op(B_i) + beta * C_i`
+//! over a set of independent problems with a static block distribution
+//! over fork-join workers, each worker reusing its thread-local
+//! workspace across the problems it owns.
+
+use crate::config::GemmConfig;
+use crate::driver::{gemm_serial, WORKSPACE};
+use crate::GemmElem;
+use shalom_matrix::{reference, MatMut, MatRef, Op};
+
+/// One problem of a batch: borrowed operand views and the output view.
+pub struct BatchItem<'a, T> {
+    /// Left operand (stored shape per `op_a`).
+    pub a: MatRef<'a, T>,
+    /// Right operand (stored shape per `op_b`).
+    pub b: MatRef<'a, T>,
+    /// Output, `m x n`.
+    pub c: MatMut<'a, T>,
+}
+
+/// Runs a batch of independent GEMMs, all sharing `(op_a, op_b, alpha,
+/// beta)` (the BLAS "group" convention). Problems may differ in shape.
+///
+/// With `cfg.threads == 1` the batch runs serially; otherwise the items
+/// are divided into contiguous chunks across fork-join workers (each
+/// *item* stays single-threaded — the §7.4 discipline for small GEMM).
+///
+/// # Panics
+/// If any item's stored dimensions are inconsistent with its `C` and the
+/// ops.
+pub fn gemm_batch<T: GemmElem>(
+    cfg: &GemmConfig,
+    op_a: Op,
+    op_b: Op,
+    alpha: T,
+    items: &mut [BatchItem<'_, T>],
+) {
+    gemm_batch_beta(cfg, op_a, op_b, alpha, T::ONE, items)
+}
+
+/// [`gemm_batch`] with an explicit `beta`.
+///
+/// # Panics
+/// As [`gemm_batch`].
+pub fn gemm_batch_beta<T: GemmElem>(
+    cfg: &GemmConfig,
+    op_a: Op,
+    op_b: Op,
+    alpha: T,
+    beta: T,
+    items: &mut [BatchItem<'_, T>],
+) {
+    // Validate everything up front so a worker never panics mid-batch.
+    for it in items.iter() {
+        let k = match op_a {
+            Op::NoTrans => it.a.cols(),
+            Op::Trans => it.a.rows(),
+        };
+        reference::check_dims(op_a, op_b, it.c.rows(), it.c.cols(), k, &it.a, &it.b);
+    }
+    let t = cfg.resolved_threads().max(1).min(items.len().max(1));
+    let run_one = |cfg: &GemmConfig, it: &mut BatchItem<'_, T>| {
+        let m = it.c.rows();
+        let n = it.c.cols();
+        let k = match op_a {
+            Op::NoTrans => it.a.cols(),
+            Op::Trans => it.a.rows(),
+        };
+        WORKSPACE.with(|ws| unsafe {
+            gemm_serial::<T::Vec>(
+                cfg,
+                op_a,
+                op_b,
+                m,
+                n,
+                k,
+                alpha,
+                it.a.as_ptr(),
+                it.a.ld(),
+                it.b.as_ptr(),
+                it.b.ld(),
+                beta,
+                it.c.as_mut_ptr(),
+                it.c.ld(),
+                &mut ws.borrow_mut(),
+            )
+        });
+    };
+    if t <= 1 {
+        let serial_cfg = GemmConfig { threads: 1, ..*cfg };
+        for it in items.iter_mut() {
+            run_one(&serial_cfg, it);
+        }
+        return;
+    }
+    let serial_cfg = GemmConfig { threads: 1, ..*cfg };
+    let chunk = items.len().div_ceil(t);
+    crossbeam::thread::scope(|scope| {
+        for slice in items.chunks_mut(chunk) {
+            let serial_cfg = serial_cfg;
+            scope.spawn(move |_| {
+                for it in slice.iter_mut() {
+                    run_one(&serial_cfg, it);
+                }
+            });
+        }
+    })
+    .expect("batch worker panicked");
+}
+
+/// Strided batch over contiguous storage: `count` problems of identical
+/// shape laid out at fixed element strides (the `cblas_gemm_batch_strided`
+/// convention, convenient for tensor slices).
+///
+/// # Safety
+/// `a`, `b`, `c` must be valid for `count` problems at the given strides:
+/// problem `i` reads `a[i*stride_a ..]` as a stored-A of the implied
+/// shape (and likewise `b`), and reads/writes `c[i*stride_c ..]` as
+/// `m x n` with leading dimension `n`. The `c` regions must be disjoint.
+#[allow(clippy::too_many_arguments)]
+pub unsafe fn gemm_batch_strided<T: GemmElem>(
+    cfg: &GemmConfig,
+    op_a: Op,
+    op_b: Op,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: T,
+    a: *const T,
+    stride_a: usize,
+    b: *const T,
+    stride_b: usize,
+    beta: T,
+    c: *mut T,
+    stride_c: usize,
+    count: usize,
+) {
+    let (ar, ac) = match op_a {
+        Op::NoTrans => (m, k),
+        Op::Trans => (k, m),
+    };
+    let (br, bc) = match op_b {
+        Op::NoTrans => (k, n),
+        Op::Trans => (n, k),
+    };
+    let mut items: Vec<BatchItem<'_, T>> = (0..count)
+        .map(|i| BatchItem {
+            a: MatRef::from_raw_parts(a.add(i * stride_a), ar, ac, ac),
+            b: MatRef::from_raw_parts(b.add(i * stride_b), br, bc, bc),
+            c: MatMut::from_raw_parts(c.add(i * stride_c), m, n, n),
+        })
+        .collect();
+    gemm_batch_beta(cfg, op_a, op_b, alpha, beta, &mut items);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shalom_matrix::{assert_close, gemm_tolerance, max_abs_diff, Matrix};
+
+    fn make_problems(
+        count: usize,
+        dims: impl Fn(usize) -> (usize, usize, usize),
+    ) -> (Vec<Matrix<f32>>, Vec<Matrix<f32>>, Vec<Matrix<f32>>) {
+        let mut aa = Vec::new();
+        let mut bb = Vec::new();
+        let mut cc = Vec::new();
+        for i in 0..count {
+            let (m, n, k) = dims(i);
+            aa.push(Matrix::random(m, k, 300 + i as u64));
+            bb.push(Matrix::random(k, n, 400 + i as u64));
+            cc.push(Matrix::random(m, n, 500 + i as u64));
+        }
+        (aa, bb, cc)
+    }
+
+    fn run_and_check(cfg: &GemmConfig, count: usize, dims: impl Fn(usize) -> (usize, usize, usize)) {
+        let (aa, bb, mut cc) = make_problems(count, &dims);
+        let want: Vec<Matrix<f32>> = cc
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let mut w = c.clone();
+                reference::gemm(
+                    Op::NoTrans,
+                    Op::NoTrans,
+                    2.0,
+                    aa[i].as_ref(),
+                    bb[i].as_ref(),
+                    1.0,
+                    w.as_mut(),
+                );
+                w
+            })
+            .collect();
+        let mut items: Vec<BatchItem<'_, f32>> = aa
+            .iter()
+            .zip(&bb)
+            .zip(&mut cc)
+            .map(|((a, b), c)| BatchItem {
+                a: a.as_ref(),
+                b: b.as_ref(),
+                c: c.as_mut(),
+            })
+            .collect();
+        gemm_batch(cfg, Op::NoTrans, Op::NoTrans, 2.0, &mut items);
+        drop(items);
+        for (i, c) in cc.iter().enumerate() {
+            let (_, _, k) = dims(i);
+            assert_close(c.as_ref(), want[i].as_ref(), gemm_tolerance::<f32>(k, 4.0));
+        }
+    }
+
+    #[test]
+    fn uniform_batch_serial() {
+        run_and_check(&GemmConfig::with_threads(1), 17, |_| (8, 8, 8));
+    }
+
+    #[test]
+    fn uniform_batch_parallel() {
+        run_and_check(&GemmConfig::with_threads(4), 17, |_| (23, 23, 23));
+    }
+
+    #[test]
+    fn ragged_batch() {
+        // Mixed shapes, including degenerate ones.
+        run_and_check(&GemmConfig::with_threads(3), 12, |i| {
+            [(5, 5, 5), (13, 5, 13), (1, 9, 4), (26, 26, 13)][i % 4]
+        });
+    }
+
+    #[test]
+    fn empty_batch_is_noop() {
+        let mut items: Vec<BatchItem<'_, f32>> = Vec::new();
+        gemm_batch(&GemmConfig::with_threads(4), Op::NoTrans, Op::NoTrans, 1.0, &mut items);
+    }
+
+    #[test]
+    fn parallel_batch_is_deterministic() {
+        let dims = |_: usize| (13, 13, 13);
+        let (aa, bb, cc0) = make_problems(20, dims);
+        let mut c_serial = cc0.clone();
+        let mut c_par = cc0;
+        for (cfg, cs) in [
+            (GemmConfig::with_threads(1), &mut c_serial),
+            (GemmConfig::with_threads(5), &mut c_par),
+        ] {
+            let mut items: Vec<BatchItem<'_, f32>> = aa
+                .iter()
+                .zip(&bb)
+                .zip(cs.iter_mut())
+                .map(|((a, b), c)| BatchItem {
+                    a: a.as_ref(),
+                    b: b.as_ref(),
+                    c: c.as_mut(),
+                })
+                .collect();
+            gemm_batch(&cfg, Op::NoTrans, Op::NoTrans, 1.0, &mut items);
+        }
+        for (s, p) in c_serial.iter().zip(&c_par) {
+            assert_eq!(max_abs_diff(s.as_ref(), p.as_ref()), 0.0);
+        }
+    }
+
+    #[test]
+    fn strided_batch_matches_itemized() {
+        let (m, n, k, count) = (8usize, 8usize, 8usize, 9usize);
+        let abuf = Matrix::<f32>::random(count * m, k, 7);
+        let bbuf = Matrix::<f32>::random(count * k, n, 8);
+        let mut cbuf1 = vec![0f32; count * m * n];
+        let cfg = GemmConfig::with_threads(2);
+        unsafe {
+            gemm_batch_strided::<f32>(
+                &cfg,
+                Op::NoTrans,
+                Op::NoTrans,
+                m,
+                n,
+                k,
+                1.0,
+                abuf.as_slice().as_ptr(),
+                m * k,
+                bbuf.as_slice().as_ptr(),
+                k * n,
+                0.0,
+                cbuf1.as_mut_ptr(),
+                m * n,
+                count,
+            );
+        }
+        // Check problem 3 against the oracle.
+        let i = 3;
+        let a = abuf.as_ref().submatrix(i * m, 0, m, k);
+        let b = bbuf.as_ref().submatrix(i * k, 0, k, n);
+        let mut want = Matrix::<f32>::zeros(m, n);
+        reference::gemm(Op::NoTrans, Op::NoTrans, 1.0, a, b, 0.0, want.as_mut());
+        let got = MatRef::from_slice(&cbuf1[i * m * n..(i + 1) * m * n], m, n, n);
+        assert_close(got, want.as_ref(), gemm_tolerance::<f32>(k, 2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible")]
+    fn bad_item_dims_panic_before_any_work() {
+        let a = Matrix::<f32>::zeros(4, 5);
+        let b = Matrix::<f32>::zeros(6, 4); // wrong: needs 5 rows
+        let mut c = Matrix::<f32>::zeros(4, 4);
+        let mut items = vec![BatchItem {
+            a: a.as_ref(),
+            b: b.as_ref(),
+            c: c.as_mut(),
+        }];
+        gemm_batch(&GemmConfig::with_threads(1), Op::NoTrans, Op::NoTrans, 1.0, &mut items);
+    }
+}

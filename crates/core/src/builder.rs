@@ -1,0 +1,159 @@
+//! Builder-style entry point: ergonomic chained configuration for
+//! applications that tune a call site once and reuse it.
+//!
+//! ```
+//! use shalom_core::{Gemm, Op};
+//! use shalom_matrix::Matrix;
+//!
+//! let a = Matrix::<f32>::random(16, 32, 1);
+//! let b = Matrix::<f32>::random(32, 64, 2);
+//! let mut c = Matrix::<f32>::zeros(16, 64);
+//! Gemm::new()
+//!     .threads(2)
+//!     .alpha(2.0f32)
+//!     .beta(0.0f32)
+//!     .run(Op::NoTrans, Op::NoTrans, a.as_ref(), b.as_ref(), c.as_mut())
+//!     .unwrap();
+//! ```
+
+use crate::api::GemmElem;
+use crate::config::{EdgeSchedule, GemmConfig, PackingPolicy};
+use crate::error::{try_gemm_with, GemmError};
+use shalom_matrix::{MatMut, MatRef, Op};
+
+/// A reusable, configured GEMM call site. Create with [`Gemm::new`],
+/// chain setters, call [`Gemm::run`] any number of times.
+#[derive(Debug, Clone, Copy)]
+pub struct Gemm<T> {
+    cfg: GemmConfig,
+    alpha: T,
+    beta: T,
+}
+
+impl<T: GemmElem> Default for Gemm<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: GemmElem> Gemm<T> {
+    /// Default configuration: detected caches, one thread,
+    /// `alpha = 1`, `beta = 0`.
+    pub fn new() -> Self {
+        Self {
+            cfg: GemmConfig::default(),
+            alpha: T::ONE,
+            beta: T::ZERO,
+        }
+    }
+
+    /// Worker threads (`0` = all available cores).
+    pub fn threads(mut self, t: usize) -> Self {
+        self.cfg.threads = t;
+        self
+    }
+
+    /// Packing policy (default: the paper's §4 `Auto` decision).
+    pub fn packing(mut self, p: PackingPolicy) -> Self {
+        self.cfg.packing = p;
+        self
+    }
+
+    /// Edge-kernel schedule (default: pipelined, Figure 6b).
+    pub fn edge(mut self, e: EdgeSchedule) -> Self {
+        self.cfg.edge = e;
+        self
+    }
+
+    /// Overrides the cache geometry used to derive blocking parameters.
+    pub fn cache(mut self, c: crate::cache::CacheParams) -> Self {
+        self.cfg.cache = c;
+        self
+    }
+
+    /// Starts from an explicit [`GemmConfig`] (e.g. an autotuned one).
+    pub fn with_config(mut self, cfg: GemmConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// The `alpha` scalar (default 1).
+    pub fn alpha(mut self, a: T) -> Self {
+        self.alpha = a;
+        self
+    }
+
+    /// The `beta` scalar (default 0).
+    pub fn beta(mut self, b: T) -> Self {
+        self.beta = b;
+        self
+    }
+
+    /// The resolved configuration (for inspection or reuse).
+    pub fn config(&self) -> &GemmConfig {
+        &self.cfg
+    }
+
+    /// Executes `C = alpha * op(A) * op(B) + beta * C`, validating shapes.
+    pub fn run(
+        &self,
+        op_a: Op,
+        op_b: Op,
+        a: MatRef<'_, T>,
+        b: MatRef<'_, T>,
+        c: MatMut<'_, T>,
+    ) -> Result<(), GemmError> {
+        try_gemm_with(&self.cfg, op_a, op_b, self.alpha, a, b, self.beta, c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shalom_matrix::{assert_close, gemm_tolerance, reference, Matrix};
+
+    #[test]
+    fn builder_matches_oracle_and_is_reusable() {
+        let site = Gemm::<f64>::new().threads(2).alpha(1.5).beta(0.5);
+        for seed in 0..3u64 {
+            let a = Matrix::<f64>::random(12, 9, seed);
+            let b = Matrix::<f64>::random(9, 15, seed + 10);
+            let mut c = Matrix::<f64>::random(12, 15, seed + 20);
+            let mut want = c.clone();
+            reference::gemm(
+                Op::NoTrans,
+                Op::NoTrans,
+                1.5,
+                a.as_ref(),
+                b.as_ref(),
+                0.5,
+                want.as_mut(),
+            );
+            site.run(Op::NoTrans, Op::NoTrans, a.as_ref(), b.as_ref(), c.as_mut())
+                .unwrap();
+            assert_close(c.as_ref(), want.as_ref(), gemm_tolerance::<f64>(9, 2.0));
+        }
+    }
+
+    #[test]
+    fn builder_surfaces_shape_errors() {
+        let a = Matrix::<f32>::zeros(3, 4);
+        let b = Matrix::<f32>::zeros(5, 6);
+        let mut c = Matrix::<f32>::zeros(3, 6);
+        let err = Gemm::<f32>::new()
+            .run(Op::NoTrans, Op::NoTrans, a.as_ref(), b.as_ref(), c.as_mut())
+            .unwrap_err();
+        assert!(matches!(err, GemmError::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    fn knobs_land_in_config() {
+        let g = Gemm::<f32>::new()
+            .threads(5)
+            .packing(PackingPolicy::Never)
+            .edge(EdgeSchedule::Batched);
+        assert_eq!(g.config().threads, 5);
+        assert_eq!(g.config().packing, PackingPolicy::Never);
+        assert_eq!(g.config().edge, EdgeSchedule::Batched);
+    }
+}

@@ -1,0 +1,208 @@
+//! Cache geometry and the derived loop blocking parameters.
+//!
+//! The Goto algorithm's `kc`, `mc`, `nc` are cache-capacity driven (§2.2,
+//! §5.5: "to adapt to different cache sizes, we can adjust the values of
+//! mc, nc and kc"): the packed `kc x nr` B panel should live in L1 across
+//! its reuse, the `mc x kc` A block in L2, and the `kc x nc` B region in
+//! the LLC. We target half of each level to leave room for the other
+//! operands and the streaming C traffic, then round to kernel-friendly
+//! multiples.
+
+use shalom_kernels::MR;
+
+/// Sizes of the data-cache hierarchy in bytes. `l3 = 0` means no LLC
+/// (Phytium 2000+ in the paper's Table 1 has none).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheParams {
+    /// Per-core L1 data cache capacity in bytes.
+    pub l1: usize,
+    /// L2 capacity in bytes (per core or per cluster).
+    pub l2: usize,
+    /// Last-level cache capacity in bytes; 0 if absent.
+    pub l3: usize,
+}
+
+impl CacheParams {
+    /// A conservative default (32 KiB / 512 KiB / 32 MiB) used when
+    /// detection fails.
+    pub const fn fallback() -> Self {
+        Self {
+            l1: 32 * 1024,
+            l2: 512 * 1024,
+            l3: 32 * 1024 * 1024,
+        }
+    }
+
+    /// Reads the host cache hierarchy from
+    /// `/sys/devices/system/cpu/cpu0/cache`, falling back to
+    /// [`CacheParams::fallback`] for any level that cannot be read.
+    /// The result is memoized: detection costs a handful of file reads,
+    /// which would dominate a 5x5x5 GEMM if paid per call.
+    pub fn detect() -> Self {
+        static DETECTED: std::sync::OnceLock<CacheParams> = std::sync::OnceLock::new();
+        *DETECTED.get_or_init(Self::detect_uncached)
+    }
+
+    /// Uncached sysfs probe (see [`CacheParams::detect`]).
+    pub fn detect_uncached() -> Self {
+        let mut p = Self::fallback();
+        let base = "/sys/devices/system/cpu/cpu0/cache";
+        let Ok(entries) = std::fs::read_dir(base) else {
+            return p;
+        };
+        let mut found_l3 = false;
+        for e in entries.flatten() {
+            let dir = e.path();
+            let read = |f: &str| std::fs::read_to_string(dir.join(f)).ok();
+            let (Some(level), Some(ty), Some(size)) =
+                (read("level"), read("type"), read("size"))
+            else {
+                continue;
+            };
+            let ty = ty.trim();
+            if ty != "Data" && ty != "Unified" {
+                continue;
+            }
+            let Some(bytes) = parse_size(size.trim()) else {
+                continue;
+            };
+            match level.trim() {
+                "1" => p.l1 = bytes,
+                "2" => p.l2 = bytes,
+                "3" => {
+                    p.l3 = bytes;
+                    found_l3 = true;
+                }
+                _ => {}
+            }
+        }
+        if !found_l3 {
+            // Keep the fallback L3 rather than claiming none: hosts
+            // without an exposed index3 still have DRAM-backed room for a
+            // large nc.
+        }
+        p
+    }
+
+    /// Effective LLC capacity: L3 if present, else L2 (the paper's "last
+    /// level data cache" on Phytium 2000+ is its 2 MiB L2).
+    pub fn llc(&self) -> usize {
+        if self.l3 > 0 {
+            self.l3
+        } else {
+            self.l2
+        }
+    }
+}
+
+/// Parses a sysfs cache size string like `"32K"` / `"1024K"` / `"8M"`.
+fn parse_size(s: &str) -> Option<usize> {
+    if let Some(v) = s.strip_suffix('K') {
+        v.parse::<usize>().ok().map(|x| x * 1024)
+    } else if let Some(v) = s.strip_suffix('M') {
+        v.parse::<usize>().ok().map(|x| x * 1024 * 1024)
+    } else {
+        s.parse::<usize>().ok()
+    }
+}
+
+/// The Goto loop blocking parameters derived from a [`CacheParams`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockSizes {
+    /// L3-level column block (loop L1 of Figure 1).
+    pub nc: usize,
+    /// L2-level row block of A (loop L3; multiple of `mr`).
+    pub mc: usize,
+    /// L1-level depth block (loop L2; multiple of the vector lane count).
+    pub kc: usize,
+}
+
+impl BlockSizes {
+    /// Derives `(nc, mc, kc)` for elements of `elem_bytes` and register
+    /// tile `nr`, targeting half of each cache level.
+    pub fn derive(cache: &CacheParams, elem_bytes: usize, nr: usize) -> Self {
+        // kc: the kc x nr packed panel occupies <= L1/2.
+        let kc_raw = cache.l1 / (2 * nr * elem_bytes);
+        let kc = kc_raw.clamp(32, 512) & !3; // multiple of 4 covers both lane counts
+        // mc: the mc x kc A block occupies <= L2/2; round down to mr.
+        let mc_raw = cache.l2 / (2 * kc * elem_bytes);
+        let mc = ((mc_raw / MR) * MR).clamp(MR, 8192);
+        // nc: the kc x nc B region occupies <= LLC/2; round down to nr.
+        let nc_raw = cache.llc() / (2 * kc * elem_bytes);
+        let nc = ((nc_raw / nr) * nr).clamp(nr, 65536);
+        Self { nc, mc, kc }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_sysfs_sizes() {
+        assert_eq!(parse_size("32K"), Some(32 * 1024));
+        assert_eq!(parse_size("8M"), Some(8 * 1024 * 1024));
+        assert_eq!(parse_size("123"), Some(123));
+        assert_eq!(parse_size("bogus"), None);
+    }
+
+    #[test]
+    fn detect_does_not_panic_and_is_sane() {
+        let p = CacheParams::detect();
+        assert!(p.l1 >= 4 * 1024);
+        assert!(p.l2 >= p.l1);
+        assert!(p.llc() >= p.l2.min(p.llc()));
+    }
+
+    #[test]
+    fn phytium_like_derivation() {
+        // Phytium 2000+: 32K L1, 2M L2 shared, no L3 (Table 1).
+        let cache = CacheParams {
+            l1: 32 * 1024,
+            l2: 2 * 1024 * 1024,
+            l3: 0,
+        };
+        let b = BlockSizes::derive(&cache, 4, 12);
+        // kc*nr*4 <= 16K
+        assert!(b.kc * 12 * 4 <= cache.l1 / 2 + 12 * 4 * 4);
+        assert_eq!(b.kc % 4, 0);
+        assert_eq!(b.mc % MR, 0);
+        assert_eq!(b.nc % 12, 0);
+        assert_eq!(cache.llc(), cache.l2);
+    }
+
+    #[test]
+    fn kp920_like_derivation_f64() {
+        // KP920: 64K L1, 512K L2, 64M L3.
+        let cache = CacheParams {
+            l1: 64 * 1024,
+            l2: 512 * 1024,
+            l3: 64 * 1024 * 1024,
+        };
+        let b = BlockSizes::derive(&cache, 8, 6);
+        assert!(b.kc >= 32);
+        assert!(b.mc >= MR);
+        assert!(b.nc >= 6);
+        // Larger L1 than ThunderX2 should not shrink kc.
+        let tx2 = CacheParams {
+            l1: 32 * 1024,
+            l2: 256 * 1024,
+            l3: 32 * 1024 * 1024,
+        };
+        let b2 = BlockSizes::derive(&tx2, 8, 6);
+        assert!(b.kc >= b2.kc);
+    }
+
+    #[test]
+    fn tiny_caches_still_yield_valid_blocks() {
+        let cache = CacheParams {
+            l1: 1024,
+            l2: 2048,
+            l3: 0,
+        };
+        let b = BlockSizes::derive(&cache, 8, 12);
+        assert!(b.kc >= 32); // clamped floor
+        assert!(b.mc >= MR);
+        assert!(b.nc >= 12);
+    }
+}

@@ -1,0 +1,405 @@
+//! C API: `extern "C"` entry points mirroring the row-major CBLAS
+//! convention, so C/C++ applications can link the library the way the
+//! paper describes ("LibShalom provides APIs in C and C++", §3.3).
+//!
+//! ```c
+//! // C prototype
+//! void shalom_sgemm(int trans_a, int trans_b,
+//!                   size_t m, size_t n, size_t k,
+//!                   float alpha,
+//!                   const float *a, size_t lda,
+//!                   const float *b, size_t ldb,
+//!                   float beta,
+//!                   float *c, size_t ldc,
+//!                   size_t threads);
+//! ```
+//!
+//! `trans_*` follows CBLAS: `111` = NoTrans, `112` = Trans (other values
+//! are rejected). `threads == 0` means all available cores.
+
+use crate::api::{dgemm_raw, sgemm_raw};
+use crate::batch::gemm_batch_strided;
+use crate::config::GemmConfig;
+use shalom_matrix::Op;
+
+/// CBLAS `CblasNoTrans`.
+pub const SHALOM_NO_TRANS: i32 = 111;
+/// CBLAS `CblasTrans`.
+pub const SHALOM_TRANS: i32 = 112;
+
+fn op_from(code: i32) -> Option<Op> {
+    match code {
+        SHALOM_NO_TRANS => Some(Op::NoTrans),
+        SHALOM_TRANS => Some(Op::Trans),
+        _ => None,
+    }
+}
+
+fn cfg_for(threads: usize) -> GemmConfig {
+    GemmConfig {
+        threads,
+        ..GemmConfig::default()
+    }
+}
+
+/// Row-major single-precision GEMM,
+/// `C = alpha * op(A) * op(B) + beta * C`.
+///
+/// Returns 0 on success, -1 on invalid arguments (bad transpose code or
+/// null pointer with nonzero dimensions). Never unwinds across the FFI
+/// boundary.
+///
+/// # Safety
+/// Pointers must satisfy the usual BLAS contracts: `a` readable as the
+/// stored op-A (`m x k` rows for NoTrans, `k x m` for Trans) with leading
+/// dimension `lda`; likewise `b`; `c` readable and writable as `m x n`
+/// with leading dimension `ldc`, and not aliasing `a`/`b`.
+#[no_mangle]
+pub unsafe extern "C" fn shalom_sgemm(
+    trans_a: i32,
+    trans_b: i32,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: *const f32,
+    lda: usize,
+    b: *const f32,
+    ldb: usize,
+    beta: f32,
+    c: *mut f32,
+    ldc: usize,
+    threads: usize,
+) -> i32 {
+    let (Some(op_a), Some(op_b)) = (op_from(trans_a), op_from(trans_b)) else {
+        return -1;
+    };
+    if (m * k > 0 && a.is_null()) || (n * k > 0 && b.is_null()) || (m * n > 0 && c.is_null()) {
+        return -1;
+    }
+    let ok = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        sgemm_raw(
+            &cfg_for(threads),
+            op_a,
+            op_b,
+            m,
+            n,
+            k,
+            alpha,
+            a,
+            lda,
+            b,
+            ldb,
+            beta,
+            c,
+            ldc,
+        )
+    }));
+    if ok.is_ok() {
+        0
+    } else {
+        -1
+    }
+}
+
+/// Row-major double-precision GEMM; see [`shalom_sgemm`].
+///
+/// # Safety
+/// As [`shalom_sgemm`].
+#[no_mangle]
+pub unsafe extern "C" fn shalom_dgemm(
+    trans_a: i32,
+    trans_b: i32,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: *const f64,
+    lda: usize,
+    b: *const f64,
+    ldb: usize,
+    beta: f64,
+    c: *mut f64,
+    ldc: usize,
+    threads: usize,
+) -> i32 {
+    let (Some(op_a), Some(op_b)) = (op_from(trans_a), op_from(trans_b)) else {
+        return -1;
+    };
+    if (m * k > 0 && a.is_null()) || (n * k > 0 && b.is_null()) || (m * n > 0 && c.is_null()) {
+        return -1;
+    }
+    let ok = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        dgemm_raw(
+            &cfg_for(threads),
+            op_a,
+            op_b,
+            m,
+            n,
+            k,
+            alpha,
+            a,
+            lda,
+            b,
+            ldb,
+            beta,
+            c,
+            ldc,
+        )
+    }));
+    if ok.is_ok() {
+        0
+    } else {
+        -1
+    }
+}
+
+/// Strided batched single-precision GEMM (tight leading dimensions):
+/// problem `i` uses `a + i*stride_a`, `b + i*stride_b`,
+/// `c + i*stride_c`. Returns 0 on success, -1 on invalid arguments.
+///
+/// # Safety
+/// As [`shalom_sgemm`], per problem; the `c` regions must be disjoint.
+#[no_mangle]
+pub unsafe extern "C" fn shalom_sgemm_batch_strided(
+    trans_a: i32,
+    trans_b: i32,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: *const f32,
+    stride_a: usize,
+    b: *const f32,
+    stride_b: usize,
+    beta: f32,
+    c: *mut f32,
+    stride_c: usize,
+    count: usize,
+    threads: usize,
+) -> i32 {
+    let (Some(op_a), Some(op_b)) = (op_from(trans_a), op_from(trans_b)) else {
+        return -1;
+    };
+    if count > 0
+        && ((m * k > 0 && a.is_null()) || (n * k > 0 && b.is_null()) || (m * n > 0 && c.is_null()))
+    {
+        return -1;
+    }
+    let ok = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        gemm_batch_strided::<f32>(
+            &cfg_for(threads),
+            op_a,
+            op_b,
+            m,
+            n,
+            k,
+            alpha,
+            a,
+            stride_a,
+            b,
+            stride_b,
+            beta,
+            c,
+            stride_c,
+            count,
+        )
+    }));
+    if ok.is_ok() {
+        0
+    } else {
+        -1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shalom_matrix::{assert_close, gemm_tolerance, reference, MatRef, Matrix};
+
+    #[test]
+    fn c_sgemm_matches_oracle() {
+        let (m, n, k) = (9, 14, 11);
+        let a = Matrix::<f32>::random(m, k, 1);
+        let b = Matrix::<f32>::random(k, n, 2);
+        let mut c = Matrix::<f32>::random(m, n, 3);
+        let mut want = c.clone();
+        reference::gemm(
+            Op::NoTrans,
+            Op::NoTrans,
+            1.5,
+            a.as_ref(),
+            b.as_ref(),
+            0.5,
+            want.as_mut(),
+        );
+        let rc = unsafe {
+            shalom_sgemm(
+                SHALOM_NO_TRANS,
+                SHALOM_NO_TRANS,
+                m,
+                n,
+                k,
+                1.5,
+                a.as_slice().as_ptr(),
+                a.ld(),
+                b.as_slice().as_ptr(),
+                b.ld(),
+                0.5,
+                c.as_mut().as_mut_ptr(),
+                c.ld(),
+                1,
+            )
+        };
+        assert_eq!(rc, 0);
+        assert_close(c.as_ref(), want.as_ref(), gemm_tolerance::<f32>(k, 2.0));
+    }
+
+    #[test]
+    fn c_dgemm_transposed() {
+        let (m, n, k) = (7, 6, 8);
+        let a = Matrix::<f64>::random(k, m, 1); // stored for Trans
+        let b = Matrix::<f64>::random(n, k, 2);
+        let mut c = Matrix::<f64>::zeros(m, n);
+        let mut want = Matrix::<f64>::zeros(m, n);
+        reference::gemm(
+            Op::Trans,
+            Op::Trans,
+            1.0,
+            a.as_ref(),
+            b.as_ref(),
+            0.0,
+            want.as_mut(),
+        );
+        let rc = unsafe {
+            shalom_dgemm(
+                SHALOM_TRANS,
+                SHALOM_TRANS,
+                m,
+                n,
+                k,
+                1.0,
+                a.as_slice().as_ptr(),
+                a.ld(),
+                b.as_slice().as_ptr(),
+                b.ld(),
+                0.0,
+                c.as_mut().as_mut_ptr(),
+                c.ld(),
+                2,
+            )
+        };
+        assert_eq!(rc, 0);
+        assert_close(c.as_ref(), want.as_ref(), gemm_tolerance::<f64>(k, 2.0));
+    }
+
+    #[test]
+    fn invalid_trans_code_rejected() {
+        let rc = unsafe {
+            shalom_sgemm(
+                999,
+                SHALOM_NO_TRANS,
+                1,
+                1,
+                1,
+                1.0,
+                std::ptr::null(),
+                1,
+                std::ptr::null(),
+                1,
+                0.0,
+                std::ptr::null_mut(),
+                1,
+                1,
+            )
+        };
+        assert_eq!(rc, -1);
+    }
+
+    #[test]
+    fn null_pointer_rejected() {
+        let b = [0f32; 4];
+        let mut c = [0f32; 4];
+        let rc = unsafe {
+            shalom_sgemm(
+                SHALOM_NO_TRANS,
+                SHALOM_NO_TRANS,
+                2,
+                2,
+                2,
+                1.0,
+                std::ptr::null(),
+                2,
+                b.as_ptr(),
+                2,
+                0.0,
+                c.as_mut_ptr(),
+                2,
+                1,
+            )
+        };
+        assert_eq!(rc, -1);
+    }
+
+    #[test]
+    fn zero_sized_with_null_ok() {
+        // m*k == 0 permits null A (BLAS degenerate-call convention).
+        let mut c = [5f32; 4];
+        let rc = unsafe {
+            shalom_sgemm(
+                SHALOM_NO_TRANS,
+                SHALOM_NO_TRANS,
+                2,
+                2,
+                0,
+                1.0,
+                std::ptr::null(),
+                0,
+                std::ptr::null(),
+                2,
+                2.0,
+                c.as_mut_ptr(),
+                2,
+                1,
+            )
+        };
+        assert_eq!(rc, 0);
+        assert_eq!(c, [10.0; 4]);
+    }
+
+    #[test]
+    fn c_batch_strided() {
+        let (m, n, k, count) = (5usize, 5usize, 5usize, 6usize);
+        let a = Matrix::<f32>::random(count * m, k, 4);
+        let b = Matrix::<f32>::random(count * k, n, 5);
+        let mut c = vec![0f32; count * m * n];
+        let rc = unsafe {
+            shalom_sgemm_batch_strided(
+                SHALOM_NO_TRANS,
+                SHALOM_NO_TRANS,
+                m,
+                n,
+                k,
+                1.0,
+                a.as_slice().as_ptr(),
+                m * k,
+                b.as_slice().as_ptr(),
+                k * n,
+                0.0,
+                c.as_mut_ptr(),
+                m * n,
+                count,
+                2,
+            )
+        };
+        assert_eq!(rc, 0);
+        for i in 0..count {
+            let av = a.as_ref().submatrix(i * m, 0, m, k);
+            let bv = b.as_ref().submatrix(i * k, 0, k, n);
+            let mut want = Matrix::<f32>::zeros(m, n);
+            reference::gemm(Op::NoTrans, Op::NoTrans, 1.0, av, bv, 0.0, want.as_mut());
+            let got = MatRef::from_slice(&c[i * m * n..(i + 1) * m * n], m, n, n);
+            assert_close(got, want.as_ref(), gemm_tolerance::<f32>(k, 2.0));
+        }
+    }
+}

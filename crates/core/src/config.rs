@@ -1,0 +1,163 @@
+//! Runtime configuration: packing policy, edge-kernel schedule, threading,
+//! and the workload-shape classifier that drives the §4 packing decision.
+
+use crate::cache::CacheParams;
+
+/// Which edge-case micro-kernel schedule to use (§5.4, Figure 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EdgeSchedule {
+    /// Software-pipelined loads between FMAs (Figure 6b — LibShalom).
+    #[default]
+    Pipelined,
+    /// Batched loads before the FMA burst (Figure 6a — the OpenBLAS
+    /// schedule; kept for the Figure 13 ablation).
+    Batched,
+}
+
+/// How the driver prepares B (and A in T modes) for the micro-kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PackingPolicy {
+    /// The paper's runtime decision (§4): skip packing when the operand is
+    /// small or cache-friendly, otherwise pack *fused* with computation.
+    #[default]
+    Auto,
+    /// Always pack, fused with computation (forces the §5.3 kernels even
+    /// for L1-resident operands).
+    AlwaysFused,
+    /// Always pack, as a separate sequential phase before computing — the
+    /// classical library behaviour (§3.2 first missed opportunity; the
+    /// Figure 13 "baseline" packing).
+    AlwaysSequential,
+    /// Never pack; every micro-kernel reads operands in place. (NT mode
+    /// still transposes B rows on the fly at the edge kernels; this policy
+    /// exists for ablation, not production.)
+    Never,
+}
+
+/// Workload shape classes from §2.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShapeClass {
+    /// All of `M`, `N` similar and the working set LLC-resident.
+    Small,
+    /// One of `M` / `N` much smaller than the other (tall-and-skinny);
+    /// the paper's `t = 1` lookahead packing applies.
+    Irregular,
+    /// Large and regular — the classical libraries' home turf.
+    Regular,
+}
+
+/// Classifies a GEMM instance per §2.1: *small* when the two (M, N)
+/// dimensions are of similar size and the working set fits the LLC;
+/// *irregular* when one of M / N is at least 8x the other (the paper's
+/// examples range from 64 vs 3000+ to 16 vs 50000); *regular* otherwise.
+pub fn classify(m: usize, n: usize, k: usize, elem_bytes: usize, cache: &CacheParams) -> ShapeClass {
+    let lo = m.min(n).max(1);
+    let hi = m.max(n);
+    if hi >= 8 * lo && hi >= 1024 {
+        return ShapeClass::Irregular;
+    }
+    let working_set = (m * k + k * n + m * n) * elem_bytes;
+    if working_set <= cache.llc() {
+        ShapeClass::Small
+    } else {
+        ShapeClass::Regular
+    }
+}
+
+/// Configuration for a GEMM invocation. [`GemmConfig::default`] gives the
+/// paper's LibShalom behaviour on the detected host cache hierarchy,
+/// single-threaded; the figure harnesses override fields for ablations.
+#[derive(Debug, Clone, Copy)]
+pub struct GemmConfig {
+    /// Cache geometry used to derive the blocking parameters.
+    pub cache: CacheParams,
+    /// Worker threads. `1` runs fully serial (no pool); `0` means "all
+    /// available cores" (the paper's default for irregular GEMM, §6).
+    pub threads: usize,
+    /// Edge micro-kernel schedule.
+    pub edge: EdgeSchedule,
+    /// Packing policy.
+    pub packing: PackingPolicy,
+}
+
+impl Default for GemmConfig {
+    fn default() -> Self {
+        Self {
+            cache: CacheParams::detect(),
+            threads: 1,
+            edge: EdgeSchedule::default(),
+            packing: PackingPolicy::default(),
+        }
+    }
+}
+
+impl GemmConfig {
+    /// A config with everything default except the thread count.
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads,
+            ..Self::default()
+        }
+    }
+
+    /// Resolved worker count (`0` -> available parallelism).
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache() -> CacheParams {
+        CacheParams {
+            l1: 32 * 1024,
+            l2: 2 * 1024 * 1024,
+            l3: 0,
+        }
+    }
+
+    #[test]
+    fn small_square_is_small() {
+        assert_eq!(classify(64, 64, 64, 4, &cache()), ShapeClass::Small);
+        assert_eq!(classify(8, 8, 8, 8, &cache()), ShapeClass::Small);
+    }
+
+    #[test]
+    fn tall_skinny_is_irregular() {
+        assert_eq!(classify(64, 50176, 576, 4, &cache()), ShapeClass::Irregular);
+        assert_eq!(classify(50176, 64, 576, 4, &cache()), ShapeClass::Irregular);
+        assert_eq!(classify(32, 10000, 5000, 4, &cache()), ShapeClass::Irregular);
+    }
+
+    #[test]
+    fn large_square_is_regular() {
+        assert_eq!(classify(4096, 4096, 4096, 4, &cache()), ShapeClass::Regular);
+    }
+
+    #[test]
+    fn similar_dims_never_irregular() {
+        // 2048 x 1024: ratio 2 — regular (too big for the 2M LLC).
+        assert_eq!(classify(2048, 1024, 1024, 4, &cache()), ShapeClass::Regular);
+    }
+
+    #[test]
+    fn small_ratio_but_tiny_still_small() {
+        // 8 x 120 has ratio 15 but hi < 1024: the small-GEMM machinery
+        // (no packing, single thread) is the right treatment.
+        assert_eq!(classify(8, 120, 64, 4, &cache()), ShapeClass::Small);
+    }
+
+    #[test]
+    fn resolved_threads() {
+        assert_eq!(GemmConfig::with_threads(3).resolved_threads(), 3);
+        assert!(GemmConfig::with_threads(0).resolved_threads() >= 1);
+    }
+}

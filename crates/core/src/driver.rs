@@ -1,0 +1,808 @@
+//! The serial GEMM driver — paper Algorithm 1 with the exchanged loop
+//! order (`jj -> ii -> kk`, §3.3) and the §4 packing decisions.
+//!
+//! One function per B-handling mode:
+//!
+//! * [`gemm_serial`] dispatches on `(op_a, op_b)`. A transposed A (TN/TT)
+//!   is transpose-packed per `(ii, kk)` block into the workspace — after
+//!   which the problem looks like NN/NT with a contiguous A block — the
+//!   paper's "apply the NT/NN strategy to matrix A" (§4.3).
+//! * NN-mode B handling implements the three §4.2 regimes: **no packing**
+//!   when `size(B) <= L1`; **fused pack** (`t = 0`) where the first `mr`
+//!   rows of each C panel are computed by the fused kernel that packs `Bc`
+//!   as a side effect; and the **`t = 1` lookahead** for irregular shapes,
+//!   double-buffering `Bc` so iteration `t` computes from the panel packed
+//!   during iteration `t-1` while streaming panel `t+1` in.
+//! * NT-mode B handling always packs (the transposed operand cannot be
+//!   vector-loaded along N), via the fused inner-product kernel of
+//!   Algorithm 3 — or a sequential transpose-pack under the ablation
+//!   policies.
+
+use crate::cache::BlockSizes;
+use crate::config::{classify, EdgeSchedule, GemmConfig, PackingPolicy, ShapeClass};
+use shalom_kernels::edge::{edge_kernel_batched, edge_kernel_pipelined};
+use shalom_kernels::main_kernel::{
+    main_kernel, main_kernel_fused_pack, main_kernel_streamed, PackAhead, StreamCopy,
+};
+use shalom_kernels::nt_pack::nt_pack_panel;
+use shalom_kernels::pack::{pack_copy, pack_transpose};
+use shalom_kernels::{Vector, MR, NR_VECS};
+use shalom_matrix::{Op, Scalar};
+
+/// Reusable per-thread scratch: the double-buffered `Bc` panel and the
+/// transpose-packed A block for T modes. Backed by `u64` storage (8-byte
+/// aligned, sufficient for `f32`/`f64`) so one thread-local instance
+/// serves both precisions — a tiny GEMM must not pay a heap allocation
+/// per call.
+#[derive(Default)]
+pub(crate) struct Workspace {
+    bc: Vec<u64>,
+    at: Vec<u64>,
+}
+
+impl Workspace {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grows the buffers to hold the requested element counts and returns
+    /// `(bc_ptr, at_ptr)`. Contents are uninitialized from the caller's
+    /// perspective; every packing path fully writes before reading.
+    fn ensure<T: Scalar>(&mut self, bc_elems: usize, at_elems: usize) -> (*mut T, *mut T) {
+        let word = |elems: usize| (elems * core::mem::size_of::<T>()).div_ceil(8);
+        let bw = word(bc_elems);
+        if self.bc.len() < bw {
+            self.bc.resize(bw, 0);
+        }
+        let aw = word(at_elems);
+        if self.at.len() < aw {
+            self.at.resize(aw, 0);
+        }
+        (self.bc.as_mut_ptr() as *mut T, self.at.as_mut_ptr() as *mut T)
+    }
+}
+
+thread_local! {
+    /// Per-thread workspace reused across calls (serial path and each
+    /// fork-join worker).
+    pub(crate) static WORKSPACE: core::cell::RefCell<Workspace> =
+        core::cell::RefCell::new(Workspace::new());
+}
+
+/// How the driver will treat B for this call (resolved §4 decision).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BPlan {
+    /// Read B in place (NN with `size(B) <= L1`).
+    Direct,
+    /// Fused pack, `t = 0` (small shapes).
+    Fused,
+    /// Fused pack with `t = 1` lookahead (irregular shapes).
+    FusedLookahead,
+    /// Sequential pack-then-compute (ablation / classical behaviour).
+    Sequential,
+}
+
+fn resolve_nn_plan(
+    cfg: &GemmConfig,
+    m: usize,
+    n: usize,
+    k: usize,
+    elem_bytes: usize,
+) -> BPlan {
+    let b_bytes = k * n * elem_bytes;
+    let shape = classify(m, n, k, elem_bytes, &cfg.cache);
+    match cfg.packing {
+        PackingPolicy::Never => BPlan::Direct,
+        PackingPolicy::AlwaysSequential => BPlan::Sequential,
+        PackingPolicy::AlwaysFused => {
+            if shape == ShapeClass::Irregular {
+                BPlan::FusedLookahead
+            } else {
+                BPlan::Fused
+            }
+        }
+        PackingPolicy::Auto => {
+            if b_bytes <= cfg.cache.l1 {
+                BPlan::Direct
+            } else if shape == ShapeClass::Irregular {
+                BPlan::FusedLookahead
+            } else {
+                BPlan::Fused
+            }
+        }
+    }
+}
+
+fn resolve_nt_plan(cfg: &GemmConfig) -> BPlan {
+    // NT always packs (§4.3); only the fused-vs-sequential axis remains.
+    match cfg.packing {
+        PackingPolicy::AlwaysSequential | PackingPolicy::Never => BPlan::Sequential,
+        _ => BPlan::Fused,
+    }
+}
+
+/// Single-threaded `C = alpha * op(A)*op(B) + beta * C` over raw pointers.
+///
+/// # Safety
+/// * `a` valid for reads of the stored A (`m x k` for N, `k x m` for T) at
+///   stride `lda`; likewise `b` (`k x n` / `n x k`) at `ldb`;
+/// * `c` valid for reads/writes of `m x n` at stride `ldc`;
+/// * `c` does not alias `a` or `b`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) unsafe fn gemm_serial<V: Vector>(
+    cfg: &GemmConfig,
+    op_a: Op,
+    op_b: Op,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: V::Elem,
+    a: *const V::Elem,
+    lda: usize,
+    b: *const V::Elem,
+    ldb: usize,
+    beta: V::Elem,
+    c: *mut V::Elem,
+    ldc: usize,
+    ws: &mut Workspace,
+) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 || alpha == V::Elem::ZERO {
+        scale_c::<V>(m, n, beta, c, ldc);
+        return;
+    }
+    let nr = NR_VECS * V::LANES;
+    let bs = BlockSizes::derive(&cfg.cache, core::mem::size_of::<V::Elem>(), nr);
+    // Workspace sized by the *actual* problem, not the cache-blocking
+    // ceilings: a 5x5x5 GEMM must not pay for a megabyte of zeroed Bc/Ac.
+    let kc_eff = bs.kc.min(k);
+    let mc_eff = bs.mc.min(m.div_ceil(MR) * MR);
+    let at_elems = if op_a == Op::Trans { mc_eff * kc_eff } else { 0 };
+    let (bc_ptr, at_ptr) = ws.ensure::<V::Elem>(2 * kc_eff * nr, at_elems);
+
+    let b_plan = match op_b {
+        Op::NoTrans => resolve_nn_plan(cfg, m, n, k, core::mem::size_of::<V::Elem>()),
+        Op::Trans => resolve_nt_plan(cfg),
+    };
+
+    // Loop L1 (parallelized at the outer level in the threaded driver).
+    let mut jj = 0usize;
+    while jj < n {
+        let ncur = bs.nc.min(n - jj);
+        // Loop L3 exchanged above L2 (§3.3): A walked contiguously.
+        let mut ii = 0usize;
+        while ii < m {
+            let mcur = bs.mc.min(m - ii);
+            let mut kk = 0usize;
+            while kk < k {
+                let kcur = bs.kc.min(k - kk);
+                let beta_eff = if kk == 0 { beta } else { V::Elem::ONE };
+                // Resolve the A block: direct for N, transpose-packed for T.
+                let (a_blk, lda_blk): (*const V::Elem, usize) = match op_a {
+                    Op::NoTrans => (a.add(ii * lda + kk), lda),
+                    Op::Trans => {
+                        pack_transpose(a.add(kk * lda + ii), lda, kcur, mcur, at_ptr, kcur);
+                        (at_ptr as *const V::Elem, kcur)
+                    }
+                };
+                let c_blk = c.add(ii * ldc + jj);
+                match op_b {
+                    Op::NoTrans => nn_block::<V>(
+                        cfg,
+                        b_plan,
+                        mcur,
+                        ncur,
+                        kcur,
+                        alpha,
+                        a_blk,
+                        lda_blk,
+                        b.add(kk * ldb + jj),
+                        ldb,
+                        beta_eff,
+                        c_blk,
+                        ldc,
+                        bc_ptr,
+                        kc_eff,
+                    ),
+                    Op::Trans => nt_block::<V>(
+                        cfg,
+                        b_plan,
+                        mcur,
+                        ncur,
+                        kcur,
+                        alpha,
+                        a_blk,
+                        lda_blk,
+                        b.add(jj * ldb + kk),
+                        ldb,
+                        beta_eff,
+                        c_blk,
+                        ldc,
+                        bc_ptr,
+                    ),
+                }
+                kk += kcur;
+            }
+            ii += mcur;
+        }
+        jj += ncur;
+    }
+}
+
+/// `C = beta * C` over an `m x n` block.
+unsafe fn scale_c<V: Vector>(m: usize, n: usize, beta: V::Elem, c: *mut V::Elem, ldc: usize) {
+    if beta == V::Elem::ONE {
+        return;
+    }
+    for i in 0..m {
+        let row = c.add(i * ldc);
+        if beta == V::Elem::ZERO {
+            for j in 0..n {
+                *row.add(j) = V::Elem::ZERO;
+            }
+        } else {
+            for j in 0..n {
+                *row.add(j) = beta * *row.add(j);
+            }
+        }
+    }
+}
+
+/// Runs the selected edge kernel.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+unsafe fn edge<V: Vector>(
+    cfg: &GemmConfig,
+    m: usize,
+    n: usize,
+    kc: usize,
+    alpha: V::Elem,
+    a: *const V::Elem,
+    lda: usize,
+    b: *const V::Elem,
+    ldb: usize,
+    beta: V::Elem,
+    c: *mut V::Elem,
+    ldc: usize,
+) {
+    match cfg.edge {
+        EdgeSchedule::Pipelined => {
+            edge_kernel_pipelined::<V>(m, n, kc, alpha, a, lda, b, ldb, beta, c, ldc)
+        }
+        EdgeSchedule::Batched => {
+            edge_kernel_batched::<V>(m, n, kc, alpha, a, lda, b, ldb, beta, c, ldc)
+        }
+    }
+}
+
+/// Updates rows `i0..mcur` of one `nr`-wide C panel from a packed (or
+/// direct) B panel using main + edge kernels.
+#[allow(clippy::too_many_arguments)]
+unsafe fn sweep_rows<V: Vector>(
+    cfg: &GemmConfig,
+    i0: usize,
+    mcur: usize,
+    ncols: usize,
+    kcur: usize,
+    alpha: V::Elem,
+    a_blk: *const V::Elem,
+    lda: usize,
+    bsrc: *const V::Elem,
+    ldb: usize,
+    beta_eff: V::Elem,
+    c_panel: *mut V::Elem,
+    ldc: usize,
+) {
+    let nr = NR_VECS * V::LANES;
+    let mut i = i0;
+    if ncols == nr {
+        while i + MR <= mcur {
+            main_kernel::<V>(
+                kcur,
+                alpha,
+                a_blk.add(i * lda),
+                lda,
+                bsrc,
+                ldb,
+                beta_eff,
+                c_panel.add(i * ldc),
+                ldc,
+            );
+            i += MR;
+        }
+    }
+    if i < mcur || ncols < nr {
+        while i < mcur {
+            let mrem = MR.min(mcur - i);
+            edge::<V>(
+                cfg,
+                mrem,
+                ncols,
+                kcur,
+                alpha,
+                a_blk.add(i * lda),
+                lda,
+                bsrc,
+                ldb,
+                beta_eff,
+                c_panel.add(i * ldc),
+                ldc,
+            );
+            i += mrem;
+        }
+    }
+}
+
+/// One `(ii, kk)` block of the NN driver: the `j` loop over `nr`-wide
+/// panels with the resolved B plan.
+#[allow(clippy::too_many_arguments)]
+unsafe fn nn_block<V: Vector>(
+    cfg: &GemmConfig,
+    plan: BPlan,
+    mcur: usize,
+    ncur: usize,
+    kcur: usize,
+    alpha: V::Elem,
+    a_blk: *const V::Elem,
+    lda: usize,
+    b_blk: *const V::Elem,
+    ldb: usize,
+    beta_eff: V::Elem,
+    c_blk: *mut V::Elem,
+    ldc: usize,
+    bc: *mut V::Elem,
+    kc_max: usize,
+) {
+    let nr = NR_VECS * V::LANES;
+    let full_panels = ncur / nr;
+    let bufs = [bc, bc.add(kc_max * nr)];
+    let mut cur = 0usize;
+    let mut have_packed = false;
+
+    for p in 0..full_panels {
+        let j = p * nr;
+        let b_panel = b_blk.add(j);
+        let c_panel = c_blk.add(j);
+        let next_full = p + 1 < full_panels;
+        match plan {
+            BPlan::Direct => {
+                sweep_rows::<V>(
+                    cfg, 0, mcur, nr, kcur, alpha, a_blk, lda, b_panel, ldb, beta_eff, c_panel,
+                    ldc,
+                );
+            }
+            BPlan::Sequential => {
+                pack_copy(b_panel, ldb, kcur, nr, bufs[0], nr);
+                sweep_rows::<V>(
+                    cfg, 0, mcur, nr, kcur, alpha, a_blk, lda, bufs[0], nr, beta_eff, c_panel,
+                    ldc,
+                );
+            }
+            BPlan::Fused => {
+                if mcur >= MR {
+                    main_kernel_fused_pack::<V>(
+                        kcur, alpha, a_blk, lda, b_panel, ldb, beta_eff, c_panel, ldc, bufs[0],
+                        None,
+                    );
+                    sweep_rows::<V>(
+                        cfg, MR, mcur, nr, kcur, alpha, a_blk, lda, bufs[0], nr, beta_eff,
+                        c_panel, ldc,
+                    );
+                } else {
+                    pack_copy(b_panel, ldb, kcur, nr, bufs[0], nr);
+                    sweep_rows::<V>(
+                        cfg, 0, mcur, nr, kcur, alpha, a_blk, lda, bufs[0], nr, beta_eff,
+                        c_panel, ldc,
+                    );
+                }
+            }
+            BPlan::FusedLookahead => {
+                if mcur >= MR {
+                    if !have_packed {
+                        let ahead = next_full.then_some(PackAhead {
+                            src: b_panel.add(nr),
+                            dst: bufs[1 - cur],
+                        });
+                        have_packed = ahead.is_some();
+                        main_kernel_fused_pack::<V>(
+                            kcur,
+                            alpha,
+                            a_blk,
+                            lda,
+                            b_panel,
+                            ldb,
+                            beta_eff,
+                            c_panel,
+                            ldc,
+                            bufs[cur],
+                            ahead,
+                        );
+                    } else {
+                        let stream = next_full.then_some(StreamCopy {
+                            src: b_panel.add(nr),
+                            src_ld: ldb,
+                            dst: bufs[1 - cur],
+                            rows: kcur,
+                        });
+                        have_packed = stream.is_some();
+                        main_kernel_streamed::<V>(
+                            kcur,
+                            alpha,
+                            a_blk,
+                            lda,
+                            bufs[cur],
+                            beta_eff,
+                            c_panel,
+                            ldc,
+                            stream,
+                        );
+                    }
+                    sweep_rows::<V>(
+                        cfg, MR, mcur, nr, kcur, alpha, a_blk, lda, bufs[cur], nr, beta_eff,
+                        c_panel, ldc,
+                    );
+                    cur = 1 - cur;
+                } else {
+                    pack_copy(b_panel, ldb, kcur, nr, bufs[cur], nr);
+                    have_packed = false;
+                    sweep_rows::<V>(
+                        cfg, 0, mcur, nr, kcur, alpha, a_blk, lda, bufs[cur], nr, beta_eff,
+                        c_panel, ldc,
+                    );
+                }
+            }
+        }
+    }
+    // N edge: the final sub-`nr` panel, read directly from B (contiguous
+    // within each row, so no packing benefit — §4.1 criterion ❶ holds).
+    let ncols = ncur - full_panels * nr;
+    if ncols > 0 {
+        let j = full_panels * nr;
+        sweep_rows::<V>(
+            cfg,
+            0,
+            mcur,
+            ncols,
+            kcur,
+            alpha,
+            a_blk,
+            lda,
+            b_blk.add(j),
+            ldb,
+            beta_eff,
+            c_blk.add(j),
+            ldc,
+        );
+    }
+}
+
+/// One `(ii, kk)` block of the NT driver: B stored `N x K`; every panel is
+/// packed, fused (Algorithm 3) or sequentially (ablation).
+#[allow(clippy::too_many_arguments)]
+unsafe fn nt_block<V: Vector>(
+    cfg: &GemmConfig,
+    plan: BPlan,
+    mcur: usize,
+    ncur: usize,
+    kcur: usize,
+    alpha: V::Elem,
+    a_blk: *const V::Elem,
+    lda: usize,
+    b_blk: *const V::Elem, // stored rows jj.., k offset applied
+    ldb: usize,
+    beta_eff: V::Elem,
+    c_blk: *mut V::Elem,
+    ldc: usize,
+    bc: *mut V::Elem,
+) {
+    let nr = NR_VECS * V::LANES;
+    let bc0 = bc;
+    let mut j = 0usize;
+    while j < ncur {
+        let ncols = nr.min(ncur - j);
+        let b_panel = b_blk.add(j * ldb); // `ncols` stored rows of B
+        let c_panel = c_blk.add(j);
+        match plan {
+            BPlan::Sequential | BPlan::Direct => {
+                // Transpose-pack the panel (kcur x ncols, zero-pad to nr),
+                // then compute every row from the packed buffer.
+                pack_transpose(b_panel, ldb, ncols, kcur, bc0, nr);
+                if ncols < nr {
+                    for kk in 0..kcur {
+                        for jpad in ncols..nr {
+                            *bc0.add(kk * nr + jpad) = V::Elem::ZERO;
+                        }
+                    }
+                }
+                sweep_rows::<V>(
+                    cfg, 0, mcur, ncols, kcur, alpha, a_blk, lda, bc0, nr, beta_eff, c_panel, ldc,
+                );
+            }
+            BPlan::Fused | BPlan::FusedLookahead => {
+                let m0 = MR.min(mcur);
+                nt_pack_panel::<V>(
+                    m0, ncols, kcur, nr, alpha, a_blk, lda, b_panel, ldb, beta_eff, c_panel, ldc,
+                    bc0,
+                );
+                if mcur > m0 {
+                    sweep_rows::<V>(
+                        cfg, m0, mcur, ncols, kcur, alpha, a_blk, lda, bc0, nr, beta_eff,
+                        c_panel, ldc,
+                    );
+                }
+            }
+        }
+        j += ncols;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shalom_matrix::{assert_close, gemm_tolerance, reference, Matrix};
+    use shalom_simd::{F32x4, F64x2};
+
+    fn cfg_small_l1() -> GemmConfig {
+        // Tiny L1 forces the packing paths even on small test matrices.
+        GemmConfig {
+            cache: crate::cache::CacheParams {
+                l1: 256,
+                l2: 4 * 1024,
+                l3: 64 * 1024,
+            },
+            ..GemmConfig::with_threads(1)
+        }
+    }
+
+    fn run<V: Vector>(
+        cfg: &GemmConfig,
+        op_a: Op,
+        op_b: Op,
+        m: usize,
+        n: usize,
+        k: usize,
+        alpha: V::Elem,
+        beta: V::Elem,
+    ) {
+        let (ar, ac) = match op_a {
+            Op::NoTrans => (m, k),
+            Op::Trans => (k, m),
+        };
+        let (br, bc_) = match op_b {
+            Op::NoTrans => (k, n),
+            Op::Trans => (n, k),
+        };
+        let a = Matrix::<V::Elem>::random(ar, ac, 61);
+        let b = Matrix::<V::Elem>::random(br, bc_, 62);
+        let mut c = Matrix::<V::Elem>::random(m, n, 63);
+        let mut want = c.clone();
+        reference::gemm(op_a, op_b, alpha, a.as_ref(), b.as_ref(), beta, want.as_mut());
+        let mut ws = Workspace::new();
+        unsafe {
+            gemm_serial::<V>(
+                cfg,
+                op_a,
+                op_b,
+                m,
+                n,
+                k,
+                alpha,
+                a.as_slice().as_ptr(),
+                a.ld(),
+                b.as_slice().as_ptr(),
+                b.ld(),
+                beta,
+                c.as_mut().as_mut_ptr(),
+                c.ld(),
+                &mut ws,
+            );
+        }
+        assert_close(c.as_ref(), want.as_ref(), gemm_tolerance::<V::Elem>(k, 2.0));
+    }
+
+    #[test]
+    fn nn_direct_small() {
+        let cfg = GemmConfig::with_threads(1);
+        run::<F32x4>(&cfg, Op::NoTrans, Op::NoTrans, 23, 29, 17, 1.0, 1.0);
+        run::<F64x2>(&cfg, Op::NoTrans, Op::NoTrans, 23, 29, 17, 1.0, 1.0);
+    }
+
+    #[test]
+    fn nn_all_packing_plans() {
+        for packing in [
+            PackingPolicy::Auto,
+            PackingPolicy::AlwaysFused,
+            PackingPolicy::AlwaysSequential,
+            PackingPolicy::Never,
+        ] {
+            let cfg = GemmConfig {
+                packing,
+                ..cfg_small_l1()
+            };
+            run::<F32x4>(&cfg, Op::NoTrans, Op::NoTrans, 40, 40, 40, 1.0, 1.0);
+            run::<F64x2>(&cfg, Op::NoTrans, Op::NoTrans, 40, 40, 40, 1.0, 1.0);
+        }
+    }
+
+    #[test]
+    fn nn_lookahead_path_irregular() {
+        // Irregular shape (n >> m) with small L1 triggers FusedLookahead.
+        let cfg = cfg_small_l1();
+        assert_eq!(
+            resolve_nn_plan(&cfg, 16, 2048, 64, 4),
+            BPlan::FusedLookahead
+        );
+        run::<F32x4>(&cfg, Op::NoTrans, Op::NoTrans, 16, 2048, 64, 1.0, 1.0);
+        run::<F64x2>(&cfg, Op::NoTrans, Op::NoTrans, 16, 2048, 64, 1.0, 1.0);
+    }
+
+    #[test]
+    fn nt_fused_and_sequential() {
+        for packing in [PackingPolicy::Auto, PackingPolicy::AlwaysSequential] {
+            let cfg = GemmConfig {
+                packing,
+                ..cfg_small_l1()
+            };
+            run::<F32x4>(&cfg, Op::NoTrans, Op::Trans, 33, 45, 27, 1.0, 1.0);
+            run::<F64x2>(&cfg, Op::NoTrans, Op::Trans, 33, 45, 27, 1.0, 1.0);
+        }
+    }
+
+    #[test]
+    fn tn_and_tt_modes() {
+        let cfg = cfg_small_l1();
+        run::<F32x4>(&cfg, Op::Trans, Op::NoTrans, 31, 26, 19, 1.0, 1.0);
+        run::<F32x4>(&cfg, Op::Trans, Op::Trans, 31, 26, 19, 1.0, 1.0);
+        run::<F64x2>(&cfg, Op::Trans, Op::NoTrans, 31, 26, 19, 1.0, 1.0);
+        run::<F64x2>(&cfg, Op::Trans, Op::Trans, 31, 26, 19, 1.0, 1.0);
+    }
+
+    #[test]
+    fn edge_heavy_shapes() {
+        let cfg = cfg_small_l1();
+        // Shapes deliberately not multiples of (7, 12): every edge path.
+        for &(m, n, k) in &[(1, 1, 1), (7, 12, 4), (8, 13, 5), (6, 11, 3), (15, 25, 9)] {
+            run::<F32x4>(&cfg, Op::NoTrans, Op::NoTrans, m, n, k, 1.0, 1.0);
+            run::<F32x4>(&cfg, Op::NoTrans, Op::Trans, m, n, k, 1.0, 1.0);
+        }
+    }
+
+    #[test]
+    fn alpha_beta_matrix_of_cases() {
+        let cfg = cfg_small_l1();
+        for &(al, be) in &[(0.0, 0.0), (0.0, 2.0), (2.0, 0.0), (-1.5, 0.5)] {
+            run::<F32x4>(&cfg, Op::NoTrans, Op::NoTrans, 20, 30, 25, al, be);
+            run::<F64x2>(&cfg, Op::NoTrans, Op::Trans, 20, 30, 25, al as f64, be as f64);
+        }
+    }
+
+    #[test]
+    fn batched_edge_schedule_works_end_to_end() {
+        let cfg = GemmConfig {
+            edge: EdgeSchedule::Batched,
+            ..cfg_small_l1()
+        };
+        run::<F32x4>(&cfg, Op::NoTrans, Op::NoTrans, 9, 14, 11, 1.0, 1.0);
+    }
+
+    #[test]
+    fn multiple_cache_blocks() {
+        // Force several (jj, ii, kk) iterations with the tiny cache.
+        let cfg = cfg_small_l1();
+        run::<F32x4>(&cfg, Op::NoTrans, Op::NoTrans, 150, 170, 130, 1.0, 1.0);
+        run::<F32x4>(&cfg, Op::NoTrans, Op::Trans, 150, 170, 130, 1.0, 1.0);
+        run::<F64x2>(&cfg, Op::Trans, Op::NoTrans, 90, 110, 70, 1.0, 1.0);
+    }
+
+    #[test]
+    fn degenerate_dims() {
+        let cfg = GemmConfig::with_threads(1);
+        run::<F32x4>(&cfg, Op::NoTrans, Op::NoTrans, 0, 5, 3, 1.0, 1.0);
+        run::<F32x4>(&cfg, Op::NoTrans, Op::NoTrans, 5, 0, 3, 1.0, 1.0);
+        run::<F32x4>(&cfg, Op::NoTrans, Op::NoTrans, 5, 5, 0, 1.0, 0.5);
+    }
+
+    #[test]
+    fn fused_plan_with_fewer_rows_than_mr() {
+        // B larger than the tiny L1 forces Fused, but mcur < 7 takes the
+        // pack-copy + edge-kernel fallback inside the fused branch.
+        let cfg = cfg_small_l1();
+        assert_eq!(resolve_nn_plan(&cfg, 5, 40, 40, 4), BPlan::Fused);
+        run::<F32x4>(&cfg, Op::NoTrans, Op::NoTrans, 5, 40, 40, 1.0, 1.0);
+        run::<F64x2>(&cfg, Op::NoTrans, Op::NoTrans, 3, 40, 40, 1.0, 1.0);
+    }
+
+    #[test]
+    fn lookahead_plan_with_fewer_rows_than_mr() {
+        // Irregular shape and m < 7: the double-buffered t=1 path must
+        // fall back per panel without corrupting its buffer rotation.
+        let cfg = cfg_small_l1();
+        assert_eq!(
+            resolve_nn_plan(&cfg, 5, 2048, 48, 4),
+            BPlan::FusedLookahead
+        );
+        run::<F32x4>(&cfg, Op::NoTrans, Op::NoTrans, 5, 2048, 48, 1.0, 1.0);
+        run::<F64x2>(&cfg, Op::NoTrans, Op::NoTrans, 5, 2048, 48, 1.0, 1.0);
+    }
+
+    #[test]
+    fn nan_in_a_propagates_not_hides() {
+        // A library must not mask non-finite inputs: a NaN in A must
+        // reach every C element its row influences.
+        let cfg = GemmConfig::with_threads(1);
+        let mut a = Matrix::<f32>::random(10, 6, 1);
+        a.set(3, 2, f32::NAN);
+        let b = Matrix::<f32>::random(6, 14, 2);
+        let mut c = Matrix::<f32>::zeros(10, 14);
+        let mut ws = Workspace::new();
+        unsafe {
+            gemm_serial::<F32x4>(
+                &cfg,
+                Op::NoTrans,
+                Op::NoTrans,
+                10,
+                14,
+                6,
+                1.0,
+                a.as_slice().as_ptr(),
+                a.ld(),
+                b.as_slice().as_ptr(),
+                b.ld(),
+                0.0,
+                c.as_mut().as_mut_ptr(),
+                c.ld(),
+                &mut ws,
+            );
+        }
+        for j in 0..14 {
+            assert!(c.at(3, j).is_nan(), "row 3 col {j} must be NaN");
+        }
+        for i in [0usize, 1, 2, 4, 9] {
+            for j in 0..14 {
+                assert!(c.at(i, j).is_finite(), "row {i} must stay finite");
+            }
+        }
+    }
+
+    #[test]
+    fn huge_leading_dimensions() {
+        // ld far larger than cols (views into wide parent buffers).
+        let cfg = cfg_small_l1();
+        let a = Matrix::<f32>::random_with_ld(9, 11, 300, 4);
+        let b = Matrix::<f32>::random_with_ld(11, 13, 257, 5);
+        let mut c = Matrix::<f32>::random_with_ld(9, 13, 301, 6);
+        let mut want = c.clone();
+        reference::gemm(
+            Op::NoTrans,
+            Op::NoTrans,
+            1.0,
+            a.as_ref(),
+            b.as_ref(),
+            1.0,
+            want.as_mut(),
+        );
+        let mut ws = Workspace::new();
+        unsafe {
+            gemm_serial::<F32x4>(
+                &cfg,
+                Op::NoTrans,
+                Op::NoTrans,
+                9,
+                13,
+                11,
+                1.0,
+                a.as_slice().as_ptr(),
+                a.ld(),
+                b.as_slice().as_ptr(),
+                b.ld(),
+                1.0,
+                c.as_mut().as_mut_ptr(),
+                c.ld(),
+                &mut ws,
+            );
+        }
+        assert_close(c.as_ref(), want.as_ref(), gemm_tolerance::<f32>(11, 2.0));
+    }
+}

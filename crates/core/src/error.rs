@@ -1,0 +1,186 @@
+//! Fallible API variants: the panicking entry points suit HPC inner
+//! loops (dimension bugs are programmer errors), but embedding
+//! applications often prefer `Result`s. [`try_gemm_with`] validates and
+//! reports instead of panicking.
+
+use crate::api::{gemm_with, GemmElem};
+use crate::config::GemmConfig;
+use shalom_matrix::{MatMut, MatRef, Op};
+
+/// Why a GEMM call was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GemmError {
+    /// A stored operand's shape does not match `(M, N, K)` under its op.
+    /// Fields: operand name, stored `(rows, cols)`, required `(rows, cols)`.
+    DimensionMismatch {
+        /// `"A"` or `"B"`.
+        operand: &'static str,
+        /// Shape as stored.
+        got: (usize, usize),
+        /// Shape required by `C` and the ops.
+        need: (usize, usize),
+    },
+}
+
+impl core::fmt::Display for GemmError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            GemmError::DimensionMismatch { operand, got, need } => write!(
+                f,
+                "operand {operand} stored {}x{} but {}x{} required",
+                got.0, got.1, need.0, need.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GemmError {}
+
+/// Validates the operand shapes for `C = alpha*op(A)*op(B) + beta*C`.
+pub fn validate<T: GemmElem>(
+    op_a: Op,
+    op_b: Op,
+    a: &MatRef<'_, T>,
+    b: &MatRef<'_, T>,
+    c: &MatMut<'_, T>,
+) -> Result<(), GemmError> {
+    let m = c.rows();
+    let n = c.cols();
+    let k = match op_a {
+        Op::NoTrans => a.cols(),
+        Op::Trans => a.rows(),
+    };
+    let need_a = match op_a {
+        Op::NoTrans => (m, k),
+        Op::Trans => (k, m),
+    };
+    if (a.rows(), a.cols()) != need_a {
+        return Err(GemmError::DimensionMismatch {
+            operand: "A",
+            got: (a.rows(), a.cols()),
+            need: need_a,
+        });
+    }
+    let need_b = match op_b {
+        Op::NoTrans => (k, n),
+        Op::Trans => (n, k),
+    };
+    if (b.rows(), b.cols()) != need_b {
+        return Err(GemmError::DimensionMismatch {
+            operand: "B",
+            got: (b.rows(), b.cols()),
+            need: need_b,
+        });
+    }
+    Ok(())
+}
+
+/// Fallible [`gemm_with`]: returns `Err` on shape mismatch instead of
+/// panicking.
+///
+/// ```
+/// use shalom_core::{try_gemm_with, GemmConfig, Op};
+/// use shalom_matrix::Matrix;
+///
+/// let a = Matrix::<f32>::random(4, 3, 1);
+/// let b = Matrix::<f32>::random(3, 5, 2);
+/// let mut c = Matrix::<f32>::zeros(4, 5);
+/// try_gemm_with(&GemmConfig::default(), Op::NoTrans, Op::NoTrans,
+///               1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut()).unwrap();
+///
+/// let bad = Matrix::<f32>::random(7, 5, 3); // wrong K
+/// let err = try_gemm_with(&GemmConfig::default(), Op::NoTrans, Op::NoTrans,
+///                         1.0, a.as_ref(), bad.as_ref(), 0.0, c.as_mut());
+/// assert!(err.is_err());
+/// ```
+#[allow(clippy::too_many_arguments)]
+pub fn try_gemm_with<T: GemmElem>(
+    cfg: &GemmConfig,
+    op_a: Op,
+    op_b: Op,
+    alpha: T,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    beta: T,
+    c: MatMut<'_, T>,
+) -> Result<(), GemmError> {
+    validate(op_a, op_b, &a, &b, &c)?;
+    gemm_with(cfg, op_a, op_b, alpha, a, b, beta, c);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shalom_matrix::Matrix;
+
+    #[test]
+    fn ok_path_computes() {
+        let a = Matrix::<f64>::random(3, 4, 1);
+        let b = Matrix::<f64>::random(4, 2, 2);
+        let mut c = Matrix::<f64>::zeros(3, 2);
+        try_gemm_with(
+            &GemmConfig::with_threads(1),
+            Op::NoTrans,
+            Op::NoTrans,
+            1.0,
+            a.as_ref(),
+            b.as_ref(),
+            0.0,
+            c.as_mut(),
+        )
+        .unwrap();
+        assert!(c.at(0, 0) != 0.0);
+    }
+
+    #[test]
+    fn bad_a_reported_with_shapes() {
+        let a = Matrix::<f32>::zeros(3, 4);
+        let b = Matrix::<f32>::zeros(4, 2);
+        let mut c = Matrix::<f32>::zeros(5, 2); // C rows mismatch A
+        let err = try_gemm_with(
+            &GemmConfig::with_threads(1),
+            Op::NoTrans,
+            Op::NoTrans,
+            1.0,
+            a.as_ref(),
+            b.as_ref(),
+            0.0,
+            c.as_mut(),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            GemmError::DimensionMismatch {
+                operand: "A",
+                got: (3, 4),
+                need: (5, 4)
+            }
+        );
+        assert!(err.to_string().contains("operand A"));
+    }
+
+    #[test]
+    fn bad_b_under_transpose() {
+        let a = Matrix::<f32>::zeros(4, 3); // stored for Trans: K x M (k=4, m=3)
+        let b = Matrix::<f32>::zeros(4, 5); // NT needs N x K = 2 x 4
+        let mut c = Matrix::<f32>::zeros(3, 2);
+        let err = try_gemm_with(
+            &GemmConfig::with_threads(1),
+            Op::Trans,
+            Op::Trans,
+            1.0,
+            a.as_ref(),
+            b.as_ref(),
+            0.0,
+            c.as_mut(),
+        )
+        .unwrap_err();
+        match err {
+            GemmError::DimensionMismatch { operand, need, .. } => {
+                assert_eq!(operand, "B");
+                assert_eq!(need, (2, 4));
+            }
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! `shalom-core`: the LibShalom GEMM library proper.
+//!
+//! Reproduces the system of *"LibShalom: Optimizing Small and
+//! Irregular-Shaped Matrix Multiplications on ARMv8 Multi-Cores"*
+//! (SC '21): a Goto-algorithm GEMM whose kernel, packing and
+//! parallelization layers are specialized for small and tall-and-skinny
+//! operands.
+//!
+//! # Quick start
+//!
+//! ```
+//! use shalom_core::{sgemm, Op};
+//! use shalom_matrix::Matrix;
+//!
+//! let a = Matrix::<f32>::random(8, 8, 1);
+//! let b = Matrix::<f32>::random(8, 8, 2);
+//! let mut c = Matrix::<f32>::zeros(8, 8);
+//! sgemm(Op::NoTrans, Op::NoTrans, 1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut());
+//! ```
+//!
+//! # Architecture (paper section map)
+//!
+//! | Module | Paper | Content |
+//! |---|---|---|
+//! | [`cache`] | §2.2, §5.5 | cache detection, `mc`/`kc`/`nc` derivation |
+//! | [`config`] | §3.3, §4 | packing policy, edge schedule, shape classes |
+//! | `driver` | §4, Alg. 1 | exchanged-loop serial driver, packing plans |
+//! | `parallel` | §6 | analytic `Tm x Tn` partition, fork-join executor |
+//! | [`api`] | §3.3 | `sgemm`/`dgemm`, raw BLAS-style entry points |
+//! | [`batch`] | §7.4 | batched independent small GEMMs across cores |
+//! | [`capi`] | §3.3 | `extern "C"` CBLAS-style entry points |
+//! | [`autotune`] | §10 | empirical parameter search (the paper's future work) |
+//!
+//! The micro-kernels themselves live in `shalom-kernels`.
+
+#![deny(missing_docs)]
+#![allow(clippy::too_many_arguments)]
+#![allow(clippy::needless_range_loop)]
+
+pub mod api;
+pub mod autotune;
+pub mod batch;
+pub mod builder;
+pub mod cache;
+pub mod capi;
+pub mod config;
+pub mod error;
+mod driver;
+mod parallel;
+
+pub use api::{dgemm, dgemm_raw, gemm, gemm_with, sgemm, sgemm_raw, GemmElem};
+pub use autotune::{autotune, Candidate, TuneReport};
+pub use batch::{gemm_batch, gemm_batch_beta, gemm_batch_strided, BatchItem};
+pub use builder::Gemm;
+pub use cache::{BlockSizes, CacheParams};
+pub use config::{classify, EdgeSchedule, GemmConfig, PackingPolicy, ShapeClass};
+pub use error::{try_gemm_with, GemmError};
+pub use parallel::{partition_threads, quantized_chunks};
+pub use shalom_matrix::Op;

@@ -1,0 +1,257 @@
+//! Parallelization (paper §6): static two-level work partitioning with
+//! fork-join threads.
+//!
+//! C is divided into a `Tm x Tn` grid of sub-blocks, one thread each. The
+//! per-thread computation-to-memory ratio (Eq. 3) is
+//! `CMR = M*N / (M*Tn + N*T/Tn)`; by the AM-GM inequality (Eq. 4) it peaks
+//! at `Tn = sqrt(T*N/M)`. The paper takes the *upper* integer bound of
+//! that and requires `T mod Tn = 0` so cores divide evenly; block
+//! boundaries are rounded to `mr` / `nr` multiples so the partition itself
+//! creates no new edge cases (the §3.2 third missed opportunity).
+
+use crate::config::GemmConfig;
+use crate::driver::{gemm_serial, WORKSPACE};
+use shalom_kernels::{Vector, MR, NR_VECS};
+use shalom_matrix::Op;
+
+/// The thread grid for a `m x n` output with `t` workers: `(tm, tn)` with
+/// `tm * tn == t`.
+///
+/// Implements the §6.1 rule: `Tn = ceil(sqrt(T*N/M))` adjusted upward to
+/// the nearest divisor of `T` (so `T mod Tn == 0`), then `Tm = T / Tn`.
+/// The paper's worked example — `M = 2048`, `N = 256`, `T = 64` — yields
+/// `Tn = 4`, `Tm = 16`.
+pub fn partition_threads(t: usize, m: usize, n: usize) -> (usize, usize) {
+    assert!(t >= 1, "at least one thread");
+    if t == 1 || m == 0 || n == 0 {
+        return (1, t);
+    }
+    let tn_star = ((t as f64 * n as f64 / m as f64).sqrt()).ceil() as usize;
+    let tn_star = tn_star.clamp(1, t);
+    // Smallest divisor of t that is >= tn_star ("up-bound value of Tn").
+    let mut tn = t;
+    let mut d = 1;
+    while d * d <= t {
+        if t.is_multiple_of(d) {
+            if d >= tn_star && d < tn {
+                tn = d;
+            }
+            let q = t / d;
+            if q >= tn_star && q < tn {
+                tn = q;
+            }
+        }
+        d += 1;
+    }
+    (t / tn, tn)
+}
+
+/// Splits `len` into `parts` contiguous chunks whose starts are multiples
+/// of `quantum` (except possibly the final remainder), returning
+/// `(start, len)` per part. Parts may be empty when `len` is small.
+pub fn quantized_chunks(len: usize, parts: usize, quantum: usize) -> Vec<(usize, usize)> {
+    assert!(parts >= 1 && quantum >= 1);
+    let q_total = len.div_ceil(quantum);
+    let per = q_total.div_ceil(parts);
+    let mut out = Vec::with_capacity(parts);
+    for p in 0..parts {
+        let start = (p * per * quantum).min(len);
+        let end = ((p + 1) * per * quantum).min(len);
+        out.push((start, end - start));
+    }
+    out
+}
+
+/// Raw-pointer wrapper that promises the wrapped pointer is safe to move
+/// across the fork-join scope (the sub-blocks each thread touches are
+/// disjoint by construction).
+#[derive(Clone, Copy)]
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+#[derive(Clone, Copy)]
+struct SendConstPtr<T>(*const T);
+unsafe impl<T> Send for SendConstPtr<T> {}
+unsafe impl<T> Sync for SendConstPtr<T> {}
+
+/// Multi-threaded `C = alpha * op(A)*op(B) + beta * C`: partitions C per
+/// [`partition_threads`] and runs the serial driver per sub-block with
+/// fork-join threads (crossbeam scope — the paper uses the OS fork-join
+/// primitives through OpenMP).
+///
+/// # Safety
+/// As [`gemm_serial`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) unsafe fn gemm_parallel<V: Vector>(
+    cfg: &GemmConfig,
+    op_a: Op,
+    op_b: Op,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: V::Elem,
+    a: *const V::Elem,
+    lda: usize,
+    b: *const V::Elem,
+    ldb: usize,
+    beta: V::Elem,
+    c: *mut V::Elem,
+    ldc: usize,
+) {
+    let t = cfg.resolved_threads().max(1);
+    if t == 1 || m == 0 || n == 0 {
+        WORKSPACE.with(|ws| {
+            gemm_serial::<V>(
+                cfg,
+                op_a,
+                op_b,
+                m,
+                n,
+                k,
+                alpha,
+                a,
+                lda,
+                b,
+                ldb,
+                beta,
+                c,
+                ldc,
+                &mut ws.borrow_mut(),
+            )
+        });
+        return;
+    }
+    let (tm, tn) = partition_threads(t, m, n);
+    let nr = NR_VECS * V::LANES;
+    let rows = quantized_chunks(m, tm, MR);
+    let cols = quantized_chunks(n, tn, nr);
+    let ap = SendConstPtr(a);
+    let bp = SendConstPtr(b);
+    let cp = SendPtr(c);
+    crossbeam::thread::scope(|scope| {
+        for &(ri, rl) in &rows {
+            for &(ci, cl) in &cols {
+                if rl == 0 || cl == 0 {
+                    continue;
+                }
+                let cfg = *cfg;
+                scope.spawn(move |_| {
+                    // Reconstruct the sub-block operand pointers. Stored-A
+                    // row offset depends on op: N indexes rows by i, T by k.
+                    let (ap, bp, cp) = (ap, bp, cp);
+                    let a_off = match op_a {
+                        Op::NoTrans => ri * lda,
+                        Op::Trans => ri,
+                    };
+                    let b_off = match op_b {
+                        Op::NoTrans => ci,
+                        Op::Trans => ci * ldb,
+                    };
+                    WORKSPACE.with(|ws| {
+                        gemm_serial::<V>(
+                            &cfg,
+                            op_a,
+                            op_b,
+                            rl,
+                            cl,
+                            k,
+                            alpha,
+                            ap.0.add(a_off),
+                            lda,
+                            bp.0.add(b_off),
+                            ldb,
+                            beta,
+                            cp.0.add(ri * ldc + ci),
+                            ldc,
+                            &mut ws.borrow_mut(),
+                        )
+                    });
+                });
+            }
+        }
+    })
+    .expect("GEMM worker thread panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_worked_example() {
+        // M = 2048, N = 256, T = 64 -> Tn = 4, Tm = 16 (§6.1).
+        assert_eq!(partition_threads(64, 2048, 256), (16, 4));
+    }
+
+    #[test]
+    fn grid_always_multiplies_to_t() {
+        for t in [1, 2, 3, 4, 6, 8, 12, 16, 32, 64] {
+            for &(m, n) in &[(32usize, 10240usize), (10240, 32), (512, 512), (1, 1)] {
+                let (tm, tn) = partition_threads(t, m, n);
+                assert_eq!(tm * tn, t, "t={t} m={m} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn skew_follows_shape() {
+        // Tall-and-skinny along N gets more column threads.
+        let (tm_n, tn_n) = partition_threads(64, 32, 10240);
+        assert!(tn_n > tm_n);
+        let (tm_m, tn_m) = partition_threads(64, 10240, 32);
+        assert!(tm_m > tn_m);
+    }
+
+    #[test]
+    fn tn_is_smallest_divisor_above_star() {
+        // T = 12, M = N -> tn* = ceil(sqrt(12)) = 4; divisors of 12 >= 4:
+        // {4, 6, 12} -> 4.
+        assert_eq!(partition_threads(12, 100, 100), (3, 4));
+    }
+
+    #[test]
+    fn single_thread_short_circuit() {
+        assert_eq!(partition_threads(1, 5000, 5000), (1, 1));
+    }
+
+    #[test]
+    fn quantized_chunks_cover_exactly() {
+        for &(len, parts, q) in &[
+            (100usize, 4usize, 7usize),
+            (3, 4, 12),
+            (50176, 8, 12),
+            (1, 1, 1),
+            (0, 3, 4),
+        ] {
+            let chunks = quantized_chunks(len, parts, q);
+            assert_eq!(chunks.len(), parts);
+            let mut pos = 0;
+            let mut total = 0;
+            for &(s, l) in &chunks {
+                assert!(s >= pos || l == 0);
+                if l > 0 {
+                    assert_eq!(s, pos);
+                    assert_eq!(s % q, 0, "chunk start {s} not multiple of {q}");
+                    pos = s + l;
+                }
+                total += l;
+            }
+            assert_eq!(total, len);
+        }
+    }
+
+    #[test]
+    fn quantized_chunks_interior_are_quantum_multiples() {
+        let chunks = quantized_chunks(100, 3, 12);
+        // Interior boundaries at multiples of 12 => only the global tail
+        // (the last nonempty chunk) may carry the remainder — the §6 goal
+        // of not manufacturing extra edge cases.
+        for w in chunks.windows(2) {
+            let (_, l0) = w[0];
+            let (_, l1) = w[1];
+            if l1 > 0 {
+                assert_eq!(l0 % 12, 0);
+            }
+        }
+    }
+}

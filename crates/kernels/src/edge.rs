@@ -1,0 +1,387 @@
+//! Edge-case micro-kernels (paper §5.4, Figure 6).
+//!
+//! When `M % mr != 0` or `N % nr != 0`, the remainder block is updated by
+//! a kernel sized for the exact remainder. Like the hand-written
+//! assembly libraries (OpenBLAS ships a dedicated routine per edge
+//! shape), we **monomorphize** one kernel per `(m, nv)` pair — with
+//! compile-time tile bounds the accumulator tile lives entirely in
+//! vector registers; a single runtime-bounded loop would force every FMA
+//! through a stack slot and run an order of magnitude slower.
+//!
+//! Two instruction schedules are kept so the Figure 13 ablation compares
+//! real code paths:
+//!
+//! * **pipelined** (Figure 6b, LibShalom): the next k-step's B row is
+//!   loaded while the current step's FMAs execute, and A broadcasts are
+//!   interleaved between FMA groups — dependent instructions sit far
+//!   apart.
+//! * **batched** (Figure 6a, OpenBLAS): all operand loads for a k-step
+//!   are issued as one batch before its FMA burst, exposing the load
+//!   latency.
+//!
+//! Both compute `C[0..m, 0..n] = alpha * A*B + beta * C` for any
+//! `1 <= m <= 7`, `1 <= n <= nr`, bit-identically (same operation order
+//! per accumulator), differing only in schedule.
+
+use crate::{Vector, MR, NR_VECS};
+use shalom_matrix::Scalar;
+use shalom_simd::prefetch_read;
+
+const MAX_SCALAR_COLS: usize = 3; // up to LANES-1 remainder columns (f32)
+
+/// The monomorphized edge kernel body: `M` rows, `NV` full vectors of
+/// columns plus `ns < LANES` scalar remainder columns, schedule selected
+/// by `PIPE`.
+///
+/// # Safety
+/// * `a` valid for `M x kc` reads at stride `lda`;
+/// * `b` valid for `kc x (NV*LANES + ns)` reads at stride `ldb`;
+/// * `c` valid for `M x (NV*LANES + ns)` reads/writes at stride `ldc`.
+#[inline(always)]
+unsafe fn edge_body<V: Vector, const M: usize, const NV: usize, const PIPE: bool>(
+    ns: usize,
+    kc: usize,
+    alpha: V::Elem,
+    a: *const V::Elem,
+    lda: usize,
+    b: *const V::Elem,
+    ldb: usize,
+    beta: V::Elem,
+    c: *mut V::Elem,
+    ldc: usize,
+) {
+    debug_assert!(ns < V::LANES && ns <= MAX_SCALAR_COLS);
+    let mut acc = [[V::zero(); NV]; M];
+    let mut sacc = [[V::Elem::ZERO; MAX_SCALAR_COLS]; M];
+    if kc > 0 {
+        // Prologue (pipelined): step 0's B operands.
+        let mut bv = [V::zero(); NV];
+        let mut bs = [V::Elem::ZERO; MAX_SCALAR_COLS];
+        if PIPE {
+            for (t, slot) in bv.iter_mut().enumerate() {
+                *slot = V::load(b.add(t * V::LANES));
+            }
+            for (s, slot) in bs.iter_mut().enumerate().take(ns) {
+                *slot = *b.add(NV * V::LANES + s);
+            }
+        }
+        for k in 0..kc {
+            let (cur_bv, cur_bs);
+            if PIPE {
+                cur_bv = bv;
+                cur_bs = bs;
+                // Steady state: issue the *next* row's loads so they
+                // overlap this step's dependent FMA chain (Fig. 6b).
+                if k + 1 < kc {
+                    let nrow = b.add((k + 1) * ldb);
+                    prefetch_read(nrow.add(V::LANES * NV));
+                    for (t, slot) in bv.iter_mut().enumerate() {
+                        *slot = V::load(nrow.add(t * V::LANES));
+                    }
+                    for (s, slot) in bs.iter_mut().enumerate().take(ns) {
+                        *slot = *nrow.add(NV * V::LANES + s);
+                    }
+                }
+            } else {
+                // Batched: this step's loads, grouped (Fig. 6a).
+                let brow = b.add(k * ldb);
+                let mut v = [V::zero(); NV];
+                for (t, slot) in v.iter_mut().enumerate() {
+                    *slot = V::load(brow.add(t * V::LANES));
+                }
+                let mut sv = [V::Elem::ZERO; MAX_SCALAR_COLS];
+                for (s, slot) in sv.iter_mut().enumerate().take(ns) {
+                    *slot = *brow.add(NV * V::LANES + s);
+                }
+                cur_bv = v;
+                cur_bs = sv;
+            }
+            if PIPE {
+                // A broadcasts interleaved between per-row FMA groups.
+                for i in 0..M {
+                    let x = *a.add(i * lda + k);
+                    let ax = V::splat(x);
+                    for t in 0..NV {
+                        acc[i][t] = acc[i][t].fma(cur_bv[t], ax);
+                    }
+                    for s in 0..ns {
+                        sacc[i][s] = sacc[i][s] + x * cur_bs[s];
+                    }
+                }
+            } else {
+                // All A loads batched before the FMA burst.
+                let mut ax = [V::zero(); M];
+                let mut asc = [V::Elem::ZERO; M];
+                for i in 0..M {
+                    let x = *a.add(i * lda + k);
+                    asc[i] = x;
+                    ax[i] = V::splat(x);
+                }
+                for i in 0..M {
+                    for t in 0..NV {
+                        acc[i][t] = acc[i][t].fma(cur_bv[t], ax[i]);
+                    }
+                    for s in 0..ns {
+                        sacc[i][s] = sacc[i][s] + asc[i] * cur_bs[s];
+                    }
+                }
+            }
+        }
+    }
+    // Writeback.
+    for i in 0..M {
+        let crow = c.add(i * ldc);
+        if beta == V::Elem::ZERO {
+            for t in 0..NV {
+                acc[i][t].scale(alpha).store(crow.add(t * V::LANES));
+            }
+            for s in 0..ns {
+                *crow.add(NV * V::LANES + s) = alpha * sacc[i][s];
+            }
+        } else {
+            for t in 0..NV {
+                let cv = V::load(crow.add(t * V::LANES));
+                acc[i][t]
+                    .scale(alpha)
+                    .add(cv.scale(beta))
+                    .store(crow.add(t * V::LANES));
+            }
+            for s in 0..ns {
+                let p = crow.add(NV * V::LANES + s);
+                *p = alpha * sacc[i][s] + beta * *p;
+            }
+        }
+    }
+}
+
+macro_rules! dispatch_nv {
+    ($V:ty, $PIPE:literal, $M:literal, $nv:expr, ($($a:expr),*)) => {
+        match $nv {
+            0 => edge_body::<$V, $M, 0, $PIPE>($($a),*),
+            1 => edge_body::<$V, $M, 1, $PIPE>($($a),*),
+            2 => edge_body::<$V, $M, 2, $PIPE>($($a),*),
+            _ => edge_body::<$V, $M, 3, $PIPE>($($a),*),
+        }
+    };
+}
+
+macro_rules! dispatch_m {
+    ($V:ty, $PIPE:literal, $m:expr, $nv:expr, $args:tt) => {
+        match $m {
+            1 => dispatch_nv!($V, $PIPE, 1, $nv, $args),
+            2 => dispatch_nv!($V, $PIPE, 2, $nv, $args),
+            3 => dispatch_nv!($V, $PIPE, 3, $nv, $args),
+            4 => dispatch_nv!($V, $PIPE, 4, $nv, $args),
+            5 => dispatch_nv!($V, $PIPE, 5, $nv, $args),
+            6 => dispatch_nv!($V, $PIPE, 6, $nv, $args),
+            _ => dispatch_nv!($V, $PIPE, 7, $nv, $args),
+        }
+    };
+}
+
+/// Edge kernel with the software-pipelined schedule of Figure 6b (the
+/// LibShalom strategy). Dispatches to the exact-size monomorphized body.
+///
+/// # Safety
+/// * `a` valid for `m` rows x `kc` cols at stride `lda`;
+/// * `b` valid for `kc` rows x `n` cols at stride `ldb`;
+/// * `c` valid for `m` rows x `n` cols read/write at stride `ldc`;
+/// * `m <= 7`, `n <= NR_VECS * LANES`, no aliasing with `c`.
+#[inline]
+pub unsafe fn edge_kernel_pipelined<V: Vector>(
+    m: usize,
+    n: usize,
+    kc: usize,
+    alpha: V::Elem,
+    a: *const V::Elem,
+    lda: usize,
+    b: *const V::Elem,
+    ldb: usize,
+    beta: V::Elem,
+    c: *mut V::Elem,
+    ldc: usize,
+) {
+    debug_assert!((1..=MR).contains(&m) && n >= 1 && n <= NR_VECS * V::LANES);
+    let nv = n / V::LANES;
+    let ns = n % V::LANES;
+    dispatch_m!(V, true, m, nv, (ns, kc, alpha, a, lda, b, ldb, beta, c, ldc))
+}
+
+/// Edge kernel with the batched schedule of Figure 6a (the OpenBLAS
+/// strategy the paper criticizes). Dispatches to the exact-size
+/// monomorphized body.
+///
+/// # Safety
+/// As [`edge_kernel_pipelined`].
+#[inline]
+pub unsafe fn edge_kernel_batched<V: Vector>(
+    m: usize,
+    n: usize,
+    kc: usize,
+    alpha: V::Elem,
+    a: *const V::Elem,
+    lda: usize,
+    b: *const V::Elem,
+    ldb: usize,
+    beta: V::Elem,
+    c: *mut V::Elem,
+    ldc: usize,
+) {
+    debug_assert!((1..=MR).contains(&m) && n >= 1 && n <= NR_VECS * V::LANES);
+    let nv = n / V::LANES;
+    let ns = n % V::LANES;
+    dispatch_m!(V, false, m, nv, (ns, kc, alpha, a, lda, b, ldb, beta, c, ldc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shalom_matrix::{assert_close, gemm_tolerance, max_abs_diff, reference, Matrix, Op};
+    use shalom_simd::{F32x4, F64x2};
+
+    type EdgeFn<V> = unsafe fn(
+        usize,
+        usize,
+        usize,
+        <V as Vector>::Elem,
+        *const <V as Vector>::Elem,
+        usize,
+        *const <V as Vector>::Elem,
+        usize,
+        <V as Vector>::Elem,
+        *mut <V as Vector>::Elem,
+        usize,
+    );
+
+    fn run_edge<V: Vector>(
+        f: EdgeFn<V>,
+        m: usize,
+        n: usize,
+        kc: usize,
+        alpha: V::Elem,
+        beta: V::Elem,
+    ) -> Matrix<V::Elem> {
+        let a = Matrix::<V::Elem>::random(m.max(1), kc.max(1), 31);
+        let b = Matrix::<V::Elem>::random(kc.max(1), n.max(1), 32);
+        let mut c = Matrix::<V::Elem>::random(m.max(1), n.max(1), 33);
+        let mut want = c.clone();
+        reference::gemm(
+            Op::NoTrans,
+            Op::NoTrans,
+            alpha,
+            a.as_ref().submatrix(0, 0, m, kc),
+            b.as_ref().submatrix(0, 0, kc, n),
+            beta,
+            want.as_mut().submatrix_mut(0, 0, m, n),
+        );
+        unsafe {
+            f(
+                m,
+                n,
+                kc,
+                alpha,
+                a.as_slice().as_ptr(),
+                a.ld(),
+                b.as_slice().as_ptr(),
+                b.ld(),
+                beta,
+                c.as_mut().as_mut_ptr(),
+                c.ld(),
+            );
+        }
+        assert_close(
+            c.as_ref(),
+            want.as_ref(),
+            gemm_tolerance::<V::Elem>(kc, 1.0),
+        );
+        c
+    }
+
+    #[test]
+    fn pipelined_all_small_shapes_f32() {
+        for m in 1..=7 {
+            for n in 1..=12 {
+                run_edge::<F32x4>(edge_kernel_pipelined::<F32x4>, m, n, 9, 1.0, 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn batched_all_small_shapes_f32() {
+        for m in 1..=7 {
+            for n in 1..=12 {
+                run_edge::<F32x4>(edge_kernel_batched::<F32x4>, m, n, 9, 1.0, 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_all_small_shapes_f64() {
+        for m in 1..=7 {
+            for n in 1..=6 {
+                run_edge::<F64x2>(edge_kernel_pipelined::<F64x2>, m, n, 9, 1.0, 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn batched_all_small_shapes_f64() {
+        for m in 1..=7 {
+            for n in 1..=6 {
+                run_edge::<F64x2>(edge_kernel_batched::<F64x2>, m, n, 9, 1.0, 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn schedules_agree_bitwise() {
+        // Same operation order per accumulator => identical rounding.
+        for &(m, n, kc) in &[(3, 5, 17), (7, 12, 8), (1, 1, 1), (5, 11, 3)] {
+            let p = run_edge::<F32x4>(edge_kernel_pipelined::<F32x4>, m, n, kc, 1.5, 0.5);
+            let b = run_edge::<F32x4>(edge_kernel_batched::<F32x4>, m, n, kc, 1.5, 0.5);
+            assert_eq!(max_abs_diff(p.as_ref(), b.as_ref()), 0.0);
+        }
+    }
+
+    #[test]
+    fn kc_zero_scales_only() {
+        let mut c = Matrix::<f32>::random(3, 5, 7);
+        let orig = c.clone();
+        let a = Matrix::<f32>::zeros(3, 1);
+        let b = Matrix::<f32>::zeros(1, 5);
+        unsafe {
+            edge_kernel_pipelined::<F32x4>(
+                3,
+                5,
+                0,
+                1.0,
+                a.as_slice().as_ptr(),
+                1,
+                b.as_slice().as_ptr(),
+                5,
+                -1.0,
+                c.as_mut().as_mut_ptr(),
+                c.ld(),
+            );
+        }
+        for i in 0..3 {
+            for j in 0..5 {
+                assert_eq!(c.at(i, j), -orig.at(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn alpha_beta_edge_combinations() {
+        for &(al, be) in &[(0.0, 2.0), (2.0, 0.0), (-1.0, -1.0)] {
+            run_edge::<F32x4>(edge_kernel_pipelined::<F32x4>, 4, 7, 6, al, be);
+            run_edge::<F64x2>(edge_kernel_batched::<F64x2>, 4, 5, 6, al as f64, be as f64);
+        }
+    }
+
+    #[test]
+    fn long_k_accumulation() {
+        run_edge::<F32x4>(edge_kernel_pipelined::<F32x4>, 6, 11, 257, 1.0, 1.0);
+        run_edge::<F64x2>(edge_kernel_batched::<F64x2>, 5, 5, 257, 1.0, 1.0);
+    }
+}

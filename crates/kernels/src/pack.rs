@@ -1,0 +1,240 @@
+//! Standalone packing routines (pack *then* compute).
+//!
+//! These are the sequential packers of the classical Goto algorithm —
+//! what OpenBLAS/BLIS always run and what LibShalom runs only when the
+//! fused kernels do not apply (TN/TT operand preparation). Keeping them
+//! separate lets the baselines be faithful and lets the benches measure
+//! exactly the overhead the paper's fused kernels remove.
+
+use shalom_matrix::Scalar;
+
+/// Copies a `rows x cols` block (stride `ld_src`) into a buffer with
+/// stride `ld_dst` — the trivial NN-mode B pack.
+///
+/// # Safety
+/// `src` valid for `rows x cols` reads at stride `ld_src`; `dst` valid for
+/// `rows x cols` writes at stride `ld_dst`; `cols <= ld_dst`.
+pub unsafe fn pack_copy<T: Scalar>(
+    src: *const T,
+    ld_src: usize,
+    rows: usize,
+    cols: usize,
+    dst: *mut T,
+    ld_dst: usize,
+) {
+    debug_assert!(cols <= ld_dst || rows <= 1);
+    for r in 0..rows {
+        core::ptr::copy_nonoverlapping(src.add(r * ld_src), dst.add(r * ld_dst), cols);
+    }
+}
+
+/// Transpose-packs a `rows x cols` block (stride `ld_src`) into a
+/// `cols x rows` buffer (stride `ld_dst`): `dst[c][r] = src[r][c]`.
+///
+/// Used to prepare `op(A)` slivers in the TN/TT modes and as the
+/// sequential (non-fused) NT B-pack of the baselines.
+///
+/// # Safety
+/// `src` valid for `rows x cols` reads at stride `ld_src`; `dst` valid for
+/// `cols x rows` writes at stride `ld_dst`; `rows <= ld_dst`.
+pub unsafe fn pack_transpose<T: Scalar>(
+    src: *const T,
+    ld_src: usize,
+    rows: usize,
+    cols: usize,
+    dst: *mut T,
+    ld_dst: usize,
+) {
+    debug_assert!(rows <= ld_dst || cols <= 1);
+    for r in 0..rows {
+        let srow = src.add(r * ld_src);
+        for c in 0..cols {
+            *dst.add(c * ld_dst + r) = *srow.add(c);
+        }
+    }
+}
+
+/// Goto-style sliver-major A pack with zero padding (the classical
+/// libraries' edge strategy, §2.2 "pad the matrices with zeros").
+///
+/// The `mc x kc` block at `a` is cut into `ceil(mc/mr)` slivers of `mr`
+/// rows. Sliver `s` occupies `mr * kc` contiguous elements of `dst`,
+/// stored **column-major within the sliver**: element `(i, k)` of sliver
+/// `s` is `dst[s*mr*kc + k*mr + i]` — the order the Goto micro-kernel
+/// consumes A. Rows past `mc` in the last sliver are zero.
+///
+/// Returns the number of slivers written.
+///
+/// # Safety
+/// `a` valid for `mc x kc` reads at stride `lda`; `dst` valid for
+/// `ceil(mc/mr) * mr * kc` writes.
+pub unsafe fn pack_a_slivers_goto<T: Scalar>(
+    a: *const T,
+    lda: usize,
+    mc: usize,
+    kc: usize,
+    mr: usize,
+    dst: *mut T,
+) -> usize {
+    let slivers = mc.div_ceil(mr);
+    for s in 0..slivers {
+        let base = dst.add(s * mr * kc);
+        let rows = mr.min(mc - s * mr);
+        for k in 0..kc {
+            for i in 0..rows {
+                *base.add(k * mr + i) = *a.add((s * mr + i) * lda + k);
+            }
+            for i in rows..mr {
+                *base.add(k * mr + i) = T::ZERO;
+            }
+        }
+    }
+    slivers
+}
+
+/// Goto-style sliver-major B pack with zero padding.
+///
+/// The `kc x nc` block at `b` is cut into `ceil(nc/nr)` slivers of `nr`
+/// columns. Sliver `s` occupies `kc * nr` contiguous elements of `dst`,
+/// stored row-major within the sliver: element `(k, j)` of sliver `s` is
+/// `dst[s*kc*nr + k*nr + j]`. Columns past `nc` in the last sliver are
+/// zero.
+///
+/// Returns the number of slivers written.
+///
+/// # Safety
+/// `b` valid for `kc x nc` reads at stride `ldb`; `dst` valid for
+/// `ceil(nc/nr) * kc * nr` writes.
+pub unsafe fn pack_b_slivers_goto<T: Scalar>(
+    b: *const T,
+    ldb: usize,
+    kc: usize,
+    nc: usize,
+    nr: usize,
+    dst: *mut T,
+) -> usize {
+    let slivers = nc.div_ceil(nr);
+    for s in 0..slivers {
+        let base = dst.add(s * kc * nr);
+        let cols = nr.min(nc - s * nr);
+        for k in 0..kc {
+            let srow = b.add(k * ldb + s * nr);
+            for j in 0..cols {
+                *base.add(k * nr + j) = *srow.add(j);
+            }
+            for j in cols..nr {
+                *base.add(k * nr + j) = T::ZERO;
+            }
+        }
+    }
+    slivers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shalom_matrix::Matrix;
+
+    #[test]
+    fn copy_pack_with_strides() {
+        let src = Matrix::<f32>::random_with_ld(4, 6, 9, 1);
+        let mut dst = vec![0f32; 4 * 6];
+        unsafe {
+            pack_copy(src.as_slice().as_ptr(), src.ld(), 4, 6, dst.as_mut_ptr(), 6);
+        }
+        for r in 0..4 {
+            for c in 0..6 {
+                assert_eq!(dst[r * 6 + c], src.at(r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_pack_round_trip() {
+        let src = Matrix::<f64>::random(5, 3, 2);
+        let mut dst = vec![0f64; 3 * 5];
+        unsafe {
+            pack_transpose(src.as_slice().as_ptr(), src.ld(), 5, 3, dst.as_mut_ptr(), 5);
+        }
+        for r in 0..5 {
+            for c in 0..3 {
+                assert_eq!(dst[c * 5 + r], src.at(r, c));
+            }
+        }
+        // Transposing back recovers the original.
+        let mut back = vec![0f64; 5 * 3];
+        unsafe { pack_transpose(dst.as_ptr(), 5, 3, 5, back.as_mut_ptr(), 3) };
+        for r in 0..5 {
+            for c in 0..3 {
+                assert_eq!(back[r * 3 + c], src.at(r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn goto_a_pack_layout_and_padding() {
+        let mc = 10; // 2 slivers of 4 + remainder 2
+        let kc = 3;
+        let mr = 4;
+        let a = Matrix::from_fn(mc, kc, |i, k| (100 * i + k) as f32);
+        let mut dst = vec![f32::NAN; mc.div_ceil(mr) * mr * kc];
+        let slivers =
+            unsafe { pack_a_slivers_goto(a.as_slice().as_ptr(), a.ld(), mc, kc, mr, dst.as_mut_ptr()) };
+        assert_eq!(slivers, 3);
+        for s in 0..slivers {
+            for k in 0..kc {
+                for i in 0..mr {
+                    let v = dst[s * mr * kc + k * mr + i];
+                    let row = s * mr + i;
+                    if row < mc {
+                        assert_eq!(v, a.at(row, k));
+                    } else {
+                        assert_eq!(v, 0.0, "padding must be zero");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn goto_b_pack_layout_and_padding() {
+        let kc = 4;
+        let nc = 7; // 1 sliver of 3 + 1 of 3 + remainder 1
+        let nr = 3;
+        let b = Matrix::from_fn(kc, nc, |k, j| (10 * k + j) as f64);
+        let mut dst = vec![f64::NAN; nc.div_ceil(nr) * kc * nr];
+        let slivers =
+            unsafe { pack_b_slivers_goto(b.as_slice().as_ptr(), b.ld(), kc, nc, nr, dst.as_mut_ptr()) };
+        assert_eq!(slivers, 3);
+        for s in 0..slivers {
+            for k in 0..kc {
+                for j in 0..nr {
+                    let v = dst[s * kc * nr + k * nr + j];
+                    let col = s * nr + j;
+                    if col < nc {
+                        assert_eq!(v, b.at(k, col));
+                    } else {
+                        assert_eq!(v, 0.0, "padding must be zero");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_blocks_are_noops() {
+        let mut dst = [1.0f32; 4];
+        unsafe {
+            pack_copy(core::ptr::NonNull::<f32>::dangling().as_ptr(), 1, 0, 0, dst.as_mut_ptr(), 1);
+            pack_transpose(
+                core::ptr::NonNull::<f32>::dangling().as_ptr(),
+                1,
+                0,
+                0,
+                dst.as_mut_ptr(),
+                1,
+            );
+        }
+        assert_eq!(dst, [1.0; 4]);
+    }
+}

@@ -1,0 +1,282 @@
+//! The lane-type abstraction the generic kernels are written against.
+
+use shalom_matrix::Scalar;
+use shalom_simd::{F32x4, F32x8, F64x2, F64x4};
+
+/// A 128-bit SIMD vector type usable by the generic micro-kernels.
+///
+/// Implemented by [`F32x4`] (`j = 4`) and [`F64x2`] (`j = 2`). The dynamic
+/// `*_lane_dyn` methods take the lane index at runtime; kernels call them
+/// from loops whose trip count is the compile-time constant
+/// `Self::LANES`, so after unrolling the index is a constant and the match
+/// inside each implementation folds to the single lane instruction.
+pub trait Vector: Copy + Send + Sync + 'static {
+    /// The element type of each lane.
+    type Elem: Scalar;
+
+    /// Lane count (the paper's `j`).
+    const LANES: usize;
+
+    /// All-zero vector.
+    fn zero() -> Self;
+
+    /// Broadcasts a scalar to all lanes.
+    fn splat(x: Self::Elem) -> Self;
+
+    /// Unaligned load of `LANES` consecutive elements.
+    ///
+    /// # Safety
+    /// `ptr` valid for reading `LANES` elements.
+    unsafe fn load(ptr: *const Self::Elem) -> Self;
+
+    /// Unaligned store of all lanes.
+    ///
+    /// # Safety
+    /// `ptr` valid for writing `LANES` elements.
+    unsafe fn store(self, ptr: *mut Self::Elem);
+
+    /// Lane-wise `self + a * b`.
+    fn fma(self, a: Self, b: Self) -> Self;
+
+    /// `self + a * b[lane]` (the ARMv8 lane-indexed `fmla`).
+    fn fma_lane_dyn(self, a: Self, b: Self, lane: usize) -> Self;
+
+    /// Extracts lane `lane`.
+    fn extract_dyn(self, lane: usize) -> Self::Elem;
+
+    /// Lane-wise addition.
+    fn add(self, o: Self) -> Self;
+
+    /// Multiplies all lanes by a scalar.
+    fn scale(self, s: Self::Elem) -> Self;
+
+    /// Horizontal sum of all lanes.
+    fn reduce_sum(self) -> Self::Elem;
+}
+
+impl Vector for F32x4 {
+    type Elem = f32;
+    const LANES: usize = 4;
+
+    #[inline(always)]
+    fn zero() -> Self {
+        F32x4::zero()
+    }
+    #[inline(always)]
+    fn splat(x: f32) -> Self {
+        F32x4::splat(x)
+    }
+    #[inline(always)]
+    unsafe fn load(ptr: *const f32) -> Self {
+        F32x4::load(ptr)
+    }
+    #[inline(always)]
+    unsafe fn store(self, ptr: *mut f32) {
+        F32x4::store(self, ptr)
+    }
+    #[inline(always)]
+    fn fma(self, a: Self, b: Self) -> Self {
+        F32x4::fma(self, a, b)
+    }
+    #[inline(always)]
+    fn fma_lane_dyn(self, a: Self, b: Self, lane: usize) -> Self {
+        match lane {
+            0 => self.fma_lane::<0>(a, b),
+            1 => self.fma_lane::<1>(a, b),
+            2 => self.fma_lane::<2>(a, b),
+            _ => self.fma_lane::<3>(a, b),
+        }
+    }
+    #[inline(always)]
+    fn extract_dyn(self, lane: usize) -> f32 {
+        self.to_array()[lane]
+    }
+    #[inline(always)]
+    fn add(self, o: Self) -> Self {
+        F32x4::add(self, o)
+    }
+    #[inline(always)]
+    fn scale(self, s: f32) -> Self {
+        F32x4::scale(self, s)
+    }
+    #[inline(always)]
+    fn reduce_sum(self) -> f32 {
+        F32x4::reduce_sum(self)
+    }
+}
+
+impl Vector for F64x2 {
+    type Elem = f64;
+    const LANES: usize = 2;
+
+    #[inline(always)]
+    fn zero() -> Self {
+        F64x2::zero()
+    }
+    #[inline(always)]
+    fn splat(x: f64) -> Self {
+        F64x2::splat(x)
+    }
+    #[inline(always)]
+    unsafe fn load(ptr: *const f64) -> Self {
+        F64x2::load(ptr)
+    }
+    #[inline(always)]
+    unsafe fn store(self, ptr: *mut f64) {
+        F64x2::store(self, ptr)
+    }
+    #[inline(always)]
+    fn fma(self, a: Self, b: Self) -> Self {
+        F64x2::fma(self, a, b)
+    }
+    #[inline(always)]
+    fn fma_lane_dyn(self, a: Self, b: Self, lane: usize) -> Self {
+        match lane {
+            0 => self.fma_lane::<0>(a, b),
+            _ => self.fma_lane::<1>(a, b),
+        }
+    }
+    #[inline(always)]
+    fn extract_dyn(self, lane: usize) -> f64 {
+        self.to_array()[lane]
+    }
+    #[inline(always)]
+    fn add(self, o: Self) -> Self {
+        F64x2::add(self, o)
+    }
+    #[inline(always)]
+    fn scale(self, s: f64) -> Self {
+        F64x2::scale(self, s)
+    }
+    #[inline(always)]
+    fn reduce_sum(self) -> f64 {
+        F64x2::reduce_sum(self)
+    }
+}
+
+impl Vector for F32x8 {
+    type Elem = f32;
+    const LANES: usize = 8;
+
+    #[inline(always)]
+    fn zero() -> Self {
+        F32x8::zero()
+    }
+    #[inline(always)]
+    fn splat(x: f32) -> Self {
+        F32x8::splat(x)
+    }
+    #[inline(always)]
+    unsafe fn load(ptr: *const f32) -> Self {
+        F32x8::load(ptr)
+    }
+    #[inline(always)]
+    unsafe fn store(self, ptr: *mut f32) {
+        F32x8::store(self, ptr)
+    }
+    #[inline(always)]
+    fn fma(self, a: Self, b: Self) -> Self {
+        F32x8::fma(self, a, b)
+    }
+    #[inline(always)]
+    fn fma_lane_dyn(self, a: Self, b: Self, lane: usize) -> Self {
+        F32x8::fma_lane_dyn(self, a, b, lane)
+    }
+    #[inline(always)]
+    fn extract_dyn(self, lane: usize) -> f32 {
+        self.to_array()[lane]
+    }
+    #[inline(always)]
+    fn add(self, o: Self) -> Self {
+        F32x8::add(self, o)
+    }
+    #[inline(always)]
+    fn scale(self, s: f32) -> Self {
+        F32x8::scale(self, s)
+    }
+    #[inline(always)]
+    fn reduce_sum(self) -> f32 {
+        F32x8::reduce_sum(self)
+    }
+}
+
+impl Vector for F64x4 {
+    type Elem = f64;
+    const LANES: usize = 4;
+
+    #[inline(always)]
+    fn zero() -> Self {
+        F64x4::zero()
+    }
+    #[inline(always)]
+    fn splat(x: f64) -> Self {
+        F64x4::splat(x)
+    }
+    #[inline(always)]
+    unsafe fn load(ptr: *const f64) -> Self {
+        F64x4::load(ptr)
+    }
+    #[inline(always)]
+    unsafe fn store(self, ptr: *mut f64) {
+        F64x4::store(self, ptr)
+    }
+    #[inline(always)]
+    fn fma(self, a: Self, b: Self) -> Self {
+        F64x4::fma(self, a, b)
+    }
+    #[inline(always)]
+    fn fma_lane_dyn(self, a: Self, b: Self, lane: usize) -> Self {
+        F64x4::fma_lane_dyn(self, a, b, lane)
+    }
+    #[inline(always)]
+    fn extract_dyn(self, lane: usize) -> f64 {
+        self.to_array()[lane]
+    }
+    #[inline(always)]
+    fn add(self, o: Self) -> Self {
+        F64x4::add(self, o)
+    }
+    #[inline(always)]
+    fn scale(self, s: f64) -> Self {
+        F64x4::scale(self, s)
+    }
+    #[inline(always)]
+    fn reduce_sum(self) -> f64 {
+        F64x4::reduce_sum(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lanes_match_scalar_model() {
+        assert_eq!(<F32x4 as Vector>::LANES, <f32 as Scalar>::LANES);
+        assert_eq!(<F64x2 as Vector>::LANES, <f64 as Scalar>::LANES);
+    }
+
+    #[test]
+    fn dyn_lane_ops_agree_with_const_lane() {
+        let a = F32x4::from_array([1.0, 2.0, 3.0, 4.0]);
+        let b = F32x4::from_array([10.0, 20.0, 30.0, 40.0]);
+        for lane in 0..4 {
+            let got = F32x4::zero().fma_lane_dyn(a, b, lane);
+            let want_scalar = b.to_array()[lane];
+            for (i, x) in got.to_array().iter().enumerate() {
+                assert_eq!(*x, a.to_array()[i] * want_scalar);
+            }
+            assert_eq!(b.extract_dyn(lane), b.to_array()[lane]);
+        }
+    }
+
+    #[test]
+    fn generic_helper_roundtrip() {
+        fn sum_via<V: Vector>(vals: &[V::Elem]) -> V::Elem {
+            let v = unsafe { V::load(vals.as_ptr()) };
+            v.reduce_sum()
+        }
+        assert_eq!(sum_via::<F32x4>(&[1.0, 2.0, 3.0, 4.0]), 10.0);
+        assert_eq!(sum_via::<F64x2>(&[1.5, 2.5]), 4.0);
+    }
+}

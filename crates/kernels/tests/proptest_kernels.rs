@@ -1,0 +1,236 @@
+//! Property tests at the micro-kernel layer: random `kc`, strides and
+//! values against the `f64`-accumulating oracle, for every kernel
+//! family and both vector widths.
+
+use proptest::prelude::*;
+use shalom_kernels::edge::{edge_kernel_batched, edge_kernel_pipelined};
+use shalom_kernels::main_kernel::{main_kernel, main_kernel_shape};
+use shalom_kernels::nt_pack::nt_pack_panel;
+use shalom_kernels::pack::{pack_a_slivers_goto, pack_b_slivers_goto, pack_transpose};
+use shalom_kernels::{Vector, MR, NR_F32, NR_F64};
+use shalom_matrix::{assert_close, gemm_tolerance, reference, MatRef, Matrix, Op, Scalar};
+use shalom_simd::{F32x4, F64x2, F32x8};
+
+fn check_main<V: Vector>(kc: usize, pad_a: usize, pad_b: usize, seed: u64) {
+    let nr = 3 * V::LANES;
+    let a = Matrix::<V::Elem>::random_with_ld(MR, kc.max(1), kc.max(1) + pad_a, seed);
+    let b = Matrix::<V::Elem>::random_with_ld(kc.max(1), nr, nr + pad_b, seed + 1);
+    let mut c = Matrix::<V::Elem>::random(MR, nr, seed + 2);
+    let mut want = c.clone();
+    reference::gemm(
+        Op::NoTrans,
+        Op::NoTrans,
+        V::Elem::ONE,
+        a.as_ref().submatrix(0, 0, MR, kc),
+        b.as_ref().submatrix(0, 0, kc, nr),
+        V::Elem::ONE,
+        want.as_mut(),
+    );
+    unsafe {
+        main_kernel::<V>(
+            kc,
+            V::Elem::ONE,
+            a.as_slice().as_ptr(),
+            a.ld(),
+            b.as_slice().as_ptr(),
+            b.ld(),
+            V::Elem::ONE,
+            c.as_mut().as_mut_ptr(),
+            c.ld(),
+        );
+    }
+    assert_close(c.as_ref(), want.as_ref(), gemm_tolerance::<V::Elem>(kc, 2.0));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn main_kernel_random_kc_strides(kc in 0usize..80,
+                                     pad_a in 0usize..5,
+                                     pad_b in 0usize..5,
+                                     seed in 0u64..10_000) {
+        check_main::<F32x4>(kc, pad_a, pad_b, seed);
+        check_main::<F64x2>(kc, pad_a, pad_b, seed);
+    }
+
+    #[test]
+    fn edge_kernels_random_everything(m in 1usize..=7,
+                                      n in 1usize..=12,
+                                      kc in 0usize..60,
+                                      seed in 0u64..10_000,
+                                      pipelined in any::<bool>()) {
+        let a = Matrix::<f32>::random(m, kc.max(1), seed);
+        let b = Matrix::<f32>::random(kc.max(1), n, seed + 1);
+        let mut c = Matrix::<f32>::random(m, n, seed + 2);
+        let mut want = c.clone();
+        reference::gemm(
+            Op::NoTrans,
+            Op::NoTrans,
+            1.5f32,
+            a.as_ref().submatrix(0, 0, m, kc),
+            b.as_ref().submatrix(0, 0, kc, n),
+            -0.5f32,
+            want.as_mut(),
+        );
+        unsafe {
+            let f = if pipelined { edge_kernel_pipelined::<F32x4> } else { edge_kernel_batched::<F32x4> };
+            f(m, n, kc, 1.5, a.as_slice().as_ptr(), a.ld(),
+              b.as_slice().as_ptr(), b.ld(), -0.5, c.as_mut().as_mut_ptr(), c.ld());
+        }
+        assert_close(c.as_ref(), want.as_ref(), gemm_tolerance::<f32>(kc, 4.0));
+    }
+
+    #[test]
+    fn nt_pack_random(m in 1usize..=7,
+                      npanel in 1usize..=6,
+                      kc in 0usize..40,
+                      seed in 0u64..10_000) {
+        let nr = NR_F64;
+        let a = Matrix::<f64>::random(m, kc.max(1), seed);
+        let b = Matrix::<f64>::random(npanel, kc.max(1), seed + 1);
+        let mut c = Matrix::<f64>::random(m, npanel, seed + 2);
+        let mut want = c.clone();
+        reference::gemm(
+            Op::NoTrans,
+            Op::Trans,
+            1.0f64,
+            a.as_ref().submatrix(0, 0, m, kc),
+            b.as_ref().submatrix(0, 0, npanel, kc),
+            1.0f64,
+            want.as_mut(),
+        );
+        let mut bc = vec![0f64; kc.max(1) * nr];
+        unsafe {
+            nt_pack_panel::<F64x2>(
+                m, npanel, kc, nr, 1.0,
+                a.as_slice().as_ptr(), a.ld(),
+                b.as_slice().as_ptr(), b.ld(),
+                1.0, c.as_mut().as_mut_ptr(), c.ld(), bc.as_mut_ptr(),
+            );
+        }
+        assert_close(c.as_ref(), want.as_ref(), gemm_tolerance::<f64>(kc, 2.0));
+        // Scatter correctness: bc[k][j] == B[j][k] for j < npanel.
+        for k in 0..kc {
+            for j in 0..npanel {
+                prop_assert_eq!(bc[k * nr + j], b.at(j, k));
+            }
+        }
+    }
+
+    #[test]
+    fn wide_kernel_random(kc in 0usize..50, seed in 0u64..10_000) {
+        let a = Matrix::<f32>::random(9, kc.max(1), seed);
+        let b = Matrix::<f32>::random(kc.max(1), 16, seed + 1);
+        let mut c = Matrix::<f32>::random(9, 16, seed + 2);
+        let mut want = c.clone();
+        reference::gemm(
+            Op::NoTrans,
+            Op::NoTrans,
+            1.0f32,
+            a.as_ref().submatrix(0, 0, 9, kc),
+            b.as_ref().submatrix(0, 0, kc, 16),
+            1.0f32,
+            want.as_mut(),
+        );
+        unsafe {
+            main_kernel_shape::<F32x8, 9, 2>(
+                kc, 1.0, a.as_slice().as_ptr(), a.ld(),
+                b.as_slice().as_ptr(), b.ld(), 1.0,
+                c.as_mut().as_mut_ptr(), c.ld(),
+            );
+        }
+        assert_close(c.as_ref(), want.as_ref(), gemm_tolerance::<f32>(kc, 2.0));
+    }
+
+    #[test]
+    fn goto_packs_preserve_all_elements(mc in 1usize..30,
+                                        kc in 1usize..20,
+                                        nc in 1usize..30,
+                                        seed in 0u64..10_000) {
+        // Every source element appears exactly where the sliver layout
+        // says; padding is zero.
+        let mr = 8;
+        let nr = 4;
+        let a = Matrix::<f32>::random(mc, kc, seed);
+        let mut dst = vec![f32::NAN; mc.div_ceil(mr) * mr * kc];
+        unsafe {
+            pack_a_slivers_goto(a.as_slice().as_ptr(), a.ld(), mc, kc, mr, dst.as_mut_ptr());
+        }
+        for s in 0..mc.div_ceil(mr) {
+            for k in 0..kc {
+                for i in 0..mr {
+                    let v = dst[s * mr * kc + k * mr + i];
+                    let row = s * mr + i;
+                    if row < mc {
+                        prop_assert_eq!(v, a.at(row, k));
+                    } else {
+                        prop_assert_eq!(v, 0.0);
+                    }
+                }
+            }
+        }
+        let b = Matrix::<f32>::random(kc, nc, seed + 1);
+        let mut bdst = vec![f32::NAN; nc.div_ceil(nr) * kc * nr];
+        unsafe {
+            pack_b_slivers_goto(b.as_slice().as_ptr(), b.ld(), kc, nc, nr, bdst.as_mut_ptr());
+        }
+        for s in 0..nc.div_ceil(nr) {
+            for k in 0..kc {
+                for j in 0..nr {
+                    let v = bdst[s * kc * nr + k * nr + j];
+                    let col = s * nr + j;
+                    if col < nc {
+                        prop_assert_eq!(v, b.at(k, col));
+                    } else {
+                        prop_assert_eq!(v, 0.0);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_pack_involution(rows in 1usize..25, cols in 1usize..25, seed in 0u64..10_000) {
+        let src = Matrix::<f64>::random(rows, cols, seed);
+        let mut once = vec![0f64; cols * rows];
+        let mut twice = vec![0f64; rows * cols];
+        unsafe {
+            pack_transpose(src.as_slice().as_ptr(), src.ld(), rows, cols, once.as_mut_ptr(), rows);
+            pack_transpose(once.as_ptr(), rows, cols, rows, twice.as_mut_ptr(), cols);
+        }
+        let back = MatRef::from_slice(&twice, rows, cols, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                prop_assert_eq!(back.at(r, c), src.at(r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn main_kernel_linearity_in_alpha(kc in 1usize..30, seed in 0u64..10_000) {
+        // kernel(2*alpha, beta=0) == 2 * kernel(alpha, beta=0) exactly
+        // (scaling happens once at writeback).
+        let nr = NR_F32;
+        let a = Matrix::<f32>::random(MR, kc, seed);
+        let b = Matrix::<f32>::random(kc, nr, seed + 1);
+        let run = |alpha: f32| {
+            let mut c = Matrix::<f32>::zeros(MR, nr);
+            unsafe {
+                main_kernel::<F32x4>(
+                    kc, alpha, a.as_slice().as_ptr(), a.ld(),
+                    b.as_slice().as_ptr(), b.ld(), 0.0,
+                    c.as_mut().as_mut_ptr(), c.ld(),
+                );
+            }
+            c
+        };
+        let c1 = run(1.0);
+        let c2 = run(2.0);
+        for i in 0..MR {
+            for j in 0..nr {
+                prop_assert_eq!(c2.at(i, j), 2.0 * c1.at(i, j));
+            }
+        }
+    }
+}

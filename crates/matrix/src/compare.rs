@@ -1,0 +1,134 @@
+//! Numeric comparison helpers with GEMM-aware tolerances.
+
+use crate::{MatRef, Scalar};
+
+/// Largest absolute element-wise difference between two equal-shaped views.
+///
+/// # Panics
+/// If the shapes differ.
+pub fn max_abs_diff<T: Scalar>(a: MatRef<'_, T>, b: MatRef<'_, T>) -> f64 {
+    assert_eq!(a.rows(), b.rows(), "row mismatch");
+    assert_eq!(a.cols(), b.cols(), "col mismatch");
+    let mut worst = 0f64;
+    for i in 0..a.rows() {
+        for j in 0..a.cols() {
+            let d = (a.at(i, j).to_f64() - b.at(i, j).to_f64()).abs();
+            if d > worst {
+                worst = d;
+            }
+        }
+    }
+    worst
+}
+
+/// Largest relative element-wise difference, `|a-b| / max(|a|, |b|, 1)`.
+///
+/// # Panics
+/// If the shapes differ.
+pub fn max_rel_diff<T: Scalar>(a: MatRef<'_, T>, b: MatRef<'_, T>) -> f64 {
+    assert_eq!(a.rows(), b.rows(), "row mismatch");
+    assert_eq!(a.cols(), b.cols(), "col mismatch");
+    let mut worst = 0f64;
+    for i in 0..a.rows() {
+        for j in 0..a.cols() {
+            let x = a.at(i, j).to_f64();
+            let y = b.at(i, j).to_f64();
+            let scale = x.abs().max(y.abs()).max(1.0);
+            let d = (x - y).abs() / scale;
+            if d > worst {
+                worst = d;
+            }
+        }
+    }
+    worst
+}
+
+/// Forward-error bound for a `K`-term accumulated GEMM entry.
+///
+/// A dot product of `k` terms with entries of magnitude ~`scale` carries a
+/// rounding error of at most ~`k * eps * scale` per entry; we multiply by a
+/// small safety factor because the optimized kernels reassociate sums
+/// (vector lanes, outer-product splits), which changes — but does not
+/// asymptotically worsen — the error.
+pub fn gemm_tolerance<T: Scalar>(k: usize, scale: f64) -> f64 {
+    let eps = T::EPSILON.to_f64();
+    8.0 * eps * (k.max(1) as f64) * scale.max(1.0)
+}
+
+/// Asserts two views are element-wise equal within `tol`, reporting the
+/// first offending entry on failure.
+///
+/// # Panics
+/// If shapes differ or any entry differs by more than `tol` (or is
+/// non-finite on one side only).
+pub fn assert_close<T: Scalar>(got: MatRef<'_, T>, want: MatRef<'_, T>, tol: f64) {
+    assert_eq!(got.rows(), want.rows(), "row mismatch");
+    assert_eq!(got.cols(), want.cols(), "col mismatch");
+    for i in 0..got.rows() {
+        for j in 0..got.cols() {
+            let g = got.at(i, j).to_f64();
+            let w = want.at(i, j).to_f64();
+            assert!(
+                g.is_finite() == w.is_finite(),
+                "finiteness mismatch at ({i},{j}): got {g}, want {w}"
+            );
+            let d = (g - w).abs();
+            assert!(
+                d <= tol,
+                "mismatch at ({i},{j}): got {g}, want {w}, |diff| {d} > tol {tol}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Matrix;
+
+    #[test]
+    fn diffs_on_identical_are_zero() {
+        let a = Matrix::<f32>::random(3, 3, 5);
+        assert_eq!(max_abs_diff(a.as_ref(), a.as_ref()), 0.0);
+        assert_eq!(max_rel_diff(a.as_ref(), a.as_ref()), 0.0);
+    }
+
+    #[test]
+    fn abs_diff_finds_worst_entry() {
+        let a = Matrix::from_vec(2, 2, vec![1.0f64, 2.0, 3.0, 4.0]);
+        let b = Matrix::from_vec(2, 2, vec![1.0f64, 2.5, 3.0, 3.9]);
+        assert!((max_abs_diff(a.as_ref(), b.as_ref()) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rel_diff_normalizes_by_magnitude() {
+        let a = Matrix::from_vec(1, 1, vec![1000.0f64]);
+        let b = Matrix::from_vec(1, 1, vec![1001.0f64]);
+        let r = max_rel_diff(a.as_ref(), b.as_ref());
+        assert!((r - 1.0 / 1001.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tolerance_grows_with_k_and_precision() {
+        let t32 = gemm_tolerance::<f32>(100, 1.0);
+        let t64 = gemm_tolerance::<f64>(100, 1.0);
+        assert!(t32 > t64);
+        assert!(gemm_tolerance::<f32>(1000, 1.0) > t32);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch at (0,1)")]
+    fn assert_close_reports_position() {
+        let a = Matrix::from_vec(1, 2, vec![1.0f32, 2.0]);
+        let b = Matrix::from_vec(1, 2, vec![1.0f32, 3.0]);
+        assert_close(a.as_ref(), b.as_ref(), 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "finiteness")]
+    fn nan_on_one_side_fails() {
+        let a = Matrix::from_vec(1, 1, vec![f32::NAN]);
+        let b = Matrix::from_vec(1, 1, vec![0.0f32]);
+        assert_close(a.as_ref(), b.as_ref(), 1.0);
+    }
+}

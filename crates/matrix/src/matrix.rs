@@ -1,0 +1,342 @@
+//! Owned row-major matrix storage.
+
+use crate::{MatMut, MatRef, Scalar};
+use rand::distributions::{Distribution, Uniform};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Owned row-major matrix with an explicit leading dimension.
+///
+/// `ld >= cols`; element `(i, j)` lives at `data[i * ld + j]`. A padded
+/// `ld` lets tests exercise the strided code paths the BLAS API allows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix<T> {
+    data: Vec<T>,
+    rows: usize,
+    cols: usize,
+    ld: usize,
+}
+
+impl<T: Scalar> Matrix<T> {
+    /// All-zero `rows x cols` matrix with tight leading dimension.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self::zeros_with_ld(rows, cols, cols)
+    }
+
+    /// All-zero matrix with leading dimension `ld >= cols`.
+    ///
+    /// # Panics
+    /// If `ld < cols`.
+    pub fn zeros_with_ld(rows: usize, cols: usize, ld: usize) -> Self {
+        assert!(ld >= cols, "leading dimension {ld} < cols {cols}");
+        Self {
+            data: vec![T::ZERO; rows * ld],
+            rows,
+            cols,
+            ld,
+        }
+    }
+
+    /// Builds a matrix from a generator function over `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m.data[i * m.ld + j] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Builds from a dense row-major `Vec` of exactly `rows * cols` elements.
+    ///
+    /// # Panics
+    /// If `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length != rows*cols");
+        Self {
+            data,
+            rows,
+            cols,
+            ld: cols,
+        }
+    }
+
+    /// Matrix with uniform random entries in `[0, 1)` — the initialization
+    /// the paper uses for its synthetic workloads (§7.2) — from a fixed
+    /// seed for reproducibility.
+    pub fn random(rows: usize, cols: usize, seed: u64) -> Self {
+        Self::random_with_ld(rows, cols, cols, seed)
+    }
+
+    /// Random matrix with padded leading dimension; padding stays zero.
+    pub fn random_with_ld(rows: usize, cols: usize, ld: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dist = Uniform::new(0.0f64, 1.0);
+        let mut m = Self::zeros_with_ld(rows, cols, ld);
+        for i in 0..rows {
+            for j in 0..cols {
+                m.data[i * ld + j] = T::from_f64(dist.sample(&mut rng));
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline(always)]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline(always)]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Leading dimension.
+    #[inline(always)]
+    pub fn ld(&self) -> usize {
+        self.ld
+    }
+
+    /// Element at `(i, j)`.
+    #[inline(always)]
+    pub fn at(&self, i: usize, j: usize) -> T {
+        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        self.data[i * self.ld + j]
+    }
+
+    /// Writes `v` at `(i, j)`.
+    #[inline(always)]
+    pub fn set(&mut self, i: usize, j: usize, v: T) {
+        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        self.data[i * self.ld + j] = v;
+    }
+
+    /// Immutable view of the whole matrix.
+    #[inline(always)]
+    pub fn as_ref(&self) -> MatRef<'_, T> {
+        MatRef::from_slice(&self.data, self.rows, self.cols, self.ld)
+    }
+
+    /// Mutable view of the whole matrix.
+    #[inline(always)]
+    pub fn as_mut(&mut self) -> MatMut<'_, T> {
+        MatMut::from_slice(&mut self.data, self.rows, self.cols, self.ld)
+    }
+
+    /// Underlying storage (including any `ld` padding).
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// New matrix that is the transpose of `self` (tight `ld`).
+    pub fn transposed(&self) -> Matrix<T> {
+        Matrix::from_fn(self.cols, self.rows, |i, j| self.at(j, i))
+    }
+
+    /// Frobenius-style max-abs entry, handy for sanity checks.
+    pub fn max_abs(&self) -> T {
+        let mut best = T::ZERO;
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                let v = self.at(i, j).abs();
+                if v > best {
+                    best = v;
+                }
+            }
+        }
+        best
+    }
+
+    /// The `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        Self::from_fn(n, n, |i, j| if i == j { T::ONE } else { T::ZERO })
+    }
+
+    /// Multiplies every viewed element by `s` in place (padding
+    /// untouched).
+    pub fn scale_in_place(&mut self, s: T) {
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                let v = self.data[i * self.ld + j] * s;
+                self.data[i * self.ld + j] = v;
+            }
+        }
+    }
+
+    /// Element-wise `self += other`.
+    ///
+    /// # Panics
+    /// If the shapes differ.
+    pub fn add_assign(&mut self, other: &MatRef<'_, T>) {
+        assert_eq!(self.rows, other.rows(), "row mismatch");
+        assert_eq!(self.cols, other.cols(), "col mismatch");
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                let v = self.data[i * self.ld + j] + other.at(i, j);
+                self.data[i * self.ld + j] = v;
+            }
+        }
+    }
+
+    /// Frobenius norm, accumulated in `f64`.
+    pub fn frobenius_norm(&self) -> f64 {
+        let mut acc = 0f64;
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                let v = self.at(i, j).to_f64();
+                acc += v * v;
+            }
+        }
+        acc.sqrt()
+    }
+
+    /// Copies `src` into this matrix.
+    ///
+    /// # Panics
+    /// If the shapes differ.
+    pub fn copy_from(&mut self, src: &MatRef<'_, T>) {
+        assert_eq!(self.rows, src.rows(), "row mismatch");
+        assert_eq!(self.cols, src.cols(), "col mismatch");
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                self.data[i * self.ld + j] = src.at(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_set() {
+        let mut m = Matrix::<f32>::zeros(2, 3);
+        assert_eq!(m.at(1, 2), 0.0);
+        m.set(1, 2, 5.0);
+        assert_eq!(m.at(1, 2), 5.0);
+        assert_eq!(m.ld(), 3);
+    }
+
+    #[test]
+    fn from_fn_layout() {
+        let m = Matrix::from_fn(3, 2, |i, j| (10 * i + j) as f64);
+        assert_eq!(m.at(2, 1), 21.0);
+        assert_eq!(m.as_slice(), &[0.0, 1.0, 10.0, 11.0, 20.0, 21.0]);
+    }
+
+    #[test]
+    fn from_vec_roundtrip() {
+        let m = Matrix::from_vec(2, 2, vec![1.0f32, 2.0, 3.0, 4.0]);
+        assert_eq!(m.at(0, 1), 2.0);
+        assert_eq!(m.at(1, 0), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rows*cols")]
+    fn from_vec_wrong_len() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0f32; 3]);
+    }
+
+    #[test]
+    fn random_is_seed_deterministic_and_in_range() {
+        let a = Matrix::<f32>::random(5, 7, 42);
+        let b = Matrix::<f32>::random(5, 7, 42);
+        let c = Matrix::<f32>::random(5, 7, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        for i in 0..5 {
+            for j in 0..7 {
+                let v = a.at(i, j);
+                assert!((0.0..1.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn padded_ld_keeps_padding_zero() {
+        let m = Matrix::<f64>::random_with_ld(3, 3, 5, 1);
+        for i in 0..3 {
+            for p in 3..5 {
+                assert_eq!(m.as_slice()[i * 5 + p], 0.0);
+            }
+        }
+        assert_eq!(m.as_ref().ld(), 5);
+    }
+
+    #[test]
+    fn transpose() {
+        let m = Matrix::from_fn(2, 3, |i, j| (i * 3 + j) as f32);
+        let t = m.transposed();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 2);
+        for i in 0..2 {
+            for j in 0..3 {
+                assert_eq!(m.at(i, j), t.at(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn max_abs() {
+        let m = Matrix::from_fn(2, 2, |i, j| if i == 1 && j == 0 { -7.0f32 } else { 1.0 });
+        assert_eq!(m.max_abs(), 7.0);
+    }
+
+    #[test]
+    fn identity_structure() {
+        let eye = Matrix::<f64>::identity(4);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(eye.at(i, j), if i == j { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn scale_and_add_assign_respect_padding() {
+        let mut m = Matrix::<f32>::zeros_with_ld(2, 2, 4);
+        m.set(0, 0, 1.0);
+        m.set(1, 1, 2.0);
+        m.scale_in_place(3.0);
+        assert_eq!(m.at(0, 0), 3.0);
+        assert_eq!(m.at(1, 1), 6.0);
+        let other = Matrix::from_fn(2, 2, |i, j| (i + j) as f32);
+        m.add_assign(&other.as_ref());
+        assert_eq!(m.at(0, 1), 1.0);
+        assert_eq!(m.at(1, 1), 8.0);
+        // padding columns stay zero
+        assert_eq!(m.as_slice()[2], 0.0);
+        assert_eq!(m.as_slice()[3], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "row mismatch")]
+    fn add_assign_shape_checked() {
+        let mut m = Matrix::<f32>::zeros(2, 2);
+        let other = Matrix::<f32>::zeros(3, 2);
+        m.add_assign(&other.as_ref());
+    }
+
+    #[test]
+    fn frobenius() {
+        let m = Matrix::from_vec(1, 2, vec![3.0f32, 4.0]);
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-12);
+        assert_eq!(Matrix::<f64>::zeros(3, 3).frobenius_norm(), 0.0);
+    }
+
+    #[test]
+    fn copy_from_roundtrip() {
+        let src = Matrix::<f64>::random(3, 4, 9);
+        let mut dst = Matrix::<f64>::zeros_with_ld(3, 4, 7);
+        dst.copy_from(&src.as_ref());
+        for i in 0..3 {
+            for j in 0..4 {
+                assert_eq!(dst.at(i, j), src.at(i, j));
+            }
+        }
+    }
+}

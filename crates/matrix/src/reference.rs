@@ -1,0 +1,211 @@
+//! Naive reference GEMM — the correctness oracle for every optimized path.
+//!
+//! Computes `C = alpha * op(A) * op(B) + beta * C` with a plain triple loop,
+//! accumulating each dot product in `f64` regardless of the element type so
+//! that the oracle is strictly more accurate than any kernel under test.
+
+use crate::{MatMut, MatRef, Op, Scalar};
+
+/// `C = alpha * op(A) * op(B) + beta * C`.
+///
+/// Dimension convention (matching BLAS and the paper's footnote 1):
+/// `op(A)` is `M x K`, `op(B)` is `K x N`, `C` is `M x N`. The *stored*
+/// `A` is therefore `M x K` when `op_a` is [`Op::NoTrans`] and `K x M`
+/// when [`Op::Trans`] (similarly for `B`).
+///
+/// # Panics
+/// If the stored dimensions are inconsistent with `(M, N, K)` implied by
+/// `C` and the ops.
+pub fn gemm<T: Scalar>(
+    op_a: Op,
+    op_b: Op,
+    alpha: T,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    beta: T,
+    mut c: MatMut<'_, T>,
+) {
+    let m = c.rows();
+    let n = c.cols();
+    let k = match op_a {
+        Op::NoTrans => a.cols(),
+        Op::Trans => a.rows(),
+    };
+    check_dims(op_a, op_b, m, n, k, &a, &b);
+
+    let alpha = alpha.to_f64();
+    let beta = beta.to_f64();
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0f64;
+            for p in 0..k {
+                let aval = match op_a {
+                    Op::NoTrans => a.at(i, p),
+                    Op::Trans => a.at(p, i),
+                };
+                let bval = match op_b {
+                    Op::NoTrans => b.at(p, j),
+                    Op::Trans => b.at(j, p),
+                };
+                acc += aval.to_f64() * bval.to_f64();
+            }
+            let old = if beta == 0.0 { 0.0 } else { c.at(i, j).to_f64() };
+            c.set(i, j, T::from_f64(alpha * acc + beta * old));
+        }
+    }
+}
+
+/// Validates that stored operand shapes agree with `(m, n, k)`.
+///
+/// # Panics
+/// On any mismatch, with a message naming the offending operand.
+pub fn check_dims<T: Scalar>(
+    op_a: Op,
+    op_b: Op,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &MatRef<'_, T>,
+    b: &MatRef<'_, T>,
+) {
+    let (ar, ac) = match op_a {
+        Op::NoTrans => (m, k),
+        Op::Trans => (k, m),
+    };
+    let (br, bc) = match op_b {
+        Op::NoTrans => (k, n),
+        Op::Trans => (n, k),
+    };
+    assert!(
+        a.rows() == ar && a.cols() == ac,
+        "A stored {}x{} incompatible with op {}: need {ar}x{ac}",
+        a.rows(),
+        a.cols(),
+        op_a.letter()
+    );
+    assert!(
+        b.rows() == br && b.cols() == bc,
+        "B stored {}x{} incompatible with op {}: need {br}x{bc}",
+        b.rows(),
+        b.cols(),
+        op_b.letter()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Matrix;
+
+    #[test]
+    fn identity_times_x_is_x() {
+        let eye = Matrix::from_fn(3, 3, |i, j| if i == j { 1.0f64 } else { 0.0 });
+        let x = Matrix::random(3, 4, 7);
+        let mut c = Matrix::zeros(3, 4);
+        gemm(
+            Op::NoTrans,
+            Op::NoTrans,
+            1.0,
+            eye.as_ref(),
+            x.as_ref(),
+            0.0,
+            c.as_mut(),
+        );
+        assert_eq!(c, x);
+    }
+
+    #[test]
+    fn hand_computed_2x2() {
+        let a = Matrix::from_vec(2, 2, vec![1.0f32, 2.0, 3.0, 4.0]);
+        let b = Matrix::from_vec(2, 2, vec![5.0f32, 6.0, 7.0, 8.0]);
+        let mut c = Matrix::from_vec(2, 2, vec![1.0f32, 1.0, 1.0, 1.0]);
+        // C = 2*A*B + 3*C
+        gemm(
+            Op::NoTrans,
+            Op::NoTrans,
+            2.0,
+            a.as_ref(),
+            b.as_ref(),
+            3.0,
+            c.as_mut(),
+        );
+        // A*B = [[19,22],[43,50]]
+        assert_eq!(c.at(0, 0), 2.0 * 19.0 + 3.0);
+        assert_eq!(c.at(0, 1), 2.0 * 22.0 + 3.0);
+        assert_eq!(c.at(1, 0), 2.0 * 43.0 + 3.0);
+        assert_eq!(c.at(1, 1), 2.0 * 50.0 + 3.0);
+    }
+
+    #[test]
+    fn transpose_modes_agree_with_explicit_transpose() {
+        let m = 4;
+        let n = 5;
+        let k = 3;
+        let a = Matrix::<f64>::random(m, k, 1);
+        let b = Matrix::<f64>::random(k, n, 2);
+        let at = a.transposed();
+        let bt = b.transposed();
+        let mut c_nn = Matrix::zeros(m, n);
+        let mut c_nt = Matrix::zeros(m, n);
+        let mut c_tn = Matrix::zeros(m, n);
+        let mut c_tt = Matrix::zeros(m, n);
+        gemm(Op::NoTrans, Op::NoTrans, 1.0, a.as_ref(), b.as_ref(), 0.0, c_nn.as_mut());
+        gemm(Op::NoTrans, Op::Trans, 1.0, a.as_ref(), bt.as_ref(), 0.0, c_nt.as_mut());
+        gemm(Op::Trans, Op::NoTrans, 1.0, at.as_ref(), b.as_ref(), 0.0, c_tn.as_mut());
+        gemm(Op::Trans, Op::Trans, 1.0, at.as_ref(), bt.as_ref(), 0.0, c_tt.as_mut());
+        assert_eq!(c_nn, c_nt);
+        assert_eq!(c_nn, c_tn);
+        assert_eq!(c_nn, c_tt);
+    }
+
+    #[test]
+    fn beta_zero_ignores_nan_in_c() {
+        let a = Matrix::from_vec(1, 1, vec![2.0f32]);
+        let b = Matrix::from_vec(1, 1, vec![3.0f32]);
+        let mut c = Matrix::from_vec(1, 1, vec![f32::NAN]);
+        gemm(
+            Op::NoTrans,
+            Op::NoTrans,
+            1.0,
+            a.as_ref(),
+            b.as_ref(),
+            0.0,
+            c.as_mut(),
+        );
+        assert_eq!(c.at(0, 0), 6.0);
+    }
+
+    #[test]
+    fn k_zero_scales_c_only() {
+        let a = Matrix::<f32>::zeros(2, 0);
+        let b = Matrix::<f32>::zeros(0, 2);
+        let mut c = Matrix::from_vec(2, 2, vec![1.0f32, 2.0, 3.0, 4.0]);
+        gemm(
+            Op::NoTrans,
+            Op::NoTrans,
+            1.0,
+            a.as_ref(),
+            b.as_ref(),
+            2.0,
+            c.as_mut(),
+        );
+        assert_eq!(c.as_slice(), &[2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible")]
+    fn dim_mismatch_panics() {
+        let a = Matrix::<f32>::zeros(2, 3);
+        let b = Matrix::<f32>::zeros(4, 2); // should be 3 x n
+        let mut c = Matrix::<f32>::zeros(2, 2);
+        gemm(
+            Op::NoTrans,
+            Op::NoTrans,
+            1.0,
+            a.as_ref(),
+            b.as_ref(),
+            0.0,
+            c.as_mut(),
+        );
+    }
+}

@@ -1,0 +1,109 @@
+//! The element trait implemented by `f32` and `f64`.
+
+/// Floating-point element type usable in GEMM. Implemented for `f32`
+/// (the paper's FP32 kernels) and `f64` (FP64).
+pub trait Scalar:
+    Copy
+    + PartialEq
+    + PartialOrd
+    + core::fmt::Debug
+    + core::fmt::Display
+    + core::ops::Add<Output = Self>
+    + core::ops::Sub<Output = Self>
+    + core::ops::Mul<Output = Self>
+    + core::ops::Div<Output = Self>
+    + core::ops::Neg<Output = Self>
+    + Send
+    + Sync
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Machine epsilon of the type.
+    const EPSILON: Self;
+    /// Number of lanes this type packs into one 128-bit vector
+    /// (the paper's `j`: 4 for `f32`, 2 for `f64`).
+    const LANES: usize;
+    /// Size of one element in bytes.
+    const BYTES: usize = core::mem::size_of::<Self>();
+
+    /// Lossy conversion from `f64` (used by workload generators).
+    fn from_f64(x: f64) -> Self;
+    /// Widening conversion to `f64` (used by the reference accumulator).
+    fn to_f64(self) -> f64;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// True if the value is finite (not NaN / infinity).
+    fn is_finite(self) -> bool;
+}
+
+impl Scalar for f32 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const EPSILON: Self = f32::EPSILON;
+    const LANES: usize = 4;
+
+    #[inline(always)]
+    fn from_f64(x: f64) -> Self {
+        x as f32
+    }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    #[inline(always)]
+    fn abs(self) -> Self {
+        f32::abs(self)
+    }
+    #[inline(always)]
+    fn is_finite(self) -> bool {
+        f32::is_finite(self)
+    }
+}
+
+impl Scalar for f64 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const EPSILON: Self = f64::EPSILON;
+    const LANES: usize = 2;
+
+    #[inline(always)]
+    fn from_f64(x: f64) -> Self {
+        x
+    }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self
+    }
+    #[inline(always)]
+    fn abs(self) -> Self {
+        f64::abs(self)
+    }
+    #[inline(always)]
+    fn is_finite(self) -> bool {
+        f64::is_finite(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_model_matches_vector_width() {
+        assert_eq!(f32::LANES * 32, 128);
+        assert_eq!(f64::LANES * 64, 128);
+        assert_eq!(f32::BYTES, 4);
+        assert_eq!(f64::BYTES, 8);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(f32::from_f64(0.5), 0.5f32);
+        assert_eq!(0.5f32.to_f64(), 0.5f64);
+        assert_eq!((-2.0f64).abs(), 2.0);
+        assert!(!f32::NAN.is_finite());
+    }
+}

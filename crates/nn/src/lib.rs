@@ -1,0 +1,267 @@
+//! Convolution layers on LibShalom's irregular-GEMM path.
+//!
+//! The paper's deep-learning motivation (§1, §2.1): a convolution layer
+//! lowered with im2col becomes the tall-and-skinny GEMM LibShalom
+//! targets — `M = c_out` (small, 64–512), `N = h_out * w_out` (huge, up
+//! to 50,176 for VGG conv1.2) and `K = c_in * kh * kw`. This crate packages
+//! that lowering as a reusable layer:
+//!
+//! * [`Conv2d`] — a stride-1 2-D convolution with symmetric zero padding,
+//!   weights stored as the `c_out x (c_in*kh*kw)` filter matrix;
+//! * [`Conv2d::forward`] — single image: `im2col` + one irregular GEMM;
+//! * [`Conv2d::forward_batch`] — a mini-batch: one lowering per image and
+//!   the GEMMs dispatched through `shalom_core::gemm_batch` (each GEMM
+//!   is itself internally parallelizable; the batch path follows the
+//!   §7.4 discipline of parallelism across independent problems);
+//! * [`conv2d_direct`] — the nested-loop oracle used by the tests.
+
+#![deny(missing_docs)]
+
+use shalom_core::{gemm_batch_beta, gemm_with, BatchItem, GemmConfig, GemmElem, Op};
+use shalom_matrix::{im2col, ConvShape, MatMut, Matrix, Scalar};
+
+/// A stride-1 2-D convolution layer with im2col + GEMM execution.
+pub struct Conv2d<T> {
+    shape: ConvShape,
+    /// Filter matrix, `c_out x (c_in*kh*kw)` row-major.
+    weights: Matrix<T>,
+    cfg: GemmConfig,
+}
+
+impl<T: GemmElem> Conv2d<T> {
+    /// Builds a layer from its shape and a filter matrix of shape
+    /// `c_out x (c_in*kh*kw)`.
+    ///
+    /// # Panics
+    /// If the filter matrix shape does not match `shape`.
+    pub fn new(shape: ConvShape, weights: Matrix<T>, cfg: GemmConfig) -> Self {
+        let (m, _, k) = shape.gemm_dims();
+        assert_eq!(weights.rows(), m, "filter rows must equal c_out");
+        assert_eq!(weights.cols(), k, "filter cols must equal c_in*kh*kw");
+        Self {
+            shape,
+            weights,
+            cfg,
+        }
+    }
+
+    /// Random-weight layer (for tests and benches), seeded.
+    pub fn random(shape: ConvShape, cfg: GemmConfig, seed: u64) -> Self {
+        let (m, _, k) = shape.gemm_dims();
+        Self::new(shape, Matrix::random(m, k, seed), cfg)
+    }
+
+    /// The layer's GEMM dimensions `(M, N, K)`.
+    pub fn gemm_dims(&self) -> (usize, usize, usize) {
+        self.shape.gemm_dims()
+    }
+
+    /// Runs the layer on one input image of shape `c_in x (h*w)` (each
+    /// row one channel, row-major spatial order). Returns the output as
+    /// `c_out x (h_out*w_out)`.
+    ///
+    /// # Panics
+    /// If the input shape is wrong.
+    pub fn forward(&self, input: &Matrix<T>) -> Matrix<T> {
+        let (m, n, _) = self.shape.gemm_dims();
+        let lowered = im2col(&self.shape, input);
+        let mut out = Matrix::zeros(m, n);
+        gemm_with(
+            &self.cfg,
+            Op::NoTrans,
+            Op::NoTrans,
+            T::ONE,
+            self.weights.as_ref(),
+            lowered.as_ref(),
+            T::ZERO,
+            out.as_mut(),
+        );
+        out
+    }
+
+    /// Runs the layer on a mini-batch of images, dispatching the per-
+    /// image GEMMs as a batch (independent problems across cores, §7.4).
+    ///
+    /// # Panics
+    /// If any input shape is wrong.
+    pub fn forward_batch(&self, inputs: &[Matrix<T>]) -> Vec<Matrix<T>> {
+        let (m, n, _) = self.shape.gemm_dims();
+        let lowered: Vec<Matrix<T>> = inputs.iter().map(|x| im2col(&self.shape, x)).collect();
+        let mut outs: Vec<Matrix<T>> = (0..inputs.len()).map(|_| Matrix::zeros(m, n)).collect();
+        let mut items: Vec<BatchItem<'_, T>> = lowered
+            .iter()
+            .zip(&mut outs)
+            .map(|(b, c)| BatchItem {
+                a: self.weights.as_ref(),
+                b: b.as_ref(),
+                c: c.as_mut(),
+            })
+            .collect();
+        gemm_batch_beta(&self.cfg, Op::NoTrans, Op::NoTrans, T::ONE, T::ZERO, &mut items);
+        drop(items);
+        outs
+    }
+}
+
+/// Direct (nested-loop) convolution oracle; output `c_out x (h_out*w_out)`.
+///
+/// # Panics
+/// If the input shape is wrong.
+pub fn conv2d_direct<T: Scalar>(
+    shape: &ConvShape,
+    input: &Matrix<T>,
+    weights: &Matrix<T>,
+) -> Matrix<T> {
+    assert_eq!(input.rows(), shape.c_in);
+    assert_eq!(input.cols(), shape.h * shape.w);
+    let (h_out, w_out) = (shape.h_out(), shape.w_out());
+    let mut out = Matrix::zeros(shape.c_out, h_out * w_out);
+    let mut out_view: MatMut<'_, T> = out.as_mut();
+    for co in 0..shape.c_out {
+        for oy in 0..h_out {
+            for ox in 0..w_out {
+                let mut acc = T::ZERO;
+                for ci in 0..shape.c_in {
+                    for dy in 0..shape.kh {
+                        for dx in 0..shape.kw {
+                            let iy = (oy + dy) as isize - shape.pad as isize;
+                            let ix = (ox + dx) as isize - shape.pad as isize;
+                            if iy >= 0
+                                && ix >= 0
+                                && (iy as usize) < shape.h
+                                && (ix as usize) < shape.w
+                            {
+                                let w = weights.at(co, (ci * shape.kh + dy) * shape.kw + dx);
+                                let x = input.at(ci, iy as usize * shape.w + ix as usize);
+                                acc = acc + w * x;
+                            }
+                        }
+                    }
+                }
+                out_view.set(co, oy * w_out + ox, acc);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shalom_matrix::{assert_close, gemm_tolerance, max_abs_diff};
+
+    fn small_shape() -> ConvShape {
+        ConvShape {
+            c_in: 3,
+            c_out: 5,
+            h: 10,
+            w: 8,
+            kh: 3,
+            kw: 3,
+            pad: 1,
+        }
+    }
+
+    #[test]
+    fn forward_matches_direct() {
+        let shape = small_shape();
+        let cfg = GemmConfig::with_threads(1);
+        let layer = Conv2d::<f32>::random(shape, cfg, 1);
+        let input = Matrix::random(shape.c_in, shape.h * shape.w, 2);
+        let got = layer.forward(&input);
+        let want = conv2d_direct(&shape, &input, &layer.weights);
+        let (_, _, k) = shape.gemm_dims();
+        assert_close(got.as_ref(), want.as_ref(), gemm_tolerance::<f32>(k, 4.0));
+    }
+
+    #[test]
+    fn forward_f64() {
+        let shape = ConvShape {
+            c_in: 2,
+            c_out: 4,
+            h: 6,
+            w: 6,
+            kh: 2,
+            kw: 2,
+            pad: 0,
+        };
+        let layer = Conv2d::<f64>::random(shape, GemmConfig::with_threads(1), 3);
+        let input = Matrix::random(shape.c_in, 36, 4);
+        let got = layer.forward(&input);
+        let want = conv2d_direct(&shape, &input, &layer.weights);
+        let (_, _, k) = shape.gemm_dims();
+        assert_close(got.as_ref(), want.as_ref(), gemm_tolerance::<f64>(k, 4.0));
+    }
+
+    #[test]
+    fn batch_matches_single() {
+        let shape = small_shape();
+        let layer = Conv2d::<f32>::random(shape, GemmConfig::with_threads(3), 5);
+        let inputs: Vec<Matrix<f32>> = (0..7)
+            .map(|i| Matrix::random(shape.c_in, shape.h * shape.w, 100 + i))
+            .collect();
+        let batched = layer.forward_batch(&inputs);
+        assert_eq!(batched.len(), 7);
+        for (input, out) in inputs.iter().zip(&batched) {
+            let single = layer.forward(input);
+            assert_eq!(
+                max_abs_diff(out.as_ref(), single.as_ref()),
+                0.0,
+                "batch and single paths must agree bitwise"
+            );
+        }
+    }
+
+    #[test]
+    fn one_by_one_kernel_is_pointwise_matmul() {
+        // 1x1 conv == plain GEMM over channels.
+        let shape = ConvShape {
+            c_in: 4,
+            c_out: 3,
+            h: 5,
+            w: 5,
+            kh: 1,
+            kw: 1,
+            pad: 0,
+        };
+        let layer = Conv2d::<f32>::random(shape, GemmConfig::with_threads(1), 6);
+        let input = Matrix::random(4, 25, 7);
+        let got = layer.forward(&input);
+        let mut want = Matrix::<f32>::zeros(3, 25);
+        shalom_matrix::reference::gemm(
+            Op::NoTrans,
+            Op::NoTrans,
+            1.0,
+            layer.weights.as_ref(),
+            input.as_ref(),
+            0.0,
+            want.as_mut(),
+        );
+        assert_close(got.as_ref(), want.as_ref(), gemm_tolerance::<f32>(4, 2.0));
+    }
+
+    #[test]
+    fn gemm_dims_are_irregular_for_vgg_like_shape() {
+        let shape = ConvShape {
+            c_in: 64,
+            c_out: 64,
+            h: 112,
+            w: 112,
+            kh: 3,
+            kw: 3,
+            pad: 1,
+        };
+        let (m, n, k) = shape.gemm_dims();
+        assert_eq!((m, k), (64, 576));
+        assert_eq!(n, 12544);
+        assert!(n > 8 * m, "this is the paper's tall-and-skinny regime");
+    }
+
+    #[test]
+    #[should_panic(expected = "filter rows")]
+    fn wrong_weights_rejected() {
+        let shape = small_shape();
+        let w = Matrix::<f32>::zeros(4, 27); // c_out is 5
+        let _ = Conv2d::new(shape, w, GemmConfig::with_threads(1));
+    }
+}

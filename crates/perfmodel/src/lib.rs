@@ -1,0 +1,37 @@
+//! Machine models (paper Table 1) and an analytic multi-core GEMM
+//! execution model.
+//!
+//! The paper's parallel experiments (Figures 9–11 and 15) ran on 64-core
+//! Phytium 2000+ and Kunpeng 920 and a 32-core ThunderX2. This container
+//! has **one** CPU, so wall-clock speedup cannot be observed; following
+//! the substitution rules in `DESIGN.md`, the *figures* are regenerated
+//! from this analytic model while the real fork-join code path is
+//! exercised (and correctness-tested) with actual threads.
+//!
+//! The model encodes exactly the quantities the paper's §5–§6 analysis
+//! argues about — per-thread CMR of the partition, edge-case inflation,
+//! packing traffic, memory-bandwidth saturation and fork-join overhead —
+//! so the *shape* of each curve (who wins, where scaling bends) follows
+//! from the strategies themselves, not from curve fitting.
+
+#![deny(missing_docs)]
+
+pub mod machines;
+pub mod model;
+
+pub use machines::{MachineModel, Precision};
+pub use model::{predict, predict_detailed, Breakdown, EdgeHandling, PackingModel, PartitionScheme, Prediction, StrategyModel};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reexports() {
+        let m = MachineModel::kunpeng920();
+        assert_eq!(m.cores, 64);
+        let s = StrategyModel::libshalom();
+        let p = predict(&m, &s, Precision::F32, 64, 50176, 576, 64);
+        assert!(p.gflops > 0.0);
+    }
+}

@@ -1,0 +1,191 @@
+//! The evaluation platforms of paper Table 1, plus a detected host model.
+
+/// Floating-point precision of a modelled GEMM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Precision {
+    /// 32-bit (the paper's FP32 experiments; `j = 4`).
+    F32,
+    /// 64-bit (`j = 2`; throughput "roughly half of the FP32
+    /// performance", §8.1).
+    F64,
+}
+
+impl Precision {
+    /// Element size in bytes.
+    pub fn bytes(self) -> usize {
+        match self {
+            Precision::F32 => 4,
+            Precision::F64 => 8,
+        }
+    }
+
+    /// Lanes per 128-bit vector (the paper's `j`).
+    pub fn lanes(self) -> usize {
+        match self {
+            Precision::F32 => 4,
+            Precision::F64 => 2,
+        }
+    }
+}
+
+/// An evaluation platform: Table 1 specifications plus the
+/// micro-architectural constants the execution model needs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineModel {
+    /// Platform name as printed in figures.
+    pub name: &'static str,
+    /// Core count (Table 1).
+    pub cores: usize,
+    /// Clock in GHz (Table 1).
+    pub freq_ghz: f64,
+    /// L1D per core, bytes (Table 1).
+    pub l1: usize,
+    /// L2 bytes (Table 1; per-cluster on Phytium 2000+).
+    pub l2: usize,
+    /// L3 bytes; 0 = none (Table 1).
+    pub l3: usize,
+    /// Cores sharing one L2 (4 on Phytium 2000+, 1 elsewhere).
+    pub l2_shared_by: usize,
+    /// 128-bit FMA pipes per core (1 on Phytium 2000+, 2 on KP920/TX2 —
+    /// derivable from Table 1: peak = cores * freq * 2 flops * 4 lanes *
+    /// pipes).
+    pub fma_pipes: usize,
+    /// Sustained aggregate DRAM bandwidth, GB/s. Not in Table 1; taken
+    /// from the platforms' published STREAM-class measurements
+    /// (documented assumption — affects saturation points, not ordering).
+    pub mem_bw_gbs: f64,
+    /// Fork-join cost per spawned thread, microseconds (models the §6
+    /// "thread synchronization overhead").
+    pub fork_join_us: f64,
+    /// Fixed cost per micro-kernel panel invocation, nanoseconds (loop
+    /// setup, pointer arithmetic, call overhead — what dominates tiny
+    /// GEMMs).
+    pub panel_overhead_ns: f64,
+}
+
+impl MachineModel {
+    /// Phytium 2000+ (Table 1): 64 cores @ 2.2 GHz, 32K L1, 2M L2 shared
+    /// per 4-core cluster, no L3, peak 1126.4 FP32 GFLOPS.
+    pub fn phytium2000() -> Self {
+        Self {
+            name: "Phytium 2000+",
+            cores: 64,
+            freq_ghz: 2.2,
+            l1: 32 * 1024,
+            l2: 2 * 1024 * 1024,
+            l3: 0,
+            l2_shared_by: 4,
+            fma_pipes: 1,
+            mem_bw_gbs: 80.0,
+            fork_join_us: 2.0,
+            panel_overhead_ns: 40.0,
+        }
+    }
+
+    /// Kunpeng 920 (Table 1): 64 cores @ 2.6 GHz, 64K L1, 512K private
+    /// L2, 64M L3, peak 2662.4 FP32 GFLOPS (2 FMA pipes — §8.5).
+    pub fn kunpeng920() -> Self {
+        Self {
+            name: "KP920",
+            cores: 64,
+            freq_ghz: 2.6,
+            l1: 64 * 1024,
+            l2: 512 * 1024,
+            l3: 64 * 1024 * 1024,
+            l2_shared_by: 1,
+            fma_pipes: 2,
+            mem_bw_gbs: 150.0,
+            fork_join_us: 1.5,
+            panel_overhead_ns: 30.0,
+        }
+    }
+
+    /// ThunderX2 (Table 1): 32 cores @ 2.5 GHz, 32K L1, 256K private L2,
+    /// 32M L3, peak 1280 FP32 GFLOPS (2 FMA pipes).
+    pub fn thunderx2() -> Self {
+        Self {
+            name: "ThunderX2",
+            cores: 32,
+            freq_ghz: 2.5,
+            l1: 32 * 1024,
+            l2: 256 * 1024,
+            l3: 32 * 1024 * 1024,
+            l2_shared_by: 1,
+            fma_pipes: 2,
+            mem_bw_gbs: 120.0,
+            fork_join_us: 1.8,
+            panel_overhead_ns: 35.0,
+        }
+    }
+
+    /// The three paper platforms, in Table 1 order.
+    pub fn paper_platforms() -> Vec<Self> {
+        vec![Self::phytium2000(), Self::kunpeng920(), Self::thunderx2()]
+    }
+
+    /// Theoretical peak GFLOPS at `precision` with `threads` cores
+    /// (Table 1's "Peak perf." row for the full chip at FP32).
+    pub fn peak_gflops(&self, precision: Precision, threads: usize) -> f64 {
+        threads.min(self.cores) as f64
+            * self.freq_ghz
+            * 2.0
+            * precision.lanes() as f64
+            * self.fma_pipes as f64
+    }
+
+    /// Per-core peak GFLOPS.
+    pub fn peak_gflops_core(&self, precision: Precision) -> f64 {
+        self.peak_gflops(precision, 1)
+    }
+
+    /// Effective last-level cache (L3, or the L2 where no L3 exists).
+    pub fn llc(&self) -> usize {
+        if self.l3 > 0 {
+            self.l3
+        } else {
+            self.l2
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_peaks_reproduced() {
+        // Peak = cores * freq * 2 * lanes * pipes must equal Table 1.
+        let p = MachineModel::phytium2000();
+        assert!((p.peak_gflops(Precision::F32, 64) - 1126.4).abs() < 0.1);
+        let k = MachineModel::kunpeng920();
+        assert!((k.peak_gflops(Precision::F32, 64) - 2662.4).abs() < 0.1);
+        let t = MachineModel::thunderx2();
+        assert!((t.peak_gflops(Precision::F32, 32) - 1280.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn fp64_peak_is_half_fp32() {
+        for m in MachineModel::paper_platforms() {
+            let f32p = m.peak_gflops(Precision::F32, m.cores);
+            let f64p = m.peak_gflops(Precision::F64, m.cores);
+            assert!((f32p / f64p - 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn llc_fallback_on_phytium() {
+        let p = MachineModel::phytium2000();
+        assert_eq!(p.llc(), p.l2);
+        let k = MachineModel::kunpeng920();
+        assert_eq!(k.llc(), k.l3);
+    }
+
+    #[test]
+    fn thread_clamping() {
+        let t = MachineModel::thunderx2();
+        assert_eq!(
+            t.peak_gflops(Precision::F32, 64),
+            t.peak_gflops(Precision::F32, 32)
+        );
+    }
+}

@@ -1,0 +1,80 @@
+//! Property tests for the execution model: physical sanity that must
+//! hold for any strategy on any machine at any shape.
+
+use proptest::prelude::*;
+use shalom_perfmodel::{predict, MachineModel, Precision, StrategyModel};
+
+fn machines() -> impl Strategy<Value = MachineModel> {
+    prop_oneof![
+        Just(MachineModel::phytium2000()),
+        Just(MachineModel::kunpeng920()),
+        Just(MachineModel::thunderx2()),
+    ]
+}
+
+fn strategies() -> impl Strategy<Value = StrategyModel> {
+    prop_oneof![
+        Just(StrategyModel::libshalom()),
+        Just(StrategyModel::openblas_class()),
+        Just(StrategyModel::blis_class()),
+        Just(StrategyModel::armpl_class()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn predictions_are_physical(machine in machines(),
+                                strategy in strategies(),
+                                m in 1usize..4096,
+                                n in 1usize..4096,
+                                k in 1usize..2048,
+                                threads in 1usize..64) {
+        let p = predict(&machine, &strategy, Precision::F32, m, n, k, threads);
+        prop_assert!(p.seconds > 0.0 && p.seconds.is_finite());
+        prop_assert!(p.gflops > 0.0 && p.gflops.is_finite());
+        // Never above the machine's theoretical peak at that thread count.
+        prop_assert!(p.peak_fraction <= 1.0 + 1e-9, "{} exceeds peak", strategy.name);
+        let (tm, tn) = p.grid;
+        prop_assert!(tm * tn >= 1 && tm * tn <= threads.min(machine.cores));
+    }
+
+    #[test]
+    fn more_work_takes_longer(machine in machines(),
+                              strategy in strategies(),
+                              m in 8usize..512,
+                              n in 8usize..512,
+                              k in 8usize..512) {
+        let small = predict(&machine, &strategy, Precision::F32, m, n, k, 1).seconds;
+        let big = predict(&machine, &strategy, Precision::F32, 2 * m, 2 * n, k, 1).seconds;
+        prop_assert!(big > small, "{}: 4x flops not slower", strategy.name);
+    }
+
+    #[test]
+    fn fp64_never_faster_than_fp32(machine in machines(),
+                                   strategy in strategies(),
+                                   m in 8usize..512,
+                                   n in 8usize..512,
+                                   k in 8usize..256) {
+        let f32t = predict(&machine, &strategy, Precision::F32, m, n, k, 1).seconds;
+        let f64t = predict(&machine, &strategy, Precision::F64, m, n, k, 1).seconds;
+        prop_assert!(f64t >= f32t * 0.999);
+    }
+
+    #[test]
+    fn single_thread_has_no_fork_cost(machine in machines(), strategy in strategies()) {
+        // t = 1 must be at least as fast per-flop as t = 2 on tiny work
+        // (fork-join overhead dominates there).
+        let p1 = predict(&machine, &strategy, Precision::F32, 8, 8, 8, 1);
+        let p2 = predict(&machine, &strategy, Precision::F32, 8, 8, 8, 2);
+        prop_assert!(p1.seconds <= p2.seconds);
+    }
+
+    #[test]
+    fn thread_clamp_to_cores(machine in machines(), strategy in strategies()) {
+        let at_cores = predict(&machine, &strategy, Precision::F32, 512, 4096, 512, machine.cores);
+        let beyond = predict(&machine, &strategy, Precision::F32, 512, 4096, 512, machine.cores * 4);
+        prop_assert!((at_cores.seconds - beyond.seconds).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,121 @@
+//! Scalar reference implementations of the 128-bit vector operations.
+//!
+//! These are semantically authoritative: the vector backends are tested
+//! against them. They are also the fallback on targets without SSE2/NEON
+//! and the forced backend under the `force-scalar` feature.
+
+/// Scalar model of a 4-lane `f32` vector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalarF32x4(pub [f32; 4]);
+
+/// Scalar model of a 2-lane `f64` vector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalarF64x2(pub [f64; 2]);
+
+impl ScalarF32x4 {
+    /// All-zero vector.
+    #[inline(always)]
+    pub fn zero() -> Self {
+        Self([0.0; 4])
+    }
+
+    /// Broadcasts `x` to all lanes.
+    #[inline(always)]
+    pub fn splat(x: f32) -> Self {
+        Self([x; 4])
+    }
+
+    /// Lane-wise `self + a * b` (unfused in this reference model).
+    #[inline(always)]
+    pub fn fma(self, a: Self, b: Self) -> Self {
+        let mut r = self.0;
+        for i in 0..4 {
+            r[i] += a.0[i] * b.0[i];
+        }
+        Self(r)
+    }
+
+    /// `self + a * b[LANE]` — the ARMv8 `fmla vd.4s, vn.4s, vm.s[LANE]`.
+    #[inline(always)]
+    pub fn fma_lane<const LANE: usize>(self, a: Self, b: Self) -> Self {
+        let s = b.0[LANE];
+        let mut r = self.0;
+        for i in 0..4 {
+            r[i] += a.0[i] * s;
+        }
+        Self(r)
+    }
+
+    /// Lane-wise addition.
+    #[inline(always)]
+    pub fn add(self, o: Self) -> Self {
+        let mut r = self.0;
+        for i in 0..4 {
+            r[i] += o.0[i];
+        }
+        Self(r)
+    }
+
+    /// Lane-wise multiplication.
+    #[inline(always)]
+    pub fn mul(self, o: Self) -> Self {
+        let mut r = self.0;
+        for i in 0..4 {
+            r[i] *= o.0[i];
+        }
+        Self(r)
+    }
+
+    /// Sum of all lanes.
+    #[inline(always)]
+    pub fn reduce_sum(self) -> f32 {
+        // Pairwise order matches the NEON `faddp`-based reduction so the
+        // vector backends can be compared bit-for-bit on exact inputs.
+        (self.0[0] + self.0[2]) + (self.0[1] + self.0[3])
+    }
+}
+
+impl ScalarF64x2 {
+    /// All-zero vector.
+    #[inline(always)]
+    pub fn zero() -> Self {
+        Self([0.0; 2])
+    }
+
+    /// Broadcasts `x` to all lanes.
+    #[inline(always)]
+    pub fn splat(x: f64) -> Self {
+        Self([x; 2])
+    }
+
+    /// Lane-wise `self + a * b` (unfused in this reference model).
+    #[inline(always)]
+    pub fn fma(self, a: Self, b: Self) -> Self {
+        Self([self.0[0] + a.0[0] * b.0[0], self.0[1] + a.0[1] * b.0[1]])
+    }
+
+    /// `self + a * b[LANE]` — the ARMv8 `fmla vd.2d, vn.2d, vm.d[LANE]`.
+    #[inline(always)]
+    pub fn fma_lane<const LANE: usize>(self, a: Self, b: Self) -> Self {
+        let s = b.0[LANE];
+        Self([self.0[0] + a.0[0] * s, self.0[1] + a.0[1] * s])
+    }
+
+    /// Lane-wise addition.
+    #[inline(always)]
+    pub fn add(self, o: Self) -> Self {
+        Self([self.0[0] + o.0[0], self.0[1] + o.0[1]])
+    }
+
+    /// Lane-wise multiplication.
+    #[inline(always)]
+    pub fn mul(self, o: Self) -> Self {
+        Self([self.0[0] * o.0[0], self.0[1] * o.0[1]])
+    }
+
+    /// Sum of both lanes.
+    #[inline(always)]
+    pub fn reduce_sum(self) -> f64 {
+        self.0[0] + self.0[1]
+    }
+}

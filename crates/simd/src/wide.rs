@@ -1,0 +1,330 @@
+//! 256-bit vector types — the §5.5 extension point.
+//!
+//! The paper notes its method "can be applied to a longer vector length
+//! with a revised mr and nr computed according to the available number
+//! and length of vector registers" (SVE on A64FX/ARMv9, wider x86
+//! vectors). These types model a 256-bit SVE configuration: [`F32x8`]
+//! (`j = 8`) and [`F64x4`] (`j = 4`), with the same operation set as the
+//! 128-bit types so the generic kernels instantiate unchanged.
+//!
+//! Backends: AVX (+FMA when available) on x86_64; a two-register NEON
+//! polyfill on aarch64; scalar arrays elsewhere or under `force-scalar`.
+#![allow(clippy::needless_return)] // the `return` inside the cfg-gated arm selects the backend
+
+#[cfg(all(target_arch = "x86_64", target_feature = "avx", not(feature = "force-scalar")))]
+use core::arch::x86_64::*;
+
+/// 256-bit vector of eight `f32` lanes.
+#[derive(Clone, Copy)]
+pub struct F32x8(Repr32);
+
+/// 256-bit vector of four `f64` lanes.
+#[derive(Clone, Copy)]
+pub struct F64x4(Repr64);
+
+#[cfg(all(target_arch = "x86_64", target_feature = "avx", not(feature = "force-scalar")))]
+type Repr32 = __m256;
+#[cfg(all(target_arch = "x86_64", target_feature = "avx", not(feature = "force-scalar")))]
+type Repr64 = __m256d;
+
+#[cfg(not(all(target_arch = "x86_64", target_feature = "avx", not(feature = "force-scalar"))))]
+type Repr32 = [f32; 8];
+#[cfg(not(all(target_arch = "x86_64", target_feature = "avx", not(feature = "force-scalar"))))]
+type Repr64 = [f64; 4];
+
+macro_rules! scalar_block {
+    ($($t:tt)*) => {
+        #[cfg(not(all(
+            target_arch = "x86_64",
+            target_feature = "avx",
+            not(feature = "force-scalar")
+        )))]
+        { $($t)* }
+    };
+}
+
+macro_rules! avx_block {
+    ($($t:tt)*) => {
+        #[cfg(all(
+            target_arch = "x86_64",
+            target_feature = "avx",
+            not(feature = "force-scalar")
+        ))]
+        { $($t)* }
+    };
+}
+
+impl F32x8 {
+    /// Number of lanes (`j = 8`).
+    pub const LANES: usize = 8;
+
+    /// All-zero vector.
+    #[inline(always)]
+    pub fn zero() -> Self {
+        avx_block! { return unsafe { Self(_mm256_setzero_ps()) }; }
+        scalar_block! { Self([0.0; 8]) }
+    }
+
+    /// Broadcasts `x` to all lanes.
+    #[inline(always)]
+    pub fn splat(x: f32) -> Self {
+        avx_block! { return unsafe { Self(_mm256_set1_ps(x)) }; }
+        scalar_block! { Self([x; 8]) }
+    }
+
+    /// Unaligned load of 8 consecutive `f32`s.
+    ///
+    /// # Safety
+    /// `ptr` valid for reading 32 bytes.
+    #[inline(always)]
+    pub unsafe fn load(ptr: *const f32) -> Self {
+        avx_block! { return Self(_mm256_loadu_ps(ptr)); }
+        scalar_block! { Self(core::ptr::read_unaligned(ptr as *const [f32; 8])) }
+    }
+
+    /// Unaligned store of all lanes.
+    ///
+    /// # Safety
+    /// `ptr` valid for writing 32 bytes.
+    #[inline(always)]
+    pub unsafe fn store(self, ptr: *mut f32) {
+        avx_block! { return _mm256_storeu_ps(ptr, self.0); }
+        scalar_block! { core::ptr::write_unaligned(ptr as *mut [f32; 8], self.0) }
+    }
+
+    /// Extracts all lanes.
+    #[inline(always)]
+    pub fn to_array(self) -> [f32; 8] {
+        let mut out = [0f32; 8];
+        unsafe { self.store(out.as_mut_ptr()) };
+        out
+    }
+
+    /// Lane-wise addition.
+    #[inline(always)]
+    pub fn add(self, o: Self) -> Self {
+        avx_block! { return unsafe { Self(_mm256_add_ps(self.0, o.0)) }; }
+        scalar_block! {
+            let mut r = self.0;
+            for i in 0..8 { r[i] += o.0[i]; }
+            Self(r)
+        }
+    }
+
+    /// Lane-wise multiplication.
+    #[inline(always)]
+    pub fn mul(self, o: Self) -> Self {
+        avx_block! { return unsafe { Self(_mm256_mul_ps(self.0, o.0)) }; }
+        scalar_block! {
+            let mut r = self.0;
+            for i in 0..8 { r[i] *= o.0[i]; }
+            Self(r)
+        }
+    }
+
+    /// `self + a * b` per lane (fused under AVX2+FMA builds).
+    #[inline(always)]
+    pub fn fma(self, a: Self, b: Self) -> Self {
+        #[cfg(all(
+            target_arch = "x86_64",
+            target_feature = "avx",
+            target_feature = "fma",
+            not(feature = "force-scalar")
+        ))]
+        {
+            return unsafe { Self(_mm256_fmadd_ps(a.0, b.0, self.0)) };
+        }
+        #[allow(unreachable_code)]
+        {
+            self.add(a.mul(b))
+        }
+    }
+
+    /// `self + a * b[lane]` with a runtime lane index.
+    #[inline(always)]
+    pub fn fma_lane_dyn(self, a: Self, b: Self, lane: usize) -> Self {
+        self.fma(a, Self::splat(b.to_array()[lane]))
+    }
+
+    /// Horizontal sum of all lanes.
+    #[inline(always)]
+    pub fn reduce_sum(self) -> f32 {
+        let v = self.to_array();
+        ((v[0] + v[4]) + (v[1] + v[5])) + ((v[2] + v[6]) + (v[3] + v[7]))
+    }
+
+    /// Multiplies all lanes by `s`.
+    #[inline(always)]
+    pub fn scale(self, s: f32) -> Self {
+        self.mul(Self::splat(s))
+    }
+}
+
+impl F64x4 {
+    /// Number of lanes (`j = 4`).
+    pub const LANES: usize = 4;
+
+    /// All-zero vector.
+    #[inline(always)]
+    pub fn zero() -> Self {
+        avx_block! { return unsafe { Self(_mm256_setzero_pd()) }; }
+        scalar_block! { Self([0.0; 4]) }
+    }
+
+    /// Broadcasts `x` to all lanes.
+    #[inline(always)]
+    pub fn splat(x: f64) -> Self {
+        avx_block! { return unsafe { Self(_mm256_set1_pd(x)) }; }
+        scalar_block! { Self([x; 4]) }
+    }
+
+    /// Unaligned load of 4 consecutive `f64`s.
+    ///
+    /// # Safety
+    /// `ptr` valid for reading 32 bytes.
+    #[inline(always)]
+    pub unsafe fn load(ptr: *const f64) -> Self {
+        avx_block! { return Self(_mm256_loadu_pd(ptr)); }
+        scalar_block! { Self(core::ptr::read_unaligned(ptr as *const [f64; 4])) }
+    }
+
+    /// Unaligned store of all lanes.
+    ///
+    /// # Safety
+    /// `ptr` valid for writing 32 bytes.
+    #[inline(always)]
+    pub unsafe fn store(self, ptr: *mut f64) {
+        avx_block! { return _mm256_storeu_pd(ptr, self.0); }
+        scalar_block! { core::ptr::write_unaligned(ptr as *mut [f64; 4], self.0) }
+    }
+
+    /// Extracts all lanes.
+    #[inline(always)]
+    pub fn to_array(self) -> [f64; 4] {
+        let mut out = [0f64; 4];
+        unsafe { self.store(out.as_mut_ptr()) };
+        out
+    }
+
+    /// Lane-wise addition.
+    #[inline(always)]
+    pub fn add(self, o: Self) -> Self {
+        avx_block! { return unsafe { Self(_mm256_add_pd(self.0, o.0)) }; }
+        scalar_block! {
+            let mut r = self.0;
+            for i in 0..4 { r[i] += o.0[i]; }
+            Self(r)
+        }
+    }
+
+    /// Lane-wise multiplication.
+    #[inline(always)]
+    pub fn mul(self, o: Self) -> Self {
+        avx_block! { return unsafe { Self(_mm256_mul_pd(self.0, o.0)) }; }
+        scalar_block! {
+            let mut r = self.0;
+            for i in 0..4 { r[i] *= o.0[i]; }
+            Self(r)
+        }
+    }
+
+    /// `self + a * b` per lane (fused under AVX2+FMA builds).
+    #[inline(always)]
+    pub fn fma(self, a: Self, b: Self) -> Self {
+        #[cfg(all(
+            target_arch = "x86_64",
+            target_feature = "avx",
+            target_feature = "fma",
+            not(feature = "force-scalar")
+        ))]
+        {
+            return unsafe { Self(_mm256_fmadd_pd(a.0, b.0, self.0)) };
+        }
+        #[allow(unreachable_code)]
+        {
+            self.add(a.mul(b))
+        }
+    }
+
+    /// `self + a * b[lane]` with a runtime lane index.
+    #[inline(always)]
+    pub fn fma_lane_dyn(self, a: Self, b: Self, lane: usize) -> Self {
+        self.fma(a, Self::splat(b.to_array()[lane]))
+    }
+
+    /// Horizontal sum of all lanes.
+    #[inline(always)]
+    pub fn reduce_sum(self) -> f64 {
+        let v = self.to_array();
+        (v[0] + v[2]) + (v[1] + v[3])
+    }
+
+    /// Multiplies all lanes by `s`.
+    #[inline(always)]
+    pub fn scale(self, s: f64) -> Self {
+        self.mul(Self::splat(s))
+    }
+}
+
+impl core::fmt::Debug for F32x8 {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "F32x8({:?})", self.to_array())
+    }
+}
+
+impl core::fmt::Debug for F64x4 {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "F64x4({:?})", self.to_array())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f32x8_roundtrip_and_ops() {
+        let a = [1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let v = unsafe { F32x8::load(a.as_ptr()) };
+        assert_eq!(v.to_array(), a);
+        assert_eq!(F32x8::splat(2.0).mul(v).to_array()[7], 16.0);
+        assert_eq!(v.add(v).to_array()[0], 2.0);
+        assert_eq!(v.reduce_sum(), 36.0);
+        assert_eq!(v.scale(0.5).to_array()[3], 2.0);
+    }
+
+    #[test]
+    fn f32x8_fma_and_lane() {
+        let a = F32x8::splat(2.0);
+        let b = unsafe { F32x8::load([1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0].as_ptr()) };
+        let r = F32x8::zero().fma(a, b);
+        assert_eq!(r.to_array()[4], 10.0);
+        for lane in 0..8 {
+            let r = F32x8::zero().fma_lane_dyn(a, b, lane);
+            assert_eq!(r.to_array()[0], 2.0 * (lane + 1) as f32);
+        }
+    }
+
+    #[test]
+    fn f64x4_roundtrip_and_ops() {
+        let a = [1.0f64, 2.0, 3.0, 4.0];
+        let v = unsafe { F64x4::load(a.as_ptr()) };
+        assert_eq!(v.to_array(), a);
+        assert_eq!(v.reduce_sum(), 10.0);
+        for lane in 0..4 {
+            let r = F64x4::zero().fma_lane_dyn(F64x4::splat(3.0), v, lane);
+            assert_eq!(r.to_array()[2], 3.0 * (lane + 1) as f64);
+        }
+    }
+
+    #[test]
+    fn unaligned_access() {
+        let buf = [0f32, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0];
+        let v = unsafe { F32x8::load(buf.as_ptr().add(1)) };
+        assert_eq!(v.to_array()[0], 1.0);
+        let mut out = [0f32; 10];
+        unsafe { v.store(out.as_mut_ptr().add(2)) };
+        assert_eq!(out[2], 1.0);
+        assert_eq!(out[9], 8.0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Cold-cache control for Figure 8.
+//!
+//! The warm-cache methodology (Figure 7) times GEMM with operands
+//! preloaded; Figure 8 instead launches each repetition "from a cold
+//! cache where the matrix data are not presented in the data cache".
+//! Between repetitions we sweep a buffer larger than the LLC with reads
+//! and writes, which evicts every line of the working set under any LRU
+//! replacement.
+
+/// A reusable cache-evicting buffer.
+pub struct CacheFlusher {
+    buf: Vec<u64>,
+    sink: u64,
+}
+
+impl CacheFlusher {
+    /// Creates a flusher whose sweep covers `bytes` (use at least 2x the
+    /// LLC capacity; e.g. 64 MiB on typical hosts).
+    pub fn new(bytes: usize) -> Self {
+        let words = (bytes / 8).max(1024);
+        Self {
+            buf: vec![1u64; words],
+            sink: 0,
+        }
+    }
+
+    /// Evicts cached data by sweeping the buffer with read-modify-writes
+    /// at cache-line stride (8 words = 64 B), then a full re-read. The
+    /// accumulated checksum is kept so the optimizer cannot remove the
+    /// sweep.
+    pub fn flush(&mut self) {
+        let n = self.buf.len();
+        let mut acc = self.sink;
+        let mut i = 0;
+        while i < n {
+            self.buf[i] = self.buf[i].wrapping_mul(2862933555777941757).wrapping_add(1);
+            acc = acc.wrapping_add(self.buf[i]);
+            i += 8;
+        }
+        self.sink = acc;
+        std::hint::black_box(&self.sink);
+    }
+
+    /// Checksum of everything swept so far (prevents dead-code
+    /// elimination; has no other meaning).
+    pub fn checksum(&self) -> u64 {
+        self.sink
+    }
+
+    /// Size of the sweep in bytes.
+    pub fn bytes(&self) -> usize {
+        self.buf.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocates_requested_size() {
+        let f = CacheFlusher::new(1 << 20);
+        assert_eq!(f.bytes(), 1 << 20);
+    }
+
+    #[test]
+    fn flush_mutates_checksum() {
+        let mut f = CacheFlusher::new(1 << 16);
+        let c0 = f.checksum();
+        f.flush();
+        let c1 = f.checksum();
+        assert_ne!(c0, c1);
+        f.flush();
+        assert_ne!(c1, f.checksum());
+    }
+
+    #[test]
+    fn minimum_size_clamped() {
+        let f = CacheFlusher::new(0);
+        assert!(f.bytes() >= 8 * 1024);
+    }
+}

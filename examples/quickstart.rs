@@ -1,0 +1,117 @@
+//! Quickstart: the LibShalom public API in five minutes.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use libshalom::{
+    dgemm, gemm_with, sgemm, GemmConfig, MatMut, Matrix, Op, PackingPolicy,
+};
+
+fn main() {
+    // --- 1. Plain single-precision GEMM: C = A * B. ------------------
+    let a = Matrix::<f32>::random(8, 8, 1);
+    let b = Matrix::<f32>::random(8, 8, 2);
+    let mut c = Matrix::<f32>::zeros(8, 8);
+    sgemm(
+        Op::NoTrans,
+        Op::NoTrans,
+        1.0,
+        a.as_ref(),
+        b.as_ref(),
+        0.0,
+        c.as_mut(),
+    );
+    println!("8x8 sgemm: C[0][0] = {:.4}", c.at(0, 0));
+
+    // --- 2. Full GEMM semantics: C = alpha * A * Bᵀ + beta * C. -----
+    let bt = b.transposed(); // stored N x K; used transposed (NT mode)
+    let mut c2 = c.clone();
+    sgemm(
+        Op::NoTrans,
+        Op::Trans,
+        2.0,
+        a.as_ref(),
+        bt.as_ref(),
+        -1.0,
+        c2.as_mut(),
+    );
+    // alpha*A*B - C == C (since C held A*B): c2 == c.
+    let diff = libshalom::matrix::max_abs_diff(c.as_ref(), c2.as_ref());
+    println!("NT mode + alpha/beta round-trip max diff: {diff:.2e}");
+
+    // --- 3. Double precision. ----------------------------------------
+    let ad = Matrix::<f64>::random(23, 23, 3);
+    let bd = Matrix::<f64>::random(23, 23, 4);
+    let mut cd = Matrix::<f64>::zeros(23, 23);
+    dgemm(
+        Op::NoTrans,
+        Op::NoTrans,
+        1.0,
+        ad.as_ref(),
+        bd.as_ref(),
+        0.0,
+        cd.as_mut(),
+    );
+    println!("23x23 dgemm (a CP2K kernel size): C[22][22] = {:.4}", cd.at(22, 22));
+
+    // --- 4. Views with leading dimensions (operate on a sub-block). --
+    let big = Matrix::<f32>::random(100, 100, 5);
+    let mut out = Matrix::<f32>::zeros(100, 100);
+    let a_block = big.as_ref().submatrix(10, 20, 16, 32); // 16x32 inside 100x100
+    let b_block = big.as_ref().submatrix(40, 8, 32, 24);
+    let mut out_view: MatMut<'_, f32> = out.as_mut();
+    sgemm(
+        Op::NoTrans,
+        Op::NoTrans,
+        1.0,
+        a_block,
+        b_block,
+        0.0,
+        out_view.submatrix_mut(0, 0, 16, 24),
+    );
+    println!("strided sub-block GEMM done (ld = 100)");
+
+    // --- 5. Explicit configuration: threads, packing, edge schedule. --
+    let cfg = GemmConfig {
+        threads: 2,
+        packing: PackingPolicy::Auto,
+        ..GemmConfig::default()
+    };
+    let wide_b = Matrix::<f32>::random(64, 4096, 6);
+    let tall_a = Matrix::<f32>::random(16, 64, 7);
+    let mut wide_c = Matrix::<f32>::zeros(16, 4096);
+    gemm_with(
+        &cfg,
+        Op::NoTrans,
+        Op::NoTrans,
+        1.0,
+        tall_a.as_ref(),
+        wide_b.as_ref(),
+        0.0,
+        wide_c.as_mut(),
+    );
+    println!(
+        "irregular 16x4096x64 with {} threads: C[15][4095] = {:.4}",
+        cfg.resolved_threads(),
+        wide_c.at(15, 4095)
+    );
+
+    // --- 6. Everything is checked against the naive oracle. ----------
+    let mut want = Matrix::<f32>::zeros(16, 4096);
+    libshalom::matrix::reference::gemm(
+        Op::NoTrans,
+        Op::NoTrans,
+        1.0,
+        tall_a.as_ref(),
+        wide_b.as_ref(),
+        0.0,
+        want.as_mut(),
+    );
+    libshalom::matrix::assert_close(
+        wide_c.as_ref(),
+        want.as_ref(),
+        libshalom::matrix::gemm_tolerance::<f32>(64, 1.0),
+    );
+    println!("verified against the reference oracle ✓");
+}

@@ -1,0 +1,132 @@
+//! Tuning tour: the knobs LibShalom exposes and the analytic models
+//! behind them.
+//!
+//! * the register-tile solver (paper Eq. 1–2) across vector ISAs;
+//! * the §6 thread-partition rule on concrete shapes;
+//! * the effect of each packing policy and edge schedule on a live GEMM.
+//!
+//! ```text
+//! cargo run --release --example tuning
+//! ```
+
+use libshalom::core::partition_threads;
+use libshalom::kernels::{solve_tile, TileConstraints};
+use libshalom::perfmodel::{predict_detailed, MachineModel, Precision, StrategyModel};
+use libshalom::{gemm_with, EdgeSchedule, GemmConfig, Matrix, Op, PackingPolicy};
+use std::time::Instant;
+
+fn main() {
+    // --- The analytic register tile (§5.2). ---------------------------
+    println!("register-tile solver (maximize CMR = 2mn/(m+n) within 31 regs):");
+    for (label, c) in [
+        ("ARMv8 AdvSIMD f32 (j=4)", TileConstraints::armv8(4)),
+        ("ARMv8 AdvSIMD f64 (j=2)", TileConstraints::armv8(2)),
+        ("SVE-512 f32 (A64FX)", TileConstraints::sve(512, 32)),
+    ] {
+        let t = solve_tile(&c);
+        println!("  {label:28} -> mr={} nr={} (CMR {:.2})", t.mr, t.nr, t.cmr);
+    }
+
+    // --- The §6 parallel partition rule. ------------------------------
+    println!("\nthread grids (Tn = ceil(sqrt(T*N/M)) rounded to a divisor of T):");
+    for (m, n, t) in [(2048usize, 256usize, 64usize), (32, 10240, 64), (64, 50176, 32)] {
+        let (tm, tn) = partition_threads(t, m, n);
+        println!("  M={m:<6} N={n:<6} T={t:<3} -> Tm x Tn = {tm} x {tn}");
+    }
+
+    // --- Packing policies on a live irregular GEMM. --------------------
+    let (m, n, k) = (16usize, 4096usize, 512usize);
+    let a = Matrix::<f32>::random(m, k, 1);
+    let b = Matrix::<f32>::random(k, n, 2);
+    let mut c = Matrix::<f32>::zeros(m, n);
+    let flops = 2.0 * (m * n * k) as f64;
+    println!("\npacking policies on {m}x{n}x{k} (NN, 1 thread):");
+    for (name, packing) in [
+        ("Auto (paper §4 decision)", PackingPolicy::Auto),
+        ("AlwaysFused", PackingPolicy::AlwaysFused),
+        ("AlwaysSequential (classic)", PackingPolicy::AlwaysSequential),
+        ("Never", PackingPolicy::Never),
+    ] {
+        let cfg = GemmConfig {
+            packing,
+            ..GemmConfig::with_threads(1)
+        };
+        // Warm once, time a few.
+        let mut run = || {
+            gemm_with(
+                &cfg,
+                Op::NoTrans,
+                Op::NoTrans,
+                1.0,
+                a.as_ref(),
+                b.as_ref(),
+                0.0,
+                c.as_mut(),
+            );
+            std::hint::black_box(c.as_slice().first());
+        };
+        run();
+        let t0 = Instant::now();
+        for _ in 0..5 {
+            run();
+        }
+        let dt = t0.elapsed().as_secs_f64() / 5.0;
+        println!("  {name:28} {:.2} GFLOPS", flops / dt / 1e9);
+    }
+
+    // --- Edge schedules on an edge-heavy shape. ------------------------
+    let (m, n, k) = (20usize, 1000usize, 576usize); // m % 7 != 0, n % 12 != 0
+    let a = Matrix::<f32>::random(m, k, 3);
+    let b = Matrix::<f32>::random(n, k, 4);
+    let mut c = Matrix::<f32>::zeros(m, n);
+    let flops = 2.0 * (m * n * k) as f64;
+    println!("\nedge schedules on {m}x{n}x{k} (NT, edge-heavy):");
+    for (name, edge) in [
+        ("Pipelined (Fig 6b)", EdgeSchedule::Pipelined),
+        ("Batched   (Fig 6a)", EdgeSchedule::Batched),
+    ] {
+        let cfg = GemmConfig {
+            edge,
+            ..GemmConfig::with_threads(1)
+        };
+        let mut run = || {
+            gemm_with(
+                &cfg,
+                Op::NoTrans,
+                Op::Trans,
+                1.0,
+                a.as_ref(),
+                b.as_ref(),
+                0.0,
+                c.as_mut(),
+            );
+            std::hint::black_box(c.as_slice().first());
+        };
+        run();
+        let t0 = Instant::now();
+        for _ in 0..5 {
+            run();
+        }
+        let dt = t0.elapsed().as_secs_f64() / 5.0;
+        println!("  {name:28} {:.2} GFLOPS", flops / dt / 1e9);
+    }
+
+    // --- Where the model says the time goes (Breakdown). ----------------
+    println!("\nmodel breakdown, VGG conv1.2 on Phytium 2000+ (64 threads):");
+    let machine = MachineModel::phytium2000();
+    for s in [StrategyModel::libshalom(), StrategyModel::openblas_class()] {
+        let (p, b) = predict_detailed(&machine, &s, Precision::F32, 64, 50176, 576, 64);
+        println!(
+            "  {:16} {:7.1} GFLOPS | main {:5.1}us edge {:5.1}us ovh {:5.1}us pack {:5.1}us mem {:5.1}us fork {:5.1}us ({})",
+            s.name,
+            p.gflops,
+            b.compute_main * 1e6,
+            b.compute_edge * 1e6,
+            b.overhead * 1e6,
+            b.pack_serial * 1e6,
+            b.memory * 1e6,
+            b.fork_join * 1e6,
+            if b.memory_bound { "memory-bound" } else { "compute-bound" }
+        );
+    }
+}

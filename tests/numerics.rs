@@ -1,0 +1,198 @@
+//! Numerical-behaviour characterization: the optimized kernels
+//! reassociate dot products (vector lanes, outer-product splits, k-tail
+//! handling), which changes rounding but must not change error *growth*.
+//! These tests pin the forward-error envelope and a few exactness
+//! guarantees that hold regardless of schedule.
+
+use libshalom::matrix::{max_abs_diff, reference, Matrix};
+use libshalom::{gemm_with, GemmConfig, Op, PackingPolicy};
+
+/// Forward error of the f32 path against the f64-accumulated oracle,
+/// maximized over the output.
+fn f32_error(m: usize, n: usize, k: usize, seed: u64, cfg: &GemmConfig) -> f64 {
+    let a = Matrix::<f32>::random(m, k, seed);
+    let b = Matrix::<f32>::random(k, n, seed + 1);
+    let mut c = Matrix::<f32>::zeros(m, n);
+    gemm_with(
+        cfg,
+        Op::NoTrans,
+        Op::NoTrans,
+        1.0,
+        a.as_ref(),
+        b.as_ref(),
+        0.0,
+        c.as_mut(),
+    );
+    // Oracle in f64.
+    let a64 = Matrix::from_fn(m, k, |i, j| a.at(i, j) as f64);
+    let b64 = Matrix::from_fn(k, n, |i, j| b.at(i, j) as f64);
+    let mut w64 = Matrix::<f64>::zeros(m, n);
+    reference::gemm(
+        Op::NoTrans,
+        Op::NoTrans,
+        1.0,
+        a64.as_ref(),
+        b64.as_ref(),
+        0.0,
+        w64.as_mut(),
+    );
+    let mut worst = 0f64;
+    for i in 0..m {
+        for j in 0..n {
+            let d = (c.at(i, j) as f64 - w64.at(i, j)).abs();
+            worst = worst.max(d);
+        }
+    }
+    worst
+}
+
+#[test]
+fn error_grows_at_most_linearly_in_k() {
+    // With entries in [0,1), a k-term dot has magnitude ~k/4 and forward
+    // error O(k * eps * magnitude) = O(k^2 eps / 4). Check the measured
+    // error stays within a small constant of that bound and does not
+    // blow up with the blocked/reassociated accumulation.
+    let cfg = GemmConfig::with_threads(1);
+    for &k in &[16usize, 64, 256, 1024] {
+        let err = f32_error(14, 13, k, 42, &cfg);
+        let bound = (k * k) as f64 / 4.0 * f32::EPSILON as f64 * 8.0;
+        assert!(
+            err <= bound,
+            "k={k}: err {err:.3e} exceeds envelope {bound:.3e}"
+        );
+        assert!(err > 0.0, "k={k}: suspiciously exact (oracle bug?)");
+    }
+}
+
+#[test]
+fn blocked_error_comparable_to_naive_same_precision() {
+    // The reassociated (blocked) accumulation must not be materially less
+    // accurate than the plain left-to-right f32 loop — pairwise-ish
+    // summation is usually *more* accurate.
+    let (m, n, k) = (11, 17, 512);
+    let cfg = GemmConfig::with_threads(1);
+    let blocked = f32_error(m, n, k, 7, &cfg);
+    // Naive f32 loop error:
+    let a = Matrix::<f32>::random(m, k, 7);
+    let b = Matrix::<f32>::random(k, n, 8);
+    let a64 = Matrix::from_fn(m, k, |i, j| a.at(i, j) as f64);
+    let b64 = Matrix::from_fn(k, n, |i, j| b.at(i, j) as f64);
+    let mut w64 = Matrix::<f64>::zeros(m, n);
+    reference::gemm(Op::NoTrans, Op::NoTrans, 1.0, a64.as_ref(), b64.as_ref(), 0.0, w64.as_mut());
+    let mut naive_err = 0f64;
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0f32;
+            for p in 0..k {
+                acc += a.at(i, p) * b.at(p, j);
+            }
+            naive_err = naive_err.max((acc as f64 - w64.at(i, j)).abs());
+        }
+    }
+    assert!(
+        blocked <= naive_err * 4.0,
+        "blocked err {blocked:.3e} vs naive {naive_err:.3e}"
+    );
+}
+
+#[test]
+fn integer_valued_inputs_are_exact() {
+    // Products and sums of small integers are exactly representable: the
+    // optimized path must return bit-exact integer results whatever the
+    // schedule or packing policy.
+    let (m, n, k) = (23, 29, 60);
+    let a = Matrix::from_fn(m, k, |i, j| ((i * 7 + j * 3) % 5) as f32);
+    let b = Matrix::from_fn(k, n, |i, j| ((i * 2 + j) % 4) as f32);
+    for packing in [
+        PackingPolicy::Auto,
+        PackingPolicy::AlwaysFused,
+        PackingPolicy::AlwaysSequential,
+        PackingPolicy::Never,
+    ] {
+        let cfg = GemmConfig {
+            packing,
+            ..GemmConfig::with_threads(1)
+        };
+        let mut c = Matrix::<f32>::zeros(m, n);
+        gemm_with(
+            &cfg,
+            Op::NoTrans,
+            Op::NoTrans,
+            1.0,
+            a.as_ref(),
+            b.as_ref(),
+            0.0,
+            c.as_mut(),
+        );
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0i64;
+                for p in 0..k {
+                    acc += (a.at(i, p) as i64) * (b.at(p, j) as i64);
+                }
+                assert_eq!(c.at(i, j), acc as f32, "({i},{j}) under {packing:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn packing_policies_agree_bitwise_when_schedule_identical() {
+    // Fused vs sequential packing feed the *same* main kernel the same
+    // packed values in the same order -> identical rounding for the
+    // packed region. Whole-output bitwise equality additionally requires
+    // the same first-mr-rows path, so compare Never vs Auto on a shape
+    // where Auto also skips packing (B fits L1): they must be identical.
+    let (m, n, k) = (40, 40, 40);
+    let run = |packing: PackingPolicy| {
+        let a = Matrix::<f32>::random(m, k, 1);
+        let b = Matrix::<f32>::random(k, n, 2);
+        let mut c = Matrix::<f32>::zeros(m, n);
+        let cfg = GemmConfig {
+            packing,
+            ..GemmConfig::with_threads(1)
+        };
+        gemm_with(
+            &cfg,
+            Op::NoTrans,
+            Op::NoTrans,
+            1.0,
+            a.as_ref(),
+            b.as_ref(),
+            0.0,
+            c.as_mut(),
+        );
+        c
+    };
+    let never = run(PackingPolicy::Never);
+    let auto = run(PackingPolicy::Auto);
+    assert_eq!(max_abs_diff(never.as_ref(), auto.as_ref()), 0.0);
+}
+
+#[test]
+fn f64_path_much_more_accurate_than_f32() {
+    let (m, n, k) = (9, 9, 2048);
+    let cfg = GemmConfig::with_threads(1);
+    let f32_err = f32_error(m, n, k, 3, &cfg);
+    // f64 path vs f64 oracle on the same values.
+    let a = Matrix::<f64>::random(m, k, 3);
+    let b = Matrix::<f64>::random(k, n, 4);
+    let mut c = Matrix::<f64>::zeros(m, n);
+    gemm_with(
+        &cfg,
+        Op::NoTrans,
+        Op::NoTrans,
+        1.0,
+        a.as_ref(),
+        b.as_ref(),
+        0.0,
+        c.as_mut(),
+    );
+    let mut want = Matrix::<f64>::zeros(m, n);
+    reference::gemm(Op::NoTrans, Op::NoTrans, 1.0, a.as_ref(), b.as_ref(), 0.0, want.as_mut());
+    let f64_err = max_abs_diff(c.as_ref(), want.as_ref());
+    assert!(
+        f64_err < f32_err / 1e4,
+        "f64 err {f64_err:.3e} not far below f32 err {f32_err:.3e}"
+    );
+}

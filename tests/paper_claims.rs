@@ -1,0 +1,198 @@
+//! Integration tests pinning the paper's *analytic* claims — the results
+//! that must hold exactly, independent of host performance.
+
+use libshalom::cachesim::gemm_trace::{trace_goto_nt, trace_shalom_nt, GemmGeom};
+use libshalom::cachesim::{CacheGeom, CacheSim};
+use libshalom::core::partition_threads;
+use libshalom::kernels::{cmr, solve_tile, TileConstraints};
+use libshalom::perfmodel::{predict, MachineModel, Precision, StrategyModel};
+
+#[test]
+fn section_5_2_3_tile_solution() {
+    // "This gives us mr = 7 and nr = 12 ... for the ARMv8 architecture."
+    let f32_tile = solve_tile(&TileConstraints::armv8(4));
+    assert_eq!((f32_tile.mr, f32_tile.nr), (7, 12));
+    // FP64 counterpart (j = 2): 7 x 6.
+    let f64_tile = solve_tile(&TileConstraints::armv8(2));
+    assert_eq!((f64_tile.mr, f64_tile.nr), (7, 6));
+}
+
+#[test]
+fn section_5_2_1_register_budget() {
+    // Eq. 1 at the solution point uses the full budget:
+    // 7 + 12/4 + 7*12/4 = 31 = 32 - 1 (one register reserved for
+    // prefetch).
+    assert_eq!(7 + 12 / 4 + 7 * 12 / 4, 31);
+    assert_eq!(7 + 6 / 2 + 7 * 6 / 2, 31);
+}
+
+#[test]
+fn section_5_2_2_cmr_values() {
+    // Eq. 2: CMR = 2*mr*nr/(mr+nr).
+    assert!((cmr(7, 12) - 2.0 * 84.0 / 19.0).abs() < 1e-12);
+    // The outer-product tile beats the classical alternatives:
+    for &(mr, nr) in &[(8usize, 8usize), (16, 4), (4, 4), (8, 4)] {
+        assert!(cmr(7, 12) > cmr(mr, nr), "7x12 must beat {mr}x{nr}");
+    }
+}
+
+#[test]
+fn section_6_1_partition_example() {
+    // "for parallelizing GEMM with M = 2048 and N = 256 on a 64-core
+    // processor, we would set Tn = 4, which leaves us with Tm = 16."
+    assert_eq!(partition_threads(64, 2048, 256), (16, 4));
+}
+
+#[test]
+fn section_6_partition_properties() {
+    for t in [2usize, 4, 8, 16, 32, 64] {
+        for &(m, n) in &[(64usize, 50176usize), (50176, 64), (1000, 1000)] {
+            let (tm, tn) = partition_threads(t, m, n);
+            // T mod Tn == 0 (cores divide evenly).
+            assert_eq!(tm * tn, t);
+            // Tn >= the analytic optimum sqrt(T*N/M) (up-bound choice),
+            // except where the optimum exceeds T and Tn is clamped to T.
+            let tn_star = (t as f64 * n as f64 / m as f64).sqrt().min(t as f64);
+            assert!((tn as f64) + 1e-9 >= tn_star.floor().max(1.0));
+        }
+    }
+}
+
+#[test]
+fn section_8_4_l2_miss_ordering() {
+    // Figure 12: LibShalom has fewer simulated L2 misses than the
+    // Goto-class strategies on the irregular NT shape, for both platform
+    // geometries, at every K in the sweep.
+    let platforms = [
+        ("kp920", 64 * 1024, 512 * 1024),
+        ("tx2", 32 * 1024, 256 * 1024),
+    ];
+    for (name, l1, l2) in platforms {
+        let geoms = [CacheGeom::new(l1, 4, 64), CacheGeom::new(l2, 8, 64)];
+        for k in [576usize, 1856, 3136] {
+            let mut goto = CacheSim::new(&geoms);
+            trace_goto_nt(&mut goto, &GemmGeom::goto(64, 1024, k, 4, 16, 4));
+            let mut shalom = CacheSim::new(&geoms);
+            trace_shalom_nt(&mut shalom, &GemmGeom::shalom(64, 1024, k, 4, l1, l2));
+            assert!(
+                shalom.stats(1).misses < goto.stats(1).misses,
+                "{name} K={k}: shalom {} !< goto {}",
+                shalom.stats(1).misses,
+                goto.stats(1).misses
+            );
+        }
+    }
+}
+
+#[test]
+fn table_1_peaks() {
+    let phy = MachineModel::phytium2000();
+    assert!((phy.peak_gflops(Precision::F32, 64) - 1126.4).abs() < 0.1);
+    let kp = MachineModel::kunpeng920();
+    assert!((kp.peak_gflops(Precision::F32, 64) - 2662.4).abs() < 0.1);
+    let tx = MachineModel::thunderx2();
+    assert!((tx.peak_gflops(Precision::F32, 32) - 1280.0).abs() < 0.1);
+}
+
+#[test]
+fn figure_9_model_ordering() {
+    // LibShalom beats every baseline strategy in the model at all eight
+    // panel anchors of Figure 9.
+    let phy = MachineModel::phytium2000();
+    let sh = StrategyModel::libshalom();
+    for &(m, n) in &[
+        (32usize, 2048usize),
+        (32, 10240),
+        (256, 10240),
+        (2048, 32),
+        (10240, 32),
+        (10240, 256),
+    ] {
+        let shalom = predict(&phy, &sh, Precision::F32, m, n, 5000, 64).gflops;
+        for s in [
+            StrategyModel::openblas_class(),
+            StrategyModel::blis_class(),
+            StrategyModel::armpl_class(),
+        ] {
+            let base = predict(&phy, &s, Precision::F32, m, n, 5000, 64).gflops;
+            assert!(shalom > base, "{} at {m}x{n}: {base} >= {shalom}", s.name);
+        }
+    }
+}
+
+#[test]
+fn figure_11_scaling_ordering() {
+    // LibShalom's full-machine speedup over *1-thread OpenBLAS* (the
+    // paper's Figure 11 normalization) exceeds every baseline's, on
+    // every platform.
+    for machine in MachineModel::paper_platforms() {
+        let t = machine.cores;
+        let base = predict(
+            &machine,
+            &StrategyModel::openblas_class(),
+            Precision::F32,
+            64,
+            50176,
+            576,
+            1,
+        )
+        .seconds;
+        let speedup = |s: &StrategyModel| {
+            base / predict(&machine, s, Precision::F32, 64, 50176, 576, t).seconds
+        };
+        let sh = speedup(&StrategyModel::libshalom());
+        for s in [
+            StrategyModel::openblas_class(),
+            StrategyModel::blis_class(),
+            StrategyModel::armpl_class(),
+        ] {
+            assert!(sh > speedup(&s), "{} on {}", s.name, machine.name);
+        }
+        assert!(sh > (t as f64) * 0.5, "scaling collapsed on {}", machine.name);
+    }
+}
+
+#[test]
+fn section_6_eq3_eq4_cmr_maximum() {
+    // Eq. 3: per-thread CMR = M*N / (M*Tn + N*T/Tn). Eq. 4 (AM-GM):
+    // the maximum over real Tn is at Tn* = sqrt(T*N/M), with value
+    // M*N / (2*sqrt(T*M*N)). Verify numerically on the paper's shapes:
+    // the chosen integer Tn's CMR is within the discrete neighbourhood
+    // of the continuous optimum and no other divisor of T does better.
+    let cmr = |m: f64, n: f64, t: f64, tn: f64| m * n / (m * tn + n * t / tn);
+    for &(m, n, t) in &[(2048usize, 256usize, 64usize), (32, 10240, 64), (64, 50176, 32)] {
+        let (mf, nf, tf) = (m as f64, n as f64, t as f64);
+        let tn_star = (tf * nf / mf).sqrt();
+        let bound = mf * nf / (2.0 * (tf * mf * nf).sqrt());
+        // The continuous optimum attains the AM-GM bound.
+        let at_star = cmr(mf, nf, tf, tn_star.clamp(1.0, tf));
+        if tn_star >= 1.0 && tn_star <= tf {
+            assert!((at_star - bound).abs() / bound < 1e-9);
+        }
+        // The implementation's Tn maximizes CMR among divisors >= Tn*.
+        let (_, tn) = partition_threads(t, m, n);
+        let chosen = cmr(mf, nf, tf, tn as f64);
+        for d in 1..=t {
+            if t % d == 0 && (d as f64) >= tn_star.min(tf) {
+                assert!(
+                    chosen + 1e-9 >= cmr(mf, nf, tf, d as f64),
+                    "divisor {d} beats chosen Tn={tn} for M={m} N={n} T={t}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn section_5_5_sve_portability() {
+    // Wider vectors shift the tile but keep it feasible — the solver is
+    // the §5.5 porting story.
+    for bits in [128usize, 256, 512, 1024, 2048] {
+        for elem_bits in [32usize, 64] {
+            let c = TileConstraints::sve(bits, elem_bits);
+            let t = solve_tile(&c);
+            assert!(c.feasible(t.mr, t.nr), "SVE-{bits}/{elem_bits}");
+            assert_eq!(t.nr % c.lanes, 0);
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Property-based tests: random shapes, scalars, strides, modes and
+//! policies must always match the `f64`-accumulating oracle, for
+//! LibShalom and for every baseline strategy.
+
+use libshalom::baselines::{
+    BlasfeoGemm, GemmImpl, GotoGemm, LibxsmmGemm, NaiveGemm, ShalomGemm,
+};
+use libshalom::matrix::{assert_close, gemm_tolerance, reference, Matrix};
+use libshalom::{gemm_with, GemmConfig, Op, PackingPolicy};
+use proptest::prelude::*;
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![Just(Op::NoTrans), Just(Op::Trans)]
+}
+
+fn packing_strategy() -> impl Strategy<Value = PackingPolicy> {
+    prop_oneof![
+        Just(PackingPolicy::Auto),
+        Just(PackingPolicy::AlwaysFused),
+        Just(PackingPolicy::AlwaysSequential),
+        Just(PackingPolicy::Never),
+    ]
+}
+
+fn dims(op_a: Op, op_b: Op, m: usize, n: usize, k: usize) -> ((usize, usize), (usize, usize)) {
+    let a = match op_a {
+        Op::NoTrans => (m, k),
+        Op::Trans => (k, m),
+    };
+    let b = match op_b {
+        Op::NoTrans => (k, n),
+        Op::Trans => (n, k),
+    };
+    (a, b)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn shalom_matches_oracle_f32(
+        m in 1usize..64,
+        n in 1usize..64,
+        k in 0usize..48,
+        op_a in op_strategy(),
+        op_b in op_strategy(),
+        packing in packing_strategy(),
+        alpha in -2.0f64..2.0,
+        beta in -2.0f64..2.0,
+        pad in 0usize..4,
+        seed in 0u64..1000,
+        threads in 1usize..4,
+    ) {
+        let ((ar, ac), (br, bc)) = dims(op_a, op_b, m, n, k);
+        let a = Matrix::<f32>::random_with_ld(ar, ac, ac + pad, seed);
+        let b = Matrix::<f32>::random_with_ld(br, bc, bc + pad, seed + 1);
+        let mut c = Matrix::<f32>::random_with_ld(m, n, n + pad, seed + 2);
+        let mut want = c.clone();
+        reference::gemm(op_a, op_b, alpha as f32, a.as_ref(), b.as_ref(), beta as f32, want.as_mut());
+        let cfg = GemmConfig { packing, threads, ..GemmConfig::with_threads(threads) };
+        gemm_with(&cfg, op_a, op_b, alpha as f32, a.as_ref(), b.as_ref(), beta as f32, c.as_mut());
+        assert_close(c.as_ref(), want.as_ref(), gemm_tolerance::<f32>(k, 8.0));
+    }
+
+    #[test]
+    fn shalom_matches_oracle_f64(
+        m in 1usize..48,
+        n in 1usize..48,
+        k in 0usize..32,
+        op_a in op_strategy(),
+        op_b in op_strategy(),
+        alpha in -2.0f64..2.0,
+        beta in -2.0f64..2.0,
+        seed in 0u64..1000,
+    ) {
+        let ((ar, ac), (br, bc)) = dims(op_a, op_b, m, n, k);
+        let a = Matrix::<f64>::random(ar, ac, seed);
+        let b = Matrix::<f64>::random(br, bc, seed + 1);
+        let mut c = Matrix::<f64>::random(m, n, seed + 2);
+        let mut want = c.clone();
+        reference::gemm(op_a, op_b, alpha, a.as_ref(), b.as_ref(), beta, want.as_mut());
+        gemm_with(&GemmConfig::with_threads(1), op_a, op_b, alpha, a.as_ref(), b.as_ref(), beta, c.as_mut());
+        assert_close(c.as_ref(), want.as_ref(), gemm_tolerance::<f64>(k, 8.0));
+    }
+
+    #[test]
+    fn all_baselines_match_oracle(
+        m in 1usize..40,
+        n in 1usize..40,
+        k in 1usize..32,
+        op_a in op_strategy(),
+        op_b in op_strategy(),
+        seed in 0u64..1000,
+        which in 0usize..5,
+    ) {
+        let imp: Box<dyn GemmImpl<f32>> = match which {
+            0 => Box::new(NaiveGemm),
+            1 => Box::new(GotoGemm::openblas_class()),
+            2 => Box::new(GotoGemm::blis_class()),
+            3 => Box::new(BlasfeoGemm::new()),
+            _ => Box::new(LibxsmmGemm::new()),
+        };
+        let ((ar, ac), (br, bc)) = dims(op_a, op_b, m, n, k);
+        let a = Matrix::<f32>::random(ar, ac, seed);
+        let b = Matrix::<f32>::random(br, bc, seed + 1);
+        let mut c = Matrix::<f32>::random(m, n, seed + 2);
+        let mut want = c.clone();
+        reference::gemm(op_a, op_b, 1.5, a.as_ref(), b.as_ref(), -0.5, want.as_mut());
+        imp.gemm(1, op_a, op_b, 1.5, a.as_ref(), b.as_ref(), -0.5, c.as_mut());
+        assert_close(c.as_ref(), want.as_ref(), gemm_tolerance::<f32>(k, 8.0));
+    }
+
+    #[test]
+    fn parallel_is_bitwise_deterministic(
+        m in 1usize..64,
+        n in 1usize..96,
+        k in 1usize..32,
+        threads in 2usize..6,
+        seed in 0u64..1000,
+    ) {
+        let a = Matrix::<f32>::random(m, k, seed);
+        let b = Matrix::<f32>::random(k, n, seed + 1);
+        let mut c1 = Matrix::<f32>::zeros(m, n);
+        let mut ct = Matrix::<f32>::zeros(m, n);
+        ShalomGemm.gemm(1, Op::NoTrans, Op::NoTrans, 1.0, a.as_ref(), b.as_ref(), 0.0, c1.as_mut());
+        ShalomGemm.gemm(threads, Op::NoTrans, Op::NoTrans, 1.0, a.as_ref(), b.as_ref(), 0.0, ct.as_mut());
+        prop_assert_eq!(libshalom::matrix::max_abs_diff(c1.as_ref(), ct.as_ref()), 0.0);
+    }
+
+    #[test]
+    fn ld_padding_is_never_touched(
+        m in 1usize..32,
+        n in 1usize..32,
+        k in 1usize..24,
+        pad in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let a = Matrix::<f32>::random(m, k, seed);
+        let b = Matrix::<f32>::random(k, n, seed + 1);
+        let mut c = Matrix::<f32>::zeros_with_ld(m, n, n + pad);
+        gemm_with(
+            &GemmConfig::with_threads(1),
+            Op::NoTrans,
+            Op::NoTrans,
+            1.0,
+            a.as_ref(),
+            b.as_ref(),
+            0.0,
+            c.as_mut(),
+        );
+        // Padding columns must still be exactly zero.
+        for i in 0..m {
+            for p in n..n + pad {
+                prop_assert_eq!(c.as_slice()[i * (n + pad) + p], 0.0);
+            }
+        }
+    }
+}

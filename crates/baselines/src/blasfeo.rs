@@ -74,7 +74,11 @@ impl<T: GemmElem> GemmImpl<T> for BlasfeoGemm {
         if k == 0 || alpha == T::ZERO {
             for i in 0..m {
                 for j in 0..n {
-                    let v = if beta == T::ZERO { T::ZERO } else { beta * c.at(i, j) };
+                    let v = if beta == T::ZERO {
+                        T::ZERO
+                    } else {
+                        beta * c.at(i, j)
+                    };
                     c.set(i, j, v);
                 }
             }

@@ -100,9 +100,7 @@ impl GotoGemm {
                 mc: 128,
                 nc: 4096,
             },
-            GotoBlocking::Analytic => {
-                BlockSizes::derive(&CacheParams::detect(), elem_bytes, nr)
-            }
+            GotoBlocking::Analytic => BlockSizes::derive(&CacheParams::detect(), elem_bytes, nr),
         }
     }
 }
@@ -152,7 +150,9 @@ pub(crate) unsafe fn goto_kernel<V: Vector, const MR_: usize, const NRV_: usize>
         } else {
             for (t, a) in row.iter().enumerate() {
                 let cv = V::load(crow.add(t * V::LANES));
-                a.scale(alpha).add(cv.scale(beta)).store(crow.add(t * V::LANES));
+                a.scale(alpha)
+                    .add(cv.scale(beta))
+                    .store(crow.add(t * V::LANES));
             }
         }
     }
@@ -242,7 +242,14 @@ unsafe fn goto_serial<V: Vector>(
                 }
                 Op::Trans => {
                     // Stage the transposed panel, then sliver-pack it.
-                    pack_transpose(b.add(jj * ldb + kk), ldb, ncur, kcur, stage.as_mut_ptr(), ncur);
+                    pack_transpose(
+                        b.add(jj * ldb + kk),
+                        ldb,
+                        ncur,
+                        kcur,
+                        stage.as_mut_ptr(),
+                        ncur,
+                    );
                     pack_b_slivers_goto(stage.as_ptr(), ncur, kcur, ncur, nr, bc.as_mut_ptr());
                 }
             }
@@ -252,10 +259,24 @@ unsafe fn goto_serial<V: Vector>(
                 // Pack op(A) block (mcur x kcur) into sliver-major ac.
                 match op_a {
                     Op::NoTrans => {
-                        pack_a_slivers_goto(a.add(ii * lda + kk), lda, mcur, kcur, mr, ac.as_mut_ptr());
+                        pack_a_slivers_goto(
+                            a.add(ii * lda + kk),
+                            lda,
+                            mcur,
+                            kcur,
+                            mr,
+                            ac.as_mut_ptr(),
+                        );
                     }
                     Op::Trans => {
-                        pack_transpose(a.add(kk * lda + ii), lda, kcur, mcur, stage.as_mut_ptr(), kcur);
+                        pack_transpose(
+                            a.add(kk * lda + ii),
+                            lda,
+                            kcur,
+                            mcur,
+                            stage.as_mut_ptr(),
+                            kcur,
+                        );
                         pack_a_slivers_goto(stage.as_ptr(), kcur, mcur, kcur, mr, ac.as_mut_ptr());
                     }
                 }
@@ -275,15 +296,7 @@ unsafe fn goto_serial<V: Vector>(
                             // Edge tile: full-width compute into the temp
                             // tile (zero-padded operands), then merge the
                             // valid region — the padding strategy's cost.
-                            kernel(
-                                kcur,
-                                alpha,
-                                asl,
-                                bsl,
-                                V::Elem::ZERO,
-                                ctile.as_mut_ptr(),
-                                nr,
-                            );
+                            kernel(kcur, alpha, asl, bsl, V::Elem::ZERO, ctile.as_mut_ptr(), nr);
                             for i in 0..mrows {
                                 for j in 0..ncols {
                                     let p = cdst.add(i * ldc + j);
@@ -374,7 +387,7 @@ impl<T: GemmElem> GemmImpl<T> for GotoGemm {
             }
             return;
         }
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for ti in 0..tm {
                 let m0 = ti * m / tm;
                 let m1 = (ti + 1) * m / tm;
@@ -384,7 +397,7 @@ impl<T: GemmElem> GemmImpl<T> for GotoGemm {
                     if m1 == m0 || n1 == n0 {
                         continue;
                     }
-                    scope.spawn(move |_| unsafe {
+                    scope.spawn(move || unsafe {
                         let (ap, bp, cp) = (ap, bp, cp);
                         let a_off = match op_a {
                             Op::NoTrans => m0 * lda,
@@ -413,8 +426,7 @@ impl<T: GemmElem> GemmImpl<T> for GotoGemm {
                     });
                 }
             }
-        })
-        .expect("Goto worker panicked");
+        });
     }
 }
 
@@ -431,7 +443,16 @@ mod tests {
         let mut c = Matrix::<f32>::random(m, n, 13);
         let mut want = c.clone();
         reference::gemm(op_a, op_b, 1.5, a.as_ref(), b.as_ref(), -0.5, want.as_mut());
-        imp.gemm(threads, op_a, op_b, 1.5, a.as_ref(), b.as_ref(), -0.5, c.as_mut());
+        imp.gemm(
+            threads,
+            op_a,
+            op_b,
+            1.5,
+            a.as_ref(),
+            b.as_ref(),
+            -0.5,
+            c.as_mut(),
+        );
         assert_close(c.as_ref(), want.as_ref(), gemm_tolerance::<f32>(k, 2.0));
     }
 
@@ -474,15 +495,47 @@ mod tests {
 
     #[test]
     fn parallel_paths() {
-        check(&GotoGemm::openblas_class(), 4, Op::NoTrans, Op::NoTrans, 40, 120, 30);
-        check(&GotoGemm::blis_class(), 4, Op::NoTrans, Op::Trans, 40, 120, 30);
-        check(&GotoGemm::armpl_class(), 3, Op::Trans, Op::NoTrans, 40, 120, 30);
+        check(
+            &GotoGemm::openblas_class(),
+            4,
+            Op::NoTrans,
+            Op::NoTrans,
+            40,
+            120,
+            30,
+        );
+        check(
+            &GotoGemm::blis_class(),
+            4,
+            Op::NoTrans,
+            Op::Trans,
+            40,
+            120,
+            30,
+        );
+        check(
+            &GotoGemm::armpl_class(),
+            3,
+            Op::Trans,
+            Op::NoTrans,
+            40,
+            120,
+            30,
+        );
     }
 
     #[test]
     fn multi_block_large() {
         // Exceeds the fixed kc=256/mc=128 so all block loops iterate.
-        check(&GotoGemm::openblas_class(), 1, Op::NoTrans, Op::NoTrans, 150, 300, 280);
+        check(
+            &GotoGemm::openblas_class(),
+            1,
+            Op::NoTrans,
+            Op::NoTrans,
+            150,
+            300,
+            280,
+        );
     }
 
     #[test]

@@ -20,7 +20,6 @@
 //!   outside the design envelope (the degradation the paper observes).
 
 use crate::GemmImpl;
-use parking_lot::RwLock;
 use shalom_core::GemmElem;
 use shalom_kernels::edge::edge_kernel_pipelined;
 use shalom_kernels::main_kernel::main_kernel_shape;
@@ -28,6 +27,7 @@ use shalom_kernels::pack::pack_transpose;
 use shalom_kernels::Vector;
 use shalom_matrix::{MatMut, MatRef, Op};
 use std::collections::HashMap;
+use std::sync::RwLock;
 
 /// A memoized kernel plan: the register blocking chosen for one exact
 /// GEMM signature.
@@ -56,7 +56,7 @@ impl LibxsmmGemm {
 
     /// Number of distinct plans currently memoized (test/diagnostic aid).
     pub fn cached_plans(&self) -> usize {
-        self.cache.read().len()
+        self.cache.read().unwrap().len()
     }
 
     /// The design envelope from the paper: `(M*N*K)^(1/3) <= 64`.
@@ -65,7 +65,7 @@ impl LibxsmmGemm {
     }
 
     fn plan(&self, key: Key, m: usize, n: usize, lanes: usize) -> Plan {
-        if let Some(p) = self.cache.read().get(&key) {
+        if let Some(p) = self.cache.read().unwrap().get(&key) {
             return *p;
         }
         // "JIT compile": pick the (mr, nrv) from the kernel menu that
@@ -94,7 +94,7 @@ impl LibxsmmGemm {
                 }
             }
         }
-        self.cache.write().insert(key, best);
+        self.cache.write().unwrap().insert(key, best);
         best
     }
 }
@@ -342,7 +342,13 @@ mod tests {
     #[test]
     fn cp2k_kernel_sizes() {
         let imp = LibxsmmGemm::new();
-        for &(m, n, k) in &[(5, 5, 5), (13, 5, 13), (13, 13, 13), (23, 23, 23), (26, 26, 13)] {
+        for &(m, n, k) in &[
+            (5, 5, 5),
+            (13, 5, 13),
+            (13, 13, 13),
+            (23, 23, 23),
+            (26, 26, 13),
+        ] {
             check::<f64>(&imp, Op::NoTrans, Op::NoTrans, m, n, k);
         }
     }

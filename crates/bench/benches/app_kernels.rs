@@ -2,8 +2,8 @@
 //! 15: VGG FP32) at representative points.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use shalom_baselines::{small_gemm_contenders, ShalomGemm};
 use shalom_baselines::GemmImpl;
+use shalom_baselines::{small_gemm_contenders, ShalomGemm};
 use shalom_matrix::{Matrix, Op};
 use shalom_workloads::{cp2k_kernels, vgg_layers};
 
@@ -19,21 +19,25 @@ fn bench_cp2k(c: &mut Criterion) {
         let mut cm = Matrix::<f64>::zeros(shape.m, shape.n);
         group.throughput(criterion::Throughput::Elements(shape.flops() as u64));
         for lib in &libs {
-            group.bench_with_input(BenchmarkId::new(lib.name(), shape.label), &shape, |bch, _| {
-                bch.iter(|| {
-                    lib.gemm(
-                        1,
-                        Op::NoTrans,
-                        Op::NoTrans,
-                        1.0,
-                        a.as_ref(),
-                        b.as_ref(),
-                        0.0,
-                        cm.as_mut(),
-                    );
-                    std::hint::black_box(cm.as_slice().first());
-                });
-            });
+            group.bench_with_input(
+                BenchmarkId::new(lib.name(), shape.label),
+                &shape,
+                |bch, _| {
+                    bch.iter(|| {
+                        lib.gemm(
+                            1,
+                            Op::NoTrans,
+                            Op::NoTrans,
+                            1.0,
+                            a.as_ref(),
+                            b.as_ref(),
+                            0.0,
+                            cm.as_mut(),
+                        );
+                        std::hint::black_box(cm.as_slice().first());
+                    });
+                },
+            );
         }
     }
     group.finish();

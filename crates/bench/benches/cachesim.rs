@@ -30,7 +30,10 @@ fn bench_trace_throughput(c: &mut Criterion) {
     group.bench_function("shalom_nt_64x1024x576", |b| {
         b.iter(|| {
             let mut sim = CacheSim::new(&geoms());
-            trace_shalom_nt(&mut sim, &GemmGeom::shalom(m, n, k, 4, 64 * 1024, 512 * 1024));
+            trace_shalom_nt(
+                &mut sim,
+                &GemmGeom::shalom(m, n, k, 4, 64 * 1024, 512 * 1024),
+            );
             std::hint::black_box(sim.stats(1).misses)
         })
     });

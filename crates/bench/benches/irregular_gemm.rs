@@ -62,8 +62,12 @@ fn bench_batched_small(c: &mut Criterion) {
     group.sample_size(10);
     group.measurement_time(std::time::Duration::from_secs(1));
     let count = 256;
-    let aa: Vec<Matrix<f64>> = (0..count).map(|i| Matrix::random(23, 23, i as u64)).collect();
-    let bb: Vec<Matrix<f64>> = (0..count).map(|i| Matrix::random(23, 23, 999 + i as u64)).collect();
+    let aa: Vec<Matrix<f64>> = (0..count)
+        .map(|i| Matrix::random(23, 23, i as u64))
+        .collect();
+    let bb: Vec<Matrix<f64>> = (0..count)
+        .map(|i| Matrix::random(23, 23, 999 + i as u64))
+        .collect();
     let mut cc: Vec<Matrix<f64>> = (0..count).map(|_| Matrix::zeros(23, 23)).collect();
     group.throughput(criterion::Throughput::Elements(
         (2 * 23 * 23 * 23 * count) as u64,
@@ -91,5 +95,10 @@ fn bench_batched_small(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_irregular, bench_partitioner, bench_batched_small);
+criterion_group!(
+    benches,
+    bench_irregular,
+    bench_partitioner,
+    bench_batched_small
+);
 criterion_main!(benches);

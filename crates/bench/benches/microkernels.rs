@@ -114,7 +114,17 @@ fn bench_formulations(c: &mut Criterion) {
     group.throughput(criterion::Throughput::Elements((2 * 7 * 12 * kc) as u64));
     group.bench_function("outer_product_7x12", |bch| {
         bch.iter(|| unsafe {
-            main_kernel::<F32x4>(kc, 1.0, a.as_ptr(), kc, b.as_ptr(), 12, 1.0, cm.as_mut_ptr(), 12);
+            main_kernel::<F32x4>(
+                kc,
+                1.0,
+                a.as_ptr(),
+                kc,
+                b.as_ptr(),
+                12,
+                1.0,
+                cm.as_mut_ptr(),
+                12,
+            );
             std::hint::black_box(&cm);
         });
     });

@@ -15,6 +15,9 @@ pub struct BenchArgs {
     pub part: Option<String>,
     /// Thread override (`--threads N`); 0 = all available.
     pub threads: Option<usize>,
+    /// Capture dispatch telemetry and write a JSON snapshot next to the
+    /// CSVs (`--telemetry`; needs the `telemetry` cargo feature).
+    pub telemetry: bool,
 }
 
 impl Default for BenchArgs {
@@ -25,6 +28,7 @@ impl Default for BenchArgs {
             out: "results".to_string(),
             part: None,
             threads: None,
+            telemetry: false,
         }
     }
 }
@@ -66,8 +70,9 @@ impl BenchArgs {
                             .unwrap_or_else(|| panic!("--threads needs an integer")),
                     );
                 }
+                "--telemetry" => a.telemetry = true,
                 other => panic!(
-                    "unknown flag {other}; supported: --full --reps N --out DIR --part X --threads N"
+                    "unknown flag {other}; supported: --full --reps N --out DIR --part X --threads N --telemetry"
                 ),
             }
         }
@@ -94,18 +99,29 @@ mod tests {
         assert_eq!(a.reps, 5);
         assert_eq!(a.out, "results");
         assert!(a.part.is_none());
+        assert!(!a.telemetry);
     }
 
     #[test]
     fn all_flags() {
         let a = BenchArgs::parse_from(&[
-            "--full", "--reps", "10", "--out", "/tmp/x", "--part", "b", "--threads", "8",
+            "--full",
+            "--reps",
+            "10",
+            "--out",
+            "/tmp/x",
+            "--part",
+            "b",
+            "--threads",
+            "8",
+            "--telemetry",
         ]);
         assert!(a.full);
         assert_eq!(a.reps, 10);
         assert_eq!(a.out, "/tmp/x");
         assert_eq!(a.part.as_deref(), Some("b"));
         assert_eq!(a.threads, Some(8));
+        assert!(a.telemetry);
     }
 
     #[test]

@@ -54,7 +54,13 @@ fn main() {
                 p.name
             ),
         );
-        r.columns(&["K", "OpenBLAS-class", "BLIS-class", "ARMPL-class", "LibShalom"]);
+        r.columns(&[
+            "K",
+            "OpenBLAS-class",
+            "BLIS-class",
+            "ARMPL-class",
+            "LibShalom",
+        ]);
         let mut k = 576usize;
         while k <= 3744 {
             let run_goto = |mr: usize, nr: usize| -> u64 {

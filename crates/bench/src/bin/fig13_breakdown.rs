@@ -24,25 +24,34 @@ fn time_shalom(cfg: &GemmConfig, shape: GemmShape, reps: usize) -> f64 {
     let a = Matrix::<f32>::random(shape.m, shape.k, 0xA);
     let b = Matrix::<f32>::random(shape.n, shape.k, 0xB); // stored N x K (NT)
     let mut c = Matrix::<f32>::zeros(shape.m, shape.n);
-    let stats = shalom_bench::time_gemm(reps, 1, || {}, || {
-        gemm_with(
-            cfg,
-            Op::NoTrans,
-            Op::Trans,
-            1.0,
-            a.as_ref(),
-            b.as_ref(),
-            0.0,
-            c.as_mut(),
-        );
-        std::hint::black_box(c.as_slice().first());
-    });
+    let stats = shalom_bench::time_gemm(
+        reps,
+        1,
+        || {},
+        || {
+            gemm_with(
+                cfg,
+                Op::NoTrans,
+                Op::Trans,
+                1.0,
+                a.as_ref(),
+                b.as_ref(),
+                0.0,
+                c.as_mut(),
+            );
+            std::hint::black_box(c.as_slice().first());
+        },
+    );
     stats.geomean
 }
 
 fn main() {
     let args = BenchArgs::parse();
-    let (n, k) = if args.full { (50176, 576) } else { (12544, 576) };
+    let (n, k) = if args.full {
+        (50176, 576)
+    } else {
+        (12544, 576)
+    };
     let reps = args.reps.min(3);
     let baseline = GotoGemm::openblas_class();
 
@@ -59,7 +68,9 @@ fn main() {
 
     let mut r = Report::new(
         "fig13_breakdown",
-        &format!("optimization breakdown, NT mode, N={n} K={k}, 1 thread (speedup vs OpenBLAS-class)"),
+        &format!(
+            "optimization breakdown, NT mode, N={n} K={k}, 1 thread (speedup vs OpenBLAS-class)"
+        ),
     );
     r.columns(&["M", "baseline", "+edge-case opt", "+packing opt"]);
     for m in (20..=100).step_by(20) {
@@ -76,10 +87,7 @@ fn main() {
         .geomean;
         let t_edge = time_shalom(&edge_only, shape, reps);
         let t_full = time_shalom(&full_opt, shape, reps);
-        r.row_values(
-            &m.to_string(),
-            &[1.0, t_base / t_edge, t_base / t_full],
-        );
+        r.row_values(&m.to_string(), &[1.0, t_base / t_edge, t_base / t_full]);
     }
     r.note("paper shape: packing optimization contributes the larger share; combined 1.25x (Phytium) to 1.6x (KP920) at M=20");
     r.emit(&args.out);

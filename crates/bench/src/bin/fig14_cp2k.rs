@@ -51,7 +51,10 @@ fn projection(args: &BenchArgs) {
                 "fig14_projection_{}",
                 machine.name.to_lowercase().replace([' ', '+'], "_")
             ),
-            &format!("CP2K FP64 kernels projection on {} (model GFLOPS)", machine.name),
+            &format!(
+                "CP2K FP64 kernels projection on {} (model GFLOPS)",
+                machine.name
+            ),
         );
         let mut cols = vec!["MxNxK".to_string()];
         cols.extend(strategies.iter().map(|s| s.name.to_string()));
@@ -59,9 +62,7 @@ fn projection(args: &BenchArgs) {
         for shape in cp2k_kernels() {
             let vals: Vec<f64> = strategies
                 .iter()
-                .map(|s| {
-                    predict(&machine, s, Precision::F64, shape.m, shape.n, shape.k, 1).gflops
-                })
+                .map(|s| predict(&machine, s, Precision::F64, shape.m, shape.n, shape.k, 1).gflops)
                 .collect();
             r.row_values(shape.label, &vals);
         }

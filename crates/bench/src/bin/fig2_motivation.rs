@@ -101,7 +101,11 @@ fn part_a(args: &BenchArgs, peak: f64) {
 }
 
 fn part_b(args: &BenchArgs, peak: f64) {
-    let (nk, m_max) = if args.full { (10000, 4096) } else { (1536, 512) };
+    let (nk, m_max) = if args.full {
+        (10000, 4096)
+    } else {
+        (1536, 512)
+    };
     let libs: Vec<Box<dyn GemmImpl<f32>>> = vec![
         Box::new(GotoGemm::openblas_class()),
         Box::new(GotoGemm::armpl_class()),

@@ -16,8 +16,10 @@ use shalom_workloads::GemmShape;
 
 fn main() {
     let args = BenchArgs::parse();
+    shalom_bench::telemetry::begin(&args);
     projection(&args);
     measured(&args);
+    shalom_bench::telemetry::finish(&args, "fig9_irregular_parallel");
 }
 
 /// The paper figure: model-projected GFLOPS on 64-core Phytium 2000+.
@@ -39,12 +41,14 @@ fn projection(args: &BenchArgs) {
             cols.extend(strategies.iter().map(|s| s.name.to_string()));
             r.columns(&cols);
             for &wide in &wides {
-                let (m, n) = if fixed_is_m { (fixed, wide) } else { (wide, fixed) };
+                let (m, n) = if fixed_is_m {
+                    (fixed, wide)
+                } else {
+                    (wide, fixed)
+                };
                 let vals: Vec<f64> = strategies
                     .iter()
-                    .map(|s| {
-                        predict(&machine, s, Precision::F32, m, n, k, machine.cores).gflops
-                    })
+                    .map(|s| predict(&machine, s, Precision::F32, m, n, k, machine.cores).gflops)
                     .collect();
                 r.row_values(&wide.to_string(), &vals);
             }
@@ -59,7 +63,11 @@ fn measured(args: &BenchArgs) {
     let libs = irregular_gemm_contenders::<f32>();
     let threads = args.threads.unwrap_or(1).max(1);
     let (k, wides, smalls): (usize, Vec<usize>, Vec<usize>) = if args.full {
-        (5000, (1..=5).map(|i| i * 2048).collect(), vec![32, 64, 128, 256])
+        (
+            5000,
+            (1..=5).map(|i| i * 2048).collect(),
+            vec![32, 64, 128, 256],
+        )
     } else {
         (1000, vec![1024, 2048, 3072], vec![32, 128])
     };

@@ -21,7 +21,10 @@ fn fmt_cache(bytes: usize) -> String {
 
 fn main() {
     let args = BenchArgs::parse();
-    let mut r = Report::new("tab1_platforms", "Hardware evaluation platforms (paper Table 1)");
+    let mut r = Report::new(
+        "tab1_platforms",
+        "Hardware evaluation platforms (paper Table 1)",
+    );
     r.columns(&[
         "Platform",
         "PeakFP32(GFLOPS)",
@@ -45,7 +48,9 @@ fn main() {
         ]);
     }
     let host = CacheParams::detect();
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let peak = shalom_bench::host_peak_gflops::<f32>();
     r.row(&[
         "host (this run)".to_string(),

@@ -22,7 +22,13 @@ fn main() {
         "tab_partition_ablation",
         "partition-scheme ablation: LibShalom kernels under each thread split (Phytium 2000+, 64 threads, model GFLOPS)",
     );
-    r.columns(&["MxNxK", "ShapeAware (§6)", "N-split", "Square grid", "grid(§6)"]);
+    r.columns(&[
+        "MxNxK",
+        "ShapeAware (§6)",
+        "N-split",
+        "Square grid",
+        "grid(§6)",
+    ]);
     for &(m, n, k) in &[
         (32usize, 10240usize, 5000usize),
         (256, 2048, 5000),

@@ -11,7 +11,15 @@ fn main() {
         "tab_tile_solver",
         "analytic micro-kernel tiles (Eq. 1-2): maximize CMR = 2*mr*nr/(mr+nr) over 31 registers",
     );
-    r.columns(&["ISA/width", "elem", "lanes(j)", "mr", "nr", "CMR", "regs used"]);
+    r.columns(&[
+        "ISA/width",
+        "elem",
+        "lanes(j)",
+        "mr",
+        "nr",
+        "CMR",
+        "regs used",
+    ]);
     let cases: Vec<(&str, &str, TileConstraints)> = vec![
         ("AdvSIMD 128b", "f32", TileConstraints::armv8(4)),
         ("AdvSIMD 128b", "f64", TileConstraints::armv8(2)),

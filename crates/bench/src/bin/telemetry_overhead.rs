@@ -1,0 +1,102 @@
+//! Telemetry overhead microbenchmark: times the smallest hot call the
+//! library serves (8x8x8 FP32 NN, warm cache) with capture disabled and
+//! with capture enabled, and reports ns/call for both.
+//!
+//! The acceptance bar is that the *feature-compiled, capture-disabled*
+//! path stays within 1% of a build without the feature. Run this binary
+//! from both builds and compare the `disabled` row:
+//!
+//! ```text
+//! cargo run --release -p shalom-bench --bin telemetry_overhead
+//! cargo run --release -p shalom-bench --features telemetry --bin telemetry_overhead
+//! ```
+//!
+//! `--reps N` controls the number of timed batches (default 5; the
+//! median batch is reported).
+
+use shalom_bench::{BenchArgs, Report};
+use shalom_core::{gemm_with, GemmConfig, Op};
+use shalom_matrix::Matrix;
+use std::time::Instant;
+
+const CALLS_PER_BATCH: usize = 20_000;
+
+/// Median ns/call over `reps` batches of warm 8x8x8 GEMMs.
+fn time_batches(cfg: &GemmConfig, reps: usize) -> f64 {
+    let a = Matrix::<f32>::random(8, 8, 1);
+    let b = Matrix::<f32>::random(8, 8, 2);
+    let mut c = Matrix::<f32>::zeros(8, 8);
+    // Untimed warmup: page in operands, settle the dispatch caches.
+    for _ in 0..CALLS_PER_BATCH / 10 {
+        gemm_with(
+            cfg,
+            Op::NoTrans,
+            Op::NoTrans,
+            1.0,
+            a.as_ref(),
+            b.as_ref(),
+            0.0,
+            c.as_mut(),
+        );
+    }
+    let mut per_call: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..CALLS_PER_BATCH {
+                gemm_with(
+                    cfg,
+                    Op::NoTrans,
+                    Op::NoTrans,
+                    1.0,
+                    a.as_ref(),
+                    b.as_ref(),
+                    0.0,
+                    c.as_mut(),
+                );
+            }
+            t0.elapsed().as_nanos() as f64 / CALLS_PER_BATCH as f64
+        })
+        .collect();
+    per_call.sort_by(|x, y| x.total_cmp(y));
+    per_call[per_call.len() / 2]
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let cfg = GemmConfig::with_threads(1);
+
+    let disabled_ns = time_batches(&cfg, args.reps);
+
+    #[cfg(feature = "telemetry")]
+    let enabled_ns = {
+        shalom_core::telemetry::reset();
+        shalom_core::telemetry::enable();
+        let ns = time_batches(&cfg, args.reps);
+        shalom_core::telemetry::disable();
+        ns
+    };
+
+    let mut r = Report::new(
+        "telemetry_overhead",
+        "8x8x8 FP32 NN hot-path cost per call (warm, 1 thread)",
+    );
+    r.columns(&["capture", "ns/call", "vs disabled"]);
+    let feature = cfg!(feature = "telemetry");
+    r.row(&[
+        if feature {
+            "disabled (feature on)"
+        } else {
+            "absent (feature off)"
+        },
+        &format!("{disabled_ns:.1}"),
+        "1.000x",
+    ]);
+    #[cfg(feature = "telemetry")]
+    r.row(&[
+        "enabled",
+        &format!("{enabled_ns:.1}"),
+        &format!("{:.3}x", enabled_ns / disabled_ns),
+    ]);
+    r.note("acceptance: the capture-disabled row must stay within 1% of a build without the telemetry feature (run both builds and compare)");
+    r.emit(&args.out);
+}

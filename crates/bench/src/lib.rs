@@ -12,12 +12,16 @@
 //! Every binary accepts `--reps N` (timing repetitions; paper uses 10),
 //! `--full` (paper-scale problem sizes; defaults are scaled for a 1-core
 //! container) and `--out DIR` (CSV output directory, default `results/`).
+//! Built with `--features telemetry`, `--telemetry` additionally records
+//! the dispatch decisions of every GEMM in the run and writes a
+//! `<figure>.telemetry.json` snapshot next to the CSVs.
 
 #![deny(missing_docs)]
 
 pub mod args;
 pub mod report;
 pub mod runner;
+pub mod telemetry;
 pub mod timer;
 
 pub use args::BenchArgs;

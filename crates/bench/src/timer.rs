@@ -104,9 +104,14 @@ mod tests {
 
     #[test]
     fn stats_ordering() {
-        let s = time_gemm(5, 1, || {}, || {
-            std::hint::black_box((0..1000).sum::<u64>());
-        });
+        let s = time_gemm(
+            5,
+            1,
+            || {},
+            || {
+                std::hint::black_box((0..1000).sum::<u64>());
+            },
+        );
         assert!(s.min <= s.geomean && s.geomean <= s.max);
         assert!(s.min > 0.0);
     }

@@ -96,7 +96,15 @@ impl GemmGeom {
 
 /// Touches one row-segment of a row-major matrix.
 #[inline]
-fn row_seg(sim: &mut CacheSim, base: u64, ld: usize, elem: usize, row: usize, col: usize, len: usize) {
+fn row_seg(
+    sim: &mut CacheSim,
+    base: u64,
+    ld: usize,
+    elem: usize,
+    row: usize,
+    col: usize,
+    len: usize,
+) {
     sim.touch_range(base + ((row * ld + col) * elem) as u64, (len * elem) as u64);
 }
 

@@ -132,7 +132,9 @@ pub unsafe fn sgemm_raw(
     c: *mut f32,
     ldc: usize,
 ) {
-    gemm_parallel::<F32x4>(cfg, op_a, op_b, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+    gemm_parallel::<F32x4>(
+        cfg, op_a, op_b, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc,
+    )
 }
 
 /// Raw-pointer double-precision GEMM; see [`sgemm_raw`].
@@ -156,7 +158,9 @@ pub unsafe fn dgemm_raw(
     c: *mut f64,
     ldc: usize,
 ) {
-    gemm_parallel::<F64x2>(cfg, op_a, op_b, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+    gemm_parallel::<F64x2>(
+        cfg, op_a, op_b, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc,
+    )
 }
 
 #[cfg(test)]

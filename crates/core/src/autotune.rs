@@ -59,7 +59,16 @@ fn measure<T: GemmElem>(
     reps: usize,
 ) -> f64 {
     let mut once = || {
-        gemm_with(cfg, op_a, op_b, T::ONE, a.as_ref(), b.as_ref(), T::ZERO, c.as_mut());
+        gemm_with(
+            cfg,
+            op_a,
+            op_b,
+            T::ONE,
+            a.as_ref(),
+            b.as_ref(),
+            T::ZERO,
+            c.as_mut(),
+        );
         std::hint::black_box(c.as_slice().first());
     };
     once();
@@ -93,7 +102,14 @@ pub fn autotune<T: GemmElem>(
     k: usize,
     budget: Duration,
 ) -> TuneReport {
-    assert!(m > 0 && n > 0 && k > 0, "degenerate GEMM has nothing to tune");
+    assert!(
+        m > 0 && n > 0 && k > 0,
+        "degenerate GEMM has nothing to tune"
+    );
+    // Probe GEMMs are measurement noise, not workload: keep them out of
+    // the telemetry trace for the duration of the search.
+    #[cfg(feature = "telemetry")]
+    let _tel_pause = crate::telemetry::pause_guard();
     let (ar, ac) = match op_a {
         Op::NoTrans => (m, k),
         Op::Trans => (k, m),
@@ -117,7 +133,11 @@ pub fn autotune<T: GemmElem>(
         ("pipe", EdgeSchedule::Pipelined),
         ("batch", EdgeSchedule::Batched),
     ];
-    let scales = [("blk1.0", 1usize, 1usize), ("blk0.5", 1, 2), ("blk2.0", 2, 1)];
+    let scales = [
+        ("blk1.0", 1usize, 1usize),
+        ("blk0.5", 1, 2),
+        ("blk2.0", 2, 1),
+    ];
 
     let deadline = Instant::now() + budget;
     let mut candidates = Vec::new();
@@ -207,7 +227,15 @@ mod tests {
         let b = Matrix::<f64>::random(13, 13, 2);
         let mut c = Matrix::<f64>::zeros(13, 13);
         let mut want = Matrix::<f64>::zeros(13, 13);
-        reference::gemm(Op::NoTrans, Op::NoTrans, 1.0, a.as_ref(), b.as_ref(), 0.0, want.as_mut());
+        reference::gemm(
+            Op::NoTrans,
+            Op::NoTrans,
+            1.0,
+            a.as_ref(),
+            b.as_ref(),
+            0.0,
+            want.as_mut(),
+        );
         gemm_with(
             &report.best,
             Op::NoTrans,
@@ -225,6 +253,14 @@ mod tests {
     #[should_panic(expected = "nothing to tune")]
     fn degenerate_rejected() {
         let base = GemmConfig::with_threads(1);
-        let _ = autotune::<f32>(&base, Op::NoTrans, Op::NoTrans, 0, 8, 8, Duration::from_millis(10));
+        let _ = autotune::<f32>(
+            &base,
+            Op::NoTrans,
+            Op::NoTrans,
+            0,
+            8,
+            8,
+            Duration::from_millis(10),
+        );
     }
 }

@@ -68,6 +68,10 @@ pub fn gemm_batch_beta<T: GemmElem>(
         reference::check_dims(op_a, op_b, it.c.rows(), it.c.cols(), k, &it.a, &it.b);
     }
     let t = cfg.resolved_threads().max(1).min(items.len().max(1));
+    #[cfg(feature = "telemetry")]
+    if crate::telemetry::enabled() && !items.is_empty() {
+        crate::telemetry::record_batch(items.len());
+    }
     let run_one = |cfg: &GemmConfig, it: &mut BatchItem<'_, T>| {
         let m = it.c.rows();
         let n = it.c.cols();
@@ -96,6 +100,10 @@ pub fn gemm_batch_beta<T: GemmElem>(
         });
     };
     if t <= 1 {
+        // Tag runs Batch even on the caller's thread; the scope restores
+        // the previous tag on exit.
+        #[cfg(feature = "telemetry")]
+        let _path = crate::telemetry::PathScope::enter(crate::telemetry::PathTag::Batch);
         let serial_cfg = GemmConfig { threads: 1, ..*cfg };
         for it in items.iter_mut() {
             run_one(&serial_cfg, it);
@@ -104,17 +112,17 @@ pub fn gemm_batch_beta<T: GemmElem>(
     }
     let serial_cfg = GemmConfig { threads: 1, ..*cfg };
     let chunk = items.len().div_ceil(t);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for slice in items.chunks_mut(chunk) {
-            let serial_cfg = serial_cfg;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
+                #[cfg(feature = "telemetry")]
+                let _path = crate::telemetry::PathScope::enter(crate::telemetry::PathTag::Batch);
                 for it in slice.iter_mut() {
                     run_one(&serial_cfg, it);
                 }
             });
         }
-    })
-    .expect("batch worker panicked");
+    });
 }
 
 /// Strided batch over contiguous storage: `count` problems of identical
@@ -167,10 +175,9 @@ mod tests {
     use super::*;
     use shalom_matrix::{assert_close, gemm_tolerance, max_abs_diff, Matrix};
 
-    fn make_problems(
-        count: usize,
-        dims: impl Fn(usize) -> (usize, usize, usize),
-    ) -> (Vec<Matrix<f32>>, Vec<Matrix<f32>>, Vec<Matrix<f32>>) {
+    type Problems = (Vec<Matrix<f32>>, Vec<Matrix<f32>>, Vec<Matrix<f32>>);
+
+    fn make_problems(count: usize, dims: impl Fn(usize) -> (usize, usize, usize)) -> Problems {
         let mut aa = Vec::new();
         let mut bb = Vec::new();
         let mut cc = Vec::new();
@@ -183,7 +190,11 @@ mod tests {
         (aa, bb, cc)
     }
 
-    fn run_and_check(cfg: &GemmConfig, count: usize, dims: impl Fn(usize) -> (usize, usize, usize)) {
+    fn run_and_check(
+        cfg: &GemmConfig,
+        count: usize,
+        dims: impl Fn(usize) -> (usize, usize, usize),
+    ) {
         let (aa, bb, mut cc) = make_problems(count, &dims);
         let want: Vec<Matrix<f32>> = cc
             .iter()
@@ -241,7 +252,13 @@ mod tests {
     #[test]
     fn empty_batch_is_noop() {
         let mut items: Vec<BatchItem<'_, f32>> = Vec::new();
-        gemm_batch(&GemmConfig::with_threads(4), Op::NoTrans, Op::NoTrans, 1.0, &mut items);
+        gemm_batch(
+            &GemmConfig::with_threads(4),
+            Op::NoTrans,
+            Op::NoTrans,
+            1.0,
+            &mut items,
+        );
     }
 
     #[test]
@@ -318,6 +335,12 @@ mod tests {
             b: b.as_ref(),
             c: c.as_mut(),
         }];
-        gemm_batch(&GemmConfig::with_threads(1), Op::NoTrans, Op::NoTrans, 1.0, &mut items);
+        gemm_batch(
+            &GemmConfig::with_threads(1),
+            Op::NoTrans,
+            Op::NoTrans,
+            1.0,
+            &mut items,
+        );
     }
 }

@@ -54,8 +54,7 @@ impl CacheParams {
         for e in entries.flatten() {
             let dir = e.path();
             let read = |f: &str| std::fs::read_to_string(dir.join(f)).ok();
-            let (Some(level), Some(ty), Some(size)) =
-                (read("level"), read("type"), read("size"))
+            let (Some(level), Some(ty), Some(size)) = (read("level"), read("type"), read("size"))
             else {
                 continue;
             };
@@ -124,7 +123,7 @@ impl BlockSizes {
         // kc: the kc x nr packed panel occupies <= L1/2.
         let kc_raw = cache.l1 / (2 * nr * elem_bytes);
         let kc = kc_raw.clamp(32, 512) & !3; // multiple of 4 covers both lane counts
-        // mc: the mc x kc A block occupies <= L2/2; round down to mr.
+                                             // mc: the mc x kc A block occupies <= L2/2; round down to mr.
         let mc_raw = cache.l2 / (2 * kc * elem_bytes);
         let mc = ((mc_raw / MR) * MR).clamp(MR, 8192);
         // nc: the kc x nc B region occupies <= LLC/2; round down to nr.

@@ -14,6 +14,16 @@ pub enum EdgeSchedule {
     Batched,
 }
 
+impl EdgeSchedule {
+    /// Stable lowercase label (CLI values, reports, telemetry).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EdgeSchedule::Pipelined => "pipelined",
+            EdgeSchedule::Batched => "batched",
+        }
+    }
+}
+
 /// How the driver prepares B (and A in T modes) for the micro-kernel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum PackingPolicy {
@@ -34,6 +44,18 @@ pub enum PackingPolicy {
     Never,
 }
 
+impl PackingPolicy {
+    /// Stable lowercase label (CLI values, reports, telemetry).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PackingPolicy::Auto => "auto",
+            PackingPolicy::AlwaysFused => "fused",
+            PackingPolicy::AlwaysSequential => "sequential",
+            PackingPolicy::Never => "never",
+        }
+    }
+}
+
 /// Workload shape classes from §2.1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ShapeClass {
@@ -46,11 +68,28 @@ pub enum ShapeClass {
     Regular,
 }
 
+impl ShapeClass {
+    /// Stable lowercase label (CLI values, reports, telemetry).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ShapeClass::Small => "small",
+            ShapeClass::Irregular => "irregular",
+            ShapeClass::Regular => "regular",
+        }
+    }
+}
+
 /// Classifies a GEMM instance per §2.1: *small* when the two (M, N)
 /// dimensions are of similar size and the working set fits the LLC;
 /// *irregular* when one of M / N is at least 8x the other (the paper's
 /// examples range from 64 vs 3000+ to 16 vs 50000); *regular* otherwise.
-pub fn classify(m: usize, n: usize, k: usize, elem_bytes: usize, cache: &CacheParams) -> ShapeClass {
+pub fn classify(
+    m: usize,
+    n: usize,
+    k: usize,
+    elem_bytes: usize,
+    cache: &CacheParams,
+) -> ShapeClass {
     let lo = m.min(n).max(1);
     let hi = m.max(n);
     if hi >= 8 * lo && hi >= 1024 {
@@ -134,7 +173,10 @@ mod tests {
     fn tall_skinny_is_irregular() {
         assert_eq!(classify(64, 50176, 576, 4, &cache()), ShapeClass::Irregular);
         assert_eq!(classify(50176, 64, 576, 4, &cache()), ShapeClass::Irregular);
-        assert_eq!(classify(32, 10000, 5000, 4, &cache()), ShapeClass::Irregular);
+        assert_eq!(
+            classify(32, 10000, 5000, 4, &cache()),
+            ShapeClass::Irregular
+        );
     }
 
     #[test]

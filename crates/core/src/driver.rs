@@ -58,8 +58,32 @@ impl Workspace {
         if self.at.len() < aw {
             self.at.resize(aw, 0);
         }
-        (self.bc.as_mut_ptr() as *mut T, self.at.as_mut_ptr() as *mut T)
+        (
+            self.bc.as_mut_ptr() as *mut T,
+            self.at.as_mut_ptr() as *mut T,
+        )
     }
+
+    /// Current capacity of the scratch buffers in bytes (the per-thread
+    /// workspace high-water mark reported by telemetry).
+    #[cfg(feature = "telemetry")]
+    fn bytes(&self) -> usize {
+        (self.bc.len() + self.at.len()) * core::mem::size_of::<u64>()
+    }
+}
+
+/// Times a sequential-pack region into the thread's pack-span
+/// accumulator. Expands to the bare expression without the `telemetry`
+/// feature; with it, costs one relaxed load when capture is off.
+macro_rules! pack_timed {
+    ($body:expr) => {{
+        #[cfg(feature = "telemetry")]
+        let __pack_t0 = crate::telemetry::pack_span_start();
+        let __r = $body;
+        #[cfg(feature = "telemetry")]
+        crate::telemetry::pack_span_end(__pack_t0);
+        __r
+    }};
 }
 
 thread_local! {
@@ -82,13 +106,7 @@ enum BPlan {
     Sequential,
 }
 
-fn resolve_nn_plan(
-    cfg: &GemmConfig,
-    m: usize,
-    n: usize,
-    k: usize,
-    elem_bytes: usize,
-) -> BPlan {
+fn resolve_nn_plan(cfg: &GemmConfig, m: usize, n: usize, k: usize, elem_bytes: usize) -> BPlan {
     let b_bytes = k * n * elem_bytes;
     let shape = classify(m, n, k, elem_bytes, &cfg.cache);
     match cfg.packing {
@@ -113,11 +131,46 @@ fn resolve_nn_plan(
     }
 }
 
+#[cfg(feature = "telemetry")]
+impl BPlan {
+    /// Telemetry tag for the resolved plan. NT-mode `Direct` reports
+    /// `SequentialPack` because `nt_block` transpose-packs it anyway
+    /// (`Never` only disables the *fused* variant there).
+    fn tag(self, op_b: Op) -> crate::telemetry::PlanTag {
+        use crate::telemetry::PlanTag;
+        match self {
+            BPlan::Direct if op_b == Op::Trans => PlanTag::SequentialPack,
+            BPlan::Direct => PlanTag::NoPack,
+            BPlan::Fused => PlanTag::FusedPack,
+            BPlan::FusedLookahead => PlanTag::Lookahead,
+            BPlan::Sequential => PlanTag::SequentialPack,
+        }
+    }
+}
+
 fn resolve_nt_plan(cfg: &GemmConfig) -> BPlan {
     // NT always packs (§4.3); only the fused-vs-sequential axis remains.
     match cfg.packing {
         PackingPolicy::AlwaysSequential | PackingPolicy::Never => BPlan::Sequential,
         _ => BPlan::Fused,
+    }
+}
+
+/// What the §4 resolution says for the *full* problem shape — used by the
+/// parallel parent record (each worker re-resolves over its own
+/// sub-block and reports that in its own record).
+#[cfg(feature = "telemetry")]
+pub(crate) fn resolved_plan_tag(
+    cfg: &GemmConfig,
+    op_b: Op,
+    m: usize,
+    n: usize,
+    k: usize,
+    elem_bytes: usize,
+) -> crate::telemetry::PlanTag {
+    match op_b {
+        Op::NoTrans => resolve_nn_plan(cfg, m, n, k, elem_bytes).tag(op_b),
+        Op::Trans => resolve_nt_plan(cfg).tag(op_b),
     }
 }
 
@@ -159,12 +212,26 @@ pub(crate) unsafe fn gemm_serial<V: Vector>(
     // ceilings: a 5x5x5 GEMM must not pay for a megabyte of zeroed Bc/Ac.
     let kc_eff = bs.kc.min(k);
     let mc_eff = bs.mc.min(m.div_ceil(MR) * MR);
-    let at_elems = if op_a == Op::Trans { mc_eff * kc_eff } else { 0 };
+    let at_elems = if op_a == Op::Trans {
+        mc_eff * kc_eff
+    } else {
+        0
+    };
     let (bc_ptr, at_ptr) = ws.ensure::<V::Elem>(2 * kc_eff * nr, at_elems);
 
     let b_plan = match op_b {
         Op::NoTrans => resolve_nn_plan(cfg, m, n, k, core::mem::size_of::<V::Elem>()),
         Op::Trans => resolve_nt_plan(cfg),
+    };
+
+    // Telemetry: 0 marks capture-off, making the whole dispatch cost one
+    // relaxed load + compare; both capture halves are outlined `#[cold]`
+    // calls so they add no code to this function's hot body.
+    #[cfg(feature = "telemetry")]
+    let tel_start = if crate::telemetry::enabled() {
+        crate::telemetry::serial_capture_begin()
+    } else {
+        0
     };
 
     // Loop L1 (parallelized at the outer level in the threaded driver).
@@ -183,7 +250,14 @@ pub(crate) unsafe fn gemm_serial<V: Vector>(
                 let (a_blk, lda_blk): (*const V::Elem, usize) = match op_a {
                     Op::NoTrans => (a.add(ii * lda + kk), lda),
                     Op::Trans => {
-                        pack_transpose(a.add(kk * lda + ii), lda, kcur, mcur, at_ptr, kcur);
+                        pack_timed!(pack_transpose(
+                            a.add(kk * lda + ii),
+                            lda,
+                            kcur,
+                            mcur,
+                            at_ptr,
+                            kcur
+                        ));
                         (at_ptr as *const V::Elem, kcur)
                     }
                 };
@@ -228,6 +302,24 @@ pub(crate) unsafe fn gemm_serial<V: Vector>(
             ii += mcur;
         }
         jj += ncur;
+    }
+
+    #[cfg(feature = "telemetry")]
+    if tel_start != 0 {
+        crate::telemetry::serial_capture_end(
+            tel_start,
+            cfg,
+            op_a,
+            op_b,
+            m,
+            n,
+            k,
+            core::mem::size_of::<V::Elem>(),
+            b_plan.tag(op_b),
+            MR as u8,
+            nr as u8,
+            ws.bytes(),
+        );
     }
 }
 
@@ -369,15 +461,13 @@ unsafe fn nn_block<V: Vector>(
         match plan {
             BPlan::Direct => {
                 sweep_rows::<V>(
-                    cfg, 0, mcur, nr, kcur, alpha, a_blk, lda, b_panel, ldb, beta_eff, c_panel,
-                    ldc,
+                    cfg, 0, mcur, nr, kcur, alpha, a_blk, lda, b_panel, ldb, beta_eff, c_panel, ldc,
                 );
             }
             BPlan::Sequential => {
-                pack_copy(b_panel, ldb, kcur, nr, bufs[0], nr);
+                pack_timed!(pack_copy(b_panel, ldb, kcur, nr, bufs[0], nr));
                 sweep_rows::<V>(
-                    cfg, 0, mcur, nr, kcur, alpha, a_blk, lda, bufs[0], nr, beta_eff, c_panel,
-                    ldc,
+                    cfg, 0, mcur, nr, kcur, alpha, a_blk, lda, bufs[0], nr, beta_eff, c_panel, ldc,
                 );
             }
             BPlan::Fused => {
@@ -387,14 +477,14 @@ unsafe fn nn_block<V: Vector>(
                         None,
                     );
                     sweep_rows::<V>(
-                        cfg, MR, mcur, nr, kcur, alpha, a_blk, lda, bufs[0], nr, beta_eff,
-                        c_panel, ldc,
+                        cfg, MR, mcur, nr, kcur, alpha, a_blk, lda, bufs[0], nr, beta_eff, c_panel,
+                        ldc,
                     );
                 } else {
-                    pack_copy(b_panel, ldb, kcur, nr, bufs[0], nr);
+                    pack_timed!(pack_copy(b_panel, ldb, kcur, nr, bufs[0], nr));
                     sweep_rows::<V>(
-                        cfg, 0, mcur, nr, kcur, alpha, a_blk, lda, bufs[0], nr, beta_eff,
-                        c_panel, ldc,
+                        cfg, 0, mcur, nr, kcur, alpha, a_blk, lda, bufs[0], nr, beta_eff, c_panel,
+                        ldc,
                     );
                 }
             }
@@ -407,17 +497,8 @@ unsafe fn nn_block<V: Vector>(
                         });
                         have_packed = ahead.is_some();
                         main_kernel_fused_pack::<V>(
-                            kcur,
-                            alpha,
-                            a_blk,
-                            lda,
-                            b_panel,
-                            ldb,
-                            beta_eff,
-                            c_panel,
-                            ldc,
-                            bufs[cur],
-                            ahead,
+                            kcur, alpha, a_blk, lda, b_panel, ldb, beta_eff, c_panel, ldc,
+                            bufs[cur], ahead,
                         );
                     } else {
                         let stream = next_full.then_some(StreamCopy {
@@ -428,15 +509,7 @@ unsafe fn nn_block<V: Vector>(
                         });
                         have_packed = stream.is_some();
                         main_kernel_streamed::<V>(
-                            kcur,
-                            alpha,
-                            a_blk,
-                            lda,
-                            bufs[cur],
-                            beta_eff,
-                            c_panel,
-                            ldc,
-                            stream,
+                            kcur, alpha, a_blk, lda, bufs[cur], beta_eff, c_panel, ldc, stream,
                         );
                     }
                     sweep_rows::<V>(
@@ -445,7 +518,7 @@ unsafe fn nn_block<V: Vector>(
                     );
                     cur = 1 - cur;
                 } else {
-                    pack_copy(b_panel, ldb, kcur, nr, bufs[cur], nr);
+                    pack_timed!(pack_copy(b_panel, ldb, kcur, nr, bufs[cur], nr));
                     have_packed = false;
                     sweep_rows::<V>(
                         cfg, 0, mcur, nr, kcur, alpha, a_blk, lda, bufs[cur], nr, beta_eff,
@@ -508,14 +581,16 @@ unsafe fn nt_block<V: Vector>(
             BPlan::Sequential | BPlan::Direct => {
                 // Transpose-pack the panel (kcur x ncols, zero-pad to nr),
                 // then compute every row from the packed buffer.
-                pack_transpose(b_panel, ldb, ncols, kcur, bc0, nr);
-                if ncols < nr {
-                    for kk in 0..kcur {
-                        for jpad in ncols..nr {
-                            *bc0.add(kk * nr + jpad) = V::Elem::ZERO;
+                pack_timed!({
+                    pack_transpose(b_panel, ldb, ncols, kcur, bc0, nr);
+                    if ncols < nr {
+                        for kk in 0..kcur {
+                            for jpad in ncols..nr {
+                                *bc0.add(kk * nr + jpad) = V::Elem::ZERO;
+                            }
                         }
                     }
-                }
+                });
                 sweep_rows::<V>(
                     cfg, 0, mcur, ncols, kcur, alpha, a_blk, lda, bc0, nr, beta_eff, c_panel, ldc,
                 );
@@ -528,8 +603,8 @@ unsafe fn nt_block<V: Vector>(
                 );
                 if mcur > m0 {
                     sweep_rows::<V>(
-                        cfg, m0, mcur, ncols, kcur, alpha, a_blk, lda, bc0, nr, beta_eff,
-                        c_panel, ldc,
+                        cfg, m0, mcur, ncols, kcur, alpha, a_blk, lda, bc0, nr, beta_eff, c_panel,
+                        ldc,
                     );
                 }
             }
@@ -578,7 +653,15 @@ mod tests {
         let b = Matrix::<V::Elem>::random(br, bc_, 62);
         let mut c = Matrix::<V::Elem>::random(m, n, 63);
         let mut want = c.clone();
-        reference::gemm(op_a, op_b, alpha, a.as_ref(), b.as_ref(), beta, want.as_mut());
+        reference::gemm(
+            op_a,
+            op_b,
+            alpha,
+            a.as_ref(),
+            b.as_ref(),
+            beta,
+            want.as_mut(),
+        );
         let mut ws = Workspace::new();
         unsafe {
             gemm_serial::<V>(
@@ -674,7 +757,16 @@ mod tests {
         let cfg = cfg_small_l1();
         for &(al, be) in &[(0.0, 0.0), (0.0, 2.0), (2.0, 0.0), (-1.5, 0.5)] {
             run::<F32x4>(&cfg, Op::NoTrans, Op::NoTrans, 20, 30, 25, al, be);
-            run::<F64x2>(&cfg, Op::NoTrans, Op::Trans, 20, 30, 25, al as f64, be as f64);
+            run::<F64x2>(
+                &cfg,
+                Op::NoTrans,
+                Op::Trans,
+                20,
+                30,
+                25,
+                al as f64,
+                be as f64,
+            );
         }
     }
 
@@ -719,10 +811,7 @@ mod tests {
         // Irregular shape and m < 7: the double-buffered t=1 path must
         // fall back per panel without corrupting its buffer rotation.
         let cfg = cfg_small_l1();
-        assert_eq!(
-            resolve_nn_plan(&cfg, 5, 2048, 48, 4),
-            BPlan::FusedLookahead
-        );
+        assert_eq!(resolve_nn_plan(&cfg, 5, 2048, 48, 4), BPlan::FusedLookahead);
         run::<F32x4>(&cfg, Op::NoTrans, Op::NoTrans, 5, 2048, 48, 1.0, 1.0);
         run::<F64x2>(&cfg, Op::NoTrans, Op::NoTrans, 5, 2048, 48, 1.0, 1.0);
     }

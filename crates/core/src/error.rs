@@ -20,6 +20,31 @@ pub enum GemmError {
         /// Shape required by `C` and the ops.
         need: (usize, usize),
     },
+    /// An operand view's leading dimension is smaller than its column
+    /// count (rows would overlap; `ld == 0` is the degenerate case).
+    /// Views with at most one row are exempt — their `ld` is never used.
+    StrideTooSmall {
+        /// `"A"`, `"B"` or `"C"`.
+        operand: &'static str,
+        /// The offending leading dimension.
+        ld: usize,
+        /// The view's column count.
+        cols: usize,
+    },
+    /// The output view's memory range overlaps an input operand's. The
+    /// kernels stream C while reading A/B, so aliasing produces garbage
+    /// (the panicking API documents this as a safety precondition; the
+    /// fallible API checks).
+    OverlappingViews {
+        /// The input operand C overlaps: `"A"` or `"B"`.
+        operand: &'static str,
+    },
+    /// `cfg.threads == 0`. The panicking API treats 0 as "use all
+    /// available cores"; the fallible API rejects it so configuration
+    /// arithmetic that underflows to 0 cannot silently fan out to every
+    /// core. Callers wanting auto-detection pass
+    /// `GemmConfig::resolved_threads()` explicitly.
+    ZeroThreads,
 }
 
 impl core::fmt::Display for GemmError {
@@ -30,13 +55,36 @@ impl core::fmt::Display for GemmError {
                 "operand {operand} stored {}x{} but {}x{} required",
                 got.0, got.1, need.0, need.1
             ),
+            GemmError::StrideTooSmall { operand, ld, cols } => {
+                write!(f, "operand {operand} leading dimension {ld} < cols {cols}")
+            }
+            GemmError::OverlappingViews { operand } => {
+                write!(f, "output C overlaps operand {operand}")
+            }
+            GemmError::ZeroThreads => {
+                write!(f, "cfg.threads is 0; pass an explicit worker count")
+            }
         }
     }
 }
 
 impl std::error::Error for GemmError {}
 
-/// Validates the operand shapes for `C = alpha*op(A)*op(B) + beta*C`.
+/// Byte range `[start, end)` covered by a view, `None` when it holds no
+/// elements.
+fn view_range<T>(ptr: *const T, rows: usize, cols: usize, ld: usize) -> Option<(usize, usize)> {
+    if rows == 0 || cols == 0 {
+        return None;
+    }
+    let start = ptr as usize;
+    let elems = (rows - 1) * ld + cols;
+    Some((start, start + elems * core::mem::size_of::<T>()))
+}
+
+/// Validates the operand shapes for `C = alpha*op(A)*op(B) + beta*C`,
+/// including view invariants the panicking API only debug-asserts:
+/// leading dimensions no smaller than the column count and an output
+/// that does not alias either input.
 pub fn validate<T: GemmElem>(
     op_a: Op,
     op_b: Op,
@@ -72,11 +120,37 @@ pub fn validate<T: GemmElem>(
             need: need_b,
         });
     }
+    // Stride sanity: `ld < cols` makes rows overlap (ld == 0 collapses
+    // the whole view onto one row). Single-row views never use ld.
+    for (operand, rows, cols, ld) in [
+        ("A", a.rows(), a.cols(), a.ld()),
+        ("B", b.rows(), b.cols(), b.ld()),
+        ("C", c.rows(), c.cols(), c.ld()),
+    ] {
+        if rows > 1 && ld < cols {
+            return Err(GemmError::StrideTooSmall { operand, ld, cols });
+        }
+    }
+    // Aliasing: the kernels write C while streaming A and B.
+    if let Some((c0, c1)) = view_range(c.as_ptr(), m, n, c.ld()) {
+        for (operand, range) in [
+            ("A", view_range(a.as_ptr(), a.rows(), a.cols(), a.ld())),
+            ("B", view_range(b.as_ptr(), b.rows(), b.cols(), b.ld())),
+        ] {
+            if let Some((x0, x1)) = range {
+                if c0 < x1 && x0 < c1 {
+                    return Err(GemmError::OverlappingViews { operand });
+                }
+            }
+        }
+    }
     Ok(())
 }
 
-/// Fallible [`gemm_with`]: returns `Err` on shape mismatch instead of
-/// panicking.
+/// Fallible [`gemm_with`]: returns `Err` instead of panicking (shape
+/// mismatch) or computing garbage (bad stride, aliased output). Unlike
+/// the panicking API, it also rejects `cfg.threads == 0` — see
+/// [`GemmError::ZeroThreads`].
 ///
 /// ```
 /// use shalom_core::{try_gemm_with, GemmConfig, Op};
@@ -104,6 +178,9 @@ pub fn try_gemm_with<T: GemmElem>(
     beta: T,
     c: MatMut<'_, T>,
 ) -> Result<(), GemmError> {
+    if cfg.threads == 0 {
+        return Err(GemmError::ZeroThreads);
+    }
     validate(op_a, op_b, &a, &b, &c)?;
     gemm_with(cfg, op_a, op_b, alpha, a, b, beta, c);
     Ok(())
@@ -181,6 +258,165 @@ mod tests {
                 assert_eq!(operand, "B");
                 assert_eq!(need, (2, 4));
             }
+            other => panic!("expected DimensionMismatch, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn zero_threads_rejected() {
+        let a = Matrix::<f32>::random(3, 4, 1);
+        let b = Matrix::<f32>::random(4, 2, 2);
+        let mut c = Matrix::<f32>::zeros(3, 2);
+        let err = try_gemm_with(
+            &GemmConfig::with_threads(0),
+            Op::NoTrans,
+            Op::NoTrans,
+            1.0,
+            a.as_ref(),
+            b.as_ref(),
+            0.0,
+            c.as_mut(),
+        )
+        .unwrap_err();
+        assert_eq!(err, GemmError::ZeroThreads);
+        assert!(err.to_string().contains("threads"));
+    }
+
+    #[test]
+    fn zero_stride_rejected() {
+        // ld == 0 on a multi-row view: every row aliases the first.
+        let abuf = [1.0f32; 4];
+        let a = unsafe { shalom_matrix::MatRef::from_raw_parts(abuf.as_ptr(), 3, 4, 0) };
+        let b = Matrix::<f32>::random(4, 2, 2);
+        let mut c = Matrix::<f32>::zeros(3, 2);
+        let err = try_gemm_with(
+            &GemmConfig::with_threads(1),
+            Op::NoTrans,
+            Op::NoTrans,
+            1.0,
+            a,
+            b.as_ref(),
+            0.0,
+            c.as_mut(),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            GemmError::StrideTooSmall {
+                operand: "A",
+                ld: 0,
+                cols: 4
+            }
+        );
+    }
+
+    #[test]
+    fn short_stride_on_c_rejected() {
+        let a = Matrix::<f32>::random(3, 4, 1);
+        let b = Matrix::<f32>::random(4, 2, 2);
+        let mut cbuf = vec![0.0f32; 16];
+        let c = unsafe { shalom_matrix::MatMut::from_raw_parts(cbuf.as_mut_ptr(), 3, 2, 1) };
+        let err = try_gemm_with(
+            &GemmConfig::with_threads(1),
+            Op::NoTrans,
+            Op::NoTrans,
+            1.0,
+            a.as_ref(),
+            b.as_ref(),
+            0.0,
+            c,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            GemmError::StrideTooSmall {
+                operand: "C",
+                ld: 1,
+                cols: 2
+            }
+        );
+    }
+
+    #[test]
+    fn single_row_any_stride_ok() {
+        // ld < cols is harmless on one-row views: ld never dereferenced.
+        let abuf = [1.0f32; 4];
+        let a = unsafe { shalom_matrix::MatRef::from_raw_parts(abuf.as_ptr(), 1, 4, 0) };
+        let b = Matrix::<f32>::random(4, 2, 2);
+        let mut c = Matrix::<f32>::zeros(1, 2);
+        try_gemm_with(
+            &GemmConfig::with_threads(1),
+            Op::NoTrans,
+            Op::NoTrans,
+            1.0,
+            a,
+            b.as_ref(),
+            0.0,
+            c.as_mut(),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn overlapping_output_rejected() {
+        // One buffer serves as both A and C: in-place GEMM is not
+        // supported and must be reported, not computed.
+        let mut buf = vec![1.0f32; 4 * 4];
+        let a = unsafe { shalom_matrix::MatRef::from_raw_parts(buf.as_ptr(), 4, 4, 4) };
+        let c = unsafe { shalom_matrix::MatMut::from_raw_parts(buf.as_mut_ptr(), 4, 4, 4) };
+        let b = Matrix::<f32>::random(4, 4, 2);
+        let err = try_gemm_with(
+            &GemmConfig::with_threads(1),
+            Op::NoTrans,
+            Op::NoTrans,
+            1.0,
+            a,
+            b.as_ref(),
+            0.0,
+            c,
+        )
+        .unwrap_err();
+        assert_eq!(err, GemmError::OverlappingViews { operand: "A" });
+    }
+
+    #[test]
+    fn overlap_with_b_detected_even_partial() {
+        // C starts midway through B's buffer: partial overlap still errs.
+        let mut buf = vec![1.0f32; 64];
+        let b = unsafe { shalom_matrix::MatRef::from_raw_parts(buf.as_ptr(), 4, 4, 4) };
+        let c = unsafe { shalom_matrix::MatMut::from_raw_parts(buf.as_mut_ptr().add(8), 4, 4, 4) };
+        let a = Matrix::<f32>::random(4, 4, 3);
+        let err = try_gemm_with(
+            &GemmConfig::with_threads(1),
+            Op::NoTrans,
+            Op::NoTrans,
+            1.0,
+            a.as_ref(),
+            b,
+            0.0,
+            c,
+        )
+        .unwrap_err();
+        assert_eq!(err, GemmError::OverlappingViews { operand: "B" });
+    }
+
+    #[test]
+    fn disjoint_views_in_one_buffer_ok() {
+        // A and B share a parent allocation with C fully disjoint.
+        let buf = vec![1.0f32; 64];
+        let a = unsafe { shalom_matrix::MatRef::from_raw_parts(buf.as_ptr(), 4, 4, 4) };
+        let b = unsafe { shalom_matrix::MatRef::from_raw_parts(buf.as_ptr().add(16), 4, 4, 4) };
+        let mut c = Matrix::<f32>::zeros(4, 4);
+        try_gemm_with(
+            &GemmConfig::with_threads(1),
+            Op::NoTrans,
+            Op::NoTrans,
+            1.0,
+            a,
+            b,
+            0.0,
+            c.as_mut(),
+        )
+        .unwrap();
     }
 }

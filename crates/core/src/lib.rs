@@ -32,6 +32,15 @@
 //! | [`autotune`] | §10 | empirical parameter search (the paper's future work) |
 //!
 //! The micro-kernels themselves live in `shalom-kernels`.
+//!
+//! # Observability
+//!
+//! With the off-by-default `telemetry` cargo feature, the `telemetry`
+//! module exposes per-call dispatch decision traces (shape class,
+//! packing plan, tile, thread grid), sharded counters, latency
+//! histograms and JSON snapshots; the `perf-hooks` feature adds Linux
+//! hardware counters. Without the feature, every capture site compiles
+//! to nothing.
 
 #![deny(missing_docs)]
 #![allow(clippy::too_many_arguments)]
@@ -44,9 +53,11 @@ pub mod builder;
 pub mod cache;
 pub mod capi;
 pub mod config;
-pub mod error;
 mod driver;
+pub mod error;
 mod parallel;
+#[cfg(feature = "telemetry")]
+pub mod telemetry;
 
 pub use api::{dgemm, dgemm_raw, gemm, gemm_with, sgemm, sgemm_raw, GemmElem};
 pub use autotune::{autotune, Candidate, TuneReport};

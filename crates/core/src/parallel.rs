@@ -76,8 +76,8 @@ unsafe impl<T> Sync for SendConstPtr<T> {}
 
 /// Multi-threaded `C = alpha * op(A)*op(B) + beta * C`: partitions C per
 /// [`partition_threads`] and runs the serial driver per sub-block with
-/// fork-join threads (crossbeam scope — the paper uses the OS fork-join
-/// primitives through OpenMP).
+/// fork-join threads (`std::thread::scope` — the paper uses the OS
+/// fork-join primitives through OpenMP).
 ///
 /// # Safety
 /// As [`gemm_serial`].
@@ -128,14 +128,38 @@ pub(crate) unsafe fn gemm_parallel<V: Vector>(
     let ap = SendConstPtr(a);
     let bp = SendConstPtr(b);
     let cp = SendPtr(c);
-    crossbeam::thread::scope(|scope| {
+
+    // Telemetry: time the fork-join scope and the slowest worker so the
+    // parent record can report fork-join overhead. 0 marks capture-off.
+    #[cfg(feature = "telemetry")]
+    let tel_start = if crate::telemetry::enabled() {
+        crate::telemetry::now_ns().max(1)
+    } else {
+        0
+    };
+    #[cfg(feature = "telemetry")]
+    let slowest_worker_ns = std::sync::atomic::AtomicU64::new(0);
+    #[cfg(feature = "telemetry")]
+    let slowest = &slowest_worker_ns;
+
+    std::thread::scope(|scope| {
         for &(ri, rl) in &rows {
             for &(ci, cl) in &cols {
                 if rl == 0 || cl == 0 {
                     continue;
                 }
                 let cfg = *cfg;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
+                    #[cfg(feature = "telemetry")]
+                    let _path = crate::telemetry::PathScope::enter(
+                        crate::telemetry::PathTag::ParallelWorker,
+                    );
+                    #[cfg(feature = "telemetry")]
+                    let worker_t0 = if tel_start != 0 {
+                        crate::telemetry::now_ns()
+                    } else {
+                        0
+                    };
                     // Reconstruct the sub-block operand pointers. Stored-A
                     // row offset depends on op: N indexes rows by i, T by k.
                     let (ap, bp, cp) = (ap, bp, cp);
@@ -166,11 +190,48 @@ pub(crate) unsafe fn gemm_parallel<V: Vector>(
                             &mut ws.borrow_mut(),
                         )
                     });
+                    #[cfg(feature = "telemetry")]
+                    if tel_start != 0 {
+                        slowest.fetch_max(
+                            crate::telemetry::now_ns().saturating_sub(worker_t0),
+                            std::sync::atomic::Ordering::Relaxed,
+                        );
+                    }
                 });
             }
         }
-    })
-    .expect("GEMM worker thread panicked");
+    });
+
+    #[cfg(feature = "telemetry")]
+    if tel_start != 0 {
+        let total_ns = crate::telemetry::now_ns().saturating_sub(tel_start);
+        let elem_bytes = core::mem::size_of::<V::Elem>();
+        let slowest_ns = slowest_worker_ns.load(std::sync::atomic::Ordering::Relaxed);
+        crate::telemetry::record_fork_join(total_ns.saturating_sub(slowest_ns));
+        crate::telemetry::record(crate::telemetry::DecisionRecord {
+            seq: 0, // assigned at submission
+            m,
+            n,
+            k,
+            op_a: crate::telemetry::op_char(op_a),
+            op_b: crate::telemetry::op_char(op_b),
+            elem_bits: (elem_bytes * 8) as u8,
+            class: crate::telemetry::class_tag(crate::config::classify(
+                m, n, k, elem_bytes, &cfg.cache,
+            )),
+            plan: crate::driver::resolved_plan_tag(cfg, op_b, m, n, k, elem_bytes),
+            edge: crate::telemetry::edge_tag(cfg),
+            path: crate::telemetry::PathTag::Parallel,
+            mr: MR as u8,
+            nr: nr as u8,
+            tm: tm as u16,
+            tn: tn as u16,
+            threads: t as u16,
+            workspace_bytes: 0, // per-worker; reported by worker records
+            pack_ns: 0,
+            total_ns,
+        });
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,205 @@
+//! Telemetry integration (the `telemetry` cargo feature).
+//!
+//! Re-exports the [`shalom_telemetry`] API so users of this crate can
+//! enable capture and pull snapshots without a separate dependency, and
+//! hosts the glue that converts the driver's internal decisions into
+//! [`DecisionRecord`]s.
+//!
+//! Capture sites live in `driver.rs` (one record per serial dispatch),
+//! `parallel.rs` (one parent record plus fork-join overhead per §6
+//! threaded call) and `batch.rs` (batch counters, worker path tags). All
+//! of them compile away without the feature; with the feature but
+//! telemetry disabled at runtime, each costs one relaxed atomic load.
+
+pub use shalom_telemetry::{
+    add_pack_ns, current_path, disable, enable, enabled, now_ns, pause_guard, record, record_batch,
+    record_fork_join, reset, set_path, snapshot, take_pack_ns, CounterTotals, DecisionRecord,
+    EdgeTag, Histogram, PathTag, PauseGuard, PerfSample, PlanTag, ShapeClassTag, TelemetrySnapshot,
+    HIST_BUCKETS, RING_CAPACITY, SHARD_COUNT,
+};
+
+/// Hardware-counter hooks (feature `perf-hooks`; graceful no-op without).
+pub mod perf {
+    pub use shalom_telemetry::perf::{sample, start};
+}
+
+use crate::config::{EdgeSchedule, GemmConfig, ShapeClass};
+use shalom_matrix::Op;
+
+/// Internal: `ShapeClass` -> telemetry tag.
+pub(crate) fn class_tag(class: ShapeClass) -> ShapeClassTag {
+    match class {
+        ShapeClass::Small => ShapeClassTag::Small,
+        ShapeClass::Irregular => ShapeClassTag::Irregular,
+        ShapeClass::Regular => ShapeClassTag::Regular,
+    }
+}
+
+/// Internal: `EdgeSchedule` -> telemetry tag.
+pub(crate) fn edge_tag(cfg: &GemmConfig) -> EdgeTag {
+    match cfg.edge {
+        EdgeSchedule::Pipelined => EdgeTag::Pipelined,
+        EdgeSchedule::Batched => EdgeTag::Batched,
+    }
+}
+
+/// Internal: `Op` -> the BLAS character stored in records.
+pub(crate) fn op_char(op: Op) -> u8 {
+    match op {
+        Op::NoTrans => b'N',
+        Op::Trans => b'T',
+    }
+}
+
+/// Internal: capture prologue for the serial driver, outlined (`#[cold]`)
+/// so the capture-off hot path stays one load + branch with no extra
+/// code or register pressure inlined into `gemm_serial`.
+#[cold]
+#[inline(never)]
+pub(crate) fn serial_capture_begin() -> u64 {
+    let _ = take_pack_ns(); // drain stale carry-over from aborted calls
+    now_ns().max(1)
+}
+
+/// Internal: capture epilogue for the serial driver (outlined like
+/// [`serial_capture_begin`]): classifies the shape, stamps the span and
+/// submits the [`DecisionRecord`].
+#[cold]
+#[inline(never)]
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn serial_capture_end(
+    tel_start: u64,
+    cfg: &GemmConfig,
+    op_a: Op,
+    op_b: Op,
+    m: usize,
+    n: usize,
+    k: usize,
+    elem_bytes: usize,
+    plan: PlanTag,
+    mr: u8,
+    nr: u8,
+    workspace_bytes: usize,
+) {
+    record(DecisionRecord {
+        seq: 0, // assigned at submission
+        m,
+        n,
+        k,
+        op_a: op_char(op_a),
+        op_b: op_char(op_b),
+        elem_bits: (elem_bytes * 8) as u8,
+        class: class_tag(crate::config::classify(m, n, k, elem_bytes, &cfg.cache)),
+        plan,
+        edge: edge_tag(cfg),
+        path: PathTag::Serial, // thread tag applied on submit
+        mr,
+        nr,
+        tm: 1,
+        tn: 1,
+        threads: 1,
+        workspace_bytes,
+        pack_ns: take_pack_ns(),
+        total_ns: now_ns().saturating_sub(tel_start),
+    });
+}
+
+/// Internal: start marker for a sequential-pack span; 0 when capture is
+/// off so the matching [`pack_span_end`] is free.
+#[inline]
+pub(crate) fn pack_span_start() -> u64 {
+    if enabled() {
+        now_ns().max(1)
+    } else {
+        0
+    }
+}
+
+/// Internal: close a span opened by [`pack_span_start`], crediting it to
+/// the current thread's pack accumulator.
+#[inline]
+pub(crate) fn pack_span_end(start: u64) {
+    if start != 0 {
+        shalom_telemetry::add_pack_ns(now_ns().saturating_sub(start));
+    }
+}
+
+/// Internal: RAII tag for worker closures (fork-join and batch), so the
+/// serial records they emit carry the right dispatch path. Restores the
+/// previous tag on drop because batch workers can run on the caller's
+/// thread, which outlives the call.
+pub(crate) struct PathScope {
+    prev: PathTag,
+}
+
+impl PathScope {
+    #[inline]
+    pub(crate) fn enter(path: PathTag) -> Self {
+        PathScope {
+            prev: shalom_telemetry::set_path(path),
+        }
+    }
+}
+
+impl Drop for PathScope {
+    fn drop(&mut self) {
+        shalom_telemetry::set_path(self.prev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheParams;
+    use crate::config::classify;
+
+    #[test]
+    fn tag_conversions_line_up() {
+        let cache = CacheParams {
+            l1: 32 * 1024,
+            l2: 2 * 1024 * 1024,
+            l3: 0,
+        };
+        assert_eq!(
+            class_tag(classify(64, 64, 64, 4, &cache)),
+            ShapeClassTag::Small
+        );
+        assert_eq!(
+            class_tag(classify(64, 50176, 64, 4, &cache)),
+            ShapeClassTag::Irregular
+        );
+        assert_eq!(
+            class_tag(classify(4096, 4096, 4096, 4, &cache)),
+            ShapeClassTag::Regular
+        );
+        assert_eq!(op_char(Op::NoTrans), b'N');
+        assert_eq!(op_char(Op::Trans), b'T');
+    }
+
+    #[test]
+    fn path_scope_restores() {
+        use shalom_telemetry::{current_path, set_path};
+        let base = set_path(PathTag::Serial);
+        {
+            let _s = PathScope::enter(PathTag::Batch);
+            assert_eq!(current_path(), PathTag::Batch);
+            {
+                let _inner = PathScope::enter(PathTag::ParallelWorker);
+                assert_eq!(current_path(), PathTag::ParallelWorker);
+            }
+            assert_eq!(current_path(), PathTag::Batch);
+        }
+        assert_eq!(current_path(), PathTag::Serial);
+        set_path(base);
+    }
+
+    #[test]
+    fn pack_span_noop_when_disabled() {
+        // Runtime-disabled: start marker is 0 and no ns accumulate.
+        shalom_telemetry::disable();
+        let t = pack_span_start();
+        assert_eq!(t, 0);
+        pack_span_end(t);
+        assert_eq!(shalom_telemetry::take_pack_ns(), 0);
+    }
+}

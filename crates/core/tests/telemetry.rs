@@ -1,0 +1,257 @@
+//! Integration tests for the telemetry layer: every dispatch path must
+//! emit a decision record whose tags match the plan the driver actually
+//! executed, and capture must never perturb numerics.
+//!
+//! Telemetry state is process-global, so every test here serializes on
+//! one mutex and resets the sinks before acting.
+#![cfg(feature = "telemetry")]
+#![recursion_limit = "256"]
+
+use proptest::prelude::*;
+use shalom_core::telemetry::{self, DecisionRecord, PathTag, PlanTag, ShapeClassTag};
+use shalom_core::{gemm_batch, gemm_with, BatchItem, CacheParams, GemmConfig, Op, PackingPolicy};
+use shalom_matrix::Matrix;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+fn state_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    match LOCK.get_or_init(|| Mutex::new(())).lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Fixed cache geometry so plan resolution doesn't depend on the host:
+/// 32 KiB L1, 2 MiB LLC (the paper's Kunpeng 920 per-core figures).
+fn fixed_config() -> GemmConfig {
+    GemmConfig {
+        cache: CacheParams {
+            l1: 32 * 1024,
+            l2: 2 * 1024 * 1024,
+            l3: 0,
+        },
+        threads: 1,
+        ..GemmConfig::default()
+    }
+}
+
+/// Runs one f32 GEMM under capture and returns the records it emitted.
+fn trace_gemm(
+    cfg: &GemmConfig,
+    op_a: Op,
+    op_b: Op,
+    m: usize,
+    n: usize,
+    k: usize,
+) -> Vec<DecisionRecord> {
+    let (ar, ac) = if op_a == Op::Trans { (k, m) } else { (m, k) };
+    let (br, bc) = if op_b == Op::Trans { (n, k) } else { (k, n) };
+    let a = Matrix::<f32>::random(ar, ac, 1);
+    let b = Matrix::<f32>::random(br, bc, 2);
+    let mut c = Matrix::<f32>::zeros(m, n);
+    telemetry::reset();
+    telemetry::enable();
+    gemm_with(
+        cfg,
+        op_a,
+        op_b,
+        1.0,
+        a.as_ref(),
+        b.as_ref(),
+        0.0,
+        c.as_mut(),
+    );
+    telemetry::disable();
+    telemetry::snapshot().recent
+}
+
+/// The single record a serial call must produce, with shape echoed back.
+fn sole_record(recs: &[DecisionRecord], m: usize, n: usize, k: usize) -> DecisionRecord {
+    assert_eq!(recs.len(), 1, "serial call must emit exactly one record");
+    let r = recs[0];
+    assert_eq!((r.m, r.n, r.k), (m, n, k));
+    r
+}
+
+#[test]
+fn nn_no_pack_path() {
+    let _g = state_lock();
+    // 64x64x64 f32: size(B) = 16 KiB <= L1 -> read B in place (§4.1).
+    let recs = trace_gemm(&fixed_config(), Op::NoTrans, Op::NoTrans, 64, 64, 64);
+    let r = sole_record(&recs, 64, 64, 64);
+    assert_eq!(r.plan, PlanTag::NoPack);
+    assert_eq!(r.class, ShapeClassTag::Small);
+    assert_eq!(r.path, PathTag::Serial);
+    assert_eq!((r.tm, r.tn), (1, 1));
+    assert_eq!(r.pack_ns, 0, "no-pack path must record no pack span");
+    assert_eq!((r.op_a, r.op_b), (b'N', b'N'));
+}
+
+#[test]
+fn nn_fused_path() {
+    let _g = state_lock();
+    // 200x200x200: size(B) = 160 KiB > L1, shape small -> fused t=0 pack.
+    let recs = trace_gemm(&fixed_config(), Op::NoTrans, Op::NoTrans, 200, 200, 200);
+    let r = sole_record(&recs, 200, 200, 200);
+    assert_eq!(r.plan, PlanTag::FusedPack);
+    assert_eq!(r.class, ShapeClassTag::Small);
+    assert!(r.workspace_bytes > 0, "fused pack needs a Bc workspace");
+}
+
+#[test]
+fn nn_lookahead_path() {
+    let _g = state_lock();
+    // 64x2048x64: B too big for L1 and N/M = 32 >= 8 with N >= 1024 ->
+    // irregular -> fused pack with t=1 lookahead (§4.2).
+    let recs = trace_gemm(&fixed_config(), Op::NoTrans, Op::NoTrans, 64, 2048, 64);
+    let r = sole_record(&recs, 64, 2048, 64);
+    assert_eq!(r.plan, PlanTag::Lookahead);
+    assert_eq!(r.class, ShapeClassTag::Irregular);
+}
+
+#[test]
+fn nt_path_packs_b() {
+    let _g = state_lock();
+    // NT always restructures B (§4.3): Auto resolves to the fused pack.
+    let recs = trace_gemm(&fixed_config(), Op::NoTrans, Op::Trans, 64, 64, 64);
+    let r = sole_record(&recs, 64, 64, 64);
+    assert_eq!(r.plan, PlanTag::FusedPack);
+    assert_eq!((r.op_a, r.op_b), (b'N', b'T'));
+    // Fused NT hides the transpose inside the first row-block's kernel
+    // sweep, so there is no separable pack span to time.
+    assert_eq!(r.pack_ns, 0, "fused NT pack is not a separable span");
+
+    // The ablation policy downgrades it to a sequential phase, which IS
+    // a separable (and therefore timed) span.
+    let cfg = GemmConfig {
+        packing: PackingPolicy::AlwaysSequential,
+        ..fixed_config()
+    };
+    let recs = trace_gemm(&cfg, Op::NoTrans, Op::Trans, 64, 64, 64);
+    let r = sole_record(&recs, 64, 64, 64);
+    assert_eq!(r.plan, PlanTag::SequentialPack);
+    assert!(r.pack_ns > 0, "sequential NT must time the transpose-pack");
+}
+
+#[test]
+fn tn_path_packs_a() {
+    let _g = state_lock();
+    // TN: B-side plan follows the NN rules (here: no-pack), but A must be
+    // transpose-packed, which shows up as a nonzero pack span.
+    let recs = trace_gemm(&fixed_config(), Op::Trans, Op::NoTrans, 64, 64, 64);
+    let r = sole_record(&recs, 64, 64, 64);
+    assert_eq!(r.plan, PlanTag::NoPack);
+    assert_eq!((r.op_a, r.op_b), (b'T', b'N'));
+    assert!(r.pack_ns > 0, "TN must spend time transpose-packing A");
+}
+
+#[test]
+fn parallel_path_reports_grid() {
+    let _g = state_lock();
+    let cfg = GemmConfig {
+        threads: 4,
+        ..fixed_config()
+    };
+    let (m, n, k) = (256, 1024, 64);
+    let recs = trace_gemm(&cfg, Op::NoTrans, Op::NoTrans, m, n, k);
+    let parent: Vec<_> = recs
+        .iter()
+        .filter(|r| r.path == PathTag::Parallel)
+        .collect();
+    assert_eq!(parent.len(), 1, "one parent record per parallel call");
+    let p = parent[0];
+    assert_eq!((p.m, p.n, p.k), (m, n, k));
+    assert_eq!(p.tm as usize * p.tn as usize, 4);
+    assert_eq!(p.threads, 4);
+    let workers = recs
+        .iter()
+        .filter(|r| r.path == PathTag::ParallelWorker)
+        .count();
+    assert_eq!(workers, 4, "each worker emits its sub-block record");
+
+    let snap = telemetry::snapshot();
+    assert_eq!(snap.totals.fork_joins, 1);
+}
+
+#[test]
+fn batch_path_counts_items() {
+    let _g = state_lock();
+    let a = Matrix::<f32>::random(16, 16, 7);
+    let b = Matrix::<f32>::random(16, 16, 8);
+    let mut cs: Vec<Matrix<f32>> = (0..6).map(|_| Matrix::zeros(16, 16)).collect();
+    telemetry::reset();
+    telemetry::enable();
+    {
+        let mut items: Vec<BatchItem<'_, f32>> = cs
+            .iter_mut()
+            .map(|c| BatchItem {
+                a: a.as_ref(),
+                b: b.as_ref(),
+                c: c.as_mut(),
+            })
+            .collect();
+        gemm_batch(
+            &fixed_config(),
+            Op::NoTrans,
+            Op::NoTrans,
+            1.0f32,
+            &mut items,
+        );
+    }
+    telemetry::disable();
+    let snap = telemetry::snapshot();
+    assert_eq!(snap.totals.batch_calls, 1);
+    assert_eq!(snap.totals.batch_items, 6);
+    assert!(
+        snap.recent.iter().all(|r| r.path == PathTag::Batch),
+        "batch sub-GEMMs must be tagged with the batch path"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // Observation must not perturb computation: C with capture enabled
+    // is bitwise identical to C with capture disabled, across ops,
+    // shapes, and thread counts.
+    #[test]
+    fn capture_is_bitwise_invisible(
+        m in 1usize..48,
+        n in 1usize..48,
+        k in 1usize..32,
+        opa in 0u8..2,
+        opb in 0u8..2,
+        threads in 1usize..4,
+        seed in 0u64..1_000,
+    ) {
+        let _g = state_lock();
+        let op_a = if opa == 0 { Op::NoTrans } else { Op::Trans };
+        let op_b = if opb == 0 { Op::NoTrans } else { Op::Trans };
+        let cfg = GemmConfig { threads, ..fixed_config() };
+        let (ar, ac) = if op_a == Op::Trans { (k, m) } else { (m, k) };
+        let (br, bc) = if op_b == Op::Trans { (n, k) } else { (k, n) };
+        let a = Matrix::<f32>::random(ar, ac, seed);
+        let b = Matrix::<f32>::random(br, bc, seed + 1);
+        let c0 = Matrix::<f32>::random(m, n, seed + 2);
+
+        let mut c_off = c0.clone();
+        telemetry::reset();
+        telemetry::disable();
+        gemm_with(&cfg, op_a, op_b, 1.5, a.as_ref(), b.as_ref(), 0.5, c_off.as_mut());
+
+        let mut c_on = c0.clone();
+        telemetry::enable();
+        gemm_with(&cfg, op_a, op_b, 1.5, a.as_ref(), b.as_ref(), 0.5, c_on.as_mut());
+        telemetry::disable();
+
+        for i in 0..m {
+            for j in 0..n {
+                prop_assert_eq!(
+                    c_off.as_ref().at(i, j).to_bits(),
+                    c_on.as_ref().at(i, j).to_bits(),
+                    "telemetry changed C[{}][{}]", i, j
+                );
+            }
+        }
+    }
+}

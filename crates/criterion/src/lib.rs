@@ -1,0 +1,300 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no crates.io access, so the real `criterion`
+//! cannot be fetched. This crate implements the subset of its API the
+//! workspace benches use — [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`] / `bench_with_input`, group tuning
+//! knobs, [`Throughput`], [`BenchmarkId`] and the `criterion_group!` /
+//! `criterion_main!` macros — over a plain wall-clock harness.
+//!
+//! Semantics: each benchmark runs `sample_size` timed samples after one
+//! warm-up sample, each sample being as many iterations as fit in
+//! `measurement_time / sample_size`; the per-iteration median is printed
+//! with min/max, plus elements-per-second when a [`Throughput`] is set.
+//! Under `cargo test` (the runner passes `--test`) every benchmark body
+//! executes exactly once, as a smoke test.
+
+#![deny(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group: `function_name/parameter`.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Builds `name/param`.
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        Self {
+            name: format!("{}/{}", name.into(), param),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self {
+            name: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        Self { name }
+    }
+}
+
+/// Work performed per iteration, used to derive a rate column.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements (for GEMM benches: FLOPs) processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `body` over the harness-chosen iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        let t0 = Instant::now();
+        for _ in 0..self.iters {
+            black_box(body());
+        }
+        self.elapsed = t0.elapsed();
+    }
+}
+
+/// A named set of benchmarks sharing tuning knobs.
+pub struct BenchmarkGroup<'a> {
+    root: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up budget per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the per-iteration work used for the rate column of subsequent
+    /// benchmarks in this group.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut body: F,
+    ) -> &mut Self {
+        let id = id.into();
+        self.run(&id.name, &mut body);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut body: F,
+    ) -> &mut Self {
+        self.run(&id.name, &mut |b: &mut Bencher| body(b, input));
+        self
+    }
+
+    /// Ends the group (printing was already done per benchmark).
+    pub fn finish(&mut self) {}
+
+    fn run(&mut self, name: &str, body: &mut dyn FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, name);
+        if self.root.test_mode {
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            body(&mut b);
+            println!("test-mode: {full} ok");
+            return;
+        }
+        // Calibrate: one iteration to estimate cost, then fit the sample
+        // budget.
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        body(&mut b);
+        let est = b.elapsed.max(Duration::from_nanos(20)).as_secs_f64();
+        let per_sample = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let iters = ((per_sample / est).ceil() as u64).clamp(1, 1_000_000);
+        // Warm-up.
+        let warm_until = Instant::now() + self.warm_up_time;
+        while Instant::now() < warm_until {
+            let mut w = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            body(&mut w);
+        }
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut s = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            body(&mut s);
+            samples.push(s.elapsed.as_secs_f64() / iters as f64);
+        }
+        samples.sort_by(f64::total_cmp);
+        let median = samples[samples.len() / 2];
+        let (min, max) = (samples[0], samples[samples.len() - 1]);
+        let rate = match self.throughput {
+            Some(Throughput::Elements(e)) => {
+                format!("  {:>10.3} Melem/s", e as f64 / median / 1e6)
+            }
+            Some(Throughput::Bytes(by)) => {
+                format!("  {:>10.3} MiB/s", by as f64 / median / (1024.0 * 1024.0))
+            }
+            None => String::new(),
+        };
+        println!(
+            "{full:<48} time: [{} {} {}]{rate}",
+            fmt_time(min),
+            fmt_time(median),
+            fmt_time(max)
+        );
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// The benchmark harness root.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` runs harness=false bench targets with `--test`;
+        // `cargo bench` passes `--bench`. Anything else (e.g. a filter
+        // string) is accepted and ignored.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Self { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            root: self,
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+            throughput: None,
+        }
+    }
+
+    /// Runs an ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, body: F) -> &mut Self {
+        self.benchmark_group("bench").bench_function(name, body);
+        self
+    }
+}
+
+/// Declares a benchmark entry point list (matches the criterion macro).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        g.measurement_time(Duration::from_millis(10));
+        g.warm_up_time(Duration::from_millis(1));
+        g.throughput(Throughput::Elements(100));
+        g.bench_function("plain", |b| b.iter(|| black_box(2 + 2)));
+        g.bench_with_input(BenchmarkId::new("param", 42), &42u32, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn harness_runs_and_times() {
+        let mut c = Criterion { test_mode: false };
+        sample_bench(&mut c);
+    }
+
+    #[test]
+    fn macros_compose() {
+        criterion_group!(benches, sample_bench);
+        benches();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("lib", 8).name, "lib/8");
+    }
+}

@@ -204,7 +204,13 @@ pub unsafe fn edge_kernel_pipelined<V: Vector>(
     debug_assert!((1..=MR).contains(&m) && n >= 1 && n <= NR_VECS * V::LANES);
     let nv = n / V::LANES;
     let ns = n % V::LANES;
-    dispatch_m!(V, true, m, nv, (ns, kc, alpha, a, lda, b, ldb, beta, c, ldc))
+    dispatch_m!(
+        V,
+        true,
+        m,
+        nv,
+        (ns, kc, alpha, a, lda, b, ldb, beta, c, ldc)
+    )
 }
 
 /// Edge kernel with the batched schedule of Figure 6a (the OpenBLAS
@@ -230,7 +236,13 @@ pub unsafe fn edge_kernel_batched<V: Vector>(
     debug_assert!((1..=MR).contains(&m) && n >= 1 && n <= NR_VECS * V::LANES);
     let nv = n / V::LANES;
     let ns = n % V::LANES;
-    dispatch_m!(V, false, m, nv, (ns, kc, alpha, a, lda, b, ldb, beta, c, ldc))
+    dispatch_m!(
+        V,
+        false,
+        m,
+        nv,
+        (ns, kc, alpha, a, lda, b, ldb, beta, c, ldc)
+    )
 }
 
 #[cfg(test)]

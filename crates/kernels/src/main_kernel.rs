@@ -41,7 +41,9 @@ unsafe fn writeback_row<V: Vector>(
     } else {
         for (t, &a) in acc.iter().enumerate().take(nvecs) {
             let cv = V::load(c.add(t * V::LANES));
-            a.scale(alpha).add(cv.scale(beta)).store(c.add(t * V::LANES));
+            a.scale(alpha)
+                .add(cv.scale(beta))
+                .store(c.add(t * V::LANES));
         }
     }
 }

@@ -173,9 +173,7 @@ pub unsafe fn nt_pack_kernel<V: Vector>(
     ldc: usize,
     bc: *mut V::Elem,
 ) {
-    debug_assert!(
-        (1..=MR).contains(&m) && (1..=NT_BCOLS).contains(&bcols) && jcol + bcols <= nr
-    );
+    debug_assert!((1..=MR).contains(&m) && (1..=NT_BCOLS).contains(&bcols) && jcol + bcols <= nr);
     nt_dispatch!(
         V,
         m,
@@ -286,7 +284,11 @@ mod tests {
         let packed = MatRef::from_slice(&bc, kc, nr, nr);
         for k in 0..kc {
             for j in 0..nr {
-                let want = if j < npanel { b.at(j, k) } else { V::Elem::ZERO };
+                let want = if j < npanel {
+                    b.at(j, k)
+                } else {
+                    V::Elem::ZERO
+                };
                 assert_eq!(packed.at(k, j), want, "bc mismatch at ({k},{j})");
             }
         }

@@ -178,8 +178,9 @@ mod tests {
         let mr = 4;
         let a = Matrix::from_fn(mc, kc, |i, k| (100 * i + k) as f32);
         let mut dst = vec![f32::NAN; mc.div_ceil(mr) * mr * kc];
-        let slivers =
-            unsafe { pack_a_slivers_goto(a.as_slice().as_ptr(), a.ld(), mc, kc, mr, dst.as_mut_ptr()) };
+        let slivers = unsafe {
+            pack_a_slivers_goto(a.as_slice().as_ptr(), a.ld(), mc, kc, mr, dst.as_mut_ptr())
+        };
         assert_eq!(slivers, 3);
         for s in 0..slivers {
             for k in 0..kc {
@@ -203,8 +204,9 @@ mod tests {
         let nr = 3;
         let b = Matrix::from_fn(kc, nc, |k, j| (10 * k + j) as f64);
         let mut dst = vec![f64::NAN; nc.div_ceil(nr) * kc * nr];
-        let slivers =
-            unsafe { pack_b_slivers_goto(b.as_slice().as_ptr(), b.ld(), kc, nc, nr, dst.as_mut_ptr()) };
+        let slivers = unsafe {
+            pack_b_slivers_goto(b.as_slice().as_ptr(), b.ld(), kc, nc, nr, dst.as_mut_ptr())
+        };
         assert_eq!(slivers, 3);
         for s in 0..slivers {
             for k in 0..kc {
@@ -225,7 +227,14 @@ mod tests {
     fn empty_blocks_are_noops() {
         let mut dst = [1.0f32; 4];
         unsafe {
-            pack_copy(core::ptr::NonNull::<f32>::dangling().as_ptr(), 1, 0, 0, dst.as_mut_ptr(), 1);
+            pack_copy(
+                core::ptr::NonNull::<f32>::dangling().as_ptr(),
+                1,
+                0,
+                0,
+                dst.as_mut_ptr(),
+                1,
+            );
             pack_transpose(
                 core::ptr::NonNull::<f32>::dangling().as_ptr(),
                 1,

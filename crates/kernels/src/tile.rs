@@ -58,7 +58,10 @@ impl TileConstraints {
             (128..=2048).contains(&bits) && bits.is_multiple_of(128),
             "SVE vector length must be a multiple of 128 in 128..=2048, got {bits}"
         );
-        assert!(bits.is_multiple_of(elem_bits), "element width must divide vector width");
+        assert!(
+            bits.is_multiple_of(elem_bits),
+            "element width must divide vector width"
+        );
         Self {
             vector_registers: 32,
             reserved_registers: 1,
@@ -128,8 +131,7 @@ pub fn solve_tile(c: &TileConstraints) -> TileShape {
                 None => true,
                 Some(b) => {
                     cand.cmr > b.cmr + 1e-12
-                        || ((cand.cmr - b.cmr).abs() <= 1e-12
-                            && (cand.mr, cand.nr) > (b.mr, b.nr))
+                        || ((cand.cmr - b.cmr).abs() <= 1e-12 && (cand.mr, cand.nr) > (b.mr, b.nr))
                 }
             };
             if better {

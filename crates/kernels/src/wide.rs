@@ -32,8 +32,7 @@ pub const WIDE_NR_F64: usize = 12;
 pub fn wide_tiles_are_analytic() -> bool {
     let t32 = solve_tile(&TileConstraints::sve(256, 32));
     let t64 = solve_tile(&TileConstraints::sve(256, 64));
-    (t32.mr, t32.nr) == (WIDE_MR_F32, WIDE_NR_F32)
-        && (t64.mr, t64.nr) == (WIDE_MR_F64, WIDE_NR_F64)
+    (t32.mr, t32.nr) == (WIDE_MR_F32, WIDE_NR_F32) && (t64.mr, t64.nr) == (WIDE_MR_F64, WIDE_NR_F64)
 }
 
 /// The wide FP32 main micro-kernel: a 9 x 16 tile over [`F32x8`].
@@ -108,7 +107,11 @@ pub fn gemm_nn_wide<T, V, const MR_: usize, const NRV_: usize>(
     if k == 0 || alpha == T::ZERO {
         for i in 0..m {
             for j in 0..n {
-                let v = if beta == T::ZERO { T::ZERO } else { beta * c.at(i, j) };
+                let v = if beta == T::ZERO {
+                    T::ZERO
+                } else {
+                    beta * c.at(i, j)
+                };
                 c.set(i, j, v);
             }
         }
@@ -153,7 +156,11 @@ pub fn gemm_nn_wide<T, V, const MR_: usize, const NRV_: usize>(
     for i in 0..m {
         for j in 0..n {
             let v = cp[i * np + j];
-            let out = if beta == T::ZERO { v } else { v + beta * c.at(i, j) };
+            let out = if beta == T::ZERO {
+                v
+            } else {
+                v + beta * c.at(i, j)
+            };
             c.set(i, j, out);
         }
     }
@@ -190,7 +197,7 @@ mod tests {
     fn wide_tiles_match_solver() {
         assert!(wide_tiles_are_analytic());
         // Register accounting at j=8: 9 + 2 + 18 = 29 <= 31.
-        assert!(WIDE_MR_F32 + 2 + WIDE_MR_F32 * 2 <= 31);
+        const { assert!(WIDE_MR_F32 + 2 + WIDE_MR_F32 * 2 <= 31) };
     }
 
     #[test]
@@ -259,7 +266,13 @@ mod tests {
 
     #[test]
     fn wide_gemm_arbitrary_shapes() {
-        for &(m, n, k) in &[(1, 1, 1), (9, 16, 8), (23, 29, 17), (40, 50, 30), (5, 100, 3)] {
+        for &(m, n, k) in &[
+            (1, 1, 1),
+            (9, 16, 8),
+            (23, 29, 17),
+            (40, 50, 30),
+            (5, 100, 3),
+        ] {
             let a = Matrix::<f32>::random(m, k, 6);
             let b = Matrix::<f32>::random(k, n, 7);
             let mut c = Matrix::<f32>::random(m, n, 8);

@@ -9,7 +9,7 @@ use shalom_kernels::nt_pack::nt_pack_panel;
 use shalom_kernels::pack::{pack_a_slivers_goto, pack_b_slivers_goto, pack_transpose};
 use shalom_kernels::{Vector, MR, NR_F32, NR_F64};
 use shalom_matrix::{assert_close, gemm_tolerance, reference, MatRef, Matrix, Op, Scalar};
-use shalom_simd::{F32x4, F64x2, F32x8};
+use shalom_simd::{F32x4, F32x8, F64x2};
 
 fn check_main<V: Vector>(kc: usize, pad_a: usize, pad_b: usize, seed: u64) {
     let nr = 3 * V::LANES;
@@ -39,7 +39,11 @@ fn check_main<V: Vector>(kc: usize, pad_a: usize, pad_b: usize, seed: u64) {
             c.ld(),
         );
     }
-    assert_close(c.as_ref(), want.as_ref(), gemm_tolerance::<V::Elem>(kc, 2.0));
+    assert_close(
+        c.as_ref(),
+        want.as_ref(),
+        gemm_tolerance::<V::Elem>(kc, 2.0),
+    );
 }
 
 proptest! {

@@ -61,7 +61,11 @@ impl ConvShape {
 /// padded input.
 pub fn im2col<T: Scalar>(shape: &ConvShape, input: &Matrix<T>) -> Matrix<T> {
     assert_eq!(input.rows(), shape.c_in, "input must have c_in rows");
-    assert_eq!(input.cols(), shape.h * shape.w, "input rows must be h*w long");
+    assert_eq!(
+        input.cols(),
+        shape.h * shape.w,
+        "input rows must be h*w long"
+    );
     assert!(
         shape.kh <= shape.h + 2 * shape.pad && shape.kw <= shape.w + 2 * shape.pad,
         "kernel larger than padded input"
@@ -149,11 +153,7 @@ mod tests {
             kw: 2,
             pad: 0,
         };
-        let input = Matrix::from_vec(
-            1,
-            9,
-            vec![1.0f64, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0],
-        );
+        let input = Matrix::from_vec(1, 9, vec![1.0f64, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0]);
         let b = im2col(&shape, &input);
         assert_eq!((b.rows(), b.cols()), (4, 4));
         // Column 0 is the top-left 2x2 patch [1,2,4,5] in (dy,dx) order.

@@ -1,9 +1,23 @@
 //! Owned row-major matrix storage.
 
 use crate::{MatMut, MatRef, Scalar};
-use rand::distributions::{Distribution, Uniform};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+
+/// Minimal deterministic generator (splitmix64) for test/workload data.
+/// Kept local so the matrix crate needs no registry dependencies; the
+/// distribution is uniform in `[0, 1)`, which is all the paper's
+/// synthetic workloads (§7.2) require.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_unit_f64(&mut self) -> f64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
 
 /// Owned row-major matrix with an explicit leading dimension.
 ///
@@ -71,12 +85,11 @@ impl<T: Scalar> Matrix<T> {
 
     /// Random matrix with padded leading dimension; padding stays zero.
     pub fn random_with_ld(rows: usize, cols: usize, ld: usize, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let dist = Uniform::new(0.0f64, 1.0);
+        let mut rng = SplitMix64(seed);
         let mut m = Self::zeros_with_ld(rows, cols, ld);
         for i in 0..rows {
             for j in 0..cols {
-                m.data[i * ld + j] = T::from_f64(dist.sample(&mut rng));
+                m.data[i * ld + j] = T::from_f64(rng.next_unit_f64());
             }
         }
         m
@@ -103,14 +116,20 @@ impl<T: Scalar> Matrix<T> {
     /// Element at `(i, j)`.
     #[inline(always)]
     pub fn at(&self, i: usize, j: usize) -> T {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         self.data[i * self.ld + j]
     }
 
     /// Writes `v` at `(i, j)`.
     #[inline(always)]
     pub fn set(&mut self, i: usize, j: usize, v: T) {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         self.data[i * self.ld + j] = v;
     }
 

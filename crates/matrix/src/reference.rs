@@ -49,7 +49,11 @@ pub fn gemm<T: Scalar>(
                 };
                 acc += aval.to_f64() * bval.to_f64();
             }
-            let old = if beta == 0.0 { 0.0 } else { c.at(i, j).to_f64() };
+            let old = if beta == 0.0 {
+                0.0
+            } else {
+                c.at(i, j).to_f64()
+            };
             c.set(i, j, T::from_f64(alpha * acc + beta * old));
         }
     }
@@ -149,10 +153,42 @@ mod tests {
         let mut c_nt = Matrix::zeros(m, n);
         let mut c_tn = Matrix::zeros(m, n);
         let mut c_tt = Matrix::zeros(m, n);
-        gemm(Op::NoTrans, Op::NoTrans, 1.0, a.as_ref(), b.as_ref(), 0.0, c_nn.as_mut());
-        gemm(Op::NoTrans, Op::Trans, 1.0, a.as_ref(), bt.as_ref(), 0.0, c_nt.as_mut());
-        gemm(Op::Trans, Op::NoTrans, 1.0, at.as_ref(), b.as_ref(), 0.0, c_tn.as_mut());
-        gemm(Op::Trans, Op::Trans, 1.0, at.as_ref(), bt.as_ref(), 0.0, c_tt.as_mut());
+        gemm(
+            Op::NoTrans,
+            Op::NoTrans,
+            1.0,
+            a.as_ref(),
+            b.as_ref(),
+            0.0,
+            c_nn.as_mut(),
+        );
+        gemm(
+            Op::NoTrans,
+            Op::Trans,
+            1.0,
+            a.as_ref(),
+            bt.as_ref(),
+            0.0,
+            c_nt.as_mut(),
+        );
+        gemm(
+            Op::Trans,
+            Op::NoTrans,
+            1.0,
+            at.as_ref(),
+            b.as_ref(),
+            0.0,
+            c_tn.as_mut(),
+        );
+        gemm(
+            Op::Trans,
+            Op::Trans,
+            1.0,
+            at.as_ref(),
+            bt.as_ref(),
+            0.0,
+            c_tt.as_mut(),
+        );
         assert_eq!(c_nn, c_nt);
         assert_eq!(c_nn, c_tn);
         assert_eq!(c_nn, c_tt);

@@ -59,7 +59,9 @@ impl<'a, T: Scalar> MatRef<'a, T> {
     /// `ptr` must be valid for reads of `(rows-1)*ld + cols` elements for
     /// lifetime `'a`, and no aliasing `&mut` may exist.
     pub unsafe fn from_raw_parts(ptr: *const T, rows: usize, cols: usize, ld: usize) -> Self {
-        debug_assert!(ld >= cols || rows <= 1);
+        // `ld >= cols` is not asserted: a view with overlapping rows is
+        // representable (so the fallible GEMM API can inspect and reject
+        // it) but reading one through the kernels is the caller's UB.
         Self {
             ptr,
             rows,
@@ -96,7 +98,10 @@ impl<'a, T: Scalar> MatRef<'a, T> {
     /// Element at `(i, j)` with bounds checking.
     #[inline(always)]
     pub fn at(&self, i: usize, j: usize) -> T {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         unsafe { *self.ptr.add(i * self.ld + j) }
     }
 
@@ -192,7 +197,7 @@ impl<'a, T: Scalar> MatMut<'a, T> {
     /// (as the parallel driver does) are sound because their element sets
     /// never overlap even though the `ld`-strided *ranges* interleave.
     pub unsafe fn from_raw_parts(ptr: *mut T, rows: usize, cols: usize, ld: usize) -> Self {
-        debug_assert!(ld >= cols || rows <= 1);
+        // `ld >= cols` is not asserted; see `MatRef::from_raw_parts`.
         Self {
             ptr,
             rows,
@@ -226,17 +231,30 @@ impl<'a, T: Scalar> MatMut<'a, T> {
         self.ptr
     }
 
+    /// Raw const pointer to element `(0, 0)` (no mutable borrow needed;
+    /// validation code compares addresses without touching data).
+    #[inline(always)]
+    pub fn as_ptr(&self) -> *const T {
+        self.ptr
+    }
+
     /// Element at `(i, j)` with bounds checking.
     #[inline(always)]
     pub fn at(&self, i: usize, j: usize) -> T {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         unsafe { *self.ptr.add(i * self.ld + j) }
     }
 
     /// Writes `v` at `(i, j)` with bounds checking.
     #[inline(always)]
     pub fn set(&mut self, i: usize, j: usize, v: T) {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         unsafe { *self.ptr.add(i * self.ld + j) = v }
     }
 
@@ -260,7 +278,13 @@ impl<'a, T: Scalar> MatMut<'a, T> {
     ///
     /// # Panics
     /// If the window exceeds the matrix bounds.
-    pub fn submatrix_mut(&mut self, i: usize, j: usize, nrows: usize, ncols: usize) -> MatMut<'_, T> {
+    pub fn submatrix_mut(
+        &mut self,
+        i: usize,
+        j: usize,
+        nrows: usize,
+        ncols: usize,
+    ) -> MatMut<'_, T> {
         assert!(
             i + nrows <= self.rows && j + ncols <= self.cols,
             "submatrix ({i},{j})+{nrows}x{ncols} exceeds {}x{}",

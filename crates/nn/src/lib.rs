@@ -97,7 +97,14 @@ impl<T: GemmElem> Conv2d<T> {
                 c: c.as_mut(),
             })
             .collect();
-        gemm_batch_beta(&self.cfg, Op::NoTrans, Op::NoTrans, T::ONE, T::ZERO, &mut items);
+        gemm_batch_beta(
+            &self.cfg,
+            Op::NoTrans,
+            Op::NoTrans,
+            T::ONE,
+            T::ZERO,
+            &mut items,
+        );
         drop(items);
         outs
     }

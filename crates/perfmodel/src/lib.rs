@@ -20,7 +20,10 @@ pub mod machines;
 pub mod model;
 
 pub use machines::{MachineModel, Precision};
-pub use model::{predict, predict_detailed, Breakdown, EdgeHandling, PackingModel, PartitionScheme, Prediction, StrategyModel};
+pub use model::{
+    predict, predict_detailed, Breakdown, EdgeHandling, PackingModel, PartitionScheme, Prediction,
+    StrategyModel,
+};
 
 #[cfg(test)]
 mod tests {

@@ -282,8 +282,7 @@ impl Breakdown {
     /// Total modelled time (identical to the paired
     /// [`Prediction::seconds`]).
     pub fn seconds(&self) -> f64 {
-        (self.compute_main + self.compute_edge + self.overhead + self.pack_serial)
-            .max(self.memory)
+        (self.compute_main + self.compute_edge + self.overhead + self.pack_serial).max(self.memory)
             + self.fork_join
     }
 }
@@ -408,9 +407,7 @@ pub fn predict_detailed(
     // Unblocked implementations re-stream B per row panel once the
     // working set leaves the L2 — the degradation outside BLASFEO's /
     // LIBXSMM's design envelope.
-    let unblocked_extra = if !strategy.cache_blocked
-        && (mi * k + ni * k) * elem > machine.l2
-    {
+    let unblocked_extra = if !strategy.cache_blocked && (mi * k + ni * k) * elem > machine.l2 {
         (mi.div_ceil(mr).saturating_sub(1) * ni * k * elem) as f64
     } else {
         0.0
@@ -464,7 +461,15 @@ mod tests {
     fn libshalom_wins_parallel_irregular() {
         // Figure 9 regime: M small, N wide, K = 5000, all 64 cores.
         for &(m, n) in &[(32usize, 10240usize), (64, 8192), (128, 6144), (256, 2048)] {
-            let sh = predict(&phy(), &StrategyModel::libshalom(), Precision::F32, m, n, 5000, 64);
+            let sh = predict(
+                &phy(),
+                &StrategyModel::libshalom(),
+                Precision::F32,
+                m,
+                n,
+                5000,
+                64,
+            );
             for s in [
                 StrategyModel::openblas_class(),
                 StrategyModel::blis_class(),
@@ -487,8 +492,24 @@ mod tests {
         // Figure 9: "performance benefit tends to be more significant for
         // smaller matrix sizes".
         let ratio = |m: usize| {
-            let sh = predict(&phy(), &StrategyModel::libshalom(), Precision::F32, m, 10240, 5000, 64);
-            let ob = predict(&phy(), &StrategyModel::blis_class(), Precision::F32, m, 10240, 5000, 64);
+            let sh = predict(
+                &phy(),
+                &StrategyModel::libshalom(),
+                Precision::F32,
+                m,
+                10240,
+                5000,
+                64,
+            );
+            let ob = predict(
+                &phy(),
+                &StrategyModel::blis_class(),
+                Precision::F32,
+                m,
+                10240,
+                5000,
+                64,
+            );
             sh.gflops / ob.gflops
         };
         assert!(ratio(32) > ratio(256));
@@ -498,13 +519,45 @@ mod tests {
     fn small_gemm_single_thread_packing_hurts_goto() {
         // Figure 7 regime: sequential packing + batched edges lose at
         // m = n = k = 32.
-        let sh = predict(&phy(), &StrategyModel::libshalom(), Precision::F32, 32, 32, 32, 1);
-        let ob = predict(&phy(), &StrategyModel::openblas_class(), Precision::F32, 32, 32, 32, 1);
+        let sh = predict(
+            &phy(),
+            &StrategyModel::libshalom(),
+            Precision::F32,
+            32,
+            32,
+            32,
+            1,
+        );
+        let ob = predict(
+            &phy(),
+            &StrategyModel::openblas_class(),
+            Precision::F32,
+            32,
+            32,
+            32,
+            1,
+        );
         assert!(sh.gflops > ob.gflops);
         // And the gap narrows for larger sizes (§3.1: libraries reach 80%
         // of peak at >= 256).
-        let sh_big = predict(&phy(), &StrategyModel::libshalom(), Precision::F32, 512, 512, 512, 1);
-        let ob_big = predict(&phy(), &StrategyModel::openblas_class(), Precision::F32, 512, 512, 512, 1);
+        let sh_big = predict(
+            &phy(),
+            &StrategyModel::libshalom(),
+            Precision::F32,
+            512,
+            512,
+            512,
+            1,
+        );
+        let ob_big = predict(
+            &phy(),
+            &StrategyModel::openblas_class(),
+            Precision::F32,
+            512,
+            512,
+            512,
+            1,
+        );
         assert!(sh.gflops / ob.gflops > sh_big.gflops / ob_big.gflops);
     }
 
@@ -555,7 +608,11 @@ mod tests {
         for s in StrategyModel::parallel_roster() {
             for &t in &[1usize, 8, 64] {
                 let p = predict(&phy(), &s, Precision::F32, 256, 4096, 1024, t);
-                assert!(p.peak_fraction > 0.0 && p.peak_fraction <= 1.0, "{}", s.name);
+                assert!(
+                    p.peak_fraction > 0.0 && p.peak_fraction <= 1.0,
+                    "{}",
+                    s.name
+                );
             }
         }
     }
@@ -566,9 +623,7 @@ mod tests {
         // the two that avoid packing overhead — lead; the Goto class
         // trails.
         let phy = phy();
-        let run = |s: &StrategyModel| {
-            predict(&phy, s, Precision::F64, 5, 5, 5, 1).gflops
-        };
+        let run = |s: &StrategyModel| predict(&phy, s, Precision::F64, 5, 5, 5, 1).gflops;
         let sh = run(&StrategyModel::libshalom());
         let xsmm = run(&StrategyModel::libxsmm_class());
         let ob = run(&StrategyModel::openblas_class());
@@ -583,19 +638,51 @@ mod tests {
         // §9: LIBXSMM is designed for (MNK)^(1/3) <= 64; beyond that,
         // no blocking means B is re-streamed and memory time explodes.
         let phy = phy();
-        let inside = predict(&phy, &StrategyModel::libxsmm_class(), Precision::F32, 48, 48, 48, 1);
-        let outside = predict(&phy, &StrategyModel::libxsmm_class(), Precision::F32, 768, 768, 768, 1);
-        let shal_out = predict(&phy, &StrategyModel::libshalom(), Precision::F32, 768, 768, 768, 1);
-        assert!(shal_out.gflops > outside.gflops, "blocked must win at 768^3");
+        let inside = predict(
+            &phy,
+            &StrategyModel::libxsmm_class(),
+            Precision::F32,
+            48,
+            48,
+            48,
+            1,
+        );
+        let outside = predict(
+            &phy,
+            &StrategyModel::libxsmm_class(),
+            Precision::F32,
+            768,
+            768,
+            768,
+            1,
+        );
+        let shal_out = predict(
+            &phy,
+            &StrategyModel::libshalom(),
+            Precision::F32,
+            768,
+            768,
+            768,
+            1,
+        );
+        assert!(
+            shal_out.gflops > outside.gflops,
+            "blocked must win at 768^3"
+        );
         // And its relative standing collapses: fraction of peak falls.
-        assert!(inside.peak_fraction * 0.9 > outside.peak_fraction
-            || shal_out.gflops / outside.gflops > 1.5);
+        assert!(
+            inside.peak_fraction * 0.9 > outside.peak_fraction
+                || shal_out.gflops / outside.gflops > 1.5
+        );
     }
 
     #[test]
     fn single_thread_only_strategies_ignore_threads() {
         let phy = phy();
-        for s in [StrategyModel::blasfeo_class(), StrategyModel::libxsmm_class()] {
+        for s in [
+            StrategyModel::blasfeo_class(),
+            StrategyModel::libxsmm_class(),
+        ] {
             let p1 = predict(&phy, &s, Precision::F32, 64, 64, 64, 1);
             let p64 = predict(&phy, &s, Precision::F32, 64, 64, 64, 64);
             assert!((p1.seconds - p64.seconds).abs() < 1e-15, "{}", s.name);
@@ -633,8 +720,15 @@ mod tests {
             32,
             1,
         );
-        let (_, shalom) =
-            predict_detailed(&phy, &StrategyModel::libshalom(), Precision::F32, 32, 32, 32, 1);
+        let (_, shalom) = predict_detailed(
+            &phy,
+            &StrategyModel::libshalom(),
+            Precision::F32,
+            32,
+            32,
+            32,
+            1,
+        );
         assert!(goto.pack_serial > 0.0, "Goto class must pay serial packing");
         assert_eq!(shalom.pack_serial, 0.0, "LibShalom never packs serially");
     }

@@ -1,0 +1,492 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The container this workspace builds in has no access to crates.io, so
+//! the real `proptest` cannot be fetched. This crate implements the small
+//! subset of its API our property tests use — the [`proptest!`] macro,
+//! [`Strategy`] with `prop_map`/`prop_filter`, range/array/collection
+//! strategies, [`prop_oneof!`], [`Just`], [`any`] and the `prop_assert*`
+//! macros — over a deterministic splitmix64 generator.
+//!
+//! Differences from the real crate, deliberate for this repo's use:
+//!
+//! * **No shrinking.** A failing case panics with the test's own message;
+//!   the generator is seeded from the test name, so every failure is
+//!   reproducible by rerunning the same test binary.
+//! * **Uniform sampling.** Ranges draw uniformly instead of proptest's
+//!   edge-biased distributions; the first few cases of every test pin the
+//!   range endpoints so boundary values are still always exercised.
+
+#![deny(missing_docs)]
+
+use std::cell::Cell;
+use std::ops::{Range, RangeInclusive};
+
+/// Re-exports matching `proptest::prelude::*` as used by this workspace.
+pub mod prelude {
+    /// Alias so `prop::array::...` / `prop::collection::...` resolve.
+    pub use crate::prop_mod as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// `prop::` namespace (`prop::array`, `prop::collection`).
+pub mod prop_mod {
+    /// Fixed-size array strategies.
+    pub mod array {
+        use crate::{Strategy, TestRng};
+
+        macro_rules! uniform_n {
+            ($name:ident, $n:literal) => {
+                /// Strategy producing `[S::Value; N]` from one element strategy.
+                pub fn $name<S: Strategy>(s: S) -> impl Strategy<Value = [S::Value; $n]> {
+                    crate::FnStrategy(move |rng: &mut TestRng| {
+                        core::array::from_fn(|_| s.generate(rng))
+                    })
+                }
+            };
+        }
+        uniform_n!(uniform2, 2);
+        uniform_n!(uniform4, 4);
+        uniform_n!(uniform8, 8);
+    }
+
+    /// Collection strategies.
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+        use std::ops::Range;
+
+        /// Strategy producing a `Vec` whose length is drawn from `len`.
+        pub fn vec<S: Strategy>(s: S, len: Range<usize>) -> impl Strategy<Value = Vec<S::Value>> {
+            crate::FnStrategy(move |rng: &mut TestRng| {
+                let n = len.generate(rng);
+                (0..n).map(|_| s.generate(rng)).collect()
+            })
+        }
+    }
+}
+
+/// Per-test configuration. Only the case count is honoured.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` generated inputs.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// Deterministic splitmix64 generator driving all strategies.
+pub struct TestRng {
+    state: u64,
+    /// Index of the case currently being generated (drives endpoint
+    /// pinning in range strategies).
+    case: Cell<usize>,
+}
+
+impl TestRng {
+    /// Seeds deterministically from a label (the test function name).
+    pub fn from_label(label: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        Self {
+            state: h | 1,
+            case: Cell::new(0),
+        }
+    }
+
+    /// Advances to generation of case `i` (0-based).
+    pub fn start_case(&mut self, i: usize) {
+        self.case.set(i);
+    }
+
+    /// Next raw 64-bit value (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`; `bound > 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        // Multiply-shift rejection-free mapping; bias is negligible for
+        // test-sized bounds.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn case_index(&self) -> usize {
+        self.case.get()
+    }
+
+    /// Leaves endpoint-pinning mode so repeated draws stop returning the
+    /// same pinned value (used by [`Filter`] after a rejection).
+    fn unpin(&self) {
+        if self.case.get() < 2 {
+            self.case.set(2);
+        }
+    }
+}
+
+/// A source of generated values.
+///
+/// Object-safe core (`generate`) plus sized combinators, mirroring the
+/// `proptest` names our tests call.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Keeps only values satisfying `pred`, re-drawing up to a bounded
+    /// number of times (`reason` is reported if the filter starves).
+    fn prop_filter<F>(self, reason: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason,
+            pred,
+        }
+    }
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Boxes the strategy (used by [`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A boxed, object-safe strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy from a closure (internal building block).
+pub struct FnStrategy<F>(pub F);
+
+impl<O, F: Fn(&mut TestRng) -> O> Strategy for FnStrategy<F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.0)(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    reason: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+            rng.unpin();
+        }
+        panic!(
+            "prop_filter '{}' rejected 1000 consecutive draws",
+            self.reason
+        );
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// Tuples of strategies generate tuples of values (matching the real
+// crate), so `(0u32..3, 1usize..=4).prop_map(...)` composes.
+macro_rules! tuple_strategy {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A.0, B.1);
+tuple_strategy!(A.0, B.1, C.2);
+tuple_strategy!(A.0, B.1, C.2, D.3);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+
+/// Uniform choice between boxed strategies ([`prop_oneof!`] backing).
+pub struct Union<T>(pub Vec<BoxedStrategy<T>>);
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.0.len() as u64) as usize;
+        self.0[i].generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                // Pin the endpoints on the first two cases so boundaries
+                // are always covered.
+                match rng.case_index() {
+                    0 => self.start,
+                    1 => self.end - 1,
+                    _ => {
+                        let span = (self.end - self.start) as u64;
+                        self.start + rng.below(span) as $t
+                    }
+                }
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                match rng.case_index() {
+                    0 => *self.start(),
+                    1 => *self.end(),
+                    _ => {
+                        let span = (*self.end() - *self.start()) as u64 + 1;
+                        self.start() + rng.below(span) as $t
+                    }
+                }
+            }
+        }
+    )*};
+}
+int_range_strategy!(usize, u64, u32, i32, u8);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                match rng.case_index() {
+                    0 => self.start,
+                    _ => self.start + (self.end - self.start) * rng.unit_f64() as $t,
+                }
+            }
+        }
+    )*};
+}
+float_range_strategy!(f32, f64);
+
+/// Types with a canonical default strategy (the [`any`] entry point).
+pub trait Arbitrary: Sized {
+    /// The canonical strategy for the type.
+    fn arbitrary() -> BoxedStrategy<Self>;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary() -> BoxedStrategy<bool> {
+        FnStrategy(|rng: &mut TestRng| rng.next_u64() & 1 == 1).boxed()
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary() -> BoxedStrategy<u64> {
+        FnStrategy(|rng: &mut TestRng| rng.next_u64()).boxed()
+    }
+}
+
+/// The canonical strategy for `T` (`any::<bool>()` etc.).
+pub fn any<T: Arbitrary>() -> BoxedStrategy<T> {
+    T::arbitrary()
+}
+
+/// Uniform choice among strategies of a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// Assertion inside a generated case (plain `assert!` here: no shrinking,
+/// the deterministic seed already makes failures reproducible).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion inside a generated case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assertion inside a generated case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// The test-defining macro: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@expand ($cfg); $($rest)*);
+    };
+    (@expand ($cfg:expr); $(#[test] fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            #[test]
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::from_label(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..cfg.cases as usize {
+                    rng.start_case(case);
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@expand ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::TestRng;
+
+    #[test]
+    fn ranges_respect_bounds_and_pin_endpoints() {
+        let mut rng = TestRng::from_label("bounds");
+        let s = 3usize..10;
+        rng.start_case(0);
+        assert_eq!(s.generate(&mut rng), 3);
+        rng.start_case(1);
+        assert_eq!(s.generate(&mut rng), 9);
+        rng.start_case(2);
+        for _ in 0..1000 {
+            let v = s.generate(&mut rng);
+            assert!((3..10).contains(&v));
+        }
+        let f = -2.0f64..2.0;
+        for _ in 0..1000 {
+            let v = f.generate(&mut rng);
+            assert!((-2.0..2.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_label() {
+        let mut a = TestRng::from_label("x");
+        let mut b = TestRng::from_label("x");
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = TestRng::from_label("y");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let mut rng = TestRng::from_label("comb");
+        rng.start_case(2);
+        let even = (0usize..100).prop_filter("even", |v| v % 2 == 0);
+        for _ in 0..100 {
+            assert_eq!(even.generate(&mut rng) % 2, 0);
+        }
+        let mapped = (1usize..5).prop_map(|v| v * 10);
+        for _ in 0..100 {
+            let v = mapped.generate(&mut rng);
+            assert!((10..50).contains(&v) && v % 10 == 0);
+        }
+        let one_of = prop_oneof![Just(1u64), Just(2u64)];
+        for _ in 0..100 {
+            assert!(matches!(one_of.generate(&mut rng), 1 | 2));
+        }
+        let arrays = crate::prop_mod::array::uniform4(0u64..10);
+        let a = arrays.generate(&mut rng);
+        assert!(a.iter().all(|&v| v < 10));
+        let vecs = crate::prop_mod::collection::vec(0u64..10, 1..5);
+        for _ in 0..50 {
+            let v = vecs.generate(&mut rng);
+            assert!(!v.is_empty() && v.len() < 5);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_roundtrip(a in 0usize..10, b in 0u64..5, flag in any::<bool>()) {
+            prop_assert!(a < 10);
+            prop_assert!(b < 5);
+            prop_assert_eq!(flag as u64 & !1, 0);
+        }
+    }
+}

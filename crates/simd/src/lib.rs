@@ -27,6 +27,7 @@
 
 #![deny(missing_docs)]
 #![allow(clippy::should_implement_trait)]
+#![allow(clippy::needless_range_loop)]
 
 mod f32x4;
 mod f64x2;

@@ -11,7 +11,11 @@
 //! polyfill on aarch64; scalar arrays elsewhere or under `force-scalar`.
 #![allow(clippy::needless_return)] // the `return` inside the cfg-gated arm selects the backend
 
-#[cfg(all(target_arch = "x86_64", target_feature = "avx", not(feature = "force-scalar")))]
+#[cfg(all(
+    target_arch = "x86_64",
+    target_feature = "avx",
+    not(feature = "force-scalar")
+))]
 use core::arch::x86_64::*;
 
 /// 256-bit vector of eight `f32` lanes.
@@ -22,14 +26,30 @@ pub struct F32x8(Repr32);
 #[derive(Clone, Copy)]
 pub struct F64x4(Repr64);
 
-#[cfg(all(target_arch = "x86_64", target_feature = "avx", not(feature = "force-scalar")))]
+#[cfg(all(
+    target_arch = "x86_64",
+    target_feature = "avx",
+    not(feature = "force-scalar")
+))]
 type Repr32 = __m256;
-#[cfg(all(target_arch = "x86_64", target_feature = "avx", not(feature = "force-scalar")))]
+#[cfg(all(
+    target_arch = "x86_64",
+    target_feature = "avx",
+    not(feature = "force-scalar")
+))]
 type Repr64 = __m256d;
 
-#[cfg(not(all(target_arch = "x86_64", target_feature = "avx", not(feature = "force-scalar"))))]
+#[cfg(not(all(
+    target_arch = "x86_64",
+    target_feature = "avx",
+    not(feature = "force-scalar")
+)))]
 type Repr32 = [f32; 8];
-#[cfg(not(all(target_arch = "x86_64", target_feature = "avx", not(feature = "force-scalar"))))]
+#[cfg(not(all(
+    target_arch = "x86_64",
+    target_feature = "avx",
+    not(feature = "force-scalar")
+)))]
 type Repr64 = [f64; 4];
 
 macro_rules! scalar_block {

@@ -1,0 +1,289 @@
+//! Sharded aggregate counters.
+//!
+//! Each thread hashes to one of [`SHARD_COUNT`] cache-line-padded shards
+//! and updates it with relaxed atomics, so concurrent GEMM workers never
+//! contend on a shared line; totals are summed at snapshot time.
+
+use crate::record::{DecisionRecord, PathTag, PlanTag, ShapeClassTag};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Number of counter shards. Power of two, comfortably above the core
+/// counts of the paper's test machines.
+pub const SHARD_COUNT: usize = 16;
+
+/// One shard of counters, padded to avoid false sharing with its
+/// neighbours in the static array.
+#[repr(align(128))]
+#[derive(Default)]
+pub struct Shard {
+    /// Decision records submitted through this shard.
+    pub calls: AtomicU64,
+    /// Calls by [`ShapeClassTag::index`].
+    pub by_class: [AtomicU64; 3],
+    /// Calls by [`PlanTag::index`].
+    pub by_plan: [AtomicU64; 4],
+    /// Calls by [`PathTag::index`].
+    pub by_path: [AtomicU64; 4],
+    /// Total sequential-pack nanoseconds.
+    pub pack_ns: AtomicU64,
+    /// Total dispatch wall nanoseconds (pack + compute).
+    pub total_ns: AtomicU64,
+    /// Fork-join scopes opened (§6 parallel parents).
+    pub fork_joins: AtomicU64,
+    /// Nanoseconds of fork-join overhead: parent wall time minus the
+    /// slowest worker's compute time.
+    pub fork_join_overhead_ns: AtomicU64,
+    /// `gemm_batch` API calls.
+    pub batch_calls: AtomicU64,
+    /// Individual problems inside batch calls.
+    pub batch_items: AtomicU64,
+    /// High-water mark of per-thread workspace bytes seen by this shard.
+    pub workspace_peak: AtomicU64,
+}
+
+impl Shard {
+    fn observe(&self, rec: &DecisionRecord) {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        self.by_class[rec.class.index()].fetch_add(1, Ordering::Relaxed);
+        self.by_plan[rec.plan.index()].fetch_add(1, Ordering::Relaxed);
+        self.by_path[rec.path.index()].fetch_add(1, Ordering::Relaxed);
+        self.pack_ns.fetch_add(rec.pack_ns, Ordering::Relaxed);
+        self.total_ns.fetch_add(rec.total_ns, Ordering::Relaxed);
+        self.workspace_peak
+            .fetch_max(rec.workspace_bytes as u64, Ordering::Relaxed);
+    }
+
+    fn clear(&self) {
+        self.calls.store(0, Ordering::Relaxed);
+        for c in &self.by_class {
+            c.store(0, Ordering::Relaxed);
+        }
+        for c in &self.by_plan {
+            c.store(0, Ordering::Relaxed);
+        }
+        for c in &self.by_path {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.pack_ns.store(0, Ordering::Relaxed);
+        self.total_ns.store(0, Ordering::Relaxed);
+        self.fork_joins.store(0, Ordering::Relaxed);
+        self.fork_join_overhead_ns.store(0, Ordering::Relaxed);
+        self.batch_calls.store(0, Ordering::Relaxed);
+        self.batch_items.store(0, Ordering::Relaxed);
+        self.workspace_peak.store(0, Ordering::Relaxed);
+    }
+}
+
+pub struct ShardedCounters {
+    shards: Vec<Shard>,
+}
+
+impl ShardedCounters {
+    pub fn new() -> Self {
+        ShardedCounters {
+            shards: (0..SHARD_COUNT).map(|_| Shard::default()).collect(),
+        }
+    }
+
+    /// This thread's shard. Threads are striped round-robin on first use.
+    #[inline]
+    pub fn local(&self) -> &Shard {
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        thread_local! {
+            static SHARD_IDX: usize =
+                NEXT.fetch_add(1, Ordering::Relaxed) & (SHARD_COUNT - 1);
+        }
+        &self.shards[SHARD_IDX.with(|i| *i)]
+    }
+
+    /// Fold one decision record into this thread's shard.
+    #[inline]
+    pub fn observe(&self, rec: &DecisionRecord) {
+        self.local().observe(rec);
+    }
+
+    /// Count a fork-join scope and its measured overhead.
+    #[inline]
+    pub fn observe_fork_join(&self, overhead_ns: u64) {
+        let shard = self.local();
+        shard.fork_joins.fetch_add(1, Ordering::Relaxed);
+        shard
+            .fork_join_overhead_ns
+            .fetch_add(overhead_ns, Ordering::Relaxed);
+    }
+
+    /// Count a batch API call with `items` member problems.
+    #[inline]
+    pub fn observe_batch(&self, items: usize) {
+        let shard = self.local();
+        shard.batch_calls.fetch_add(1, Ordering::Relaxed);
+        shard.batch_items.fetch_add(items as u64, Ordering::Relaxed);
+    }
+
+    /// Sum every shard into one plain-integer view.
+    pub fn totals(&self) -> CounterTotals {
+        let mut t = CounterTotals::default();
+        for s in &self.shards {
+            t.calls += s.calls.load(Ordering::Relaxed);
+            for (dst, src) in t.by_class.iter_mut().zip(&s.by_class) {
+                *dst += src.load(Ordering::Relaxed);
+            }
+            for (dst, src) in t.by_plan.iter_mut().zip(&s.by_plan) {
+                *dst += src.load(Ordering::Relaxed);
+            }
+            for (dst, src) in t.by_path.iter_mut().zip(&s.by_path) {
+                *dst += src.load(Ordering::Relaxed);
+            }
+            t.pack_ns += s.pack_ns.load(Ordering::Relaxed);
+            t.total_ns += s.total_ns.load(Ordering::Relaxed);
+            t.fork_joins += s.fork_joins.load(Ordering::Relaxed);
+            t.fork_join_overhead_ns += s.fork_join_overhead_ns.load(Ordering::Relaxed);
+            t.batch_calls += s.batch_calls.load(Ordering::Relaxed);
+            t.batch_items += s.batch_items.load(Ordering::Relaxed);
+            t.workspace_peak_bytes = t
+                .workspace_peak_bytes
+                .max(s.workspace_peak.load(Ordering::Relaxed));
+        }
+        t
+    }
+
+    /// Zero every shard.
+    pub fn clear(&self) {
+        for s in &self.shards {
+            s.clear();
+        }
+    }
+}
+
+impl Default for ShardedCounters {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Plain-integer sum of all shards at one point in time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CounterTotals {
+    pub calls: u64,
+    pub by_class: [u64; 3],
+    pub by_plan: [u64; 4],
+    pub by_path: [u64; 4],
+    pub pack_ns: u64,
+    pub total_ns: u64,
+    pub fork_joins: u64,
+    pub fork_join_overhead_ns: u64,
+    pub batch_calls: u64,
+    pub batch_items: u64,
+    pub workspace_peak_bytes: u64,
+}
+
+impl CounterTotals {
+    /// JSON object with named keys per class/plan/path.
+    pub fn to_json(&self) -> String {
+        let named = |names: &[&str], vals: &[u64]| -> String {
+            names
+                .iter()
+                .zip(vals)
+                .map(|(n, v)| format!("\"{n}\":{v}"))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let class_names: Vec<&str> = ShapeClassTag::ALL.iter().map(|c| c.as_str()).collect();
+        let plan_names: Vec<&str> = PlanTag::ALL.iter().map(|p| p.as_str()).collect();
+        let path_names: Vec<&str> = PathTag::ALL.iter().map(|p| p.as_str()).collect();
+        format!(
+            concat!(
+                "{{\"calls\":{},\"by_class\":{{{}}},\"by_plan\":{{{}}},",
+                "\"by_path\":{{{}}},\"pack_ns\":{},\"total_ns\":{},",
+                "\"fork_joins\":{},\"fork_join_overhead_ns\":{},",
+                "\"batch_calls\":{},\"batch_items\":{},",
+                "\"workspace_peak_bytes\":{}}}"
+            ),
+            self.calls,
+            named(&class_names, &self.by_class),
+            named(&plan_names, &self.by_plan),
+            named(&path_names, &self.by_path),
+            self.pack_ns,
+            self.total_ns,
+            self.fork_joins,
+            self.fork_join_overhead_ns,
+            self.batch_calls,
+            self.batch_items,
+            self.workspace_peak_bytes,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{PathTag, PlanTag, ShapeClassTag};
+
+    #[test]
+    fn observe_sums_across_threads() {
+        let counters = std::sync::Arc::new(ShardedCounters::new());
+        let threads = 8;
+        let per = 1000;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let counters = counters.clone();
+                scope.spawn(move || {
+                    for i in 0..per {
+                        counters.observe(&DecisionRecord {
+                            class: ShapeClassTag::Irregular,
+                            plan: PlanTag::Lookahead,
+                            path: PathTag::ParallelWorker,
+                            pack_ns: 2,
+                            total_ns: 5,
+                            workspace_bytes: i,
+                            ..Default::default()
+                        });
+                    }
+                });
+            }
+        });
+        let t = counters.totals();
+        let n = (threads * per) as u64;
+        assert_eq!(t.calls, n);
+        assert_eq!(t.by_class[ShapeClassTag::Irregular.index()], n);
+        assert_eq!(t.by_plan[PlanTag::Lookahead.index()], n);
+        assert_eq!(t.by_path[PathTag::ParallelWorker.index()], n);
+        assert_eq!(t.pack_ns, 2 * n);
+        assert_eq!(t.total_ns, 5 * n);
+        assert_eq!(t.workspace_peak_bytes, (per - 1) as u64);
+    }
+
+    #[test]
+    fn fork_join_and_batch_counters() {
+        let counters = ShardedCounters::new();
+        counters.observe_fork_join(123);
+        counters.observe_fork_join(77);
+        counters.observe_batch(32);
+        counters.observe_batch(8);
+        let t = counters.totals();
+        assert_eq!(t.fork_joins, 2);
+        assert_eq!(t.fork_join_overhead_ns, 200);
+        assert_eq!(t.batch_calls, 2);
+        assert_eq!(t.batch_items, 40);
+        counters.clear();
+        assert_eq!(counters.totals(), CounterTotals::default());
+    }
+
+    #[test]
+    fn totals_json_names_every_bucket() {
+        let counters = ShardedCounters::new();
+        counters.observe(&DecisionRecord::default());
+        let j = counters.totals().to_json();
+        for needle in [
+            "\"calls\":1",
+            "\"small\":1",
+            "\"irregular\":0",
+            "\"no-pack\":1",
+            "\"fused-lookahead\":0",
+            "\"serial\":1",
+            "\"workspace_peak_bytes\":0",
+        ] {
+            assert!(j.contains(needle), "{j} missing {needle}");
+        }
+    }
+}

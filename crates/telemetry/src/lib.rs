@@ -1,0 +1,307 @@
+//! # shalom-telemetry
+//!
+//! Observability layer for the LibShalom GEMM dispatch pipeline: per-call
+//! decision traces (shape class, packing plan, tile, thread grid),
+//! sharded aggregate counters, per-class latency histograms, an
+//! in-memory ring of recent decisions, and optional Linux `perf_event`
+//! hardware counters behind the `perf-hooks` feature.
+//!
+//! ## Cost model
+//!
+//! Telemetry is **off by default at runtime**. Every capture site in the
+//! core crate first calls [`enabled`], which is a single relaxed atomic
+//! load and compare — when disabled, that branch is the entire cost.
+//! When enabled, the hot path touches only thread-sharded atomics and a
+//! wait-free ring-buffer claim: no locks, no allocation, no syscalls
+//! (the span clock reads `cntvct_el0` / `rdtsc` directly).
+//!
+//! The core crate additionally compiles all capture sites out entirely
+//! unless its `telemetry` cargo feature is on, so default builds carry
+//! zero overhead of any kind.
+//!
+//! ## Usage
+//!
+//! ```
+//! shalom_telemetry::enable();
+//! // ... run GEMMs through an instrumented crate, or record directly:
+//! shalom_telemetry::record(shalom_telemetry::DecisionRecord {
+//!     m: 64, n: 64, k: 64,
+//!     op_a: b'N', op_b: b'N',
+//!     ..Default::default()
+//! });
+//! let snap = shalom_telemetry::snapshot();
+//! assert_eq!(snap.totals.calls, 1);
+//! println!("{}", snap.to_json());
+//! shalom_telemetry::disable();
+//! ```
+
+mod clock;
+mod counters;
+mod hist;
+pub mod perf;
+mod record;
+mod ring;
+mod snapshot;
+
+pub use clock::now_ns;
+pub use counters::{CounterTotals, SHARD_COUNT};
+pub use hist::{Histogram, HIST_BUCKETS};
+pub use perf::PerfSample;
+pub use record::{DecisionRecord, EdgeTag, PathTag, PlanTag, ShapeClassTag};
+pub use ring::RING_CAPACITY;
+pub use snapshot::TelemetrySnapshot;
+
+use counters::ShardedCounters;
+use hist::ClassHistograms;
+use ring::Ring;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::OnceLock;
+
+/// Bit 0: user enable. Bits 1..: pause count (scaled by 2).
+/// `state == 1` is the only value on which capture happens, so the
+/// disabled check is one load and one compare.
+static STATE: AtomicU32 = AtomicU32::new(0);
+
+struct Global {
+    counters: ShardedCounters,
+    hists: ClassHistograms,
+    ring: Ring,
+}
+
+fn global() -> &'static Global {
+    static GLOBAL: OnceLock<Global> = OnceLock::new();
+    GLOBAL.get_or_init(|| Global {
+        counters: ShardedCounters::new(),
+        hists: ClassHistograms::new(),
+        ring: Ring::new(),
+    })
+}
+
+/// Turn capture on. Counters and the ring keep their contents; call
+/// [`reset`] for a clean slate.
+pub fn enable() {
+    // Touch the clock and global state outside the measured region so
+    // first-use calibration doesn't land inside a GEMM span.
+    let _ = now_ns();
+    let _ = global();
+    STATE.fetch_or(1, Ordering::Relaxed);
+}
+
+/// Turn capture off. Gathered data stays readable via [`snapshot`].
+pub fn disable() {
+    STATE.fetch_and(!1, Ordering::Relaxed);
+}
+
+/// Whether capture is currently active (enabled and not paused).
+///
+/// This is the hot-path guard: one relaxed load, one compare.
+#[inline]
+pub fn enabled() -> bool {
+    STATE.load(Ordering::Relaxed) == 1
+}
+
+/// Suspend capture while the guard lives, without toggling the user
+/// enable bit. Used by the autotuner so its probe GEMMs don't pollute
+/// the trace; nests freely.
+pub fn pause_guard() -> PauseGuard {
+    STATE.fetch_add(2, Ordering::Relaxed);
+    PauseGuard { _priv: () }
+}
+
+/// RAII token from [`pause_guard`].
+pub struct PauseGuard {
+    _priv: (),
+}
+
+impl Drop for PauseGuard {
+    fn drop(&mut self) {
+        STATE.fetch_sub(2, Ordering::Relaxed);
+    }
+}
+
+thread_local! {
+    /// Dispatch-layer tag the *next* serial record on this thread gets.
+    static PATH: Cell<PathTag> = const { Cell::new(PathTag::Serial) };
+    /// Nanoseconds of sequential packing accumulated on this thread
+    /// since the current call started (see `take_pack_ns`).
+    static PACK_NS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Set this thread's dispatch-path tag, returning the previous value.
+/// Worker closures tag themselves `ParallelWorker` / `Batch` so their
+/// serial-driver records are attributable; restore the returned value
+/// when the scope ends (caller threads outlive the call).
+pub fn set_path(path: PathTag) -> PathTag {
+    PATH.with(|p| p.replace(path))
+}
+
+/// This thread's current dispatch-path tag.
+pub fn current_path() -> PathTag {
+    PATH.with(|p| p.get())
+}
+
+/// Add `ns` to this thread's sequential-pack span accumulator.
+#[inline]
+pub fn add_pack_ns(ns: u64) {
+    PACK_NS.with(|c| c.set(c.get() + ns));
+}
+
+/// Drain this thread's sequential-pack span accumulator. The serial
+/// driver calls this at dispatch end so nested pack spans attribute to
+/// exactly one record.
+#[inline]
+pub fn take_pack_ns() -> u64 {
+    PACK_NS.with(|c| c.replace(0))
+}
+
+/// Submit one decision record: counters, histogram, and the recent ring.
+/// `rec.seq` is assigned here. Callers check [`enabled`] first; records
+/// submitted while disabled are still accepted (tests use this).
+pub fn record(mut rec: DecisionRecord) {
+    let g = global();
+    if rec.path == PathTag::Serial {
+        rec.path = current_path();
+    }
+    g.counters.observe(&rec);
+    g.hists.observe(rec.class, rec.total_ns);
+    g.ring.push(rec);
+}
+
+/// Count one §6 fork-join scope with its measured overhead
+/// (parent wall time minus slowest worker).
+pub fn record_fork_join(overhead_ns: u64) {
+    global().counters.observe_fork_join(overhead_ns);
+}
+
+/// Count one batch API call of `items` member problems.
+pub fn record_batch(items: usize) {
+    global().counters.observe_batch(items);
+}
+
+/// Capture a point-in-time [`TelemetrySnapshot`].
+pub fn snapshot() -> TelemetrySnapshot {
+    let g = global();
+    TelemetrySnapshot {
+        totals: g.counters.totals(),
+        histograms: g.hists.snapshot(),
+        recent: g.ring.recent(),
+        dropped_records: g.ring.dropped(),
+        perf: perf::sample(),
+    }
+}
+
+/// Zero all counters, histograms and the ring. Does not change the
+/// enabled state and does not reset `perf` counters (diff samples
+/// instead).
+pub fn reset() {
+    let g = global();
+    g.counters.clear();
+    g.hists.clear();
+    g.ring.clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The enable/pause state is process-global, so the tests below run
+    // under one lock to avoid cross-test interference.
+    fn state_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap()
+    }
+
+    #[test]
+    fn enable_disable_pause() {
+        let _l = state_lock();
+        disable();
+        assert!(!enabled());
+        enable();
+        assert!(enabled());
+        {
+            let _g1 = pause_guard();
+            assert!(!enabled());
+            let _g2 = pause_guard();
+            assert!(!enabled());
+        }
+        assert!(enabled());
+        disable();
+        assert!(!enabled());
+        // Pausing while disabled stays disabled after the guard drops.
+        {
+            let _g = pause_guard();
+            assert!(!enabled());
+        }
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn record_flows_to_all_views() {
+        let _l = state_lock();
+        reset();
+        record(DecisionRecord {
+            m: 64,
+            n: 50176,
+            k: 64,
+            class: ShapeClassTag::Irregular,
+            plan: PlanTag::Lookahead,
+            total_ns: 5_000,
+            workspace_bytes: 1 << 16,
+            ..Default::default()
+        });
+        let snap = snapshot();
+        assert_eq!(snap.totals.calls, 1);
+        assert_eq!(snap.totals.by_class[ShapeClassTag::Irregular.index()], 1);
+        assert_eq!(snap.totals.workspace_peak_bytes, 1 << 16);
+        assert_eq!(snap.histograms[ShapeClassTag::Irregular.index()].count(), 1);
+        assert_eq!(snap.recent.len(), 1);
+        assert_eq!(snap.recent[0].n, 50176);
+        reset();
+        assert_eq!(snapshot().totals.calls, 0);
+        assert!(snapshot().recent.is_empty());
+    }
+
+    #[test]
+    fn path_tag_inheritance() {
+        let _l = state_lock();
+        reset();
+        let prev = set_path(PathTag::Batch);
+        assert_eq!(prev, PathTag::Serial);
+        // Serial-tagged records inherit the thread's path...
+        record(DecisionRecord::default());
+        // ...explicit tags are kept.
+        record(DecisionRecord {
+            path: PathTag::Parallel,
+            ..Default::default()
+        });
+        set_path(prev);
+        assert_eq!(current_path(), PathTag::Serial);
+        let snap = snapshot();
+        assert_eq!(snap.totals.by_path[PathTag::Batch.index()], 1);
+        assert_eq!(snap.totals.by_path[PathTag::Parallel.index()], 1);
+        reset();
+    }
+
+    #[test]
+    fn pack_span_accumulator_drains() {
+        add_pack_ns(40);
+        add_pack_ns(2);
+        assert_eq!(take_pack_ns(), 42);
+        assert_eq!(take_pack_ns(), 0);
+    }
+
+    #[test]
+    fn fork_join_and_batch_records() {
+        let _l = state_lock();
+        reset();
+        record_fork_join(300);
+        record_batch(16);
+        let t = snapshot().totals;
+        assert_eq!(t.fork_joins, 1);
+        assert_eq!(t.fork_join_overhead_ns, 300);
+        assert_eq!(t.batch_calls, 1);
+        assert_eq!(t.batch_items, 16);
+        reset();
+    }
+}

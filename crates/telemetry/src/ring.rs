@@ -1,0 +1,198 @@
+//! Lock-free ring buffer of recent [`DecisionRecord`]s.
+//!
+//! Writers never block and never spin: each record claims the next slot
+//! with one `fetch_add`, then publishes through a per-slot sequence word
+//! (seqlock style). If a writer catches a slot another writer is still
+//! filling — only possible after a full lap by a concurrent producer —
+//! the record is dropped and counted, keeping the GEMM hot path wait-free.
+
+use crate::record::DecisionRecord;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of recent records retained. Power of two so the slot index is
+/// a mask, sized to hold a whole bench sweep of dispatch decisions.
+pub const RING_CAPACITY: usize = 1024;
+
+struct Slot {
+    /// Even: stable (value = 2 * laps). Odd: a writer is mid-publish.
+    seq: AtomicU64,
+    data: UnsafeCell<DecisionRecord>,
+}
+
+// Safety: `data` is only written between a successful odd-CAS and the
+// even release store; readers validate the sequence word around a
+// volatile copy and discard torn reads.
+unsafe impl Sync for Slot {}
+
+pub struct Ring {
+    head: AtomicU64,
+    dropped: AtomicU64,
+    slots: Vec<Slot>,
+}
+
+impl Ring {
+    pub fn new() -> Self {
+        let mut slots = Vec::with_capacity(RING_CAPACITY);
+        for _ in 0..RING_CAPACITY {
+            slots.push(Slot {
+                seq: AtomicU64::new(0),
+                data: UnsafeCell::new(DecisionRecord::default()),
+            });
+        }
+        Ring {
+            head: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            slots,
+        }
+    }
+
+    /// Total records ever pushed (not capped by capacity).
+    #[cfg(test)]
+    pub fn total_pushed(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Records dropped due to writer contention on a lapped slot.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Store one record, returning its global sequence number.
+    pub fn push(&self, mut rec: DecisionRecord) -> u64 {
+        let ticket = self.head.fetch_add(1, Ordering::Relaxed);
+        rec.seq = ticket;
+        let slot = &self.slots[ticket as usize & (RING_CAPACITY - 1)];
+        let seq = slot.seq.load(Ordering::Relaxed);
+        if seq & 1 == 1 {
+            // A lapped writer is mid-publish; losing one stale record
+            // beats waiting on the hot path.
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return ticket;
+        }
+        if slot
+            .seq
+            .compare_exchange(seq, seq | 1, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return ticket;
+        }
+        unsafe { std::ptr::write_volatile(slot.data.get(), rec) };
+        slot.seq.store((seq | 1).wrapping_add(1), Ordering::Release);
+        ticket
+    }
+
+    /// Snapshot of the retained records, oldest first. Slots that are
+    /// being rewritten while we read are skipped rather than torn.
+    pub fn recent(&self) -> Vec<DecisionRecord> {
+        let head = self.head.load(Ordering::Acquire);
+        let len = (head as usize).min(RING_CAPACITY);
+        let start = head as usize - len;
+        let mut out = Vec::with_capacity(len);
+        for ticket in start..head as usize {
+            let slot = &self.slots[ticket & (RING_CAPACITY - 1)];
+            for _attempt in 0..4 {
+                let s1 = slot.seq.load(Ordering::Acquire);
+                if s1 & 1 == 1 {
+                    continue;
+                }
+                let rec = unsafe { std::ptr::read_volatile(slot.data.get()) };
+                if slot.seq.load(Ordering::Acquire) == s1 {
+                    // The slot may hold a newer lap than `ticket`; the
+                    // record's own `seq` says which call it describes.
+                    out.push(rec);
+                    break;
+                }
+            }
+        }
+        out.sort_by_key(|r| r.seq);
+        out.dedup_by_key(|r| r.seq);
+        out
+    }
+
+    /// Forget all retained records and counts.
+    pub fn clear(&self) {
+        // Not atomic with respect to concurrent writers; callers reset
+        // between measurement phases, not during them.
+        self.head.store(0, Ordering::Relaxed);
+        self.dropped.store(0, Ordering::Relaxed);
+        for slot in &self.slots {
+            slot.seq.store(0, Ordering::Relaxed);
+            unsafe { std::ptr::write_volatile(slot.data.get(), DecisionRecord::default()) };
+        }
+    }
+}
+
+impl Default for Ring {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(m: usize) -> DecisionRecord {
+        DecisionRecord {
+            m,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn keeps_last_capacity_records_in_order() {
+        let ring = Ring::new();
+        for i in 0..RING_CAPACITY + 100 {
+            ring.push(rec(i));
+        }
+        let recent = ring.recent();
+        assert_eq!(recent.len(), RING_CAPACITY);
+        assert_eq!(recent.first().unwrap().m, 100);
+        assert_eq!(recent.last().unwrap().m, RING_CAPACITY + 99);
+        assert!(recent.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert_eq!(ring.total_pushed() as usize, RING_CAPACITY + 100);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let ring = Ring::new();
+        for i in 0..10 {
+            ring.push(rec(i));
+        }
+        ring.clear();
+        assert!(ring.recent().is_empty());
+        assert_eq!(ring.total_pushed(), 0);
+    }
+
+    #[test]
+    fn concurrent_pushes_never_tear() {
+        let ring = std::sync::Arc::new(Ring::new());
+        let threads = 8;
+        let per = 4096;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let ring = ring.clone();
+                scope.spawn(move || {
+                    for i in 0..per {
+                        // m encodes the writer, n the iteration; a torn
+                        // read would mix the two.
+                        ring.push(DecisionRecord {
+                            m: t + 1,
+                            n: i,
+                            k: (t + 1) * 1_000_000 + i,
+                            ..Default::default()
+                        });
+                    }
+                });
+            }
+        });
+        let recent = ring.recent();
+        assert!(!recent.is_empty());
+        for r in &recent {
+            assert_eq!(r.k, r.m * 1_000_000 + r.n, "torn record: {r:?}");
+        }
+        assert_eq!(ring.total_pushed(), (threads * per) as u64);
+    }
+}

@@ -33,7 +33,9 @@ impl CacheFlusher {
         let mut acc = self.sink;
         let mut i = 0;
         while i < n {
-            self.buf[i] = self.buf[i].wrapping_mul(2862933555777941757).wrapping_add(1);
+            self.buf[i] = self.buf[i]
+                .wrapping_mul(2862933555777941757)
+                .wrapping_add(1);
             acc = acc.wrapping_add(self.buf[i]);
             i += 8;
         }

@@ -74,22 +74,72 @@ pub fn irregular_grid(smalls: &[usize], wides: &[usize], k: usize, both: bool) -
 /// `K = {576, 1152, 2304, 4608, 4608}`.
 pub fn vgg_layers() -> Vec<GemmShape> {
     vec![
-        GemmShape { label: "VGG1.2", m: 64, n: 50176, k: 576 },
-        GemmShape { label: "VGG2.2", m: 128, n: 12544, k: 1152 },
-        GemmShape { label: "VGG3.2", m: 256, n: 3136, k: 2304 },
-        GemmShape { label: "VGG4.2", m: 512, n: 784, k: 4608 },
-        GemmShape { label: "VGG5.2", m: 512, n: 196, k: 4608 },
+        GemmShape {
+            label: "VGG1.2",
+            m: 64,
+            n: 50176,
+            k: 576,
+        },
+        GemmShape {
+            label: "VGG2.2",
+            m: 128,
+            n: 12544,
+            k: 1152,
+        },
+        GemmShape {
+            label: "VGG3.2",
+            m: 256,
+            n: 3136,
+            k: 2304,
+        },
+        GemmShape {
+            label: "VGG4.2",
+            m: 512,
+            n: 784,
+            k: 4608,
+        },
+        GemmShape {
+            label: "VGG5.2",
+            m: 512,
+            n: 196,
+            k: 4608,
+        },
     ]
 }
 
 /// Figure 14 (§8.6): the CP2K FP64 kernel sizes, `M x N x K`.
 pub fn cp2k_kernels() -> Vec<GemmShape> {
     vec![
-        GemmShape { label: "5x5x5", m: 5, n: 5, k: 5 },
-        GemmShape { label: "13x5x13", m: 13, n: 5, k: 13 },
-        GemmShape { label: "13x13x13", m: 13, n: 13, k: 13 },
-        GemmShape { label: "23x23x23", m: 23, n: 23, k: 23 },
-        GemmShape { label: "26x26x13", m: 26, n: 26, k: 13 },
+        GemmShape {
+            label: "5x5x5",
+            m: 5,
+            n: 5,
+            k: 5,
+        },
+        GemmShape {
+            label: "13x5x13",
+            m: 13,
+            n: 5,
+            k: 13,
+        },
+        GemmShape {
+            label: "13x13x13",
+            m: 13,
+            n: 13,
+            k: 13,
+        },
+        GemmShape {
+            label: "23x23x23",
+            m: 23,
+            n: 23,
+            k: 23,
+        },
+        GemmShape {
+            label: "26x26x13",
+            m: 26,
+            n: 26,
+            k: 13,
+        },
     ]
 }
 
@@ -128,7 +178,15 @@ mod tests {
     #[test]
     fn vgg_dims_match_paper_table() {
         let v = vgg_layers();
-        assert_eq!(v[0], GemmShape { label: "VGG1.2", m: 64, n: 50176, k: 576 });
+        assert_eq!(
+            v[0],
+            GemmShape {
+                label: "VGG1.2",
+                m: 64,
+                n: 50176,
+                k: 576
+            }
+        );
         assert_eq!(v[4].n, 196);
         // N >> M on the early layers (the irregular motivation).
         assert!(v[0].n > 100 * v[0].m);

@@ -13,20 +13,18 @@ use std::time::Duration;
 fn main() {
     let base = GemmConfig::with_threads(1);
     for (desc, op_b, m, n, k) in [
-        ("small square 32^3 (NN)", Op::NoTrans, 32usize, 32usize, 32usize),
+        (
+            "small square 32^3 (NN)",
+            Op::NoTrans,
+            32usize,
+            32usize,
+            32usize,
+        ),
         ("CP2K-ish 23^3 (NN)", Op::NoTrans, 23, 23, 23),
         ("irregular 16x4096x512 (NT)", Op::Trans, 16, 4096, 512),
     ] {
         println!("== tuning {desc} ==");
-        let report = autotune::<f32>(
-            &base,
-            Op::NoTrans,
-            op_b,
-            m,
-            n,
-            k,
-            Duration::from_secs(4),
-        );
+        let report = autotune::<f32>(&base, Op::NoTrans, op_b, m, n, k, Duration::from_secs(4));
         for (rank, c) in report.candidates.iter().take(5).enumerate() {
             println!("  #{:<2} {:22} {:>8.2} GFLOPS", rank + 1, c.label, c.gflops);
         }

@@ -61,8 +61,14 @@ fn main() {
         pad: 1,
     };
     let (m, n, k) = shape.gemm_dims();
-    println!("conv {}x{}x{}x{} 3x3 pad1  ->  GEMM M={m} N={n} K={k} (irregular: N/M = {:.0})",
-        shape.c_out, shape.c_in, shape.h, shape.w, n as f64 / m as f64);
+    println!(
+        "conv {}x{}x{}x{} 3x3 pad1  ->  GEMM M={m} N={n} K={k} (irregular: N/M = {:.0})",
+        shape.c_out,
+        shape.c_in,
+        shape.h,
+        shape.w,
+        n as f64 / m as f64
+    );
 
     let input = Matrix::<f32>::random(shape.c_in, shape.h * shape.w, 7);
     let weights = Matrix::<f32>::random(shape.c_out, k, 8);
@@ -84,8 +90,11 @@ fn main() {
     );
     let t_gemm = t0.elapsed().as_secs_f64();
     let gflops = 2.0 * (m * n * k) as f64 / t_gemm / 1e9;
-    println!("im2col: {:.2} ms   gemm: {:.2} ms ({gflops:.1} GFLOPS)",
-        t_lower * 1e3, t_gemm * 1e3);
+    println!(
+        "im2col: {:.2} ms   gemm: {:.2} ms ({gflops:.1} GFLOPS)",
+        t_lower * 1e3,
+        t_gemm * 1e3
+    );
 
     // Verify against direct convolution.
     let t0 = Instant::now();

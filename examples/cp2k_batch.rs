@@ -24,8 +24,12 @@ struct BlockBatch {
 
 fn make_batch(count: usize, m: usize, n: usize, k: usize) -> BlockBatch {
     BlockBatch {
-        a: (0..count).map(|i| Matrix::random(m, k, 100 + i as u64)).collect(),
-        b: (0..count).map(|i| Matrix::random(k, n, 200 + i as u64)).collect(),
+        a: (0..count)
+            .map(|i| Matrix::random(m, k, 100 + i as u64))
+            .collect(),
+        b: (0..count)
+            .map(|i| Matrix::random(k, n, 200 + i as u64))
+            .collect(),
         c: (0..count).map(|_| Matrix::zeros(m, n)).collect(),
     }
 }
@@ -50,8 +54,16 @@ fn run_batch(imp: &dyn GemmImpl<f64>, batch: &mut BlockBatch) -> f64 {
 fn main() {
     let blocks = 4000;
     println!("CP2K-style block-sparse batch: {blocks} independent FP64 block GEMMs per size\n");
-    println!("{:>10} {:>14} {:>14} {:>9}", "block", "LibShalom", "Naive", "speedup");
-    for &(m, n, k) in &[(5usize, 5usize, 5usize), (13, 13, 13), (23, 23, 23), (26, 26, 13)] {
+    println!(
+        "{:>10} {:>14} {:>14} {:>9}",
+        "block", "LibShalom", "Naive", "speedup"
+    );
+    for &(m, n, k) in &[
+        (5usize, 5usize, 5usize),
+        (13, 13, 13),
+        (23, 23, 23),
+        (26, 26, 13),
+    ] {
         let flops = 2.0 * (m * n * k * blocks) as f64;
         let mut batch = make_batch(blocks, m, n, k);
         // Warm-up pass, then timed.
@@ -71,7 +83,16 @@ fn main() {
     let b = Matrix::<f64>::random(23, 23, 2);
     let mut c = Matrix::<f64>::zeros(23, 23);
     let mut want = Matrix::<f64>::zeros(23, 23);
-    ShalomGemm.gemm(1, Op::NoTrans, Op::NoTrans, 1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut());
+    ShalomGemm.gemm(
+        1,
+        Op::NoTrans,
+        Op::NoTrans,
+        1.0,
+        a.as_ref(),
+        b.as_ref(),
+        0.0,
+        c.as_mut(),
+    );
     libshalom::matrix::reference::gemm(
         Op::NoTrans,
         Op::NoTrans,

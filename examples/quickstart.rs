@@ -4,9 +4,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use libshalom::{
-    dgemm, gemm_with, sgemm, GemmConfig, MatMut, Matrix, Op, PackingPolicy,
-};
+use libshalom::{dgemm, gemm_with, sgemm, GemmConfig, MatMut, Matrix, Op, PackingPolicy};
 
 fn main() {
     // --- 1. Plain single-precision GEMM: C = A * B. ------------------
@@ -53,7 +51,10 @@ fn main() {
         0.0,
         cd.as_mut(),
     );
-    println!("23x23 dgemm (a CP2K kernel size): C[22][22] = {:.4}", cd.at(22, 22));
+    println!(
+        "23x23 dgemm (a CP2K kernel size): C[22][22] = {:.4}",
+        cd.at(22, 22)
+    );
 
     // --- 4. Views with leading dimensions (operate on a sub-block). --
     let big = Matrix::<f32>::random(100, 100, 5);

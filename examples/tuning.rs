@@ -29,7 +29,11 @@ fn main() {
 
     // --- The §6 parallel partition rule. ------------------------------
     println!("\nthread grids (Tn = ceil(sqrt(T*N/M)) rounded to a divisor of T):");
-    for (m, n, t) in [(2048usize, 256usize, 64usize), (32, 10240, 64), (64, 50176, 32)] {
+    for (m, n, t) in [
+        (2048usize, 256usize, 64usize),
+        (32, 10240, 64),
+        (64, 50176, 32),
+    ] {
         let (tm, tn) = partition_threads(t, m, n);
         println!("  M={m:<6} N={n:<6} T={t:<3} -> Tm x Tn = {tm} x {tn}");
     }
@@ -44,7 +48,10 @@ fn main() {
     for (name, packing) in [
         ("Auto (paper §4 decision)", PackingPolicy::Auto),
         ("AlwaysFused", PackingPolicy::AlwaysFused),
-        ("AlwaysSequential (classic)", PackingPolicy::AlwaysSequential),
+        (
+            "AlwaysSequential (classic)",
+            PackingPolicy::AlwaysSequential,
+        ),
         ("Never", PackingPolicy::Never),
     ] {
         let cfg = GemmConfig {

@@ -52,3 +52,8 @@ pub use shalom_core::{
     Gemm, GemmConfig, GemmElem, GemmError, Op, PackingPolicy, TuneReport,
 };
 pub use shalom_matrix::{MatMut, MatRef, Matrix};
+
+/// Telemetry layer (decision traces, counters, histograms, snapshots);
+/// present only with the `telemetry` cargo feature.
+#[cfg(feature = "telemetry")]
+pub use shalom_core::telemetry;

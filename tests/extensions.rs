@@ -2,9 +2,7 @@
 //! the batch API, the wide (256-bit) kernels, the fallible API and the
 //! C ABI — all through the facade crate, as a downstream user would.
 
-use libshalom::core::{
-    gemm_batch_beta, try_gemm_with, BatchItem, GemmConfig, GemmError,
-};
+use libshalom::core::{gemm_batch_beta, try_gemm_with, BatchItem, GemmConfig, GemmError};
 use libshalom::kernels::wide::{dgemm_nn_wide, sgemm_nn_wide};
 use libshalom::matrix::{assert_close, gemm_tolerance, max_abs_diff, reference, ConvShape};
 use libshalom::{Matrix, Op};
@@ -111,7 +109,10 @@ fn fallible_api_reports_instead_of_panicking() {
         c.as_mut(),
     )
     .unwrap_err();
-    assert!(matches!(err, GemmError::DimensionMismatch { operand: "B", .. }));
+    assert!(matches!(
+        err,
+        GemmError::DimensionMismatch { operand: "B", .. }
+    ));
 }
 
 #[test]
@@ -120,7 +121,9 @@ fn batch_mixed_ops_nt() {
     let count = 6;
     let aa: Vec<Matrix<f64>> = (0..count).map(|i| Matrix::random(9, 11, i)).collect();
     let bb: Vec<Matrix<f64>> = (0..count).map(|i| Matrix::random(13, 11, 60 + i)).collect();
-    let mut cc: Vec<Matrix<f64>> = (0..count as usize).map(|_| Matrix::random(9, 13, 77)).collect();
+    let mut cc: Vec<Matrix<f64>> = (0..count as usize)
+        .map(|_| Matrix::random(9, 13, 77))
+        .collect();
     let want: Vec<Matrix<f64>> = cc
         .iter()
         .enumerate()

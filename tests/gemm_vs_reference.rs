@@ -5,6 +5,7 @@
 use libshalom::matrix::{assert_close, gemm_tolerance, reference, Matrix};
 use libshalom::{gemm_with, EdgeSchedule, GemmConfig, GemmElem, Op, PackingPolicy};
 
+#[allow(clippy::too_many_arguments)]
 fn check<T: GemmElem>(
     cfg: &GemmConfig,
     op_a: Op,

@@ -78,7 +78,15 @@ fn blocked_error_comparable_to_naive_same_precision() {
     let a64 = Matrix::from_fn(m, k, |i, j| a.at(i, j) as f64);
     let b64 = Matrix::from_fn(k, n, |i, j| b.at(i, j) as f64);
     let mut w64 = Matrix::<f64>::zeros(m, n);
-    reference::gemm(Op::NoTrans, Op::NoTrans, 1.0, a64.as_ref(), b64.as_ref(), 0.0, w64.as_mut());
+    reference::gemm(
+        Op::NoTrans,
+        Op::NoTrans,
+        1.0,
+        a64.as_ref(),
+        b64.as_ref(),
+        0.0,
+        w64.as_mut(),
+    );
     let mut naive_err = 0f64;
     for i in 0..m {
         for j in 0..n {
@@ -189,7 +197,15 @@ fn f64_path_much_more_accurate_than_f32() {
         c.as_mut(),
     );
     let mut want = Matrix::<f64>::zeros(m, n);
-    reference::gemm(Op::NoTrans, Op::NoTrans, 1.0, a.as_ref(), b.as_ref(), 0.0, want.as_mut());
+    reference::gemm(
+        Op::NoTrans,
+        Op::NoTrans,
+        1.0,
+        a.as_ref(),
+        b.as_ref(),
+        0.0,
+        want.as_mut(),
+    );
     let f64_err = max_abs_diff(c.as_ref(), want.as_ref());
     assert!(
         f64_err < f32_err / 1e4,

@@ -148,7 +148,11 @@ fn figure_11_scaling_ordering() {
         ] {
             assert!(sh > speedup(&s), "{} on {}", s.name, machine.name);
         }
-        assert!(sh > (t as f64) * 0.5, "scaling collapsed on {}", machine.name);
+        assert!(
+            sh > (t as f64) * 0.5,
+            "scaling collapsed on {}",
+            machine.name
+        );
     }
 }
 
@@ -160,7 +164,11 @@ fn section_6_eq3_eq4_cmr_maximum() {
     // the chosen integer Tn's CMR is within the discrete neighbourhood
     // of the continuous optimum and no other divisor of T does better.
     let cmr = |m: f64, n: f64, t: f64, tn: f64| m * n / (m * tn + n * t / tn);
-    for &(m, n, t) in &[(2048usize, 256usize, 64usize), (32, 10240, 64), (64, 50176, 32)] {
+    for &(m, n, t) in &[
+        (2048usize, 256usize, 64usize),
+        (32, 10240, 64),
+        (64, 50176, 32),
+    ] {
         let (mf, nf, tf) = (m as f64, n as f64, t as f64);
         let tn_star = (tf * nf / mf).sqrt();
         let bound = mf * nf / (2.0 * (tf * mf * nf).sqrt());

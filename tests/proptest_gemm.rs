@@ -2,9 +2,7 @@
 //! policies must always match the `f64`-accumulating oracle, for
 //! LibShalom and for every baseline strategy.
 
-use libshalom::baselines::{
-    BlasfeoGemm, GemmImpl, GotoGemm, LibxsmmGemm, NaiveGemm, ShalomGemm,
-};
+use libshalom::baselines::{BlasfeoGemm, GemmImpl, GotoGemm, LibxsmmGemm, NaiveGemm, ShalomGemm};
 use libshalom::matrix::{assert_close, gemm_tolerance, reference, Matrix};
 use libshalom::{gemm_with, GemmConfig, Op, PackingPolicy};
 use proptest::prelude::*;

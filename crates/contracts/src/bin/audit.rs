@@ -1,0 +1,96 @@
+//! The kernel-contract audit checker.
+//!
+//! Runs, in order:
+//! 1. the registry audits (unique tags, non-overlapping spans, tile
+//!    contracts vs. the §5.2 solver, packing plan vs. the driver's `Bc`
+//!    double buffer),
+//! 2. the unsafe-hygiene lint over `crates/kernels` and `crates/core`,
+//! 3. the shadow-memory conformance harness (cheap sweep by default,
+//!    the exhaustive lattice with `--full`),
+//!
+//! prints the per-contract byte-interval table for the shipped tiles, and
+//! exits non-zero on any violation. CI's `audit` job runs
+//! `cargo run -p shalom-contracts --bin audit -- --full`.
+
+use shalom_contracts::harness::{run_conformance, HarnessConfig};
+use shalom_contracts::lint::{lint_repo, repo_root, LintConfig};
+use shalom_contracts::registry::{
+    audit_pack_plan, audit_registry, audit_tile_contracts, registry, representative_params,
+};
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let mut failures = 0usize;
+
+    println!("== kernel-contract registry ==");
+    for c in registry() {
+        let p = representative_params(c.id);
+        println!("  {:<18} {:<44} {}", c.tag, c.entry, c.summary);
+        for fp in c.footprint(&p) {
+            let bytes: Vec<String> = fp
+                .spans
+                .iter()
+                .map(|s| {
+                    let (lo, hi) = s.bytes(c.align_elem_bytes);
+                    format!("[{lo}, {hi})")
+                })
+                .collect();
+            let shown = if bytes.len() > 4 {
+                format!("{}, … ({} spans)", bytes[..4].join(", "), bytes.len())
+            } else {
+                bytes.join(", ")
+            };
+            println!(
+                "      {:<10} {:?}{} bytes {}",
+                fp.name,
+                fp.access,
+                if fp.complete { " (complete)" } else { "" },
+                shown
+            );
+        }
+    }
+
+    let mut stage = |name: &str, problems: Vec<String>| {
+        if problems.is_empty() {
+            println!("[audit] {name}: ok");
+        } else {
+            println!("[audit] {name}: {} violation(s)", problems.len());
+            for p in &problems {
+                println!("    {p}");
+            }
+            failures += problems.len();
+        }
+    };
+
+    stage("registry consistency", audit_registry());
+    stage("tile contracts vs solver", audit_tile_contracts());
+    stage("packing plan vs driver Bc", audit_pack_plan());
+    stage(
+        "unsafe-hygiene lint",
+        lint_repo(&repo_root(), &LintConfig::repo_default())
+            .iter()
+            .map(|v| v.to_string())
+            .collect(),
+    );
+
+    let cfg = if full {
+        HarnessConfig::full()
+    } else {
+        HarnessConfig::cheap()
+    };
+    let report = run_conformance(&cfg);
+    stage(
+        &format!(
+            "shadow conformance ({} cases, {})",
+            report.cases,
+            if full { "full lattice" } else { "cheap sweep" }
+        ),
+        report.violations.clone(),
+    );
+
+    if failures > 0 {
+        eprintln!("[audit] FAILED with {failures} violation(s)");
+        std::process::exit(1);
+    }
+    println!("[audit] all checks passed");
+}

@@ -1,0 +1,509 @@
+//! The unsafe-hygiene lint: a line-based source pass over
+//! `crates/kernels` and `crates/core` enforcing the audit rules that tie
+//! unsafe code to the contract registry.
+//!
+//! Rules (rule ids in backticks):
+//!
+//! * `safety-comment` — every `unsafe { … }` block is preceded by a
+//!   `// SAFETY:` comment within four lines (test code included: a test
+//!   explains *why* its pointers are valid like any other call site).
+//! * `contract-tag` — outside `#[cfg(test)]` regions and `tests/` files,
+//!   the SAFETY comment must reference a registered contract tag
+//!   (`SHALOM-K-…` from [`crate::registry::registry`] or a driver-layer
+//!   tag from [`crate::registry::DRIVER_TAGS`]), so every unsafe block is
+//!   mechanically linked to an audited obligation.
+//! * `safety-doc` — every non-test `unsafe fn` carries a `# Safety` doc
+//!   section (or, for private helpers and trait impls, a `// SAFETY:`
+//!   comment) stating its preconditions.
+//! * `precondition-assert` — every `pub unsafe fn` in the four kernel
+//!   files (`pack.rs`, `nt_pack.rs`, `edge.rs`, `main_kernel.rs`)
+//!   restates its preconditions as `debug_assert!`s in its body.
+//! * `unsafe-impl` — `unsafe impl` items need a `// SAFETY:` comment
+//!   (tagged outside test code).
+//! * `ptr-arith` — raw-pointer arithmetic (`.add(`, `.offset(`,
+//!   `.byte_add(`, `.byte_offset(`) is confined to the kernel modules and
+//!   the three dispatch files (`driver.rs`, `parallel.rs`, `batch.rs`)
+//!   whose obligations the driver tags cover; test code is exempt.
+//!
+//! The pass is deliberately line-based (no `syn` available offline). Its
+//! known approximations — brace counting ignores braces inside string
+//! literals, and `#[cfg(test)]` is assumed to gate only trailing `mod
+//! tests` blocks, the repo's sole idiom — are checked by the fixture
+//! tests below.
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Repo-relative path of the offending file.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Which rule fired.
+    pub rule: &'static str,
+    /// Explanation.
+    pub msg: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.msg
+        )
+    }
+}
+
+/// Lint configuration: scanned roots and per-rule scoping.
+pub struct LintConfig {
+    /// Directories walked for `.rs` files (paths relative to the repo
+    /// root).
+    pub roots: Vec<PathBuf>,
+    /// Known contract tags (kernel + driver layer).
+    pub tags: Vec<&'static str>,
+}
+
+impl LintConfig {
+    /// The shipped configuration: `crates/kernels` (src and tests) and
+    /// `crates/core/src`, tags from the registry.
+    pub fn repo_default() -> Self {
+        Self {
+            roots: vec![
+                PathBuf::from("crates/kernels/src"),
+                PathBuf::from("crates/kernels/tests"),
+                PathBuf::from("crates/core/src"),
+            ],
+            tags: crate::registry::known_tags(),
+        }
+    }
+}
+
+/// Path of the workspace root, resolved from this crate's manifest (the
+/// audit tooling is repo-local by design).
+pub fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn ptr_arith_allowed(label: &str) -> bool {
+    label.contains("crates/kernels/")
+        || label.ends_with("core/src/driver.rs")
+        || label.ends_with("core/src/parallel.rs")
+        || label.ends_with("core/src/batch.rs")
+}
+
+fn needs_precondition_asserts(label: &str) -> bool {
+    label.contains("crates/kernels/src/")
+        && ["pack.rs", "nt_pack.rs", "edge.rs", "main_kernel.rs"]
+            .iter()
+            .any(|f| label.ends_with(f))
+}
+
+/// Lints every `.rs` file under the configured roots of `repo_root`.
+///
+/// # Panics
+/// If a configured root cannot be read — the audit must not silently
+/// skip files.
+pub fn lint_repo(repo_root: &Path, cfg: &LintConfig) -> Vec<Violation> {
+    let mut files = Vec::new();
+    for root in &cfg.roots {
+        collect_rs_files(&repo_root.join(root), &mut files);
+    }
+    files.sort();
+    let mut out = Vec::new();
+    for f in files {
+        let src = fs::read_to_string(&f)
+            .unwrap_or_else(|e| panic!("audit cannot read {}: {e}", f.display()));
+        let label = f
+            .strip_prefix(repo_root)
+            .unwrap_or(&f)
+            .to_string_lossy()
+            .replace('\\', "/");
+        out.extend(lint_source(&label, &src, cfg));
+    }
+    out
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let entries =
+        fs::read_dir(dir).unwrap_or_else(|e| panic!("audit cannot walk {}: {e}", dir.display()));
+    for entry in entries {
+        let path = entry.expect("readable dir entry").path();
+        if path.is_dir() {
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn strip_line_comment(line: &str) -> &str {
+    match line.find("//") {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+/// True when `code` opens an `unsafe { … }` block (as opposed to an
+/// `unsafe fn`/`unsafe impl`/fn-pointer type). `next` is the following
+/// source line, for the `unsafe\n{` split style.
+fn opens_unsafe_block(code: &str, next: Option<&str>) -> bool {
+    let mut rest = code;
+    let mut base = 0usize;
+    while let Some(i) = rest.find("unsafe") {
+        let abs = base + i;
+        let before_ok = abs == 0
+            || !code[..abs]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = code[abs + 6..].trim_start();
+        if before_ok {
+            if after.starts_with('{') {
+                return true;
+            }
+            if after.is_empty() {
+                if let Some(n) = next {
+                    if strip_line_comment(n).trim_start().starts_with('{') {
+                        return true;
+                    }
+                }
+            }
+        }
+        base = abs + 6;
+        rest = &code[base..];
+    }
+    false
+}
+
+/// True when `code` declares an `unsafe fn` item (not a fn-pointer type
+/// like `unsafe fn(usize)`).
+fn declares_unsafe_fn(code: &str) -> bool {
+    for marker in ["unsafe fn ", "unsafe extern \"C\" fn "] {
+        if let Some(i) = code.find(marker) {
+            let name = code[i + marker.len()..].trim_start();
+            if name
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphabetic() || c == '_')
+            {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+fn safety_comment_nearby(lines: &[&str], idx: usize) -> bool {
+    let lo = idx.saturating_sub(4);
+    lines[lo..=idx].iter().any(|l| l.contains("SAFETY"))
+}
+
+fn tag_nearby(lines: &[&str], idx: usize, tags: &[&'static str]) -> bool {
+    let lo = idx.saturating_sub(4);
+    lines[lo..=idx]
+        .iter()
+        .any(|l| tags.iter().any(|t| l.contains(t)))
+}
+
+/// Scans the contiguous doc/attribute block above `idx` for a `# Safety`
+/// section or `SAFETY:` comment.
+fn safety_doc_above(lines: &[&str], idx: usize) -> bool {
+    let mut j = idx;
+    while j > 0 {
+        j -= 1;
+        let t = lines[j].trim_start();
+        let is_doc = t.starts_with("///")
+            || t.starts_with("//!")
+            || t.starts_with("//")
+            || t.starts_with("#[")
+            || t.starts_with("#![")
+            || t.is_empty();
+        if !is_doc {
+            return false;
+        }
+        if t.contains("# Safety") || t.contains("SAFETY") {
+            return true;
+        }
+    }
+    false
+}
+
+/// From the `unsafe fn` declaration at `start`, scans its body (first
+/// balanced brace group) for a `debug_assert`.
+fn fn_body_has_debug_assert(lines: &[&str], start: usize) -> bool {
+    let mut depth = 0i64;
+    let mut opened = false;
+    for line in &lines[start..] {
+        let code = strip_line_comment(line);
+        if code.contains("debug_assert") {
+            return true;
+        }
+        for ch in code.chars() {
+            match ch {
+                '{' => {
+                    depth += 1;
+                    opened = true;
+                }
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        if opened && depth <= 0 {
+            return false;
+        }
+        if !opened && code.trim_end().ends_with(';') {
+            return false; // declaration without body (trait method)
+        }
+    }
+    false
+}
+
+/// Lints one source file. `label` is the repo-relative path (used for
+/// rule scoping and reporting).
+pub fn lint_source(label: &str, src: &str, cfg: &LintConfig) -> Vec<Violation> {
+    let lines: Vec<&str> = src.lines().collect();
+    let is_test_file = label.contains("/tests/");
+    let mut out = Vec::new();
+    let mut depth = 0i64;
+    let mut in_test_mod = false;
+    let mut test_mod_depth = 0i64;
+    let mut pending_cfg_test = false;
+
+    for idx in 0..lines.len() {
+        let raw = lines[idx];
+        let code = strip_line_comment(raw);
+        let trimmed = code.trim();
+        if !in_test_mod && trimmed.starts_with("#[cfg(test)]") {
+            pending_cfg_test = true;
+        }
+        if pending_cfg_test && (trimmed.starts_with("mod ") || trimmed.starts_with("pub mod ")) {
+            in_test_mod = true;
+            test_mod_depth = depth;
+            pending_cfg_test = false;
+        }
+        let in_test = is_test_file || in_test_mod;
+        let line_no = idx + 1;
+
+        if opens_unsafe_block(code, lines.get(idx + 1).copied()) {
+            if !safety_comment_nearby(&lines, idx) {
+                out.push(Violation {
+                    file: label.to_string(),
+                    line: line_no,
+                    rule: "safety-comment",
+                    msg: "unsafe block without a // SAFETY: comment".into(),
+                });
+            } else if !in_test && !tag_nearby(&lines, idx, &cfg.tags) {
+                out.push(Violation {
+                    file: label.to_string(),
+                    line: line_no,
+                    rule: "contract-tag",
+                    msg: "SAFETY comment does not reference a registered contract tag".into(),
+                });
+            }
+        }
+
+        if trimmed.starts_with("unsafe impl") || trimmed.starts_with("pub unsafe impl") {
+            if !safety_comment_nearby(&lines, idx) {
+                out.push(Violation {
+                    file: label.to_string(),
+                    line: line_no,
+                    rule: "unsafe-impl",
+                    msg: "unsafe impl without a // SAFETY: comment".into(),
+                });
+            } else if !in_test && !tag_nearby(&lines, idx, &cfg.tags) {
+                out.push(Violation {
+                    file: label.to_string(),
+                    line: line_no,
+                    rule: "contract-tag",
+                    msg: "unsafe impl's SAFETY comment references no registered tag".into(),
+                });
+            }
+        }
+
+        if !in_test && declares_unsafe_fn(code) {
+            if !safety_doc_above(&lines, idx) {
+                out.push(Violation {
+                    file: label.to_string(),
+                    line: line_no,
+                    rule: "safety-doc",
+                    msg: "unsafe fn without a `# Safety` doc section or SAFETY comment".into(),
+                });
+            }
+            if needs_precondition_asserts(label)
+                && trimmed.starts_with("pub unsafe fn")
+                && !fn_body_has_debug_assert(&lines, idx)
+            {
+                out.push(Violation {
+                    file: label.to_string(),
+                    line: line_no,
+                    rule: "precondition-assert",
+                    msg: "pub unsafe kernel entry point without debug_assert! preconditions".into(),
+                });
+            }
+        }
+
+        if !in_test && !ptr_arith_allowed(label) {
+            for pat in [".add(", ".offset(", ".byte_add(", ".byte_offset("] {
+                if code.contains(pat) {
+                    out.push(Violation {
+                        file: label.to_string(),
+                        line: line_no,
+                        rule: "ptr-arith",
+                        msg: format!(
+                            "raw-pointer arithmetic (`{pat}…`) outside the kernel modules"
+                        ),
+                    });
+                }
+            }
+        }
+
+        for ch in code.chars() {
+            match ch {
+                '{' => depth += 1,
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        if in_test_mod && depth <= test_mod_depth {
+            in_test_mod = false;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> LintConfig {
+        LintConfig::repo_default()
+    }
+
+    #[test]
+    fn flags_bare_unsafe_block() {
+        let src = "fn f() {\n    unsafe { work() };\n}\n";
+        let v = lint_source("crates/core/src/x.rs", src, &cfg());
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "safety-comment");
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn accepts_tagged_safety_comment() {
+        let src = "fn f() {\n    // SAFETY: SHALOM-D-DRIVER — views validated above.\n    unsafe { work() };\n}\n";
+        assert!(lint_source("crates/core/src/x.rs", src, &cfg()).is_empty());
+    }
+
+    #[test]
+    fn untagged_comment_fails_outside_tests_only() {
+        let src = "fn f() {\n    // SAFETY: pointers are fine.\n    unsafe { work() };\n}\n";
+        let v = lint_source("crates/core/src/x.rs", src, &cfg());
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "contract-tag");
+        // Same code inside a tests/ file: the tag requirement is waived.
+        assert!(lint_source("crates/kernels/tests/x.rs", src, &cfg()).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_region_waives_tag_but_not_comment() {
+        let src = "\
+fn f() {}
+#[cfg(test)]
+mod tests {
+    fn g() {
+        // SAFETY: exact-extent buffers above.
+        unsafe { work() };
+    }
+    fn h() {
+        let a = 1;
+        let b = 2;
+        let c = 3;
+        let d = a + b + c;
+        unsafe { work(d) };
+    }
+}
+";
+        let v = lint_source("crates/kernels/src/x.rs", src, &cfg());
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "safety-comment");
+        assert_eq!(v[0].line, 13);
+    }
+
+    #[test]
+    fn unsafe_fn_needs_safety_doc_and_kernel_entry_needs_asserts() {
+        let src = "\
+/// Does things.
+pub unsafe fn k(p: *const f32) {
+    let _ = p;
+}
+";
+        let v = lint_source("crates/kernels/src/pack.rs", src, &cfg());
+        let rules: Vec<_> = v.iter().map(|x| x.rule).collect();
+        assert!(rules.contains(&"safety-doc"), "{v:?}");
+        assert!(rules.contains(&"precondition-assert"), "{v:?}");
+        let ok = "\
+/// Does things.
+///
+/// # Safety
+/// `p` valid.
+pub unsafe fn k(p: *const f32) {
+    debug_assert!(!p.is_null());
+    let _ = p;
+}
+";
+        assert!(lint_source("crates/kernels/src/pack.rs", ok, &cfg()).is_empty());
+    }
+
+    #[test]
+    fn fn_pointer_type_is_not_a_declaration() {
+        assert!(!declares_unsafe_fn("type EdgeFn<V> = unsafe fn("));
+        assert!(declares_unsafe_fn("pub unsafe fn main_kernel<V: Vector>("));
+        assert!(declares_unsafe_fn(
+            "pub unsafe extern \"C\" fn shalom_sgemm("
+        ));
+    }
+
+    #[test]
+    fn ptr_arith_confined_to_kernel_modules() {
+        let src = "fn f(p: *const f32) -> *const f32 {\n    p.add(3)\n}\n";
+        let v = lint_source("crates/core/src/api.rs", src, &cfg());
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "ptr-arith");
+        assert!(lint_source("crates/core/src/driver.rs", src, &cfg()).is_empty());
+        assert!(lint_source("crates/kernels/src/main_kernel.rs", src, &cfg()).is_empty());
+    }
+
+    #[test]
+    fn unsafe_impl_needs_comment() {
+        let src = "unsafe impl<T> Send for P<T> {}\n";
+        let v = lint_source("crates/core/src/parallel.rs", src, &cfg());
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "unsafe-impl");
+        let ok =
+            "// SAFETY: SHALOM-D-SEND — disjoint partitions.\nunsafe impl<T> Send for P<T> {}\n";
+        assert!(lint_source("crates/core/src/parallel.rs", ok, &cfg()).is_empty());
+    }
+
+    #[test]
+    fn split_line_unsafe_block_is_detected() {
+        let src = "fn f() {\n    let x = unsafe\n    {\n        work()\n    };\n}\n";
+        let v = lint_source("crates/core/src/x.rs", src, &cfg());
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "safety-comment");
+    }
+
+    #[test]
+    fn the_actual_repo_is_clean() {
+        let root = repo_root();
+        let v = lint_repo(&root, &cfg());
+        assert!(
+            v.is_empty(),
+            "unsafe-hygiene violations:\n{}",
+            v.iter().map(|x| format!("  {x}\n")).collect::<String>()
+        );
+    }
+}

@@ -1,0 +1,632 @@
+//! The contract registry: one [`KernelContract`] per micro-kernel entry
+//! point in `crates/kernels`, plus the cross-checks that tie the declared
+//! footprints back to the §5.2 tile solver and the §4 packing plan.
+//!
+//! The registry is the single source of truth three consumers share:
+//!
+//! * the shadow-memory harness sizes and checks its buffers from the
+//!   declared spans ([`crate::harness`]);
+//! * the unsafe-hygiene lint resolves `SHALOM-…` tags in `// SAFETY:`
+//!   comments against [`known_tags`] ([`crate::lint`]);
+//! * the `audit` binary prints the byte-interval table and runs the
+//!   solver/packing cross-checks below.
+
+use crate::contract::{
+    row_spans, row_spans_at, solid, KernelContract, KernelParams, OperandFootprint,
+};
+use shalom_kernels::tile::{solve_tile, TileConstraints, TileShape};
+use shalom_kernels::{MR, NR_F32, NR_F64, NR_VECS};
+
+/// Identifies one audited micro-kernel entry point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelId {
+    /// `main_kernel` / `main_kernel_shape` (and the `wide.rs` wrappers,
+    /// which are `main_kernel_shape` at the solver's wide tiles).
+    MainKernel,
+    /// `main_kernel_fused_pack` — NN compute with interleaved B pack.
+    MainKernelFusedPack,
+    /// `main_kernel_streamed` — packed-B compute with interleaved copy.
+    MainKernelStreamed,
+    /// `edge_kernel_pipelined` — §5.4 Figure 6b schedule.
+    EdgePipelined,
+    /// `edge_kernel_batched` — §5.4 Figure 6a schedule.
+    EdgeBatched,
+    /// `nt_pack_kernel` — Algorithm 3 inner-product scatter-pack.
+    NtPackKernel,
+    /// `nt_pack_panel` — full-panel driver over `nt_pack_kernel`.
+    NtPackPanel,
+    /// `pack_copy` — strided block copy.
+    PackCopy,
+    /// `pack_transpose` — strided block transpose.
+    PackTranspose,
+    /// `pack_a_slivers_goto` — Goto sliver-major A pack.
+    PackASliversGoto,
+    /// `pack_b_slivers_goto` — Goto sliver-major B pack.
+    PackBSliversGoto,
+}
+
+/// Contract tags for the dispatch layer in `crates/core`. These name
+/// *composite* obligations (the driver upholds the kernel contracts it
+/// invokes) rather than a single footprint function, so they carry no
+/// [`KernelContract`]; the lint accepts them in `// SAFETY:` comments.
+pub const DRIVER_TAGS: &[&str] = &[
+    // Blocked-loop dispatch in driver.rs/batch.rs/api.rs: every kernel
+    // call stays inside the operand views handed to `gemm_*`.
+    "SHALOM-D-DRIVER",
+    // Send/Sync pointer wrappers in parallel.rs: disjoint row/column
+    // partitions make cross-thread writes race-free.
+    "SHALOM-D-SEND",
+    // C-ABI entry points in capi.rs: caller-declared LAPACK-style
+    // dimensions are validated before any pointer is formed.
+    "SHALOM-D-FFI",
+    // Raw-parts view construction from validated dimensions.
+    "SHALOM-D-VIEW",
+    // Vector trait load/store forwarding (vector.rs): bounds inherited
+    // from the calling kernel's contract.
+    "SHALOM-V-SIMD",
+];
+
+fn main_footprint(p: &KernelParams) -> Vec<OperandFootprint> {
+    vec![
+        OperandFootprint::read("a", row_spans(p.m, p.lda, p.kc)),
+        OperandFootprint::read("b", row_spans(p.kc, p.ldb, p.n)),
+        OperandFootprint::read_write("c", row_spans(p.m, p.ldc, p.n)),
+    ]
+}
+
+fn fused_footprint(p: &KernelParams) -> Vec<OperandFootprint> {
+    let mut fp = main_footprint(p);
+    fp.push(OperandFootprint::write("bc", solid(p.kc * p.nr)));
+    if p.ahead {
+        fp.push(OperandFootprint::read(
+            "ahead_src",
+            row_spans(p.kc, p.ldb, p.nr),
+        ));
+        fp.push(OperandFootprint::write("ahead_dst", solid(p.kc * p.nr)));
+    }
+    fp
+}
+
+fn streamed_footprint(p: &KernelParams) -> Vec<OperandFootprint> {
+    let mut fp = vec![
+        OperandFootprint::read("a", row_spans(p.m, p.lda, p.kc)),
+        OperandFootprint::read("bc_packed", solid(p.kc * p.nr)),
+        OperandFootprint::read_write("c", row_spans(p.m, p.ldc, p.n)),
+    ];
+    if p.stream_rows > 0 {
+        fp.push(OperandFootprint::read(
+            "stream_src",
+            row_spans(p.stream_rows, p.stream_ld, p.nr),
+        ));
+        fp.push(OperandFootprint::write(
+            "stream_dst",
+            solid(p.stream_rows * p.nr),
+        ));
+    }
+    fp
+}
+
+fn nt_kernel_footprint(p: &KernelParams) -> Vec<OperandFootprint> {
+    vec![
+        OperandFootprint::read("a", row_spans(p.m, p.lda, p.kc)),
+        OperandFootprint::read("b", row_spans(p.n, p.ldb, p.kc)),
+        OperandFootprint::read_write("c", row_spans_at(p.m, p.ldc, p.jcol, p.n)),
+        // Scatter covers every declared element (columns jcol..jcol+bcols
+        // of every packed row), so the write footprint is complete.
+        OperandFootprint::write("bc", row_spans_at(p.kc, p.nr, p.jcol, p.n)),
+    ]
+}
+
+fn nt_panel_footprint(p: &KernelParams) -> Vec<OperandFootprint> {
+    vec![
+        OperandFootprint::read("a", row_spans(p.m, p.lda, p.kc)),
+        OperandFootprint::read("b", row_spans(p.n, p.ldb, p.kc)),
+        OperandFootprint::read_write("c", row_spans(p.m, p.ldc, p.n)),
+        // Scatter + zero-fill of columns npanel..nr makes the whole
+        // kc x nr panel defined.
+        OperandFootprint::write("bc", solid(p.kc * p.nr)),
+    ]
+}
+
+fn pack_copy_footprint(p: &KernelParams) -> Vec<OperandFootprint> {
+    vec![
+        OperandFootprint::read("src", row_spans(p.m, p.lda, p.n)),
+        OperandFootprint::write("dst", row_spans(p.m, p.ldb, p.n)),
+    ]
+}
+
+fn pack_transpose_footprint(p: &KernelParams) -> Vec<OperandFootprint> {
+    vec![
+        OperandFootprint::read("src", row_spans(p.m, p.lda, p.n)),
+        OperandFootprint::write("dst", row_spans(p.n, p.ldb, p.m)),
+    ]
+}
+
+fn pack_a_goto_footprint(p: &KernelParams) -> Vec<OperandFootprint> {
+    let slivers = p.m.div_ceil(p.mr_sliver.max(1));
+    vec![
+        OperandFootprint::read("a", row_spans(p.m, p.lda, p.kc)),
+        OperandFootprint::write("dst", solid(slivers * p.mr_sliver * p.kc)),
+    ]
+}
+
+fn pack_b_goto_footprint(p: &KernelParams) -> Vec<OperandFootprint> {
+    let slivers = p.n.div_ceil(p.nr.max(1));
+    vec![
+        OperandFootprint::read("b", row_spans(p.kc, p.ldb, p.n)),
+        OperandFootprint::write("dst", solid(slivers * p.kc * p.nr)),
+    ]
+}
+
+/// Every audited entry point's contract, in a stable order.
+pub fn registry() -> Vec<KernelContract> {
+    vec![
+        KernelContract {
+            id: KernelId::MainKernel,
+            tag: "SHALOM-K-MAIN",
+            entry: "shalom_kernels::main_kernel::main_kernel_shape",
+            summary: "outer-product mr x nr tile update, unpacked A rows",
+            align_elem_bytes: core::mem::align_of::<f32>(),
+            no_alias: &[("c", "a"), ("c", "b")],
+            footprint: main_footprint,
+        },
+        KernelContract {
+            id: KernelId::MainKernelFusedPack,
+            tag: "SHALOM-K-FUSED",
+            entry: "shalom_kernels::main_kernel::main_kernel_fused_pack",
+            summary: "NN main kernel with interleaved B pack and t=1 lookahead",
+            align_elem_bytes: core::mem::align_of::<f32>(),
+            no_alias: &[
+                ("c", "a"),
+                ("c", "b"),
+                ("bc", "a"),
+                ("bc", "b"),
+                ("bc", "c"),
+                ("ahead_dst", "ahead_src"),
+                ("ahead_dst", "bc"),
+            ],
+            footprint: fused_footprint,
+        },
+        KernelContract {
+            id: KernelId::MainKernelStreamed,
+            tag: "SHALOM-K-STREAM",
+            entry: "shalom_kernels::main_kernel::main_kernel_streamed",
+            summary: "main kernel on packed Bc with interleaved panel copy",
+            align_elem_bytes: core::mem::align_of::<f32>(),
+            no_alias: &[
+                ("c", "a"),
+                ("c", "bc_packed"),
+                ("stream_dst", "stream_src"),
+                ("stream_dst", "bc_packed"),
+            ],
+            footprint: streamed_footprint,
+        },
+        KernelContract {
+            id: KernelId::EdgePipelined,
+            tag: "SHALOM-K-EDGE-PIPE",
+            entry: "shalom_kernels::edge::edge_kernel_pipelined",
+            summary: "edge-lattice tile update, Figure 6b pipelined schedule",
+            align_elem_bytes: core::mem::align_of::<f32>(),
+            no_alias: &[("c", "a"), ("c", "b")],
+            footprint: main_footprint,
+        },
+        KernelContract {
+            id: KernelId::EdgeBatched,
+            tag: "SHALOM-K-EDGE-BATCH",
+            entry: "shalom_kernels::edge::edge_kernel_batched",
+            summary: "edge-lattice tile update, Figure 6a batched schedule",
+            align_elem_bytes: core::mem::align_of::<f32>(),
+            no_alias: &[("c", "a"), ("c", "b")],
+            footprint: main_footprint,
+        },
+        KernelContract {
+            id: KernelId::NtPackKernel,
+            tag: "SHALOM-K-NT",
+            entry: "shalom_kernels::nt_pack::nt_pack_kernel",
+            summary: "Algorithm 3 inner-product compute + Bc scatter (7x3)",
+            align_elem_bytes: core::mem::align_of::<f32>(),
+            no_alias: &[
+                ("c", "a"),
+                ("c", "b"),
+                ("bc", "a"),
+                ("bc", "b"),
+                ("bc", "c"),
+            ],
+            footprint: nt_kernel_footprint,
+        },
+        KernelContract {
+            id: KernelId::NtPackPanel,
+            tag: "SHALOM-K-NT-PANEL",
+            entry: "shalom_kernels::nt_pack::nt_pack_panel",
+            summary: "full kc x nr Bc panel fill + C update via nt_pack_kernel",
+            align_elem_bytes: core::mem::align_of::<f32>(),
+            no_alias: &[
+                ("c", "a"),
+                ("c", "b"),
+                ("bc", "a"),
+                ("bc", "b"),
+                ("bc", "c"),
+            ],
+            footprint: nt_panel_footprint,
+        },
+        KernelContract {
+            id: KernelId::PackCopy,
+            tag: "SHALOM-K-PACK-COPY",
+            entry: "shalom_kernels::pack::pack_copy",
+            summary: "strided rows x cols block copy",
+            align_elem_bytes: core::mem::align_of::<f32>(),
+            no_alias: &[("dst", "src")],
+            footprint: pack_copy_footprint,
+        },
+        KernelContract {
+            id: KernelId::PackTranspose,
+            tag: "SHALOM-K-PACK-TRANS",
+            entry: "shalom_kernels::pack::pack_transpose",
+            summary: "strided rows x cols block transpose",
+            align_elem_bytes: core::mem::align_of::<f32>(),
+            no_alias: &[("dst", "src")],
+            footprint: pack_transpose_footprint,
+        },
+        KernelContract {
+            id: KernelId::PackASliversGoto,
+            tag: "SHALOM-K-PACK-A",
+            entry: "shalom_kernels::pack::pack_a_slivers_goto",
+            summary: "Goto sliver-major A pack with zero padding",
+            align_elem_bytes: core::mem::align_of::<f32>(),
+            no_alias: &[("dst", "a")],
+            footprint: pack_a_goto_footprint,
+        },
+        KernelContract {
+            id: KernelId::PackBSliversGoto,
+            tag: "SHALOM-K-PACK-B",
+            entry: "shalom_kernels::pack::pack_b_slivers_goto",
+            summary: "Goto sliver-major B pack with zero padding",
+            align_elem_bytes: core::mem::align_of::<f32>(),
+            no_alias: &[("dst", "b")],
+            footprint: pack_b_goto_footprint,
+        },
+    ]
+}
+
+/// Look up a contract by id.
+///
+/// # Panics
+/// If the id is missing from [`registry`] (an audit bug, not a runtime
+/// condition).
+pub fn find(id: KernelId) -> KernelContract {
+    registry()
+        .into_iter()
+        .find(|c| c.id == id)
+        .unwrap_or_else(|| panic!("no contract registered for {id:?}"))
+}
+
+/// Every tag a `// SAFETY:` comment may reference: the kernel contract
+/// tags plus the composite driver-layer tags.
+pub fn known_tags() -> Vec<&'static str> {
+    registry()
+        .iter()
+        .map(|c| c.tag)
+        .chain(DRIVER_TAGS.iter().copied())
+        .collect()
+}
+
+/// The hardwired tile each contract family is instantiated at, per lane
+/// width, with the constraints it must satisfy.
+fn shipped_tiles() -> Vec<(&'static str, TileConstraints, usize, usize)> {
+    vec![
+        (
+            "main f32 (7x12, j=4)",
+            TileConstraints::armv8(4),
+            MR,
+            NR_F32,
+        ),
+        ("main f64 (7x6, j=2)", TileConstraints::armv8(2), MR, NR_F64),
+        (
+            "wide f32 (9x16, j=8)",
+            TileConstraints::sve(256, 32),
+            shalom_kernels::wide::WIDE_MR_F32,
+            shalom_kernels::wide::WIDE_NR_F32,
+        ),
+        (
+            "wide f64 (7x12, j=4)",
+            TileConstraints::sve(256, 64),
+            shalom_kernels::wide::WIDE_MR_F64,
+            shalom_kernels::wide::WIDE_NR_F64,
+        ),
+    ]
+}
+
+/// Cross-check: every shipped kernel tile equals the §5.2 solver's answer
+/// for its lane width, fits the Eq. 1 register budget
+/// (`mr + nr/j + mr*nr/j <= 31`), and any inflation of the tile is
+/// rejected by [`TileConstraints::feasible`]. Returns human-readable
+/// violations (empty = clean).
+pub fn audit_tile_contracts() -> Vec<String> {
+    let mut out = Vec::new();
+    for (label, cons, mr, nr) in shipped_tiles() {
+        let solved = solve_tile(&cons);
+        if (solved.mr, solved.nr) != (mr, nr) {
+            out.push(format!(
+                "{label}: contract tile {mr}x{nr} != solver tile {}x{}",
+                solved.mr, solved.nr
+            ));
+        }
+        let shape = TileShape {
+            mr,
+            nr,
+            cmr: shalom_kernels::tile::cmr(mr, nr),
+        };
+        let used = shape.registers_used(&cons);
+        if used > cons.budget() {
+            out.push(format!(
+                "{label}: contract tile uses {used} registers, budget is {}",
+                cons.budget()
+            ));
+        }
+        if !cons.feasible(mr, nr) {
+            out.push(format!(
+                "{label}: solver rejects the shipped tile {mr}x{nr}"
+            ));
+        }
+        // The boundary must hold: a contract one row or one vector column
+        // larger must be rejected, otherwise `feasible` has drifted from
+        // the Eq. 1 budget and an oversized contract could slip through.
+        if cons.feasible(mr + 1, nr) && shape_regs(mr + 1, nr, &cons) > cons.budget() {
+            out.push(format!(
+                "{label}: feasible() accepts over-budget {mr_1}x{nr}",
+                mr_1 = mr + 1
+            ));
+        }
+    }
+    out
+}
+
+fn shape_regs(mr: usize, nr: usize, c: &TileConstraints) -> usize {
+    TileShape {
+        mr,
+        nr,
+        cmr: shalom_kernels::tile::cmr(mr, nr),
+    }
+    .registers_used(c)
+}
+
+/// Cross-check against the §4 packing plan: the packed-B extents the
+/// fused/streamed/NT contracts declare must fit the driver's per-panel
+/// `Bc` budget. `gemm_serial` allocates `2 * kc * nr` elements (a double
+/// buffer of `kc x nr` panels, enabling the `t = 1` lookahead) and hands
+/// each kernel one half, so every declared packed write must fit inside
+/// one `kc * nr` half, and lookahead destinations must fit the other.
+pub fn audit_pack_plan() -> Vec<String> {
+    let mut out = Vec::new();
+    for lanes in [4usize, 2] {
+        let nr = NR_VECS * lanes;
+        for kc in [0usize, 1, 7, 64, 256] {
+            let half = kc * nr;
+            let fused = find(KernelId::MainKernelFusedPack);
+            let p = KernelParams {
+                m: MR,
+                n: nr,
+                kc,
+                lanes,
+                lda: kc,
+                ldb: 2 * nr,
+                ldc: nr,
+                nr,
+                ahead: true,
+                ..Default::default()
+            };
+            for name in ["bc", "ahead_dst"] {
+                let ext = fused.operand(&p, name).extent();
+                if ext > half {
+                    out.push(format!(
+                        "fused {name} extent {ext} exceeds Bc half {half} (kc={kc}, nr={nr})"
+                    ));
+                }
+            }
+            let streamed = find(KernelId::MainKernelStreamed);
+            let sp = KernelParams {
+                m: MR,
+                n: nr,
+                kc,
+                lanes,
+                lda: kc,
+                ldc: nr,
+                nr,
+                stream_rows: kc,
+                stream_ld: 2 * nr,
+                ..Default::default()
+            };
+            let read_ext = streamed.operand(&sp, "bc_packed").extent();
+            if read_ext > half {
+                out.push(format!(
+                    "streamed bc_packed extent {read_ext} exceeds Bc half {half} (kc={kc})"
+                ));
+            }
+            let panel = find(KernelId::NtPackPanel);
+            let np = KernelParams {
+                m: MR,
+                n: nr,
+                kc,
+                lanes,
+                lda: kc,
+                ldb: kc,
+                ldc: nr,
+                nr,
+                ..Default::default()
+            };
+            let bc_ext = panel.operand(&np, "bc").extent();
+            if bc_ext != half {
+                out.push(format!(
+                    "nt panel bc extent {bc_ext} != full panel {half} (kc={kc}, nr={nr}): \
+                     downstream main-kernel reads of the panel would see undefined columns"
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// A representative, fully non-degenerate parameter assignment for `id`,
+/// used by the registry audit and by the `audit` binary's byte-interval
+/// table. All strides are distinct and larger than the widths they cover
+/// so span arithmetic mistakes show up as overlaps.
+pub fn representative_params(id: KernelId) -> KernelParams {
+    let mut p = KernelParams {
+        m: MR,
+        n: NR_F32,
+        kc: 5,
+        lanes: 4,
+        lda: 7,
+        ldb: 29,
+        ldc: 13,
+        nr: NR_F32,
+        jcol: 2,
+        ahead: true,
+        stream_rows: 6,
+        stream_ld: 17,
+        mr_sliver: 4,
+    };
+    // jcol + bcols <= nr must hold for the NT scatter kernel contract.
+    if id == KernelId::NtPackKernel {
+        p.n = 3;
+    }
+    // The plain packers read `n`-wide rows at stride `lda` (the main
+    // kernels read `kc`-wide rows there), so their source stride must
+    // clear the row width for the spans to be disjoint.
+    if matches!(id, KernelId::PackCopy | KernelId::PackTranspose) {
+        p.lda = 15;
+    }
+    p
+}
+
+/// Structural sanity of the registry itself: ids and tags unique, every
+/// `no_alias` pair names declared operands, spans of a single operand
+/// never overlap, and read extents stay within the strides' envelope.
+pub fn audit_registry() -> Vec<String> {
+    let mut out = Vec::new();
+    let regs = registry();
+    for (i, a) in regs.iter().enumerate() {
+        for b in regs.iter().skip(i + 1) {
+            if a.id == b.id {
+                out.push(format!("duplicate contract id {:?}", a.id));
+            }
+            if a.tag == b.tag {
+                out.push(format!("duplicate contract tag {}", a.tag));
+            }
+        }
+    }
+    for c in &regs {
+        let params = representative_params(c.id);
+        let fps = c.footprint(&params);
+        for (x, y) in c.no_alias {
+            for name in [x, y] {
+                if !fps.iter().any(|f| &f.name == name) {
+                    out.push(format!(
+                        "{}: no_alias references undeclared operand `{name}`",
+                        c.tag
+                    ));
+                }
+            }
+        }
+        for f in &fps {
+            let mut spans = f.spans.clone();
+            spans.sort_by_key(|s| s.offset);
+            for w in spans.windows(2) {
+                if w[0].end() > w[1].offset {
+                    out.push(format!(
+                        "{}: operand `{}` has overlapping spans {} and {}",
+                        c.tag, f.name, w[0], w[1]
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_id_is_registered_once() {
+        assert!(audit_registry().is_empty());
+        assert_eq!(registry().len(), 11);
+    }
+
+    #[test]
+    fn tile_cross_check_is_clean() {
+        assert!(audit_tile_contracts().is_empty());
+    }
+
+    #[test]
+    fn pack_plan_cross_check_is_clean() {
+        assert!(audit_pack_plan().is_empty());
+    }
+
+    #[test]
+    fn main_footprint_matches_hand_calculation() {
+        let c = find(KernelId::MainKernel);
+        let p = KernelParams {
+            m: 7,
+            n: 12,
+            kc: 9,
+            lanes: 4,
+            lda: 11,
+            ldb: 14,
+            ldc: 12,
+            ..Default::default()
+        };
+        let a = c.operand(&p, "a");
+        assert_eq!(a.spans.len(), 7);
+        assert_eq!(a.extent(), 6 * 11 + 9);
+        let b = c.operand(&p, "b");
+        assert_eq!(b.spans.len(), 9);
+        assert_eq!(b.extent(), 8 * 14 + 12);
+        let cc = c.operand(&p, "c");
+        assert_eq!(cc.extent(), 6 * 12 + 12);
+        assert!(cc.complete);
+    }
+
+    #[test]
+    fn degenerate_k_touches_only_c() {
+        let c = find(KernelId::MainKernel);
+        let p = KernelParams {
+            m: 7,
+            n: 12,
+            kc: 0,
+            lanes: 4,
+            lda: 1,
+            ldb: 12,
+            ldc: 12,
+            ..Default::default()
+        };
+        assert_eq!(c.operand(&p, "a").extent(), 0);
+        assert_eq!(c.operand(&p, "b").extent(), 0);
+        assert_eq!(c.operand(&p, "c").extent(), 84);
+    }
+
+    #[test]
+    fn nt_scatter_footprint_is_column_slice() {
+        let c = find(KernelId::NtPackKernel);
+        let p = KernelParams {
+            m: 5,
+            n: 3,
+            kc: 4,
+            lanes: 2,
+            lda: 4,
+            ldb: 4,
+            ldc: 6,
+            nr: 6,
+            jcol: 3,
+            ..Default::default()
+        };
+        let bc = c.operand(&p, "bc");
+        assert_eq!(bc.spans.len(), 4);
+        assert_eq!(bc.spans[0].offset, 3);
+        assert_eq!(bc.spans[0].len, 3);
+        assert_eq!(bc.extent(), 3 * 6 + 6);
+        let cc = c.operand(&p, "c");
+        assert_eq!(cc.spans[0].offset, 3);
+    }
+}

@@ -1,0 +1,52 @@
+//! Tier-1 entry point for the audit subsystem: registry cross-checks,
+//! the unsafe-hygiene lint, and the shadow-memory conformance harness in
+//! its cheap configuration (`cargo test -q` runs this on every change;
+//! CI's `audit` job additionally runs the exhaustive `--full` lattice).
+
+use shalom_contracts::harness::{run_conformance, HarnessConfig};
+use shalom_contracts::lint::{lint_repo, repo_root, LintConfig};
+use shalom_contracts::registry::{audit_pack_plan, audit_registry, audit_tile_contracts};
+
+#[test]
+fn registry_audits_are_clean() {
+    for (name, problems) in [
+        ("registry", audit_registry()),
+        ("tile", audit_tile_contracts()),
+        ("pack-plan", audit_pack_plan()),
+    ] {
+        assert!(problems.is_empty(), "{name} audit failed:\n{problems:#?}");
+    }
+}
+
+#[test]
+fn unsafe_hygiene_lint_is_clean() {
+    let v = lint_repo(&repo_root(), &LintConfig::repo_default());
+    assert!(
+        v.is_empty(),
+        "unsafe-hygiene violations:\n{}",
+        v.iter().map(|x| format!("  {x}\n")).collect::<String>()
+    );
+}
+
+#[test]
+fn shadow_conformance_cheap_sweep_passes() {
+    let report = run_conformance(&HarnessConfig::cheap());
+    assert!(
+        report.ok(),
+        "shadow conformance violations ({} of {} cases):\n{}",
+        report.violations.len(),
+        report.cases,
+        report
+            .violations
+            .iter()
+            .map(|v| format!("  {v}\n"))
+            .collect::<String>()
+    );
+    // The cheap sweep must still cover the whole edge lattice and every
+    // kernel family — guard against a refactor silently shrinking it.
+    assert!(
+        report.cases > 500,
+        "cheap sweep shrank to {} cases",
+        report.cases
+    );
+}

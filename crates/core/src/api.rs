@@ -47,6 +47,9 @@ pub fn gemm_with<T: GemmElem>(
         Op::Trans => a.rows(),
     };
     reference::check_dims(op_a, op_b, m, n, k, &a, &b);
+    // SAFETY: SHALOM-D-DRIVER — the MatRef/MatMut views guarantee every
+    // operand covers its full (rows, cols, ld) footprint, and check_dims
+    // has validated the shapes against (op_a, op_b, m, n, k).
     unsafe {
         gemm_parallel::<T::Vec>(
             cfg,
@@ -304,6 +307,7 @@ mod tests {
             0.0,
             c_view.as_mut(),
         );
+        // SAFETY: a/b/c_raw are owned matrices shaped (15x18, 18x22, 15x22).
         unsafe {
             dgemm_raw(
                 &cfg,

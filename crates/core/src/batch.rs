@@ -79,6 +79,8 @@ pub fn gemm_batch_beta<T: GemmElem>(
             Op::NoTrans => it.a.cols(),
             Op::Trans => it.a.rows(),
         };
+        // SAFETY: SHALOM-D-DRIVER — each item's MatRef/MatMut views cover
+        // their full footprints and check_dims validated every shape above.
         WORKSPACE.with(|ws| unsafe {
             gemm_serial::<T::Vec>(
                 cfg,
@@ -295,6 +297,7 @@ mod tests {
         let bbuf = Matrix::<f32>::random(count * k, n, 8);
         let mut cbuf1 = vec![0f32; count * m * n];
         let cfg = GemmConfig::with_threads(2);
+        // SAFETY: abuf/bbuf/cbuf1 hold `count` dense (m, n, k) problems.
         unsafe {
             gemm_batch_strided::<f32>(
                 &cfg,

@@ -233,6 +233,7 @@ mod tests {
             0.5,
             want.as_mut(),
         );
+        // SAFETY: a/b/c are owned matrices shaped (m, n, k).
         let rc = unsafe {
             shalom_sgemm(
                 SHALOM_NO_TRANS,
@@ -271,6 +272,7 @@ mod tests {
             0.0,
             want.as_mut(),
         );
+        // SAFETY: a/b/c are owned matrices stored for the Trans ops.
         let rc = unsafe {
             shalom_dgemm(
                 SHALOM_TRANS,
@@ -295,6 +297,7 @@ mod tests {
 
     #[test]
     fn invalid_trans_code_rejected() {
+        // SAFETY: the invalid trans code is rejected before any deref.
         let rc = unsafe {
             shalom_sgemm(
                 999,
@@ -320,6 +323,7 @@ mod tests {
     fn null_pointer_rejected() {
         let b = [0f32; 4];
         let mut c = [0f32; 4];
+        // SAFETY: the null A pointer is rejected before any deref.
         let rc = unsafe {
             shalom_sgemm(
                 SHALOM_NO_TRANS,
@@ -345,6 +349,7 @@ mod tests {
     fn zero_sized_with_null_ok() {
         // m*k == 0 permits null A (BLAS degenerate-call convention).
         let mut c = [5f32; 4];
+        // SAFETY: k = 0 means A/B are never read; c covers the 2x2 block.
         let rc = unsafe {
             shalom_sgemm(
                 SHALOM_NO_TRANS,
@@ -373,6 +378,7 @@ mod tests {
         let a = Matrix::<f32>::random(count * m, k, 4);
         let b = Matrix::<f32>::random(count * k, n, 5);
         let mut c = vec![0f32; count * m * n];
+        // SAFETY: a/b/c hold `count` dense (m, n, k) problems back to back.
         let rc = unsafe {
             shalom_sgemm_batch_strided(
                 SHALOM_NO_TRANS,

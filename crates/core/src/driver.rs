@@ -324,6 +324,11 @@ pub(crate) unsafe fn gemm_serial<V: Vector>(
 }
 
 /// `C = beta * C` over an `m x n` block.
+///
+/// # Safety
+/// `c` must be valid for reads and writes of every row `i in 0..m` at
+/// `c + i * ldc`, each `n` elements wide (the C sub-block of the
+/// SHALOM-D-DRIVER operand contract).
 unsafe fn scale_c<V: Vector>(m: usize, n: usize, beta: V::Elem, c: *mut V::Elem, ldc: usize) {
     if beta == V::Elem::ONE {
         return;
@@ -343,6 +348,12 @@ unsafe fn scale_c<V: Vector>(m: usize, n: usize, beta: V::Elem, c: *mut V::Elem,
 }
 
 /// Runs the selected edge kernel.
+///
+/// # Safety
+/// As the edge kernels' contracts (SHALOM-K-EDGE-PIPE /
+/// SHALOM-K-EDGE-BATCH): `a`/`b`/`c` must cover an `m x kc` block at
+/// stride `lda`, a `kc x n` block at stride `ldb` and an `m x n` block
+/// at stride `ldc` respectively, with `m <= MR` and `n <= nr`.
 #[allow(clippy::too_many_arguments)]
 #[inline]
 unsafe fn edge<V: Vector>(
@@ -371,6 +382,12 @@ unsafe fn edge<V: Vector>(
 
 /// Updates rows `i0..mcur` of one `nr`-wide C panel from a packed (or
 /// direct) B panel using main + edge kernels.
+///
+/// # Safety
+/// Inherits the SHALOM-D-DRIVER block contract: `a_blk` covers rows
+/// `0..mcur` x `kcur` at stride `lda`, `bsrc` covers `kcur` rows of
+/// `ncols` elements at stride `ldb`, and `c_panel` covers `mcur` rows
+/// of `ncols` elements at stride `ldc`, with `ncols <= nr`.
 #[allow(clippy::too_many_arguments)]
 unsafe fn sweep_rows<V: Vector>(
     cfg: &GemmConfig,
@@ -429,6 +446,13 @@ unsafe fn sweep_rows<V: Vector>(
 
 /// One `(ii, kk)` block of the NN driver: the `j` loop over `nr`-wide
 /// panels with the resolved B plan.
+///
+/// # Safety
+/// Inherits the SHALOM-D-DRIVER block contract: `a_blk` covers
+/// `mcur x kcur` at stride `lda`, `b_blk` covers `kcur x ncur` at
+/// stride `ldb`, `c_blk` covers `mcur x ncur` at stride `ldc`, and
+/// `bc` points to workspace for two `kc_max x nr` packed panels
+/// (the double buffer for the t = 1 lookahead).
 #[allow(clippy::too_many_arguments)]
 unsafe fn nn_block<V: Vector>(
     cfg: &GemmConfig,
@@ -553,6 +577,13 @@ unsafe fn nn_block<V: Vector>(
 
 /// One `(ii, kk)` block of the NT driver: B stored `N x K`; every panel is
 /// packed, fused (Algorithm 3) or sequentially (ablation).
+///
+/// # Safety
+/// Inherits the SHALOM-D-DRIVER block contract with B transposed:
+/// `a_blk` covers `mcur x kcur` at stride `lda`, `b_blk` covers `ncur`
+/// stored rows of `kcur` elements at stride `ldb`, `c_blk` covers
+/// `mcur x ncur` at stride `ldc`, and `bc` holds one `kc_max x nr`
+/// packed panel.
 #[allow(clippy::too_many_arguments)]
 unsafe fn nt_block<V: Vector>(
     cfg: &GemmConfig,
@@ -663,6 +694,7 @@ mod tests {
             want.as_mut(),
         );
         let mut ws = Workspace::new();
+        // SAFETY: operands are owned Matrix buffers shaped for (op, m, n, k).
         unsafe {
             gemm_serial::<V>(
                 cfg,
@@ -826,6 +858,7 @@ mod tests {
         let b = Matrix::<f32>::random(6, 14, 2);
         let mut c = Matrix::<f32>::zeros(10, 14);
         let mut ws = Workspace::new();
+        // SAFETY: a (10x6), b (6x14) and c (10x14) are owned matrices.
         unsafe {
             gemm_serial::<F32x4>(
                 &cfg,
@@ -873,6 +906,7 @@ mod tests {
             want.as_mut(),
         );
         let mut ws = Workspace::new();
+        // SAFETY: matrices allocated with oversized leading dimensions.
         unsafe {
             gemm_serial::<F32x4>(
                 &cfg,

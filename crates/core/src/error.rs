@@ -286,6 +286,8 @@ mod tests {
     fn zero_stride_rejected() {
         // ld == 0 on a multi-row view: every row aliases the first.
         let abuf = [1.0f32; 4];
+        // SAFETY: deliberately bogus ld = 0 view; never dereferenced
+        // because validation rejects it first.
         let a = unsafe { shalom_matrix::MatRef::from_raw_parts(abuf.as_ptr(), 3, 4, 0) };
         let b = Matrix::<f32>::random(4, 2, 2);
         let mut c = Matrix::<f32>::zeros(3, 2);
@@ -315,6 +317,7 @@ mod tests {
         let a = Matrix::<f32>::random(3, 4, 1);
         let b = Matrix::<f32>::random(4, 2, 2);
         let mut cbuf = vec![0.0f32; 16];
+        // SAFETY: short-stride view is rejected before any element access.
         let c = unsafe { shalom_matrix::MatMut::from_raw_parts(cbuf.as_mut_ptr(), 3, 2, 1) };
         let err = try_gemm_with(
             &GemmConfig::with_threads(1),
@@ -341,6 +344,7 @@ mod tests {
     fn single_row_any_stride_ok() {
         // ld < cols is harmless on one-row views: ld never dereferenced.
         let abuf = [1.0f32; 4];
+        // SAFETY: single-row view — ld is never used, abuf covers row 0.
         let a = unsafe { shalom_matrix::MatRef::from_raw_parts(abuf.as_ptr(), 1, 4, 0) };
         let b = Matrix::<f32>::random(4, 2, 2);
         let mut c = Matrix::<f32>::zeros(1, 2);
@@ -362,6 +366,8 @@ mod tests {
         // One buffer serves as both A and C: in-place GEMM is not
         // supported and must be reported, not computed.
         let mut buf = vec![1.0f32; 4 * 4];
+        // SAFETY: aliasing views are intentional; overlap validation
+        // rejects the call before any kernel touches them.
         let a = unsafe { shalom_matrix::MatRef::from_raw_parts(buf.as_ptr(), 4, 4, 4) };
         let c = unsafe { shalom_matrix::MatMut::from_raw_parts(buf.as_mut_ptr(), 4, 4, 4) };
         let b = Matrix::<f32>::random(4, 4, 2);
@@ -383,6 +389,8 @@ mod tests {
     fn overlap_with_b_detected_even_partial() {
         // C starts midway through B's buffer: partial overlap still errs.
         let mut buf = vec![1.0f32; 64];
+        // SAFETY: partially-overlapping views are intentional; overlap
+        // validation rejects the call before any kernel touches them.
         let b = unsafe { shalom_matrix::MatRef::from_raw_parts(buf.as_ptr(), 4, 4, 4) };
         let c = unsafe { shalom_matrix::MatMut::from_raw_parts(buf.as_mut_ptr().add(8), 4, 4, 4) };
         let a = Matrix::<f32>::random(4, 4, 3);
@@ -404,6 +412,8 @@ mod tests {
     fn disjoint_views_in_one_buffer_ok() {
         // A and B share a parent allocation with C fully disjoint.
         let buf = vec![1.0f32; 64];
+        // SAFETY: both read-only views lie fully inside buf (offsets 0
+        // and 16, 4x4 each at ld = 4).
         let a = unsafe { shalom_matrix::MatRef::from_raw_parts(buf.as_ptr(), 4, 4, 4) };
         let b = unsafe { shalom_matrix::MatRef::from_raw_parts(buf.as_ptr().add(16), 4, 4, 4) };
         let mut c = Matrix::<f32>::zeros(4, 4);

@@ -67,11 +67,16 @@ pub fn quantized_chunks(len: usize, parts: usize, quantum: usize) -> Vec<(usize,
 /// disjoint by construction).
 #[derive(Clone, Copy)]
 struct SendPtr<T>(*mut T);
+// SAFETY: SHALOM-D-SEND — the C partition gives each thread a disjoint
+// sub-block, so concurrent writes through the shared base never alias.
 unsafe impl<T> Send for SendPtr<T> {}
+// SAFETY: SHALOM-D-SEND — see above; shared reads of the base are fine.
 unsafe impl<T> Sync for SendPtr<T> {}
 #[derive(Clone, Copy)]
 struct SendConstPtr<T>(*const T);
+// SAFETY: SHALOM-D-SEND — A and B are read-only for the whole scope.
 unsafe impl<T> Send for SendConstPtr<T> {}
+// SAFETY: SHALOM-D-SEND — read-only; concurrent reads never conflict.
 unsafe impl<T> Sync for SendConstPtr<T> {}
 
 /// Multi-threaded `C = alpha * op(A)*op(B) + beta * C`: partitions C per

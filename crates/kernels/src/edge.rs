@@ -201,7 +201,14 @@ pub unsafe fn edge_kernel_pipelined<V: Vector>(
     c: *mut V::Elem,
     ldc: usize,
 ) {
+    // Contract SHALOM-K-EDGE-PIPE preconditions.
     debug_assert!((1..=MR).contains(&m) && n >= 1 && n <= NR_VECS * V::LANES);
+    debug_assert!(!c.is_null() && (m <= 1 || ldc >= n));
+    if kc > 0 {
+        debug_assert!(!a.is_null() && !b.is_null());
+        debug_assert!(m <= 1 || lda >= kc);
+        debug_assert!(kc <= 1 || ldb >= n);
+    }
     let nv = n / V::LANES;
     let ns = n % V::LANES;
     dispatch_m!(
@@ -233,7 +240,14 @@ pub unsafe fn edge_kernel_batched<V: Vector>(
     c: *mut V::Elem,
     ldc: usize,
 ) {
+    // Contract SHALOM-K-EDGE-BATCH preconditions.
     debug_assert!((1..=MR).contains(&m) && n >= 1 && n <= NR_VECS * V::LANES);
+    debug_assert!(!c.is_null() && (m <= 1 || ldc >= n));
+    if kc > 0 {
+        debug_assert!(!a.is_null() && !b.is_null());
+        debug_assert!(m <= 1 || lda >= kc);
+        debug_assert!(kc <= 1 || ldb >= n);
+    }
     let nv = n / V::LANES;
     let ns = n % V::LANES;
     dispatch_m!(
@@ -286,6 +300,7 @@ mod tests {
             beta,
             want.as_mut().submatrix_mut(0, 0, m, n),
         );
+        // SAFETY: matrices are allocated at least m x kc / kc x n / m x n.
         unsafe {
             f(
                 m,
@@ -361,6 +376,7 @@ mod tests {
         let orig = c.clone();
         let a = Matrix::<f32>::zeros(3, 1);
         let b = Matrix::<f32>::zeros(1, 5);
+        // SAFETY: kc = 0 touches only c, which is owned and 3x5.
         unsafe {
             edge_kernel_pipelined::<F32x4>(
                 3,

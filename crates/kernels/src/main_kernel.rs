@@ -78,6 +78,15 @@ pub unsafe fn main_kernel_shape<V: Vector, const MR_: usize, const NRV_: usize>(
     c: *mut V::Elem,
     ldc: usize,
 ) {
+    // Contract SHALOM-K-MAIN preconditions (registry cross-checked; the
+    // full footprint is validated by the shadow-memory harness).
+    debug_assert!(!c.is_null());
+    debug_assert!(MR_ <= 1 || ldc >= NRV_ * V::LANES);
+    if kc > 0 {
+        debug_assert!(!a.is_null() && !b.is_null());
+        debug_assert!(MR_ <= 1 || lda >= kc);
+        debug_assert!(kc <= 1 || ldb >= NRV_ * V::LANES);
+    }
     let mut acc = [[V::zero(); NRV_]; MR_];
     let mut k = 0usize;
     // Full j-wide iteration groups: vector loads of A rows.
@@ -140,6 +149,7 @@ pub unsafe fn main_kernel<V: Vector>(
     c: *mut V::Elem,
     ldc: usize,
 ) {
+    debug_assert!(!c.is_null() && ldc >= NR_VECS * V::LANES);
     main_kernel_shape::<V, MR, NR_VECS>(kc, alpha, a, lda, b, ldb, beta, c, ldc)
 }
 
@@ -186,6 +196,16 @@ pub unsafe fn main_kernel_fused_pack<V: Vector>(
     ahead: Option<PackAhead<V::Elem>>,
 ) {
     let nr = NR_VECS * V::LANES;
+    // Contract SHALOM-K-FUSED preconditions.
+    debug_assert!(!c.is_null() && ldc >= nr);
+    if kc > 0 {
+        debug_assert!(!a.is_null() && !b.is_null() && !bc.is_null());
+        debug_assert!(lda >= kc);
+        debug_assert!(kc <= 1 || ldb >= nr);
+    }
+    if let Some(p) = ahead {
+        debug_assert!(kc == 0 || (!p.src.is_null() && !p.dst.is_null()));
+    }
     let mut acc = [[V::zero(); NR_VECS]; MR];
     let mut k = 0usize;
     while k + V::LANES <= kc {
@@ -292,6 +312,15 @@ pub unsafe fn main_kernel_streamed<V: Vector>(
     stream: Option<StreamCopy<V::Elem>>,
 ) {
     let nr = NR_VECS * V::LANES;
+    // Contract SHALOM-K-STREAM preconditions.
+    debug_assert!(!c.is_null() && ldc >= nr);
+    if kc > 0 {
+        debug_assert!(!a.is_null() && !bc_packed.is_null() && lda >= kc);
+    }
+    if let Some(s) = stream {
+        debug_assert!(s.rows == 0 || (!s.src.is_null() && !s.dst.is_null()));
+        debug_assert!(s.rows <= 1 || s.src_ld >= nr);
+    }
     let mut acc = [[V::zero(); NR_VECS]; MR];
     let mut k = 0usize;
     while k + V::LANES <= kc {
@@ -396,6 +425,7 @@ mod tests {
             beta,
             want.as_mut(),
         );
+        // SAFETY: a/b/c are owned matrices sized exactly to the tile.
         unsafe {
             main_kernel::<V>(
                 kc,
@@ -455,6 +485,7 @@ mod tests {
         let a = Matrix::<f32>::random(MR, kc, 1);
         let b = Matrix::<f32>::random(kc, nr, 2);
         let mut c = Matrix::from_fn(MR, nr, |_, _| f32::NAN);
+        // SAFETY: a/b/c are owned matrices sized exactly to the tile.
         unsafe {
             main_kernel::<F32x4>(
                 kc,
@@ -482,6 +513,7 @@ mod tests {
         let b = Matrix::<f32>::zeros(1, nr);
         let mut c = Matrix::<f32>::random(MR, nr, 9);
         let orig = c.clone();
+        // SAFETY: kc = 0 touches only c, which is owned and tile-sized.
         unsafe {
             main_kernel::<F32x4>(
                 0,
@@ -519,6 +551,7 @@ mod tests {
                 V::Elem::ZERO,
                 want.as_mut(),
             );
+            // SAFETY: matrices sized exactly to the MR_ x NRV_ tile.
             unsafe {
                 main_kernel_shape::<V, MR_, NRV_>(
                     kc,
@@ -564,10 +597,13 @@ mod tests {
         );
         let mut bc = vec![V::Elem::ZERO; 2 * kc * nr];
         let (bc_cur, bc_next) = bc.split_at_mut(kc * nr);
+        // SAFETY: b has 2*nr columns when ahead is set, so column nr
+        // starts the second panel; bc halves are kc*nr each; all owned.
         let ahead_req = ahead.then(|| PackAhead {
             src: unsafe { b.as_slice().as_ptr().add(nr) },
             dst: bc_next.as_mut_ptr(),
         });
+        // SAFETY: operands owned and sized to the fused-pack footprint.
         unsafe {
             main_kernel_fused_pack::<V>(
                 kc,
@@ -653,6 +689,8 @@ mod tests {
             dst: dst.as_mut_ptr(),
             rows: copy_rows,
         });
+        // SAFETY: packed panel, stream source, and dst are owned buffers
+        // sized to the streamed kernel's footprint.
         unsafe {
             main_kernel_streamed::<V>(
                 kc,

@@ -173,7 +173,14 @@ pub unsafe fn nt_pack_kernel<V: Vector>(
     ldc: usize,
     bc: *mut V::Elem,
 ) {
+    // Contract SHALOM-K-NT preconditions.
     debug_assert!((1..=MR).contains(&m) && (1..=NT_BCOLS).contains(&bcols) && jcol + bcols <= nr);
+    debug_assert!(!c.is_null() && (m <= 1 || ldc >= jcol + bcols));
+    if kc > 0 {
+        debug_assert!(!a.is_null() && !b.is_null() && !bc.is_null());
+        debug_assert!(m <= 1 || lda >= kc);
+        debug_assert!(bcols <= 1 || ldb >= kc);
+    }
     nt_dispatch!(
         V,
         m,
@@ -205,7 +212,12 @@ pub unsafe fn nt_pack_panel<V: Vector>(
     ldc: usize,
     bc: *mut V::Elem,
 ) {
+    // Contract SHALOM-K-NT-PANEL preconditions; the per-triple checks
+    // are repeated by each nt_pack_kernel call below.
     debug_assert!(npanel <= nr);
+    // The zero-fill below writes the whole kc x nr panel even when
+    // npanel = 0, so bc must be valid whenever the panel is non-empty.
+    debug_assert!(kc == 0 || nr == 0 || !bc.is_null());
     let mut j = 0usize;
     while j < npanel {
         let bcols = NT_BCOLS.min(npanel - j);
@@ -258,6 +270,8 @@ mod tests {
             want.as_mut(),
         );
         let mut bc = vec![V::Elem::from_f64(-7.0); kc * nr];
+        // SAFETY: a/b/c are owned matrices of the declared panel shape
+        // and bc holds the full kc x nr packed panel.
         unsafe {
             nt_pack_panel::<V>(
                 m,

@@ -22,7 +22,12 @@ pub unsafe fn pack_copy<T: Scalar>(
     dst: *mut T,
     ld_dst: usize,
 ) {
+    // Contract SHALOM-K-PACK-COPY preconditions.
     debug_assert!(cols <= ld_dst || rows <= 1);
+    if rows > 0 && cols > 0 {
+        debug_assert!(!src.is_null() && !dst.is_null());
+        debug_assert!(rows <= 1 || ld_src >= cols);
+    }
     for r in 0..rows {
         core::ptr::copy_nonoverlapping(src.add(r * ld_src), dst.add(r * ld_dst), cols);
     }
@@ -45,7 +50,12 @@ pub unsafe fn pack_transpose<T: Scalar>(
     dst: *mut T,
     ld_dst: usize,
 ) {
+    // Contract SHALOM-K-PACK-TRANS preconditions.
     debug_assert!(rows <= ld_dst || cols <= 1);
+    if rows > 0 && cols > 0 {
+        debug_assert!(!src.is_null() && !dst.is_null());
+        debug_assert!(rows <= 1 || ld_src >= cols);
+    }
     for r in 0..rows {
         let srow = src.add(r * ld_src);
         for c in 0..cols {
@@ -76,6 +86,13 @@ pub unsafe fn pack_a_slivers_goto<T: Scalar>(
     mr: usize,
     dst: *mut T,
 ) -> usize {
+    // Contract SHALOM-K-PACK-A preconditions: a positive sliver height
+    // and strides clearing the row width.
+    debug_assert!(mr >= 1);
+    if mc > 0 && kc > 0 {
+        debug_assert!(!a.is_null() && !dst.is_null());
+        debug_assert!(mc <= 1 || lda >= kc);
+    }
     let slivers = mc.div_ceil(mr);
     for s in 0..slivers {
         let base = dst.add(s * mr * kc);
@@ -113,6 +130,12 @@ pub unsafe fn pack_b_slivers_goto<T: Scalar>(
     nr: usize,
     dst: *mut T,
 ) -> usize {
+    // Contract SHALOM-K-PACK-B preconditions.
+    debug_assert!(nr >= 1);
+    if kc > 0 && nc > 0 {
+        debug_assert!(!b.is_null() && !dst.is_null());
+        debug_assert!(kc <= 1 || ldb >= nc);
+    }
     let slivers = nc.div_ceil(nr);
     for s in 0..slivers {
         let base = dst.add(s * kc * nr);
@@ -139,6 +162,7 @@ mod tests {
     fn copy_pack_with_strides() {
         let src = Matrix::<f32>::random_with_ld(4, 6, 9, 1);
         let mut dst = vec![0f32; 4 * 6];
+        // SAFETY: src is 4x6 (ld 9), dst holds 4*6 elements.
         unsafe {
             pack_copy(src.as_slice().as_ptr(), src.ld(), 4, 6, dst.as_mut_ptr(), 6);
         }
@@ -153,6 +177,7 @@ mod tests {
     fn transpose_pack_round_trip() {
         let src = Matrix::<f64>::random(5, 3, 2);
         let mut dst = vec![0f64; 3 * 5];
+        // SAFETY: src is 5x3, dst holds the 3x5 transpose.
         unsafe {
             pack_transpose(src.as_slice().as_ptr(), src.ld(), 5, 3, dst.as_mut_ptr(), 5);
         }
@@ -163,6 +188,7 @@ mod tests {
         }
         // Transposing back recovers the original.
         let mut back = vec![0f64; 5 * 3];
+        // SAFETY: dst is the 3x5 transpose, back holds 5*3 elements.
         unsafe { pack_transpose(dst.as_ptr(), 5, 3, 5, back.as_mut_ptr(), 3) };
         for r in 0..5 {
             for c in 0..3 {
@@ -178,6 +204,7 @@ mod tests {
         let mr = 4;
         let a = Matrix::from_fn(mc, kc, |i, k| (100 * i + k) as f32);
         let mut dst = vec![f32::NAN; mc.div_ceil(mr) * mr * kc];
+        // SAFETY: dst is sized for ceil(mc/mr) padded slivers.
         let slivers = unsafe {
             pack_a_slivers_goto(a.as_slice().as_ptr(), a.ld(), mc, kc, mr, dst.as_mut_ptr())
         };
@@ -204,6 +231,7 @@ mod tests {
         let nr = 3;
         let b = Matrix::from_fn(kc, nc, |k, j| (10 * k + j) as f64);
         let mut dst = vec![f64::NAN; nc.div_ceil(nr) * kc * nr];
+        // SAFETY: dst is sized for ceil(nc/nr) padded slivers.
         let slivers = unsafe {
             pack_b_slivers_goto(b.as_slice().as_ptr(), b.ld(), kc, nc, nr, dst.as_mut_ptr())
         };
@@ -226,6 +254,7 @@ mod tests {
     #[test]
     fn empty_blocks_are_noops() {
         let mut dst = [1.0f32; 4];
+        // SAFETY: rows = cols = 0 means neither pointer is dereferenced.
         unsafe {
             pack_copy(
                 core::ptr::NonNull::<f32>::dangling().as_ptr(),

@@ -75,6 +75,20 @@ impl TileConstraints {
     }
 
     /// True if an `(mr, nr)` tile fits the register file (Eq. 1).
+    ///
+    /// Spelled out, with `j = self.lanes`, the tile is feasible iff
+    ///
+    /// ```text
+    /// nr % j == 0   and   mr + nr/j + mr*(nr/j) <= budget()
+    /// ```
+    ///
+    /// where the left-hand side counts vector registers: `mr` for the
+    /// broadcast column of A, `nr/j` for one row of B, and `mr * nr/j`
+    /// for the resident C tile. On ARMv8 AdvSIMD, `budget()` is
+    /// `32 - 1 = 31` (one register reserved for prefetching), so the
+    /// constraint is exactly `mr + nr/j + mr*nr/j <= 31`. The paper's
+    /// FP32 tile `(7, 12)` at `j = 4` uses `7 + 3 + 21 = 31`, saturating
+    /// the file; `(8, 12)` would need `8 + 3 + 24 = 35` and is rejected.
     pub fn feasible(&self, mr: usize, nr: usize) -> bool {
         mr >= 1
             && nr >= self.lanes
@@ -95,7 +109,11 @@ pub struct TileShape {
 }
 
 impl TileShape {
-    /// Vector registers used by this tile under `c` (LHS of Eq. 1).
+    /// Vector registers used by this tile under `c` — the left-hand side
+    /// of Eq. 1, `mr + nr/j + mr*(nr/j)`: `mr` A-column registers,
+    /// `nr/j` B-row registers and `mr * nr/j` C-accumulator registers.
+    /// A tile is feasible exactly when this does not exceed
+    /// [`TileConstraints::budget`] (31 on ARMv8) and `nr % j == 0`.
     pub fn registers_used(&self, c: &TileConstraints) -> usize {
         self.mr + self.nr / c.lanes + self.mr * (self.nr / c.lanes)
     }
@@ -193,6 +211,34 @@ mod tests {
         assert!(!c.feasible(8, 12));
         // nr must be a multiple of j.
         assert!(!c.feasible(7, 10));
+    }
+
+    #[test]
+    fn over_budget_tiles_are_rejected() {
+        // Regression: `feasible` must agree with `registers_used` — any
+        // tile whose Eq. 1 LHS exceeds the 31-register budget is
+        // infeasible, and every j-aligned tile within budget is feasible.
+        for &lanes in &[4usize, 2] {
+            let c = TileConstraints::armv8(lanes);
+            assert_eq!(c.budget(), 31);
+            for mr in 1..=40 {
+                for nrv in 1..=40 {
+                    let nr = nrv * lanes;
+                    let used = TileShape { mr, nr, cmr: 0.0 }.registers_used(&c);
+                    assert_eq!(
+                        c.feasible(mr, nr),
+                        used <= 31,
+                        "({mr},{nr}) j={lanes}: used={used}"
+                    );
+                }
+            }
+            // Spot checks at the boundary: the paper's tile saturates the
+            // file; adding one row or one vector column overflows it.
+            let (mr, nr) = (7, 3 * lanes);
+            assert!(c.feasible(mr, nr));
+            assert!(!c.feasible(mr + 1, nr));
+            assert!(!c.feasible(mr, nr + lanes));
+        }
     }
 
     #[test]

@@ -66,10 +66,14 @@ impl Vector for F32x4 {
     fn splat(x: f32) -> Self {
         F32x4::splat(x)
     }
+    // SAFETY: SHALOM-V-SIMD — forwarded; the calling kernel's contract
+    // guarantees `ptr` covers `LANES` elements.
     #[inline(always)]
     unsafe fn load(ptr: *const f32) -> Self {
         F32x4::load(ptr)
     }
+    // SAFETY: SHALOM-V-SIMD — forwarded; the calling kernel's contract
+    // guarantees `ptr` covers `LANES` elements.
     #[inline(always)]
     unsafe fn store(self, ptr: *mut f32) {
         F32x4::store(self, ptr)
@@ -117,10 +121,14 @@ impl Vector for F64x2 {
     fn splat(x: f64) -> Self {
         F64x2::splat(x)
     }
+    // SAFETY: SHALOM-V-SIMD — forwarded; the calling kernel's contract
+    // guarantees `ptr` covers `LANES` elements.
     #[inline(always)]
     unsafe fn load(ptr: *const f64) -> Self {
         F64x2::load(ptr)
     }
+    // SAFETY: SHALOM-V-SIMD — forwarded; the calling kernel's contract
+    // guarantees `ptr` covers `LANES` elements.
     #[inline(always)]
     unsafe fn store(self, ptr: *mut f64) {
         F64x2::store(self, ptr)
@@ -166,10 +174,14 @@ impl Vector for F32x8 {
     fn splat(x: f32) -> Self {
         F32x8::splat(x)
     }
+    // SAFETY: SHALOM-V-SIMD — forwarded; the calling kernel's contract
+    // guarantees `ptr` covers `LANES` elements.
     #[inline(always)]
     unsafe fn load(ptr: *const f32) -> Self {
         F32x8::load(ptr)
     }
+    // SAFETY: SHALOM-V-SIMD — forwarded; the calling kernel's contract
+    // guarantees `ptr` covers `LANES` elements.
     #[inline(always)]
     unsafe fn store(self, ptr: *mut f32) {
         F32x8::store(self, ptr)
@@ -212,10 +224,14 @@ impl Vector for F64x4 {
     fn splat(x: f64) -> Self {
         F64x4::splat(x)
     }
+    // SAFETY: SHALOM-V-SIMD — forwarded; the calling kernel's contract
+    // guarantees `ptr` covers `LANES` elements.
     #[inline(always)]
     unsafe fn load(ptr: *const f64) -> Self {
         F64x4::load(ptr)
     }
+    // SAFETY: SHALOM-V-SIMD — forwarded; the calling kernel's contract
+    // guarantees `ptr` covers `LANES` elements.
     #[inline(always)]
     unsafe fn store(self, ptr: *mut f64) {
         F64x4::store(self, ptr)
@@ -273,6 +289,7 @@ mod tests {
     #[test]
     fn generic_helper_roundtrip() {
         fn sum_via<V: Vector>(vals: &[V::Elem]) -> V::Elem {
+            // SAFETY: callers pass slices of exactly LANES elements.
             let v = unsafe { V::load(vals.as_ptr()) };
             v.reduce_sum()
         }

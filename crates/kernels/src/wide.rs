@@ -135,6 +135,9 @@ pub fn gemm_nn_wide<T, V, const MR_: usize, const NRV_: usize>(
     while i < mp {
         let mut j = 0usize;
         while j < np {
+            // SAFETY: SHALOM-K-MAIN — ap/bp/cp are staged tile-multiple
+            // buffers (mp x k, k x np, mp x np), so every MR_ x nr tile
+            // at (i, j) lies fully inside them.
             unsafe {
                 main_kernel_shape::<V, MR_, NRV_>(
                     k,
@@ -216,6 +219,7 @@ mod tests {
             1.0,
             want.as_mut(),
         );
+        // SAFETY: matrices sized exactly to the 9x16 wide tile.
         unsafe {
             wide_kernel_f32(
                 kc,
@@ -248,6 +252,7 @@ mod tests {
             0.0,
             want.as_mut(),
         );
+        // SAFETY: matrices sized exactly to the 7x12 wide tile.
         unsafe {
             wide_kernel_f64(
                 kc,

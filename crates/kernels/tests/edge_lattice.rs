@@ -1,0 +1,153 @@
+//! Exhaustive edge-kernel lattice conformance (§5.4 satellite of the
+//! contract-audit subsystem): every `(mr, nr)` shape the driver can ever
+//! dispatch to an edge kernel — `mr in 1..=7` crossed with
+//! `nr in 1..=12` (FP32) / `1..=6` (FP64) — is checked against the
+//! `f64`-accumulating reference for BOTH edge schedules (pipelined
+//! Fig. 6b and batched Fig. 6a), including the degenerate depths
+//! `k = 0` (pure `beta * C` scaling) and `k = 1` (no loop steady state).
+//!
+//! Unlike the random property tests, this sweep is deterministic and
+//! complete over the lattice, so a regression in any single shape fails
+//! by name rather than by luck of the sampler.
+
+use shalom_kernels::edge::{edge_kernel_batched, edge_kernel_pipelined};
+use shalom_kernels::{Vector, MR, NR_F32, NR_F64};
+use shalom_matrix::{assert_close, gemm_tolerance, reference, Matrix, Op};
+use shalom_simd::{F32x4, F64x2};
+
+/// Depths exercised per lattice point: degenerate (0, 1), below and
+/// above the software-pipeline warm-up, and a non-multiple tail.
+const KCS: [usize; 5] = [0, 1, 2, 5, 9];
+
+#[allow(clippy::too_many_arguments)]
+fn check_one<V: Vector>(
+    pipelined: bool,
+    m: usize,
+    n: usize,
+    kc: usize,
+    alpha: V::Elem,
+    beta: V::Elem,
+    pad: usize,
+    seed: u64,
+) {
+    // Leading dimensions deliberately exceed the logical widths so a
+    // kernel that strides by `n` instead of `ld` is caught.
+    let a = Matrix::<V::Elem>::random_with_ld(m, kc.max(1), kc.max(1) + pad, seed);
+    let b = Matrix::<V::Elem>::random_with_ld(kc.max(1), n, n + pad, seed + 1);
+    let mut c = Matrix::<V::Elem>::random_with_ld(m, n, n + pad, seed + 2);
+    let mut want = c.clone();
+    reference::gemm(
+        Op::NoTrans,
+        Op::NoTrans,
+        alpha,
+        a.as_ref().submatrix(0, 0, m, kc),
+        b.as_ref().submatrix(0, 0, kc, n),
+        beta,
+        want.as_mut(),
+    );
+    // SAFETY: matrices allocated at least m x kc / kc x n / m x n at
+    // their stated leading dimensions.
+    unsafe {
+        let f = if pipelined {
+            edge_kernel_pipelined::<V>
+        } else {
+            edge_kernel_batched::<V>
+        };
+        f(
+            m,
+            n,
+            kc,
+            alpha,
+            a.as_slice().as_ptr(),
+            a.ld(),
+            b.as_slice().as_ptr(),
+            b.ld(),
+            beta,
+            c.as_mut().as_mut_ptr(),
+            c.ld(),
+        );
+    }
+    assert_close(
+        c.as_ref(),
+        want.as_ref(),
+        gemm_tolerance::<V::Elem>(kc, 4.0),
+    );
+}
+
+fn sweep_lattice<V: Vector>(nr_max: usize, alpha: V::Elem, beta: V::Elem) {
+    let mut seed = 0x51aa_u64; // deterministic but distinct per case
+    for pipelined in [true, false] {
+        for m in 1..=MR {
+            for n in 1..=nr_max {
+                for (i, &kc) in KCS.iter().enumerate() {
+                    seed = seed
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(i as u64);
+                    check_one::<V>(pipelined, m, n, kc, alpha, beta, (m + n) % 3, seed);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn f32_full_edge_lattice() {
+    assert_eq!((MR, NR_F32), (7, 12));
+    sweep_lattice::<F32x4>(NR_F32, 1.0, 1.0);
+}
+
+#[test]
+fn f64_full_edge_lattice() {
+    assert_eq!(NR_F64, 6);
+    sweep_lattice::<F64x2>(NR_F64, 1.0, 1.0);
+}
+
+#[test]
+fn f32_lattice_with_scaling() {
+    // alpha != 1 and beta != 1 exercise the writeback scaling paths on
+    // every lattice point.
+    sweep_lattice::<F32x4>(NR_F32, 1.5, -0.5);
+}
+
+#[test]
+fn f64_lattice_with_beta_zero() {
+    // beta = 0 must overwrite C (not read it), on every lattice point.
+    sweep_lattice::<F64x2>(NR_F64, 2.0, 0.0);
+}
+
+#[test]
+fn k_zero_only_scales_c_everywhere() {
+    // At k = 0 the kernels must not touch A or B at all: pass dangling
+    // (non-null, aligned) pointers and verify C = beta * C exactly.
+    for pipelined in [true, false] {
+        for m in 1..=MR {
+            for n in 1..=NR_F32 {
+                let mut c = Matrix::<f32>::random(m, n, (m * 16 + n) as u64);
+                let want: Vec<f32> = c.as_slice().iter().map(|x| 0.25 * x).collect();
+                // SAFETY: kc = 0 — the contracts guarantee A and B are
+                // never dereferenced, so dangling pointers are valid.
+                unsafe {
+                    let f = if pipelined {
+                        edge_kernel_pipelined::<F32x4>
+                    } else {
+                        edge_kernel_batched::<F32x4>
+                    };
+                    f(
+                        m,
+                        n,
+                        0,
+                        7.0,
+                        core::ptr::NonNull::dangling().as_ptr(),
+                        1,
+                        core::ptr::NonNull::dangling().as_ptr(),
+                        n,
+                        0.25,
+                        c.as_mut().as_mut_ptr(),
+                        c.ld(),
+                    );
+                }
+                assert_eq!(c.as_slice(), &want[..], "m={m} n={n} pipelined={pipelined}");
+            }
+        }
+    }
+}

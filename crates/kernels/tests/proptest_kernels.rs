@@ -26,6 +26,7 @@ fn check_main<V: Vector>(kc: usize, pad_a: usize, pad_b: usize, seed: u64) {
         V::Elem::ONE,
         want.as_mut(),
     );
+    // SAFETY: a/b/c are owned matrices covering the 7 x nr tile.
     unsafe {
         main_kernel::<V>(
             kc,
@@ -77,6 +78,7 @@ proptest! {
             -0.5f32,
             want.as_mut(),
         );
+        // SAFETY: matrices allocated at least m x kc / kc x n / m x n.
         unsafe {
             let f = if pipelined { edge_kernel_pipelined::<F32x4> } else { edge_kernel_batched::<F32x4> };
             f(m, n, kc, 1.5, a.as_slice().as_ptr(), a.ld(),
@@ -105,6 +107,7 @@ proptest! {
             want.as_mut(),
         );
         let mut bc = vec![0f64; kc.max(1) * nr];
+        // SAFETY: operands owned; bc holds the full kc x nr panel.
         unsafe {
             nt_pack_panel::<F64x2>(
                 m, npanel, kc, nr, 1.0,
@@ -137,6 +140,7 @@ proptest! {
             1.0f32,
             want.as_mut(),
         );
+        // SAFETY: matrices sized exactly to the 9x16 wide tile.
         unsafe {
             main_kernel_shape::<F32x8, 9, 2>(
                 kc, 1.0, a.as_slice().as_ptr(), a.ld(),
@@ -158,6 +162,7 @@ proptest! {
         let nr = 4;
         let a = Matrix::<f32>::random(mc, kc, seed);
         let mut dst = vec![f32::NAN; mc.div_ceil(mr) * mr * kc];
+        // SAFETY: dst sized for ceil(mc/mr) padded slivers.
         unsafe {
             pack_a_slivers_goto(a.as_slice().as_ptr(), a.ld(), mc, kc, mr, dst.as_mut_ptr());
         }
@@ -176,6 +181,7 @@ proptest! {
         }
         let b = Matrix::<f32>::random(kc, nc, seed + 1);
         let mut bdst = vec![f32::NAN; nc.div_ceil(nr) * kc * nr];
+        // SAFETY: bdst sized for ceil(nc/nr) padded slivers.
         unsafe {
             pack_b_slivers_goto(b.as_slice().as_ptr(), b.ld(), kc, nc, nr, bdst.as_mut_ptr());
         }
@@ -199,6 +205,7 @@ proptest! {
         let src = Matrix::<f64>::random(rows, cols, seed);
         let mut once = vec![0f64; cols * rows];
         let mut twice = vec![0f64; rows * cols];
+        // SAFETY: once/twice hold the transposed shapes exactly.
         unsafe {
             pack_transpose(src.as_slice().as_ptr(), src.ld(), rows, cols, once.as_mut_ptr(), rows);
             pack_transpose(once.as_ptr(), rows, cols, rows, twice.as_mut_ptr(), cols);
@@ -220,6 +227,7 @@ proptest! {
         let b = Matrix::<f32>::random(kc, nr, seed + 1);
         let run = |alpha: f32| {
             let mut c = Matrix::<f32>::zeros(MR, nr);
+            // SAFETY: a/b/c are owned matrices covering the 7 x nr tile.
             unsafe {
                 main_kernel::<F32x4>(
                     kc, alpha, a.as_slice().as_ptr(), a.ld(),

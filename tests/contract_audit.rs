@@ -1,0 +1,54 @@
+//! Tier-1 wiring of the kernel-contract audit subsystem: the registry
+//! audits, the unsafe-hygiene lint and the cheap shadow-memory
+//! conformance sweep all run under the plain workspace `cargo test -q`,
+//! so a contract regression fails the default test gate — not just the
+//! dedicated CI `audit` job (which additionally runs the `--full`
+//! sweep and a miri subset).
+
+use shalom_contracts::{lint_repo, registry, run_conformance, HarnessConfig, LintConfig};
+
+#[test]
+fn registry_audits_pass() {
+    assert!(
+        registry::audit_registry().is_empty(),
+        "contract registry inconsistent"
+    );
+    assert!(
+        registry::audit_tile_contracts().is_empty(),
+        "contracts disagree with the §5.2 tile solver"
+    );
+    assert!(
+        registry::audit_pack_plan().is_empty(),
+        "contracts disagree with the §4 packing plan"
+    );
+}
+
+#[test]
+fn unsafe_hygiene_lint_passes() {
+    let cfg = LintConfig::repo_default();
+    let violations = lint_repo(&shalom_contracts::lint::repo_root(), &cfg);
+    assert!(
+        violations.is_empty(),
+        "unsafe-hygiene violations:\n{}",
+        violations
+            .iter()
+            .map(|v| format!("  {v}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn shadow_conformance_cheap_sweep() {
+    let report = run_conformance(&HarnessConfig::cheap());
+    assert!(
+        report.ok(),
+        "shadow-memory violations:\n{}",
+        report.violations.join("\n")
+    );
+    assert!(
+        report.cases > 500,
+        "sweep unexpectedly small: {}",
+        report.cases
+    );
+}

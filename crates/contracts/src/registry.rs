@@ -61,6 +61,10 @@ pub const DRIVER_TAGS: &[&str] = &[
     "SHALOM-D-FFI",
     // Raw-parts view construction from validated dimensions.
     "SHALOM-D-VIEW",
+    // Persistent-pool job publication in pool.rs: the lifetime-erased
+    // job pointer is dereferenced only while the publisher blocks in
+    // `run`, which waits for every active worker before returning.
+    "SHALOM-D-POOL",
     // Vector trait load/store forwarding (vector.rs): bounds inherited
     // from the calling kernel's contract.
     "SHALOM-V-SIMD",

@@ -149,6 +149,7 @@ pub fn autotune<T: GemmElem>(
                     edge,
                     cache: scaled_cache(&base.cache, num, den),
                     threads: base.threads,
+                    runtime: base.runtime,
                 };
                 let gflops = measure(&config, op_a, op_b, &a, &b, &mut c, flops, 3);
                 candidates.push(Candidate {

@@ -8,13 +8,17 @@
 //! block-sparse pattern and the `libxsmm_gemm_batch` use case.
 //!
 //! [`gemm_batch`] runs `C_i = alpha * op(A_i) * op(B_i) + beta * C_i`
-//! over a set of independent problems with a static block distribution
-//! over fork-join workers, each worker reusing its thread-local
-//! workspace across the problems it owns.
+//! over a set of independent problems. On the default pool runtime the
+//! items form a *dynamic* work queue — every worker claims the next
+//! index with one `fetch_add` — so ragged batches (mixed shapes) are
+//! balanced by construction; each worker reuses its pool-owned workspace
+//! across the problems it claims. The scoped-spawn fallback keeps the
+//! previous static contiguous-chunk distribution.
 
-use crate::config::GemmConfig;
-use crate::driver::{gemm_serial, WORKSPACE};
-use crate::GemmElem;
+use crate::config::{GemmConfig, Runtime};
+use crate::driver::{gemm_serial, with_workspace, Workspace};
+use crate::parallel::SendPtr;
+use crate::{pool, GemmElem};
 use shalom_matrix::{reference, MatMut, MatRef, Op};
 
 /// One problem of a batch: borrowed operand views and the output view.
@@ -72,7 +76,7 @@ pub fn gemm_batch_beta<T: GemmElem>(
     if crate::telemetry::enabled() && !items.is_empty() {
         crate::telemetry::record_batch(items.len());
     }
-    let run_one = |cfg: &GemmConfig, it: &mut BatchItem<'_, T>| {
+    let run_one = |cfg: &GemmConfig, it: &mut BatchItem<'_, T>, ws: &mut Workspace| {
         let m = it.c.rows();
         let n = it.c.cols();
         let k = match op_a {
@@ -81,7 +85,7 @@ pub fn gemm_batch_beta<T: GemmElem>(
         };
         // SAFETY: SHALOM-D-DRIVER — each item's MatRef/MatMut views cover
         // their full footprints and check_dims validated every shape above.
-        WORKSPACE.with(|ws| unsafe {
+        unsafe {
             gemm_serial::<T::Vec>(
                 cfg,
                 op_a,
@@ -97,34 +101,67 @@ pub fn gemm_batch_beta<T: GemmElem>(
                 beta,
                 it.c.as_mut_ptr(),
                 it.c.ld(),
-                &mut ws.borrow_mut(),
+                ws,
             )
-        });
+        };
     };
-    if t <= 1 {
+    let serial_cfg = GemmConfig { threads: 1, ..*cfg };
+    if t <= 1 || pool::in_pool_context() {
         // Tag runs Batch even on the caller's thread; the scope restores
-        // the previous tag on exit.
+        // the previous tag on exit. A nested batch (issued from inside a
+        // pool task) also lands here: republishing would deadlock on the
+        // pool's single call slot.
         #[cfg(feature = "telemetry")]
         let _path = crate::telemetry::PathScope::enter(crate::telemetry::PathTag::Batch);
-        let serial_cfg = GemmConfig { threads: 1, ..*cfg };
-        for it in items.iter_mut() {
-            run_one(&serial_cfg, it);
-        }
+        with_workspace(|ws| {
+            for it in items.iter_mut() {
+                run_one(&serial_cfg, it, ws);
+            }
+        });
         return;
     }
-    let serial_cfg = GemmConfig { threads: 1, ..*cfg };
-    let chunk = items.len().div_ceil(t);
-    std::thread::scope(|scope| {
-        for slice in items.chunks_mut(chunk) {
-            scope.spawn(move || {
+    match cfg.resolved_runtime() {
+        Runtime::Pool => {
+            // Dynamic queue: the pool hands out item indices one
+            // `fetch_add` at a time, so a ragged batch never strands a
+            // worker behind a statically assigned heavy chunk.
+            let n_items = items.len();
+            let base = SendPtr(items.as_mut_ptr());
+            let job = |idx: usize, ws: &mut Workspace| {
+                // Whole-struct rebind so the closure captures the Sync
+                // wrapper, not its raw-pointer field (disjoint capture).
+                #[allow(clippy::redundant_locals)]
+                let base = base;
                 #[cfg(feature = "telemetry")]
                 let _path = crate::telemetry::PathScope::enter(crate::telemetry::PathTag::Batch);
-                for it in slice.iter_mut() {
-                    run_one(&serial_cfg, it);
+                // SAFETY: SHALOM-D-POOL — the pool's shared counter hands
+                // each index in `0..n_items` to exactly one claimant, so
+                // this exclusive reborrow of item `idx` never aliases
+                // (SHALOM-D-SEND for the base pointer crossing threads).
+                let it = unsafe { &mut *base.0.add(idx) };
+                run_one(&serial_cfg, it, ws);
+            };
+            pool::run(t, n_items, &job);
+        }
+        Runtime::ScopedSpawn => {
+            let chunk = items.len().div_ceil(t);
+            std::thread::scope(|scope| {
+                for slice in items.chunks_mut(chunk) {
+                    let run_one = &run_one;
+                    scope.spawn(move || {
+                        #[cfg(feature = "telemetry")]
+                        let _path =
+                            crate::telemetry::PathScope::enter(crate::telemetry::PathTag::Batch);
+                        with_workspace(|ws| {
+                            for it in slice.iter_mut() {
+                                run_one(&serial_cfg, it, ws);
+                            }
+                        });
+                    });
                 }
             });
         }
-    });
+    }
 }
 
 /// Strided batch over contiguous storage: `count` problems of identical

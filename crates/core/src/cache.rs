@@ -80,7 +80,28 @@ impl CacheParams {
             // without an exposed index3 still have DRAM-backed room for a
             // large nc.
         }
-        p
+        p.sanitized()
+    }
+
+    /// Repairs nonsensical hierarchies per level instead of letting them
+    /// poison `BlockSizes::derive` (virtualized sysfs is a common source:
+    /// a zero L1 yields `kc` floor-clamped from 0, an inverted L2 < L1
+    /// yields an `mc` smaller than one register tile). A zero or missing
+    /// level falls back level-wise; an L2 below L1 is raised to the
+    /// fallback L2 (at least L1); an L3 below L2 is treated as absent,
+    /// so [`CacheParams::llc`] degrades to L2.
+    pub fn sanitized(mut self) -> Self {
+        let fb = Self::fallback();
+        if self.l1 == 0 {
+            self.l1 = fb.l1;
+        }
+        if self.l2 < self.l1 {
+            self.l2 = fb.l2.max(self.l1);
+        }
+        if self.l3 != 0 && self.l3 < self.l2 {
+            self.l3 = 0;
+        }
+        self
     }
 
     /// Effective LLC capacity: L3 if present, else L2 (the paper's "last
@@ -94,15 +115,18 @@ impl CacheParams {
     }
 }
 
-/// Parses a sysfs cache size string like `"32K"` / `"1024K"` / `"8M"`.
+/// Parses a sysfs cache size string like `"32K"` / `"1024K"` / `"8M"` /
+/// `"1G"`. Suffixes are case-insensitive (BSD-flavoured sysfs and some
+/// hypervisors emit lowercase); a bare number is bytes.
 fn parse_size(s: &str) -> Option<usize> {
-    if let Some(v) = s.strip_suffix('K') {
-        v.parse::<usize>().ok().map(|x| x * 1024)
-    } else if let Some(v) = s.strip_suffix('M') {
-        v.parse::<usize>().ok().map(|x| x * 1024 * 1024)
-    } else {
-        s.parse::<usize>().ok()
-    }
+    let s = s.trim();
+    let (digits, mult) = match s.as_bytes().last()? {
+        b'K' | b'k' => (&s[..s.len() - 1], 1024),
+        b'M' | b'm' => (&s[..s.len() - 1], 1024 * 1024),
+        b'G' | b'g' => (&s[..s.len() - 1], 1024 * 1024 * 1024),
+        _ => (s, 1),
+    };
+    digits.parse::<usize>().ok().map(|x| x * mult)
 }
 
 /// The Goto loop blocking parameters derived from a [`CacheParams`].
@@ -143,6 +167,53 @@ mod tests {
         assert_eq!(parse_size("8M"), Some(8 * 1024 * 1024));
         assert_eq!(parse_size("123"), Some(123));
         assert_eq!(parse_size("bogus"), None);
+        // Lowercase and G suffixes (BSD-style sysfs, hypervisors).
+        assert_eq!(parse_size("32k"), Some(32 * 1024));
+        assert_eq!(parse_size("2m"), Some(2 * 1024 * 1024));
+        assert_eq!(parse_size("1G"), Some(1024 * 1024 * 1024));
+        assert_eq!(parse_size("1g"), Some(1024 * 1024 * 1024));
+        assert_eq!(parse_size(" 64K "), Some(64 * 1024));
+        assert_eq!(parse_size(""), None);
+        assert_eq!(parse_size("K"), None);
+    }
+
+    #[test]
+    fn sanitize_repairs_inverted_hierarchies() {
+        let fb = CacheParams::fallback();
+        // Zero L1 falls back.
+        let p = CacheParams {
+            l1: 0,
+            l2: 1024 * 1024,
+            l3: 0,
+        }
+        .sanitized();
+        assert_eq!(p.l1, fb.l1);
+        assert_eq!(p.l2, 1024 * 1024);
+        // L2 below L1 is raised to at least L1.
+        let p = CacheParams {
+            l1: 64 * 1024,
+            l2: 16 * 1024,
+            l3: 32 * 1024 * 1024,
+        }
+        .sanitized();
+        assert!(p.l2 >= p.l1);
+        assert_eq!(p.l3, 32 * 1024 * 1024);
+        // Nonzero L3 below L2 is treated as absent -> llc degrades to L2.
+        let p = CacheParams {
+            l1: 32 * 1024,
+            l2: 2 * 1024 * 1024,
+            l3: 512 * 1024,
+        }
+        .sanitized();
+        assert_eq!(p.l3, 0);
+        assert_eq!(p.llc(), p.l2);
+        // A sane hierarchy passes through untouched.
+        let sane = CacheParams {
+            l1: 64 * 1024,
+            l2: 512 * 1024,
+            l3: 64 * 1024 * 1024,
+        };
+        assert_eq!(sane.sanitized(), sane);
     }
 
     #[test]

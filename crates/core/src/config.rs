@@ -56,6 +56,30 @@ impl PackingPolicy {
     }
 }
 
+/// Which fork-join engine carries parallel and batched calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Runtime {
+    /// The persistent worker pool (`pool.rs`): process-lifetime workers
+    /// parked on a condvar, each owning a workspace that survives across
+    /// calls — the §3.1 fixed-overhead amortization.
+    #[default]
+    Pool,
+    /// Spawn fresh scoped threads per call (the pre-pool behaviour).
+    /// Kept as a fallback and as the baseline the `pool_overhead` bench
+    /// compares against; also forced by the `SHALOM_NO_POOL` env var.
+    ScopedSpawn,
+}
+
+impl Runtime {
+    /// Stable lowercase label (CLI values, reports, telemetry).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Runtime::Pool => "pool",
+            Runtime::ScopedSpawn => "scoped-spawn",
+        }
+    }
+}
+
 /// Workload shape classes from §2.1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ShapeClass {
@@ -117,6 +141,10 @@ pub struct GemmConfig {
     pub edge: EdgeSchedule,
     /// Packing policy.
     pub packing: PackingPolicy,
+    /// Fork-join engine for parallel and batched calls. See
+    /// [`GemmConfig::resolved_runtime`] for the `SHALOM_NO_POOL`
+    /// override.
+    pub runtime: Runtime,
 }
 
 impl Default for GemmConfig {
@@ -126,6 +154,7 @@ impl Default for GemmConfig {
             threads: 1,
             edge: EdgeSchedule::default(),
             packing: PackingPolicy::default(),
+            runtime: Runtime::default(),
         }
     }
 }
@@ -147,6 +176,22 @@ impl GemmConfig {
                 .unwrap_or(1)
         } else {
             self.threads
+        }
+    }
+
+    /// The fork-join engine this call will actually use: the configured
+    /// [`Runtime`], unless the `SHALOM_NO_POOL` environment variable is
+    /// set to anything but `"0"`, which forces [`Runtime::ScopedSpawn`]
+    /// process-wide (an escape hatch for environments where persistent
+    /// threads are unwelcome). The env var is read once and memoized.
+    pub fn resolved_runtime(&self) -> Runtime {
+        static NO_POOL: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+        let no_pool =
+            *NO_POOL.get_or_init(|| std::env::var("SHALOM_NO_POOL").is_ok_and(|v| v != "0"));
+        if no_pool {
+            Runtime::ScopedSpawn
+        } else {
+            self.runtime
         }
     }
 }
@@ -201,5 +246,19 @@ mod tests {
     fn resolved_threads() {
         assert_eq!(GemmConfig::with_threads(3).resolved_threads(), 3);
         assert!(GemmConfig::with_threads(0).resolved_threads() >= 1);
+    }
+
+    #[test]
+    fn runtime_default_and_labels() {
+        assert_eq!(Runtime::default(), Runtime::Pool);
+        assert_eq!(Runtime::Pool.as_str(), "pool");
+        assert_eq!(Runtime::ScopedSpawn.as_str(), "scoped-spawn");
+        assert_eq!(GemmConfig::default().runtime, Runtime::Pool);
+        // `resolved_runtime` only ever overrides *toward* the fallback.
+        let cfg = GemmConfig {
+            runtime: Runtime::ScopedSpawn,
+            ..GemmConfig::with_threads(2)
+        };
+        assert_eq!(cfg.resolved_runtime(), Runtime::ScopedSpawn);
     }
 }

@@ -29,15 +29,39 @@ use shalom_kernels::pack::{pack_copy, pack_transpose};
 use shalom_kernels::{Vector, MR, NR_VECS};
 use shalom_matrix::{Op, Scalar};
 
+/// Calls between decay-policy evaluations on a [`Workspace`].
+const DECAY_WINDOW: u32 = 64;
+/// A buffer shrinks when its retained length exceeds this multiple of
+/// the window's high-water demand.
+const DECAY_FACTOR: usize = 4;
+
 /// Reusable per-thread scratch: the double-buffered `Bc` panel and the
 /// transpose-packed A block for T modes. Backed by `u64` storage (8-byte
-/// aligned, sufficient for `f32`/`f64`) so one thread-local instance
-/// serves both precisions — a tiny GEMM must not pay a heap allocation
-/// per call.
+/// aligned, sufficient for `f32`/`f64`) so one instance serves both
+/// precisions — a tiny GEMM must not pay a heap allocation per call.
+///
+/// Growth is amortized (grow-only within a decay window); a shrink
+/// policy keeps one huge irregular call from pinning its high-water
+/// capacity forever: every [`DECAY_WINDOW`] calls, a buffer whose
+/// retained length exceeds [`DECAY_FACTOR`]`x` the window's high-water
+/// demand is truncated back to that demand.
 #[derive(Default)]
 pub(crate) struct Workspace {
     bc: Vec<u64>,
     at: Vec<u64>,
+    /// High-water `bc` demand (in words) in the current decay window.
+    hw_bc: usize,
+    /// High-water `at` demand (in words) in the current decay window.
+    hw_at: usize,
+    /// Calls observed in the current decay window.
+    window_calls: u32,
+}
+
+fn decay_buf(buf: &mut Vec<u64>, hw_words: usize) {
+    if buf.len() > DECAY_FACTOR * hw_words {
+        buf.truncate(hw_words);
+        buf.shrink_to_fit();
+    }
 }
 
 impl Workspace {
@@ -51,10 +75,22 @@ impl Workspace {
     fn ensure<T: Scalar>(&mut self, bc_elems: usize, at_elems: usize) -> (*mut T, *mut T) {
         let word = |elems: usize| (elems * core::mem::size_of::<T>()).div_ceil(8);
         let bw = word(bc_elems);
+        let aw = word(at_elems);
+        // Evaluate decay BEFORE deriving pointers: a shrink reallocates,
+        // which would invalidate the pointers returned below.
+        self.hw_bc = self.hw_bc.max(bw);
+        self.hw_at = self.hw_at.max(aw);
+        self.window_calls += 1;
+        if self.window_calls >= DECAY_WINDOW {
+            decay_buf(&mut self.bc, self.hw_bc);
+            decay_buf(&mut self.at, self.hw_at);
+            self.window_calls = 0;
+            self.hw_bc = 0;
+            self.hw_at = 0;
+        }
         if self.bc.len() < bw {
             self.bc.resize(bw, 0);
         }
-        let aw = word(at_elems);
         if self.at.len() < aw {
             self.at.resize(aw, 0);
         }
@@ -64,10 +100,24 @@ impl Workspace {
         )
     }
 
-    /// Current capacity of the scratch buffers in bytes (the per-thread
-    /// workspace high-water mark reported by telemetry).
-    #[cfg(feature = "telemetry")]
-    fn bytes(&self) -> usize {
+    /// Pre-grows both scratch buffers to hold at least `bytes` bytes
+    /// each, without counting toward the decay window (pool prewarm: a
+    /// later burst of small calls may shrink them back — that is the
+    /// decay policy working, not a prewarm failure).
+    pub(crate) fn reserve_bytes(&mut self, bytes: usize) {
+        let words = bytes.div_ceil(core::mem::size_of::<u64>());
+        if self.bc.len() < words {
+            self.bc.resize(words, 0);
+        }
+        if self.at.len() < words {
+            self.at.resize(words, 0);
+        }
+    }
+
+    /// Current retained capacity of the scratch buffers in bytes (the
+    /// per-thread workspace high-water mark reported by telemetry).
+    #[cfg_attr(not(any(feature = "telemetry", test)), allow(dead_code))]
+    pub(crate) fn capacity_bytes(&self) -> usize {
         (self.bc.len() + self.at.len()) * core::mem::size_of::<u64>()
     }
 }
@@ -87,10 +137,24 @@ macro_rules! pack_timed {
 }
 
 thread_local! {
-    /// Per-thread workspace reused across calls (serial path and each
-    /// fork-join worker).
+    /// Workspace for threads the pool does not own: the serial path and
+    /// the calling thread when it participates in a pool drain. Pool
+    /// workers instead *own* a [`Workspace`] that survives across calls
+    /// (`pool.rs`) — a thread-local cannot outlive a scope-spawned
+    /// thread, which is exactly the per-call realloc bug the pool fixes.
     pub(crate) static WORKSPACE: core::cell::RefCell<Workspace> =
         core::cell::RefCell::new(Workspace::new());
+}
+
+/// Runs `f` with this thread's shared [`WORKSPACE`]. If it is already
+/// borrowed — a nested GEMM issued from inside a pool drain on the
+/// calling thread — falls back to a fresh scratch instance rather than
+/// panicking on the `RefCell` double borrow.
+pub(crate) fn with_workspace<R>(f: impl FnOnce(&mut Workspace) -> R) -> R {
+    WORKSPACE.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut ws) => f(&mut ws),
+        Err(_) => f(&mut Workspace::new()),
+    })
 }
 
 /// How the driver will treat B for this call (resolved §4 decision).
@@ -318,7 +382,7 @@ pub(crate) unsafe fn gemm_serial<V: Vector>(
             b_plan.tag(op_b),
             MR as u8,
             nr as u8,
-            ws.bytes(),
+            ws.capacity_bytes(),
         );
     }
 }
@@ -649,6 +713,49 @@ mod tests {
     use super::*;
     use shalom_matrix::{assert_close, gemm_tolerance, reference, Matrix};
     use shalom_simd::{F32x4, F64x2};
+
+    #[test]
+    fn workspace_decays_after_burst() {
+        let mut ws = Workspace::new();
+        // One huge irregular call pins a large capacity...
+        let _ = ws.ensure::<f32>(1 << 20, 1 << 20);
+        let burst_bytes = ws.capacity_bytes();
+        assert!(burst_bytes >= 2 * (1 << 20));
+        // ...then two full windows of small steady demand. The first
+        // window still contains the burst in its high-water mark; the
+        // second is all-small, so its decay evaluation must shrink.
+        for _ in 0..2 * DECAY_WINDOW {
+            let _ = ws.ensure::<f32>(1024, 0);
+        }
+        let settled = ws.capacity_bytes();
+        assert!(
+            settled <= burst_bytes / DECAY_FACTOR,
+            "capacity {settled} did not decay from burst {burst_bytes}"
+        );
+        // The unused `at` buffer decays all the way to empty.
+        assert_eq!(ws.at.len(), 0);
+        // And the retained bc still serves the steady demand growth-free.
+        assert_eq!(ws.bc.len(), 1024 * 4 / 8);
+    }
+
+    #[test]
+    fn workspace_steady_state_never_shrinks_below_demand() {
+        let mut ws = Workspace::new();
+        for _ in 0..4 * DECAY_WINDOW {
+            let (bc, at) = ws.ensure::<f64>(512, 256);
+            assert!(!bc.is_null() && !at.is_null());
+            assert!(ws.bc.len() >= 512);
+            assert!(ws.at.len() >= 256);
+        }
+    }
+
+    #[test]
+    fn reserve_bytes_does_not_advance_decay_window() {
+        let mut ws = Workspace::new();
+        ws.reserve_bytes(1 << 16);
+        assert_eq!(ws.window_calls, 0);
+        assert!(ws.capacity_bytes() >= 2 * (1 << 16));
+    }
 
     fn cfg_small_l1() -> GemmConfig {
         // Tiny L1 forces the packing paths even on small test matrices.

@@ -26,6 +26,7 @@
 //! | [`config`] | §3.3, §4 | packing policy, edge schedule, shape classes |
 //! | `driver` | §4, Alg. 1 | exchanged-loop serial driver, packing plans |
 //! | `parallel` | §6 | analytic `Tm x Tn` partition, fork-join executor |
+//! | [`pool`] | §3.1, §6 | persistent worker pool amortizing spawn + workspace cost |
 //! | [`api`] | §3.3 | `sgemm`/`dgemm`, raw BLAS-style entry points |
 //! | [`batch`] | §7.4 | batched independent small GEMMs across cores |
 //! | [`capi`] | §3.3 | `extern "C"` CBLAS-style entry points |
@@ -56,6 +57,7 @@ pub mod config;
 mod driver;
 pub mod error;
 mod parallel;
+pub mod pool;
 #[cfg(feature = "telemetry")]
 pub mod telemetry;
 
@@ -64,7 +66,8 @@ pub use autotune::{autotune, Candidate, TuneReport};
 pub use batch::{gemm_batch, gemm_batch_beta, gemm_batch_strided, BatchItem};
 pub use builder::Gemm;
 pub use cache::{BlockSizes, CacheParams};
-pub use config::{classify, EdgeSchedule, GemmConfig, PackingPolicy, ShapeClass};
+pub use config::{classify, EdgeSchedule, GemmConfig, PackingPolicy, Runtime, ShapeClass};
 pub use error::{try_gemm_with, GemmError};
-pub use parallel::{partition_threads, quantized_chunks};
+pub use parallel::{partition_threads, quantized_chunk, quantized_chunks};
+pub use pool::prewarm;
 pub use shalom_matrix::Op;

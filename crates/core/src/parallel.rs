@@ -1,88 +1,129 @@
-//! Parallelization (paper §6): static two-level work partitioning with
-//! fork-join threads.
+//! Parallelization (paper §6): static two-level work partitioning
+//! executed on the persistent worker pool.
 //!
-//! C is divided into a `Tm x Tn` grid of sub-blocks, one thread each. The
+//! C is divided into a `Tm x Tn` grid of sub-blocks, one task each. The
 //! per-thread computation-to-memory ratio (Eq. 3) is
-//! `CMR = M*N / (M*Tn + N*T/Tn)`; by the AM-GM inequality (Eq. 4) it peaks
-//! at `Tn = sqrt(T*N/M)`. The paper takes the *upper* integer bound of
-//! that and requires `T mod Tn = 0` so cores divide evenly; block
-//! boundaries are rounded to `mr` / `nr` multiples so the partition itself
-//! creates no new edge cases (the §3.2 third missed opportunity).
+//! `CMR = M*N / (M*Tn + N*T/Tn)`; by the AM-GM inequality (Eq. 4) it
+//! peaks at `Tn* = sqrt(T*N/M)`. `Tn` must divide `T` so cores divide
+//! evenly; we evaluate Eq. 3 at the divisors bracketing `Tn*` and keep
+//! the better one (the paper's up-bound alone degenerates to `1 x T`
+//! slabs for prime `T` on row-heavy shapes). Block boundaries are
+//! rounded to `mr` / `nr` multiples so the partition itself creates no
+//! new edge cases (the §3.2 third missed opportunity).
+//!
+//! The grid is dispatched through `pool.rs` by default: the §3.1
+//! argument is that fixed per-call overheads dominate small GEMM, and
+//! spawning `Tm*Tn` fresh OS threads per call is such an overhead.
+//! [`crate::config::Runtime::ScopedSpawn`] keeps the old
+//! spawn-per-call path as a fallback and benchmark baseline.
 
-use crate::config::GemmConfig;
-use crate::driver::{gemm_serial, WORKSPACE};
+use crate::config::{GemmConfig, Runtime};
+use crate::driver::{gemm_serial, with_workspace, Workspace};
+use crate::pool;
 use shalom_kernels::{Vector, MR, NR_VECS};
 use shalom_matrix::Op;
 
-/// The thread grid for a `m x n` output with `t` workers: `(tm, tn)` with
-/// `tm * tn == t`.
+/// The thread grid for a `m x n` output with `t` workers: `(tm, tn)`
+/// with `tm * tn == t`.
 ///
-/// Implements the §6.1 rule: `Tn = ceil(sqrt(T*N/M))` adjusted upward to
-/// the nearest divisor of `T` (so `T mod Tn == 0`), then `Tm = T / Tn`.
-/// The paper's worked example — `M = 2048`, `N = 256`, `T = 64` — yields
-/// `Tn = 4`, `Tm = 16`.
+/// Implements §6.1 with a degenerate-grid fix: let `Tn* = sqrt(T*N/M)`
+/// (the Eq. 4 real optimum), find the largest divisor of `T` at or below
+/// it and the smallest at or above it, and keep whichever minimizes the
+/// Eq. 3 denominator `M*Tn + N*T/Tn` (ties go to the upper divisor, the
+/// paper's original up-bound — preserving the worked example `M = 2048`,
+/// `N = 256`, `T = 64` -> `Tn = 4`, `Tm = 16`). Because the denominator
+/// is convex in `Tn`, the better bracketing divisor is the global
+/// optimum over all divisors — in particular a prime `T` on a row-heavy
+/// shape now yields the `T x 1` split rather than a pathological
+/// `1 x T` slab.
 pub fn partition_threads(t: usize, m: usize, n: usize) -> (usize, usize) {
     assert!(t >= 1, "at least one thread");
     if t == 1 || m == 0 || n == 0 {
         return (1, t);
     }
-    let tn_star = ((t as f64 * n as f64 / m as f64).sqrt()).ceil() as usize;
-    let tn_star = tn_star.clamp(1, t);
-    // Smallest divisor of t that is >= tn_star ("up-bound value of Tn").
-    let mut tn = t;
+    let tn_star = (t as f64 * n as f64 / m as f64).sqrt().clamp(1.0, t as f64);
+    // Bracketing divisors of t around the real optimum.
+    let mut down = 1usize; // largest divisor <= tn_star
+    let mut up = t; // smallest divisor >= tn_star
     let mut d = 1;
     while d * d <= t {
         if t.is_multiple_of(d) {
-            if d >= tn_star && d < tn {
-                tn = d;
-            }
-            let q = t / d;
-            if q >= tn_star && q < tn {
-                tn = q;
+            for q in [d, t / d] {
+                let qf = q as f64;
+                if qf <= tn_star && q > down {
+                    down = q;
+                }
+                if qf >= tn_star && q < up {
+                    up = q;
+                }
             }
         }
         d += 1;
     }
+    // Eq. 3: CMR = M*N / (M*Tn + N*T/Tn). Compare denominators exactly.
+    let denom = |tn: usize| m as u128 * tn as u128 + n as u128 * (t / tn) as u128;
+    let tn = if denom(down) < denom(up) { down } else { up };
     (t / tn, tn)
+}
+
+/// Chunk `p` of [`quantized_chunks`]`(len, parts, quantum)`, computed
+/// directly so the steady-state pool path never allocates a chunk list.
+pub fn quantized_chunk(len: usize, parts: usize, quantum: usize, p: usize) -> (usize, usize) {
+    assert!(parts >= 1 && quantum >= 1);
+    let per = len.div_ceil(quantum).div_ceil(parts);
+    let start = (p * per * quantum).min(len);
+    let end = ((p + 1) * per * quantum).min(len);
+    (start, end - start)
 }
 
 /// Splits `len` into `parts` contiguous chunks whose starts are multiples
 /// of `quantum` (except possibly the final remainder), returning
 /// `(start, len)` per part. Parts may be empty when `len` is small.
 pub fn quantized_chunks(len: usize, parts: usize, quantum: usize) -> Vec<(usize, usize)> {
-    assert!(parts >= 1 && quantum >= 1);
-    let q_total = len.div_ceil(quantum);
-    let per = q_total.div_ceil(parts);
-    let mut out = Vec::with_capacity(parts);
-    for p in 0..parts {
-        let start = (p * per * quantum).min(len);
-        let end = ((p + 1) * per * quantum).min(len);
-        out.push((start, end - start));
-    }
-    out
+    (0..parts)
+        .map(|p| quantized_chunk(len, parts, quantum, p))
+        .collect()
 }
 
 /// Raw-pointer wrapper that promises the wrapped pointer is safe to move
 /// across the fork-join scope (the sub-blocks each thread touches are
-/// disjoint by construction).
-#[derive(Clone, Copy)]
-struct SendPtr<T>(*mut T);
+/// disjoint by construction). Shared with `batch.rs`, whose items are
+/// disjoint by the slice's own borrow rules.
+pub(crate) struct SendPtr<T>(pub(crate) *mut T);
+
+// Copy unconditionally (a derive would demand `T: Copy`): the wrapper
+// holds only the pointer, and worker closures must copy it per call to
+// stay `Fn`.
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
 // SAFETY: SHALOM-D-SEND — the C partition gives each thread a disjoint
 // sub-block, so concurrent writes through the shared base never alias.
 unsafe impl<T> Send for SendPtr<T> {}
 // SAFETY: SHALOM-D-SEND — see above; shared reads of the base are fine.
 unsafe impl<T> Sync for SendPtr<T> {}
-#[derive(Clone, Copy)]
-struct SendConstPtr<T>(*const T);
+pub(crate) struct SendConstPtr<T>(pub(crate) *const T);
+
+impl<T> Clone for SendConstPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendConstPtr<T> {}
 // SAFETY: SHALOM-D-SEND — A and B are read-only for the whole scope.
 unsafe impl<T> Send for SendConstPtr<T> {}
 // SAFETY: SHALOM-D-SEND — read-only; concurrent reads never conflict.
 unsafe impl<T> Sync for SendConstPtr<T> {}
 
 /// Multi-threaded `C = alpha * op(A)*op(B) + beta * C`: partitions C per
-/// [`partition_threads`] and runs the serial driver per sub-block with
-/// fork-join threads (`std::thread::scope` — the paper uses the OS
-/// fork-join primitives through OpenMP).
+/// [`partition_threads`] and runs the serial driver per sub-block on the
+/// persistent pool (or per-call scoped threads under
+/// [`Runtime::ScopedSpawn`]). Nested calls — issued from inside a pool
+/// task — run serially on the caller: the pool has one call slot, and a
+/// small GEMM inside a batch must not try to split itself anyway (§7.4).
 ///
 /// # Safety
 /// As [`gemm_serial`].
@@ -104,38 +145,23 @@ pub(crate) unsafe fn gemm_parallel<V: Vector>(
     ldc: usize,
 ) {
     let t = cfg.resolved_threads().max(1);
-    if t == 1 || m == 0 || n == 0 {
-        WORKSPACE.with(|ws| {
+    if t == 1 || m == 0 || n == 0 || pool::in_pool_context() {
+        with_workspace(|ws| {
             gemm_serial::<V>(
-                cfg,
-                op_a,
-                op_b,
-                m,
-                n,
-                k,
-                alpha,
-                a,
-                lda,
-                b,
-                ldb,
-                beta,
-                c,
-                ldc,
-                &mut ws.borrow_mut(),
+                cfg, op_a, op_b, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, ws,
             )
         });
         return;
     }
     let (tm, tn) = partition_threads(t, m, n);
     let nr = NR_VECS * V::LANES;
-    let rows = quantized_chunks(m, tm, MR);
-    let cols = quantized_chunks(n, tn, nr);
     let ap = SendConstPtr(a);
     let bp = SendConstPtr(b);
     let cp = SendPtr(c);
 
-    // Telemetry: time the fork-join scope and the slowest worker so the
-    // parent record can report fork-join overhead. 0 marks capture-off.
+    // Telemetry: time the fork-join scope and the slowest task so the
+    // parent record can report fork-join overhead; the pool separately
+    // records its dispatch (publish + wake) latency. 0 marks capture-off.
     #[cfg(feature = "telemetry")]
     let tel_start = if crate::telemetry::enabled() {
         crate::telemetry::now_ns().max(1)
@@ -147,65 +173,101 @@ pub(crate) unsafe fn gemm_parallel<V: Vector>(
     #[cfg(feature = "telemetry")]
     let slowest = &slowest_worker_ns;
 
-    std::thread::scope(|scope| {
-        for &(ri, rl) in &rows {
-            for &(ci, cl) in &cols {
-                if rl == 0 || cl == 0 {
-                    continue;
-                }
-                let cfg = *cfg;
-                scope.spawn(move || {
-                    #[cfg(feature = "telemetry")]
-                    let _path = crate::telemetry::PathScope::enter(
-                        crate::telemetry::PathTag::ParallelWorker,
-                    );
-                    #[cfg(feature = "telemetry")]
-                    let worker_t0 = if tel_start != 0 {
-                        crate::telemetry::now_ns()
-                    } else {
-                        0
-                    };
-                    // Reconstruct the sub-block operand pointers. Stored-A
-                    // row offset depends on op: N indexes rows by i, T by k.
-                    let (ap, bp, cp) = (ap, bp, cp);
-                    let a_off = match op_a {
-                        Op::NoTrans => ri * lda,
-                        Op::Trans => ri,
-                    };
-                    let b_off = match op_b {
-                        Op::NoTrans => ci,
-                        Op::Trans => ci * ldb,
-                    };
-                    WORKSPACE.with(|ws| {
-                        gemm_serial::<V>(
-                            &cfg,
-                            op_a,
-                            op_b,
-                            rl,
-                            cl,
-                            k,
-                            alpha,
-                            ap.0.add(a_off),
-                            lda,
-                            bp.0.add(b_off),
-                            ldb,
-                            beta,
-                            cp.0.add(ri * ldc + ci),
-                            ldc,
-                            &mut ws.borrow_mut(),
-                        )
-                    });
-                    #[cfg(feature = "telemetry")]
-                    if tel_start != 0 {
-                        slowest.fetch_max(
-                            crate::telemetry::now_ns().saturating_sub(worker_t0),
-                            std::sync::atomic::Ordering::Relaxed,
-                        );
-                    }
-                });
-            }
+    // One `(ri, rl) x (ci, cl)` sub-block on the given workspace; shared
+    // by both runtimes.
+    let cfg_copy = *cfg;
+    let tile = move |ri: usize, rl: usize, ci: usize, cl: usize, ws: &mut Workspace| {
+        // Rebind the wrapper structs whole: disjoint closure capture
+        // would otherwise capture the raw-pointer *fields*, which are
+        // not Sync, and the closure could not cross the runtime.
+        let (ap, bp, cp) = (ap, bp, cp);
+        #[cfg(feature = "telemetry")]
+        let _path = crate::telemetry::PathScope::enter(crate::telemetry::PathTag::ParallelWorker);
+        #[cfg(feature = "telemetry")]
+        let worker_t0 = if tel_start != 0 {
+            crate::telemetry::now_ns()
+        } else {
+            0
+        };
+        // Reconstruct the sub-block operand pointers. Stored-A row
+        // offset depends on op: N indexes rows by i, T by k.
+        let a_off = match op_a {
+            Op::NoTrans => ri * lda,
+            Op::Trans => ri,
+        };
+        let b_off = match op_b {
+            Op::NoTrans => ci,
+            Op::Trans => ci * ldb,
+        };
+        // SAFETY: SHALOM-D-DRIVER — the quantized chunks partition the
+        // `m x n` output, so every sub-block's operand views stay inside
+        // the views validated by the caller; sub-blocks are disjoint in C
+        // (SHALOM-D-SEND).
+        unsafe {
+            gemm_serial::<V>(
+                &cfg_copy,
+                op_a,
+                op_b,
+                rl,
+                cl,
+                k,
+                alpha,
+                ap.0.add(a_off),
+                lda,
+                bp.0.add(b_off),
+                ldb,
+                beta,
+                cp.0.add(ri * ldc + ci),
+                ldc,
+                ws,
+            )
+        };
+        #[cfg(feature = "telemetry")]
+        if tel_start != 0 {
+            slowest.fetch_max(
+                crate::telemetry::now_ns().saturating_sub(worker_t0),
+                std::sync::atomic::Ordering::Relaxed,
+            );
         }
-    });
+    };
+
+    match cfg.resolved_runtime() {
+        Runtime::Pool => {
+            // Task index -> grid cell, chunk geometry computed on the
+            // fly: the steady-state path allocates nothing.
+            let job = |idx: usize, ws: &mut Workspace| {
+                let (ri, rl) = quantized_chunk(m, tm, MR, idx / tn);
+                let (ci, cl) = quantized_chunk(n, tn, nr, idx % tn);
+                if rl == 0 || cl == 0 {
+                    return;
+                }
+                tile(ri, rl, ci, cl, ws);
+            };
+            pool::run(t, tm * tn, &job);
+        }
+        Runtime::ScopedSpawn => {
+            let rows = quantized_chunks(m, tm, MR);
+            let cols = quantized_chunks(n, tn, nr);
+            let tile = &tile;
+            std::thread::scope(|scope| {
+                for &(ri, rl) in &rows {
+                    for &(ci, cl) in &cols {
+                        if rl == 0 || cl == 0 {
+                            continue;
+                        }
+                        scope.spawn(move || with_workspace(|ws| tile(ri, rl, ci, cl, ws)));
+                    }
+                }
+                // The spawn loop itself is this runtime's dispatch cost.
+                #[cfg(feature = "telemetry")]
+                if tel_start != 0 {
+                    crate::telemetry::record_dispatch(
+                        crate::telemetry::now_ns().saturating_sub(tel_start),
+                    );
+                }
+            });
+        }
+    }
 
     #[cfg(feature = "telemetry")]
     if tel_start != 0 {
@@ -245,7 +307,9 @@ mod tests {
 
     #[test]
     fn paper_worked_example() {
-        // M = 2048, N = 256, T = 64 -> Tn = 4, Tm = 16 (§6.1).
+        // M = 2048, N = 256, T = 64 -> Tn = 4, Tm = 16 (§6.1): the
+        // bracketing divisors {2, 4} tie on Eq. 3, and ties keep the
+        // paper's up-bound.
         assert_eq!(partition_threads(64, 2048, 256), (16, 4));
     }
 
@@ -270,9 +334,60 @@ mod tests {
 
     #[test]
     fn tn_is_smallest_divisor_above_star() {
-        // T = 12, M = N -> tn* = ceil(sqrt(12)) = 4; divisors of 12 >= 4:
-        // {4, 6, 12} -> 4.
+        // T = 12, M = N -> tn* = sqrt(12) ~ 3.46; bracket {3, 4} ties on
+        // Eq. 3 (300 + 400 vs 400 + 300) -> the upper divisor 4.
         assert_eq!(partition_threads(12, 100, 100), (3, 4));
+    }
+
+    #[test]
+    fn cmr_picks_lower_divisor_when_it_wins() {
+        // T = 12, M = 200, N = 300: tn* = sqrt(18) ~ 4.24, bracket
+        // {4, 6}. Eq. 3 denominators: 200*4 + 300*3 = 1700 vs
+        // 200*6 + 300*2 = 1800 -> the *lower* divisor wins (the old
+        // up-bound rule wrongly chose 6).
+        assert_eq!(partition_threads(12, 200, 300), (3, 4));
+    }
+
+    #[test]
+    fn prime_t_square_and_skewed_shapes() {
+        for t in [7usize, 11, 13] {
+            // Square: both slab orientations give the same CMR; the tie
+            // keeps the up-bound (1, t).
+            assert_eq!(partition_threads(t, 100, 100), (1, t), "square t={t}");
+            // Row-heavy: the old rule degenerated to (1, t) slabs; the
+            // CMR comparison must flip to (t, 1).
+            assert_eq!(partition_threads(t, 150, 100), (t, 1), "skewed t={t}");
+            assert_eq!(partition_threads(t, 2048, 256), (t, 1), "tall t={t}");
+            // Column-heavy mirrors to (1, t).
+            assert_eq!(partition_threads(t, 256, 2048), (1, t), "wide t={t}");
+        }
+    }
+
+    #[test]
+    fn chosen_divisor_is_cmr_optimal() {
+        // Exhaustive check on a grid: the chosen tn minimizes the Eq. 3
+        // denominator over *all* divisors of t.
+        for t in [2usize, 6, 7, 12, 13, 24, 36, 64] {
+            for &(m, n) in &[
+                (64usize, 2048usize),
+                (2048, 64),
+                (300, 200),
+                (200, 300),
+                (100, 100),
+                (1, 4096),
+            ] {
+                let (_, tn) = partition_threads(t, m, n);
+                let denom = |q: usize| m as u128 * q as u128 + n as u128 * (t / q) as u128;
+                for q in 1..=t {
+                    if t.is_multiple_of(q) {
+                        assert!(
+                            denom(tn) <= denom(q),
+                            "t={t} m={m} n={n}: tn={tn} beaten by divisor {q}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]
@@ -303,6 +418,16 @@ mod tests {
                 total += l;
             }
             assert_eq!(total, len);
+        }
+    }
+
+    #[test]
+    fn quantized_chunk_matches_materialized_list() {
+        for &(len, parts, q) in &[(100usize, 4usize, 7usize), (3, 4, 12), (50176, 8, 12)] {
+            let chunks = quantized_chunks(len, parts, q);
+            for (p, &want) in chunks.iter().enumerate() {
+                assert_eq!(quantized_chunk(len, parts, q, p), want);
+            }
         }
     }
 

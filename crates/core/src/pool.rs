@@ -1,0 +1,523 @@
+//! Persistent fork-join worker pool.
+//!
+//! The paper's premise (§3.1, §7.4) is that fixed per-call overheads
+//! dominate small and irregular GEMM — which makes spawning `Tm x Tn`
+//! fresh OS threads per call (the previous `std::thread::scope` design)
+//! exactly the wrong runtime. This module keeps one process-lifetime set
+//! of workers parked on a condvar; a parallel or batched call *publishes*
+//! a job, the workers wake, drain a shared atomic task counter, and park
+//! again. Two properties matter for GEMM:
+//!
+//! * **Workspace reuse.** Every worker *owns* a [`Workspace`] that
+//!   survives across calls, so the `Bc`/`At` scratch is heap-allocated
+//!   once (or by [`prewarm`]) instead of per call — the workspace-reuse
+//!   bug the thread-local-only design had, since a scope-spawned thread's
+//!   thread-local dies with it.
+//! * **Dynamic load balance.** Tasks are claimed with one `fetch_add`
+//!   each, so ragged batches (§7.4 CP2K/DBCSR-style mixed shapes) are
+//!   balanced by construction, unlike static contiguous chunks.
+//!
+//! ## Wake protocol
+//!
+//! One mutex guards the pool state; `work_cv` wakes parked workers,
+//! `done_cv` doubles as the completion signal and the queue for
+//! concurrent publishers. A publisher (a) waits until no call is in
+//! flight, (b) resets the task counter and bumps the epoch, (c) sets
+//! `active` to the worker count and stores the job pointer, (d) notifies
+//! `work_cv`, then participates in the drain itself. Every alive worker
+//! joins every epoch (even if only to find the counter exhausted) and
+//! decrements `active`; the publisher returns when `active == 0`, which
+//! is what makes the lifetime erasure of the job pointer sound. Pool
+//! resizing happens at publish time: growth spawns workers lazily,
+//! shrink bumps an anonymous `retire` count that any waking worker may
+//! consume by exiting *instead of* joining. Retirement is deliberately
+//! not tied to worker identity: exits happen lazily on wake, so an
+//! id-based rule would let the alive set drift out of sync with the
+//! participant arithmetic (`active`) and deadlock the publisher.
+//!
+//! Calls from *inside* a pool worker (nested GEMM) must not republish —
+//! that would deadlock on the single call slot. [`in_pool_context`]
+//! flags pool threads (and the publisher while it participates); callers
+//! fall back to their serial paths.
+
+use crate::driver::{with_workspace, Workspace};
+use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+/// The shape every pool job takes: called once per claimed task index
+/// with the claiming thread's workspace.
+type Job = dyn Fn(usize, &mut Workspace) + Sync;
+
+/// Lifetime-erased job pointer stored in the shared call slot.
+#[derive(Clone, Copy)]
+struct JobPtr(*const Job);
+// SAFETY: SHALOM-D-POOL — the pointer crosses threads only inside a
+// published call, and `run` does not return (or unwind) until every
+// worker counted in `active` has finished dereferencing it.
+unsafe impl Send for JobPtr {}
+
+/// One published fork-join call.
+#[derive(Clone, Copy)]
+struct CallSlot {
+    job: JobPtr,
+    tasks: usize,
+    epoch: u64,
+}
+
+struct PoolState {
+    /// Monotone call counter; workers use it to join each call once.
+    epoch: u64,
+    /// The in-flight call, if any. Doubles as the publisher queue lock:
+    /// a new publisher waits on `done_cv` while this is `Some`.
+    call: Option<CallSlot>,
+    /// Pending retirements: each unit is consumed by one waking worker,
+    /// which exits instead of joining the call (see module docs on why
+    /// retirement must be anonymous rather than id-based).
+    retire: usize,
+    /// Workers currently alive (spawned and not yet exited), including
+    /// those that still owe a pending retirement.
+    spawned: usize,
+    /// Workers that still owe a decrement for the in-flight call.
+    active: usize,
+    /// A worker panicked while draining the in-flight call.
+    panicked: bool,
+}
+
+struct Pool {
+    state: Mutex<PoolState>,
+    /// Wakes parked workers when a call is published (a shrink's
+    /// pending retirements ride along on the same wake).
+    work_cv: Condvar,
+    /// Signals call completion; also queues concurrent publishers.
+    done_cv: Condvar,
+    /// Next unclaimed task index of the in-flight call.
+    next_task: AtomicUsize,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        state: Mutex::new(PoolState {
+            epoch: 0,
+            call: None,
+            retire: 0,
+            spawned: 0,
+            active: 0,
+            panicked: false,
+        }),
+        work_cv: Condvar::new(),
+        done_cv: Condvar::new(),
+        next_task: AtomicUsize::new(0),
+    })
+}
+
+thread_local! {
+    /// True on pool worker threads, and on a publisher thread while it
+    /// participates in its own call's drain.
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Whether the current thread is executing inside a pool call. Nested
+/// GEMM entry points check this and fall back to their serial paths: a
+/// republish from inside a call would deadlock on the single call slot.
+pub(crate) fn in_pool_context() -> bool {
+    IN_POOL.with(|f| f.get())
+}
+
+/// RAII flag for the publisher's own participation in the drain.
+struct InPoolGuard {
+    prev: bool,
+}
+
+impl InPoolGuard {
+    fn enter() -> Self {
+        let prev = IN_POOL.with(|f| f.replace(true));
+        InPoolGuard { prev }
+    }
+}
+
+impl Drop for InPoolGuard {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        IN_POOL.with(|f| f.set(prev));
+    }
+}
+
+fn lock_state(p: &'static Pool) -> std::sync::MutexGuard<'static, PoolState> {
+    // A poisoned pool mutex means a worker panicked *while holding the
+    // lock*, which the protocol never does (jobs run outside it); if it
+    // happens anyway, the state transitions are all valid, so continue.
+    match p.state.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn worker_main() {
+    IN_POOL.with(|f| f.set(true));
+    let mut ws = Workspace::new();
+    let p = pool();
+    let mut seen_epoch = 0u64;
+    loop {
+        let call = {
+            let mut st = lock_state(p);
+            loop {
+                // Retirement is checked before joining a call, so a
+                // publish that shrank the pool counts exactly
+                // `spawned - retire` participants into `active`.
+                if st.retire > 0 {
+                    st.retire -= 1;
+                    st.spawned -= 1;
+                    return;
+                }
+                match st.call {
+                    Some(c) if c.epoch != seen_epoch => break c,
+                    _ => {
+                        st = match p.work_cv.wait(st) {
+                            Ok(g) => g,
+                            Err(poisoned) => poisoned.into_inner(),
+                        }
+                    }
+                }
+            }
+        };
+        seen_epoch = call.epoch;
+        let res = catch_unwind(AssertUnwindSafe(|| {
+            // SAFETY: SHALOM-D-POOL — the publisher keeps the closure
+            // alive (blocked in `run`) until this worker decrements
+            // `active` below, so the erased borrow is still live here.
+            let job = unsafe { &*call.job.0 };
+            drain(p, job, call.tasks, &mut ws);
+        }));
+        let mut st = lock_state(p);
+        if res.is_err() {
+            st.panicked = true;
+        }
+        st.active -= 1;
+        if st.active == 0 {
+            p.done_cv.notify_all();
+        }
+    }
+}
+
+/// Claims and runs tasks until the shared counter is exhausted. Relaxed
+/// RMWs suffice: each index is handed out exactly once by `fetch_add`,
+/// and all data the job touches is ordered by the state mutex (reset and
+/// publish happen before any worker observes the call).
+fn drain(p: &Pool, job: &(dyn Fn(usize, &mut Workspace) + Sync), tasks: usize, ws: &mut Workspace) {
+    loop {
+        let i = p.next_task.fetch_add(1, Ordering::Relaxed);
+        if i >= tasks {
+            return;
+        }
+        job(i, ws);
+    }
+}
+
+/// Runs `job(0..tasks)` across `threads` participants: this thread plus
+/// `threads - 1` persistent workers, all pulling indices from one shared
+/// counter. Blocks until every task has run *and* every worker has
+/// detached from the job. Returns the dispatch latency in nanoseconds
+/// (publish + wake, before this thread starts computing) when telemetry
+/// is capturing, else 0.
+///
+/// Falls back to running everything inline when `threads <= 1`, when
+/// there is at most one task, or when already inside a pool call.
+///
+/// # Panics
+/// Propagates a panic from the job (on this thread via `resume_unwind`;
+/// worker panics surface as a new panic after the call completes).
+pub(crate) fn run(
+    threads: usize,
+    tasks: usize,
+    job: &(dyn Fn(usize, &mut Workspace) + Sync),
+) -> u64 {
+    if threads <= 1 || tasks <= 1 || in_pool_context() {
+        with_workspace(|ws| {
+            for i in 0..tasks {
+                job(i, ws);
+            }
+        });
+        return 0;
+    }
+    #[cfg(feature = "telemetry")]
+    let tel_start = if crate::telemetry::enabled() {
+        crate::telemetry::now_ns().max(1)
+    } else {
+        0
+    };
+
+    let p = pool();
+    let desired = threads - 1;
+    // SAFETY: SHALOM-D-POOL — `job` outlives this function body, and the
+    // completion wait below guarantees no worker holds the erased
+    // reference past the `active == 0` transition, which happens before
+    // `run` returns or unwinds.
+    let job_ptr = JobPtr(unsafe {
+        std::mem::transmute::<*const (dyn Fn(usize, &mut Workspace) + Sync + '_), *const Job>(job)
+    });
+
+    let epoch;
+    {
+        let mut st = lock_state(p);
+        while st.call.is_some() {
+            st = match p.done_cv.wait(st) {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+        // Resize toward `desired` alive workers. Growth cancels pending
+        // retirements before spawning; shrink adds to them. Either way
+        // `spawned - retire` is the exact participant count afterwards.
+        let alive = st.spawned - st.retire;
+        if alive < desired {
+            let mut need = desired - alive;
+            let cancel = need.min(st.retire);
+            st.retire -= cancel;
+            need -= cancel;
+            for _ in 0..need {
+                static NEXT_NAME: AtomicUsize = AtomicUsize::new(0);
+                let name = NEXT_NAME.fetch_add(1, Ordering::Relaxed);
+                let spawn = std::thread::Builder::new()
+                    .name(format!("shalom-pool-{name}"))
+                    .spawn(worker_main);
+                match spawn {
+                    Ok(_) => st.spawned += 1,
+                    Err(_) => break, // proceed with fewer workers
+                }
+            }
+        } else {
+            st.retire += alive - desired;
+        }
+        p.next_task.store(0, Ordering::Relaxed);
+        st.epoch += 1;
+        epoch = st.epoch;
+        st.active = st.spawned - st.retire;
+        st.panicked = false;
+        st.call = Some(CallSlot {
+            job: job_ptr,
+            tasks,
+            epoch,
+        });
+    }
+    p.work_cv.notify_all();
+
+    #[cfg(feature = "telemetry")]
+    let dispatch_ns = if tel_start != 0 {
+        let ns = crate::telemetry::now_ns().saturating_sub(tel_start);
+        crate::telemetry::record_dispatch(ns);
+        ns
+    } else {
+        0
+    };
+    #[cfg(not(feature = "telemetry"))]
+    let dispatch_ns = 0u64;
+
+    // Participate in the drain on this thread's workspace. Panics are
+    // deferred: workers borrow the caller's stack through the job, so we
+    // must wait for them even while unwinding.
+    let caller_res = catch_unwind(AssertUnwindSafe(|| {
+        let _guard = InPoolGuard::enter();
+        with_workspace(|ws| drain(p, job, tasks, ws));
+    }));
+
+    let worker_panicked;
+    {
+        let mut st = lock_state(p);
+        while st.active > 0 {
+            st = match p.done_cv.wait(st) {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+        worker_panicked = st.panicked;
+        st.call = None;
+    }
+    // Free the call slot for queued publishers.
+    p.done_cv.notify_all();
+
+    if let Err(payload) = caller_res {
+        resume_unwind(payload);
+    }
+    if worker_panicked {
+        panic!("a pool worker panicked while running a GEMM task");
+    }
+    dispatch_ns
+}
+
+/// Spins the pool up to `threads` participants and pre-sizes every
+/// participant's workspace scratch buffers to at least `workspace_bytes`
+/// bytes each, so the steady-state parallel path performs no heap
+/// allocation at all (the §3.1 amortization argument, made testable).
+///
+/// A barrier with `tasks == threads` forces each participant — the
+/// calling thread included — to claim exactly one task, so every worker
+/// is guaranteed to have grown its owned workspace when this returns.
+/// Idempotent; cheap when the pool is already warm.
+pub fn prewarm(threads: usize, workspace_bytes: usize) {
+    if threads <= 1 || in_pool_context() {
+        with_workspace(|ws| ws.reserve_bytes(workspace_bytes));
+        return;
+    }
+    let barrier = std::sync::Barrier::new(threads);
+    let job = move |_i: usize, ws: &mut Workspace| {
+        ws.reserve_bytes(workspace_bytes);
+        barrier.wait();
+    };
+    run(threads, threads, &job);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn runs_every_task_exactly_once() {
+        for (threads, tasks) in [(2, 8), (4, 4), (4, 1), (1, 5), (3, 100)] {
+            let hits: Vec<AtomicU64> = (0..tasks).map(|_| AtomicU64::new(0)).collect();
+            let job = |i: usize, _ws: &mut Workspace| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            };
+            run(threads, tasks, &job);
+            for (i, h) in hits.iter().enumerate() {
+                assert_eq!(h.load(Ordering::Relaxed), 1, "task {i} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn oversubscribed_pool_more_threads_than_tasks() {
+        // 8 participants, 3 tasks: five must find the counter exhausted
+        // and still hand control back without hanging.
+        let hits: Vec<AtomicU64> = (0..3).map(|_| AtomicU64::new(0)).collect();
+        let job = |i: usize, _ws: &mut Workspace| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        };
+        run(8, 3, &job);
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn resize_up_and_down_across_calls() {
+        for threads in [2usize, 4, 3, 8, 2] {
+            let total = AtomicU64::new(0);
+            let job = |_i: usize, _ws: &mut Workspace| {
+                total.fetch_add(1, Ordering::Relaxed);
+            };
+            run(threads, 16, &job);
+            assert_eq!(total.load(Ordering::Relaxed), 16, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn rapid_resize_churn_never_wedges() {
+        // Regression for an id-based retirement bug: exits happen lazily
+        // on wake, so after a shrink the alive set could be e.g. {0, 2}
+        // while a later publish counted workers by id < target — worker
+        // 2 then exited instead of joining and `active` never reached
+        // zero. Hammer shrink/grow transitions with work between them so
+        // lazy exits interleave with publishes in many orders.
+        for round in 0..200 {
+            let threads = [2usize, 5, 3, 7, 2, 4][round % 6];
+            let total = AtomicU64::new(0);
+            let job = |_i: usize, _ws: &mut Workspace| {
+                total.fetch_add(1, Ordering::Relaxed);
+            };
+            run(threads, threads + 1, &job);
+            assert_eq!(
+                total.load(Ordering::Relaxed),
+                threads as u64 + 1,
+                "round={round} threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn nested_run_falls_back_inline_without_deadlock() {
+        // A task that itself calls `run` must execute the inner tasks
+        // inline (in_pool_context) rather than republishing.
+        let inner_total = AtomicU64::new(0);
+        let outer = |_i: usize, _ws: &mut Workspace| {
+            let inner = |_j: usize, _ws2: &mut Workspace| {
+                inner_total.fetch_add(1, Ordering::Relaxed);
+            };
+            assert!(in_pool_context());
+            run(4, 5, &inner);
+        };
+        run(3, 4, &outer);
+        assert_eq!(inner_total.load(Ordering::Relaxed), 4 * 5);
+        assert!(!in_pool_context());
+    }
+
+    #[test]
+    fn nested_gemm_inside_pool_worker_is_serial_and_correct() {
+        use shalom_matrix::{max_abs_diff, Matrix};
+        let a = Matrix::<f32>::random(24, 24, 11);
+        let b = Matrix::<f32>::random(24, 24, 12);
+        let mut want = Matrix::<f32>::zeros(24, 24);
+        crate::gemm_with(
+            &crate::GemmConfig::with_threads(1),
+            crate::Op::NoTrans,
+            crate::Op::NoTrans,
+            1.0,
+            a.as_ref(),
+            b.as_ref(),
+            0.0,
+            want.as_mut(),
+        );
+        let mut cs: Vec<Matrix<f32>> = (0..4).map(|_| Matrix::zeros(24, 24)).collect();
+        {
+            let slots: Vec<Mutex<&mut Matrix<f32>>> = cs.iter_mut().map(Mutex::new).collect();
+            // Each task runs a *multi-threaded* gemm_with from inside a
+            // pool worker; it must fall back to serial, not deadlock.
+            let job = |i: usize, _ws: &mut Workspace| {
+                let mut c = slots[i].lock().unwrap();
+                crate::gemm_with(
+                    &crate::GemmConfig::with_threads(4),
+                    crate::Op::NoTrans,
+                    crate::Op::NoTrans,
+                    1.0,
+                    a.as_ref(),
+                    b.as_ref(),
+                    0.0,
+                    c.as_mut(),
+                );
+            };
+            run(3, slots.len(), &job);
+        }
+        for c in &cs {
+            assert_eq!(max_abs_diff(c.as_ref(), want.as_ref()), 0.0);
+        }
+    }
+
+    #[test]
+    fn prewarm_is_idempotent_and_sizes_caller_workspace() {
+        prewarm(4, 1 << 16);
+        prewarm(4, 1 << 16);
+        // The caller's thread-local workspace was part of the warm set.
+        with_workspace(|ws| assert!(ws.capacity_bytes() >= 2 * (1 << 16)));
+    }
+
+    #[test]
+    fn worker_panic_propagates_after_completion() {
+        let res = catch_unwind(AssertUnwindSafe(|| {
+            let job = |i: usize, _ws: &mut Workspace| {
+                if i == 3 {
+                    panic!("boom");
+                }
+            };
+            run(4, 8, &job);
+        }));
+        assert!(res.is_err());
+        // The pool must still be usable afterwards.
+        let total = AtomicU64::new(0);
+        let job = |_i: usize, _ws: &mut Workspace| {
+            total.fetch_add(1, Ordering::Relaxed);
+        };
+        run(4, 8, &job);
+        assert_eq!(total.load(Ordering::Relaxed), 8);
+    }
+}

@@ -7,15 +7,16 @@
 //!
 //! Capture sites live in `driver.rs` (one record per serial dispatch),
 //! `parallel.rs` (one parent record plus fork-join overhead per §6
-//! threaded call) and `batch.rs` (batch counters, worker path tags). All
-//! of them compile away without the feature; with the feature but
-//! telemetry disabled at runtime, each costs one relaxed atomic load.
+//! threaded call), `batch.rs` (batch counters, worker path tags) and
+//! `pool.rs` (dispatch latency per published call). All of them compile
+//! away without the feature; with the feature but telemetry disabled at
+//! runtime, each costs one relaxed atomic load.
 
 pub use shalom_telemetry::{
     add_pack_ns, current_path, disable, enable, enabled, now_ns, pause_guard, record, record_batch,
-    record_fork_join, reset, set_path, snapshot, take_pack_ns, CounterTotals, DecisionRecord,
-    EdgeTag, Histogram, PathTag, PauseGuard, PerfSample, PlanTag, ShapeClassTag, TelemetrySnapshot,
-    HIST_BUCKETS, RING_CAPACITY, SHARD_COUNT,
+    record_dispatch, record_fork_join, reset, set_path, snapshot, take_pack_ns, CounterTotals,
+    DecisionRecord, EdgeTag, Histogram, PathTag, PauseGuard, PerfSample, PlanTag, ShapeClassTag,
+    TelemetrySnapshot, HIST_BUCKETS, RING_CAPACITY, SHARD_COUNT,
 };
 
 /// Hardware-counter hooks (feature `perf-hooks`; graceful no-op without).

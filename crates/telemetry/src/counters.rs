@@ -39,6 +39,13 @@ pub struct Shard {
     pub batch_items: AtomicU64,
     /// High-water mark of per-thread workspace bytes seen by this shard.
     pub workspace_peak: AtomicU64,
+    /// Pool dispatches (one per parallel/batch call published to a
+    /// fork-join runtime).
+    pub dispatches: AtomicU64,
+    /// Nanoseconds spent dispatching: publish + worker wake latency,
+    /// before the calling thread starts computing. Distinguished from
+    /// `fork_join_overhead_ns`, which also contains the join tail.
+    pub dispatch_ns: AtomicU64,
 }
 
 impl Shard {
@@ -71,6 +78,8 @@ impl Shard {
         self.batch_calls.store(0, Ordering::Relaxed);
         self.batch_items.store(0, Ordering::Relaxed);
         self.workspace_peak.store(0, Ordering::Relaxed);
+        self.dispatches.store(0, Ordering::Relaxed);
+        self.dispatch_ns.store(0, Ordering::Relaxed);
     }
 }
 
@@ -120,6 +129,14 @@ impl ShardedCounters {
         shard.batch_items.fetch_add(items as u64, Ordering::Relaxed);
     }
 
+    /// Count one runtime dispatch (publish + wake) of `ns` nanoseconds.
+    #[inline]
+    pub fn observe_dispatch(&self, ns: u64) {
+        let shard = self.local();
+        shard.dispatches.fetch_add(1, Ordering::Relaxed);
+        shard.dispatch_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
     /// Sum every shard into one plain-integer view.
     pub fn totals(&self) -> CounterTotals {
         let mut t = CounterTotals::default();
@@ -143,6 +160,8 @@ impl ShardedCounters {
             t.workspace_peak_bytes = t
                 .workspace_peak_bytes
                 .max(s.workspace_peak.load(Ordering::Relaxed));
+            t.dispatches += s.dispatches.load(Ordering::Relaxed);
+            t.dispatch_ns += s.dispatch_ns.load(Ordering::Relaxed);
         }
         t
     }
@@ -175,6 +194,8 @@ pub struct CounterTotals {
     pub batch_calls: u64,
     pub batch_items: u64,
     pub workspace_peak_bytes: u64,
+    pub dispatches: u64,
+    pub dispatch_ns: u64,
 }
 
 impl CounterTotals {
@@ -197,7 +218,8 @@ impl CounterTotals {
                 "\"by_path\":{{{}}},\"pack_ns\":{},\"total_ns\":{},",
                 "\"fork_joins\":{},\"fork_join_overhead_ns\":{},",
                 "\"batch_calls\":{},\"batch_items\":{},",
-                "\"workspace_peak_bytes\":{}}}"
+                "\"workspace_peak_bytes\":{},",
+                "\"dispatches\":{},\"dispatch_ns\":{}}}"
             ),
             self.calls,
             named(&class_names, &self.by_class),
@@ -210,6 +232,8 @@ impl CounterTotals {
             self.batch_calls,
             self.batch_items,
             self.workspace_peak_bytes,
+            self.dispatches,
+            self.dispatch_ns,
         )
     }
 }
@@ -260,11 +284,15 @@ mod tests {
         counters.observe_fork_join(77);
         counters.observe_batch(32);
         counters.observe_batch(8);
+        counters.observe_dispatch(40);
+        counters.observe_dispatch(2);
         let t = counters.totals();
         assert_eq!(t.fork_joins, 2);
         assert_eq!(t.fork_join_overhead_ns, 200);
         assert_eq!(t.batch_calls, 2);
         assert_eq!(t.batch_items, 40);
+        assert_eq!(t.dispatches, 2);
+        assert_eq!(t.dispatch_ns, 42);
         counters.clear();
         assert_eq!(counters.totals(), CounterTotals::default());
     }

@@ -179,6 +179,15 @@ pub fn record_batch(items: usize) {
     global().counters.observe_batch(items);
 }
 
+/// Count one fork-join runtime dispatch: the publish + worker-wake
+/// latency (`ns`) paid before the calling thread starts computing. The
+/// persistent pool records its condvar publish; the scoped-spawn
+/// fallback records its spawn loop — the comparison the `pool_overhead`
+/// bench quantifies.
+pub fn record_dispatch(ns: u64) {
+    global().counters.observe_dispatch(ns);
+}
+
 /// Capture a point-in-time [`TelemetrySnapshot`].
 pub fn snapshot() -> TelemetrySnapshot {
     let g = global();
@@ -297,11 +306,14 @@ mod tests {
         reset();
         record_fork_join(300);
         record_batch(16);
+        record_dispatch(55);
         let t = snapshot().totals;
         assert_eq!(t.fork_joins, 1);
         assert_eq!(t.fork_join_overhead_ns, 300);
         assert_eq!(t.batch_calls, 1);
         assert_eq!(t.batch_items, 16);
+        assert_eq!(t.dispatches, 1);
+        assert_eq!(t.dispatch_ns, 55);
         reset();
     }
 }

@@ -1,0 +1,82 @@
+//! Plan-cache lookup overhead: cold miss vs warm hit vs cache disabled.
+//!
+//! For every shape of the §7 small-square sweep the harness times
+//! `describe_plan` — the full dispatch-plan resolution the serial driver
+//! performs per call (§4 B-plan, §5.5 blocking, §6 grid) — in three
+//! modes over a set of distinct signatures (k varied per variant so each
+//! lookup keys a different cache entry):
+//!   * `cold-miss` — the cache is cleared before each repetition, so
+//!     every lookup computes, inserts, and pays the miss bookkeeping.
+//!   * `warm-hit`  — the same signatures again, all served from cache.
+//!   * `disabled`  — `set_plan_cache_enabled(false)`: the pure
+//!     recompute path with no cache traffic at all (the pre-cache
+//!     behaviour, and the floor warm hits must beat to pay for
+//!     themselves).
+//!
+//! The report gives nanoseconds per lookup; the note carries the
+//! aggregate hit/miss counters as a cross-check that the modes exercised
+//! the paths they claim to.
+
+use shalom_bench::{time_gemm, BenchArgs, Report};
+use shalom_core::{
+    describe_plan, plan_cache_clear, plan_cache_stats, set_plan_cache_enabled, GemmConfig, Op,
+};
+use shalom_workloads::sweeps::small_square_sizes;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let reps = args.reps.max(3);
+    let variants = if args.full { 512 } else { 128 };
+
+    let cfg = GemmConfig::with_threads(1);
+    let mut r = Report::new(
+        "plan_overhead",
+        &format!(
+            "plan resolution ns/lookup, §7 small-square sweep \
+             ({variants} signatures/shape, {reps} reps)"
+        ),
+    );
+    r.columns(&["shape", "cold-miss ns", "warm-hit ns", "disabled ns"]);
+
+    set_plan_cache_enabled(true);
+    for shape in small_square_sizes() {
+        let (m, n, k0) = (shape.m, shape.n, shape.k);
+        let sweep = |count: usize| {
+            for i in 0..count {
+                let d = describe_plan::<f32>(&cfg, Op::NoTrans, Op::NoTrans, m, n, k0 + i);
+                std::hint::black_box(d.plan.kc);
+            }
+        };
+
+        // Cold: every repetition starts from an empty cache, so all
+        // `variants` lookups miss.
+        let cold = time_gemm(reps, 1, plan_cache_clear, || sweep(variants));
+
+        // Warm: populate once, then every lookup hits.
+        plan_cache_clear();
+        sweep(variants);
+        let warm = time_gemm(reps, 1, || {}, || sweep(variants));
+
+        // Disabled: recompute-only floor, no cache traffic.
+        set_plan_cache_enabled(false);
+        let disabled = time_gemm(reps, 1, || {}, || sweep(variants));
+        set_plan_cache_enabled(true);
+
+        let per = |s: shalom_bench::TimeStats| s.min / variants as f64 * 1e9;
+        r.row(&[
+            format!("{m}x{n}x{k0}"),
+            format!("{:.1}", per(cold)),
+            format!("{:.1}", per(warm)),
+            format!("{:.1}", per(disabled)),
+        ]);
+    }
+
+    let st = plan_cache_stats();
+    r.note(&format!(
+        "a warm hit replaces the §4/§5.5/§6 resolution with one sharded map probe; \
+         cold misses add insert + eviction bookkeeping on top of the disabled floor. \
+         aggregate counters: {} hits / {} misses / {} evictions",
+        st.hits, st.misses, st.evictions
+    ));
+    r.emit(&args.out);
+}

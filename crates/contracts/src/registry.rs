@@ -65,6 +65,11 @@ pub const DRIVER_TAGS: &[&str] = &[
     // job pointer is dereferenced only while the publisher blocks in
     // `run`, which waits for every active worker before returning.
     "SHALOM-D-POOL",
+    // Plan-cache subsystem (crates/plans + core/plan.rs): encoded plans
+    // are range-validated on every decode path, so a stale or
+    // profile-loaded entry can change strategy but never form an
+    // out-of-contract kernel call.
+    "SHALOM-D-PLAN",
     // Vector trait load/store forwarding (vector.rs): bounds inherited
     // from the calling kernel's contract.
     "SHALOM-V-SIMD",

@@ -38,6 +38,24 @@ pub struct TuneReport {
     pub candidates: Vec<Candidate>,
 }
 
+impl TuneReport {
+    /// Installs the winner's resolved plan as a profile override in the
+    /// global plan cache, so subsequent calls with this signature under
+    /// `base` dispatch through it without re-tuning. The signature must
+    /// be the one that was tuned; persist with [`crate::plan::save_profile`].
+    pub fn install<T: GemmElem>(
+        &self,
+        base: &GemmConfig,
+        op_a: Op,
+        op_b: Op,
+        m: usize,
+        n: usize,
+        k: usize,
+    ) -> crate::plan::PlanDescription {
+        crate::plan::install_tuned::<T>(base, &self.best, op_a, op_b, m, n, k)
+    }
+}
+
 fn scaled_cache(c: &CacheParams, num: usize, den: usize) -> CacheParams {
     CacheParams {
         l1: (c.l1 * num / den).max(4 * 1024),

@@ -76,6 +76,26 @@ pub fn gemm_batch_beta<T: GemmElem>(
     if crate::telemetry::enabled() && !items.is_empty() {
         crate::telemetry::record_batch(items.len());
     }
+    let serial_cfg = GemmConfig { threads: 1, ..*cfg };
+    // Batched small GEMM is usually shape-uniform (the CP2K / strided
+    // convention): amortize ONE plan-cache lookup across the whole batch
+    // instead of paying it per item. Ragged batches fall back to per-item
+    // lookups inside `gemm_serial` (still cached — mixed signatures each
+    // hit their own entry).
+    let item_dims = |it: &BatchItem<'_, T>| {
+        let k = match op_a {
+            Op::NoTrans => it.a.cols(),
+            Op::Trans => it.a.rows(),
+        };
+        (it.c.rows(), it.c.cols(), k)
+    };
+    let shared_plan: Option<crate::plan::SerialPlan> = items.first().and_then(|first| {
+        let d0 = item_dims(first);
+        items
+            .iter()
+            .all(|it| item_dims(it) == d0)
+            .then(|| crate::plan::serial_plan::<T::Vec>(&serial_cfg, op_a, op_b, d0.0, d0.1, d0.2))
+    });
     let run_one = |cfg: &GemmConfig, it: &mut BatchItem<'_, T>, ws: &mut Workspace| {
         let m = it.c.rows();
         let n = it.c.cols();
@@ -102,10 +122,10 @@ pub fn gemm_batch_beta<T: GemmElem>(
                 it.c.as_mut_ptr(),
                 it.c.ld(),
                 ws,
+                shared_plan.as_ref(),
             )
         };
     };
-    let serial_cfg = GemmConfig { threads: 1, ..*cfg };
     if t <= 1 || pool::in_pool_context() {
         // Tag runs Batch even on the caller's thread; the scope restores
         // the previous tag on exit. A nested batch (issued from inside a

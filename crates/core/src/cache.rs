@@ -10,9 +10,26 @@
 
 use shalom_kernels::MR;
 
+/// FNV-1a offset basis (64-bit).
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Folds one little-endian `u64` into an FNV-1a accumulator. Used for
+/// the configuration fingerprints that key the plan cache: unlike
+/// `DefaultHasher`, FNV-1a is specified byte-for-byte, so fingerprints
+/// are stable across processes and toolchain versions — a requirement
+/// for persisted plan profiles.
+pub(crate) fn fnv1a_u64(h: &mut u64, x: u64) {
+    for b in x.to_le_bytes() {
+        *h ^= u64::from(b);
+        *h = h.wrapping_mul(FNV_PRIME);
+    }
+}
+
 /// Sizes of the data-cache hierarchy in bytes. `l3 = 0` means no LLC
 /// (Phytium 2000+ in the paper's Table 1 has none).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CacheParams {
     /// Per-core L1 data cache capacity in bytes.
     pub l1: usize,
@@ -102,6 +119,18 @@ impl CacheParams {
             self.l3 = 0;
         }
         self
+    }
+
+    /// Stable 64-bit fingerprint of the hierarchy (FNV-1a over the
+    /// level capacities). Any size change changes the fingerprint; the
+    /// value is identical across processes for equal hierarchies, so it
+    /// can participate in persisted plan-profile keys.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        fnv1a_u64(&mut h, self.l1 as u64);
+        fnv1a_u64(&mut h, self.l2 as u64);
+        fnv1a_u64(&mut h, self.l3 as u64);
+        h
     }
 
     /// Effective LLC capacity: L3 if present, else L2 (the paper's "last

@@ -21,11 +21,110 @@ use crate::api::{dgemm_raw, sgemm_raw};
 use crate::batch::gemm_batch_strided;
 use crate::config::GemmConfig;
 use shalom_matrix::Op;
+use shalom_plans::ProfileError;
+use std::ffi::CStr;
+use std::os::raw::c_char;
 
 /// CBLAS `CblasNoTrans`.
 pub const SHALOM_NO_TRANS: i32 = 111;
 /// CBLAS `CblasTrans`.
 pub const SHALOM_TRANS: i32 = 112;
+
+/// Success.
+pub const SHALOM_OK: i32 = 0;
+/// Invalid argument: null pointer, non-UTF-8 path, or bad code.
+pub const SHALOM_ERR_INVALID: i32 = -1;
+/// Profile file could not be read or written.
+pub const SHALOM_ERR_IO: i32 = -2;
+/// Profile format-version mismatch (file written by an incompatible
+/// library release; re-tune and re-save).
+pub const SHALOM_ERR_VERSION: i32 = -3;
+/// Profile file is corrupt or contains out-of-range plan parameters.
+pub const SHALOM_ERR_PARSE: i32 = -4;
+
+fn profile_err_code(e: &ProfileError) -> i32 {
+    match e {
+        ProfileError::Io(_) => SHALOM_ERR_IO,
+        ProfileError::Version { .. } => SHALOM_ERR_VERSION,
+        ProfileError::Parse(_) | ProfileError::Invalid(_) => SHALOM_ERR_PARSE,
+    }
+}
+
+/// Shared prologue of the profile entry points: C string -> UTF-8 path.
+///
+/// # Safety
+/// `path` must be null or a NUL-terminated C string.
+unsafe fn path_from(path: *const c_char) -> Option<&'static str> {
+    if path.is_null() {
+        return None;
+    }
+    // SAFETY: non-null per the check above; NUL-terminated per the
+    // caller's contract (SHALOM-D-FFI).
+    unsafe { CStr::from_ptr(path) }.to_str().ok()
+}
+
+/// Loads a plan profile (JSON written by [`shalom_profile_save`] or
+/// [`crate::plan::save_profile`]) and installs every entry as an
+/// override in the global plan cache.
+///
+/// Returns the number of entries installed (`>= 0`), or a negative
+/// error code: [`SHALOM_ERR_INVALID`] for a null / non-UTF-8 path,
+/// [`SHALOM_ERR_IO`] when the file cannot be read,
+/// [`SHALOM_ERR_VERSION`] for a format-version mismatch, and
+/// [`SHALOM_ERR_PARSE`] for corrupt or out-of-range contents. Never
+/// unwinds across the FFI boundary.
+///
+/// # Safety
+/// `path` must be null or point to a NUL-terminated C string.
+#[no_mangle]
+pub unsafe extern "C" fn shalom_profile_load(path: *const c_char) -> i64 {
+    // SAFETY: forwarded caller contract (SHALOM-D-FFI).
+    let Some(path) = (unsafe { path_from(path) }) else {
+        return i64::from(SHALOM_ERR_INVALID);
+    };
+    let r = std::panic::catch_unwind(|| crate::plan::load_profile(path));
+    match r {
+        Ok(Ok(n)) => n as i64,
+        Ok(Err(e)) => i64::from(profile_err_code(&e)),
+        Err(_) => i64::from(SHALOM_ERR_INVALID),
+    }
+}
+
+/// Saves every profile-sourced entry of the global plan cache to `path`
+/// as versioned JSON.
+///
+/// Returns the number of entries written (`>= 0`), or
+/// [`SHALOM_ERR_INVALID`] for a null / non-UTF-8 path and
+/// [`SHALOM_ERR_IO`] when the file cannot be written. Never unwinds
+/// across the FFI boundary.
+///
+/// # Safety
+/// `path` must be null or point to a NUL-terminated C string.
+#[no_mangle]
+pub unsafe extern "C" fn shalom_profile_save(path: *const c_char) -> i64 {
+    // SAFETY: forwarded caller contract (SHALOM-D-FFI).
+    let Some(path) = (unsafe { path_from(path) }) else {
+        return i64::from(SHALOM_ERR_INVALID);
+    };
+    let r = std::panic::catch_unwind(|| crate::plan::save_profile(path));
+    match r {
+        Ok(Ok(n)) => n as i64,
+        Ok(Err(e)) => i64::from(profile_err_code(&e)),
+        Err(_) => i64::from(SHALOM_ERR_INVALID),
+    }
+}
+
+/// Drops every entry (computed and profile) from the global plan cache.
+/// Subsequent calls re-plan from scratch. Returns [`SHALOM_OK`].
+#[no_mangle]
+pub extern "C" fn shalom_plan_cache_clear() -> i32 {
+    let r = std::panic::catch_unwind(crate::plan::plan_cache_clear);
+    if r.is_ok() {
+        SHALOM_OK
+    } else {
+        SHALOM_ERR_INVALID
+    }
+}
 
 fn op_from(code: i32) -> Option<Op> {
     match code {
@@ -370,6 +469,61 @@ mod tests {
         };
         assert_eq!(rc, 0);
         assert_eq!(c, [10.0; 4]);
+    }
+
+    #[test]
+    fn c_profile_entry_points() {
+        use std::ffi::CString;
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("shalom_capi_profile_{}.json", std::process::id()));
+        let c_path = CString::new(path.to_str().unwrap()).unwrap();
+
+        // Null and non-UTF-8-free invalid inputs.
+        // SAFETY: null is rejected before any deref.
+        assert_eq!(
+            unsafe { shalom_profile_load(std::ptr::null()) },
+            i64::from(SHALOM_ERR_INVALID)
+        );
+        // SAFETY: null is rejected before any deref.
+        assert_eq!(
+            unsafe { shalom_profile_save(std::ptr::null()) },
+            i64::from(SHALOM_ERR_INVALID)
+        );
+        // Missing file is an I/O error, not a crash.
+        let missing = CString::new("/nonexistent/shalom/profile.json").unwrap();
+        // SAFETY: `missing` is a valid NUL-terminated string.
+        assert_eq!(
+            unsafe { shalom_profile_load(missing.as_ptr()) },
+            i64::from(SHALOM_ERR_IO)
+        );
+
+        // Install one override, save it, clear, reload.
+        let base = GemmConfig::with_threads(1);
+        crate::plan::install_tuned::<f32>(&base, &base, Op::NoTrans, Op::NoTrans, 24, 24, 24);
+        // SAFETY: `c_path` is a valid NUL-terminated string.
+        let saved = unsafe { shalom_profile_save(c_path.as_ptr()) };
+        assert!(saved >= 1, "saved {saved}");
+        assert_eq!(shalom_plan_cache_clear(), SHALOM_OK);
+        // SAFETY: `c_path` is a valid NUL-terminated string.
+        let loaded = unsafe { shalom_profile_load(c_path.as_ptr()) };
+        assert_eq!(loaded, saved);
+
+        // Version mismatch and corrupt docs map to distinct codes.
+        std::fs::write(&path, "{\"version\":999,\"entries\":[]}").unwrap();
+        // SAFETY: `c_path` is a valid NUL-terminated string.
+        assert_eq!(
+            unsafe { shalom_profile_load(c_path.as_ptr()) },
+            i64::from(SHALOM_ERR_VERSION)
+        );
+        std::fs::write(&path, "not json at all").unwrap();
+        // SAFETY: `c_path` is a valid NUL-terminated string.
+        assert_eq!(
+            unsafe { shalom_profile_load(c_path.as_ptr()) },
+            i64::from(SHALOM_ERR_PARSE)
+        );
+
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(shalom_plan_cache_clear(), SHALOM_OK);
     }
 
     #[test]

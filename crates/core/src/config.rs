@@ -4,7 +4,7 @@
 use crate::cache::CacheParams;
 
 /// Which edge-case micro-kernel schedule to use (§5.4, Figure 6).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum EdgeSchedule {
     /// Software-pipelined loads between FMAs (Figure 6b — LibShalom).
     #[default]
@@ -25,7 +25,7 @@ impl EdgeSchedule {
 }
 
 /// How the driver prepares B (and A in T modes) for the micro-kernel.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum PackingPolicy {
     /// The paper's runtime decision (§4): skip packing when the operand is
     /// small or cache-friendly, otherwise pack *fused* with computation.
@@ -57,7 +57,7 @@ impl PackingPolicy {
 }
 
 /// Which fork-join engine carries parallel and batched calls.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Runtime {
     /// The persistent worker pool (`pool.rs`): process-lifetime workers
     /// parked on a condvar, each owning a workspace that survives across
@@ -179,6 +179,29 @@ impl GemmConfig {
         }
     }
 
+    /// Stable 64-bit fingerprint of every dispatch-relevant knob: cache
+    /// geometry, edge schedule, packing policy, and fork-join runtime.
+    /// Built on FNV-1a (not `DefaultHasher`) so equal configurations
+    /// fingerprint identically across processes and toolchain versions —
+    /// this value keys the plan cache and is persisted in plan profiles.
+    ///
+    /// The thread count is deliberately *excluded*: the plan-cache key
+    /// carries the resolved thread count as its own field, so a config
+    /// with `threads: 0` on an 8-core host shares plans (and profile
+    /// entries) with an explicit `threads: 8`.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = crate::cache::FNV_OFFSET;
+        // Format version for the fingerprint itself: bump if the set or
+        // order of hashed knobs ever changes, so stale profile entries
+        // miss instead of matching a differently-derived key.
+        crate::cache::fnv1a_u64(&mut h, 1);
+        crate::cache::fnv1a_u64(&mut h, self.cache.fingerprint());
+        crate::cache::fnv1a_u64(&mut h, self.edge as u64);
+        crate::cache::fnv1a_u64(&mut h, self.packing as u64);
+        crate::cache::fnv1a_u64(&mut h, self.runtime as u64);
+        h
+    }
+
     /// The fork-join engine this call will actually use: the configured
     /// [`Runtime`], unless the `SHALOM_NO_POOL` environment variable is
     /// set to anything but `"0"`, which forces [`Runtime::ScopedSpawn`]
@@ -246,6 +269,73 @@ mod tests {
     fn resolved_threads() {
         assert_eq!(GemmConfig::with_threads(3).resolved_threads(), 3);
         assert!(GemmConfig::with_threads(0).resolved_threads() >= 1);
+    }
+
+    #[test]
+    fn fingerprint_changes_with_every_knob() {
+        let base = GemmConfig {
+            cache: cache(),
+            threads: 1,
+            edge: EdgeSchedule::Pipelined,
+            packing: PackingPolicy::Auto,
+            runtime: Runtime::Pool,
+        };
+        // Equal configs fingerprint equal (and the value is a stable
+        // function of the knobs, not of address or process state).
+        assert_eq!(base.fingerprint(), { base }.fingerprint());
+        // Every knob flip lands on a distinct fingerprint.
+        let variants = [
+            base,
+            GemmConfig {
+                edge: EdgeSchedule::Batched,
+                ..base
+            },
+            GemmConfig {
+                packing: PackingPolicy::AlwaysFused,
+                ..base
+            },
+            GemmConfig {
+                packing: PackingPolicy::AlwaysSequential,
+                ..base
+            },
+            GemmConfig {
+                packing: PackingPolicy::Never,
+                ..base
+            },
+            GemmConfig {
+                runtime: Runtime::ScopedSpawn,
+                ..base
+            },
+            GemmConfig {
+                cache: CacheParams {
+                    l1: base.cache.l1 * 2,
+                    ..base.cache
+                },
+                ..base
+            },
+            GemmConfig {
+                cache: CacheParams {
+                    l2: base.cache.l2 + 4096,
+                    ..base.cache
+                },
+                ..base
+            },
+            GemmConfig {
+                cache: CacheParams {
+                    l3: base.cache.l3 + 1,
+                    ..base.cache
+                },
+                ..base
+            },
+        ];
+        let fps: std::collections::HashSet<u64> =
+            variants.iter().map(GemmConfig::fingerprint).collect();
+        assert_eq!(fps.len(), variants.len(), "fingerprint collision: {fps:?}");
+        // Thread count is keyed separately by the plan cache, not here.
+        assert_eq!(
+            base.fingerprint(),
+            GemmConfig { threads: 7, ..base }.fingerprint()
+        );
     }
 
     #[test]

@@ -18,7 +18,6 @@
 //!   Algorithm 3 — or a sequential transpose-pack under the ablation
 //!   policies.
 
-use crate::cache::BlockSizes;
 use crate::config::{classify, EdgeSchedule, GemmConfig, PackingPolicy, ShapeClass};
 use shalom_kernels::edge::{edge_kernel_batched, edge_kernel_pipelined};
 use shalom_kernels::main_kernel::{
@@ -159,7 +158,7 @@ pub(crate) fn with_workspace<R>(f: impl FnOnce(&mut Workspace) -> R) -> R {
 
 /// How the driver will treat B for this call (resolved §4 decision).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum BPlan {
+pub(crate) enum BPlan {
     /// Read B in place (NN with `size(B) <= L1`).
     Direct,
     /// Fused pack, `t = 0` (small shapes).
@@ -170,7 +169,13 @@ enum BPlan {
     Sequential,
 }
 
-fn resolve_nn_plan(cfg: &GemmConfig, m: usize, n: usize, k: usize, elem_bytes: usize) -> BPlan {
+pub(crate) fn resolve_nn_plan(
+    cfg: &GemmConfig,
+    m: usize,
+    n: usize,
+    k: usize,
+    elem_bytes: usize,
+) -> BPlan {
     let b_bytes = k * n * elem_bytes;
     let shape = classify(m, n, k, elem_bytes, &cfg.cache);
     match cfg.packing {
@@ -200,7 +205,7 @@ impl BPlan {
     /// Telemetry tag for the resolved plan. NT-mode `Direct` reports
     /// `SequentialPack` because `nt_block` transpose-packs it anyway
     /// (`Never` only disables the *fused* variant there).
-    fn tag(self, op_b: Op) -> crate::telemetry::PlanTag {
+    pub(crate) fn tag(self, op_b: Op) -> crate::telemetry::PlanTag {
         use crate::telemetry::PlanTag;
         match self {
             BPlan::Direct if op_b == Op::Trans => PlanTag::SequentialPack,
@@ -212,7 +217,7 @@ impl BPlan {
     }
 }
 
-fn resolve_nt_plan(cfg: &GemmConfig) -> BPlan {
+pub(crate) fn resolve_nt_plan(cfg: &GemmConfig) -> BPlan {
     // NT always packs (§4.3); only the fused-vs-sequential axis remains.
     match cfg.packing {
         PackingPolicy::AlwaysSequential | PackingPolicy::Never => BPlan::Sequential,
@@ -262,6 +267,7 @@ pub(crate) unsafe fn gemm_serial<V: Vector>(
     c: *mut V::Elem,
     ldc: usize,
     ws: &mut Workspace,
+    plan: Option<&crate::plan::SerialPlan>,
 ) {
     if m == 0 || n == 0 {
         return;
@@ -270,8 +276,30 @@ pub(crate) unsafe fn gemm_serial<V: Vector>(
         scale_c::<V>(m, n, beta, c, ldc);
         return;
     }
+    // Resolve the dispatch plan: callers that amortize one lookup over
+    // many identical calls (the batched path) pass it in; everyone else
+    // consults the plan cache here — warm signatures skip the §4/§5.5
+    // resolution entirely.
+    #[cfg(feature = "telemetry")]
+    let tel_on = crate::telemetry::enabled();
+    #[cfg(feature = "telemetry")]
+    let plan_t0 = if tel_on {
+        crate::telemetry::now_ns()
+    } else {
+        0
+    };
+    let plan = match plan {
+        Some(p) => *p,
+        None => crate::plan::serial_plan::<V>(cfg, op_a, op_b, m, n, k),
+    };
+    #[cfg(feature = "telemetry")]
+    let plan_ns = if tel_on {
+        crate::telemetry::now_ns().saturating_sub(plan_t0)
+    } else {
+        0
+    };
     let nr = NR_VECS * V::LANES;
-    let bs = BlockSizes::derive(&cfg.cache, core::mem::size_of::<V::Elem>(), nr);
+    let bs = plan.bs;
     // Workspace sized by the *actual* problem, not the cache-blocking
     // ceilings: a 5x5x5 GEMM must not pay for a megabyte of zeroed Bc/Ac.
     let kc_eff = bs.kc.min(k);
@@ -283,16 +311,13 @@ pub(crate) unsafe fn gemm_serial<V: Vector>(
     };
     let (bc_ptr, at_ptr) = ws.ensure::<V::Elem>(2 * kc_eff * nr, at_elems);
 
-    let b_plan = match op_b {
-        Op::NoTrans => resolve_nn_plan(cfg, m, n, k, core::mem::size_of::<V::Elem>()),
-        Op::Trans => resolve_nt_plan(cfg),
-    };
+    let b_plan = plan.b_plan;
 
     // Telemetry: 0 marks capture-off, making the whole dispatch cost one
     // relaxed load + compare; both capture halves are outlined `#[cold]`
     // calls so they add no code to this function's hot body.
     #[cfg(feature = "telemetry")]
-    let tel_start = if crate::telemetry::enabled() {
+    let tel_start = if tel_on {
         crate::telemetry::serial_capture_begin()
     } else {
         0
@@ -328,7 +353,7 @@ pub(crate) unsafe fn gemm_serial<V: Vector>(
                 let c_blk = c.add(ii * ldc + jj);
                 match op_b {
                     Op::NoTrans => nn_block::<V>(
-                        cfg,
+                        plan.edge,
                         b_plan,
                         mcur,
                         ncur,
@@ -345,7 +370,7 @@ pub(crate) unsafe fn gemm_serial<V: Vector>(
                         kc_eff,
                     ),
                     Op::Trans => nt_block::<V>(
-                        cfg,
+                        plan.edge,
                         b_plan,
                         mcur,
                         ncur,
@@ -380,6 +405,9 @@ pub(crate) unsafe fn gemm_serial<V: Vector>(
             k,
             core::mem::size_of::<V::Elem>(),
             b_plan.tag(op_b),
+            crate::telemetry::edge_tag_of(plan.edge),
+            crate::telemetry::plan_source_tag(plan.source),
+            plan_ns,
             MR as u8,
             nr as u8,
             ws.capacity_bytes(),
@@ -421,7 +449,7 @@ unsafe fn scale_c<V: Vector>(m: usize, n: usize, beta: V::Elem, c: *mut V::Elem,
 #[allow(clippy::too_many_arguments)]
 #[inline]
 unsafe fn edge<V: Vector>(
-    cfg: &GemmConfig,
+    sched: EdgeSchedule,
     m: usize,
     n: usize,
     kc: usize,
@@ -434,7 +462,7 @@ unsafe fn edge<V: Vector>(
     c: *mut V::Elem,
     ldc: usize,
 ) {
-    match cfg.edge {
+    match sched {
         EdgeSchedule::Pipelined => {
             edge_kernel_pipelined::<V>(m, n, kc, alpha, a, lda, b, ldb, beta, c, ldc)
         }
@@ -454,7 +482,7 @@ unsafe fn edge<V: Vector>(
 /// of `ncols` elements at stride `ldc`, with `ncols <= nr`.
 #[allow(clippy::too_many_arguments)]
 unsafe fn sweep_rows<V: Vector>(
-    cfg: &GemmConfig,
+    sched: EdgeSchedule,
     i0: usize,
     mcur: usize,
     ncols: usize,
@@ -490,7 +518,7 @@ unsafe fn sweep_rows<V: Vector>(
         while i < mcur {
             let mrem = MR.min(mcur - i);
             edge::<V>(
-                cfg,
+                sched,
                 mrem,
                 ncols,
                 kcur,
@@ -519,7 +547,7 @@ unsafe fn sweep_rows<V: Vector>(
 /// (the double buffer for the t = 1 lookahead).
 #[allow(clippy::too_many_arguments)]
 unsafe fn nn_block<V: Vector>(
-    cfg: &GemmConfig,
+    sched: EdgeSchedule,
     plan: BPlan,
     mcur: usize,
     ncur: usize,
@@ -549,13 +577,15 @@ unsafe fn nn_block<V: Vector>(
         match plan {
             BPlan::Direct => {
                 sweep_rows::<V>(
-                    cfg, 0, mcur, nr, kcur, alpha, a_blk, lda, b_panel, ldb, beta_eff, c_panel, ldc,
+                    sched, 0, mcur, nr, kcur, alpha, a_blk, lda, b_panel, ldb, beta_eff, c_panel,
+                    ldc,
                 );
             }
             BPlan::Sequential => {
                 pack_timed!(pack_copy(b_panel, ldb, kcur, nr, bufs[0], nr));
                 sweep_rows::<V>(
-                    cfg, 0, mcur, nr, kcur, alpha, a_blk, lda, bufs[0], nr, beta_eff, c_panel, ldc,
+                    sched, 0, mcur, nr, kcur, alpha, a_blk, lda, bufs[0], nr, beta_eff, c_panel,
+                    ldc,
                 );
             }
             BPlan::Fused => {
@@ -565,14 +595,14 @@ unsafe fn nn_block<V: Vector>(
                         None,
                     );
                     sweep_rows::<V>(
-                        cfg, MR, mcur, nr, kcur, alpha, a_blk, lda, bufs[0], nr, beta_eff, c_panel,
-                        ldc,
+                        sched, MR, mcur, nr, kcur, alpha, a_blk, lda, bufs[0], nr, beta_eff,
+                        c_panel, ldc,
                     );
                 } else {
                     pack_timed!(pack_copy(b_panel, ldb, kcur, nr, bufs[0], nr));
                     sweep_rows::<V>(
-                        cfg, 0, mcur, nr, kcur, alpha, a_blk, lda, bufs[0], nr, beta_eff, c_panel,
-                        ldc,
+                        sched, 0, mcur, nr, kcur, alpha, a_blk, lda, bufs[0], nr, beta_eff,
+                        c_panel, ldc,
                     );
                 }
             }
@@ -601,7 +631,7 @@ unsafe fn nn_block<V: Vector>(
                         );
                     }
                     sweep_rows::<V>(
-                        cfg, MR, mcur, nr, kcur, alpha, a_blk, lda, bufs[cur], nr, beta_eff,
+                        sched, MR, mcur, nr, kcur, alpha, a_blk, lda, bufs[cur], nr, beta_eff,
                         c_panel, ldc,
                     );
                     cur = 1 - cur;
@@ -609,7 +639,7 @@ unsafe fn nn_block<V: Vector>(
                     pack_timed!(pack_copy(b_panel, ldb, kcur, nr, bufs[cur], nr));
                     have_packed = false;
                     sweep_rows::<V>(
-                        cfg, 0, mcur, nr, kcur, alpha, a_blk, lda, bufs[cur], nr, beta_eff,
+                        sched, 0, mcur, nr, kcur, alpha, a_blk, lda, bufs[cur], nr, beta_eff,
                         c_panel, ldc,
                     );
                 }
@@ -622,7 +652,7 @@ unsafe fn nn_block<V: Vector>(
     if ncols > 0 {
         let j = full_panels * nr;
         sweep_rows::<V>(
-            cfg,
+            sched,
             0,
             mcur,
             ncols,
@@ -650,7 +680,7 @@ unsafe fn nn_block<V: Vector>(
 /// packed panel.
 #[allow(clippy::too_many_arguments)]
 unsafe fn nt_block<V: Vector>(
-    cfg: &GemmConfig,
+    sched: EdgeSchedule,
     plan: BPlan,
     mcur: usize,
     ncur: usize,
@@ -687,7 +717,7 @@ unsafe fn nt_block<V: Vector>(
                     }
                 });
                 sweep_rows::<V>(
-                    cfg, 0, mcur, ncols, kcur, alpha, a_blk, lda, bc0, nr, beta_eff, c_panel, ldc,
+                    sched, 0, mcur, ncols, kcur, alpha, a_blk, lda, bc0, nr, beta_eff, c_panel, ldc,
                 );
             }
             BPlan::Fused | BPlan::FusedLookahead => {
@@ -698,8 +728,8 @@ unsafe fn nt_block<V: Vector>(
                 );
                 if mcur > m0 {
                     sweep_rows::<V>(
-                        cfg, m0, mcur, ncols, kcur, alpha, a_blk, lda, bc0, nr, beta_eff, c_panel,
-                        ldc,
+                        sched, m0, mcur, ncols, kcur, alpha, a_blk, lda, bc0, nr, beta_eff,
+                        c_panel, ldc,
                     );
                 }
             }
@@ -819,6 +849,7 @@ mod tests {
                 c.as_mut().as_mut_ptr(),
                 c.ld(),
                 &mut ws,
+                None,
             );
         }
         assert_close(c.as_ref(), want.as_ref(), gemm_tolerance::<V::Elem>(k, 2.0));
@@ -983,6 +1014,7 @@ mod tests {
                 c.as_mut().as_mut_ptr(),
                 c.ld(),
                 &mut ws,
+                None,
             );
         }
         for j in 0..14 {
@@ -1031,6 +1063,7 @@ mod tests {
                 c.as_mut().as_mut_ptr(),
                 c.ld(),
                 &mut ws,
+                None,
             );
         }
         assert_close(c.as_ref(), want.as_ref(), gemm_tolerance::<f32>(11, 2.0));

@@ -31,6 +31,7 @@
 //! | [`batch`] | §7.4 | batched independent small GEMMs across cores |
 //! | [`capi`] | §3.3 | `extern "C"` CBLAS-style entry points |
 //! | [`autotune`] | §10 | empirical parameter search (the paper's future work) |
+//! | [`plan`] | §10 | memoized dispatch plans, persistent autotune profiles |
 //!
 //! The micro-kernels themselves live in `shalom-kernels`.
 //!
@@ -57,6 +58,7 @@ pub mod config;
 mod driver;
 pub mod error;
 mod parallel;
+pub mod plan;
 pub mod pool;
 #[cfg(feature = "telemetry")]
 pub mod telemetry;
@@ -69,5 +71,13 @@ pub use cache::{BlockSizes, CacheParams};
 pub use config::{classify, EdgeSchedule, GemmConfig, PackingPolicy, Runtime, ShapeClass};
 pub use error::{try_gemm_with, GemmError};
 pub use parallel::{partition_threads, quantized_chunk, quantized_chunks};
+pub use plan::{
+    describe_plan, install_tuned, load_profile, plan_cache_clear, plan_cache_enabled,
+    plan_cache_invalidate, plan_cache_stats, save_profile, set_plan_cache_enabled, PlanDescription,
+    PlanSource,
+};
 pub use pool::prewarm;
 pub use shalom_matrix::Op;
+pub use shalom_plans::{
+    CacheStats as PlanCacheStats, PlanKey, ProfileError, ResolvedPlan, PROFILE_VERSION,
+};

@@ -148,12 +148,17 @@ pub(crate) unsafe fn gemm_parallel<V: Vector>(
     if t == 1 || m == 0 || n == 0 || pool::in_pool_context() {
         with_workspace(|ws| {
             gemm_serial::<V>(
-                cfg, op_a, op_b, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, ws,
+                cfg, op_a, op_b, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, ws, None,
             )
         });
         return;
     }
-    let (tm, tn) = partition_threads(t, m, n);
+    // §6 thread grid, through the plan cache (full-signature key with
+    // threads = t). Workers resolve their own sub-block plans below
+    // under threads = 1 keys — identical to the pre-cache behaviour.
+    let (tm, tn, plan_src) = crate::plan::parallel_grid::<V>(cfg, op_a, op_b, m, n, k, t);
+    #[cfg(not(feature = "telemetry"))]
+    let _ = plan_src;
     let nr = NR_VECS * V::LANES;
     let ap = SendConstPtr(a);
     let bp = SendConstPtr(b);
@@ -220,6 +225,7 @@ pub(crate) unsafe fn gemm_parallel<V: Vector>(
                 cp.0.add(ri * ldc + ci),
                 ldc,
                 ws,
+                None,
             )
         };
         #[cfg(feature = "telemetry")]
@@ -287,7 +293,9 @@ pub(crate) unsafe fn gemm_parallel<V: Vector>(
                 m, n, k, elem_bytes, &cfg.cache,
             )),
             plan: crate::driver::resolved_plan_tag(cfg, op_b, m, n, k, elem_bytes),
-            edge: crate::telemetry::edge_tag(cfg),
+            edge: crate::telemetry::edge_tag_of(cfg.edge),
+            plan_source: crate::telemetry::plan_source_tag(plan_src),
+            plan_ns: 0, // grid lookup cost is folded into total_ns
             path: crate::telemetry::PathTag::Parallel,
             mr: MR as u8,
             nr: nr as u8,

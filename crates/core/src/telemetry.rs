@@ -14,9 +14,10 @@
 
 pub use shalom_telemetry::{
     add_pack_ns, current_path, disable, enable, enabled, now_ns, pause_guard, record, record_batch,
-    record_dispatch, record_fork_join, reset, set_path, snapshot, take_pack_ns, CounterTotals,
-    DecisionRecord, EdgeTag, Histogram, PathTag, PauseGuard, PerfSample, PlanTag, ShapeClassTag,
-    TelemetrySnapshot, HIST_BUCKETS, RING_CAPACITY, SHARD_COUNT,
+    record_dispatch, record_fork_join, record_plan_evictions, record_plan_lookup, reset, set_path,
+    snapshot, take_pack_ns, CounterTotals, DecisionRecord, EdgeTag, Histogram, PathTag, PauseGuard,
+    PerfSample, PlanSourceTag, PlanTag, ShapeClassTag, TelemetrySnapshot, HIST_BUCKETS,
+    RING_CAPACITY, SHARD_COUNT,
 };
 
 /// Hardware-counter hooks (feature `perf-hooks`; graceful no-op without).
@@ -37,10 +38,19 @@ pub(crate) fn class_tag(class: ShapeClass) -> ShapeClassTag {
 }
 
 /// Internal: `EdgeSchedule` -> telemetry tag.
-pub(crate) fn edge_tag(cfg: &GemmConfig) -> EdgeTag {
-    match cfg.edge {
+pub(crate) fn edge_tag_of(edge: EdgeSchedule) -> EdgeTag {
+    match edge {
         EdgeSchedule::Pipelined => EdgeTag::Pipelined,
         EdgeSchedule::Batched => EdgeTag::Batched,
+    }
+}
+
+/// Internal: plan-cache `PlanSource` -> telemetry tag.
+pub(crate) fn plan_source_tag(src: crate::plan::PlanSource) -> PlanSourceTag {
+    match src {
+        crate::plan::PlanSource::Computed => PlanSourceTag::Computed,
+        crate::plan::PlanSource::Cached => PlanSourceTag::Cached,
+        crate::plan::PlanSource::Profile => PlanSourceTag::Profile,
     }
 }
 
@@ -78,6 +88,9 @@ pub(crate) fn serial_capture_end(
     k: usize,
     elem_bytes: usize,
     plan: PlanTag,
+    edge: EdgeTag,
+    plan_source: PlanSourceTag,
+    plan_ns: u64,
     mr: u8,
     nr: u8,
     workspace_bytes: usize,
@@ -92,7 +105,9 @@ pub(crate) fn serial_capture_end(
         elem_bits: (elem_bytes * 8) as u8,
         class: class_tag(crate::config::classify(m, n, k, elem_bytes, &cfg.cache)),
         plan,
-        edge: edge_tag(cfg),
+        edge,
+        plan_source,
+        plan_ns,
         path: PathTag::Serial, // thread tag applied on submit
         mr,
         nr,

@@ -1,0 +1,368 @@
+//! Integration tests for the plan-cache subsystem: memoized dispatch
+//! plans and persistent autotune profiles must never change what a GEMM
+//! computes — only how fast its plan is found.
+//!
+//! The plan cache is process-global, so every test here serializes on
+//! one mutex and clears the cache before acting.
+
+use shalom_core::{
+    autotune, describe_plan, gemm_with, install_tuned, load_profile, plan_cache_clear,
+    plan_cache_invalidate, plan_cache_stats, save_profile, set_plan_cache_enabled, CacheParams,
+    GemmConfig, GemmElem, Op, PlanSource, ProfileError,
+};
+use shalom_matrix::{assert_close, gemm_tolerance, reference, Matrix};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+fn state_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    match LOCK.get_or_init(|| Mutex::new(())).lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Fixed cache geometry so plan resolution doesn't depend on the host.
+fn fixed_config() -> GemmConfig {
+    GemmConfig {
+        cache: CacheParams {
+            l1: 32 * 1024,
+            l2: 2 * 1024 * 1024,
+            l3: 0,
+        },
+        threads: 1,
+        ..GemmConfig::default()
+    }
+}
+
+fn tmp_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("shalom_plan_{}_{}.json", std::process::id(), tag))
+}
+
+/// Runs one GEMM under `cfg` and returns the raw output slice.
+fn run_gemm<T: GemmElem>(
+    cfg: &GemmConfig,
+    op_a: Op,
+    op_b: Op,
+    m: usize,
+    n: usize,
+    k: usize,
+) -> Vec<T> {
+    let (ar, ac) = if op_a == Op::Trans { (k, m) } else { (m, k) };
+    let (br, bc) = if op_b == Op::Trans { (n, k) } else { (k, n) };
+    let a = Matrix::<T>::random(ar, ac, 11);
+    let b = Matrix::<T>::random(br, bc, 22);
+    let mut c = Matrix::<T>::random(m, n, 33);
+    gemm_with(
+        cfg,
+        op_a,
+        op_b,
+        T::from_f64(1.25),
+        a.as_ref(),
+        b.as_ref(),
+        T::from_f64(0.5),
+        c.as_mut(),
+    );
+    c.as_slice().to_vec()
+}
+
+/// Shapes spanning the dispatch space: degenerate, exact-tile, edge
+/// remainders in both M and N, tall/wide, and an irregular wide case.
+const SHAPES: [(usize, usize, usize); 6] = [
+    (1, 1, 1),
+    (7, 12, 4),
+    (8, 13, 5),
+    (5, 40, 40),
+    (64, 64, 64),
+    (16, 300, 33),
+];
+
+#[test]
+fn results_bitwise_identical_across_cache_modes() {
+    let _g = state_lock();
+    let cfg = fixed_config();
+    for (op_a, op_b) in [
+        (Op::NoTrans, Op::NoTrans),
+        (Op::NoTrans, Op::Trans),
+        (Op::Trans, Op::NoTrans),
+    ] {
+        for (m, n, k) in SHAPES {
+            // f32 and f64: cold miss, warm hit, cache-disabled, and
+            // profile-override runs must agree to the last bit.
+            plan_cache_clear();
+            set_plan_cache_enabled(true);
+            let cold32 = run_gemm::<f32>(&cfg, op_a, op_b, m, n, k);
+            let warm32 = run_gemm::<f32>(&cfg, op_a, op_b, m, n, k);
+            set_plan_cache_enabled(false);
+            let off32 = run_gemm::<f32>(&cfg, op_a, op_b, m, n, k);
+            set_plan_cache_enabled(true);
+            install_tuned::<f32>(&cfg, &cfg, op_a, op_b, m, n, k);
+            let prof32 = run_gemm::<f32>(&cfg, op_a, op_b, m, n, k);
+            assert_eq!(cold32, warm32, "{op_a:?}{op_b:?} {m}x{n}x{k} warm");
+            assert_eq!(cold32, off32, "{op_a:?}{op_b:?} {m}x{n}x{k} disabled");
+            assert_eq!(cold32, prof32, "{op_a:?}{op_b:?} {m}x{n}x{k} profile");
+
+            plan_cache_clear();
+            let cold64 = run_gemm::<f64>(&cfg, op_a, op_b, m, n, k);
+            let warm64 = run_gemm::<f64>(&cfg, op_a, op_b, m, n, k);
+            set_plan_cache_enabled(false);
+            let off64 = run_gemm::<f64>(&cfg, op_a, op_b, m, n, k);
+            set_plan_cache_enabled(true);
+            install_tuned::<f64>(&cfg, &cfg, op_a, op_b, m, n, k);
+            let prof64 = run_gemm::<f64>(&cfg, op_a, op_b, m, n, k);
+            assert_eq!(cold64, warm64, "{op_a:?}{op_b:?} {m}x{n}x{k} warm");
+            assert_eq!(cold64, off64, "{op_a:?}{op_b:?} {m}x{n}x{k} disabled");
+            assert_eq!(cold64, prof64, "{op_a:?}{op_b:?} {m}x{n}x{k} profile");
+        }
+    }
+    plan_cache_clear();
+}
+
+#[test]
+fn plan_source_transitions() {
+    let _g = state_lock();
+    let cfg = fixed_config();
+    plan_cache_clear();
+    set_plan_cache_enabled(true);
+
+    // Cold lookup computes; the same signature then hits.
+    let d1 = describe_plan::<f32>(&cfg, Op::NoTrans, Op::NoTrans, 31, 37, 41);
+    assert_eq!(d1.source, PlanSource::Computed);
+    let d2 = describe_plan::<f32>(&cfg, Op::NoTrans, Op::NoTrans, 31, 37, 41);
+    assert_eq!(d2.source, PlanSource::Cached);
+    assert_eq!(d1.plan, d2.plan, "hit must return the computed plan");
+
+    // Disabled: always computed, even for a cached signature.
+    set_plan_cache_enabled(false);
+    let d3 = describe_plan::<f32>(&cfg, Op::NoTrans, Op::NoTrans, 31, 37, 41);
+    assert_eq!(d3.source, PlanSource::Computed);
+    assert_eq!(d3.plan, d1.plan);
+    set_plan_cache_enabled(true);
+
+    // An installed override takes priority over the cached entry.
+    install_tuned::<f32>(&cfg, &cfg, Op::NoTrans, Op::NoTrans, 31, 37, 41);
+    let d4 = describe_plan::<f32>(&cfg, Op::NoTrans, Op::NoTrans, 31, 37, 41);
+    assert_eq!(d4.source, PlanSource::Profile);
+    assert_eq!(d4.plan, d1.plan, "same config -> same resolved plan");
+
+    // Counters saw all of the above.
+    let st = plan_cache_stats();
+    assert!(st.hits >= 2, "stats: {st:?}");
+    assert!(st.misses >= 1, "stats: {st:?}");
+    assert!(st.installs >= 1, "stats: {st:?}");
+    plan_cache_clear();
+}
+
+#[test]
+fn profile_round_trip_through_disk() {
+    let _g = state_lock();
+    let cfg = fixed_config();
+    let path = tmp_path("roundtrip");
+    plan_cache_clear();
+    set_plan_cache_enabled(true);
+
+    // Autotune (tiny budget) and install the winner for two signatures.
+    let report = autotune::<f32>(
+        &cfg,
+        Op::NoTrans,
+        Op::NoTrans,
+        8,
+        8,
+        8,
+        Duration::from_millis(40),
+    );
+    report.install::<f32>(&cfg, Op::NoTrans, Op::NoTrans, 8, 8, 8);
+    install_tuned::<f64>(&cfg, &cfg, Op::NoTrans, Op::Trans, 24, 16, 12);
+
+    let before32 = describe_plan::<f32>(&cfg, Op::NoTrans, Op::NoTrans, 8, 8, 8);
+    let before64 = describe_plan::<f64>(&cfg, Op::NoTrans, Op::Trans, 24, 16, 12);
+    assert_eq!(before32.source, PlanSource::Profile);
+    assert_eq!(before64.source, PlanSource::Profile);
+
+    let saved = save_profile(&path).expect("save");
+    assert!(saved >= 2, "saved {saved}");
+
+    // A fresh cache (standing in for a fresh process) reloads the same
+    // resolved plans.
+    plan_cache_clear();
+    assert_eq!(plan_cache_stats().profile_entries, 0);
+    let loaded = load_profile(&path).expect("load");
+    assert_eq!(loaded, saved);
+    let after32 = describe_plan::<f32>(&cfg, Op::NoTrans, Op::NoTrans, 8, 8, 8);
+    let after64 = describe_plan::<f64>(&cfg, Op::NoTrans, Op::Trans, 24, 16, 12);
+    assert_eq!(after32.source, PlanSource::Profile);
+    assert_eq!(after32.plan, before32.plan);
+    assert_eq!(after64.source, PlanSource::Profile);
+    assert_eq!(after64.plan, before64.plan);
+
+    let _ = std::fs::remove_file(&path);
+    plan_cache_clear();
+}
+
+#[test]
+fn bad_profiles_rejected_without_panic() {
+    let _g = state_lock();
+    let path = tmp_path("bad");
+
+    // Missing file -> Io.
+    let missing = tmp_path("never_written");
+    assert!(matches!(load_profile(&missing), Err(ProfileError::Io(_))));
+
+    // Future format version -> Version with the found value echoed.
+    std::fs::write(&path, "{\"version\":999,\"entries\":[]}").unwrap();
+    match load_profile(&path) {
+        Err(ProfileError::Version { found, expected }) => {
+            assert_eq!(found, 999);
+            assert_eq!(u64::from(expected), u64::from(shalom_core::PROFILE_VERSION));
+        }
+        other => panic!("want Version error, got {other:?}"),
+    }
+
+    // Corrupt documents -> Parse, never a panic.
+    for corrupt in [
+        "",
+        "not json",
+        "{\"entries\":[]}",
+        "{\"version\":1,\"entries\":[{\"m\":1}]}",
+        "[1,2,3]",
+    ] {
+        std::fs::write(&path, corrupt).unwrap();
+        assert!(
+            matches!(load_profile(&path), Err(ProfileError::Parse(_))),
+            "corrupt doc {corrupt:?} must be a Parse error"
+        );
+    }
+
+    // Well-formed JSON with out-of-range plan parameters -> Invalid:
+    // a profile may change strategy but never smuggle in a kc of 0.
+    let entry = "{\"elem_bits\":32,\"op_a\":\"N\",\"op_b\":\"N\",\"m\":8,\"n\":8,\"k\":8,\
+                 \"threads\":1,\"config_fp\":7,\"class\":0,\"b_plan\":0,\"edge\":0,\
+                 \"kc\":0,\"mc\":8,\"nc\":12,\"tm\":1,\"tn\":1,\"workspace_bytes\":0}";
+    std::fs::write(&path, format!("{{\"version\":1,\"entries\":[{entry}]}}")).unwrap();
+    assert!(matches!(load_profile(&path), Err(ProfileError::Invalid(_))));
+
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn invalidate_drops_computed_keeps_profiles() {
+    let _g = state_lock();
+    let cfg = fixed_config();
+    plan_cache_clear();
+    set_plan_cache_enabled(true);
+
+    describe_plan::<f32>(&cfg, Op::NoTrans, Op::NoTrans, 19, 23, 29);
+    install_tuned::<f32>(&cfg, &cfg, Op::Trans, Op::NoTrans, 17, 13, 11);
+    let st = plan_cache_stats();
+    assert!(st.entries > st.profile_entries, "computed entry resident");
+
+    plan_cache_invalidate();
+    let st = plan_cache_stats();
+    assert_eq!(st.entries, st.profile_entries, "only overrides survive");
+    assert!(st.profile_entries >= 1);
+
+    // The dropped signature re-computes; the override still serves.
+    let d = describe_plan::<f32>(&cfg, Op::NoTrans, Op::NoTrans, 19, 23, 29);
+    assert_eq!(d.source, PlanSource::Computed);
+    let d = describe_plan::<f32>(&cfg, Op::Trans, Op::NoTrans, 17, 13, 11);
+    assert_eq!(d.source, PlanSource::Profile);
+    plan_cache_clear();
+}
+
+#[test]
+fn perturbed_profile_changes_plan_not_results() {
+    let _g = state_lock();
+    let base = fixed_config();
+    // A tuned config with a different blocking derivation and edge
+    // schedule: the installed plan may differ from the analytic one,
+    // but the GEMM must still be numerically correct.
+    let tuned = GemmConfig {
+        cache: CacheParams {
+            l1: 16 * 1024,
+            l2: 256 * 1024,
+            l3: 0,
+        },
+        edge: shalom_core::EdgeSchedule::Batched,
+        ..base
+    };
+    plan_cache_clear();
+    set_plan_cache_enabled(true);
+    let (m, n, k) = (40, 52, 36);
+    install_tuned::<f64>(&base, &tuned, Op::NoTrans, Op::NoTrans, m, n, k);
+    let d = describe_plan::<f64>(&base, Op::NoTrans, Op::NoTrans, m, n, k);
+    assert_eq!(d.source, PlanSource::Profile);
+
+    let a = Matrix::<f64>::random(m, k, 1);
+    let b = Matrix::<f64>::random(k, n, 2);
+    let mut c = Matrix::<f64>::zeros(m, n);
+    let mut want = Matrix::<f64>::zeros(m, n);
+    reference::gemm(
+        Op::NoTrans,
+        Op::NoTrans,
+        1.0,
+        a.as_ref(),
+        b.as_ref(),
+        0.0,
+        want.as_mut(),
+    );
+    gemm_with(
+        &base,
+        Op::NoTrans,
+        Op::NoTrans,
+        1.0,
+        a.as_ref(),
+        b.as_ref(),
+        0.0,
+        c.as_mut(),
+    );
+    assert_close(c.as_ref(), want.as_ref(), gemm_tolerance::<f64>(k, 2.0));
+    plan_cache_clear();
+}
+
+#[test]
+fn parallel_and_batch_paths_survive_cache_toggles() {
+    let _g = state_lock();
+    // Threaded and batched dispatch consult the cache through their own
+    // key paths (grid under `threads = t`, shared serial plan under
+    // `threads = 1`); flipping the cache must not change either result.
+    let cfg = GemmConfig {
+        threads: 2,
+        ..fixed_config()
+    };
+    plan_cache_clear();
+    set_plan_cache_enabled(true);
+    let warm = run_gemm::<f32>(&cfg, Op::NoTrans, Op::NoTrans, 96, 96, 96);
+    let warm2 = run_gemm::<f32>(&cfg, Op::NoTrans, Op::NoTrans, 96, 96, 96);
+    set_plan_cache_enabled(false);
+    let off = run_gemm::<f32>(&cfg, Op::NoTrans, Op::NoTrans, 96, 96, 96);
+    set_plan_cache_enabled(true);
+    assert_eq!(warm, warm2);
+    assert_eq!(warm, off);
+
+    // Uniform batch: one shared plan lookup, same numbers either way.
+    let a: Vec<Matrix<f32>> = (0..6).map(|i| Matrix::random(8, 8, 100 + i)).collect();
+    let b: Vec<Matrix<f32>> = (0..6).map(|i| Matrix::random(8, 8, 200 + i)).collect();
+    let run_batch = || {
+        let mut c: Vec<Matrix<f32>> = (0..6).map(|_| Matrix::zeros(8, 8)).collect();
+        let mut items: Vec<shalom_core::BatchItem<f32>> = a
+            .iter()
+            .zip(&b)
+            .zip(c.iter_mut())
+            .map(|((a, b), c)| shalom_core::BatchItem {
+                a: a.as_ref(),
+                b: b.as_ref(),
+                c: c.as_mut(),
+            })
+            .collect();
+        shalom_core::gemm_batch_beta(&cfg, Op::NoTrans, Op::NoTrans, 1.0f32, 0.0, &mut items);
+        c.iter()
+            .flat_map(|m| m.as_slice().to_vec())
+            .collect::<Vec<f32>>()
+    };
+    let batch_on = run_batch();
+    set_plan_cache_enabled(false);
+    let batch_off = run_batch();
+    set_plan_cache_enabled(true);
+    assert_eq!(batch_on, batch_off);
+    plan_cache_clear();
+}

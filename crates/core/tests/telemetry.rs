@@ -208,6 +208,46 @@ fn batch_path_counts_items() {
     );
 }
 
+#[test]
+fn plan_cache_hits_show_up_in_records_and_counters() {
+    let _g = state_lock();
+    // A signature no other test uses, so the cold call really misses.
+    shalom_core::plan_cache_clear();
+    shalom_core::set_plan_cache_enabled(true);
+    let cfg = fixed_config();
+    let (m, n, k) = (51, 49, 47);
+
+    let cold = trace_gemm(&cfg, Op::NoTrans, Op::NoTrans, m, n, k);
+    let r = sole_record(&cold, m, n, k);
+    assert_eq!(r.plan_source, telemetry::PlanSourceTag::Computed);
+
+    let warm = trace_gemm(&cfg, Op::NoTrans, Op::NoTrans, m, n, k);
+    let r = sole_record(&warm, m, n, k);
+    assert_eq!(r.plan_source, telemetry::PlanSourceTag::Cached);
+
+    // Counters (reset per trace_gemm) saw exactly the warm lookup.
+    let snap = telemetry::snapshot();
+    assert_eq!(snap.totals.plan_hits, 1, "warm call must hit");
+    assert_eq!(snap.totals.plan_misses, 0);
+
+    // An installed autotune override reports as Profile.
+    shalom_core::install_tuned::<f32>(&cfg, &cfg, Op::NoTrans, Op::NoTrans, m, n, k);
+    let prof = trace_gemm(&cfg, Op::NoTrans, Op::NoTrans, m, n, k);
+    let r = sole_record(&prof, m, n, k);
+    assert_eq!(r.plan_source, telemetry::PlanSourceTag::Profile);
+
+    // With the cache disabled the source degrades to Computed and no
+    // lookups are counted.
+    shalom_core::set_plan_cache_enabled(false);
+    let off = trace_gemm(&cfg, Op::NoTrans, Op::NoTrans, m, n, k);
+    let r = sole_record(&off, m, n, k);
+    assert_eq!(r.plan_source, telemetry::PlanSourceTag::Computed);
+    let snap = telemetry::snapshot();
+    assert_eq!(snap.totals.plan_hits + snap.totals.plan_misses, 0);
+    shalom_core::set_plan_cache_enabled(true);
+    shalom_core::plan_cache_clear();
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 

@@ -1,0 +1,279 @@
+//! A minimal JSON reader for the profile format — objects, arrays,
+//! strings, and unsigned integers only, which is exactly what the
+//! profile grammar uses. Hand-rolled because the workspace is offline
+//! and carries no serialization dependency; the telemetry crate already
+//! hand-writes its JSON output the same way.
+//!
+//! Integers accumulate in `u128` and are range-checked on extraction, so
+//! a full-width `u64` (the config fingerprint) round-trips exactly.
+
+/// A parsed JSON value (profile-grammar subset).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Json {
+    /// An unsigned integer.
+    UInt(u128),
+    /// A string (no escapes beyond `\"` and `\\`).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, as ordered key/value pairs.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    pub(crate) fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::UInt(v) => u64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Maximum nesting depth — the profile grammar needs 3; the bound keeps
+/// a hostile input from overflowing the stack.
+const MAX_DEPTH: usize = 16;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+/// Parses one JSON document; trailing non-whitespace is an error.
+pub(crate) fn parse(input: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing data after document"));
+    }
+    Ok(v)
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> String {
+        format!("{msg} at byte {}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        if self.peek() == Some(want) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", want as char)))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, String> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'0'..=b'9') => self.uint(),
+            Some(c) => Err(self.err(&format!(
+                "unexpected '{}' (profile grammar: objects, arrays, strings, unsigned ints)",
+                c as char
+            ))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            if self.peek() != Some(b'"') {
+                return Err(self.err("expected string key"));
+            }
+            let key = self.string()?;
+            self.expect(b':')?;
+            let val = self.value(depth + 1)?;
+            pairs.push((key, val));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value(depth + 1)?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos).copied() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos).copied() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        _ => return Err(self.err("unsupported escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8: the input came from `&str`, so
+                    // the sequence is valid — copy it through whole.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("bad utf-8"))?;
+                    let ch = s.chars().next().unwrap();
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn uint(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        let mut v: u128 = 0;
+        while let Some(d) = self.bytes.get(self.pos).copied() {
+            if !d.is_ascii_digit() {
+                break;
+            }
+            v = v
+                .checked_mul(10)
+                .and_then(|v| v.checked_add((d - b'0') as u128))
+                .ok_or_else(|| self.err("integer overflow"))?;
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected digit"));
+        }
+        Ok(Json::UInt(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_profile_shaped_document() {
+        let v = parse(r#"{"version":1,"entries":[{"op":"N","fp":18446744073709551615}]}"#).unwrap();
+        assert_eq!(v.get("version").and_then(Json::as_u64), Some(1));
+        let entries = v.get("entries").and_then(Json::as_arr).unwrap();
+        assert_eq!(entries[0].get("op").and_then(Json::as_str), Some("N"));
+        // Full-width u64 survives.
+        assert_eq!(entries[0].get("fp").and_then(Json::as_u64), Some(u64::MAX));
+    }
+
+    #[test]
+    fn whitespace_and_escapes() {
+        let v = parse(" { \"a\" : [ 1 , 2 ] , \"s\" : \"x\\\"y\\\\z\" } ").unwrap();
+        assert_eq!(
+            v.get("a").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(2)
+        );
+        assert_eq!(v.get("s").and_then(Json::as_str), Some("x\"y\\z"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "{\"a\":1}extra",
+            "-1",
+            "1.5",
+            "true",
+            "{\"a\" 1}",
+            "\"unterminated",
+            "{\"e\":\"\\n\"}",
+            "99999999999999999999999999999999999999999",
+        ] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn depth_bounded() {
+        let deep = "[".repeat(64) + &"]".repeat(64);
+        assert!(parse(&deep).is_err());
+    }
+
+    #[test]
+    fn out_of_range_extraction_is_none() {
+        let v = parse("340282366920938463463374607431768211455").unwrap();
+        assert_eq!(v.as_u64(), None);
+    }
+}

@@ -1,0 +1,273 @@
+//! Persistent plan profiles: a versioned JSON file of `(PlanKey,
+//! ResolvedPlan)` pairs, so autotuned dispatch decisions survive the
+//! process and can be reloaded IAAT-style (`SHALOM_PROFILE` env or the
+//! `load_profile` API in the core crate).
+//!
+//! Robustness contract: loading is total — malformed files, version
+//! mismatches, and out-of-range plans come back as [`ProfileError`],
+//! never a panic, so a stale or hand-edited profile can degrade a
+//! process to "no overrides" but can't take it down.
+
+use crate::json::{parse, Json};
+use crate::{PlanKey, ResolvedPlan};
+use std::fmt;
+use std::path::Path;
+
+/// On-disk format version. Bump on any change to the entry grammar or
+/// to the meaning of the encoded discriminants; loaders reject every
+/// other version rather than guess.
+pub const PROFILE_VERSION: u32 = 1;
+
+/// Why a profile failed to load (or save).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProfileError {
+    /// Filesystem error (missing file, permissions, ...).
+    Io(String),
+    /// The document is not valid profile JSON.
+    Parse(String),
+    /// The file declares a different [`PROFILE_VERSION`].
+    Version {
+        /// Version the file declared.
+        found: u64,
+        /// Version this library reads.
+        expected: u32,
+    },
+    /// Structurally valid JSON whose key/plan fields fail validation.
+    Invalid(String),
+}
+
+impl fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProfileError::Io(e) => write!(f, "profile io error: {e}"),
+            ProfileError::Parse(e) => write!(f, "profile parse error: {e}"),
+            ProfileError::Version { found, expected } => {
+                write!(f, "profile version {found} (this library reads {expected})")
+            }
+            ProfileError::Invalid(e) => write!(f, "profile entry invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProfileError {}
+
+fn op_str(op: u8) -> &'static str {
+    if op == b'T' {
+        "T"
+    } else {
+        "N"
+    }
+}
+
+/// Serializes entries to the versioned profile document (one entry per
+/// line, for reviewable diffs).
+pub fn to_json(entries: &[(PlanKey, ResolvedPlan)]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{{\"version\":{PROFILE_VERSION},\"entries\":[\n"));
+    for (i, (key, plan)) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            concat!(
+                "{{\"elem_bits\":{},\"op_a\":\"{}\",\"op_b\":\"{}\",",
+                "\"m\":{},\"n\":{},\"k\":{},\"threads\":{},\"config_fp\":{},",
+                "\"class\":{},\"b_plan\":{},\"edge\":{},",
+                "\"kc\":{},\"mc\":{},\"nc\":{},\"tm\":{},\"tn\":{},",
+                "\"workspace_bytes\":{}}}"
+            ),
+            key.elem_bits,
+            op_str(key.op_a),
+            op_str(key.op_b),
+            key.m,
+            key.n,
+            key.k,
+            key.threads,
+            key.config_fp,
+            plan.class,
+            plan.b_plan,
+            plan.edge,
+            plan.kc,
+            plan.mc,
+            plan.nc,
+            plan.tm,
+            plan.tn,
+            plan.workspace_bytes,
+        ));
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+fn field_u64(obj: &Json, key: &str) -> Result<u64, ProfileError> {
+    obj.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| ProfileError::Parse(format!("entry missing unsigned field {key:?}")))
+}
+
+fn narrow<T: TryFrom<u64>>(key: &str, v: u64) -> Result<T, ProfileError> {
+    T::try_from(v).map_err(|_| ProfileError::Invalid(format!("{key} {v} out of range")))
+}
+
+fn field_op(obj: &Json, key: &str) -> Result<u8, ProfileError> {
+    match obj.get(key).and_then(Json::as_str) {
+        Some("N") => Ok(b'N'),
+        Some("T") => Ok(b'T'),
+        _ => Err(ProfileError::Parse(format!(
+            "entry field {key:?} must be \"N\" or \"T\""
+        ))),
+    }
+}
+
+/// Parses and fully validates a profile document.
+pub fn from_json(input: &str) -> Result<Vec<(PlanKey, ResolvedPlan)>, ProfileError> {
+    let doc = parse(input).map_err(ProfileError::Parse)?;
+    let version = field_u64(&doc, "version")
+        .map_err(|_| ProfileError::Parse("missing \"version\" field".to_string()))?;
+    if version != u64::from(PROFILE_VERSION) {
+        return Err(ProfileError::Version {
+            found: version,
+            expected: PROFILE_VERSION,
+        });
+    }
+    let entries = doc
+        .get("entries")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ProfileError::Parse("missing \"entries\" array".to_string()))?;
+    let mut out = Vec::with_capacity(entries.len());
+    for e in entries {
+        let key = PlanKey {
+            elem_bits: narrow("elem_bits", field_u64(e, "elem_bits")?)?,
+            op_a: field_op(e, "op_a")?,
+            op_b: field_op(e, "op_b")?,
+            m: field_u64(e, "m")?,
+            n: field_u64(e, "n")?,
+            k: field_u64(e, "k")?,
+            threads: narrow("threads", field_u64(e, "threads")?)?,
+            config_fp: field_u64(e, "config_fp")?,
+        };
+        let plan = ResolvedPlan {
+            class: narrow("class", field_u64(e, "class")?)?,
+            b_plan: narrow("b_plan", field_u64(e, "b_plan")?)?,
+            edge: narrow("edge", field_u64(e, "edge")?)?,
+            kc: narrow("kc", field_u64(e, "kc")?)?,
+            mc: narrow("mc", field_u64(e, "mc")?)?,
+            nc: narrow("nc", field_u64(e, "nc")?)?,
+            tm: narrow("tm", field_u64(e, "tm")?)?,
+            tn: narrow("tn", field_u64(e, "tn")?)?,
+            workspace_bytes: field_u64(e, "workspace_bytes")?,
+        };
+        key.validate().map_err(ProfileError::Invalid)?;
+        plan.validate().map_err(ProfileError::Invalid)?;
+        out.push((key, plan));
+    }
+    Ok(out)
+}
+
+/// Writes a profile document to `path`.
+pub fn save(path: &Path, entries: &[(PlanKey, ResolvedPlan)]) -> Result<(), ProfileError> {
+    std::fs::write(path, to_json(entries)).map_err(|e| ProfileError::Io(e.to_string()))
+}
+
+/// Reads and fully validates a profile document from `path`.
+pub fn load(path: &Path) -> Result<Vec<(PlanKey, ResolvedPlan)>, ProfileError> {
+    let text = std::fs::read_to_string(path).map_err(|e| ProfileError::Io(e.to_string()))?;
+    from_json(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::{key, plan};
+
+    #[test]
+    fn round_trips_exactly() {
+        let entries = vec![
+            (key(0), plan(0)),
+            (
+                PlanKey {
+                    elem_bits: 64,
+                    op_a: b'T',
+                    op_b: b'T',
+                    m: u64::MAX,
+                    n: 1,
+                    k: 1,
+                    threads: 128,
+                    config_fp: u64::MAX,
+                },
+                ResolvedPlan {
+                    class: 2,
+                    b_plan: 3,
+                    edge: 1,
+                    kc: 1 << 13,
+                    mc: 1 << 16,
+                    nc: 1 << 20,
+                    tm: u16::MAX,
+                    tn: 1,
+                    workspace_bytes: u64::MAX,
+                },
+            ),
+        ];
+        let text = to_json(&entries);
+        assert_eq!(from_json(&text).unwrap(), entries);
+    }
+
+    #[test]
+    fn empty_profile_round_trips() {
+        assert_eq!(from_json(&to_json(&[])).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn rejects_version_mismatch() {
+        let err = from_json(r#"{"version":999,"entries":[]}"#).unwrap_err();
+        assert_eq!(
+            err,
+            ProfileError::Version {
+                found: 999,
+                expected: PROFILE_VERSION
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_corrupt_documents() {
+        for bad in [
+            "",
+            "not json",
+            "{\"entries\":[]}",
+            "{\"version\":1}",
+            "{\"version\":1,\"entries\":[{}]}",
+            "{\"version\":1,\"entries\":[{\"elem_bits\":32}]}",
+        ] {
+            assert!(
+                matches!(from_json(bad), Err(ProfileError::Parse(_))),
+                "{bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range_plans() {
+        // kc = 0 would make the driver's kk loop spin forever: Invalid.
+        let mut entries = vec![(key(0), plan(0))];
+        entries[0].1.kc = 0;
+        let text = to_json(&entries);
+        assert!(matches!(from_json(&text), Err(ProfileError::Invalid(_))));
+        // op byte is checked via the string field, so a bad threads
+        // value exercises key validation instead.
+        let text = to_json(&[(
+            PlanKey {
+                threads: 0,
+                ..key(0)
+            },
+            plan(0),
+        )]);
+        assert!(matches!(from_json(&text), Err(ProfileError::Invalid(_))));
+    }
+
+    #[test]
+    fn io_errors_surface() {
+        let missing = Path::new("/nonexistent/shalom/profile.json");
+        assert!(matches!(load(missing), Err(ProfileError::Io(_))));
+    }
+}

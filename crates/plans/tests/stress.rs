@@ -1,0 +1,127 @@
+//! Concurrency stress for the plan cache: many threads issuing mixed
+//! lookups/inserts over overlapping signatures while other threads
+//! concurrently install profile overrides, clear, and invalidate. Run
+//! in CI under ThreadSanitizer (see `.github/workflows/ci.yml`); the
+//! in-process assertions check that the cache stays coherent — every
+//! surviving entry validates and the counters account for every lookup.
+
+use shalom_plans::{PlanCache, PlanKey, ResolvedPlan, Source};
+use std::thread;
+
+fn key(i: u64) -> PlanKey {
+    PlanKey {
+        elem_bits: if i.is_multiple_of(2) { 32 } else { 64 },
+        op_a: if i.is_multiple_of(3) { b'T' } else { b'N' },
+        op_b: if i.is_multiple_of(5) { b'T' } else { b'N' },
+        m: 1 + i % 97,
+        n: 1 + i % 89,
+        k: 1 + i % 83,
+        threads: 1 + (i % 4) as u32,
+        config_fp: 0xfeed_beef ^ (i / 701),
+    }
+}
+
+fn plan(i: u64) -> ResolvedPlan {
+    ResolvedPlan {
+        class: (i % 3) as u8,
+        b_plan: (i % 4) as u8,
+        edge: (i % 2) as u8,
+        kc: 32 + (i % 480) as u32,
+        mc: 7 + (i % 1000) as u32,
+        nc: 12 + (i % 4000) as u32,
+        tm: 1 + (i % 4) as u16,
+        tn: 1 + (i % 2) as u16,
+        workspace_bytes: i,
+    }
+}
+
+#[test]
+fn concurrent_mixed_signatures_with_clear_and_install() {
+    const READERS: u64 = 6;
+    const OPS: u64 = 20_000;
+
+    // Small enough capacity that eviction fires under the churn below.
+    let cache = PlanCache::new(512);
+    let mut local_lookups = 0u64;
+
+    thread::scope(|s| {
+        let mut handles = Vec::new();
+        for t in 0..READERS {
+            let cache = &cache;
+            handles.push(s.spawn(move || {
+                let mut lookups = 0u64;
+                for i in 0..OPS {
+                    let k = key(i % 701 + t * 13);
+                    lookups += 1;
+                    if cache.get(&k).is_none() {
+                        cache.insert_computed(k, plan(i));
+                    }
+                }
+                lookups
+            }));
+        }
+        let installer = s.spawn(|| {
+            for i in 0..2_000u64 {
+                cache.install(key(i % 64), plan(i));
+            }
+        });
+        let clearer = s.spawn(|| {
+            for _ in 0..200 {
+                cache.clear();
+                thread::yield_now();
+            }
+        });
+        let invalidator = s.spawn(|| {
+            for _ in 0..200 {
+                cache.invalidate_computed();
+                thread::yield_now();
+            }
+        });
+        for h in handles {
+            local_lookups += h.join().unwrap();
+        }
+        installer.join().unwrap();
+        clearer.join().unwrap();
+        invalidator.join().unwrap();
+    });
+
+    let st = cache.stats();
+    // Every lookup was counted exactly once, as either a hit or a miss.
+    assert_eq!(st.hits + st.misses, local_lookups);
+    assert_eq!(st.installs, 2_000);
+    // Whatever survived the churn is a well-formed entry.
+    for (k, p, _) in cache.entries() {
+        k.validate().unwrap();
+        p.validate().unwrap();
+    }
+    // Profile overrides outrank computed entries under their keys.
+    for (k, _, src) in cache.entries() {
+        if src == Source::Profile {
+            assert_eq!(cache.get(&k).map(|(_, s)| s), Some(Source::Profile));
+        }
+    }
+}
+
+#[test]
+fn invalidate_under_load_keeps_profiles_only() {
+    let cache = PlanCache::new(4096);
+    thread::scope(|s| {
+        for t in 0..4u64 {
+            let cache = &cache;
+            s.spawn(move || {
+                for i in 0..5_000 {
+                    cache.insert_computed(key(i + t * 10_000), plan(i));
+                }
+            });
+        }
+        s.spawn(|| {
+            for i in 0..256u64 {
+                cache.install(key(1_000_000 + i), plan(i));
+            }
+        });
+    });
+    cache.invalidate_computed();
+    let entries = cache.entries();
+    assert!(!entries.is_empty());
+    assert!(entries.iter().all(|(_, _, src)| *src == Source::Profile));
+}

@@ -47,7 +47,7 @@ pub use clock::now_ns;
 pub use counters::{CounterTotals, SHARD_COUNT};
 pub use hist::{Histogram, HIST_BUCKETS};
 pub use perf::PerfSample;
-pub use record::{DecisionRecord, EdgeTag, PathTag, PlanTag, ShapeClassTag};
+pub use record::{DecisionRecord, EdgeTag, PathTag, PlanSourceTag, PlanTag, ShapeClassTag};
 pub use ring::RING_CAPACITY;
 pub use snapshot::TelemetrySnapshot;
 
@@ -188,6 +188,17 @@ pub fn record_dispatch(ns: u64) {
     global().counters.observe_dispatch(ns);
 }
 
+/// Count one plan-cache lookup outcome (`hit = true` for a warm hit,
+/// `false` for a miss that recomputed the plan).
+pub fn record_plan_lookup(hit: bool) {
+    global().counters.observe_plan_lookup(hit);
+}
+
+/// Count `n` plan-cache entries dropped by one eviction pass.
+pub fn record_plan_evictions(n: u64) {
+    global().counters.observe_plan_evictions(n);
+}
+
 /// Capture a point-in-time [`TelemetrySnapshot`].
 pub fn snapshot() -> TelemetrySnapshot {
     let g = global();
@@ -298,6 +309,20 @@ mod tests {
         add_pack_ns(2);
         assert_eq!(take_pack_ns(), 42);
         assert_eq!(take_pack_ns(), 0);
+    }
+
+    #[test]
+    fn plan_lookup_records() {
+        let _l = state_lock();
+        reset();
+        record_plan_lookup(false);
+        record_plan_lookup(true);
+        record_plan_evictions(3);
+        let t = snapshot().totals;
+        assert_eq!(t.plan_hits, 1);
+        assert_eq!(t.plan_misses, 1);
+        assert_eq!(t.plan_evictions, 3);
+        reset();
     }
 
     #[test]

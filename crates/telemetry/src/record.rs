@@ -97,6 +97,41 @@ impl EdgeTag {
     }
 }
 
+/// Where the dispatch plan for a call came from (plan-cache outcome).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlanSourceTag {
+    /// Resolved from scratch (cache miss or cache disabled).
+    #[default]
+    Computed,
+    /// Served from the in-process plan cache (warm hit).
+    Cached,
+    /// Served from an installed autotune profile override.
+    Profile,
+}
+
+impl PlanSourceTag {
+    /// Stable label used in JSON output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PlanSourceTag::Computed => "computed",
+            PlanSourceTag::Cached => "cached",
+            PlanSourceTag::Profile => "profile",
+        }
+    }
+
+    /// Dense index for counter arrays.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// All variants, in `index` order.
+    pub const ALL: [PlanSourceTag; 3] = [
+        PlanSourceTag::Computed,
+        PlanSourceTag::Cached,
+        PlanSourceTag::Profile,
+    ];
+}
+
 /// Which dispatch layer emitted the record.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum PathTag {
@@ -159,6 +194,10 @@ pub struct DecisionRecord {
     pub plan: PlanTag,
     /// §5.4 edge-kernel schedule in effect.
     pub edge: EdgeTag,
+    /// Where the dispatch plan came from (cache hit / miss / profile).
+    pub plan_source: PlanSourceTag,
+    /// Nanoseconds spent resolving the plan (lookup or recompute).
+    pub plan_ns: u64,
     /// Which dispatch layer this record describes.
     pub path: PathTag,
     /// Register-tile rows (`mr`).
@@ -200,7 +239,8 @@ impl DecisionRecord {
             concat!(
                 "{{\"seq\":{},\"m\":{},\"n\":{},\"k\":{},\"op\":\"{}{}\",",
                 "\"elem\":\"f{}\",\"class\":\"{}\",\"plan\":\"{}\",",
-                "\"edge\":\"{}\",\"path\":\"{}\",\"mr\":{},\"nr\":{},",
+                "\"edge\":\"{}\",\"plan_source\":\"{}\",\"plan_ns\":{},",
+                "\"path\":\"{}\",\"mr\":{},\"nr\":{},",
                 "\"tm\":{},\"tn\":{},\"threads\":{},\"workspace_bytes\":{},",
                 "\"pack_ns\":{},\"total_ns\":{},\"gflops\":{:.3}}}"
             ),
@@ -214,6 +254,8 @@ impl DecisionRecord {
             self.class.as_str(),
             self.plan.as_str(),
             self.edge.as_str(),
+            self.plan_source.as_str(),
+            self.plan_ns,
             self.path.as_str(),
             self.mr,
             self.nr,
@@ -243,6 +285,9 @@ mod tests {
         for (i, p) in PathTag::ALL.iter().enumerate() {
             assert_eq!(p.index(), i);
         }
+        for (i, s) in PlanSourceTag::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
     }
 
     #[test]
@@ -258,6 +303,8 @@ mod tests {
             class: ShapeClassTag::Irregular,
             plan: PlanTag::Lookahead,
             edge: EdgeTag::Pipelined,
+            plan_source: PlanSourceTag::Cached,
+            plan_ns: 120,
             path: PathTag::Parallel,
             mr: 7,
             nr: 12,
@@ -276,6 +323,8 @@ mod tests {
             "\"path\":\"parallel\"",
             "\"tn\":4",
             "\"elem\":\"f32\"",
+            "\"plan_source\":\"cached\"",
+            "\"plan_ns\":120",
         ] {
             assert!(j.contains(needle), "{j} missing {needle}");
         }

@@ -99,6 +99,12 @@ impl TelemetrySnapshot {
             t.workspace_peak_bytes,
             self.dropped_records,
         ));
+        if t.plan_hits + t.plan_misses + t.plan_evictions > 0 {
+            lines.push(format!(
+                "  plan cache: {} hits / {} misses / {} evictions",
+                t.plan_hits, t.plan_misses, t.plan_evictions,
+            ));
+        }
         for c in ShapeClassTag::ALL {
             let h = &self.histograms[c.index()];
             if let Some(p50) = h.quantile_ns(0.5) {

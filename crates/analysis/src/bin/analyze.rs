@@ -1,0 +1,47 @@
+//! The `analyze` bin: runs every static-analysis pass over the
+//! workspace and exits non-zero on any finding. CI runs this in the
+//! audit matrix; locally, `cargo run -p shalom-analysis --bin analyze`.
+//!
+//! Usage: `analyze [--root <path>]` — `--root` overrides the repo root
+//! (used by the fixture tests to point at seeded violation trees).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use shalom_analysis::workspace;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut root: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("analyze: --root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: analyze [--root <repo-root>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("analyze: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(workspace::repo_root);
+
+    let findings = workspace::analyze_repo_default(&root);
+    if findings.is_empty() {
+        println!(
+            "analyze: clean — atomics, panics, allocs and features passes found no violations"
+        );
+        return ExitCode::SUCCESS;
+    }
+    print!("{}", shalom_analysis::render(&findings));
+    eprintln!("analyze: {} finding(s)", findings.len());
+    ExitCode::FAILURE
+}

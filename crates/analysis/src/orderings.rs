@@ -1,0 +1,160 @@
+//! Registry of memory-ordering justification tags.
+//!
+//! Every atomic operation in the audited files must carry an
+//! `// ORDERING(SHALOM-O-…): why` comment whose tag is registered here,
+//! mirroring the contract-tag registry in `shalom-contracts`. The
+//! registry also records per-tag facts the pattern rules consume:
+//! whether a `Relaxed` store under this tag is allowed to coexist with
+//! `Acquire` loads of the same atomic (an external happens-before edge
+//! exists), and whether the tag names one side of a seqlock protocol.
+
+/// Which side of a seqlock protocol a tag belongs to, if any.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Protocol {
+    /// Writer side: odd-marking CAS/store, volatile writes, then a
+    /// `Release` publish of the even sequence.
+    SeqlockWriter,
+    /// Reader side: `Acquire` sequence load, volatile reads, an
+    /// `Acquire` fence, then the validation re-load.
+    SeqlockReader,
+}
+
+/// One registered ordering tag.
+#[derive(Debug, Clone, Copy)]
+pub struct OrderingTag {
+    /// Tag id, e.g. `SHALOM-O-POOL-TASK`.
+    pub id: &'static str,
+    /// One-line summary of the happens-before argument.
+    pub summary: &'static str,
+    /// When true, the relaxed-publish rule accepts `Relaxed` stores
+    /// under this tag even though the same atomic is `Acquire`-loaded
+    /// elsewhere in the file (ordering is provided externally — a
+    /// mutex, quiescence, or a fence).
+    pub relaxed_publish_ok: bool,
+    /// Seqlock protocol side this tag names, if any. Functions that
+    /// contain a protocol-tagged site are checked for the full event
+    /// sequence of that side.
+    pub protocol: Option<Protocol>,
+}
+
+/// All tags the audit accepts. Adding an atomic site means either
+/// reusing one of these arguments or registering a new tag here with a
+/// real happens-before story.
+pub const ORDERING_TAGS: &[OrderingTag] = &[
+    OrderingTag {
+        id: "SHALOM-O-POOL-TASK",
+        summary: "pool task cursor: Relaxed RMW/reset; the epoch mutex+condvar publish the batch",
+        relaxed_publish_ok: true,
+        protocol: None,
+    },
+    OrderingTag {
+        id: "SHALOM-O-POOL-NAME",
+        summary: "pool name counter: Relaxed unique-id tick, no data published",
+        relaxed_publish_ok: false,
+        protocol: None,
+    },
+    OrderingTag {
+        id: "SHALOM-O-PLAN-FLAG",
+        summary: "plan-cache enable flag: Relaxed on/off hint; stale reads only skip the cache",
+        relaxed_publish_ok: true,
+        protocol: None,
+    },
+    OrderingTag {
+        id: "SHALOM-O-CACHE-STATS",
+        summary: "cache hit/miss counters: Relaxed monotonic stats, read for reporting only",
+        relaxed_publish_ok: true,
+        protocol: None,
+    },
+    OrderingTag {
+        id: "SHALOM-O-TEL-STATE",
+        summary: "telemetry state word: Relaxed flag/pause bits; readers only gate recording",
+        relaxed_publish_ok: false,
+        protocol: None,
+    },
+    OrderingTag {
+        id: "SHALOM-O-TEL-COUNTER",
+        summary: "telemetry counters: Relaxed per-shard adds; totals are a racy snapshot by design",
+        relaxed_publish_ok: true,
+        protocol: None,
+    },
+    OrderingTag {
+        id: "SHALOM-O-TEL-SHARD-IDX",
+        summary: "shard round-robin cursor: Relaxed tick, only distributes contention",
+        relaxed_publish_ok: false,
+        protocol: None,
+    },
+    OrderingTag {
+        id: "SHALOM-O-RING-TICKET",
+        summary: "ring head ticket: Relaxed fetch_add; slot seqlock orders the payload",
+        relaxed_publish_ok: true,
+        protocol: None,
+    },
+    OrderingTag {
+        id: "SHALOM-O-RING-SEQ-WRITER",
+        summary:
+            "seqlock writer: Acquire CAS marks odd, Release store publishes even after payload",
+        relaxed_publish_ok: false,
+        protocol: Some(Protocol::SeqlockWriter),
+    },
+    OrderingTag {
+        id: "SHALOM-O-RING-SEQ-READER",
+        summary: "seqlock reader: Acquire seq load, volatile read, Acquire fence, validate re-load",
+        relaxed_publish_ok: false,
+        protocol: Some(Protocol::SeqlockReader),
+    },
+    OrderingTag {
+        id: "SHALOM-O-RING-RESET",
+        summary:
+            "ring clear: Relaxed wipe valid only under external quiescence (&mut or test setup)",
+        relaxed_publish_ok: true,
+        protocol: None,
+    },
+    OrderingTag {
+        id: "SHALOM-O-HIST",
+        summary: "histogram buckets: Relaxed adds; snapshots tolerate cross-bucket skew",
+        relaxed_publish_ok: true,
+        protocol: None,
+    },
+    OrderingTag {
+        id: "SHALOM-O-PERF-FD",
+        summary: "perf fd slot: AcqRel CAS publishes the opened fd; Acquire load observes it",
+        relaxed_publish_ok: false,
+        protocol: None,
+    },
+];
+
+/// Looks a tag up by id.
+pub fn find(id: &str) -> Option<&'static OrderingTag> {
+    ORDERING_TAGS.iter().find(|t| t.id == id)
+}
+
+/// All registered tag ids (for the unknown-tag diagnostic).
+pub fn known_ids() -> impl Iterator<Item = &'static str> {
+    ORDERING_TAGS.iter().map(|t| t.id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_are_unique_and_well_formed() {
+        let mut seen = HashSet::new();
+        for t in ORDERING_TAGS {
+            assert!(t.id.starts_with("SHALOM-O-"), "bad prefix: {}", t.id);
+            assert!(seen.insert(t.id), "duplicate tag {}", t.id);
+            assert!(!t.summary.is_empty());
+        }
+    }
+
+    #[test]
+    fn find_works() {
+        assert!(find("SHALOM-O-POOL-TASK").is_some());
+        assert!(find("SHALOM-O-NOPE").is_none());
+        assert_eq!(
+            find("SHALOM-O-RING-SEQ-READER").unwrap().protocol,
+            Some(Protocol::SeqlockReader)
+        );
+    }
+}

@@ -1,0 +1,180 @@
+//! Pass 3: allocation freedom.
+//!
+//! Steady-state sections are marked either with a bare `// ALLOC-FREE`
+//! in a function's header block (covers the whole body) or an explicit
+//! `// ALLOC-FREE: begin` … `// ALLOC-FREE: end` pair. Inside a marked
+//! range, calls that allocate are findings: constructor paths
+//! (`Vec::`, `Box::`, `String::`), allocating macros (`vec!`,
+//! `format!`), and growing/converting method calls (`.to_string(`,
+//! `.to_vec(`, `.to_owned(`, `.collect(`, `.push(`, `.reserve(`,
+//! `.resize(`, `.extend(`, `.insert(`).
+//!
+//! This statically complements the counting-allocator regression test
+//! from the plan-cache PR: the allocator test proves a particular call
+//! sequence is allocation-free at runtime; this pass keeps every marked
+//! region honest on every path, compiled or not.
+
+use crate::lexer::TokenKind;
+use crate::passes::CodeTokens;
+use crate::source::SourceFile;
+use crate::Finding;
+
+const PASS: &str = "allocs";
+
+/// Type paths whose associated functions allocate.
+const ALLOC_TYPES: &[&str] = &[
+    "Vec", "Box", "String", "VecDeque", "HashMap", "HashSet", "BTreeMap",
+];
+/// Macros that allocate.
+const ALLOC_MACROS: &[&str] = &["vec", "format"];
+/// Method names that allocate or may grow their receiver.
+const ALLOC_METHODS: &[&str] = &[
+    "to_string",
+    "to_vec",
+    "to_owned",
+    "collect",
+    "push",
+    "push_str",
+    "reserve",
+    "reserve_exact",
+    "resize",
+    "extend",
+    "extend_from_slice",
+    "insert",
+    "into_boxed_slice",
+];
+
+/// Runs the pass over every `ALLOC-FREE` range in the file.
+pub fn run(file: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for range in &file.alloc_free {
+        if range.end < range.start {
+            out.push(Finding::new(
+                PASS,
+                "dangling-marker",
+                &file.label,
+                range.marker_line,
+                "ALLOC-FREE marker is not attached to a function header block and has no \
+                 `: begin`/`: end` pair — nothing is being checked",
+            ));
+            continue;
+        }
+        check_range(file, range.start, range.end, &mut out);
+    }
+    out
+}
+
+fn check_range(file: &SourceFile, start: usize, end: usize, out: &mut Vec<Finding>) {
+    let code = CodeTokens::new(file);
+    for i in 0..code.len() {
+        let line = code.tok(i).line;
+        if line < start || line > end || file.is_test_line(line) {
+            continue;
+        }
+        // Type::method constructor paths (Vec::with_capacity, Box::new, …).
+        if code.tok(i).kind == TokenKind::Ident
+            && ALLOC_TYPES.contains(&code.text(i))
+            && code.is_punct(i + 1, ':')
+            && code.is_punct(i + 2, ':')
+        {
+            out.push(Finding::new(
+                PASS,
+                "alloc-call",
+                &file.label,
+                line,
+                format!(
+                    "`{}::…` in an ALLOC-FREE range — pre-size in setup and reuse the buffer",
+                    code.text(i)
+                ),
+            ));
+            continue;
+        }
+        // Allocating macros.
+        if code.tok(i).kind == TokenKind::Ident
+            && ALLOC_MACROS.contains(&code.text(i))
+            && code.is_punct(i + 1, '!')
+        {
+            out.push(Finding::new(
+                PASS,
+                "alloc-call",
+                &file.label,
+                line,
+                format!("`{}!` allocates in an ALLOC-FREE range", code.text(i)),
+            ));
+            continue;
+        }
+        // Allocating/growing method calls.
+        if code.is_punct(i, '.')
+            && i + 2 < code.len()
+            && code.tok(i + 1).kind == TokenKind::Ident
+            && ALLOC_METHODS.contains(&code.text(i + 1))
+            && code.is_punct(i + 2, '(')
+        {
+            out.push(Finding::new(
+                PASS,
+                "alloc-call",
+                &file.label,
+                code.tok(i + 1).line,
+                format!(
+                    "`.{}(…)` may allocate in an ALLOC-FREE range",
+                    code.text(i + 1)
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn run_on(src: &str) -> Vec<Finding> {
+        run(&SourceFile::parse("crates/x/src/a.rs", src))
+    }
+
+    #[test]
+    fn unmarked_code_is_ignored() {
+        let f = run_on("fn f() { let v: Vec<u8> = Vec::new(); }\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn fn_marker_covers_body() {
+        let f = run_on(
+            "// ALLOC-FREE\nfn hot(v: &mut Vec<u8>) {\n    v.push(1);\n    let s = format!(\"x\");\n}\n",
+        );
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|x| x.rule == "alloc-call"));
+    }
+
+    #[test]
+    fn begin_end_scopes_the_check() {
+        let f = run_on(
+            "fn f() {\n    let mut v = Vec::new();\n    // ALLOC-FREE: begin\n    let x = v.len();\n    // ALLOC-FREE: end\n    v.push(1);\n}\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn begin_end_catches_inside() {
+        let f = run_on(
+            "fn f() {\n    // ALLOC-FREE: begin\n    let b = Box::new(1);\n    // ALLOC-FREE: end\n}\n",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn dangling_marker_is_reported() {
+        let f = run_on("fn f() {\n    // ALLOC-FREE\n    let x = 1;\n}\n");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "dangling-marker");
+    }
+
+    #[test]
+    fn vec_type_annotations_do_not_trip() {
+        let f = run_on("// ALLOC-FREE\nfn hot(v: &Vec<u8>, w: &mut [u8]) -> usize {\n    v.len() + w.len()\n}\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

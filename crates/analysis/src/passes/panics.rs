@@ -1,0 +1,222 @@
+//! Pass 2: panic freedom.
+//!
+//! A file opts in with a `//! shalom-analysis: deny(panic)` inner
+//! comment. After that, outside test code, every potential panic site
+//! needs a `// PANIC-OK: reason` on the same line or just above it:
+//!
+//! * `.unwrap()` / `.expect(…)`
+//! * `panic!` / `unreachable!` / `todo!` / `unimplemented!`
+//! * `assert!` / `assert_eq!` / `assert_ne!` (the release-mode ones;
+//!   `debug_assert*!` is the sanctioned tool and is exempt, including
+//!   everything inside its argument list)
+//! * index/slice expressions `x[i]`, `f()[i]`, `a[i][j]` — the `[]`
+//!   operator panics on out-of-bounds, which is exactly the kind of
+//!   silent per-call cost the hot paths must not hide. A fn-header
+//!   `// PANIC-OK(index): reason` waives the index rule (only) for the
+//!   whole body — for register-tile kernels whose accumulator indexing
+//!   is bounded by const-generic loop limits.
+
+use crate::lexer::TokenKind;
+use crate::passes::{CodeTokens, NON_INDEX_KEYWORDS};
+use crate::source::SourceFile;
+use crate::Finding;
+
+const PASS: &str = "panics";
+
+/// Macros that abort/panic outright.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+/// Release-mode assertion macros.
+const ASSERT_MACROS: &[&str] = &["assert", "assert_eq", "assert_ne"];
+
+/// Runs the pass. Returns nothing unless the file carries the
+/// `deny(panic)` directive.
+pub fn run(file: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    if !file.has_directive("deny(panic)") {
+        return out;
+    }
+    let code = CodeTokens::new(file);
+    let mut i = 0usize;
+    while i < code.len() {
+        let line = code.tok(i).line;
+        if file.is_test_line(line) {
+            i += 1;
+            continue;
+        }
+        // debug_assert*!(…) — skip the whole argument list.
+        if code.tok(i).kind == TokenKind::Ident
+            && code.text(i).starts_with("debug_assert")
+            && code.is_punct(i + 1, '!')
+        {
+            i = skip_macro_args(&code, i + 2);
+            continue;
+        }
+        // .unwrap() / .expect(
+        if code.is_punct(i, '.')
+            && (code.is_ident(i + 1, "unwrap") || code.is_ident(i + 1, "expect"))
+            && code.is_punct(i + 2, '(')
+        {
+            let site = code.tok(i + 1).line;
+            if !file.panic_ok_covers(site) {
+                out.push(Finding::new(
+                    PASS,
+                    if code.is_ident(i + 1, "unwrap") { "unwrap" } else { "expect" },
+                    &file.label,
+                    site,
+                    format!(
+                        "`.{}(…)` in a deny(panic) file — return a GemmError or add `// PANIC-OK: reason`",
+                        code.text(i + 1)
+                    ),
+                ));
+            }
+            i += 3;
+            continue;
+        }
+        // panic-family and assert-family macros.
+        if code.tok(i).kind == TokenKind::Ident && code.is_punct(i + 1, '!') {
+            let name = code.text(i);
+            let rule = if PANIC_MACROS.contains(&name) {
+                Some("panic-macro")
+            } else if ASSERT_MACROS.contains(&name) {
+                Some("assert-macro")
+            } else {
+                None
+            };
+            if let Some(rule) = rule {
+                let site = code.tok(i).line;
+                if !file.panic_ok_covers(site) {
+                    out.push(Finding::new(
+                        PASS,
+                        rule,
+                        &file.label,
+                        site,
+                        format!(
+                            "`{name}!` in a deny(panic) file — use debug_assert! or add `// PANIC-OK: reason`"
+                        ),
+                    ));
+                }
+                i = skip_macro_args(&code, i + 2);
+                continue;
+            }
+        }
+        // Index / slice expressions: `[` whose previous token ends an
+        // expression (identifier that is not a keyword, `)`, or `]`).
+        if code.is_punct(i, '[') && i > 0 && is_index_base(&code, i - 1) {
+            let site = code.tok(i).line;
+            if !file.panic_ok_covers(site) && !file.panic_ok_index_covers(site) {
+                out.push(Finding::new(
+                    PASS,
+                    "index",
+                    &file.label,
+                    site,
+                    "`[…]` indexing in a deny(panic) file — use get()/get_unchecked under \
+                     contract, or add `// PANIC-OK: reason` with the bounds argument",
+                ));
+            }
+            // Do not skip the bracket body: nested indexing inside must
+            // still be audited.
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Whether the code token at `prev` can be the base of an index
+/// expression (so a following `[` is the index operator, not an array
+/// type/literal or attribute).
+fn is_index_base(code: &CodeTokens<'_>, prev: usize) -> bool {
+    let t = code.tok(prev);
+    match t.kind {
+        TokenKind::Ident => !NON_INDEX_KEYWORDS.contains(&code.text(prev)),
+        TokenKind::Punct => matches!(code.text(prev), ")" | "]"),
+        _ => false,
+    }
+}
+
+/// From the token after `name !`, skips a balanced `(…)`/`[…]`/`{…}`
+/// group; returns the index just past it.
+fn skip_macro_args(code: &CodeTokens<'_>, open: usize) -> usize {
+    if open < code.len() {
+        if let Some(close) = code.matching_close(open) {
+            return close + 1;
+        }
+    }
+    open
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    const HDR: &str = "//! shalom-analysis: deny(panic)\n";
+
+    fn run_on(body: &str) -> Vec<Finding> {
+        let src = format!("{HDR}{body}");
+        run(&SourceFile::parse("crates/x/src/a.rs", &src))
+    }
+
+    #[test]
+    fn no_directive_no_findings() {
+        let src = "fn f(v: Vec<u8>) { v[0]; v.first().unwrap(); }";
+        assert!(run(&SourceFile::parse("crates/x/src/a.rs", src)).is_empty());
+    }
+
+    #[test]
+    fn unwrap_expect_panic_flagged() {
+        let f = run_on(
+            "fn f(o: Option<u8>) {\n    o.unwrap();\n    o.expect(\"x\");\n    panic!(\"boom\");\n}\n",
+        );
+        let rules: Vec<_> = f.iter().map(|x| x.rule).collect();
+        assert_eq!(rules, vec!["unwrap", "expect", "panic-macro"], "{f:?}");
+    }
+
+    #[test]
+    fn panic_ok_covers_site() {
+        let f = run_on(
+            "fn f(o: Option<u8>) {\n    // PANIC-OK: checked is_some above.\n    o.unwrap();\n    o.unwrap(); // PANIC-OK: same.\n}\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn debug_assert_args_exempt_but_assert_flagged() {
+        let f = run_on(
+            "fn f(v: &[u8], i: usize) {\n    debug_assert!(v[i] > 0, \"{}\", v[i]);\n    assert!(i < v.len());\n}\n",
+        );
+        let rules: Vec<_> = f.iter().map(|x| x.rule).collect();
+        assert_eq!(rules, vec!["assert-macro"], "{f:?}");
+    }
+
+    #[test]
+    fn indexing_flagged_but_types_and_literals_are_not() {
+        let f = run_on(
+            "fn f(v: &mut [u8], w: &[u8; 4], i: usize) -> u8 {\n    let a = [0u8; 4];\n    v[i] + w[0]\n}\n",
+        );
+        let rules: Vec<_> = f.iter().map(|x| x.rule).collect();
+        assert_eq!(rules, vec!["index", "index"], "{f:?}");
+        assert!(f.iter().all(|x| x.line == 4), "{f:?}");
+    }
+
+    #[test]
+    fn chained_and_call_result_indexing() {
+        let f = run_on("fn f(m: &M, i: usize) -> u8 {\n    m.rows()[i][0]\n}\n");
+        assert_eq!(f.len(), 2, "{f:?}");
+    }
+
+    #[test]
+    fn fn_level_index_waiver_covers_body_but_not_other_rules() {
+        let f = run_on(
+            "// PANIC-OK(index): i < MR, t < NV by loop bounds.\nfn f(acc: &mut [[u8; 2]; 2], o: Option<u8>) {\n    acc[0][1] = 1;\n    o.unwrap();\n}\nfn g(v: &[u8]) -> u8 {\n    v[0]\n}\n",
+        );
+        let rules: Vec<_> = f.iter().map(|x| x.rule).collect();
+        assert_eq!(rules, vec!["unwrap", "index"], "{f:?}");
+    }
+
+    #[test]
+    fn test_mod_exempt() {
+        let f =
+            run_on("#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { Some(1).unwrap(); }\n}\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

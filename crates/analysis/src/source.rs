@@ -1,0 +1,557 @@
+//! The analyzed view of one source file: token stream, per-line code,
+//! test-region map, function regions, and the parsed annotation tags
+//! (`ORDERING(SHALOM-O-…)`, `PANIC-OK`, `ALLOC-FREE`, file directives).
+
+use crate::lexer::{self, CodeLines, Token, TokenKind};
+
+/// A function item found in the token stream.
+#[derive(Debug, Clone)]
+pub struct FnRegion {
+    /// 1-based line of the `fn` keyword.
+    pub decl_line: usize,
+    /// First line of the contiguous doc/attribute/comment block above
+    /// the declaration (equals `decl_line` when there is none).
+    pub header_line: usize,
+    /// 1-based line of the body's opening `{` (None for trait-method
+    /// declarations without a body).
+    pub body_start: Option<usize>,
+    /// 1-based line of the body's closing `}` (None without a body).
+    pub body_end: Option<usize>,
+}
+
+impl FnRegion {
+    /// Whether 1-based `line` falls inside this function's body.
+    pub fn body_contains(&self, line: usize) -> bool {
+        match (self.body_start, self.body_end) {
+            (Some(s), Some(e)) => line >= s && line <= e,
+            _ => false,
+        }
+    }
+}
+
+/// One `ORDERING(TAG): justification` annotation.
+#[derive(Debug, Clone)]
+pub struct OrderingAnnotation {
+    /// 1-based line of the comment.
+    pub line: usize,
+    /// The tag id inside the parentheses.
+    pub tag: String,
+    /// The justification text after the colon (trimmed; may be empty —
+    /// the audit flags that).
+    pub justification: String,
+}
+
+/// A parsed `// ALLOC-FREE` range (explicit begin/end pair, or a whole
+/// function body when the marker sits in a function's header block).
+#[derive(Debug, Clone, Copy)]
+pub struct AllocFreeRange {
+    /// First checked line (1-based, inclusive).
+    pub start: usize,
+    /// Last checked line (inclusive).
+    pub end: usize,
+    /// Line of the marker comment (for reporting unterminated ranges).
+    pub marker_line: usize,
+}
+
+/// Fully analyzed source file.
+pub struct SourceFile {
+    /// Repo-relative path (reporting + rule scoping).
+    pub label: String,
+    /// Raw source lines.
+    pub lines: Vec<String>,
+    /// Comment-stripped, literal-blanked code lines.
+    pub code: Vec<String>,
+    /// Brace depth after each line.
+    pub depth_after: Vec<i64>,
+    /// Token stream.
+    pub tokens: Vec<Token>,
+    /// Owned copy of the source the token spans index into.
+    pub src: String,
+    /// Whether the path is under a `tests/` directory.
+    pub is_test_file: bool,
+    /// Per-line flag: inside a `#[cfg(test)] mod …` region.
+    pub in_test_mod: Vec<bool>,
+    /// Function items, in source order.
+    pub fns: Vec<FnRegion>,
+    /// `ORDERING(…)` annotations, in source order.
+    pub ordering_annotations: Vec<OrderingAnnotation>,
+    /// Lines carrying a `PANIC-OK:` comment.
+    pub panic_ok_lines: Vec<usize>,
+    /// Lines carrying a `PANIC-OK(index):` fn-header waiver.
+    pub panic_ok_index_lines: Vec<usize>,
+    /// `ALLOC-FREE` checked ranges.
+    pub alloc_free: Vec<AllocFreeRange>,
+    /// File-level directives from `//! shalom-analysis: …` comments
+    /// (e.g. `deny(panic)`).
+    pub directives: Vec<String>,
+}
+
+impl SourceFile {
+    /// Lexes and analyzes one file.
+    pub fn parse(label: &str, src: &str) -> SourceFile {
+        let tokens = lexer::lex(src);
+        let CodeLines { code, depth_after } = lexer::code_lines_from(src, &tokens);
+        let lines: Vec<String> = src.lines().map(str::to_string).collect();
+        let n = lines.len().max(1);
+        let is_test_file = label.contains("/tests/") || label.starts_with("tests/");
+        let in_test_mod = test_mod_lines(&tokens, src, n);
+        let fns = fn_regions(&tokens, src, &lines);
+        let mut file = SourceFile {
+            label: label.to_string(),
+            lines,
+            code,
+            depth_after,
+            tokens,
+            src: src.to_string(),
+            is_test_file,
+            in_test_mod,
+            fns,
+            ordering_annotations: Vec::new(),
+            panic_ok_lines: Vec::new(),
+            panic_ok_index_lines: Vec::new(),
+            alloc_free: Vec::new(),
+            directives: Vec::new(),
+        };
+        file.parse_annotations();
+        file
+    }
+
+    /// Whether 1-based `line` is test code (a `tests/` file or inside a
+    /// `#[cfg(test)] mod`).
+    pub fn is_test_line(&self, line: usize) -> bool {
+        self.is_test_file
+            || self
+                .in_test_mod
+                .get(line.saturating_sub(1))
+                .copied()
+                .unwrap_or(false)
+    }
+
+    /// The innermost function whose body contains `line`.
+    pub fn enclosing_fn(&self, line: usize) -> Option<&FnRegion> {
+        self.fns
+            .iter()
+            .filter(|f| f.body_contains(line))
+            .max_by_key(|f| f.decl_line)
+    }
+
+    /// Whether a `PANIC-OK:` justification covers `line`: the same line,
+    /// or within two lines below the end of the contiguous comment block
+    /// the justification starts (so a multi-line reason still reaches its
+    /// site, but a stale comment cannot blanket half a function).
+    pub fn panic_ok_covers(&self, line: usize) -> bool {
+        self.panic_ok_lines.iter().any(|&l| {
+            let mut end = l;
+            while end < self.lines.len() {
+                let next = end + 1; // 1-based candidate continuation line
+                let raw_nonempty = !self.lines[next - 1].trim().is_empty();
+                let code_empty = self.code.get(next - 1).is_none_or(|c| c.trim().is_empty());
+                if raw_nonempty && code_empty {
+                    end = next;
+                } else {
+                    break;
+                }
+            }
+            line >= l && line <= end + 2
+        })
+    }
+
+    /// Whether a fn-header `PANIC-OK(index):` waiver covers `line`.
+    /// Unlike the per-site form, this blankets one whole function body —
+    /// meant for register-tile kernels whose `acc[i][t]` accumulator
+    /// indexing is bounded by const-generic loop limits, where a comment
+    /// per line would drown the code.
+    pub fn panic_ok_index_covers(&self, line: usize) -> bool {
+        self.panic_ok_index_lines.iter().any(|&marker| {
+            self.fns
+                .iter()
+                .filter(|f| marker >= f.header_line && marker < f.decl_line)
+                .any(|f| f.body_contains(line))
+        })
+    }
+
+    fn parse_annotations(&mut self) {
+        for tok in &self.tokens {
+            if !tok.is_comment() {
+                continue;
+            }
+            let text = tok.text(&self.src);
+            // Multi-line block comments can carry one annotation per line.
+            for (off, cline) in text.lines().enumerate() {
+                let line = tok.line + off;
+                if let Some(rest) = find_after(cline, "ORDERING(") {
+                    if let Some(close) = rest.find(')') {
+                        let tag = rest[..close].trim().to_string();
+                        let after = rest[close + 1..].trim_start();
+                        let justification =
+                            after.strip_prefix(':').unwrap_or("").trim().to_string();
+                        self.ordering_annotations.push(OrderingAnnotation {
+                            line,
+                            tag,
+                            justification,
+                        });
+                    }
+                }
+                if cline.contains("PANIC-OK:") {
+                    self.panic_ok_lines.push(line);
+                }
+                if cline.contains("PANIC-OK(index):") {
+                    self.panic_ok_index_lines.push(line);
+                }
+                if let Some(rest) = find_after(cline, "shalom-analysis:") {
+                    let t = cline.trim_start();
+                    if t.starts_with("//!") {
+                        self.directives.push(rest.trim().to_string());
+                    }
+                }
+            }
+        }
+        self.alloc_free = alloc_free_ranges(self);
+    }
+
+    /// Whether the file opts into a directive (e.g. `deny(panic)`).
+    pub fn has_directive(&self, directive: &str) -> bool {
+        self.directives.iter().any(|d| d == directive)
+    }
+}
+
+fn find_after<'a>(haystack: &'a str, needle: &str) -> Option<&'a str> {
+    haystack.find(needle).map(|i| &haystack[i + needle.len()..])
+}
+
+/// Computes which lines sit inside `#[cfg(test)] mod …` regions, using
+/// real token depths (a `{` in a string can no longer leak a region
+/// open or closed — the approximation the PR 2 lint documented).
+fn test_mod_lines(tokens: &[Token], src: &str, n_lines: usize) -> Vec<bool> {
+    let mut flags = vec![false; n_lines];
+    let code: Vec<&Token> = tokens.iter().filter(|t| !t.is_comment()).collect();
+    let mut i = 0usize;
+    while i < code.len() {
+        // Match `# [ cfg ( test ) ]`.
+        if is_punct(code[i], src, '#')
+            && matches_seq(&code, src, i + 1, &["[", "cfg", "(", "test", ")", "]"])
+        {
+            // Scan forward over further attributes to `mod name {`.
+            let mut j = i + 7;
+            while j < code.len() && is_punct(code[j], src, '#') {
+                j = skip_attr(&code, src, j);
+            }
+            if j < code.len() && code[j].kind == TokenKind::Ident && code[j].text(src) == "mod" {
+                // Find the opening brace (skip the name; a `mod x;`
+                // declaration has no body to mark).
+                let mut k = j + 1;
+                while k < code.len() && !is_punct(code[k], src, '{') && !is_punct(code[k], src, ';')
+                {
+                    k += 1;
+                }
+                if k < code.len() && is_punct(code[k], src, '{') {
+                    if let Some(close) = matching_close(&code, src, k) {
+                        let lo = code[k].line.saturating_sub(1);
+                        let hi = (code[close].line).min(n_lines);
+                        for f in flags.iter_mut().take(hi).skip(lo) {
+                            *f = true;
+                        }
+                        i = close + 1;
+                        continue;
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    flags
+}
+
+fn is_punct(tok: &Token, src: &str, c: char) -> bool {
+    tok.kind == TokenKind::Punct && tok.text(src).starts_with(c)
+}
+
+fn matches_seq(code: &[&Token], src: &str, start: usize, expect: &[&str]) -> bool {
+    for (i, want) in expect.iter().enumerate() {
+        match code.get(start + i) {
+            Some(t) if t.text(src) == *want => {}
+            _ => return false,
+        }
+    }
+    true
+}
+
+/// From a `#` token, returns the index one past its `[ … ]` group.
+fn skip_attr(code: &[&Token], src: &str, hash: usize) -> usize {
+    let mut j = hash + 1;
+    // Optional `!` for inner attributes.
+    if j < code.len() && is_punct(code[j], src, '!') {
+        j += 1;
+    }
+    if j >= code.len() || !is_punct(code[j], src, '[') {
+        return hash + 1;
+    }
+    let mut depth = 0i64;
+    while j < code.len() {
+        if is_punct(code[j], src, '[') {
+            depth += 1;
+        } else if is_punct(code[j], src, ']') {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    code.len()
+}
+
+/// Index of the `}` matching the `{` at `open` (within the
+/// comment-stripped token slice), or None when unbalanced.
+fn matching_close(code: &[&Token], src: &str, open: usize) -> Option<usize> {
+    let mut depth = 0i64;
+    for (j, t) in code.iter().enumerate().skip(open) {
+        if is_punct(t, src, '{') {
+            depth += 1;
+        } else if is_punct(t, src, '}') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// Finds every `fn` item: declaration line, header-comment start, and
+/// body span (via matched braces).
+fn fn_regions(tokens: &[Token], src: &str, lines: &[String]) -> Vec<FnRegion> {
+    let code: Vec<&Token> = tokens.iter().filter(|t| !t.is_comment()).collect();
+    let mut out = Vec::new();
+    for (i, tok) in code.iter().enumerate() {
+        if tok.kind != TokenKind::Ident || tok.text(src) != "fn" {
+            continue;
+        }
+        // A fn *item* is followed by a name; `fn(` is a fn-pointer type.
+        let named = code.get(i + 1).is_some_and(|t| t.kind == TokenKind::Ident);
+        if !named {
+            continue;
+        }
+        // Body: first `{` before a `;` at signature level.
+        let mut j = i + 1;
+        let mut body = None;
+        let mut angle = 0i64;
+        let mut paren = 0i64;
+        while j < code.len() {
+            let t = code[j];
+            if t.kind == TokenKind::Punct {
+                match t.text(src).as_bytes()[0] {
+                    b'<' => angle += 1,
+                    b'>' => angle -= 1,
+                    b'(' => paren += 1,
+                    b')' => paren -= 1,
+                    b'{' if angle <= 0 && paren == 0 => {
+                        body = Some(j);
+                        break;
+                    }
+                    b';' if angle <= 0 && paren == 0 => break,
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        let (body_start, body_end) = match body {
+            Some(open) => match matching_close(&code, src, open) {
+                Some(close) => (Some(code[open].line), Some(code[close].line)),
+                None => (Some(code[open].line), Some(lines.len())),
+            },
+            None => (None, None),
+        };
+        out.push(FnRegion {
+            decl_line: tok.line,
+            header_line: header_start(lines, tok.line),
+            body_start,
+            body_end,
+        });
+    }
+    out
+}
+
+/// First line of the contiguous comment/attribute block directly above
+/// a declaration at 1-based `decl_line`.
+fn header_start(lines: &[String], decl_line: usize) -> usize {
+    let mut first = decl_line;
+    let mut idx = decl_line.saturating_sub(1); // 0-based line above decl
+    while idx > 0 {
+        let t = lines[idx - 1].trim_start();
+        if t.starts_with("//") || t.starts_with("#[") || t.starts_with("#![") || t.starts_with('*')
+        {
+            first = idx;
+            idx -= 1;
+        } else {
+            break;
+        }
+    }
+    first
+}
+
+/// Resolves `ALLOC-FREE` markers into checked line ranges: an explicit
+/// `// ALLOC-FREE: begin` … `// ALLOC-FREE: end` pair, or a bare
+/// `// ALLOC-FREE` in a function's header block covering its body.
+fn alloc_free_ranges(file: &SourceFile) -> Vec<AllocFreeRange> {
+    let mut out = Vec::new();
+    let mut begin: Option<usize> = None;
+    for tok in &file.tokens {
+        if tok.kind != TokenKind::LineComment {
+            continue;
+        }
+        // A marker is a plain `// ALLOC-FREE…` comment; doc comments
+        // (`///`, `//!`) merely *mentioning* the phrase in prose are not
+        // markers.
+        let Some(body) = tok.text(&file.src).strip_prefix("//") else {
+            continue;
+        };
+        if body.starts_with('/') || body.starts_with('!') {
+            continue;
+        }
+        let text = body.trim_start();
+        if !text.starts_with("ALLOC-FREE") {
+            continue;
+        }
+        if text.starts_with("ALLOC-FREE: begin") {
+            begin = Some(tok.line);
+        } else if text.starts_with("ALLOC-FREE: end") {
+            if let Some(b) = begin.take() {
+                out.push(AllocFreeRange {
+                    start: b,
+                    end: tok.line,
+                    marker_line: b,
+                });
+            }
+        } else {
+            // Function-body marker: attach to the fn whose header block
+            // contains this comment line.
+            if let Some(f) = file
+                .fns
+                .iter()
+                .find(|f| tok.line >= f.header_line && tok.line < f.decl_line)
+            {
+                if let (Some(s), Some(e)) = (f.body_start, f.body_end) {
+                    out.push(AllocFreeRange {
+                        start: s,
+                        end: e,
+                        marker_line: tok.line,
+                    });
+                }
+            } else {
+                // Dangling marker: record an empty range so the pass can
+                // report it instead of silently skipping the check.
+                out.push(AllocFreeRange {
+                    start: tok.line,
+                    end: tok.line.saturating_sub(1),
+                    marker_line: tok.line,
+                });
+            }
+        }
+    }
+    if let Some(b) = begin {
+        // Unterminated begin: surface as a dangling marker.
+        out.push(AllocFreeRange {
+            start: b,
+            end: b.saturating_sub(1),
+            marker_line: b,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mod_detection_survives_braces_in_strings() {
+        let src = r#"
+fn f() {
+    let s = "}} {{";
+}
+#[cfg(test)]
+mod tests {
+    fn g() {
+        let t = "}";
+    }
+}
+fn after() {}
+"#;
+        let f = SourceFile::parse("crates/x/src/a.rs", src);
+        assert!(!f.is_test_line(2));
+        assert!(!f.is_test_line(3));
+        assert!(f.is_test_line(6));
+        assert!(f.is_test_line(8));
+        assert!(f.is_test_line(10));
+        assert!(!f.is_test_line(11));
+    }
+
+    #[test]
+    fn fn_regions_and_headers() {
+        let src = "\
+/// Doc.
+#[inline]
+fn one(x: usize) -> usize {
+    x + 1
+}
+
+fn two();
+";
+        let f = SourceFile::parse("crates/x/src/a.rs", src);
+        assert_eq!(f.fns.len(), 2);
+        assert_eq!(f.fns[0].decl_line, 3);
+        assert_eq!(f.fns[0].header_line, 1);
+        assert_eq!(f.fns[0].body_start, Some(3));
+        assert_eq!(f.fns[0].body_end, Some(5));
+        assert!(f.fns[0].body_contains(4));
+        assert_eq!(f.fns[1].body_start, None);
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_items() {
+        let src = "type F = fn(usize) -> usize;\nstruct S { f: unsafe fn(u8) }\n";
+        let f = SourceFile::parse("crates/x/src/a.rs", src);
+        assert!(f.fns.is_empty());
+    }
+
+    #[test]
+    fn annotations_parse() {
+        let src = "\
+//! shalom-analysis: deny(panic)
+fn f(v: &std::sync::atomic::AtomicU64) {
+    // ORDERING(SHALOM-O-TEST): mutex orders the publish.
+    v.store(0, Ordering::Relaxed);
+    let x = v.load(Ordering::Relaxed) as usize; // PANIC-OK: bounded by mask above.
+}
+// ALLOC-FREE
+fn g() {
+    let _ = 1;
+}
+";
+        let f = SourceFile::parse("crates/x/src/a.rs", src);
+        assert!(f.has_directive("deny(panic)"));
+        assert_eq!(f.ordering_annotations.len(), 1);
+        assert_eq!(f.ordering_annotations[0].tag, "SHALOM-O-TEST");
+        assert!(f.ordering_annotations[0].justification.contains("mutex"));
+        assert_eq!(f.panic_ok_lines, vec![5]);
+        assert_eq!(f.alloc_free.len(), 1);
+        assert_eq!((f.alloc_free[0].start, f.alloc_free[0].end), (8, 10));
+    }
+
+    #[test]
+    fn alloc_free_begin_end_ranges() {
+        let src = "\
+fn f() {
+    setup();
+    // ALLOC-FREE: begin
+    hot();
+    // ALLOC-FREE: end
+    teardown();
+}
+";
+        let f = SourceFile::parse("crates/x/src/a.rs", src);
+        assert_eq!(f.alloc_free.len(), 1);
+        assert_eq!((f.alloc_free[0].start, f.alloc_free[0].end), (3, 5));
+    }
+}

@@ -1,0 +1,52 @@
+//! End-to-end checks of the `analyze` binary: non-zero exit on the
+//! seeded fixture workspace, zero on the real repository (the same
+//! invocation CI runs).
+
+use std::path::Path;
+use std::process::Command;
+
+fn analyze(root: &Path) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_analyze"))
+        .arg("--root")
+        .arg(root)
+        .output()
+        .expect("failed to spawn analyze binary")
+}
+
+#[test]
+fn fixture_workspace_fails_with_findings_from_all_passes() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/bad-workspace");
+    let out = analyze(&root);
+    assert!(
+        !out.status.success(),
+        "analyze must exit non-zero on the seeded fixture"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in ["[atomics/", "[panics/", "[allocs/", "[features/"] {
+        assert!(
+            stdout.contains(needle),
+            "expected {needle} findings in:\n{stdout}"
+        );
+    }
+}
+
+#[test]
+fn real_repository_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let out = analyze(&root);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "analyze found violations in the repository:\n{stdout}{stderr}"
+    );
+}
+
+#[test]
+fn bad_arguments_exit_with_usage_error() {
+    let out = Command::new(env!("CARGO_BIN_EXE_analyze"))
+        .arg("--no-such-flag")
+        .output()
+        .expect("failed to spawn analyze binary");
+    assert_eq!(out.status.code(), Some(2));
+}

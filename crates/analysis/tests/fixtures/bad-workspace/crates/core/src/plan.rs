@@ -1,0 +1,15 @@
+//! Fixture: an unregistered ordering tag and an empty justification.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static FLAG: AtomicUsize = AtomicUsize::new(0);
+
+pub fn set() {
+    // ORDERING(SHALOM-O-NOT-REGISTERED): made-up tag.
+    FLAG.store(1, Ordering::Relaxed);
+}
+
+pub fn get() -> usize {
+    // ORDERING(SHALOM-O-PLAN-FLAG):
+    FLAG.load(Ordering::Relaxed)
+}

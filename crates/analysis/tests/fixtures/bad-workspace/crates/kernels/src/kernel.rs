@@ -1,0 +1,11 @@
+//! Fixture: panic sites in a deny(panic) file.
+//!
+//! shalom-analysis: deny(panic)
+
+pub fn pick(v: &[u64], i: usize) -> u64 {
+    let first = v.first().unwrap();
+    if i > 7 {
+        panic!("bad index");
+    }
+    first + v[i]
+}

@@ -1,0 +1,14 @@
+//! Fixture: allocation inside an ALLOC-FREE region, and a begin marker
+//! without its end.
+
+// ALLOC-FREE
+pub fn hot(n: usize) -> String {
+    let mut scratch = Vec::with_capacity(n);
+    scratch.push(1u8);
+    format!("{}", scratch.len())
+}
+
+pub fn warm() {
+    // ALLOC-FREE: begin
+    let _ = 1;
+}

@@ -1,0 +1,25 @@
+//! Fixture: a seqlock reader missing the validating Acquire fence.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Slot {
+    seq: AtomicU64,
+    data: UnsafeCell<u64>,
+}
+
+impl Slot {
+    // ORDERING(SHALOM-O-RING-SEQ-READER): Acquire pairs with the writer's
+    // Release publish; validation re-load below.
+    pub fn read(&self) -> Option<u64> {
+        let s1 = self.seq.load(Ordering::Acquire);
+        if s1 & 1 == 1 {
+            return None;
+        }
+        let v = unsafe { std::ptr::read_volatile(self.data.get()) };
+        if self.seq.load(Ordering::Relaxed) == s1 {
+            return Some(v);
+        }
+        None
+    }
+}

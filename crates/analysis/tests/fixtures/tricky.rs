@@ -1,0 +1,23 @@
+//! A lexer torture file: every construct that breaks naive line scanning.
+
+fn strings() -> (&'static str, &'static str, String) {
+    let brace = "} closes nothing {";
+    let raw = r#"a "quoted" brace: } and an // un-comment"#;
+    let many = r##"nested raw: r#".."# still going"##;
+    let escaped = "quote \" and backslash \\";
+    (brace, raw, format!("{many}{escaped}"))
+}
+
+/* block comment with a nested /* inner */ still open here
+   and an unsafe { marker that must not count } */
+fn chars() -> (char, char, u8) {
+    let q = '\'';
+    let lt = '<';
+    let b = b'x';
+    (q, lt, b as u8)
+}
+
+fn lifetimes<'a>(x: &'a u32) -> &'a u32 {
+    // 'a above is a lifetime, not a char literal
+    x
+}

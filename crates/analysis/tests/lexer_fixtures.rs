@@ -1,0 +1,106 @@
+//! Fixture-driven lexer tests: `tests/fixtures/tricky.rs` packs the
+//! constructs that break naive line scanning (braces and `//` inside
+//! strings, nested raw strings, nested block comments, escaped quotes,
+//! char-vs-lifetime) and the assertions here pin how the shared lexer
+//! and the sanitized line view handle each.
+
+use std::path::Path;
+
+use shalom_analysis::lexer::{code_lines, lex, TokenKind};
+use shalom_analysis::source::SourceFile;
+
+fn tricky() -> String {
+    let p = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/tricky.rs");
+    std::fs::read_to_string(p).expect("fixture readable")
+}
+
+#[test]
+fn string_bodies_are_blanked_but_delimiters_kept() {
+    let src = tricky();
+    let lines = code_lines(&src);
+    // Line 4: `let brace = "} closes nothing {";` — the braces live in a
+    // string body, so the sanitized line has none and the depth is flat.
+    let l4 = &lines.code[3];
+    assert!(l4.contains("let brace ="), "{l4:?}");
+    assert!(!l4.contains('}') && !l4.contains('{'), "{l4:?}");
+    // fn strings() opened at depth 1; the string contents never close it.
+    assert_eq!(lines.depth_after[3], 1, "{:?}", &lines.depth_after[..6]);
+}
+
+#[test]
+fn raw_strings_and_escapes_lex_as_single_tokens() {
+    let src = tricky();
+    let toks = lex(&src);
+    let raws: Vec<&str> = toks
+        .iter()
+        .filter(|t| t.kind == TokenKind::RawStr)
+        .map(|t| t.text(&src))
+        .collect();
+    assert_eq!(raws.len(), 2, "{raws:?}");
+    assert!(raws[0].contains("un-comment"), "{raws:?}");
+    // The r#".."# inside the r##…## body stays inside one token.
+    assert!(raws[1].contains("r#\"..\"#"), "{raws:?}");
+    // `// un-comment` inside the raw string is not a comment token.
+    assert!(
+        !toks
+            .iter()
+            .any(|t| t.is_comment() && t.text(&src).contains("un-comment")),
+        "raw-string // leaked into a comment token"
+    );
+}
+
+#[test]
+fn nested_block_comment_is_one_token_and_hides_its_braces() {
+    let src = tricky();
+    let toks = lex(&src);
+    let blocks: Vec<&str> = toks
+        .iter()
+        .filter(|t| t.kind == TokenKind::BlockComment)
+        .map(|t| t.text(&src))
+        .collect();
+    assert_eq!(blocks.len(), 1, "{blocks:?}");
+    assert!(blocks[0].contains("inner */ still open"), "{blocks:?}");
+    // The `unsafe {` inside the comment is not an unsafe token.
+    let unsafes = toks
+        .iter()
+        .filter(|t| t.kind == TokenKind::Ident && t.text(&src) == "unsafe")
+        .count();
+    assert_eq!(unsafes, 0);
+}
+
+#[test]
+fn char_vs_lifetime_disambiguation() {
+    let src = tricky();
+    let toks = lex(&src);
+    let chars: Vec<&str> = toks
+        .iter()
+        .filter(|t| t.kind == TokenKind::Char)
+        .map(|t| t.text(&src))
+        .collect();
+    // '\'' and '<' are chars; b'x' lexes as a char-class literal too.
+    assert_eq!(chars, vec!["'\\''", "'<'", "b'x'"], "{chars:?}");
+    let lifetimes: Vec<&str> = toks
+        .iter()
+        .filter(|t| t.kind == TokenKind::Lifetime)
+        .map(|t| t.text(&src))
+        .collect();
+    assert_eq!(
+        lifetimes,
+        vec!["'static", "'static", "'a", "'a", "'a"],
+        "{lifetimes:?}"
+    );
+}
+
+#[test]
+fn fn_regions_survive_the_torture_file() {
+    let src = tricky();
+    let f = SourceFile::parse("crates/x/src/tricky.rs", &src);
+    let names: Vec<usize> = f.fns.iter().map(|r| r.decl_line).collect();
+    // Three fn items: strings, chars, lifetimes — none split or merged
+    // by the braces hidden in strings and comments.
+    assert_eq!(names.len(), 3, "{names:?}");
+    for r in &f.fns {
+        assert!(r.body_start.is_some() && r.body_end.is_some(), "{r:?}");
+        assert!(r.body_end.unwrap() > r.body_start.unwrap() || r.body_start == r.body_end);
+    }
+}

@@ -1,4 +1,4 @@
-//! The unsafe-hygiene lint: a line-based source pass over
+//! The unsafe-hygiene lint: a token-level source pass over
 //! `crates/kernels` and `crates/core` enforcing the audit rules that tie
 //! unsafe code to the contract registry.
 //!
@@ -26,12 +26,18 @@
 //!   `pool.rs`) whose obligations the driver tags cover; test code is
 //!   exempt.
 //!
-//! The pass is deliberately line-based (no `syn` available offline). Its
-//! known approximations — brace counting ignores braces inside string
-//! literals, and `#[cfg(test)]` is assumed to gate only trailing `mod
-//! tests` blocks, the repo's sole idiom — are checked by the fixture
-//! tests below.
+//! The pass is built on the shared `shalom-analysis` lexer
+//! ([`shalom_analysis::source::SourceFile`]): `unsafe` sites are found in
+//! the token stream (an `unsafe` inside a string or comment can no longer
+//! fire a rule), `#[cfg(test)]` regions come from real matched braces
+//! (braces inside string literals no longer leak a region open or
+//! closed — the approximation the original line-based pass documented),
+//! and code-text checks run over comment-stripped, literal-blanked lines.
+//! Only the SAFETY/tag *comment* searches read raw source lines, since
+//! comments are exactly what they look for.
 
+use shalom_analysis::lexer::{Token, TokenKind};
+use shalom_analysis::source::SourceFile;
 use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -147,77 +153,57 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
     }
 }
 
-fn strip_line_comment(line: &str) -> &str {
-    match line.find("//") {
-        Some(i) => &line[..i],
-        None => line,
-    }
+/// True when the snippet declares an `unsafe fn` item (not a fn-pointer
+/// type like `unsafe fn(usize)`): in the token stream, `unsafe`
+/// [`extern` ["ABI"]] `fn` followed by an identifier (the name).
+#[cfg(test)]
+pub(crate) fn declares_unsafe_fn(code: &str) -> bool {
+    let file = SourceFile::parse("snippet.rs", code);
+    let toks: Vec<&Token> = file.tokens.iter().filter(|t| !t.is_comment()).collect();
+    (0..toks.len()).any(|i| unsafe_fn_decl(&toks, &file.src, i).is_some())
 }
 
-/// True when `code` opens an `unsafe { … }` block (as opposed to an
-/// `unsafe fn`/`unsafe impl`/fn-pointer type). `next` is the following
-/// source line, for the `unsafe\n{` split style.
-fn opens_unsafe_block(code: &str, next: Option<&str>) -> bool {
-    let mut rest = code;
-    let mut base = 0usize;
-    while let Some(i) = rest.find("unsafe") {
-        let abs = base + i;
-        let before_ok = abs == 0
-            || !code[..abs]
-                .chars()
-                .next_back()
-                .is_some_and(|c| c.is_alphanumeric() || c == '_');
-        let after = code[abs + 6..].trim_start();
-        if before_ok {
-            if after.starts_with('{') {
-                return true;
-            }
-            if after.is_empty() {
-                if let Some(n) = next {
-                    if strip_line_comment(n).trim_start().starts_with('{') {
-                        return true;
-                    }
-                }
-            }
-        }
-        base = abs + 6;
-        rest = &code[base..];
+/// If the code token at `i` is `unsafe` starting an `unsafe fn` item
+/// declaration, returns the index of the `fn` token.
+fn unsafe_fn_decl(toks: &[&Token], src: &str, i: usize) -> Option<usize> {
+    if toks[i].kind != TokenKind::Ident || toks[i].text(src) != "unsafe" {
+        return None;
     }
-    false
-}
-
-/// True when `code` declares an `unsafe fn` item (not a fn-pointer type
-/// like `unsafe fn(usize)`).
-fn declares_unsafe_fn(code: &str) -> bool {
-    for marker in ["unsafe fn ", "unsafe extern \"C\" fn "] {
-        if let Some(i) = code.find(marker) {
-            let name = code[i + marker.len()..].trim_start();
-            if name
-                .chars()
-                .next()
-                .is_some_and(|c| c.is_alphabetic() || c == '_')
-            {
-                return true;
-            }
+    let mut j = i + 1;
+    if toks.get(j).is_some_and(|t| t.text(src) == "extern") {
+        j += 1;
+        if toks.get(j).is_some_and(|t| t.kind == TokenKind::Str) {
+            j += 1;
         }
     }
-    false
+    if !toks
+        .get(j)
+        .is_some_and(|t| t.kind == TokenKind::Ident && t.text(src) == "fn")
+    {
+        return None;
+    }
+    // A fn *item* has a name; `unsafe fn(usize)` is a pointer type.
+    toks.get(j + 1)
+        .filter(|t| t.kind == TokenKind::Ident)
+        .map(|_| j)
 }
 
 fn safety_comment_nearby(lines: &[&str], idx: usize) -> bool {
     let lo = idx.saturating_sub(4);
-    lines[lo..=idx].iter().any(|l| l.contains("SAFETY"))
+    lines[lo..=idx.min(lines.len().saturating_sub(1))]
+        .iter()
+        .any(|l| l.contains("SAFETY"))
 }
 
 fn tag_nearby(lines: &[&str], idx: usize, tags: &[&'static str]) -> bool {
     let lo = idx.saturating_sub(4);
-    lines[lo..=idx]
+    lines[lo..=idx.min(lines.len().saturating_sub(1))]
         .iter()
         .any(|l| tags.iter().any(|t| l.contains(t)))
 }
 
-/// Scans the contiguous doc/attribute block above `idx` for a `# Safety`
-/// section or `SAFETY:` comment.
+/// Scans the contiguous doc/attribute block above `idx` (0-based) for a
+/// `# Safety` section or `SAFETY:` comment.
 fn safety_doc_above(lines: &[&str], idx: usize) -> bool {
     let mut j = idx;
     while j > 0 {
@@ -239,144 +225,132 @@ fn safety_doc_above(lines: &[&str], idx: usize) -> bool {
     false
 }
 
-/// From the `unsafe fn` declaration at `start`, scans its body (first
-/// balanced brace group) for a `debug_assert`.
-fn fn_body_has_debug_assert(lines: &[&str], start: usize) -> bool {
-    let mut depth = 0i64;
-    let mut opened = false;
-    for line in &lines[start..] {
-        let code = strip_line_comment(line);
-        if code.contains("debug_assert") {
-            return true;
-        }
-        for ch in code.chars() {
-            match ch {
-                '{' => {
-                    depth += 1;
-                    opened = true;
-                }
-                '}' => depth -= 1,
-                _ => {}
-            }
-        }
-        if opened && depth <= 0 {
-            return false;
-        }
-        if !opened && code.trim_end().ends_with(';') {
-            return false; // declaration without body (trait method)
-        }
-    }
-    false
+/// From the `unsafe fn` declared at 1-based `decl_line`, checks its body
+/// (resolved through the shared fn-region map, so braces inside strings
+/// cannot truncate the scan) for a `debug_assert` in *code* text.
+fn fn_body_has_debug_assert(file: &SourceFile, decl_line: usize) -> bool {
+    let Some(f) = file.fns.iter().find(|f| f.decl_line == decl_line) else {
+        return false;
+    };
+    let (Some(start), Some(end)) = (f.body_start, f.body_end) else {
+        return false; // declaration without a body (trait method)
+    };
+    file.code[start - 1..end.min(file.code.len())]
+        .iter()
+        .any(|l| l.contains("debug_assert"))
 }
+
+/// Raw-pointer arithmetic methods confined by the `ptr-arith` rule.
+const PTR_ARITH: &[&str] = &["add", "offset", "byte_add", "byte_offset"];
 
 /// Lints one source file. `label` is the repo-relative path (used for
 /// rule scoping and reporting).
 pub fn lint_source(label: &str, src: &str, cfg: &LintConfig) -> Vec<Violation> {
-    let lines: Vec<&str> = src.lines().collect();
-    let is_test_file = label.contains("/tests/");
+    let file = SourceFile::parse(label, src);
+    let raw_lines: Vec<&str> = src.lines().collect();
+    let toks: Vec<&Token> = file.tokens.iter().filter(|t| !t.is_comment()).collect();
     let mut out = Vec::new();
-    let mut depth = 0i64;
-    let mut in_test_mod = false;
-    let mut test_mod_depth = 0i64;
-    let mut pending_cfg_test = false;
 
-    for idx in 0..lines.len() {
-        let raw = lines[idx];
-        let code = strip_line_comment(raw);
-        let trimmed = code.trim();
-        if !in_test_mod && trimmed.starts_with("#[cfg(test)]") {
-            pending_cfg_test = true;
-        }
-        if pending_cfg_test && (trimmed.starts_with("mod ") || trimmed.starts_with("pub mod ")) {
-            in_test_mod = true;
-            test_mod_depth = depth;
-            pending_cfg_test = false;
-        }
-        let in_test = is_test_file || in_test_mod;
-        let line_no = idx + 1;
+    for i in 0..toks.len() {
+        let t = toks[i];
+        let line_no = t.line;
+        let idx = line_no - 1; // raw_lines index
+        let in_test = file.is_test_line(line_no);
 
-        if opens_unsafe_block(code, lines.get(idx + 1).copied()) {
-            if !safety_comment_nearby(&lines, idx) {
-                out.push(Violation {
-                    file: label.to_string(),
-                    line: line_no,
-                    rule: "safety-comment",
-                    msg: "unsafe block without a // SAFETY: comment".into(),
-                });
-            } else if !in_test && !tag_nearby(&lines, idx, &cfg.tags) {
-                out.push(Violation {
-                    file: label.to_string(),
-                    line: line_no,
-                    rule: "contract-tag",
-                    msg: "SAFETY comment does not reference a registered contract tag".into(),
-                });
-            }
-        }
+        if t.kind == TokenKind::Ident && t.text(&file.src) == "unsafe" {
+            let next = toks.get(i + 1);
+            let next_text = next.map(|n| n.text(&file.src)).unwrap_or("");
 
-        if trimmed.starts_with("unsafe impl") || trimmed.starts_with("pub unsafe impl") {
-            if !safety_comment_nearby(&lines, idx) {
-                out.push(Violation {
-                    file: label.to_string(),
-                    line: line_no,
-                    rule: "unsafe-impl",
-                    msg: "unsafe impl without a // SAFETY: comment".into(),
-                });
-            } else if !in_test && !tag_nearby(&lines, idx, &cfg.tags) {
-                out.push(Violation {
-                    file: label.to_string(),
-                    line: line_no,
-                    rule: "contract-tag",
-                    msg: "unsafe impl's SAFETY comment references no registered tag".into(),
-                });
-            }
-        }
-
-        if !in_test && declares_unsafe_fn(code) {
-            if !safety_doc_above(&lines, idx) {
-                out.push(Violation {
-                    file: label.to_string(),
-                    line: line_no,
-                    rule: "safety-doc",
-                    msg: "unsafe fn without a `# Safety` doc section or SAFETY comment".into(),
-                });
-            }
-            if needs_precondition_asserts(label)
-                && trimmed.starts_with("pub unsafe fn")
-                && !fn_body_has_debug_assert(&lines, idx)
-            {
-                out.push(Violation {
-                    file: label.to_string(),
-                    line: line_no,
-                    rule: "precondition-assert",
-                    msg: "pub unsafe kernel entry point without debug_assert! preconditions".into(),
-                });
-            }
-        }
-
-        if !in_test && !ptr_arith_allowed(label) {
-            for pat in [".add(", ".offset(", ".byte_add(", ".byte_offset("] {
-                if code.contains(pat) {
+            // `unsafe { … }` block.
+            if next.is_some_and(|n| n.kind == TokenKind::Punct) && next_text == "{" {
+                if !safety_comment_nearby(&raw_lines, idx) {
                     out.push(Violation {
                         file: label.to_string(),
                         line: line_no,
-                        rule: "ptr-arith",
-                        msg: format!(
-                            "raw-pointer arithmetic (`{pat}…`) outside the kernel modules"
-                        ),
+                        rule: "safety-comment",
+                        msg: "unsafe block without a // SAFETY: comment".into(),
+                    });
+                } else if !in_test && !tag_nearby(&raw_lines, idx, &cfg.tags) {
+                    out.push(Violation {
+                        file: label.to_string(),
+                        line: line_no,
+                        rule: "contract-tag",
+                        msg: "SAFETY comment does not reference a registered contract tag".into(),
                     });
                 }
+                continue;
             }
+
+            // `unsafe impl … {}`.
+            if next.is_some_and(|n| n.kind == TokenKind::Ident) && next_text == "impl" {
+                if !safety_comment_nearby(&raw_lines, idx) {
+                    out.push(Violation {
+                        file: label.to_string(),
+                        line: line_no,
+                        rule: "unsafe-impl",
+                        msg: "unsafe impl without a // SAFETY: comment".into(),
+                    });
+                } else if !in_test && !tag_nearby(&raw_lines, idx, &cfg.tags) {
+                    out.push(Violation {
+                        file: label.to_string(),
+                        line: line_no,
+                        rule: "contract-tag",
+                        msg: "unsafe impl's SAFETY comment references no registered tag".into(),
+                    });
+                }
+                continue;
+            }
+
+            // `unsafe fn` item declaration.
+            if !in_test {
+                if let Some(fn_tok) = unsafe_fn_decl(&toks, &file.src, i) {
+                    if !safety_doc_above(&raw_lines, idx) {
+                        out.push(Violation {
+                            file: label.to_string(),
+                            line: line_no,
+                            rule: "safety-doc",
+                            msg: "unsafe fn without a `# Safety` doc section or SAFETY comment"
+                                .into(),
+                        });
+                    }
+                    let is_pub = i > 0 && toks[i - 1].text(&file.src) == "pub";
+                    if needs_precondition_asserts(label)
+                        && is_pub
+                        && !fn_body_has_debug_assert(&file, toks[fn_tok].line)
+                    {
+                        out.push(Violation {
+                            file: label.to_string(),
+                            line: line_no,
+                            rule: "precondition-assert",
+                            msg:
+                                "pub unsafe kernel entry point without debug_assert! preconditions"
+                                    .into(),
+                        });
+                    }
+                }
+            }
+            continue;
         }
 
-        for ch in code.chars() {
-            match ch {
-                '{' => depth += 1,
-                '}' => depth -= 1,
-                _ => {}
-            }
-        }
-        if in_test_mod && depth <= test_mod_depth {
-            in_test_mod = false;
+        // `.add(` / `.offset(` / `.byte_add(` / `.byte_offset(`.
+        if !in_test
+            && !ptr_arith_allowed(label)
+            && t.kind == TokenKind::Punct
+            && t.text(&file.src) == "."
+            && toks.get(i + 1).is_some_and(|n| {
+                n.kind == TokenKind::Ident && PTR_ARITH.contains(&n.text(&file.src))
+            })
+            && toks.get(i + 2).is_some_and(|n| n.text(&file.src) == "(")
+        {
+            out.push(Violation {
+                file: label.to_string(),
+                line: line_no,
+                rule: "ptr-arith",
+                msg: format!(
+                    "raw-pointer arithmetic (`.{}(…`) outside the kernel modules",
+                    toks[i + 1].text(&file.src)
+                ),
+            });
         }
     }
     out
@@ -502,6 +476,32 @@ pub unsafe fn k(p: *const f32) {
         let v = lint_source("crates/core/src/x.rs", src, &cfg());
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].rule, "safety-comment");
+    }
+
+    #[test]
+    fn unsafe_in_strings_and_comments_is_ignored() {
+        // An `unsafe {` inside a string literal or a comment is not a
+        // site — the token-level rewrite's reason for existing.
+        let src = "fn f() {\n    let s = \"unsafe { }\";\n    // unsafe { }\n}\n";
+        assert!(lint_source("crates/core/src/x.rs", src, &cfg()).is_empty());
+    }
+
+    #[test]
+    fn braces_in_strings_do_not_leak_test_regions() {
+        // The `"}"` inside the test mod would, under line-based brace
+        // counting, close the region early and re-enable the tag rule
+        // for the second block.
+        let src = "\
+#[cfg(test)]
+mod tests {
+    fn g() {
+        let s = \"}\";
+        // SAFETY: exact-extent buffers above.
+        unsafe { work() };
+    }
+}
+";
+        assert!(lint_source("crates/kernels/src/x.rs", src, &cfg()).is_empty());
     }
 
     #[test]

@@ -17,6 +17,12 @@
 //!   vector-loaded along N), via the fused inner-product kernel of
 //!   Algorithm 3 — or a sequential transpose-pack under the ablation
 //!   policies.
+//!
+//! shalom-analysis: deny(panic)
+//!
+//! The whole driver is on the per-call critical path: no `unwrap`, no
+//! `[]` indexing, no allocation outside [`Workspace::ensure`] — the
+//! static-analysis passes (`crates/analysis`) enforce both.
 
 use crate::config::{classify, EdgeSchedule, GemmConfig, PackingPolicy, ShapeClass};
 use shalom_kernels::edge::{edge_kernel_batched, edge_kernel_pipelined};
@@ -323,6 +329,9 @@ pub(crate) unsafe fn gemm_serial<V: Vector>(
         0
     };
 
+    // ALLOC-FREE: begin — after `ensure` above, the whole block walk runs
+    // out of reused workspace; a stray allocation here is a per-call cost
+    // the library exists to remove.
     // Loop L1 (parallelized at the outer level in the threaded driver).
     let mut jj = 0usize;
     while jj < n {
@@ -392,6 +401,7 @@ pub(crate) unsafe fn gemm_serial<V: Vector>(
         }
         jj += ncur;
     }
+    // ALLOC-FREE: end
 
     #[cfg(feature = "telemetry")]
     if tel_start != 0 {
@@ -421,6 +431,7 @@ pub(crate) unsafe fn gemm_serial<V: Vector>(
 /// `c` must be valid for reads and writes of every row `i in 0..m` at
 /// `c + i * ldc`, each `n` elements wide (the C sub-block of the
 /// SHALOM-D-DRIVER operand contract).
+// ALLOC-FREE
 unsafe fn scale_c<V: Vector>(m: usize, n: usize, beta: V::Elem, c: *mut V::Elem, ldc: usize) {
     if beta == V::Elem::ONE {
         return;
@@ -448,6 +459,7 @@ unsafe fn scale_c<V: Vector>(m: usize, n: usize, beta: V::Elem, c: *mut V::Elem,
 /// at stride `ldc` respectively, with `m <= MR` and `n <= nr`.
 #[allow(clippy::too_many_arguments)]
 #[inline]
+// ALLOC-FREE
 unsafe fn edge<V: Vector>(
     sched: EdgeSchedule,
     m: usize,
@@ -481,6 +493,7 @@ unsafe fn edge<V: Vector>(
 /// `ncols` elements at stride `ldb`, and `c_panel` covers `mcur` rows
 /// of `ncols` elements at stride `ldc`, with `ncols <= nr`.
 #[allow(clippy::too_many_arguments)]
+// ALLOC-FREE
 unsafe fn sweep_rows<V: Vector>(
     sched: EdgeSchedule,
     i0: usize,
@@ -546,6 +559,7 @@ unsafe fn sweep_rows<V: Vector>(
 /// `bc` points to workspace for two `kc_max x nr` packed panels
 /// (the double buffer for the t = 1 lookahead).
 #[allow(clippy::too_many_arguments)]
+// ALLOC-FREE
 unsafe fn nn_block<V: Vector>(
     sched: EdgeSchedule,
     plan: BPlan,
@@ -565,8 +579,11 @@ unsafe fn nn_block<V: Vector>(
 ) {
     let nr = NR_VECS * V::LANES;
     let full_panels = ncur / nr;
-    let bufs = [bc, bc.add(kc_max * nr)];
-    let mut cur = 0usize;
+    // Double buffer as a swapped pointer pair (no `[]` indexing on the
+    // hot path): `cur_buf` feeds this iteration's compute, `next_buf`
+    // receives the panel streamed ahead for the next one.
+    let mut cur_buf = bc;
+    let mut next_buf = bc.add(kc_max * nr);
     let mut have_packed = false;
 
     for p in 0..full_panels {
@@ -582,26 +599,26 @@ unsafe fn nn_block<V: Vector>(
                 );
             }
             BPlan::Sequential => {
-                pack_timed!(pack_copy(b_panel, ldb, kcur, nr, bufs[0], nr));
+                pack_timed!(pack_copy(b_panel, ldb, kcur, nr, cur_buf, nr));
                 sweep_rows::<V>(
-                    sched, 0, mcur, nr, kcur, alpha, a_blk, lda, bufs[0], nr, beta_eff, c_panel,
+                    sched, 0, mcur, nr, kcur, alpha, a_blk, lda, cur_buf, nr, beta_eff, c_panel,
                     ldc,
                 );
             }
             BPlan::Fused => {
                 if mcur >= MR {
                     main_kernel_fused_pack::<V>(
-                        kcur, alpha, a_blk, lda, b_panel, ldb, beta_eff, c_panel, ldc, bufs[0],
+                        kcur, alpha, a_blk, lda, b_panel, ldb, beta_eff, c_panel, ldc, cur_buf,
                         None,
                     );
                     sweep_rows::<V>(
-                        sched, MR, mcur, nr, kcur, alpha, a_blk, lda, bufs[0], nr, beta_eff,
+                        sched, MR, mcur, nr, kcur, alpha, a_blk, lda, cur_buf, nr, beta_eff,
                         c_panel, ldc,
                     );
                 } else {
-                    pack_timed!(pack_copy(b_panel, ldb, kcur, nr, bufs[0], nr));
+                    pack_timed!(pack_copy(b_panel, ldb, kcur, nr, cur_buf, nr));
                     sweep_rows::<V>(
-                        sched, 0, mcur, nr, kcur, alpha, a_blk, lda, bufs[0], nr, beta_eff,
+                        sched, 0, mcur, nr, kcur, alpha, a_blk, lda, cur_buf, nr, beta_eff,
                         c_panel, ldc,
                     );
                 }
@@ -611,35 +628,35 @@ unsafe fn nn_block<V: Vector>(
                     if !have_packed {
                         let ahead = next_full.then_some(PackAhead {
                             src: b_panel.add(nr),
-                            dst: bufs[1 - cur],
+                            dst: next_buf,
                         });
                         have_packed = ahead.is_some();
                         main_kernel_fused_pack::<V>(
-                            kcur, alpha, a_blk, lda, b_panel, ldb, beta_eff, c_panel, ldc,
-                            bufs[cur], ahead,
+                            kcur, alpha, a_blk, lda, b_panel, ldb, beta_eff, c_panel, ldc, cur_buf,
+                            ahead,
                         );
                     } else {
                         let stream = next_full.then_some(StreamCopy {
                             src: b_panel.add(nr),
                             src_ld: ldb,
-                            dst: bufs[1 - cur],
+                            dst: next_buf,
                             rows: kcur,
                         });
                         have_packed = stream.is_some();
                         main_kernel_streamed::<V>(
-                            kcur, alpha, a_blk, lda, bufs[cur], beta_eff, c_panel, ldc, stream,
+                            kcur, alpha, a_blk, lda, cur_buf, beta_eff, c_panel, ldc, stream,
                         );
                     }
                     sweep_rows::<V>(
-                        sched, MR, mcur, nr, kcur, alpha, a_blk, lda, bufs[cur], nr, beta_eff,
+                        sched, MR, mcur, nr, kcur, alpha, a_blk, lda, cur_buf, nr, beta_eff,
                         c_panel, ldc,
                     );
-                    cur = 1 - cur;
+                    core::mem::swap(&mut cur_buf, &mut next_buf);
                 } else {
-                    pack_timed!(pack_copy(b_panel, ldb, kcur, nr, bufs[cur], nr));
+                    pack_timed!(pack_copy(b_panel, ldb, kcur, nr, cur_buf, nr));
                     have_packed = false;
                     sweep_rows::<V>(
-                        sched, 0, mcur, nr, kcur, alpha, a_blk, lda, bufs[cur], nr, beta_eff,
+                        sched, 0, mcur, nr, kcur, alpha, a_blk, lda, cur_buf, nr, beta_eff,
                         c_panel, ldc,
                     );
                 }
@@ -679,6 +696,7 @@ unsafe fn nn_block<V: Vector>(
 /// `mcur x ncur` at stride `ldc`, and `bc` holds one `kc_max x nr`
 /// packed panel.
 #[allow(clippy::too_many_arguments)]
+// ALLOC-FREE
 unsafe fn nt_block<V: Vector>(
     sched: EdgeSchedule,
     plan: BPlan,

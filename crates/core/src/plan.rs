@@ -25,6 +25,10 @@
 //! A *profile* plan may legitimately differ (that is its purpose); it
 //! is range-validated on ingest so it can change blocking and packing
 //! strategy but never correctness.
+//!
+//! shalom-analysis: deny(panic)
+//!
+//! Plan lookup runs on every GEMM call; all fallible paths return through `GemmError` or fall back to recomputing the plan.
 
 use crate::cache::BlockSizes;
 use crate::config::{classify, EdgeSchedule, GemmConfig, ShapeClass};
@@ -92,6 +96,8 @@ fn enabled_flag() -> &'static AtomicBool {
 
 /// Whether plan-cache lookups are active (the `SHALOM_NO_PLAN_CACHE`
 /// env knob, possibly overridden by [`set_plan_cache_enabled`]).
+// ORDERING(SHALOM-O-PLAN-FLAG): Relaxed on/off hint — a stale read only makes
+// one call recompute its plan instead of hitting the cache.
 pub fn plan_cache_enabled() -> bool {
     enabled_flag().load(Ordering::Relaxed)
 }
@@ -100,6 +106,8 @@ pub fn plan_cache_enabled() -> bool {
 /// `SHALOM_NO_PLAN_CACHE` environment default. While disabled, every
 /// call recomputes its plan and profile overrides do not apply — the
 /// switch the bitwise-identity tests and the `plan_overhead` bench flip.
+// ORDERING(SHALOM-O-PLAN-FLAG): Relaxed toggle; no cached data is published
+// through the flag itself (the cache's own locks order entry contents).
 pub fn set_plan_cache_enabled(enabled: bool) {
     enabled_flag().store(enabled, Ordering::Relaxed);
 }

@@ -39,6 +39,10 @@
 //! that would deadlock on the single call slot. [`in_pool_context`]
 //! flags pool threads (and the publisher while it participates); callers
 //! fall back to their serial paths.
+//!
+//! shalom-analysis: deny(panic)
+//!
+//! Worker dispatch is on the per-call path; the one deliberate panic (worker-poison propagation) is PANIC-OK-tagged below.
 
 use crate::driver::{with_workspace, Workspace};
 use std::cell::Cell;
@@ -208,6 +212,8 @@ fn worker_main() {
 /// publish happen before any worker observes the call).
 fn drain(p: &Pool, job: &(dyn Fn(usize, &mut Workspace) + Sync), tasks: usize, ws: &mut Workspace) {
     loop {
+        // ORDERING(SHALOM-O-POOL-TASK): Relaxed RMW — `fetch_add` hands each index
+        // out exactly once; the state mutex publishes the job before workers run.
         let i = p.next_task.fetch_add(1, Ordering::Relaxed);
         if i >= tasks {
             return;
@@ -279,6 +285,8 @@ pub(crate) fn run(
             need -= cancel;
             for _ in 0..need {
                 static NEXT_NAME: AtomicUsize = AtomicUsize::new(0);
+                // ORDERING(SHALOM-O-POOL-NAME): Relaxed unique-id tick for the
+                // thread name; nothing is published through it.
                 let name = NEXT_NAME.fetch_add(1, Ordering::Relaxed);
                 let spawn = std::thread::Builder::new()
                     .name(format!("shalom-pool-{name}"))
@@ -291,6 +299,8 @@ pub(crate) fn run(
         } else {
             st.retire += alive - desired;
         }
+        // ORDERING(SHALOM-O-POOL-TASK): Relaxed reset is ordered by the state
+        // mutex held here — workers only observe it after the epoch publish.
         p.next_task.store(0, Ordering::Relaxed);
         st.epoch += 1;
         epoch = st.epoch;
@@ -342,6 +352,9 @@ pub(crate) fn run(
         resume_unwind(payload);
     }
     if worker_panicked {
+        // PANIC-OK: deliberate propagation — a worker died mid-task, so C
+        // holds partial output; surfacing a caller panic is the only
+        // honest outcome (mirrors std::thread::scope semantics).
         panic!("a pool worker panicked while running a GEMM task");
     }
     dispatch_ns

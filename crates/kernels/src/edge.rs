@@ -22,6 +22,8 @@
 //! Both compute `C[0..m, 0..n] = alpha * A*B + beta * C` for any
 //! `1 <= m <= 7`, `1 <= n <= nr`, bit-identically (same operation order
 //! per accumulator), differing only in schedule.
+//!
+//! shalom-analysis: deny(panic)
 
 use crate::{Vector, MR, NR_VECS};
 use shalom_matrix::Scalar;
@@ -38,6 +40,9 @@ const MAX_SCALAR_COLS: usize = 3; // up to LANES-1 remainder columns (f32)
 /// * `b` valid for `kc x (NV*LANES + ns)` reads at stride `ldb`;
 /// * `c` valid for `M x (NV*LANES + ns)` reads/writes at stride `ldc`.
 #[inline(always)]
+// PANIC-OK(index): accumulator arrays are [_; M]/[_; NV]/[_; NS] indexed by loop
+// counters bounded by those const generics.
+// ALLOC-FREE
 unsafe fn edge_body<V: Vector, const M: usize, const NV: usize, const PIPE: bool>(
     ns: usize,
     kc: usize,

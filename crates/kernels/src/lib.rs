@@ -28,6 +28,8 @@
 //! All kernels are generic over the [`Vector`] lane type so one body serves
 //! FP32 and FP64, mirroring the paper's "equally applied to other kernel
 //! modes and FP64 GEMMs" (§5.1).
+//!
+//! shalom-analysis: deny(panic)
 
 #![deny(missing_docs)]
 #![allow(clippy::too_many_arguments)]

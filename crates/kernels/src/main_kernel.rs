@@ -17,6 +17,8 @@
 //! lookahead for irregular shapes, §5.3.2 / Figure 4 steps ① and ②),
 //! interleaving those stores between the FMAs so the out-of-order core can
 //! hide them — the paper's central packing-overlap idea.
+//!
+//! shalom-analysis: deny(panic)
 
 use crate::{Vector, MR, NR_VECS};
 use shalom_matrix::Scalar;
@@ -67,6 +69,9 @@ unsafe fn writeback_row<V: Vector>(
 ///   stride `ldc`;
 /// * no aliasing between `c` and the inputs.
 #[inline]
+// PANIC-OK(index): acc/av/bv arrays sized by MR_/NRV_, indexed by loop counters
+// bounded by the same const generics.
+// ALLOC-FREE
 pub unsafe fn main_kernel_shape<V: Vector, const MR_: usize, const NRV_: usize>(
     kc: usize,
     alpha: V::Elem,
@@ -182,6 +187,9 @@ pub struct PackAhead<T> {
 /// stride `ldb`, and `ahead.dst` for `kc * NR` element writes. `bc`
 /// must not alias the inputs.
 #[inline]
+// PANIC-OK(index): register arrays sized by MR/NR_VECS, indexed by loops bounded
+// by those constants.
+// ALLOC-FREE
 pub unsafe fn main_kernel_fused_pack<V: Vector>(
     kc: usize,
     alpha: V::Elem,
@@ -300,6 +308,9 @@ pub struct StreamCopy<T> {
 /// valid for `rows` rows of `NR` elements at stride `src_ld` and
 /// `stream.dst` for `rows * NR` writes, not aliasing anything else.
 #[inline]
+// PANIC-OK(index): register arrays sized by MR/NR_VECS, indexed by loops bounded
+// by those constants.
+// ALLOC-FREE
 pub unsafe fn main_kernel_streamed<V: Vector>(
     kc: usize,
     alpha: V::Elem,

@@ -20,6 +20,8 @@
 //! same A tile and successive B row triples fills one complete `kc x nr`
 //! `Bc` panel — which rows `mr..mc` of the C block then consume through
 //! the ordinary [`crate::main_kernel`].
+//!
+//! shalom-analysis: deny(panic)
 
 use crate::{Vector, MR};
 use shalom_matrix::Scalar;
@@ -35,6 +37,9 @@ pub const NT_BCOLS: usize = 3;
 /// # Safety
 /// As [`nt_pack_kernel`] with `m = M`, `bcols = BC`.
 #[inline(always)]
+// PANIC-OK(index): acc/av/bv/tail arrays sized by M/BC const generics, indexed by
+// loop counters bounded by the same.
+// ALLOC-FREE
 unsafe fn nt_pack_body<V: Vector, const M: usize, const BC: usize>(
     kc: usize,
     nr: usize,

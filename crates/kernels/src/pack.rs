@@ -5,6 +5,8 @@
 //! fused kernels do not apply (TN/TT operand preparation). Keeping them
 //! separate lets the baselines be faithful and lets the benches measure
 //! exactly the overhead the paper's fused kernels remove.
+//!
+//! shalom-analysis: deny(panic)
 
 use shalom_matrix::Scalar;
 
@@ -14,6 +16,7 @@ use shalom_matrix::Scalar;
 /// # Safety
 /// `src` valid for `rows x cols` reads at stride `ld_src`; `dst` valid for
 /// `rows x cols` writes at stride `ld_dst`; `cols <= ld_dst`.
+// ALLOC-FREE
 pub unsafe fn pack_copy<T: Scalar>(
     src: *const T,
     ld_src: usize,
@@ -42,6 +45,7 @@ pub unsafe fn pack_copy<T: Scalar>(
 /// # Safety
 /// `src` valid for `rows x cols` reads at stride `ld_src`; `dst` valid for
 /// `cols x rows` writes at stride `ld_dst`; `rows <= ld_dst`.
+// ALLOC-FREE
 pub unsafe fn pack_transpose<T: Scalar>(
     src: *const T,
     ld_src: usize,

@@ -23,6 +23,8 @@
 //! parametric in register count and vector width so the §5.5 portability
 //! claim (SVE with 128–2048-bit vectors, x86 with more/wider registers) is
 //! directly testable.
+//!
+//! shalom-analysis: deny(panic)
 
 /// Hardware constraints for the tile solver.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,10 +56,13 @@ impl TileConstraints {
     /// If `bits` is not a multiple of 128 in `128..=2048`, or `elem_bits`
     /// does not divide `bits`.
     pub fn sve(bits: usize, elem_bits: usize) -> Self {
+        // PANIC-OK: documented `# Panics` contract on a config-time
+        // constructor, never on the per-call GEMM path.
         assert!(
             (128..=2048).contains(&bits) && bits.is_multiple_of(128),
             "SVE vector length must be a multiple of 128 in 128..=2048, got {bits}"
         );
+        // PANIC-OK: same documented config-time contract as above.
         assert!(
             bits.is_multiple_of(elem_bits),
             "element width must divide vector width"
@@ -157,6 +162,9 @@ pub fn solve_tile(c: &TileConstraints) -> TileShape {
             }
         }
     }
+    // PANIC-OK: solve-time invariant — every budget >= C(1,1) registers
+    // admits the 1x1 tile, so the candidate set is never empty; documented
+    // as a `# Panics` contract for degenerate constraint sets.
     best.expect("register budget too small for any tile")
 }
 

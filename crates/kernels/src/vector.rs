@@ -1,4 +1,6 @@
 //! The lane-type abstraction the generic kernels are written against.
+//!
+//! shalom-analysis: deny(panic)
 
 use shalom_matrix::Scalar;
 use shalom_simd::{F32x4, F32x8, F64x2, F64x4};
@@ -93,6 +95,8 @@ impl Vector for F32x4 {
     }
     #[inline(always)]
     fn extract_dyn(self, lane: usize) -> f32 {
+        // PANIC-OK: kernel contract — callers pass lane < Self::LANES
+        // (debug-asserted at the kernel entry points).
         self.to_array()[lane]
     }
     #[inline(always)]
@@ -146,6 +150,8 @@ impl Vector for F64x2 {
     }
     #[inline(always)]
     fn extract_dyn(self, lane: usize) -> f64 {
+        // PANIC-OK: kernel contract — callers pass lane < Self::LANES
+        // (debug-asserted at the kernel entry points).
         self.to_array()[lane]
     }
     #[inline(always)]
@@ -196,6 +202,8 @@ impl Vector for F32x8 {
     }
     #[inline(always)]
     fn extract_dyn(self, lane: usize) -> f32 {
+        // PANIC-OK: kernel contract — callers pass lane < Self::LANES
+        // (debug-asserted at the kernel entry points).
         self.to_array()[lane]
     }
     #[inline(always)]
@@ -246,6 +254,8 @@ impl Vector for F64x4 {
     }
     #[inline(always)]
     fn extract_dyn(self, lane: usize) -> f64 {
+        // PANIC-OK: kernel contract — callers pass lane < Self::LANES
+        // (debug-asserted at the kernel entry points).
         self.to_array()[lane]
     }
     #[inline(always)]

@@ -11,6 +11,8 @@
 //!
 //! (The production driver stays on the paper's 128-bit AdvSIMD model;
 //! this module is the measured form of the paper's future-work section.)
+//!
+//! shalom-analysis: deny(panic)
 
 use crate::main_kernel::main_kernel_shape;
 use crate::tile::{solve_tile, TileConstraints};
@@ -82,6 +84,8 @@ pub unsafe fn wide_kernel_f64(
 ///
 /// # Panics
 /// If the operand shapes are inconsistent.
+// PANIC-OK(index): staging-buffer indexing i*k+p / p*np+j / i*np+j with i<m<=mp,
+// p<k, j<n<=np — in bounds of the mp*k / k*np / mp*np vecs by construction.
 pub fn gemm_nn_wide<T, V, const MR_: usize, const NRV_: usize>(
     alpha: T,
     a: MatRef<'_, T>,
@@ -95,7 +99,12 @@ pub fn gemm_nn_wide<T, V, const MR_: usize, const NRV_: usize>(
     let m = c.rows();
     let n = c.cols();
     let k = a.cols();
+    // PANIC-OK: shape-contract validation at the API boundary of the
+    // staging (allocating, non-hot) wide path; the three asserts below
+    // share this justification.
+    // PANIC-OK: see above.
     assert_eq!(a.rows(), m, "A rows != C rows");
+    // PANIC-OK: see above.
     assert_eq!(b.rows(), k, "B rows != A cols");
     assert_eq!(b.cols(), n, "B cols != C cols");
     if m == 0 || n == 0 {

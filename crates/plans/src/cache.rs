@@ -1,4 +1,8 @@
 //! The sharded, read-mostly plan cache.
+//!
+//! shalom-analysis: deny(panic)
+//!
+//! Warm lookups are a read-lock + hash probe on the dispatch path; lock poisoning is absorbed (entries are Copy), never unwrapped.
 
 use crate::{PlanKey, ResolvedPlan};
 use std::collections::HashMap;
@@ -33,6 +37,7 @@ impl Hasher for FxHasher {
     fn write(&mut self, bytes: &[u8]) {
         for chunk in bytes.chunks(8) {
             let mut buf = [0u8; 8];
+            // PANIC-OK: chunks(8) yields slices of len <= 8 == buf.len().
             buf[..chunk.len()].copy_from_slice(chunk);
             self.fold_word(u64::from_le_bytes(buf));
         }
@@ -168,10 +173,14 @@ impl PlanCache {
         key.hash(&mut h);
         // Top bits: a multiply-based hash mixes upward, so the low bits
         // (which the in-shard map uses for buckets) are its weakest.
+        // PANIC-OK: masked by SHARDS - 1; shards has exactly SHARDS slots.
         &self.shards[(h.finish() >> 60) as usize & (SHARDS - 1)]
     }
 
     /// Looks up a plan. Counts a hit or a miss either way.
+    // ORDERING(SHALOM-O-CACHE-STATS): Relaxed monotonic counters; entry data is
+    // ordered by the shard RwLock, never by these stats.
+    // ALLOC-FREE
     pub fn get(&self, key: &PlanKey) -> Option<(ResolvedPlan, Source)> {
         let shard = self.shard(key);
         let found = shard.read().get(key).copied();
@@ -199,6 +208,7 @@ impl PlanCache {
     /// existing entry. Returns how many entries coarse eviction dropped.
     pub fn install(&self, key: PlanKey, plan: ResolvedPlan) -> u64 {
         let shard = self.shard(&key);
+        // ORDERING(SHALOM-O-CACHE-STATS): Relaxed stats tick, reporting only.
         shard.installs.fetch_add(1, Ordering::Relaxed);
         self.insert(key, plan, Source::Profile)
     }
@@ -221,6 +231,8 @@ impl PlanCache {
                 map.clear();
             }
             evicted = (before - map.len()) as u64;
+            // ORDERING(SHALOM-O-CACHE-STATS): Relaxed stats tick under the write
+            // lock; readers only consume it as a racy snapshot.
             shard.evictions.fetch_add(evicted, Ordering::Relaxed);
         }
         match map.entry(key) {
@@ -286,6 +298,8 @@ impl PlanCache {
     }
 
     /// Aggregated counters plus current residency.
+    // ORDERING(SHALOM-O-CACHE-STATS): Relaxed sums — cross-shard skew is fine in
+    // a reporting snapshot.
     pub fn stats(&self) -> CacheStats {
         let mut st = CacheStats::default();
         for shard in &self.shards {
@@ -304,6 +318,7 @@ impl PlanCache {
     }
 
     /// Zeroes the hit/miss/eviction/install counters (entries stay).
+    // ORDERING(SHALOM-O-CACHE-STATS): Relaxed zeroing between measurement phases.
     pub fn reset_stats(&self) {
         for shard in &self.shards {
             shard.hits.store(0, Ordering::Relaxed);

@@ -55,6 +55,8 @@ pub struct Shard {
 }
 
 impl Shard {
+    // ORDERING(SHALOM-O-TEL-COUNTER): per-shard Relaxed adds; totals are a racy
+    // snapshot by design, no reader infers cross-counter consistency.
     fn observe(&self, rec: &DecisionRecord) {
         self.calls.fetch_add(1, Ordering::Relaxed);
         self.by_class[rec.class.index()].fetch_add(1, Ordering::Relaxed);
@@ -66,6 +68,8 @@ impl Shard {
             .fetch_max(rec.workspace_bytes as u64, Ordering::Relaxed);
     }
 
+    // ORDERING(SHALOM-O-TEL-COUNTER): Relaxed zeroing; concurrent observers may
+    // land on either side of the wipe, which snapshot consumers tolerate.
     fn clear(&self) {
         self.calls.store(0, Ordering::Relaxed);
         for c in &self.by_class {
@@ -108,6 +112,8 @@ impl ShardedCounters {
     pub fn local(&self) -> &Shard {
         static NEXT: AtomicUsize = AtomicUsize::new(0);
         thread_local! {
+            // ORDERING(SHALOM-O-TEL-SHARD-IDX): Relaxed tick only spreads threads
+            // over shards; no data hangs off the index.
             static SHARD_IDX: usize =
                 NEXT.fetch_add(1, Ordering::Relaxed) & (SHARD_COUNT - 1);
         }
@@ -122,6 +128,7 @@ impl ShardedCounters {
 
     /// Count a fork-join scope and its measured overhead.
     #[inline]
+    // ORDERING(SHALOM-O-TEL-COUNTER): Relaxed stats adds, reporting only.
     pub fn observe_fork_join(&self, overhead_ns: u64) {
         let shard = self.local();
         shard.fork_joins.fetch_add(1, Ordering::Relaxed);
@@ -132,6 +139,7 @@ impl ShardedCounters {
 
     /// Count a batch API call with `items` member problems.
     #[inline]
+    // ORDERING(SHALOM-O-TEL-COUNTER): Relaxed stats adds, reporting only.
     pub fn observe_batch(&self, items: usize) {
         let shard = self.local();
         shard.batch_calls.fetch_add(1, Ordering::Relaxed);
@@ -140,6 +148,7 @@ impl ShardedCounters {
 
     /// Count one runtime dispatch (publish + wake) of `ns` nanoseconds.
     #[inline]
+    // ORDERING(SHALOM-O-TEL-COUNTER): Relaxed stats adds, reporting only.
     pub fn observe_dispatch(&self, ns: u64) {
         let shard = self.local();
         shard.dispatches.fetch_add(1, Ordering::Relaxed);
@@ -148,6 +157,7 @@ impl ShardedCounters {
 
     /// Count one plan-cache lookup outcome.
     #[inline]
+    // ORDERING(SHALOM-O-TEL-COUNTER): Relaxed stats adds, reporting only.
     pub fn observe_plan_lookup(&self, hit: bool) {
         let shard = self.local();
         if hit {
@@ -159,6 +169,7 @@ impl ShardedCounters {
 
     /// Count `n` plan-cache entries dropped by an eviction pass.
     #[inline]
+    // ORDERING(SHALOM-O-TEL-COUNTER): Relaxed stats adds, reporting only.
     pub fn observe_plan_evictions(&self, n: u64) {
         if n != 0 {
             self.local().plan_evictions.fetch_add(n, Ordering::Relaxed);
@@ -166,6 +177,8 @@ impl ShardedCounters {
     }
 
     /// Sum every shard into one plain-integer view.
+    // ORDERING(SHALOM-O-TEL-COUNTER): Relaxed sums — the snapshot is racy across
+    // shards and counters by design; no ordering edge is inferred from it.
     pub fn totals(&self) -> CounterTotals {
         let mut t = CounterTotals::default();
         for s in &self.shards {

@@ -29,11 +29,14 @@ impl ClassHistograms {
 
     /// Record one dispatch wall time for `class`.
     #[inline]
+    // ORDERING(SHALOM-O-HIST): Relaxed bucket add; snapshots tolerate skew.
     pub fn observe(&self, class: ShapeClassTag, total_ns: u64) {
         self.buckets[class.index()][bucket_of(total_ns)].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Plain-integer copy, indexed by [`ShapeClassTag::index`].
+    // ORDERING(SHALOM-O-HIST): Relaxed reads — a racy cross-bucket snapshot is
+    // the documented contract.
     pub fn snapshot(&self) -> [Histogram; 3] {
         std::array::from_fn(|c| Histogram {
             buckets: std::array::from_fn(|b| self.buckets[c][b].load(Ordering::Relaxed)),
@@ -41,6 +44,7 @@ impl ClassHistograms {
     }
 
     /// Zero every bucket.
+    // ORDERING(SHALOM-O-HIST): Relaxed zeroing between measurement phases.
     pub fn clear(&self) {
         for class in &self.buckets {
             for b in class {

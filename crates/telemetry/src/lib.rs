@@ -80,6 +80,8 @@ fn global() -> &'static Global {
 
 /// Turn capture on. Counters and the ring keep their contents; call
 /// [`reset`] for a clean slate.
+// ORDERING(SHALOM-O-TEL-STATE): Relaxed bit set — the flag only gates whether
+// records are captured; no captured data is published through it.
 pub fn enable() {
     // Touch the clock and global state outside the measured region so
     // first-use calibration doesn't land inside a GEMM span.
@@ -89,6 +91,7 @@ pub fn enable() {
 }
 
 /// Turn capture off. Gathered data stays readable via [`snapshot`].
+// ORDERING(SHALOM-O-TEL-STATE): Relaxed bit clear; see `enable`.
 pub fn disable() {
     STATE.fetch_and(!1, Ordering::Relaxed);
 }
@@ -97,6 +100,8 @@ pub fn disable() {
 ///
 /// This is the hot-path guard: one relaxed load, one compare.
 #[inline]
+// ORDERING(SHALOM-O-TEL-STATE): one Relaxed load on the hot path — a stale
+// view only records or skips one extra call.
 pub fn enabled() -> bool {
     STATE.load(Ordering::Relaxed) == 1
 }
@@ -104,6 +109,8 @@ pub fn enabled() -> bool {
 /// Suspend capture while the guard lives, without toggling the user
 /// enable bit. Used by the autotuner so its probe GEMMs don't pollute
 /// the trace; nests freely.
+// ORDERING(SHALOM-O-TEL-STATE): Relaxed nesting count; same-thread RAII pairs
+// the add/sub, cross-thread skew only mistimes capture of a record.
 pub fn pause_guard() -> PauseGuard {
     STATE.fetch_add(2, Ordering::Relaxed);
     PauseGuard { _priv: () }
@@ -116,6 +123,7 @@ pub struct PauseGuard {
 
 impl Drop for PauseGuard {
     fn drop(&mut self) {
+        // ORDERING(SHALOM-O-TEL-STATE): pairs with `pause_guard`'s add.
         STATE.fetch_sub(2, Ordering::Relaxed);
     }
 }

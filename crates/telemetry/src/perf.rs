@@ -181,6 +181,9 @@ mod imp {
         fd as i64
     }
 
+    // ORDERING(SHALOM-O-PERF-FD): Acquire loads observe a published fd before
+    // it is used; the AcqRel CAS both claims the slot and publishes the fd the
+    // winner opened (losers close theirs).
     pub fn start() -> bool {
         let mut any = false;
         for (slot, &config) in FDS.iter().zip(&CONFIGS) {
@@ -222,6 +225,8 @@ mod imp {
         }
     }
 
+    // ORDERING(SHALOM-O-PERF-FD): Acquire pairs with the publishing CAS in
+    // `start`, so a visible fd is fully opened before we read it.
     pub fn sample() -> Option<PerfSample> {
         let fds: Vec<i64> = FDS.iter().map(|f| f.load(Ordering::Acquire)).collect();
         if fds.iter().all(|&f| f < 0) {

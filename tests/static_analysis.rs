@@ -1,0 +1,17 @@
+//! Tier-1 wiring of the static-analysis engine: the atomic-ordering
+//! audit, the panic- and allocation-freedom passes and the feature-gate
+//! consistency check all run under the plain workspace `cargo test -q`,
+//! so a violation fails the default test gate — not just the dedicated
+//! CI `audit` job (which also runs the `analyze` binary).
+
+use shalom_analysis::workspace::{analyze_repo_default, repo_root};
+
+#[test]
+fn the_repository_passes_all_analysis_passes() {
+    let findings = analyze_repo_default(&repo_root());
+    assert!(
+        findings.is_empty(),
+        "static-analysis violations:\n{}",
+        shalom_analysis::render(&findings)
+    );
+}

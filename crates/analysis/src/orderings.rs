@@ -121,6 +121,38 @@ pub const ORDERING_TAGS: &[OrderingTag] = &[
         relaxed_publish_ok: false,
         protocol: None,
     },
+    OrderingTag {
+        id: "SHALOM-O-TRACE-STATE",
+        summary: "tracer state word: Release enable publishes the arena; Acquire gate observes it",
+        relaxed_publish_ok: false,
+        protocol: None,
+    },
+    OrderingTag {
+        id: "SHALOM-O-TRACE-LANE-IDX",
+        summary: "lane assignment counter: Relaxed fetch_add hands out unique indices only",
+        relaxed_publish_ok: false,
+        protocol: None,
+    },
+    OrderingTag {
+        id: "SHALOM-O-TRACE-PUBLISH",
+        summary:
+            "single-writer lane: Release len store publishes the slot; Acquire load in snapshot",
+        relaxed_publish_ok: false,
+        protocol: None,
+    },
+    OrderingTag {
+        id: "SHALOM-O-TRACE-RESET",
+        summary:
+            "lane reset: Relaxed wipe valid only under external quiescence (disable/test setup)",
+        relaxed_publish_ok: true,
+        protocol: None,
+    },
+    OrderingTag {
+        id: "SHALOM-O-TRACE-DROP",
+        summary: "overflow drop counters: Relaxed monotonic stats, read for reporting only",
+        relaxed_publish_ok: true,
+        protocol: None,
+    },
 ];
 
 /// Looks a tag up by id.

@@ -38,18 +38,21 @@ impl AnalysisConfig {
                 p("crates/kernels/src"),
                 p("crates/plans/src"),
                 p("crates/telemetry/src"),
+                p("crates/trace/src"),
             ],
             atomic_paths: vec![
                 p("crates/core/src/pool.rs"),
                 p("crates/core/src/plan.rs"),
                 p("crates/plans/src/cache.rs"),
                 p("crates/telemetry/src"),
+                p("crates/trace/src"),
             ],
             crate_dirs: vec![
                 p("crates/core"),
                 p("crates/kernels"),
                 p("crates/plans"),
                 p("crates/telemetry"),
+                p("crates/trace"),
                 p("crates/contracts"),
                 p("crates/analysis"),
                 p("."),

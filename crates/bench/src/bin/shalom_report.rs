@@ -1,0 +1,218 @@
+//! `shalom-report`: runs the standard shape suites under the span
+//! tracer and writes the versioned machine-readable perf report
+//! (`BENCH_report.json`) plus a Chrome-trace export of a 4-thread
+//! pooled GEMM (`<out>/pooled_trace.json`, loadable at
+//! `ui.perfetto.dev` or `chrome://tracing`).
+//!
+//! For every shape the binary measures warm GFLOPS *untraced*, then
+//! re-runs the shape with tracing enabled and derives its per-phase
+//! time shares from the span snapshot — the Fig 13 breakdown from live
+//! traces, stored per shape class so future runs have a comparable
+//! trajectory. Before writing, the document is parsed back and
+//! re-serialized; any mismatch exits nonzero, so a CI smoke run of this
+//! binary doubles as the schema round-trip check.
+//!
+//! ```text
+//! cargo run --release -p shalom-bench --features trace --bin shalom-report -- --reps 3
+//! ```
+//!
+//! `--full` adds the VGG suite (paper-scale shapes, minutes of runtime);
+//! the default set is container-scaled.
+
+use shalom_baselines::ShalomGemm;
+use shalom_bench::perf_report::{
+    ClassReport, PerfReport, PhaseShare, PoolReport, ShapeResult, PERF_REPORT_VERSION,
+};
+use shalom_bench::{measure_gflops, BenchArgs, CacheState};
+use shalom_core::trace::{self, Phase};
+use shalom_core::{gemm_with, GemmConfig, PackingPolicy};
+use shalom_matrix::{Matrix, Op};
+use shalom_workloads::{cp2k_kernels, irregular_grid, small_square_sizes, GemmShape};
+
+/// Traced calls per shape: enough spans to average out clock
+/// granularity, far below the lane capacity.
+const TRACED_CALLS: usize = 16;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let mut classes = Vec::new();
+    for (name, shapes) in shape_classes(args.full) {
+        eprintln!("shalom-report: class {name} ({} shapes)", shapes.len());
+        let shapes = shapes
+            .iter()
+            .map(|&s| measure_shape::<f32>(s, args.reps))
+            .collect();
+        classes.push(ClassReport {
+            class: name.to_string(),
+            shapes,
+        });
+    }
+    // FP64 CP2K kernels are their own class (the paper's §8.6 suite).
+    let cp2k: Vec<GemmShape> = cp2k_kernels().into_iter().take(4).collect();
+    eprintln!("shalom-report: class cp2k_f64 ({} shapes)", cp2k.len());
+    classes.push(ClassReport {
+        class: "cp2k_f64".to_string(),
+        shapes: cp2k
+            .iter()
+            .map(|&s| measure_shape::<f64>(s, args.reps))
+            .collect(),
+    });
+
+    let pool = pooled_probe(&args);
+
+    let report = PerfReport {
+        version: PERF_REPORT_VERSION,
+        threads: 1,
+        pool: Some(pool),
+        classes,
+    };
+    let text = report.to_json();
+
+    // Self-validation: the document must parse back and re-serialize to
+    // the identical bytes. This is the CI schema check.
+    match PerfReport::from_json(&text) {
+        Ok(back) if back.to_json() == text => {}
+        Ok(_) => {
+            eprintln!("shalom-report: round-trip produced different bytes");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("shalom-report: generated document failed to parse: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    let path = "BENCH_report.json";
+    if let Err(e) = std::fs::write(path, &text) {
+        eprintln!("shalom-report: cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {path} ({} bytes)", text.len());
+}
+
+/// The f32 shape suites. `--full` adds the VGG layers (paper scale).
+fn shape_classes(full: bool) -> Vec<(&'static str, Vec<GemmShape>)> {
+    let small: Vec<GemmShape> = small_square_sizes()
+        .into_iter()
+        .filter(|s| s.m % 32 == 0 || s.m == 8)
+        .collect();
+    let irregular = irregular_grid(&[32, 128], &[1024], 256, true);
+    let mut v = vec![("small_square", small), ("irregular", irregular)];
+    if full {
+        v.push(("vgg", shalom_workloads::vgg_layers()));
+    }
+    v
+}
+
+/// Warm GFLOPS (untraced) plus traced phase shares for one shape.
+fn measure_shape<T: shalom_core::GemmElem>(shape: GemmShape, reps: usize) -> ShapeResult {
+    let gflops = measure_gflops::<T>(
+        &ShalomGemm,
+        1,
+        Op::NoTrans,
+        Op::NoTrans,
+        shape,
+        reps,
+        CacheState::Warm,
+    );
+
+    let cfg = GemmConfig::with_threads(1);
+    let a = Matrix::<T>::random(shape.m, shape.k, 0xA);
+    let b = Matrix::<T>::random(shape.k, shape.n, 0xB);
+    let mut c = Matrix::<T>::zeros(shape.m, shape.n);
+    trace::reset();
+    trace::enable();
+    for _ in 0..TRACED_CALLS {
+        gemm_with(
+            &cfg,
+            Op::NoTrans,
+            Op::NoTrans,
+            T::from_f64(1.0),
+            a.as_ref(),
+            b.as_ref(),
+            T::ZERO,
+            c.as_mut(),
+        );
+    }
+    trace::disable();
+    let rep = trace::snapshot().report();
+
+    ShapeResult {
+        m: shape.m as u64,
+        n: shape.n as u64,
+        k: shape.k as u64,
+        gflops,
+        phase_shares: phase_shares(&rep),
+    }
+}
+
+/// Nonzero phase shares, descending.
+fn phase_shares(rep: &trace::TraceReport) -> Vec<PhaseShare> {
+    let mut shares: Vec<PhaseShare> = Phase::ALL
+        .iter()
+        .filter_map(|&p| {
+            let share = rep.phase_share(p);
+            (share > 0.0).then(|| PhaseShare {
+                phase: p.as_str().to_string(),
+                share,
+            })
+        })
+        .collect();
+    shares.sort_by(|x, y| y.share.total_cmp(&x.share));
+    shares
+}
+
+/// Traces a 4-thread pooled irregular GEMM (sequential packing, so the
+/// per-worker pack-B spans always appear), prints the aggregate report,
+/// writes the Chrome-trace export, and returns the pool statistics.
+fn pooled_probe(args: &BenchArgs) -> PoolReport {
+    let threads = 4;
+    let cfg = GemmConfig {
+        packing: PackingPolicy::AlwaysSequential,
+        ..GemmConfig::with_threads(threads)
+    };
+    let shape = GemmShape::new(96, 768, 256);
+    let a = Matrix::<f32>::random(shape.m, shape.k, 0xA);
+    let b = Matrix::<f32>::random(shape.k, shape.n, 0xB);
+    let mut c = Matrix::<f32>::zeros(shape.m, shape.n);
+    // One untraced call spins the pool up so worker creation is not on
+    // the traced timeline.
+    let mut once = |cfg: &GemmConfig| {
+        gemm_with(
+            cfg,
+            Op::NoTrans,
+            Op::NoTrans,
+            1.0,
+            a.as_ref(),
+            b.as_ref(),
+            0.0,
+            c.as_mut(),
+        )
+    };
+    once(&cfg);
+    trace::reset();
+    trace::enable();
+    for _ in 0..8 {
+        once(&cfg);
+    }
+    trace::disable();
+    let snap = trace::snapshot();
+    let rep = snap.report();
+    print!("{}", rep.render());
+
+    let chrome = trace::chrome_trace_json(&snap);
+    let _ = std::fs::create_dir_all(&args.out);
+    let path = format!("{}/pooled_trace.json", args.out);
+    match std::fs::write(&path, &chrome) {
+        Ok(()) => println!("wrote {path} (load at ui.perfetto.dev)"),
+        Err(e) => eprintln!("shalom-report: cannot write {path}: {e}"),
+    }
+
+    PoolReport {
+        threads: threads as u64,
+        utilization: rep.utilization,
+        imbalance: rep.imbalance,
+        queue_wait_ns: rep.wait_ns(Phase::QueueWait),
+        barrier_ns: rep.wait_ns(Phase::Barrier),
+    }
+}

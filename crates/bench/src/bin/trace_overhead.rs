@@ -1,0 +1,120 @@
+//! Tracer overhead microbenchmark: times a warm 64x64x64 FP64 NN GEMM
+//! with the span tracer disabled and enabled, and reports ns/call for
+//! both.
+//!
+//! Two acceptance bars (see ISSUE/DESIGN §12): a build *without* the
+//! `trace` feature must match the feature-compiled, capture-disabled
+//! row (the span sites compile out entirely, so compare across
+//! builds), and capture *enabled* must stay within 5% of disabled —
+//! a 64-cubed call records only a handful of spans, so the per-span
+//! cost (~tens of ns) is amortized over ~524k flops.
+//!
+//! ```text
+//! cargo run --release -p shalom-bench --bin trace_overhead
+//! cargo run --release -p shalom-bench --features trace --bin trace_overhead
+//! ```
+//!
+//! `--reps N` controls the number of timed batches (default 5; the
+//! median batch is reported).
+
+use shalom_bench::{BenchArgs, Report};
+use shalom_core::{gemm_with, GemmConfig, Op};
+use shalom_matrix::Matrix;
+use std::time::Instant;
+
+const CALLS_PER_BATCH: usize = 1_000;
+
+/// Median ns/call over `reps` batches of warm 64x64x64 FP64 GEMMs.
+fn time_batches(cfg: &GemmConfig, reps: usize) -> f64 {
+    let a = Matrix::<f64>::random(64, 64, 1);
+    let b = Matrix::<f64>::random(64, 64, 2);
+    let mut c = Matrix::<f64>::zeros(64, 64);
+    // Untimed warmup: page in operands, settle the dispatch caches.
+    for _ in 0..CALLS_PER_BATCH / 10 {
+        gemm_with(
+            cfg,
+            Op::NoTrans,
+            Op::NoTrans,
+            1.0,
+            a.as_ref(),
+            b.as_ref(),
+            0.0,
+            c.as_mut(),
+        );
+    }
+    let mut per_call: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            // With capture on, a fresh batch must not inherit a full
+            // lane: drops would make the enabled row artificially cheap.
+            #[cfg(feature = "trace")]
+            if shalom_core::trace::enabled() {
+                shalom_core::trace::reset();
+            }
+            let t0 = Instant::now();
+            for _ in 0..CALLS_PER_BATCH {
+                gemm_with(
+                    cfg,
+                    Op::NoTrans,
+                    Op::NoTrans,
+                    1.0,
+                    a.as_ref(),
+                    b.as_ref(),
+                    0.0,
+                    c.as_mut(),
+                );
+            }
+            t0.elapsed().as_nanos() as f64 / CALLS_PER_BATCH as f64
+        })
+        .collect();
+    per_call.sort_by(|x, y| x.total_cmp(y));
+    per_call[per_call.len() / 2]
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let cfg = GemmConfig::with_threads(1);
+
+    let disabled_ns = time_batches(&cfg, args.reps);
+
+    #[cfg(feature = "trace")]
+    let enabled_ns = {
+        shalom_core::trace::reset();
+        shalom_core::trace::enable();
+        let ns = time_batches(&cfg, args.reps);
+        shalom_core::trace::disable();
+        shalom_core::trace::reset();
+        ns
+    };
+
+    let mut r = Report::new(
+        "trace_overhead",
+        "64x64x64 FP64 NN cost per call (warm, 1 thread)",
+    );
+    r.columns(&["capture", "ns/call", "vs disabled"]);
+    let feature = cfg!(feature = "trace");
+    r.row(&[
+        if feature {
+            "disabled (feature on)"
+        } else {
+            "absent (feature off)"
+        },
+        &format!("{disabled_ns:.1}"),
+        "1.000x",
+    ]);
+    #[cfg(feature = "trace")]
+    r.row(&[
+        "enabled",
+        &format!("{enabled_ns:.1}"),
+        &format!("{:.3}x", enabled_ns / disabled_ns),
+    ]);
+    r.note("acceptance: enabled <= 1.05x disabled; the capture-disabled row must match a build without the trace feature (run both builds and compare)");
+    r.emit(&args.out);
+
+    #[cfg(feature = "trace")]
+    if enabled_ns > disabled_ns * 1.05 {
+        eprintln!(
+            "trace_overhead: WARNING enabled/disabled = {:.3}x exceeds the 1.05x budget",
+            enabled_ns / disabled_ns
+        );
+    }
+}

@@ -19,6 +19,7 @@
 #![deny(missing_docs)]
 
 pub mod args;
+pub mod perf_report;
 pub mod report;
 pub mod runner;
 pub mod telemetry;

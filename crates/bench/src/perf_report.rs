@@ -1,0 +1,292 @@
+//! Machine-readable perf report: the versioned `BENCH_*.json` document
+//! the `shalom-report` binary emits and CI validates.
+//!
+//! The document is plain JSON with a fixed schema (`schema` +
+//! `version` fields guard against silent drift): per-shape-class GFLOPS
+//! with phase-time shares derived from live traces, plus pool
+//! utilization/imbalance/wait statistics for a threaded run. Both
+//! directions — [`PerfReport::to_json`] and [`PerfReport::from_json`] —
+//! use the dependency-free serializer in [`shalom_trace::json`], and
+//! round-tripping is exact: `from_json(to_json(r))` re-serializes to
+//! the identical string, which is what the self-validation step in
+//! `shalom-report` (and the CI smoke run) checks.
+
+use shalom_trace::json::{self, JsonValue};
+
+/// Schema identifier stamped into every report.
+pub const PERF_REPORT_SCHEMA: &str = "shalom-perf-report";
+
+/// Current schema version; bump on any field change.
+pub const PERF_REPORT_VERSION: u64 = 1;
+
+/// One phase's share of total self time for a shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseShare {
+    /// Phase name as printed by the tracer (`compute`, `pack_b`, ...).
+    pub phase: String,
+    /// Share of total self time, in `[0, 1]`.
+    pub share: f64,
+}
+
+/// One measured shape: throughput plus its traced phase breakdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShapeResult {
+    /// Rows of C.
+    pub m: u64,
+    /// Columns of C.
+    pub n: u64,
+    /// Inner dimension.
+    pub k: u64,
+    /// Untraced warm throughput.
+    pub gflops: f64,
+    /// Nonzero phase shares from a traced re-run, descending share.
+    pub phase_shares: Vec<PhaseShare>,
+}
+
+/// A named group of shapes (small squares, irregular, CP2K, VGG).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassReport {
+    /// Class label.
+    pub class: String,
+    /// Measured shapes in sweep order.
+    pub shapes: Vec<ShapeResult>,
+}
+
+/// Pool behaviour of one threaded traced run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolReport {
+    /// Worker threads the run asked for.
+    pub threads: u64,
+    /// Mean busy/wall across lanes, in `[0, 1]`.
+    pub utilization: f64,
+    /// `max(busy) / mean(busy)` over busy lanes; 1.0 is balanced.
+    pub imbalance: f64,
+    /// Total caller time spent waiting for a free pool slot.
+    pub queue_wait_ns: u64,
+    /// Total caller time spent in the join barrier.
+    pub barrier_ns: u64,
+}
+
+/// The whole document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfReport {
+    /// Schema version ([`PERF_REPORT_VERSION`] when produced here).
+    pub version: u64,
+    /// Threads available to the serial sweeps (always 1 today).
+    pub threads: u64,
+    /// Threaded-pool statistics, if the pooled probe ran.
+    pub pool: Option<PoolReport>,
+    /// Per-class results.
+    pub classes: Vec<ClassReport>,
+}
+
+impl PerfReport {
+    /// Serializes to the canonical JSON form (stable member order, no
+    /// whitespace) — the exact bytes `BENCH_report.json` holds.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str(&format!(
+            "{{\"schema\":\"{}\",\"version\":{},\"threads\":{}",
+            PERF_REPORT_SCHEMA, self.version, self.threads
+        ));
+        match &self.pool {
+            Some(p) => out.push_str(&format!(
+                ",\"pool\":{{\"threads\":{},\"utilization\":{},\"imbalance\":{},\
+                 \"queue_wait_ns\":{},\"barrier_ns\":{}}}",
+                p.threads,
+                json::format_f64(p.utilization),
+                json::format_f64(p.imbalance),
+                p.queue_wait_ns,
+                p.barrier_ns
+            )),
+            None => out.push_str(",\"pool\":null"),
+        }
+        out.push_str(",\"classes\":[");
+        for (ci, class) in self.classes.iter().enumerate() {
+            if ci > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"class\":\"{}\",\"shapes\":[",
+                json::escape(&class.class)
+            ));
+            for (si, s) in class.shapes.iter().enumerate() {
+                if si > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"m\":{},\"n\":{},\"k\":{},\"gflops\":{},\"phase_shares\":[",
+                    s.m,
+                    s.n,
+                    s.k,
+                    json::format_f64(s.gflops)
+                ));
+                for (pi, p) in s.phase_shares.iter().enumerate() {
+                    if pi > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!(
+                        "{{\"phase\":\"{}\",\"share\":{}}}",
+                        json::escape(&p.phase),
+                        json::format_f64(p.share)
+                    ));
+                }
+                out.push_str("]}");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parses a document produced by [`PerfReport::to_json`], validating
+    /// the schema tag and every required member.
+    pub fn from_json(text: &str) -> Result<PerfReport, String> {
+        let root = json::parse(text)?;
+        let schema = root
+            .get("schema")
+            .and_then(|v| v.as_str())
+            .ok_or("missing schema tag")?;
+        if schema != PERF_REPORT_SCHEMA {
+            return Err(format!("unknown schema {schema:?}"));
+        }
+        let version = need_u64(&root, "version")?;
+        if version != PERF_REPORT_VERSION {
+            return Err(format!(
+                "unsupported version {version} (expected {PERF_REPORT_VERSION})"
+            ));
+        }
+        let threads = need_u64(&root, "threads")?;
+        let pool = match root.get("pool") {
+            None | Some(JsonValue::Null) => None,
+            Some(p) => Some(PoolReport {
+                threads: need_u64(p, "threads")?,
+                utilization: need_f64(p, "utilization")?,
+                imbalance: need_f64(p, "imbalance")?,
+                queue_wait_ns: need_u64(p, "queue_wait_ns")?,
+                barrier_ns: need_u64(p, "barrier_ns")?,
+            }),
+        };
+        let mut classes = Vec::new();
+        for c in need_arr(&root, "classes")? {
+            let class = c
+                .get("class")
+                .and_then(|v| v.as_str())
+                .ok_or("class missing name")?
+                .to_string();
+            let mut shapes = Vec::new();
+            for s in need_arr(c, "shapes")? {
+                let mut phase_shares = Vec::new();
+                for p in need_arr(s, "phase_shares")? {
+                    phase_shares.push(PhaseShare {
+                        phase: p
+                            .get("phase")
+                            .and_then(|v| v.as_str())
+                            .ok_or("phase share missing name")?
+                            .to_string(),
+                        share: need_f64(p, "share")?,
+                    });
+                }
+                shapes.push(ShapeResult {
+                    m: need_u64(s, "m")?,
+                    n: need_u64(s, "n")?,
+                    k: need_u64(s, "k")?,
+                    gflops: need_f64(s, "gflops")?,
+                    phase_shares,
+                });
+            }
+            classes.push(ClassReport { class, shapes });
+        }
+        Ok(PerfReport {
+            version,
+            threads,
+            pool,
+            classes,
+        })
+    }
+}
+
+fn need_u64(v: &JsonValue, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(|x| x.as_u64())
+        .ok_or_else(|| format!("missing or non-integer member {key:?}"))
+}
+
+fn need_f64(v: &JsonValue, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(|x| x.as_f64())
+        .ok_or_else(|| format!("missing or non-numeric member {key:?}"))
+}
+
+fn need_arr<'a>(v: &'a JsonValue, key: &str) -> Result<&'a [JsonValue], String> {
+    v.get(key)
+        .and_then(|x| x.as_arr())
+        .ok_or_else(|| format!("missing or non-array member {key:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PerfReport {
+        PerfReport {
+            version: PERF_REPORT_VERSION,
+            threads: 1,
+            pool: Some(PoolReport {
+                threads: 4,
+                utilization: 0.625,
+                imbalance: 1.25,
+                queue_wait_ns: 1200,
+                barrier_ns: 3400,
+            }),
+            classes: vec![ClassReport {
+                class: "small_square".to_string(),
+                shapes: vec![ShapeResult {
+                    m: 16,
+                    n: 16,
+                    k: 16,
+                    gflops: 3.5,
+                    phase_shares: vec![
+                        PhaseShare {
+                            phase: "compute".to_string(),
+                            share: 0.75,
+                        },
+                        PhaseShare {
+                            phase: "pack_b".to_string(),
+                            share: 0.25,
+                        },
+                    ],
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn round_trips_exactly() {
+        let r = sample();
+        let text = r.to_json();
+        let back = PerfReport::from_json(&text).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn no_pool_round_trips() {
+        let mut r = sample();
+        r.pool = None;
+        let text = r.to_json();
+        assert!(text.contains("\"pool\":null"), "{text}");
+        assert_eq!(PerfReport::from_json(&text).unwrap(), r);
+    }
+
+    #[test]
+    fn rejects_wrong_schema_and_version() {
+        let good = sample().to_json();
+        let bad = good.replace(PERF_REPORT_SCHEMA, "something-else");
+        assert!(PerfReport::from_json(&bad).is_err());
+        let bad = good.replace("\"version\":1", "\"version\":999");
+        assert!(PerfReport::from_json(&bad).is_err());
+        assert!(PerfReport::from_json("{}").is_err());
+        assert!(PerfReport::from_json("not json").is_err());
+    }
+}

@@ -76,6 +76,10 @@ pub fn gemm_batch_beta<T: GemmElem>(
     if crate::telemetry::enabled() && !items.is_empty() {
         crate::telemetry::record_batch(items.len());
     }
+    // Trace: one span for the whole batch (aux = item count); each item
+    // records its own BatchItem span inside `run_one` below.
+    #[cfg(feature = "trace")]
+    let batch_tok = crate::trace::span_start(crate::trace::Phase::Batch, items.len() as u64);
     let serial_cfg = GemmConfig { threads: 1, ..*cfg };
     // Batched small GEMM is usually shape-uniform (the CP2K / strided
     // convention): amortize ONE plan-cache lookup across the whole batch
@@ -103,6 +107,11 @@ pub fn gemm_batch_beta<T: GemmElem>(
             Op::NoTrans => it.a.cols(),
             Op::Trans => it.a.rows(),
         };
+        #[cfg(feature = "trace")]
+        let item_tok = crate::trace::span_start(
+            crate::trace::Phase::BatchItem,
+            crate::trace::shape_key(m, n, k),
+        );
         // SAFETY: SHALOM-D-DRIVER — each item's MatRef/MatMut views cover
         // their full footprints and check_dims validated every shape above.
         unsafe {
@@ -125,6 +134,8 @@ pub fn gemm_batch_beta<T: GemmElem>(
                 shared_plan.as_ref(),
             )
         };
+        #[cfg(feature = "trace")]
+        crate::trace::span_end(item_tok);
     };
     if t <= 1 || pool::in_pool_context() {
         // Tag runs Batch even on the caller's thread; the scope restores
@@ -138,6 +149,8 @@ pub fn gemm_batch_beta<T: GemmElem>(
                 run_one(&serial_cfg, it, ws);
             }
         });
+        #[cfg(feature = "trace")]
+        crate::trace::span_end(batch_tok);
         return;
     }
     match cfg.resolved_runtime() {
@@ -182,6 +195,8 @@ pub fn gemm_batch_beta<T: GemmElem>(
             });
         }
     }
+    #[cfg(feature = "trace")]
+    crate::trace::span_end(batch_tok);
 }
 
 /// Strided batch over contiguous storage: `count` problems of identical

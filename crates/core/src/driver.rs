@@ -127,14 +127,20 @@ impl Workspace {
     }
 }
 
-/// Times a sequential-pack region into the thread's pack-span
-/// accumulator. Expands to the bare expression without the `telemetry`
-/// feature; with it, costs one relaxed load when capture is off.
+/// Times a sequential-pack region into the thread's telemetry
+/// pack-span accumulator and — with the `trace` feature — records a
+/// span of the named phase (`PackA` / `PackB`). Expands to the bare
+/// expression without either feature; with them, costs one relaxed
+/// load per layer when capture is off.
 macro_rules! pack_timed {
-    ($body:expr) => {{
+    ($phase:ident, $body:expr) => {{
         #[cfg(feature = "telemetry")]
         let __pack_t0 = crate::telemetry::pack_span_start();
+        #[cfg(feature = "trace")]
+        let __pack_tok = crate::trace::span_start(crate::trace::Phase::$phase, 0);
         let __r = $body;
+        #[cfg(feature = "trace")]
+        crate::trace::span_end(__pack_tok);
         #[cfg(feature = "telemetry")]
         crate::telemetry::pack_span_end(__pack_t0);
         __r
@@ -282,6 +288,13 @@ pub(crate) unsafe fn gemm_serial<V: Vector>(
         scale_c::<V>(m, n, beta, c, ldc);
         return;
     }
+    // Trace: one span covering the whole serial dispatch, tagged with
+    // the shape key; closed below with the resolved plan source.
+    #[cfg(feature = "trace")]
+    let serial_tok = crate::trace::span_start(
+        crate::trace::Phase::Serial,
+        crate::trace::shape_key(m, n, k),
+    );
     // Resolve the dispatch plan: callers that amortize one lookup over
     // many identical calls (the batched path) pass it in; everyone else
     // consults the plan cache here — warm signatures skip the §4/§5.5
@@ -348,18 +361,19 @@ pub(crate) unsafe fn gemm_serial<V: Vector>(
                 let (a_blk, lda_blk): (*const V::Elem, usize) = match op_a {
                     Op::NoTrans => (a.add(ii * lda + kk), lda),
                     Op::Trans => {
-                        pack_timed!(pack_transpose(
-                            a.add(kk * lda + ii),
-                            lda,
-                            kcur,
-                            mcur,
-                            at_ptr,
-                            kcur
-                        ));
+                        pack_timed!(
+                            PackA,
+                            pack_transpose(a.add(kk * lda + ii), lda, kcur, mcur, at_ptr, kcur)
+                        );
                         (at_ptr as *const V::Elem, kcur)
                     }
                 };
                 let c_blk = c.add(ii * ldc + jj);
+                #[cfg(feature = "trace")]
+                let compute_tok = crate::trace::span_start(
+                    crate::trace::Phase::Compute,
+                    crate::trace::shape_key(mcur, ncur, kcur),
+                );
                 match op_b {
                     Op::NoTrans => nn_block::<V>(
                         plan.edge,
@@ -395,6 +409,8 @@ pub(crate) unsafe fn gemm_serial<V: Vector>(
                         bc_ptr,
                     ),
                 }
+                #[cfg(feature = "trace")]
+                crate::trace::span_end(compute_tok);
                 kk += kcur;
             }
             ii += mcur;
@@ -423,6 +439,8 @@ pub(crate) unsafe fn gemm_serial<V: Vector>(
             ws.capacity_bytes(),
         );
     }
+    #[cfg(feature = "trace")]
+    crate::trace::span_end_src(serial_tok, crate::trace::src_code(plan.source));
 }
 
 /// `C = beta * C` over an `m x n` block.
@@ -599,7 +617,7 @@ unsafe fn nn_block<V: Vector>(
                 );
             }
             BPlan::Sequential => {
-                pack_timed!(pack_copy(b_panel, ldb, kcur, nr, cur_buf, nr));
+                pack_timed!(PackB, pack_copy(b_panel, ldb, kcur, nr, cur_buf, nr));
                 sweep_rows::<V>(
                     sched, 0, mcur, nr, kcur, alpha, a_blk, lda, cur_buf, nr, beta_eff, c_panel,
                     ldc,
@@ -616,7 +634,7 @@ unsafe fn nn_block<V: Vector>(
                         c_panel, ldc,
                     );
                 } else {
-                    pack_timed!(pack_copy(b_panel, ldb, kcur, nr, cur_buf, nr));
+                    pack_timed!(PackB, pack_copy(b_panel, ldb, kcur, nr, cur_buf, nr));
                     sweep_rows::<V>(
                         sched, 0, mcur, nr, kcur, alpha, a_blk, lda, cur_buf, nr, beta_eff,
                         c_panel, ldc,
@@ -653,7 +671,7 @@ unsafe fn nn_block<V: Vector>(
                     );
                     core::mem::swap(&mut cur_buf, &mut next_buf);
                 } else {
-                    pack_timed!(pack_copy(b_panel, ldb, kcur, nr, cur_buf, nr));
+                    pack_timed!(PackB, pack_copy(b_panel, ldb, kcur, nr, cur_buf, nr));
                     have_packed = false;
                     sweep_rows::<V>(
                         sched, 0, mcur, nr, kcur, alpha, a_blk, lda, cur_buf, nr, beta_eff,
@@ -724,7 +742,7 @@ unsafe fn nt_block<V: Vector>(
             BPlan::Sequential | BPlan::Direct => {
                 // Transpose-pack the panel (kcur x ncols, zero-pad to nr),
                 // then compute every row from the packed buffer.
-                pack_timed!({
+                pack_timed!(PackB, {
                     pack_transpose(b_panel, ldb, ncols, kcur, bc0, nr);
                     if ncols < nr {
                         for kk in 0..kcur {

@@ -43,6 +43,13 @@
 //! histograms and JSON snapshots; the `perf-hooks` feature adds Linux
 //! hardware counters. Without the feature, every capture site compiles
 //! to nothing.
+//!
+//! The off-by-default `trace` feature adds the `trace` module:
+//! span-level timelines of the same pipeline (plan lookup, pack-A/B,
+//! per-block compute, pool dispatch/queue/barrier/park, batch items)
+//! recorded into per-thread lock-free buffers, with per-phase
+//! breakdowns and Chrome-trace/Perfetto export. The two features are
+//! independent and compose.
 
 #![deny(missing_docs)]
 #![allow(clippy::too_many_arguments)]
@@ -62,6 +69,8 @@ pub mod plan;
 pub mod pool;
 #[cfg(feature = "telemetry")]
 pub mod telemetry;
+#[cfg(feature = "trace")]
+pub mod trace;
 
 pub use api::{dgemm, dgemm_raw, gemm, gemm_with, sgemm, sgemm_raw, GemmElem};
 pub use autotune::{autotune, Candidate, TuneReport};

@@ -156,8 +156,15 @@ pub(crate) unsafe fn gemm_parallel<V: Vector>(
     // §6 thread grid, through the plan cache (full-signature key with
     // threads = t). Workers resolve their own sub-block plans below
     // under threads = 1 keys — identical to the pre-cache behaviour.
+    // Trace: one span covering the whole threaded call (grid lookup,
+    // dispatch, tiles, join), closed with the grid's plan source.
+    #[cfg(feature = "trace")]
+    let parallel_tok = crate::trace::span_start(
+        crate::trace::Phase::Parallel,
+        crate::trace::shape_key(m, n, k),
+    );
     let (tm, tn, plan_src) = crate::plan::parallel_grid::<V>(cfg, op_a, op_b, m, n, k, t);
-    #[cfg(not(feature = "telemetry"))]
+    #[cfg(not(any(feature = "telemetry", feature = "trace")))]
     let _ = plan_src;
     let nr = NR_VECS * V::LANES;
     let ap = SendConstPtr(a);
@@ -274,6 +281,9 @@ pub(crate) unsafe fn gemm_parallel<V: Vector>(
             });
         }
     }
+
+    #[cfg(feature = "trace")]
+    crate::trace::span_end_src(parallel_tok, crate::trace::src_code(plan_src));
 
     #[cfg(feature = "telemetry")]
     if tel_start != 0 {

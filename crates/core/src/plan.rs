@@ -268,8 +268,33 @@ fn note_evictions(n: u64) {
 
 /// The cache-consulting lookup every entry point funnels through:
 /// returns the encoded plan and where it came from, memoizing computed
-/// plans. With the cache disabled this is a plain recompute.
+/// plans. With the cache disabled this is a plain recompute. Being the
+/// single funnel, this is also where the trace layer times plan
+/// resolution — hit and miss alike — and stamps the outcome.
 fn lookup<V: Vector>(
+    cfg: &GemmConfig,
+    op_a: Op,
+    op_b: Op,
+    m: usize,
+    n: usize,
+    k: usize,
+    threads: usize,
+) -> (ResolvedPlan, PlanSource) {
+    #[cfg(feature = "trace")]
+    {
+        let tok = crate::trace::span_start(
+            crate::trace::Phase::PlanLookup,
+            crate::trace::shape_key(m, n, k),
+        );
+        let res = lookup_impl::<V>(cfg, op_a, op_b, m, n, k, threads);
+        crate::trace::span_end_src(tok, crate::trace::src_code(res.1));
+        res
+    }
+    #[cfg(not(feature = "trace"))]
+    lookup_impl::<V>(cfg, op_a, op_b, m, n, k, threads)
+}
+
+fn lookup_impl<V: Vector>(
     cfg: &GemmConfig,
     op_a: Op,
     op_b: Op,

@@ -167,6 +167,10 @@ fn worker_main() {
     loop {
         let call = {
             let mut st = lock_state(p);
+            // Trace: a park span opens lazily on the first actual wait,
+            // so a worker that finds work immediately records nothing.
+            #[cfg(feature = "trace")]
+            let mut park_tok = crate::trace::SpanToken::inert();
             loop {
                 // Retirement is checked before joining a call, so a
                 // publish that shrank the pool counts exactly
@@ -174,11 +178,21 @@ fn worker_main() {
                 if st.retire > 0 {
                     st.retire -= 1;
                     st.spawned -= 1;
+                    #[cfg(feature = "trace")]
+                    crate::trace::span_end(park_tok);
                     return;
                 }
                 match st.call {
-                    Some(c) if c.epoch != seen_epoch => break c,
+                    Some(c) if c.epoch != seen_epoch => {
+                        #[cfg(feature = "trace")]
+                        crate::trace::span_end(park_tok);
+                        break c;
+                    }
                     _ => {
+                        #[cfg(feature = "trace")]
+                        if park_tok.is_inert() {
+                            park_tok = crate::trace::span_start(crate::trace::Phase::Park, 0);
+                        }
                         st = match p.work_cv.wait(st) {
                             Ok(g) => g,
                             Err(poisoned) => poisoned.into_inner(),
@@ -218,7 +232,11 @@ fn drain(p: &Pool, job: &(dyn Fn(usize, &mut Workspace) + Sync), tasks: usize, w
         if i >= tasks {
             return;
         }
+        #[cfg(feature = "trace")]
+        let task_tok = crate::trace::span_start(crate::trace::Phase::Task, i as u64);
         job(i, ws);
+        #[cfg(feature = "trace")]
+        crate::trace::span_end(task_tok);
     }
 }
 
@@ -254,6 +272,10 @@ pub(crate) fn run(
     } else {
         0
     };
+    // Trace: the dispatch span covers slot claim + publish + wake (any
+    // queue wait shows up nested inside it); aux carries the task count.
+    #[cfg(feature = "trace")]
+    let dispatch_tok = crate::trace::span_start(crate::trace::Phase::Dispatch, tasks as u64);
 
     let p = pool();
     let desired = threads - 1;
@@ -268,12 +290,20 @@ pub(crate) fn run(
     let epoch;
     {
         let mut st = lock_state(p);
+        #[cfg(feature = "trace")]
+        let mut queue_tok = crate::trace::SpanToken::inert();
         while st.call.is_some() {
+            #[cfg(feature = "trace")]
+            if queue_tok.is_inert() {
+                queue_tok = crate::trace::span_start(crate::trace::Phase::QueueWait, 0);
+            }
             st = match p.done_cv.wait(st) {
                 Ok(g) => g,
                 Err(poisoned) => poisoned.into_inner(),
             };
         }
+        #[cfg(feature = "trace")]
+        crate::trace::span_end(queue_tok);
         // Resize toward `desired` alive workers. Growth cancels pending
         // retirements before spawning; shrink adds to them. Either way
         // `spawned - retire` is the exact participant count afterwards.
@@ -313,6 +343,8 @@ pub(crate) fn run(
         });
     }
     p.work_cv.notify_all();
+    #[cfg(feature = "trace")]
+    crate::trace::span_end(dispatch_tok);
 
     #[cfg(feature = "telemetry")]
     let dispatch_ns = if tel_start != 0 {
@@ -336,12 +368,19 @@ pub(crate) fn run(
     let worker_panicked;
     {
         let mut st = lock_state(p);
+        // Trace: the join barrier is recorded even when workers already
+        // finished (a ~0 ns span), so pooled timelines always show the
+        // publish/compute/join structure.
+        #[cfg(feature = "trace")]
+        let barrier_tok = crate::trace::span_start(crate::trace::Phase::Barrier, 0);
         while st.active > 0 {
             st = match p.done_cv.wait(st) {
                 Ok(g) => g,
                 Err(poisoned) => poisoned.into_inner(),
             };
         }
+        #[cfg(feature = "trace")]
+        crate::trace::span_end(barrier_tok);
         worker_panicked = st.panicked;
         st.call = None;
     }

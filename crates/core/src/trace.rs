@@ -1,0 +1,41 @@
+//! Tracing integration (the `trace` cargo feature).
+//!
+//! Re-exports the [`shalom_trace`] API so users of this crate can
+//! enable span capture, pull snapshots, and export Chrome traces
+//! without a separate dependency.
+//!
+//! Span sites live in `driver.rs` (serial dispatch, plan resolution,
+//! pack-A/pack-B, per-block compute), `plan.rs` (cache lookup),
+//! `pool.rs` (dispatch, queue wait, join barrier, worker park, task
+//! execution), `parallel.rs` (threaded calls) and `batch.rs` (batch
+//! calls and member items). All of them compile away without the
+//! feature; with the feature but tracing disabled at runtime, each
+//! costs one relaxed atomic load.
+
+pub use shalom_trace::{
+    chrome_trace_json, disable, enable, enabled, json, reset, shape_from_key, shape_key, snapshot,
+    span_end, span_end_src, span_start, src, LaneSnapshot, LaneStat, Phase, PhaseStat, SpanRecord,
+    SpanToken, TraceReport, TraceSnapshot, MAX_LANES, SPANS_PER_LANE,
+};
+
+/// Internal: plan-cache `PlanSource` -> span source code.
+pub(crate) fn src_code(source: crate::plan::PlanSource) -> u8 {
+    match source {
+        crate::plan::PlanSource::Computed => src::COMPUTED,
+        crate::plan::PlanSource::Cached => src::CACHED,
+        crate::plan::PlanSource::Profile => src::PROFILE,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::PlanSource;
+
+    #[test]
+    fn src_codes_line_up() {
+        assert_eq!(src::as_str(src_code(PlanSource::Computed)), "computed");
+        assert_eq!(src::as_str(src_code(PlanSource::Cached)), "cached");
+        assert_eq!(src::as_str(src_code(PlanSource::Profile)), "profile");
+    }
+}

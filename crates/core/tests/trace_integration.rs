@@ -1,0 +1,153 @@
+//! Integration tests for the span tracer: capture must never perturb
+//! numerics, and a pooled run's Chrome export must carry the per-worker
+//! pack/compute/barrier structure the perf-report pipeline relies on.
+//!
+//! Tracer state is process-global, so every test serializes on one
+//! mutex and resets the lanes before acting.
+#![cfg(feature = "trace")]
+
+use shalom_core::trace::{self, Phase};
+use shalom_core::{gemm_batch, gemm_with, BatchItem, GemmConfig, Op, PackingPolicy};
+use shalom_matrix::Matrix;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+fn state_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    match LOCK.get_or_init(|| Mutex::new(())).lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Runs one f64 GEMM and returns C's raw bits.
+fn gemm_bits(cfg: &GemmConfig, m: usize, n: usize, k: usize) -> Vec<u64> {
+    let a = Matrix::<f64>::random(m, k, 11);
+    let b = Matrix::<f64>::random(k, n, 22);
+    let mut c = Matrix::<f64>::random(m, n, 33);
+    gemm_with(
+        cfg,
+        Op::NoTrans,
+        Op::NoTrans,
+        1.5,
+        a.as_ref(),
+        b.as_ref(),
+        0.5,
+        c.as_mut(),
+    );
+    c.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+/// Runs a small uniform batch and returns every C's raw bits.
+fn batch_bits(cfg: &GemmConfig) -> Vec<u64> {
+    let count = 12;
+    let aa: Vec<Matrix<f64>> = (0..count)
+        .map(|i| Matrix::random(13, 13, 100 + i))
+        .collect();
+    let bb: Vec<Matrix<f64>> = (0..count)
+        .map(|i| Matrix::random(13, 13, 200 + i))
+        .collect();
+    let mut cc: Vec<Matrix<f64>> = (0..count)
+        .map(|i| Matrix::random(13, 13, 300 + i))
+        .collect();
+    let mut items: Vec<BatchItem<'_, f64>> = aa
+        .iter()
+        .zip(&bb)
+        .zip(cc.iter_mut())
+        .map(|((a, b), c)| BatchItem {
+            a: a.as_ref(),
+            b: b.as_ref(),
+            c: c.as_mut(),
+        })
+        .collect();
+    gemm_batch(cfg, Op::NoTrans, Op::NoTrans, 2.0, &mut items);
+    drop(items);
+    cc.iter()
+        .flat_map(|c| c.as_slice().iter().map(|v| v.to_bits()))
+        .collect()
+}
+
+#[test]
+fn tracing_does_not_perturb_results() {
+    let _g = state_lock();
+    // Serial, pooled-parallel and batched paths, each computed with
+    // capture off and capture on: identical bits in every case.
+    let serial = GemmConfig::with_threads(1);
+    let pooled = GemmConfig::with_threads(4);
+    trace::disable();
+    trace::reset();
+    let serial_off = gemm_bits(&serial, 48, 48, 48);
+    let pooled_off = gemm_bits(&pooled, 96, 256, 64);
+    let batch_off = batch_bits(&pooled);
+    trace::reset();
+    trace::enable();
+    let serial_on = gemm_bits(&serial, 48, 48, 48);
+    let pooled_on = gemm_bits(&pooled, 96, 256, 64);
+    let batch_on = batch_bits(&pooled);
+    trace::disable();
+    assert!(
+        trace::snapshot().total_spans() > 0,
+        "capture recorded spans"
+    );
+    trace::reset();
+    assert_eq!(serial_off, serial_on, "serial bits changed under capture");
+    assert_eq!(pooled_off, pooled_on, "pooled bits changed under capture");
+    assert_eq!(batch_off, batch_on, "batched bits changed under capture");
+}
+
+#[test]
+fn pooled_chrome_export_shows_worker_structure() {
+    let _g = state_lock();
+    let cfg = GemmConfig {
+        packing: PackingPolicy::AlwaysSequential,
+        ..GemmConfig::with_threads(4)
+    };
+    // Untraced call first so pool spin-up stays off the timeline.
+    let _ = gemm_bits(&cfg, 96, 512, 128);
+    trace::reset();
+    trace::enable();
+    let _ = gemm_bits(&cfg, 96, 512, 128);
+    trace::disable();
+    let snap = trace::snapshot();
+    trace::reset();
+
+    // At least two lanes saw work, and the pack/compute/barrier phases
+    // all appear somewhere in the snapshot.
+    let busy_lanes = snap
+        .lanes
+        .iter()
+        .filter(|l| l.spans.iter().any(|s| !s.phase().is_wait()))
+        .count();
+    assert!(busy_lanes >= 2, "want >= 2 busy lanes, got {busy_lanes}");
+    for phase in [Phase::PackB, Phase::Compute, Phase::Barrier] {
+        assert!(
+            snap.lanes
+                .iter()
+                .any(|l| l.spans.iter().any(|s| s.phase() == phase)),
+            "phase {} missing from pooled trace",
+            phase.as_str()
+        );
+    }
+
+    // The Chrome export parses, declares one thread-name track per
+    // lane, and carries complete events for the worker phases.
+    let text = trace::chrome_trace_json(&snap);
+    let doc = trace::json::parse(&text).expect("chrome export must be valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_arr())
+        .expect("traceEvents array");
+    let thread_names = events
+        .iter()
+        .filter(|e| e.get("name").and_then(|v| v.as_str()) == Some("thread_name"))
+        .count();
+    assert_eq!(thread_names, snap.lanes.len());
+    for phase in ["pack_b", "compute", "barrier"] {
+        assert!(
+            events.iter().any(|e| {
+                e.get("ph").and_then(|v| v.as_str()) == Some("X")
+                    && e.get("name").and_then(|v| v.as_str()) == Some(phase)
+            }),
+            "no complete event named {phase}"
+        );
+    }
+}

@@ -52,6 +52,11 @@ pub struct Shard {
     pub plan_misses: AtomicU64,
     /// Plan-cache entries dropped by the coarse eviction pass.
     pub plan_evictions: AtomicU64,
+    /// Spans the `shalom-trace` lane buffers accepted.
+    pub trace_spans_recorded: AtomicU64,
+    /// Spans dropped on lane overflow (or by laneless threads) — the
+    /// signal that the fixed lane capacity was too small for the run.
+    pub trace_spans_dropped: AtomicU64,
 }
 
 impl Shard {
@@ -93,6 +98,8 @@ impl Shard {
         self.plan_hits.store(0, Ordering::Relaxed);
         self.plan_misses.store(0, Ordering::Relaxed);
         self.plan_evictions.store(0, Ordering::Relaxed);
+        self.trace_spans_recorded.store(0, Ordering::Relaxed);
+        self.trace_spans_dropped.store(0, Ordering::Relaxed);
     }
 }
 
@@ -176,6 +183,23 @@ impl ShardedCounters {
         }
     }
 
+    /// Count spans accepted/dropped by the `shalom-trace` lane buffers.
+    #[inline]
+    // ORDERING(SHALOM-O-TEL-COUNTER): Relaxed stats adds, reporting only.
+    pub fn observe_trace_spans(&self, recorded: u64, dropped: u64) {
+        let shard = self.local();
+        if recorded != 0 {
+            shard
+                .trace_spans_recorded
+                .fetch_add(recorded, Ordering::Relaxed);
+        }
+        if dropped != 0 {
+            shard
+                .trace_spans_dropped
+                .fetch_add(dropped, Ordering::Relaxed);
+        }
+    }
+
     /// Sum every shard into one plain-integer view.
     // ORDERING(SHALOM-O-TEL-COUNTER): Relaxed sums — the snapshot is racy across
     // shards and counters by design; no ordering edge is inferred from it.
@@ -206,6 +230,8 @@ impl ShardedCounters {
             t.plan_hits += s.plan_hits.load(Ordering::Relaxed);
             t.plan_misses += s.plan_misses.load(Ordering::Relaxed);
             t.plan_evictions += s.plan_evictions.load(Ordering::Relaxed);
+            t.trace_spans_recorded += s.trace_spans_recorded.load(Ordering::Relaxed);
+            t.trace_spans_dropped += s.trace_spans_dropped.load(Ordering::Relaxed);
         }
         t
     }
@@ -243,6 +269,8 @@ pub struct CounterTotals {
     pub plan_hits: u64,
     pub plan_misses: u64,
     pub plan_evictions: u64,
+    pub trace_spans_recorded: u64,
+    pub trace_spans_dropped: u64,
 }
 
 impl CounterTotals {
@@ -267,7 +295,8 @@ impl CounterTotals {
                 "\"batch_calls\":{},\"batch_items\":{},",
                 "\"workspace_peak_bytes\":{},",
                 "\"dispatches\":{},\"dispatch_ns\":{},",
-                "\"plan_hits\":{},\"plan_misses\":{},\"plan_evictions\":{}}}"
+                "\"plan_hits\":{},\"plan_misses\":{},\"plan_evictions\":{},",
+                "\"trace_spans_recorded\":{},\"trace_spans_dropped\":{}}}"
             ),
             self.calls,
             named(&class_names, &self.by_class),
@@ -285,6 +314,8 @@ impl CounterTotals {
             self.plan_hits,
             self.plan_misses,
             self.plan_evictions,
+            self.trace_spans_recorded,
+            self.trace_spans_dropped,
         )
     }
 }
@@ -370,6 +401,23 @@ mod tests {
         }
         counters.clear();
         assert_eq!(counters.totals().plan_hits, 0);
+    }
+
+    #[test]
+    fn trace_span_counters() {
+        let counters = ShardedCounters::new();
+        counters.observe_trace_spans(3, 0);
+        counters.observe_trace_spans(1, 2);
+        counters.observe_trace_spans(0, 0); // no-op, keeps shards quiet
+        let t = counters.totals();
+        assert_eq!(t.trace_spans_recorded, 4);
+        assert_eq!(t.trace_spans_dropped, 2);
+        let j = t.to_json();
+        for needle in ["\"trace_spans_recorded\":4", "\"trace_spans_dropped\":2"] {
+            assert!(j.contains(needle), "{j} missing {needle}");
+        }
+        counters.clear();
+        assert_eq!(counters.totals(), CounterTotals::default());
     }
 
     #[test]

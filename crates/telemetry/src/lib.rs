@@ -207,6 +207,14 @@ pub fn record_plan_evictions(n: u64) {
     global().counters.observe_plan_evictions(n);
 }
 
+/// Count spans accepted (`recorded`) and lost (`dropped`) by the
+/// `shalom-trace` lane buffers, so trace-buffer sizing shows up in the
+/// same snapshot as everything else.
+#[inline]
+pub fn record_trace_spans(recorded: u64, dropped: u64) {
+    global().counters.observe_trace_spans(recorded, dropped);
+}
+
 /// Capture a point-in-time [`TelemetrySnapshot`].
 pub fn snapshot() -> TelemetrySnapshot {
     let g = global();
@@ -331,6 +339,24 @@ mod tests {
         assert_eq!(t.plan_misses, 1);
         assert_eq!(t.plan_evictions, 3);
         reset();
+    }
+
+    #[test]
+    fn trace_span_records() {
+        let _l = state_lock();
+        reset();
+        record_trace_spans(10, 0);
+        record_trace_spans(0, 3);
+        let snap = snapshot();
+        assert_eq!(snap.totals.trace_spans_recorded, 10);
+        assert_eq!(snap.totals.trace_spans_dropped, 3);
+        let text = snap.summary();
+        assert!(
+            text.contains("trace spans: 10 recorded / 3 dropped"),
+            "{text}"
+        );
+        reset();
+        assert!(!snapshot().summary().contains("trace spans"));
     }
 
     #[test]

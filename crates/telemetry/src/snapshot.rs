@@ -105,6 +105,12 @@ impl TelemetrySnapshot {
                 t.plan_hits, t.plan_misses, t.plan_evictions,
             ));
         }
+        if t.trace_spans_recorded + t.trace_spans_dropped > 0 {
+            lines.push(format!(
+                "  trace spans: {} recorded / {} dropped",
+                t.trace_spans_recorded, t.trace_spans_dropped,
+            ));
+        }
         for c in ShapeClassTag::ALL {
             let h = &self.histograms[c.index()];
             if let Some(p50) = h.quantile_ns(0.5) {

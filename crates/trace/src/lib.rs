@@ -1,0 +1,646 @@
+//! # shalom-trace
+//!
+//! Span-level tracing for the LibShalom dispatch pipeline: where the
+//! telemetry crate records *per-call aggregates*, this crate records a
+//! *timeline* — one [`SpanRecord`] per phase instance (plan lookup,
+//! pack-A, pack-B, per-tile compute, queue/barrier waits, worker parks,
+//! batch items), bucketed into per-thread lanes so a pooled GEMM call
+//! can be replayed worker by worker. The paper's Fig 13 time breakdown
+//! and §6 imbalance analysis fall out of the aggregation in
+//! [`TraceSnapshot::report`]; `chrome://tracing` / Perfetto get the raw
+//! timeline via [`chrome_trace_json`].
+//!
+//! ## Cost model
+//!
+//! Tracing is **off by default at runtime** and the core crate compiles
+//! every span site out unless its `trace` cargo feature is on. With the
+//! feature on but tracing disabled, each site is one relaxed atomic
+//! load and a branch ([`enabled`]). When enabled, a span costs two
+//! clock reads (`cntvct_el0` / `rdtsc` via `shalom_telemetry::now_ns`)
+//! plus one 32-byte write into a pre-allocated per-thread buffer: no
+//! locks, no allocation, no syscalls on the record path. Buffers are
+//! fixed capacity ([`SPANS_PER_LANE`]); overflow *drops* spans and
+//! counts the drops rather than growing or blocking.
+//!
+//! ## Concurrency protocol
+//!
+//! Each OS thread claims one lane (index from a monotonic counter) and
+//! is that lane's only writer, ever. The writer publishes a record by
+//! filling `buf[len]` and then storing `len + 1` with `Release`;
+//! [`snapshot`] reads `len` with `Acquire` and then the first `len`
+//! records — the classic single-producer publish. Threads beyond
+//! [`MAX_LANES`] record nothing and count their spans as dropped.
+//!
+//! shalom-analysis: deny(panic)
+
+pub mod chrome;
+pub mod json;
+mod snapshot;
+
+pub use chrome::chrome_trace_json;
+pub use snapshot::{LaneSnapshot, LaneStat, PhaseStat, TraceReport, TraceSnapshot};
+
+use std::cell::Cell;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+pub use shalom_telemetry::now_ns;
+
+/// Maximum number of traced threads; later threads drop their spans.
+pub const MAX_LANES: usize = 32;
+
+/// Fixed capacity of one per-thread lane (32 B per record).
+pub const SPANS_PER_LANE: usize = 4096;
+
+/// Phase of one span. The taxonomy covers every instrumented site in
+/// the core crate; `as_str` names are the lane labels in exports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Phase {
+    /// One serial GEMM dispatch (`gemm_serial`), end to end.
+    Serial = 0,
+    /// Plan-cache lookup (hit, miss + recompute, or profile override).
+    PlanLookup = 1,
+    /// Sequential packing of the A operand.
+    PackA = 2,
+    /// Sequential packing of a B panel.
+    PackB = 3,
+    /// One macro-block compute sweep (packed-panel × A-block kernels).
+    Compute = 4,
+    /// One pool task executed by a worker (a §6 tile or a batch chunk).
+    Task = 5,
+    /// One §6 parallel GEMM call, end to end (caller's view).
+    Parallel = 6,
+    /// One `gemm_batch` call, end to end.
+    Batch = 7,
+    /// One member problem inside a batch.
+    BatchItem = 8,
+    /// Pool publish + wake: from call-slot claim to workers notified.
+    Dispatch = 9,
+    /// Caller waiting for the pool's single call slot to free up.
+    QueueWait = 10,
+    /// Caller waiting at the join barrier for workers to finish.
+    Barrier = 11,
+    /// Worker parked on the condvar waiting for work.
+    Park = 12,
+}
+
+impl Phase {
+    /// Every phase, in `index` order.
+    pub const ALL: [Phase; 13] = [
+        Phase::Serial,
+        Phase::PlanLookup,
+        Phase::PackA,
+        Phase::PackB,
+        Phase::Compute,
+        Phase::Task,
+        Phase::Parallel,
+        Phase::Batch,
+        Phase::BatchItem,
+        Phase::Dispatch,
+        Phase::QueueWait,
+        Phase::Barrier,
+        Phase::Park,
+    ];
+
+    /// Number of phases (`ALL.len()`).
+    pub const COUNT: usize = 13;
+
+    /// Stable lowercase name used in reports and exports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Phase::Serial => "serial",
+            Phase::PlanLookup => "plan_lookup",
+            Phase::PackA => "pack_a",
+            Phase::PackB => "pack_b",
+            Phase::Compute => "compute",
+            Phase::Task => "task",
+            Phase::Parallel => "parallel",
+            Phase::Batch => "batch",
+            Phase::BatchItem => "batch_item",
+            Phase::Dispatch => "dispatch",
+            Phase::QueueWait => "queue_wait",
+            Phase::Barrier => "barrier",
+            Phase::Park => "park",
+        }
+    }
+
+    /// Dense index into `ALL`-shaped arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Inverse of the `repr(u8)` discriminant; unknown codes map to
+    /// `Serial` rather than failing (records are never trusted input).
+    pub fn from_code(code: u8) -> Phase {
+        match code {
+            1 => Phase::PlanLookup,
+            2 => Phase::PackA,
+            3 => Phase::PackB,
+            4 => Phase::Compute,
+            5 => Phase::Task,
+            6 => Phase::Parallel,
+            7 => Phase::Batch,
+            8 => Phase::BatchItem,
+            9 => Phase::Dispatch,
+            10 => Phase::QueueWait,
+            11 => Phase::Barrier,
+            12 => Phase::Park,
+            _ => Phase::Serial,
+        }
+    }
+
+    /// Whether this phase is idle waiting (counted against utilization)
+    /// rather than work.
+    pub fn is_wait(self) -> bool {
+        matches!(self, Phase::QueueWait | Phase::Barrier | Phase::Park)
+    }
+
+    /// Whether `aux` on spans of this phase is a [`shape_key`].
+    pub fn carries_shape(self) -> bool {
+        matches!(
+            self,
+            Phase::Serial | Phase::PlanLookup | Phase::Compute | Phase::Parallel | Phase::BatchItem
+        )
+    }
+}
+
+/// Plan-source codes carried in [`SpanRecord::src`].
+pub mod src {
+    /// No plan source recorded (most phases).
+    pub const NONE: u8 = 0;
+    /// Plan computed fresh on this call.
+    pub const COMPUTED: u8 = 1;
+    /// Plan served from the warm cache.
+    pub const CACHED: u8 = 2;
+    /// Plan pinned by an installed autotune profile.
+    pub const PROFILE: u8 = 3;
+
+    /// Stable name for a source code.
+    pub fn as_str(code: u8) -> &'static str {
+        match code {
+            COMPUTED => "computed",
+            CACHED => "cached",
+            PROFILE => "profile",
+            _ => "none",
+        }
+    }
+}
+
+/// Packs a GEMM shape into one `u64` aux word: 21 bits per dimension
+/// (values clamp at `2^21 - 1 = 2097151`, far above the paper's sizes).
+#[inline]
+pub fn shape_key(m: usize, n: usize, k: usize) -> u64 {
+    const MASK: u64 = (1 << 21) - 1;
+    let clamp = |v: usize| (v as u64).min(MASK);
+    (clamp(m) << 42) | (clamp(n) << 21) | clamp(k)
+}
+
+/// Inverse of [`shape_key`] (exact for unclamped dimensions).
+pub fn shape_from_key(key: u64) -> (usize, usize, usize) {
+    const MASK: u64 = (1 << 21) - 1;
+    (
+        ((key >> 42) & MASK) as usize,
+        ((key >> 21) & MASK) as usize,
+        (key & MASK) as usize,
+    )
+}
+
+/// One closed span: 32 bytes, plain data, safe to bulk-copy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Start, `shalom_telemetry::now_ns` units (never 0 for real spans).
+    pub t0_ns: u64,
+    /// End, same clock; `>= t0_ns`.
+    pub t1_ns: u64,
+    /// Phase-dependent payload: a [`shape_key`] where
+    /// [`Phase::carries_shape`], a task index for `Task`, an item count
+    /// for `Batch`, 0 otherwise.
+    pub aux: u64,
+    /// [`Phase`] discriminant (`Phase::from_code` decodes).
+    pub phase: u8,
+    /// [`src`] plan-source code; `src::NONE` for most phases.
+    pub src: u8,
+    /// Nesting depth at start on the recording thread (0 = top level).
+    pub depth: u8,
+}
+
+impl SpanRecord {
+    /// Span length in nanoseconds.
+    #[inline]
+    pub fn duration_ns(&self) -> u64 {
+        self.t1_ns.saturating_sub(self.t0_ns)
+    }
+
+    /// Decoded phase.
+    #[inline]
+    pub fn phase(&self) -> Phase {
+        Phase::from_code(self.phase)
+    }
+}
+
+/// One per-thread span buffer. Single-writer: only the owning thread
+/// touches `buf` and stores `len`; readers go through `snapshot`.
+struct Lane {
+    len: AtomicUsize,
+    dropped: AtomicU64,
+    buf: UnsafeCell<Box<[SpanRecord]>>,
+}
+
+// SAFETY: `buf` is written only by the lane's unique owner thread
+// (lane indices come from a monotonic counter and are cached in TLS,
+// never reused), and only at index `len`; every read in `snapshot`
+// covers indices `< len` loaded with `Acquire`, which pairs with the
+// owner's `Release` store after the write. `len`/`dropped` are atomics.
+unsafe impl Sync for Lane {}
+
+struct Lanes {
+    lanes: Vec<Lane>,
+}
+
+static LANES: OnceLock<Lanes> = OnceLock::new();
+
+fn lanes() -> &'static Lanes {
+    LANES.get_or_init(|| Lanes {
+        lanes: (0..MAX_LANES)
+            .map(|_| Lane {
+                len: AtomicUsize::new(0),
+                dropped: AtomicU64::new(0),
+                buf: UnsafeCell::new(
+                    vec![SpanRecord::default(); SPANS_PER_LANE].into_boxed_slice(),
+                ),
+            })
+            .collect(),
+    })
+}
+
+/// Bit 0: user enable. The record path checks `state == 1` only.
+static STATE: AtomicU32 = AtomicU32::new(0);
+
+/// Monotonic lane allocator; never reset, so a lane has one owner for
+/// the process lifetime.
+static NEXT_LANE: AtomicUsize = AtomicUsize::new(0);
+
+/// Spans dropped by threads that arrived after all lanes were claimed.
+static UNASSIGNED_DROPPED: AtomicU64 = AtomicU64::new(0);
+
+const LANE_UNASSIGNED: usize = usize::MAX;
+const LANE_NONE: usize = usize::MAX - 1;
+
+thread_local! {
+    /// This thread's lane index; `LANE_UNASSIGNED` until first span,
+    /// `LANE_NONE` when the process ran out of lanes.
+    static LANE_IDX: Cell<usize> = const { Cell::new(LANE_UNASSIGNED) };
+    /// Current span nesting depth on this thread.
+    static DEPTH: Cell<u8> = const { Cell::new(0) };
+}
+
+/// Turn capture on. The lane arena (4 MB) and the span clock are
+/// initialized here, outside any measured region, so the record path
+/// never allocates or calibrates.
+// ORDERING(SHALOM-O-TRACE-STATE): Relaxed bit set — the flag only gates
+// whether spans are captured; span data is published via lane `len`.
+pub fn enable() {
+    let _ = now_ns();
+    let _ = lanes();
+    STATE.fetch_or(1, Ordering::Relaxed);
+}
+
+/// Turn capture off. Recorded spans stay readable via [`snapshot`].
+// ORDERING(SHALOM-O-TRACE-STATE): Relaxed bit clear; see `enable`.
+pub fn disable() {
+    STATE.fetch_and(!1, Ordering::Relaxed);
+}
+
+/// Whether capture is active: one relaxed load and a compare — the
+/// entire disabled-path cost of a span site.
+#[inline]
+// ORDERING(SHALOM-O-TRACE-STATE): one Relaxed load on the hot path — a
+// stale view only records or skips one extra span.
+pub fn enabled() -> bool {
+    STATE.load(Ordering::Relaxed) == 1
+}
+
+/// Empties every lane and zeroes the drop counters. Lane *ownership* is
+/// kept (threads keep their lanes). Callers must be quiescent — no GEMM
+/// in flight — exactly like `telemetry::reset`; a concurrent writer
+/// could republish over the wipe.
+pub fn reset() {
+    if let Some(ls) = LANES.get() {
+        for lane in &ls.lanes {
+            // ORDERING(SHALOM-O-TRACE-RESET): Relaxed wipe valid only under
+            // external quiescence; no concurrent writer exists by contract.
+            lane.len.store(0, Ordering::Relaxed);
+            lane.dropped.store(0, Ordering::Relaxed);
+        }
+    }
+    // ORDERING(SHALOM-O-TRACE-RESET): same quiescence argument.
+    UNASSIGNED_DROPPED.store(0, Ordering::Relaxed);
+}
+
+/// This thread's lane index, claiming one on first use.
+#[inline]
+fn lane_index() -> usize {
+    LANE_IDX.with(|c| {
+        let v = c.get();
+        if v != LANE_UNASSIGNED {
+            return v;
+        }
+        // ORDERING(SHALOM-O-TRACE-LANE-IDX): Relaxed monotonic tick; the
+        // index is cached in TLS and no data hangs off the counter itself.
+        let id = NEXT_LANE.fetch_add(1, Ordering::Relaxed);
+        let v = if id < MAX_LANES { id } else { LANE_NONE };
+        c.set(v);
+        v
+    })
+}
+
+/// Open-span token from [`span_start`]; close it with [`span_end`] or
+/// [`span_end_src`]. `t0 == 0` marks the inert token (capture was off).
+#[derive(Debug, Clone, Copy)]
+pub struct SpanToken {
+    t0: u64,
+    aux: u64,
+    phase: u8,
+    depth: u8,
+}
+
+impl SpanToken {
+    /// Token that records nothing when closed; what [`span_start`]
+    /// returns while capture is off, and a useful initializer for
+    /// lazily-started spans.
+    #[inline]
+    pub const fn inert() -> SpanToken {
+        SpanToken {
+            t0: 0,
+            aux: 0,
+            phase: 0,
+            depth: 0,
+        }
+    }
+
+    /// Whether closing this token is a no-op.
+    #[inline]
+    pub fn is_inert(&self) -> bool {
+        self.t0 == 0
+    }
+}
+
+/// Starts a span of `phase` with payload `aux` if capture is enabled;
+/// returns the inert token otherwise. The token is `Copy` and must be
+/// closed on the same thread it was opened on (depths are per-thread).
+#[inline]
+pub fn span_start(phase: Phase, aux: u64) -> SpanToken {
+    if !enabled() {
+        return SpanToken::inert();
+    }
+    begin_span(phase, aux)
+}
+
+// ALLOC-FREE
+#[inline(never)]
+fn begin_span(phase: Phase, aux: u64) -> SpanToken {
+    let depth = DEPTH.with(|d| {
+        let v = d.get();
+        d.set(v.saturating_add(1));
+        v
+    });
+    SpanToken {
+        t0: now_ns().max(1),
+        aux,
+        phase: phase as u8,
+        depth,
+    }
+}
+
+/// Closes a span. Records even if capture was disabled after the start,
+/// so enable/disable races never leave half-open nesting.
+#[inline]
+pub fn span_end(tok: SpanToken) {
+    if tok.t0 != 0 {
+        finish_span(tok, src::NONE);
+    }
+}
+
+/// Closes a span, stamping a [`src`] plan-source code on the record.
+#[inline]
+pub fn span_end_src(tok: SpanToken, src_code: u8) {
+    if tok.t0 != 0 {
+        finish_span(tok, src_code);
+    }
+}
+
+// ALLOC-FREE
+#[inline(never)]
+fn finish_span(tok: SpanToken, src_code: u8) {
+    let t1 = now_ns();
+    DEPTH.with(|d| d.set(tok.depth));
+    let idx = lane_index();
+    if idx >= MAX_LANES {
+        // ORDERING(SHALOM-O-TRACE-DROP): Relaxed loss counter, stats only.
+        UNASSIGNED_DROPPED.fetch_add(1, Ordering::Relaxed);
+        shalom_telemetry::record_trace_spans(0, 1);
+        return;
+    }
+    let Some(lane) = lanes().lanes.get(idx) else {
+        return;
+    };
+    // ORDERING(SHALOM-O-TRACE-PUBLISH): owner-only Relaxed read of its own
+    // lane length; the Release store below publishes the record to readers.
+    let len = lane.len.load(Ordering::Relaxed);
+    if len >= SPANS_PER_LANE {
+        // ORDERING(SHALOM-O-TRACE-DROP): Relaxed loss counter, stats only.
+        lane.dropped.fetch_add(1, Ordering::Relaxed);
+        shalom_telemetry::record_trace_spans(0, 1);
+        return;
+    }
+    let rec = SpanRecord {
+        t0_ns: tok.t0,
+        t1_ns: t1.max(tok.t0),
+        aux: tok.aux,
+        phase: tok.phase,
+        src: src_code,
+        depth: tok.depth,
+    };
+    // SAFETY: this thread is the lane's unique owner (index from the
+    // monotonic claim, cached in TLS), `len < SPANS_PER_LANE` was just
+    // checked, and no reader touches index `len` until the Release
+    // store below makes it visible.
+    unsafe {
+        (*lane.buf.get()).as_mut_ptr().add(len).write(rec);
+    }
+    // ORDERING(SHALOM-O-TRACE-PUBLISH): Release publish of the filled slot;
+    // pairs with the Acquire length load in `snapshot`.
+    lane.len.store(len + 1, Ordering::Release);
+    shalom_telemetry::record_trace_spans(1, 0);
+}
+
+/// Copies every non-empty lane out into an owned [`TraceSnapshot`].
+/// Safe to call while writers are active: each lane is read up to its
+/// `Acquire`-loaded length, so a span recorded concurrently is either
+/// fully visible or not included.
+pub fn snapshot() -> TraceSnapshot {
+    let mut out = Vec::new();
+    if let Some(ls) = LANES.get() {
+        for (i, lane) in ls.lanes.iter().enumerate() {
+            // ORDERING(SHALOM-O-TRACE-PUBLISH): Acquire pairs with the owner's
+            // Release length store; records below `len` are fully written.
+            let len = lane.len.load(Ordering::Acquire).min(SPANS_PER_LANE);
+            // ORDERING(SHALOM-O-TRACE-DROP): Relaxed loss counter, stats only.
+            let dropped = lane.dropped.load(Ordering::Relaxed);
+            if len == 0 && dropped == 0 {
+                continue;
+            }
+            // SAFETY: the Acquire load above synchronizes with the owner's
+            // Release publish of each slot; indices `0..len` are initialized
+            // and never rewritten (the buffer is append-only until `reset`,
+            // which requires quiescence).
+            let spans = unsafe { std::slice::from_raw_parts((*lane.buf.get()).as_ptr(), len) };
+            out.push(LaneSnapshot {
+                lane: i,
+                spans: spans.to_vec(),
+                dropped,
+            });
+        }
+    }
+    TraceSnapshot {
+        lanes: out,
+        // ORDERING(SHALOM-O-TRACE-DROP): Relaxed loss counter, stats only.
+        dropped_unassigned: UNASSIGNED_DROPPED.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Enable/disable state and the lane arena are process-global; tests
+    // that toggle them serialize on one lock (same pattern as the
+    // telemetry crate).
+    pub(crate) fn state_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        match LOCK.lock() {
+            Ok(g) => g,
+            Err(poison) => poison.into_inner(),
+        }
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let _l = state_lock();
+        disable();
+        reset();
+        let tok = span_start(Phase::Serial, shape_key(8, 8, 8));
+        assert!(tok.is_inert());
+        span_end(tok);
+        assert_eq!(snapshot().total_spans(), 0);
+    }
+
+    #[test]
+    fn records_and_nests() {
+        let _l = state_lock();
+        enable();
+        reset();
+        let outer = span_start(Phase::Serial, shape_key(4, 5, 6));
+        let inner = span_start(Phase::PackA, 0);
+        span_end(inner);
+        span_end_src(outer, src::CACHED);
+        disable();
+        let snap = snapshot();
+        assert_eq!(snap.total_spans(), 2);
+        let lane = &snap.lanes[0];
+        // Buffer order is close order: inner first.
+        assert_eq!(lane.spans[0].phase(), Phase::PackA);
+        assert_eq!(lane.spans[0].depth, 1);
+        assert_eq!(lane.spans[1].phase(), Phase::Serial);
+        assert_eq!(lane.spans[1].depth, 0);
+        assert_eq!(lane.spans[1].src, src::CACHED);
+        assert_eq!(shape_from_key(lane.spans[1].aux), (4, 5, 6));
+        assert!(lane.spans[1].t0_ns <= lane.spans[0].t0_ns);
+        assert!(lane.spans[1].t1_ns >= lane.spans[0].t1_ns);
+        reset();
+    }
+
+    #[test]
+    fn overflow_drops_and_counts() {
+        let _l = state_lock();
+        enable();
+        reset();
+        let extra = 37;
+        for _ in 0..SPANS_PER_LANE + extra {
+            let tok = span_start(Phase::Compute, 0);
+            span_end(tok);
+        }
+        disable();
+        let snap = snapshot();
+        let lane = snap
+            .lanes
+            .iter()
+            .find(|l| l.spans.len() == SPANS_PER_LANE)
+            .expect("full lane");
+        assert_eq!(lane.dropped, extra as u64);
+        assert_eq!(snap.total_dropped(), extra as u64);
+        reset();
+        assert_eq!(snapshot().total_spans(), 0);
+        assert_eq!(snapshot().total_dropped(), 0);
+    }
+
+    #[test]
+    fn depth_restores_after_drop() {
+        let _l = state_lock();
+        enable();
+        reset();
+        // Fill the lane, then check nesting depth still tracks through
+        // dropped spans.
+        for _ in 0..SPANS_PER_LANE {
+            span_end(span_start(Phase::Compute, 0));
+        }
+        let outer = span_start(Phase::Serial, 0);
+        let inner = span_start(Phase::PackB, 0);
+        assert_eq!(inner.depth, 1);
+        span_end(inner);
+        span_end(outer);
+        let after = span_start(Phase::Serial, 0);
+        assert_eq!(after.depth, 0);
+        span_end(after);
+        disable();
+        reset();
+    }
+
+    #[test]
+    fn shape_key_round_trips_and_clamps() {
+        assert_eq!(shape_from_key(shape_key(1, 2, 3)), (1, 2, 3));
+        assert_eq!(shape_from_key(shape_key(64, 50176, 512)), (64, 50176, 512));
+        let max = (1usize << 21) - 1;
+        assert_eq!(shape_from_key(shape_key(usize::MAX, 0, 0)).0, max);
+    }
+
+    #[test]
+    fn phase_codes_round_trip() {
+        for p in Phase::ALL {
+            assert_eq!(Phase::from_code(p as u8), p);
+            assert_eq!(Phase::ALL[p.index()], p);
+            assert!(!p.as_str().is_empty());
+        }
+        assert_eq!(Phase::from_code(200), Phase::Serial);
+        assert!(Phase::Park.is_wait() && !Phase::Compute.is_wait());
+        assert_eq!(src::as_str(src::PROFILE), "profile");
+        assert_eq!(src::as_str(99), "none");
+    }
+
+    #[test]
+    fn end_records_even_after_disable() {
+        let _l = state_lock();
+        enable();
+        reset();
+        let tok = span_start(Phase::Batch, 7);
+        disable();
+        span_end(tok);
+        let snap = snapshot();
+        assert_eq!(snap.total_spans(), 1);
+        assert_eq!(snap.lanes[0].spans[0].aux, 7);
+        reset();
+    }
+}

@@ -3,16 +3,25 @@
 #
 # Usage:
 #   scripts/reproduce.sh            # container-scaled sizes (~15 min)
+#   scripts/reproduce.sh --json     # also emit BENCH_report.json (traced perf report)
 #   FULL=1 scripts/reproduce.sh     # paper-scale sizes (hours, >=16 GB RAM)
 #   REPS=10 scripts/reproduce.sh    # timing repetitions (paper uses 10)
 #
-# Outputs: console tables + results/*.csv, test_output.txt, bench_output.txt.
+# Outputs: console tables + results/*.csv, test_output.txt, bench_output.txt;
+# with --json additionally BENCH_report.json and results/pooled_trace.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 REPS="${REPS:-5}"
 EXTRA=()
 [ "${FULL:-0}" = "1" ] && EXTRA+=(--full)
+JSON=0
+for arg in "$@"; do
+  case "$arg" in
+    --json) JSON=1 ;;
+    *) echo "unknown argument: $arg (supported: --json)" >&2; exit 2 ;;
+  esac
+done
 
 echo "== build =="
 cargo build --workspace --release
@@ -40,6 +49,11 @@ for b in "${BINS[@]}"; do
   echo "---- $b ----"
   cargo run --release -q -p shalom-bench --bin "$b" -- --reps "$REPS" "${EXTRA[@]}"
 done
+
+if [ "$JSON" = "1" ]; then
+  echo "== machine-readable perf report =="
+  cargo run --release -q -p shalom-bench --features trace --bin shalom-report -- --reps "$REPS" "${EXTRA[@]}"
+fi
 
 echo "== criterion ablations =="
 cargo bench --workspace 2>&1 | tee bench_output.txt | grep -E "time:|thrpt:" | tail -40

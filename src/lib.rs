@@ -57,3 +57,8 @@ pub use shalom_matrix::{MatMut, MatRef, Matrix};
 /// present only with the `telemetry` cargo feature.
 #[cfg(feature = "telemetry")]
 pub use shalom_core::telemetry;
+
+/// Span-level tracing layer (per-worker timelines, phase breakdowns,
+/// Chrome-trace export); present only with the `trace` cargo feature.
+#[cfg(feature = "trace")]
+pub use shalom_core::trace;

@@ -37,7 +37,8 @@ fn main() -> ExitCode {
     let findings = workspace::analyze_repo_default(&root);
     if findings.is_empty() {
         println!(
-            "analyze: clean — atomics, panics, allocs and features passes found no violations"
+            "analyze: clean — atomics, protocols, panics, allocs and features passes found no \
+             violations"
         );
         return ExitCode::SUCCESS;
     }

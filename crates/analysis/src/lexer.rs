@@ -79,6 +79,14 @@ impl Token {
     }
 }
 
+/// Normalizes an identifier token's text: raw identifiers (`r#type`)
+/// compare equal to their plain spelling (`type`). Passes that match
+/// identifiers by name go through this so `r#`-prefixed fields and
+/// statics resolve to the same atomic object as their plain uses.
+pub fn ident_name(text: &str) -> &str {
+    text.strip_prefix("r#").unwrap_or(text)
+}
+
 impl fmt::Display for TokenKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {
@@ -532,6 +540,34 @@ mod tests {
         assert!(k
             .iter()
             .any(|(kk, t)| *kk == TokenKind::Ident && t == "r#match"));
+    }
+
+    #[test]
+    fn raw_identifier_keywords_lex_whole_and_normalize() {
+        let src = "struct S { r#type: u32 } fn f(s: &S) -> u32 { s.r#type }";
+        let k = kinds(src);
+        let raws = k
+            .iter()
+            .filter(|(kk, t)| *kk == TokenKind::Ident && t == "r#type")
+            .count();
+        assert_eq!(raws, 2, "{k:?}");
+        // `r#type` never splits into `r` + `#` + `type`.
+        assert!(!k.iter().any(|(kk, t)| *kk == TokenKind::Punct && t == "#"));
+        assert_eq!(ident_name("r#type"), "type");
+        assert_eq!(ident_name("plain"), "plain");
+    }
+
+    #[test]
+    fn raw_ident_vs_raw_string_disambiguation() {
+        // `r#"…"#` is a raw string; `r#name` is an identifier.
+        let src = r##"let r#fn = r#"body"#;"##;
+        let k = kinds(src);
+        assert!(k
+            .iter()
+            .any(|(kk, t)| *kk == TokenKind::Ident && t == "r#fn"));
+        assert!(k
+            .iter()
+            .any(|(kk, t)| *kk == TokenKind::RawStr && t == "r#\"body\"#"));
     }
 
     #[test]

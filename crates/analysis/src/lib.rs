@@ -5,19 +5,26 @@
 //! offline) that understands line/block comments (including nesting),
 //! string/char/byte/raw-string literals, and real brace depths — the
 //! exact constructs PR 2's line-based lint documented as
-//! approximations. On top of it sit four workspace passes:
+//! approximations. On top of it sit five workspace passes:
 //!
 //! 1. **atomics** — every `Ordering::` site in the audited concurrency
 //!    files must carry a registered `// ORDERING(SHALOM-O-…):`
 //!    justification; pattern rules flag Relaxed stores racing Acquire
 //!    loads and seqlock halves missing their fence/publish events.
-//! 2. **panics** — files opting in via `//! shalom-analysis:
+//! 2. **protocols** — resolves each atomic call to the *object* it
+//!    touches (receiver-path walk: `self.field`, statics, index and
+//!    call projections), groups sites per object, and checks protocol
+//!    shape: Release writes need an Acquire consumer, seqlock and
+//!    plain-publish tags cannot share one word, seqlock sides must
+//!    pair (with their fence and Release publish), and Relaxed-only
+//!    objects need counter-class justifications.
+//! 3. **panics** — files opting in via `//! shalom-analysis:
 //!    deny(panic)` may not `unwrap`/`expect`/`panic!`/index outside
 //!    `debug_assert!` or test code, unless a `// PANIC-OK:` reason
 //!    covers the site.
-//! 3. **allocs** — `// ALLOC-FREE` ranges may not call allocating
+//! 4. **allocs** — `// ALLOC-FREE` ranges may not call allocating
 //!    APIs (`Vec::`, `Box::new`, `format!`, `to_vec`, …).
-//! 4. **features** — `cfg(feature = "…")` usage must match each
+//! 5. **features** — `cfg(feature = "…")` usage must match each
 //!    crate's `Cargo.toml` feature declarations.
 //!
 //! The `analyze` bin runs all passes over the repo and exits non-zero
@@ -37,8 +44,8 @@ use std::fmt;
 /// One diagnostic produced by a pass.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
-    /// Pass that produced the finding (`atomics`, `panics`, `allocs`,
-    /// `features`).
+    /// Pass that produced the finding (`atomics`, `protocols`,
+    /// `panics`, `allocs`, `features`).
     pub pass: &'static str,
     /// Rule id within the pass, e.g. `ordering-tag`.
     pub rule: &'static str,

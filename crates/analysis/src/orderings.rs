@@ -6,7 +6,11 @@
 //! registry also records per-tag facts the pattern rules consume:
 //! whether a `Relaxed` store under this tag is allowed to coexist with
 //! `Acquire` loads of the same atomic (an external happens-before edge
-//! exists), and whether the tag names one side of a seqlock protocol.
+//! exists), whether the tag names one side of a seqlock protocol, the
+//! tag's *class* (what kind of happens-before argument it makes — the
+//! `protocols` pass groups sites per atomic object and checks that an
+//! object's tags tell one coherent story), and which executable
+//! `shalom-modelcheck` model verifies the protocol the tag belongs to.
 
 /// Which side of a seqlock protocol a tag belongs to, if any.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -17,6 +21,60 @@ pub enum Protocol {
     /// Reader side: `Acquire` sequence load, volatile reads, an
     /// `Acquire` fence, then the validation re-load.
     SeqlockReader,
+}
+
+/// The shape of the happens-before argument a tag makes. The
+/// `protocols` pass checks that every tag attached to one atomic
+/// *object* argues compatibly: an object cannot be "a racy statistic"
+/// at one site and "the publication word of a protocol" at another.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TagClass {
+    /// Monotonic statistic or unique-id tick: `Relaxed` everywhere is
+    /// the whole story; readers accept racy snapshots by design.
+    Counter,
+    /// On/off hint flag: stale reads only skip or admit one extra
+    /// operation; no data is published through the flag itself.
+    Gate,
+    /// Ordering is provided *externally* — a mutex, the pool's call
+    /// protocol, or an init-once — so the atomic itself stays
+    /// `Relaxed`.
+    Guarded,
+    /// Valid only under external quiescence (a `&mut` phase, test
+    /// setup, an explicit "no concurrent writers" contract): wipes and
+    /// resets between measurement phases.
+    Quiescent,
+    /// A real `Release`/`Acquire` publication edge: the store side
+    /// must use `Release` (or `AcqRel`) and some site must consume it
+    /// with `Acquire`/`SeqCst`.
+    Publish,
+    /// One side of a seqlock; [`OrderingTag::protocol`] says which.
+    Seqlock,
+}
+
+impl TagClass {
+    /// Whether an object whose sites are all `Relaxed` is fully
+    /// justified by a tag of this class (the `relaxed-only-object`
+    /// protocol rule). `Publish` and `Seqlock` arguments *require*
+    /// non-relaxed events, so they can never justify a relaxed-only
+    /// object.
+    pub fn relaxed_only_ok(self) -> bool {
+        matches!(
+            self,
+            TagClass::Counter | TagClass::Gate | TagClass::Guarded | TagClass::Quiescent
+        )
+    }
+
+    /// Stable lowercase name for diagnostics.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TagClass::Counter => "counter",
+            TagClass::Gate => "gate",
+            TagClass::Guarded => "guarded",
+            TagClass::Quiescent => "quiescent",
+            TagClass::Publish => "publish",
+            TagClass::Seqlock => "seqlock",
+        }
+    }
 }
 
 /// One registered ordering tag.
@@ -35,6 +93,13 @@ pub struct OrderingTag {
     /// contain a protocol-tagged site are checked for the full event
     /// sequence of that side.
     pub protocol: Option<Protocol>,
+    /// The class of happens-before argument this tag makes; the
+    /// `protocols` pass enforces per-object class coherence.
+    pub class: TagClass,
+    /// The `shalom-modelcheck` model that verifies the protocol this
+    /// tag belongs to, if one exists (`None` for pure statistics).
+    /// Names match `shalom_modelcheck::models::MODEL_NAMES`.
+    pub model: Option<&'static str>,
 }
 
 /// All tags the audit accepts. Adding an atomic site means either
@@ -46,48 +111,64 @@ pub const ORDERING_TAGS: &[OrderingTag] = &[
         summary: "pool task cursor: Relaxed RMW/reset; the epoch mutex+condvar publish the batch",
         relaxed_publish_ok: true,
         protocol: None,
+        class: TagClass::Guarded,
+        model: Some("pool-epoch"),
     },
     OrderingTag {
         id: "SHALOM-O-POOL-NAME",
         summary: "pool name counter: Relaxed unique-id tick, no data published",
         relaxed_publish_ok: false,
         protocol: None,
+        class: TagClass::Counter,
+        model: None,
     },
     OrderingTag {
         id: "SHALOM-O-PLAN-FLAG",
         summary: "plan-cache enable flag: Relaxed on/off hint; stale reads only skip the cache",
         relaxed_publish_ok: true,
         protocol: None,
+        class: TagClass::Gate,
+        model: None,
     },
     OrderingTag {
         id: "SHALOM-O-CACHE-STATS",
         summary: "cache hit/miss counters: Relaxed monotonic stats, read for reporting only",
         relaxed_publish_ok: true,
         protocol: None,
+        class: TagClass::Counter,
+        model: Some("plan-shard"),
     },
     OrderingTag {
         id: "SHALOM-O-TEL-STATE",
         summary: "telemetry state word: Relaxed flag/pause bits; readers only gate recording",
         relaxed_publish_ok: false,
         protocol: None,
+        class: TagClass::Gate,
+        model: None,
     },
     OrderingTag {
         id: "SHALOM-O-TEL-COUNTER",
         summary: "telemetry counters: Relaxed per-shard adds; totals are a racy snapshot by design",
         relaxed_publish_ok: true,
         protocol: None,
+        class: TagClass::Counter,
+        model: None,
     },
     OrderingTag {
         id: "SHALOM-O-TEL-SHARD-IDX",
         summary: "shard round-robin cursor: Relaxed tick, only distributes contention",
         relaxed_publish_ok: false,
         protocol: None,
+        class: TagClass::Counter,
+        model: None,
     },
     OrderingTag {
         id: "SHALOM-O-RING-TICKET",
         summary: "ring head ticket: Relaxed fetch_add; slot seqlock orders the payload",
         relaxed_publish_ok: true,
         protocol: None,
+        class: TagClass::Counter,
+        model: Some("seqlock"),
     },
     OrderingTag {
         id: "SHALOM-O-RING-SEQ-WRITER",
@@ -95,12 +176,16 @@ pub const ORDERING_TAGS: &[OrderingTag] = &[
             "seqlock writer: Acquire CAS marks odd, Release store publishes even after payload",
         relaxed_publish_ok: false,
         protocol: Some(Protocol::SeqlockWriter),
+        class: TagClass::Seqlock,
+        model: Some("seqlock"),
     },
     OrderingTag {
         id: "SHALOM-O-RING-SEQ-READER",
         summary: "seqlock reader: Acquire seq load, volatile read, Acquire fence, validate re-load",
         relaxed_publish_ok: false,
         protocol: Some(Protocol::SeqlockReader),
+        class: TagClass::Seqlock,
+        model: Some("seqlock"),
     },
     OrderingTag {
         id: "SHALOM-O-RING-RESET",
@@ -108,30 +193,41 @@ pub const ORDERING_TAGS: &[OrderingTag] = &[
             "ring clear: Relaxed wipe valid only under external quiescence (&mut or test setup)",
         relaxed_publish_ok: true,
         protocol: None,
+        class: TagClass::Quiescent,
+        model: None,
     },
     OrderingTag {
         id: "SHALOM-O-HIST",
         summary: "histogram buckets: Relaxed adds; snapshots tolerate cross-bucket skew",
         relaxed_publish_ok: true,
         protocol: None,
+        class: TagClass::Counter,
+        model: None,
     },
     OrderingTag {
         id: "SHALOM-O-PERF-FD",
         summary: "perf fd slot: AcqRel CAS publishes the opened fd; Acquire load observes it",
         relaxed_publish_ok: false,
         protocol: None,
+        class: TagClass::Publish,
+        model: None,
     },
     OrderingTag {
         id: "SHALOM-O-TRACE-STATE",
-        summary: "tracer state word: Release enable publishes the arena; Acquire gate observes it",
+        summary: "tracer state word: Relaxed enable bit only gates capture; the lane arena is \
+                  published by OnceLock init, span data by each lane's Release len store",
         relaxed_publish_ok: false,
         protocol: None,
+        class: TagClass::Gate,
+        model: None,
     },
     OrderingTag {
         id: "SHALOM-O-TRACE-LANE-IDX",
         summary: "lane assignment counter: Relaxed fetch_add hands out unique indices only",
         relaxed_publish_ok: false,
         protocol: None,
+        class: TagClass::Counter,
+        model: None,
     },
     OrderingTag {
         id: "SHALOM-O-TRACE-PUBLISH",
@@ -139,6 +235,8 @@ pub const ORDERING_TAGS: &[OrderingTag] = &[
             "single-writer lane: Release len store publishes the slot; Acquire load in snapshot",
         relaxed_publish_ok: false,
         protocol: None,
+        class: TagClass::Publish,
+        model: Some("trace-lane"),
     },
     OrderingTag {
         id: "SHALOM-O-TRACE-RESET",
@@ -146,12 +244,16 @@ pub const ORDERING_TAGS: &[OrderingTag] = &[
             "lane reset: Relaxed wipe valid only under external quiescence (disable/test setup)",
         relaxed_publish_ok: true,
         protocol: None,
+        class: TagClass::Quiescent,
+        model: None,
     },
     OrderingTag {
         id: "SHALOM-O-TRACE-DROP",
         summary: "overflow drop counters: Relaxed monotonic stats, read for reporting only",
         relaxed_publish_ok: true,
         protocol: None,
+        class: TagClass::Counter,
+        model: None,
     },
 ];
 
@@ -163,6 +265,15 @@ pub fn find(id: &str) -> Option<&'static OrderingTag> {
 /// All registered tag ids (for the unknown-tag diagnostic).
 pub fn known_ids() -> impl Iterator<Item = &'static str> {
     ORDERING_TAGS.iter().map(|t| t.id)
+}
+
+/// The model names referenced by the registry, deduplicated — the
+/// modelcheck suite asserts it implements every one of these.
+pub fn referenced_models() -> Vec<&'static str> {
+    let mut out: Vec<&'static str> = ORDERING_TAGS.iter().filter_map(|t| t.model).collect();
+    out.sort_unstable();
+    out.dedup();
+    out
 }
 
 #[cfg(test)]
@@ -188,5 +299,34 @@ mod tests {
             find("SHALOM-O-RING-SEQ-READER").unwrap().protocol,
             Some(Protocol::SeqlockReader)
         );
+    }
+
+    #[test]
+    fn protocol_tags_have_seqlock_class_and_vice_versa() {
+        for t in ORDERING_TAGS {
+            assert_eq!(
+                t.protocol.is_some(),
+                t.class == TagClass::Seqlock,
+                "tag {} protocol/class mismatch",
+                t.id
+            );
+        }
+    }
+
+    #[test]
+    fn referenced_models_are_the_four_protocols() {
+        assert_eq!(
+            referenced_models(),
+            vec!["plan-shard", "pool-epoch", "seqlock", "trace-lane"]
+        );
+    }
+
+    #[test]
+    fn relaxed_only_classes() {
+        assert!(TagClass::Counter.relaxed_only_ok());
+        assert!(TagClass::Quiescent.relaxed_only_ok());
+        assert!(!TagClass::Publish.relaxed_only_ok());
+        assert!(!TagClass::Seqlock.relaxed_only_ok());
+        assert_eq!(TagClass::Gate.as_str(), "gate");
     }
 }

@@ -124,7 +124,7 @@ fn ordering_site_lines(code: &CodeTokens<'_>) -> Vec<usize> {
             continue;
         }
         let line = code.tok(i).line;
-        if file.is_test_line(line) {
+        if file.is_test_line(line) || file.in_macro_rules(line) {
             continue;
         }
         let code_line = file.code.get(line - 1).map(String::as_str).unwrap_or("");
@@ -144,7 +144,7 @@ fn ordering_site_lines(code: &CodeTokens<'_>) -> Vec<usize> {
 /// code lines below it — tight enough that a stale tag cannot blanket
 /// half a function, loose enough for a multi-line justification above a
 /// multi-line call.
-fn cover_end(file: &SourceFile, a_line: usize) -> usize {
+pub(crate) fn cover_end(file: &SourceFile, a_line: usize) -> usize {
     let mut end = a_line;
     while end < file.code.len() {
         let code_empty = file.code[end].trim().is_empty();
@@ -161,7 +161,7 @@ fn cover_end(file: &SourceFile, a_line: usize) -> usize {
 /// Annotations covering 1-based `line`: same line, a comment block just
 /// above (see [`cover_end`]), or a function-level tag in the enclosing
 /// fn's header block.
-fn covering_tags(file: &SourceFile, line: usize) -> Vec<&OrderingAnnotation> {
+pub(crate) fn covering_tags(file: &SourceFile, line: usize) -> Vec<&OrderingAnnotation> {
     let mut tags: Vec<&OrderingAnnotation> = file
         .ordering_annotations
         .iter()
@@ -209,7 +209,7 @@ fn atomic_calls(code: &CodeTokens<'_>) -> Vec<AtomicCall> {
             continue;
         }
         let line = code.tok(i + 1).line;
-        if file.is_test_line(line) {
+        if file.is_test_line(line) || file.in_macro_rules(line) {
             continue;
         }
         let receiver = if code.tok(i - 1).kind == crate::lexer::TokenKind::Ident {

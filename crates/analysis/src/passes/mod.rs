@@ -1,4 +1,4 @@
-//! The four workspace passes plus the token-walking helpers they share.
+//! The five workspace passes plus the token-walking helpers they share.
 //!
 //! Each pass is a function from an analyzed [`SourceFile`] (plus any
 //! pass-specific context) to a list of [`Finding`]s. The workspace
@@ -10,6 +10,7 @@ pub mod allocs;
 pub mod atomics;
 pub mod features;
 pub mod panics;
+pub mod protocols;
 
 use crate::lexer::{Token, TokenKind};
 use crate::source::SourceFile;

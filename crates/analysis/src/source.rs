@@ -81,6 +81,10 @@ pub struct SourceFile {
     pub panic_ok_index_lines: Vec<usize>,
     /// `ALLOC-FREE` checked ranges.
     pub alloc_free: Vec<AllocFreeRange>,
+    /// Line spans (1-based, inclusive) of `macro_rules!` definitions.
+    /// Template tokens are patterns, not executable sites, so the
+    /// atomic passes skip lines inside these regions.
+    pub macro_rules_regions: Vec<(usize, usize)>,
     /// File-level directives from `//! shalom-analysis: …` comments
     /// (e.g. `deny(panic)`).
     pub directives: Vec<String>,
@@ -96,6 +100,7 @@ impl SourceFile {
         let is_test_file = label.contains("/tests/") || label.starts_with("tests/");
         let in_test_mod = test_mod_lines(&tokens, src, n);
         let fns = fn_regions(&tokens, src, &lines);
+        let macro_rules_regions = macro_rules_regions(&tokens, src);
         let mut file = SourceFile {
             label: label.to_string(),
             lines,
@@ -110,6 +115,7 @@ impl SourceFile {
             panic_ok_lines: Vec::new(),
             panic_ok_index_lines: Vec::new(),
             alloc_free: Vec::new(),
+            macro_rules_regions,
             directives: Vec::new(),
         };
         file.parse_annotations();
@@ -125,6 +131,13 @@ impl SourceFile {
                 .get(line.saturating_sub(1))
                 .copied()
                 .unwrap_or(false)
+    }
+
+    /// Whether 1-based `line` falls inside a `macro_rules!` definition.
+    pub fn in_macro_rules(&self, line: usize) -> bool {
+        self.macro_rules_regions
+            .iter()
+            .any(|&(lo, hi)| line >= lo && line <= hi)
     }
 
     /// The innermost function whose body contains `line`.
@@ -316,6 +329,57 @@ fn matching_close(code: &[&Token], src: &str, open: usize) -> Option<usize> {
         }
     }
     None
+}
+
+/// Index of the token closing the delimiter group opened at `open`
+/// (`{}`, `()` or `[]`), counting only that pair — macro template
+/// bodies are token-tree balanced, so single-pair counting is exact
+/// even with nested mixed delimiters inside.
+fn matching_close_delim(code: &[&Token], src: &str, open: usize) -> Option<usize> {
+    let (o, c) = match code[open].text(src).as_bytes().first()? {
+        b'{' => ('{', '}'),
+        b'(' => ('(', ')'),
+        b'[' => ('[', ']'),
+        _ => return None,
+    };
+    let mut depth = 0i64;
+    for (j, t) in code.iter().enumerate().skip(open) {
+        if is_punct(t, src, o) {
+            depth += 1;
+        } else if is_punct(t, src, c) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// Finds every `macro_rules! name { … }` definition (any of the three
+/// outer delimiters) and records its line span. Nested braces inside
+/// the transcriber templates — including literal `{ $($t)* }` token
+/// trees — are balanced by [`matching_close_delim`], so a template
+/// cannot leak the region open or closed.
+fn macro_rules_regions(tokens: &[Token], src: &str) -> Vec<(usize, usize)> {
+    let code: Vec<&Token> = tokens.iter().filter(|t| !t.is_comment()).collect();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < code.len() {
+        let is_def = code[i].kind == TokenKind::Ident
+            && code[i].text(src) == "macro_rules"
+            && code.get(i + 1).is_some_and(|t| is_punct(t, src, '!'))
+            && code.get(i + 2).is_some_and(|t| t.kind == TokenKind::Ident);
+        if is_def && i + 3 < code.len() {
+            if let Some(close) = matching_close_delim(&code, src, i + 3) {
+                out.push((code[i].line, code[close].end_line));
+                i = close + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
 }
 
 /// Finds every `fn` item: declaration line, header-comment start, and
@@ -537,6 +601,28 @@ fn g() {
         assert_eq!(f.panic_ok_lines, vec![5]);
         assert_eq!(f.alloc_free.len(), 1);
         assert_eq!((f.alloc_free[0].start, f.alloc_free[0].end), (8, 10));
+    }
+
+    #[test]
+    fn macro_rules_regions_with_nested_braces() {
+        let src = "\
+fn before() {}
+macro_rules! emit {
+    ($v:expr) => {
+        { let _inner = $v; }
+    };
+}
+fn after() {}
+macro_rules! paren_form (
+    () => { 1 };
+);
+";
+        let f = SourceFile::parse("crates/x/src/a.rs", src);
+        assert_eq!(f.macro_rules_regions, vec![(2, 6), (8, 10)]);
+        assert!(!f.in_macro_rules(1));
+        assert!(f.in_macro_rules(4), "nested template brace line");
+        assert!(!f.in_macro_rules(7));
+        assert!(f.in_macro_rules(9));
     }
 
     #[test]

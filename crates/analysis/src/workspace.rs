@@ -6,7 +6,7 @@ use std::collections::HashSet;
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use crate::passes::{allocs, atomics, features, panics};
+use crate::passes::{allocs, atomics, features, panics, protocols};
 use crate::source::SourceFile;
 use crate::{orderings, Finding};
 
@@ -76,11 +76,13 @@ pub fn analyze_repo(root: &Path, config: &AnalysisConfig) -> Vec<Finding> {
         }
     }
 
-    // Atomic-ordering audit over the audited paths.
+    // Atomic-ordering audit + per-object protocol audit over the
+    // audited paths.
     let mut used_tags: HashSet<String> = HashSet::new();
     for rel in &config.atomic_paths {
         for file in load_tree(root, rel, &mut out) {
             out.extend(atomics::run(&file));
+            out.extend(protocols::run(&file));
             used_tags.extend(atomics::used_tags(&file));
         }
     }

@@ -21,3 +21,18 @@ fn lifetimes<'a>(x: &'a u32) -> &'a u32 {
     // 'a above is a lifetime, not a char literal
     x
 }
+
+macro_rules! tricky_rules {
+    ($name:ident => $v:expr) => {
+        pub const $name: usize = $v;
+    };
+    ({ $($t:tt)* }) => {
+        { $($t)* }
+    };
+}
+
+fn raw_idents() -> usize {
+    let r#type = 1usize;
+    let r#match = r#type + 1;
+    r#match
+}

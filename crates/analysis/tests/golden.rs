@@ -1,4 +1,4 @@
-//! Golden-file test: the four passes over the seeded fixture workspace
+//! Golden-file test: the five passes over the seeded fixture workspace
 //! must produce exactly the findings in `tests/golden/bad-workspace.txt`.
 //!
 //! Regenerate after an intentional rule change with:
@@ -55,6 +55,13 @@ fn every_pass_and_seeded_rule_fires_on_the_fixture() {
         ("atomics", "empty-justification"),
         ("atomics", "relaxed-publish"),
         ("atomics", "seqlock-reader-protocol"),
+        ("atomics", "seqlock-writer-protocol"),
+        ("protocols", "unpaired-release"),
+        ("protocols", "mixed-protocol"),
+        ("protocols", "relaxed-only-object"),
+        ("protocols", "seqlock-unpaired-side"),
+        ("protocols", "seqlock-reader-fence"),
+        ("protocols", "seqlock-writer-publish"),
         ("panics", "unwrap"),
         ("panics", "panic-macro"),
         ("panics", "index"),

@@ -96,11 +96,58 @@ fn fn_regions_survive_the_torture_file() {
     let src = tricky();
     let f = SourceFile::parse("crates/x/src/tricky.rs", &src);
     let names: Vec<usize> = f.fns.iter().map(|r| r.decl_line).collect();
-    // Three fn items: strings, chars, lifetimes — none split or merged
-    // by the braces hidden in strings and comments.
-    assert_eq!(names.len(), 3, "{names:?}");
+    // Four fn items: strings, chars, lifetimes, raw_idents — none split
+    // or merged by the braces hidden in strings and comments.
+    assert_eq!(names.len(), 4, "{names:?}");
     for r in &f.fns {
         assert!(r.body_start.is_some() && r.body_end.is_some(), "{r:?}");
         assert!(r.body_end.unwrap() > r.body_start.unwrap() || r.body_start == r.body_end);
     }
+}
+
+#[test]
+fn raw_identifiers_lex_whole_and_normalize() {
+    let src = tricky();
+    let toks = lex(&src);
+    // `r#type` / `r#match` are single Ident tokens, never `r` + `#` + kw.
+    let raw_idents: Vec<&str> = toks
+        .iter()
+        .filter(|t| t.kind == TokenKind::Ident && t.text(&src).starts_with("r#"))
+        .map(|t| t.text(&src))
+        .collect();
+    assert_eq!(
+        raw_idents,
+        vec!["r#type", "r#match", "r#type", "r#match"],
+        "{raw_idents:?}"
+    );
+    assert_eq!(shalom_analysis::lexer::ident_name("r#type"), "type");
+    assert_eq!(shalom_analysis::lexer::ident_name("head"), "head");
+}
+
+#[test]
+fn macro_rules_region_spans_nested_template_braces() {
+    let src = tricky();
+    let f = SourceFile::parse("crates/x/src/tricky.rs", &src);
+    assert_eq!(
+        f.macro_rules_regions.len(),
+        1,
+        "{:?}",
+        f.macro_rules_regions
+    );
+    let (lo, hi) = f.macro_rules_regions[0];
+    // The definition opens at `macro_rules! tricky_rules {` and the
+    // nested `{ $($t)* }` template brace must not end the region early.
+    let lines: Vec<&str> = src.lines().collect();
+    assert!(lines[lo - 1].contains("macro_rules! tricky_rules"), "{lo}");
+    assert_eq!(lines[hi - 1].trim(), "}", "{hi}");
+    assert!(f.in_macro_rules(lo + 2), "template line inside the region");
+    // The fn after the macro is outside it.
+    let raw_fn = f
+        .fns
+        .iter()
+        .map(|r| r.decl_line)
+        .find(|&l| lines[l - 1].contains("raw_idents"))
+        .expect("raw_idents fn found");
+    assert!(!f.in_macro_rules(raw_fn));
+    assert!(hi < raw_fn, "region closed before the next item");
 }

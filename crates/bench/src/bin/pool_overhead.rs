@@ -29,6 +29,15 @@ fn config(threads: usize, runtime: Runtime) -> GemmConfig {
 }
 
 fn main() {
+    // Zero-overhead spot check: this bench must measure the real std
+    // atomics, not the instrumented shims the `modelcheck` feature
+    // swaps into the `shalom_core::sync` facade.
+    const {
+        assert!(
+            shalom_core::sync::FACADE_IS_STD,
+            "pool_overhead must be built without the `modelcheck` feature"
+        )
+    };
     let args = BenchArgs::parse();
     let threads = match args.threads {
         Some(0) | None => THREADS,

@@ -67,6 +67,7 @@ pub mod error;
 mod parallel;
 pub mod plan;
 pub mod pool;
+pub mod sync;
 #[cfg(feature = "telemetry")]
 pub mod telemetry;
 #[cfg(feature = "trace")]

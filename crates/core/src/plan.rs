@@ -34,11 +34,11 @@ use crate::cache::BlockSizes;
 use crate::config::{classify, EdgeSchedule, GemmConfig, ShapeClass};
 use crate::driver::{resolve_nn_plan, resolve_nt_plan, BPlan};
 use crate::parallel::partition_threads;
+use crate::sync::{AtomicBool, Ordering};
 use shalom_kernels::{Vector, MR, NR_VECS};
 use shalom_matrix::Op;
 use shalom_plans::{profile, CacheStats, PlanCache, PlanKey, ProfileError, ResolvedPlan, Source};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;
 
 /// Where the plan used by a call came from.

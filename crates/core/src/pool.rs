@@ -45,9 +45,9 @@
 //! Worker dispatch is on the per-call path; the one deliberate panic (worker-poison propagation) is PANIC-OK-tagged below.
 
 use crate::driver::{with_workspace, Workspace};
+use crate::sync::{AtomicUsize, Ordering};
 use std::cell::Cell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, OnceLock};
 
 /// The shape every pool job takes: called once per claimed task index

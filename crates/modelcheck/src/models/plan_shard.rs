@@ -1,0 +1,225 @@
+//! Executable model of a plan-cache shard (`SHALOM-O-CACHE-STATS` and
+//! the RwLock discipline around it).
+//!
+//! Lookups take the shard's read lock, inserts the write lock; the
+//! hit/miss statistics are **Relaxed** counters bumped outside any
+//! ordering obligation — they are counter-class (`SHALOM-O-CACHE-STATS`),
+//! never used to synchronize. The entry itself is written in two steps
+//! (key, then value), which is only safe because the write lock
+//! excludes readers for the whole pair.
+//!
+//! Safety properties:
+//!
+//! * readers never observe a half-written entry (key set, value not);
+//! * the lock itself is exclusive: never a writer and a reader inside
+//!   simultaneously.
+//!
+//! The seeded mutation [`Mutation::UnlockedInsert`] drops the write
+//! lock around the insert — the explorer finds the schedule where a
+//! reader lands between the two entry writes and observes the torn
+//! entry. The Relaxed statistics counters are deliberately *not*
+//! flagged by any variant: losing ordering on them is benign, which is
+//! exactly why the audit classifies them counter-class.
+
+use crate::explorer::System;
+
+/// Which (if any) bug is seeded into the model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Mutation {
+    /// The protocol as shipped: inserts hold the write lock.
+    None,
+    /// Insert without taking the write lock.
+    UnlockedInsert,
+}
+
+const I_DONE: u8 = 9;
+const L_DONE: u8 = 9;
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct Looker {
+    pc: u8,
+    saw_torn: bool,
+}
+
+/// The model: one inserter (tid 0) plus `lookers.len()` lookup
+/// threads over a single shard entry.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct PlanShard {
+    mutation: Mutation,
+    /// Read-side of the shard RwLock: number of readers inside.
+    readers_in: u8,
+    /// Write-side of the shard RwLock.
+    writer_in: bool,
+    /// The two-step entry: key slot, then value slot.
+    key_set: bool,
+    val_set: bool,
+    /// Relaxed statistics counters (benign by design).
+    hits: u8,
+    misses: u8,
+    inserter: u8,
+    lookers: Vec<Looker>,
+}
+
+impl PlanShard {
+    /// A fresh shard with `lookers` concurrent lookup threads and one
+    /// insert in flight.
+    pub fn new(lookers: usize, mutation: Mutation) -> PlanShard {
+        PlanShard {
+            mutation,
+            readers_in: 0,
+            writer_in: false,
+            key_set: false,
+            val_set: false,
+            hits: 0,
+            misses: 0,
+            inserter: 0,
+            lookers: vec![
+                Looker {
+                    pc: 0,
+                    saw_torn: false,
+                };
+                lookers
+            ],
+        }
+    }
+
+    fn inserter_actions(&self) -> Vec<&'static str> {
+        match self.inserter {
+            0 => vec!["ins: misses.fetch_add(1, Relaxed)"],
+            1 => match self.mutation {
+                Mutation::None => {
+                    if self.readers_in == 0 && !self.writer_in {
+                        vec!["ins: write-lock shard"]
+                    } else {
+                        vec![]
+                    }
+                }
+                Mutation::UnlockedInsert => vec!["ins: SKIP write lock"],
+            },
+            2 => vec!["ins: entry.key = k"],
+            3 => vec!["ins: entry.value = plan"],
+            4 => match self.mutation {
+                Mutation::None => vec!["ins: write-unlock shard"],
+                Mutation::UnlockedInsert => vec!["ins: (nothing to unlock)"],
+            },
+            _ => vec![],
+        }
+    }
+
+    fn inserter_step(&mut self) {
+        match self.inserter {
+            0 => {
+                self.misses += 1;
+                self.inserter = 1;
+            }
+            1 => {
+                if self.mutation == Mutation::None {
+                    self.writer_in = true;
+                }
+                self.inserter = 2;
+            }
+            2 => {
+                self.key_set = true;
+                self.inserter = 3;
+            }
+            3 => {
+                self.val_set = true;
+                self.inserter = 4;
+            }
+            4 => {
+                if self.mutation == Mutation::None {
+                    self.writer_in = false;
+                }
+                self.inserter = I_DONE;
+            }
+            _ => unreachable!("inserter stepped while done"),
+        }
+    }
+
+    fn looker_actions(&self, l: &Looker) -> Vec<&'static str> {
+        match l.pc {
+            0 => {
+                if !self.writer_in {
+                    vec!["look: read-lock shard"]
+                } else {
+                    vec![]
+                }
+            }
+            1 => vec!["look: read entry (key, value)"],
+            2 => vec!["look: hit/miss stat (Relaxed), read-unlock"],
+            _ => vec![],
+        }
+    }
+
+    fn looker_step(&mut self, idx: usize) {
+        let key_set = self.key_set;
+        let val_set = self.val_set;
+        match self.lookers[idx].pc {
+            0 => {
+                self.readers_in += 1;
+                self.lookers[idx].pc = 1;
+            }
+            1 => {
+                if key_set != val_set {
+                    self.lookers[idx].saw_torn = true;
+                }
+                self.lookers[idx].pc = 2;
+            }
+            2 => {
+                if key_set && val_set {
+                    self.hits += 1;
+                } else {
+                    self.misses += 1;
+                }
+                self.readers_in -= 1;
+                self.lookers[idx].pc = L_DONE;
+            }
+            _ => unreachable!("looker stepped while done"),
+        }
+    }
+}
+
+impl System for PlanShard {
+    fn thread_count(&self) -> usize {
+        1 + self.lookers.len()
+    }
+
+    fn actions(&self, tid: usize) -> Vec<&'static str> {
+        if tid == 0 {
+            self.inserter_actions()
+        } else {
+            self.looker_actions(&self.lookers[tid - 1])
+        }
+    }
+
+    fn finished(&self, tid: usize) -> bool {
+        if tid == 0 {
+            self.inserter == I_DONE
+        } else {
+            self.lookers[tid - 1].pc == L_DONE
+        }
+    }
+
+    fn step(&mut self, tid: usize, _action: usize) {
+        if tid == 0 {
+            self.inserter_step();
+        } else {
+            self.looker_step(tid - 1);
+        }
+    }
+
+    fn check(&self) -> Result<(), String> {
+        if self.writer_in && self.readers_in > 0 {
+            return Err(format!(
+                "rwlock exclusion violated: writer inside with {} readers",
+                self.readers_in
+            ));
+        }
+        for (i, l) in self.lookers.iter().enumerate() {
+            if l.saw_torn {
+                return Err(format!("torn shard entry observed by looker {i}"));
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,275 @@
+//! Executable model of the trace ring's seqlock (`SHALOM-O-RING-SEQ-*`).
+//!
+//! One writer publishes a two-half payload under an odd/even sequence
+//! word; readers snapshot the sequence, read both halves, then
+//! `fence(Acquire)` and revalidate. The safety property is exactly the
+//! seqlock contract: **an accepted read never mixes halves from
+//! different writer rounds** (no torn read).
+//!
+//! Two seeded mutations reintroduce real bug classes:
+//!
+//! * [`Mutation::SkipReaderFence`] — the PR 5 bug: without the Acquire
+//!   fence between the payload reads and the validating reload, the
+//!   second half's read may be deferred *past* validation. Modeled as
+//!   an extra reader action that validates first and reads `data[1]`
+//!   afterwards.
+//! * [`Mutation::RelaxedPublish`] — the writer's sequence publish
+//!   downgraded from Release to Relaxed: the store may drift *ahead*
+//!   of the payload writes. Modeled as an extra writer action that
+//!   publishes the even sequence before writing either half.
+//!
+//! Both mutations are observable only under specific interleavings;
+//! the explorer finds them exhaustively, and the correct variant
+//! passes with zero violations.
+
+use crate::explorer::System;
+
+/// Which (if any) ordering bug is seeded into the model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Mutation {
+    /// The protocol as shipped: fence present, Release publish.
+    None,
+    /// Drop the reader's `fence(Acquire)` (the PR 5 regression).
+    SkipReaderFence,
+    /// Downgrade the writer's even-sequence store to Relaxed.
+    RelaxedPublish,
+}
+
+const W_DONE: u8 = 4;
+const R_DONE: u8 = 6;
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct Writer {
+    pc: u8,
+    rounds_left: u8,
+    /// Payload value for the current round; both halves get it.
+    value: u8,
+}
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct Reader {
+    pc: u8,
+    attempts_left: u8,
+    seq1: u8,
+    d0: u8,
+    d1: u8,
+    /// The accepted `(d0, d1)` pair, once validation succeeds.
+    accepted: Option<(u8, u8)>,
+}
+
+/// The model: one writer (tid 0) plus `readers.len()` readers.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Seqlock {
+    mutation: Mutation,
+    seq: u8,
+    data: [u8; 2],
+    writer: Writer,
+    readers: Vec<Reader>,
+}
+
+impl Seqlock {
+    /// A fresh instance: `readers` reader threads, the writer doing
+    /// `rounds` full publishes, each reader retrying up to `attempts`
+    /// times before giving up (giving up is not a violation).
+    pub fn new(readers: usize, rounds: u8, attempts: u8, mutation: Mutation) -> Seqlock {
+        Seqlock {
+            mutation,
+            seq: 0,
+            data: [0, 0],
+            writer: Writer {
+                pc: 0,
+                rounds_left: rounds,
+                value: 1,
+            },
+            readers: vec![
+                Reader {
+                    pc: 0,
+                    attempts_left: attempts,
+                    seq1: 0,
+                    d0: 0,
+                    d1: 0,
+                    accepted: None,
+                };
+                readers
+            ],
+        }
+    }
+
+    fn writer_actions(&self) -> Vec<&'static str> {
+        match self.writer.pc {
+            0 => vec!["w: seq += 1 (mark odd)"],
+            1 => {
+                let mut a = vec!["w: data[0] = v"];
+                if self.mutation == Mutation::RelaxedPublish {
+                    a.push("w: publish seq even EARLY (Release downgraded)");
+                }
+                a
+            }
+            2 => vec!["w: data[1] = v"],
+            3 => vec!["w: publish seq even (Release)"],
+            // RelaxedPublish tail: payload writes after the early publish.
+            5 => vec!["w: late data[0] = v"],
+            6 => vec!["w: late data[1] = v"],
+            _ => vec![],
+        }
+    }
+
+    fn writer_step(&mut self, action: usize) {
+        let w = &mut self.writer;
+        match (w.pc, action) {
+            (0, _) => {
+                self.seq += 1;
+                w.pc = 1;
+            }
+            (1, 0) => {
+                self.data[0] = w.value;
+                w.pc = 2;
+            }
+            // Mutated path: the even-sequence store drifts ahead of
+            // both payload writes.
+            (1, 1) => {
+                self.seq += 1;
+                w.pc = 5;
+            }
+            (2, _) => {
+                self.data[1] = w.value;
+                w.pc = 3;
+            }
+            (3, _) => {
+                self.seq += 1;
+                w.round_done();
+            }
+            (5, _) => {
+                self.data[0] = w.value;
+                w.pc = 6;
+            }
+            (6, _) => {
+                self.data[1] = w.value;
+                w.round_done();
+            }
+            _ => unreachable!("writer stepped while done"),
+        }
+    }
+
+    fn reader_actions(&self, r: &Reader) -> Vec<&'static str> {
+        match r.pc {
+            0 => vec!["r: seq1 = seq (Acquire)"],
+            1 => vec!["r: d0 = data[0]"],
+            2 => {
+                let mut a = vec!["r: d1 = data[1]"];
+                if self.mutation == Mutation::SkipReaderFence {
+                    a.push("r: validate BEFORE d1 (fence dropped)");
+                }
+                a
+            }
+            3 => vec!["r: fence(Acquire); seq == seq1?"],
+            // SkipReaderFence tail: d1 read deferred past validation.
+            5 => vec!["r: deferred d1 = data[1]"],
+            _ => vec![],
+        }
+    }
+
+    fn reader_step(&mut self, idx: usize, action: usize) {
+        let seq = self.seq;
+        let data = self.data;
+        let r = &mut self.readers[idx];
+        match (r.pc, action) {
+            (0, _) => {
+                r.seq1 = seq;
+                if r.seq1 % 2 == 1 {
+                    r.retry();
+                } else {
+                    r.pc = 1;
+                }
+            }
+            (1, _) => {
+                r.d0 = data[0];
+                r.pc = 2;
+            }
+            (2, 0) => {
+                r.d1 = data[1];
+                r.pc = 3;
+            }
+            // Mutated path: validation happens with d1 still unread.
+            (2, 1) => {
+                if seq == r.seq1 {
+                    r.pc = 5;
+                } else {
+                    r.retry();
+                }
+            }
+            (3, _) => {
+                if seq == r.seq1 {
+                    r.accepted = Some((r.d0, r.d1));
+                    r.pc = R_DONE;
+                } else {
+                    r.retry();
+                }
+            }
+            (5, _) => {
+                r.d1 = data[1];
+                r.accepted = Some((r.d0, r.d1));
+                r.pc = R_DONE;
+            }
+            _ => unreachable!("reader stepped while done"),
+        }
+    }
+}
+
+impl Writer {
+    fn round_done(&mut self) {
+        self.rounds_left -= 1;
+        self.value += 1;
+        self.pc = if self.rounds_left > 0 { 0 } else { W_DONE };
+    }
+}
+
+impl Reader {
+    fn retry(&mut self) {
+        self.attempts_left -= 1;
+        self.pc = if self.attempts_left > 0 { 0 } else { R_DONE };
+    }
+}
+
+impl System for Seqlock {
+    fn thread_count(&self) -> usize {
+        1 + self.readers.len()
+    }
+
+    fn actions(&self, tid: usize) -> Vec<&'static str> {
+        if tid == 0 {
+            self.writer_actions()
+        } else {
+            self.reader_actions(&self.readers[tid - 1])
+        }
+    }
+
+    fn finished(&self, tid: usize) -> bool {
+        if tid == 0 {
+            self.writer.pc == W_DONE
+        } else {
+            self.readers[tid - 1].pc == R_DONE
+        }
+    }
+
+    fn step(&mut self, tid: usize, action: usize) {
+        if tid == 0 {
+            self.writer_step(action);
+        } else {
+            self.reader_step(tid - 1, action);
+        }
+    }
+
+    fn check(&self) -> Result<(), String> {
+        for (i, r) in self.readers.iter().enumerate() {
+            if let Some((d0, d1)) = r.accepted {
+                if d0 != d1 {
+                    return Err(format!(
+                        "torn read: reader {i} accepted halves {d0} vs {d1}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}

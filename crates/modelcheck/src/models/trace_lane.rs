@@ -1,0 +1,170 @@
+//! Executable model of a trace lane's single-writer publish
+//! (`SHALOM-O-TRACE-PUBLISH`).
+//!
+//! Each lane is owned by one thread: the owner writes the span record
+//! into `buf[len]` and then publishes it with `len.store(len + 1,
+//! Release)`. A snapshot reader loads `len` with Acquire and reads the
+//! prefix `buf[..len]`. The safety property: **every slot below the
+//! snapshotted length is fully initialized** — the Release/Acquire
+//! pair on `len` is the only thing ordering the slot write before the
+//! reader's dereference.
+//!
+//! The seeded mutation [`Mutation::RelaxedLenStore`] downgrades the
+//! length publish to Relaxed: the counter bump may drift ahead of the
+//! slot write (the reordering a Relaxed store permits), so a reader
+//! can snapshot a length covering a slot that is still unwritten.
+
+use crate::explorer::System;
+
+/// Which (if any) bug is seeded into the model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Mutation {
+    /// The protocol as shipped: slot write, then Release len store.
+    None,
+    /// Downgrade the len store to Relaxed: the bump may land first.
+    RelaxedLenStore,
+}
+
+const CAP: usize = 4;
+/// Unwritten-slot sentinel; the writer only stores non-zero values.
+const POISON: u8 = 0;
+
+const W_DONE: u8 = 4;
+const R_DONE: u8 = 4;
+
+/// The model: one lane owner (tid 0) appending `items` records, one
+/// snapshot reader (tid 1) walking the published prefix.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct TraceLane {
+    mutation: Mutation,
+    buf: [u8; CAP],
+    len: u8,
+    w_pc: u8,
+    remaining: u8,
+    next_value: u8,
+    r_pc: u8,
+    snap_len: u8,
+    idx: u8,
+    /// First unwritten slot the reader dereferenced, if any.
+    bad_slot: Option<u8>,
+}
+
+impl TraceLane {
+    /// A fresh lane: the owner appends `items` records (at most
+    /// capacity), the reader takes one snapshot.
+    pub fn new(items: u8, mutation: Mutation) -> TraceLane {
+        assert!((items as usize) <= CAP);
+        TraceLane {
+            mutation,
+            buf: [POISON; CAP],
+            len: 0,
+            w_pc: 0,
+            remaining: items,
+            next_value: 1,
+            r_pc: 0,
+            snap_len: 0,
+            idx: 0,
+            bad_slot: None,
+        }
+    }
+
+    fn writer_item_done(&mut self) {
+        self.remaining -= 1;
+        self.next_value += 1;
+        self.w_pc = if self.remaining > 0 { 0 } else { W_DONE };
+    }
+}
+
+impl System for TraceLane {
+    fn thread_count(&self) -> usize {
+        2
+    }
+
+    fn actions(&self, tid: usize) -> Vec<&'static str> {
+        if tid == 0 {
+            match self.w_pc {
+                0 => {
+                    let mut a = vec!["w: buf[len] = record"];
+                    if self.mutation == Mutation::RelaxedLenStore {
+                        a.push("w: len += 1 EARLY (Release downgraded)");
+                    }
+                    a
+                }
+                1 => vec!["w: len.store(len + 1, Release)"],
+                // Mutated tail: the slot write lands after the bump.
+                2 => vec!["w: late buf[len - 1] = record"],
+                _ => vec![],
+            }
+        } else {
+            match self.r_pc {
+                0 => vec!["r: snap = len.load(Acquire)"],
+                1 => {
+                    if self.idx < self.snap_len {
+                        vec!["r: read buf[idx]"]
+                    } else {
+                        vec!["r: snapshot walk done"]
+                    }
+                }
+                _ => vec![],
+            }
+        }
+    }
+
+    fn finished(&self, tid: usize) -> bool {
+        if tid == 0 {
+            self.w_pc == W_DONE
+        } else {
+            self.r_pc == R_DONE
+        }
+    }
+
+    fn step(&mut self, tid: usize, action: usize) {
+        if tid == 0 {
+            match (self.w_pc, action) {
+                (0, 0) => {
+                    self.buf[self.len as usize] = self.next_value;
+                    self.w_pc = 1;
+                }
+                (0, 1) => {
+                    self.len += 1;
+                    self.w_pc = 2;
+                }
+                (1, _) => {
+                    self.len += 1;
+                    self.writer_item_done();
+                }
+                (2, _) => {
+                    self.buf[self.len as usize - 1] = self.next_value;
+                    self.writer_item_done();
+                }
+                _ => unreachable!("writer stepped while done"),
+            }
+        } else {
+            match self.r_pc {
+                0 => {
+                    self.snap_len = self.len;
+                    self.idx = 0;
+                    self.r_pc = 1;
+                }
+                1 => {
+                    if self.idx < self.snap_len {
+                        if self.buf[self.idx as usize] == POISON {
+                            self.bad_slot = Some(self.idx);
+                        }
+                        self.idx += 1;
+                    } else {
+                        self.r_pc = R_DONE;
+                    }
+                }
+                _ => unreachable!("reader stepped while done"),
+            }
+        }
+    }
+
+    fn check(&self) -> Result<(), String> {
+        if let Some(i) = self.bad_slot {
+            return Err(format!("published slot {i} read uninitialized"));
+        }
+        Ok(())
+    }
+}

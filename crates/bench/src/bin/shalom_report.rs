@@ -19,28 +19,83 @@
 //! `--full` adds the VGG suite (paper-scale shapes, minutes of runtime);
 //! the default set is container-scaled.
 
-use shalom_baselines::ShalomGemm;
+use shalom_baselines::GemmImpl;
 use shalom_bench::perf_report::{
     ClassReport, PerfReport, PhaseShare, PoolReport, ShapeResult, PERF_REPORT_VERSION,
 };
 use shalom_bench::{measure_gflops, BenchArgs, CacheState};
 use shalom_core::trace::{self, Phase};
-use shalom_core::{gemm_with, GemmConfig, PackingPolicy};
-use shalom_matrix::{Matrix, Op};
+use shalom_core::{gemm_with, GemmConfig, Isa, IsaPolicy, PackingPolicy};
+use shalom_matrix::{MatMut, MatRef, Matrix, Op};
 use shalom_workloads::{cp2k_kernels, irregular_grid, small_square_sizes, GemmShape};
 
 /// Traced calls per shape: enough spans to average out clock
 /// granularity, far below the lane capacity.
 const TRACED_CALLS: usize = 16;
 
+/// LibShalom with a pinned ISA policy, adapted to the benchmark trait —
+/// the per-substrate sweeps force each supported level in turn.
+struct PinnedGemm(IsaPolicy);
+
+impl<T: shalom_core::GemmElem> GemmImpl<T> for PinnedGemm {
+    fn name(&self) -> &'static str {
+        "LibShalom"
+    }
+
+    fn supports_parallel(&self) -> bool {
+        true
+    }
+
+    fn gemm(
+        &self,
+        threads: usize,
+        op_a: Op,
+        op_b: Op,
+        alpha: T,
+        a: MatRef<'_, T>,
+        b: MatRef<'_, T>,
+        beta: T,
+        c: MatMut<'_, T>,
+    ) {
+        let cfg = GemmConfig {
+            isa: self.0,
+            ..GemmConfig::with_threads(threads)
+        };
+        gemm_with(&cfg, op_a, op_b, alpha, a, b, beta, c);
+    }
+}
+
+/// The ISA levels this host can actually execute, narrowest first. A
+/// forced level that would silently degrade (`requested_isa() != level`)
+/// is excluded so a class labeled `avx512` never holds sse2 numbers.
+fn supported_isa_levels() -> Vec<Isa> {
+    let mut levels = vec![shalom_core::base_isa()];
+    for isa in [Isa::Avx2W256, Isa::Avx512W512] {
+        let cfg = GemmConfig {
+            isa: IsaPolicy::Force(isa),
+            ..GemmConfig::with_threads(1)
+        };
+        if cfg.requested_isa() == isa {
+            levels.push(isa);
+        }
+    }
+    levels
+}
+
 fn main() {
     let args = BenchArgs::parse();
+    let host = shalom_core::host_isa();
+    eprintln!(
+        "shalom-report: host dispatches wide kernels as {:?} ({})",
+        host,
+        host.label()
+    );
     let mut classes = Vec::new();
     for (name, shapes) in shape_classes(args.full) {
         eprintln!("shalom-report: class {name} ({} shapes)", shapes.len());
         let shapes = shapes
             .iter()
-            .map(|&s| measure_shape::<f32>(s, args.reps))
+            .map(|&s| measure_shape::<f32>(s, args.reps, IsaPolicy::Auto, host.label()))
             .collect();
         classes.push(ClassReport {
             class: name.to_string(),
@@ -54,15 +109,46 @@ fn main() {
         class: "cp2k_f64".to_string(),
         shapes: cp2k
             .iter()
-            .map(|&s| measure_shape::<f64>(s, args.reps))
+            .map(|&s| measure_shape::<f64>(s, args.reps, IsaPolicy::Auto, host.label()))
             .collect(),
     });
+
+    // Per-ISA substrate sweep: the same f32 squares (>= 64^3) forced onto
+    // every level this host supports, one class per level, so the report
+    // shows what the runtime dispatch is worth on this machine.
+    let squares = [
+        GemmShape::new(64, 64, 64),
+        GemmShape::new(96, 96, 96),
+        GemmShape::new(128, 128, 128),
+    ];
+    for isa in supported_isa_levels() {
+        let label = isa.label();
+        eprintln!(
+            "shalom-report: class isa_{label} ({} shapes)",
+            squares.len()
+        );
+        let shapes: Vec<ShapeResult> = squares
+            .iter()
+            .map(|&s| measure_shape::<f32>(s, args.reps, IsaPolicy::Force(isa), label))
+            .collect();
+        for s in &shapes {
+            eprintln!(
+                "  {}x{}x{} [{}]: {:.2} GFLOPS",
+                s.m, s.n, s.k, s.isa, s.gflops
+            );
+        }
+        classes.push(ClassReport {
+            class: format!("isa_{label}"),
+            shapes,
+        });
+    }
 
     let pool = pooled_probe(&args);
 
     let report = PerfReport {
         version: PERF_REPORT_VERSION,
         threads: 1,
+        host_isa: host.label().to_string(),
         pool: Some(pool),
         classes,
     };
@@ -104,10 +190,16 @@ fn shape_classes(full: bool) -> Vec<(&'static str, Vec<GemmShape>)> {
     v
 }
 
-/// Warm GFLOPS (untraced) plus traced phase shares for one shape.
-fn measure_shape<T: shalom_core::GemmElem>(shape: GemmShape, reps: usize) -> ShapeResult {
+/// Warm GFLOPS (untraced) plus traced phase shares for one shape, run
+/// under `policy` and labeled with the substrate's `isa` name.
+fn measure_shape<T: shalom_core::GemmElem>(
+    shape: GemmShape,
+    reps: usize,
+    policy: IsaPolicy,
+    isa_label: &str,
+) -> ShapeResult {
     let gflops = measure_gflops::<T>(
-        &ShalomGemm,
+        &PinnedGemm(policy),
         1,
         Op::NoTrans,
         Op::NoTrans,
@@ -116,7 +208,10 @@ fn measure_shape<T: shalom_core::GemmElem>(shape: GemmShape, reps: usize) -> Sha
         CacheState::Warm,
     );
 
-    let cfg = GemmConfig::with_threads(1);
+    let cfg = GemmConfig {
+        isa: policy,
+        ..GemmConfig::with_threads(1)
+    };
     let a = Matrix::<T>::random(shape.m, shape.k, 0xA);
     let b = Matrix::<T>::random(shape.k, shape.n, 0xB);
     let mut c = Matrix::<T>::zeros(shape.m, shape.n);
@@ -141,6 +236,7 @@ fn measure_shape<T: shalom_core::GemmElem>(shape: GemmShape, reps: usize) -> Sha
         m: shape.m as u64,
         n: shape.n as u64,
         k: shape.k as u64,
+        isa: isa_label.to_string(),
         gflops,
         phase_shares: phase_shares(&rep),
     }

@@ -17,7 +17,12 @@ use shalom_trace::json::{self, JsonValue};
 pub const PERF_REPORT_SCHEMA: &str = "shalom-perf-report";
 
 /// Current schema version; bump on any field change.
-pub const PERF_REPORT_VERSION: u64 = 1;
+///
+/// v2 added ISA provenance: the document-level `host_isa` (the level the
+/// host dispatches wide kernels under) and a per-shape `isa` label (the
+/// substrate that shape's sweep actually ran on), so per-ISA entries are
+/// comparable across runs and machines.
+pub const PERF_REPORT_VERSION: u64 = 2;
 
 /// One phase's share of total self time for a shape.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,6 +42,10 @@ pub struct ShapeResult {
     pub n: u64,
     /// Inner dimension.
     pub k: u64,
+    /// ISA label the sweep ran under (`"sse2"`, `"avx2"`, ... — the
+    /// forced level for per-ISA classes, the host's dispatch answer for
+    /// the standard suites).
+    pub isa: String,
     /// Untraced warm throughput.
     pub gflops: f64,
     /// Nonzero phase shares from a traced re-run, descending share.
@@ -74,6 +83,9 @@ pub struct PerfReport {
     pub version: u64,
     /// Threads available to the serial sweeps (always 1 today).
     pub threads: u64,
+    /// ISA label this host dispatches wide kernels under
+    /// ([`shalom_core::host_isa`]'s answer when the report was produced).
+    pub host_isa: String,
     /// Threaded-pool statistics, if the pooled probe ran.
     pub pool: Option<PoolReport>,
     /// Per-class results.
@@ -86,8 +98,11 @@ impl PerfReport {
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(4096);
         out.push_str(&format!(
-            "{{\"schema\":\"{}\",\"version\":{},\"threads\":{}",
-            PERF_REPORT_SCHEMA, self.version, self.threads
+            "{{\"schema\":\"{}\",\"version\":{},\"threads\":{},\"host_isa\":\"{}\"",
+            PERF_REPORT_SCHEMA,
+            self.version,
+            self.threads,
+            json::escape(&self.host_isa)
         ));
         match &self.pool {
             Some(p) => out.push_str(&format!(
@@ -115,10 +130,11 @@ impl PerfReport {
                     out.push(',');
                 }
                 out.push_str(&format!(
-                    "{{\"m\":{},\"n\":{},\"k\":{},\"gflops\":{},\"phase_shares\":[",
+                    "{{\"m\":{},\"n\":{},\"k\":{},\"isa\":\"{}\",\"gflops\":{},\"phase_shares\":[",
                     s.m,
                     s.n,
                     s.k,
+                    json::escape(&s.isa),
                     json::format_f64(s.gflops)
                 ));
                 for (pi, p) in s.phase_shares.iter().enumerate() {
@@ -157,6 +173,11 @@ impl PerfReport {
             ));
         }
         let threads = need_u64(&root, "threads")?;
+        let host_isa = root
+            .get("host_isa")
+            .and_then(|v| v.as_str())
+            .ok_or("missing host_isa")?
+            .to_string();
         let pool = match root.get("pool") {
             None | Some(JsonValue::Null) => None,
             Some(p) => Some(PoolReport {
@@ -191,6 +212,11 @@ impl PerfReport {
                     m: need_u64(s, "m")?,
                     n: need_u64(s, "n")?,
                     k: need_u64(s, "k")?,
+                    isa: s
+                        .get("isa")
+                        .and_then(|v| v.as_str())
+                        .ok_or("shape missing isa")?
+                        .to_string(),
                     gflops: need_f64(s, "gflops")?,
                     phase_shares,
                 });
@@ -200,6 +226,7 @@ impl PerfReport {
         Ok(PerfReport {
             version,
             threads,
+            host_isa,
             pool,
             classes,
         })
@@ -232,6 +259,7 @@ mod tests {
         PerfReport {
             version: PERF_REPORT_VERSION,
             threads: 1,
+            host_isa: "avx512".to_string(),
             pool: Some(PoolReport {
                 threads: 4,
                 utilization: 0.625,
@@ -245,6 +273,7 @@ mod tests {
                     m: 16,
                     n: 16,
                     k: 16,
+                    isa: "sse2".to_string(),
                     gflops: 3.5,
                     phase_shares: vec![
                         PhaseShare {
@@ -284,9 +313,27 @@ mod tests {
         let good = sample().to_json();
         let bad = good.replace(PERF_REPORT_SCHEMA, "something-else");
         assert!(PerfReport::from_json(&bad).is_err());
-        let bad = good.replace("\"version\":1", "\"version\":999");
+        let bad = good.replace(
+            &format!("\"version\":{PERF_REPORT_VERSION}"),
+            "\"version\":999",
+        );
         assert!(PerfReport::from_json(&bad).is_err());
         assert!(PerfReport::from_json("{}").is_err());
         assert!(PerfReport::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn rejects_missing_isa_provenance() {
+        let good = sample().to_json();
+        let bad = good.replace(",\"host_isa\":\"avx512\"", "");
+        assert!(
+            PerfReport::from_json(&bad).is_err(),
+            "a v2 report without host_isa must not parse"
+        );
+        let bad = good.replace("\"isa\":\"sse2\",", "");
+        assert!(
+            PerfReport::from_json(&bad).is_err(),
+            "a v2 shape without its isa label must not parse"
+        );
     }
 }

@@ -342,6 +342,49 @@ fn shipped_tiles() -> Vec<(&'static str, TileConstraints, usize, usize)> {
             shalom_kernels::wide::WIDE_MR_F64,
             shalom_kernels::wide::WIDE_NR_F64,
         ),
+        // Runtime-dispatched x86 kernel families (16 YMM / 32 ZMM files,
+        // 1 register reserved, mirroring the registration-time asserts in
+        // `shalom_kernels::family`).
+        (
+            "family avx2 f32 (7x8, j=8)",
+            TileConstraints {
+                vector_registers: 16,
+                reserved_registers: 1,
+                lanes: 8,
+            },
+            shalom_kernels::family::AVX2_MR_F32,
+            shalom_kernels::family::AVX2_NR_F32,
+        ),
+        (
+            "family avx2 f64 (4x8, j=4)",
+            TileConstraints {
+                vector_registers: 16,
+                reserved_registers: 1,
+                lanes: 4,
+            },
+            shalom_kernels::family::AVX2_MR_F64,
+            shalom_kernels::family::AVX2_NR_F64,
+        ),
+        (
+            "family avx512 f32 (15x16, j=16)",
+            TileConstraints {
+                vector_registers: 32,
+                reserved_registers: 1,
+                lanes: 16,
+            },
+            shalom_kernels::family::AVX512_MR_F32,
+            shalom_kernels::family::AVX512_NR_F32,
+        ),
+        (
+            "family avx512 f64 (9x16, j=8)",
+            TileConstraints {
+                vector_registers: 32,
+                reserved_registers: 1,
+                lanes: 8,
+            },
+            shalom_kernels::family::AVX512_MR_F64,
+            shalom_kernels::family::AVX512_NR_F64,
+        ),
     ]
 }
 

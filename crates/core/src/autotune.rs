@@ -168,6 +168,7 @@ pub fn autotune<T: GemmElem>(
                     cache: scaled_cache(&base.cache, num, den),
                     threads: base.threads,
                     runtime: base.runtime,
+                    isa: base.isa,
                 };
                 let gflops = measure(&config, op_a, op_b, &a, &b, &mut c, flops, 3);
                 candidates.push(Candidate {

@@ -41,12 +41,17 @@ pub const SHALOM_ERR_IO: i32 = -2;
 pub const SHALOM_ERR_VERSION: i32 = -3;
 /// Profile file is corrupt or contains out-of-range plan parameters.
 pub const SHALOM_ERR_PARSE: i32 = -4;
+/// Profile was tuned under a different instruction-set level than this
+/// host dispatches to; its plans would be applied at the wrong vector
+/// width. Re-tune and re-save on this host.
+pub const SHALOM_ERR_ISA: i32 = -5;
 
 fn profile_err_code(e: &ProfileError) -> i32 {
     match e {
         ProfileError::Io(_) => SHALOM_ERR_IO,
         ProfileError::Version { .. } => SHALOM_ERR_VERSION,
         ProfileError::Parse(_) | ProfileError::Invalid(_) => SHALOM_ERR_PARSE,
+        ProfileError::IsaMismatch { .. } => SHALOM_ERR_ISA,
     }
 }
 
@@ -124,6 +129,15 @@ pub extern "C" fn shalom_plan_cache_clear() -> i32 {
     } else {
         SHALOM_ERR_INVALID
     }
+}
+
+/// Reports the instruction-set level this process dispatches wide
+/// kernels under, as the stable `Isa` code (0 scalar, 1 sse2, 2 neon,
+/// 3 avx2, 4 avx512). The answer is fixed for the process lifetime, so
+/// C callers can log it once alongside benchmark output.
+#[no_mangle]
+pub extern "C" fn shalom_host_isa() -> i32 {
+    i32::from(shalom_simd::best_isa().code())
 }
 
 fn op_from(code: i32) -> Option<Op> {
@@ -522,8 +536,35 @@ mod tests {
             i64::from(SHALOM_ERR_PARSE)
         );
 
+        // A profile tuned under a different ISA level is refused with
+        // its own code, not silently applied at the wrong vector width.
+        let host = shalom_simd::best_isa().label();
+        let other = if host == "scalar" { "avx512" } else { "scalar" };
+        std::fs::write(
+            &path,
+            format!(
+                "{{\"version\":{},\"isa\":\"{}\",\"entries\":[\n]}}",
+                shalom_plans::PROFILE_VERSION,
+                other
+            ),
+        )
+        .unwrap();
+        // SAFETY: `c_path` is a valid NUL-terminated string.
+        assert_eq!(
+            unsafe { shalom_profile_load(c_path.as_ptr()) },
+            i64::from(SHALOM_ERR_ISA)
+        );
+
         let _ = std::fs::remove_file(&path);
         assert_eq!(shalom_plan_cache_clear(), SHALOM_OK);
+    }
+
+    #[test]
+    fn c_host_isa_is_stable_and_in_range() {
+        let code = shalom_host_isa();
+        assert!((0..=4).contains(&code), "unknown isa code {code}");
+        assert_eq!(code, shalom_host_isa(), "dispatch answer must not drift");
+        assert_eq!(code, i32::from(shalom_simd::best_isa().code()));
     }
 
     #[test]

@@ -2,6 +2,37 @@
 //! and the workload-shape classifier that drives the §4 packing decision.
 
 use crate::cache::CacheParams;
+use shalom_simd::caps::{self, Isa};
+
+/// Which vector ISA level the dispatch layer should select for this
+/// call's kernels.
+///
+/// The library probes the host once ([`shalom_simd::caps::detect`]) and
+/// by default dispatches to the widest kernel family that probe admits —
+/// the fix for the silent scalar/128-bit fallback: a host with AVX2+FMA
+/// or AVX-512F runs the 256/512-bit families, not the compile-time
+/// substrate. `Force` pins a level for ablations and per-ISA benchmarks;
+/// a forced level the host cannot execute degrades to the compile-time
+/// base rather than faulting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum IsaPolicy {
+    /// Dispatch to the widest runtime-probed family (the default).
+    #[default]
+    Auto,
+    /// Pin a specific level (benchmarks, ablations, reproducing a run).
+    Force(Isa),
+}
+
+impl IsaPolicy {
+    /// Stable code for fingerprinting: `Auto` is 255, `Force(isa)` is the
+    /// ISA's stable serialization code.
+    pub(crate) fn fp_code(self) -> u64 {
+        match self {
+            IsaPolicy::Auto => 255,
+            IsaPolicy::Force(isa) => u64::from(isa.code()),
+        }
+    }
+}
 
 /// Which edge-case micro-kernel schedule to use (§5.4, Figure 6).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -145,6 +176,9 @@ pub struct GemmConfig {
     /// [`GemmConfig::resolved_runtime`] for the `SHALOM_NO_POOL`
     /// override.
     pub runtime: Runtime,
+    /// Vector-ISA selection policy for the runtime-dispatched kernel
+    /// families. See [`GemmConfig::requested_isa`].
+    pub isa: IsaPolicy,
 }
 
 impl Default for GemmConfig {
@@ -155,6 +189,7 @@ impl Default for GemmConfig {
             edge: EdgeSchedule::default(),
             packing: PackingPolicy::default(),
             runtime: Runtime::default(),
+            isa: IsaPolicy::default(),
         }
     }
 }
@@ -179,26 +214,52 @@ impl GemmConfig {
         }
     }
 
+    /// The ISA level this configuration asks the dispatch layer to use:
+    /// the probed [`shalom_simd::caps::best_isa`] under
+    /// [`IsaPolicy::Auto`], or the forced level when the host's probe
+    /// admits it. A forced level this host cannot execute degrades to
+    /// [`shalom_simd::caps::base_isa`] — never to an illegal-instruction
+    /// fault. (Whether a particular *call* actually runs wide also
+    /// depends on its shape and ops; see the plan layer.)
+    pub fn requested_isa(&self) -> Isa {
+        match self.isa {
+            IsaPolicy::Auto => caps::best_isa(),
+            IsaPolicy::Force(isa) => {
+                if caps::supported(isa) {
+                    isa
+                } else {
+                    caps::base_isa()
+                }
+            }
+        }
+    }
+
     /// Stable 64-bit fingerprint of every dispatch-relevant knob: cache
-    /// geometry, edge schedule, packing policy, and fork-join runtime.
-    /// Built on FNV-1a (not `DefaultHasher`) so equal configurations
-    /// fingerprint identically across processes and toolchain versions —
-    /// this value keys the plan cache and is persisted in plan profiles.
+    /// geometry, edge schedule, packing policy, fork-join runtime, and
+    /// ISA policy. Built on FNV-1a (not `DefaultHasher`) so equal
+    /// configurations fingerprint identically across processes and
+    /// toolchain versions — this value keys the plan cache and is
+    /// persisted in plan profiles.
     ///
     /// The thread count is deliberately *excluded*: the plan-cache key
     /// carries the resolved thread count as its own field, so a config
     /// with `threads: 0` on an 8-core host shares plans (and profile
-    /// entries) with an explicit `threads: 8`.
+    /// entries) with an explicit `threads: 8`. The *effective* ISA is
+    /// likewise a separate key field; hashing the policy here makes
+    /// `Auto` and `Force(best)` distinct configurations even when they
+    /// resolve alike.
     pub fn fingerprint(&self) -> u64 {
         let mut h = crate::cache::FNV_OFFSET;
         // Format version for the fingerprint itself: bump if the set or
         // order of hashed knobs ever changes, so stale profile entries
         // miss instead of matching a differently-derived key.
-        crate::cache::fnv1a_u64(&mut h, 1);
+        // (2: the ISA policy joined the hashed knob set.)
+        crate::cache::fnv1a_u64(&mut h, 2);
         crate::cache::fnv1a_u64(&mut h, self.cache.fingerprint());
         crate::cache::fnv1a_u64(&mut h, self.edge as u64);
         crate::cache::fnv1a_u64(&mut h, self.packing as u64);
         crate::cache::fnv1a_u64(&mut h, self.runtime as u64);
+        crate::cache::fnv1a_u64(&mut h, self.isa.fp_code());
         h
     }
 
@@ -279,6 +340,7 @@ mod tests {
             edge: EdgeSchedule::Pipelined,
             packing: PackingPolicy::Auto,
             runtime: Runtime::Pool,
+            isa: IsaPolicy::Auto,
         };
         // Equal configs fingerprint equal (and the value is a stable
         // function of the knobs, not of address or process state).
@@ -327,6 +389,14 @@ mod tests {
                 },
                 ..base
             },
+            GemmConfig {
+                isa: IsaPolicy::Force(Isa::Sse128),
+                ..base
+            },
+            GemmConfig {
+                isa: IsaPolicy::Force(Isa::Avx512W512),
+                ..base
+            },
         ];
         let fps: std::collections::HashSet<u64> =
             variants.iter().map(GemmConfig::fingerprint).collect();
@@ -336,6 +406,33 @@ mod tests {
             base.fingerprint(),
             GemmConfig { threads: 7, ..base }.fingerprint()
         );
+    }
+
+    #[test]
+    fn requested_isa_resolves_safely() {
+        // Auto is the probe's best answer; forcing something this host
+        // supports pins it; forcing something it cannot execute degrades
+        // to the compile-time base instead of faulting.
+        let auto = GemmConfig::default();
+        assert_eq!(auto.requested_isa(), caps::best_isa());
+        assert!(caps::supported(auto.requested_isa()));
+        let base = GemmConfig {
+            isa: IsaPolicy::Force(caps::base_isa()),
+            ..GemmConfig::default()
+        };
+        assert_eq!(base.requested_isa(), caps::base_isa());
+        // The other architecture's 128-bit level is never supported here,
+        // so it must degrade.
+        let other = if caps::base_isa() == Isa::Neon128 {
+            Isa::Sse128
+        } else {
+            Isa::Neon128
+        };
+        let forced = GemmConfig {
+            isa: IsaPolicy::Force(other),
+            ..GemmConfig::default()
+        };
+        assert_eq!(forced.requested_isa(), caps::base_isa());
     }
 
     #[test]

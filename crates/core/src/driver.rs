@@ -26,11 +26,14 @@
 
 use crate::config::{classify, EdgeSchedule, GemmConfig, PackingPolicy, ShapeClass};
 use shalom_kernels::edge::{edge_kernel_batched, edge_kernel_pipelined};
+use shalom_kernels::family::{family_for, family_gemm_nn, family_workspace};
 use shalom_kernels::main_kernel::{
     main_kernel, main_kernel_fused_pack, main_kernel_streamed, PackAhead, StreamCopy,
 };
 use shalom_kernels::nt_pack::nt_pack_panel;
 use shalom_kernels::pack::{pack_copy, pack_transpose};
+#[cfg(feature = "telemetry")]
+use shalom_kernels::FamilyElem;
 use shalom_kernels::{Vector, MR, NR_VECS};
 use shalom_matrix::{Op, Scalar};
 
@@ -317,6 +320,57 @@ pub(crate) unsafe fn gemm_serial<V: Vector>(
     } else {
         0
     };
+
+    // Wide-family route: the plan's effective ISA (a pure function of
+    // config, ops and shape — the same one that keyed the plan) says this
+    // call dispatches to a runtime-registered 256/512-bit kernel family
+    // instead of the 128-bit substrate below. The registry only hands out
+    // families whose CPU probe passed on this host.
+    if plan.isa.is_wide() && op_a == Op::NoTrans && op_b == Op::NoTrans {
+        if let Some(fam) = family_for(plan.isa) {
+            let kc_eff = plan.bs.kc.min(k);
+            let (bc_elems, at_elems) = family_workspace::<V::Elem>(fam, kc_eff);
+            let (bc_ptr, at_ptr) = ws.ensure::<V::Elem>(bc_elems, at_elems);
+            #[cfg(feature = "telemetry")]
+            let tel_start = if tel_on {
+                crate::telemetry::serial_capture_begin()
+            } else {
+                0
+            };
+            // SAFETY: SHALOM-D-DRIVER — a/b/c cover m x k, k x n, m x n at
+            // their strides per this function's contract; bc/at were sized
+            // by `family_workspace` for (fam, kc_eff); m, n, k >= 1 after
+            // the early-outs above and kc_eff >= 1 (decode clamps kc).
+            family_gemm_nn::<V::Elem>(
+                fam, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, kc_eff, bc_ptr, at_ptr,
+            );
+            #[cfg(feature = "telemetry")]
+            if tel_start != 0 {
+                let ks = <V::Elem as FamilyElem>::kernels(fam);
+                crate::telemetry::serial_capture_end(
+                    tel_start,
+                    cfg,
+                    op_a,
+                    op_b,
+                    m,
+                    n,
+                    k,
+                    core::mem::size_of::<V::Elem>(),
+                    plan.b_plan.tag(op_b),
+                    crate::telemetry::edge_tag_of(plan.edge),
+                    crate::telemetry::plan_source_tag(plan.source),
+                    plan_ns,
+                    ks.mr as u8,
+                    ks.nr as u8,
+                    ws.capacity_bytes(),
+                );
+            }
+            #[cfg(feature = "trace")]
+            crate::trace::span_end_src(serial_tok, crate::trace::src_code(plan.source));
+            return;
+        }
+    }
+
     let nr = NR_VECS * V::LANES;
     let bs = plan.bs;
     // Workspace sized by the *actual* problem, not the cache-blocking
@@ -823,6 +877,16 @@ mod tests {
         assert!(ws.capacity_bytes() >= 2 * (1 << 16));
     }
 
+    /// Serial config pinned to the 128-bit substrate: these tests target
+    /// the §4 packing plans and edge kernels, which a wide host would
+    /// otherwise route around (the wide path has its own tests below).
+    fn cfg_base() -> GemmConfig {
+        GemmConfig {
+            isa: crate::config::IsaPolicy::Force(shalom_simd::base_isa()),
+            ..GemmConfig::with_threads(1)
+        }
+    }
+
     fn cfg_small_l1() -> GemmConfig {
         // Tiny L1 forces the packing paths even on small test matrices.
         GemmConfig {
@@ -831,7 +895,7 @@ mod tests {
                 l2: 4 * 1024,
                 l3: 64 * 1024,
             },
-            ..GemmConfig::with_threads(1)
+            ..cfg_base()
         }
     }
 
@@ -893,7 +957,7 @@ mod tests {
 
     #[test]
     fn nn_direct_small() {
-        let cfg = GemmConfig::with_threads(1);
+        let cfg = cfg_base();
         run::<F32x4>(&cfg, Op::NoTrans, Op::NoTrans, 23, 29, 17, 1.0, 1.0);
         run::<F64x2>(&cfg, Op::NoTrans, Op::NoTrans, 23, 29, 17, 1.0, 1.0);
     }
@@ -996,7 +1060,7 @@ mod tests {
 
     #[test]
     fn degenerate_dims() {
-        let cfg = GemmConfig::with_threads(1);
+        let cfg = cfg_base();
         run::<F32x4>(&cfg, Op::NoTrans, Op::NoTrans, 0, 5, 3, 1.0, 1.0);
         run::<F32x4>(&cfg, Op::NoTrans, Op::NoTrans, 5, 0, 3, 1.0, 1.0);
         run::<F32x4>(&cfg, Op::NoTrans, Op::NoTrans, 5, 5, 0, 1.0, 0.5);
@@ -1026,7 +1090,7 @@ mod tests {
     fn nan_in_a_propagates_not_hides() {
         // A library must not mask non-finite inputs: a NaN in A must
         // reach every C element its row influences.
-        let cfg = GemmConfig::with_threads(1);
+        let cfg = cfg_base();
         let mut a = Matrix::<f32>::random(10, 6, 1);
         a.set(3, 2, f32::NAN);
         let b = Matrix::<f32>::random(6, 14, 2);
@@ -1103,5 +1167,69 @@ mod tests {
             );
         }
         assert_close(c.as_ref(), want.as_ref(), gemm_tolerance::<f32>(11, 2.0));
+    }
+
+    #[test]
+    fn wide_route_matches_reference_over_edge_lattice() {
+        let Some(fam) = shalom_kernels::selected_wide_family() else {
+            return; // 128-bit-only host: the route is untaken by construction.
+        };
+        let cfg = GemmConfig::with_threads(1);
+        let (mr, nr) = (fam.k_f32.mr, fam.k_f32.nr);
+        for &(m, n) in &[(mr, nr), (mr + 1, nr + 3), (2 * mr + 3, 2 * nr + 5)] {
+            for &k in &[1usize, 7, 70] {
+                run::<F32x4>(&cfg, Op::NoTrans, Op::NoTrans, m, n, k, 1.0, 1.0);
+                run::<F32x4>(&cfg, Op::NoTrans, Op::NoTrans, m, n, k, -1.5, 0.5);
+            }
+        }
+        let (mr, nr) = (fam.k_f64.mr, fam.k_f64.nr);
+        for &k in &[1usize, 33] {
+            run::<F64x2>(
+                &cfg,
+                Op::NoTrans,
+                Op::NoTrans,
+                2 * mr + 1,
+                2 * nr + 3,
+                k,
+                1.0,
+                1.0,
+            );
+        }
+    }
+
+    #[test]
+    fn wide_route_spans_multiple_kc_blocks() {
+        if shalom_kernels::selected_wide_family().is_none() {
+            return;
+        }
+        // The tiny cache geometry keeps kc well below k, so the family
+        // route must iterate several packed B panels with beta folded
+        // into the first panel only.
+        let cfg = GemmConfig {
+            cache: crate::cache::CacheParams {
+                l1: 256,
+                l2: 4 * 1024,
+                l3: 64 * 1024,
+            },
+            ..GemmConfig::with_threads(1)
+        };
+        run::<F32x4>(&cfg, Op::NoTrans, Op::NoTrans, 96, 96, 200, 1.0, 1.0);
+        run::<F32x4>(&cfg, Op::NoTrans, Op::NoTrans, 96, 96, 200, -1.5, 0.5);
+        run::<F64x2>(&cfg, Op::NoTrans, Op::NoTrans, 64, 64, 150, 1.0, 1.0);
+    }
+
+    #[test]
+    fn wide_and_base_routes_agree_on_the_same_problem() {
+        if shalom_kernels::selected_wide_family().is_none() {
+            return;
+        }
+        // Both substrates target the same exactly-rounded contract per
+        // fused multiply-add, so they agree to the shared tolerance.
+        let auto = GemmConfig::with_threads(1);
+        let base = cfg_base();
+        for cfg in [&auto, &base] {
+            run::<F32x4>(cfg, Op::NoTrans, Op::NoTrans, 80, 80, 80, 1.0, 1.0);
+            run::<F64x2>(cfg, Op::NoTrans, Op::NoTrans, 80, 80, 80, 2.0, 0.0);
+        }
     }
 }

@@ -78,7 +78,9 @@ pub use autotune::{autotune, Candidate, TuneReport};
 pub use batch::{gemm_batch, gemm_batch_beta, gemm_batch_strided, BatchItem};
 pub use builder::Gemm;
 pub use cache::{BlockSizes, CacheParams};
-pub use config::{classify, EdgeSchedule, GemmConfig, PackingPolicy, Runtime, ShapeClass};
+pub use config::{
+    classify, EdgeSchedule, GemmConfig, IsaPolicy, PackingPolicy, Runtime, ShapeClass,
+};
 pub use error::{try_gemm_with, GemmError};
 pub use parallel::{partition_threads, quantized_chunk, quantized_chunks};
 pub use plan::{
@@ -91,3 +93,4 @@ pub use shalom_matrix::Op;
 pub use shalom_plans::{
     CacheStats as PlanCacheStats, PlanKey, ProfileError, ResolvedPlan, PROFILE_VERSION,
 };
+pub use shalom_simd::{base_isa, best_isa as host_isa, Isa};

@@ -186,8 +186,14 @@ pub(crate) unsafe fn gemm_parallel<V: Vector>(
     let slowest = &slowest_worker_ns;
 
     // One `(ri, rl) x (ci, cl)` sub-block on the given workspace; shared
-    // by both runtimes.
-    let cfg_copy = *cfg;
+    // by both runtimes. Workers get the ISA the *whole* problem resolved
+    // to, pinned via `Force` (which skips the tile-size gate): a
+    // sub-block smaller than the wide family's register tile must not
+    // silently drop to the 128-bit route, or threaded results would stop
+    // being bitwise equal to serial ones.
+    let mut cfg_copy = *cfg;
+    cfg_copy.isa =
+        crate::config::IsaPolicy::Force(crate::plan::effective_isa::<V>(cfg, op_a, op_b, m, n));
     let tile = move |ri: usize, rl: usize, ci: usize, cl: usize, ws: &mut Workspace| {
         // Rebind the wrapper structs whole: disjoint closure capture
         // would otherwise capture the raw-pointer *fields*, which are

@@ -35,9 +35,10 @@ use crate::config::{classify, EdgeSchedule, GemmConfig, ShapeClass};
 use crate::driver::{resolve_nn_plan, resolve_nt_plan, BPlan};
 use crate::parallel::partition_threads;
 use crate::sync::{AtomicBool, Ordering};
-use shalom_kernels::{Vector, MR, NR_VECS};
+use shalom_kernels::{family_for, FamilyElem, Vector, MR, NR_VECS};
 use shalom_matrix::Op;
 use shalom_plans::{profile, CacheStats, PlanCache, PlanKey, ProfileError, ResolvedPlan, Source};
+use shalom_simd::caps::{self, Isa};
 use std::path::Path;
 use std::sync::OnceLock;
 
@@ -72,6 +73,10 @@ pub(crate) struct SerialPlan {
     pub(crate) b_plan: BPlan,
     pub(crate) edge: EdgeSchedule,
     pub(crate) bs: BlockSizes,
+    /// Effective ISA the call dispatches to: a wide level routes the
+    /// driver to the runtime-registered kernel family, anything else runs
+    /// the 128-bit substrate.
+    pub(crate) isa: Isa,
     #[cfg_attr(not(feature = "telemetry"), allow(dead_code))]
     pub(crate) source: PlanSource,
 }
@@ -118,7 +123,7 @@ fn global_cache() -> &'static PlanCache {
         let cache = PlanCache::with_default_capacity();
         if let Ok(path) = std::env::var("SHALOM_PROFILE") {
             if !path.is_empty() {
-                match profile::load(Path::new(&path)) {
+                match profile::load(Path::new(&path), caps::best_isa().label()) {
                     Ok(entries) => {
                         for (key, plan) in entries {
                             cache.install(key, plan);
@@ -184,6 +189,46 @@ fn decode_edge(code: u8) -> EdgeSchedule {
     }
 }
 
+/// The ISA level this call actually dispatches to — a pure function of
+/// the configuration, ops and shape, computed identically wherever a
+/// plan is keyed, resolved, or decoded:
+///
+/// * the requested level must be wide and its kernel family registered
+///   (the runtime probe passed on this host);
+/// * the wide families implement the NN mode — T modes stay on the
+///   128-bit substrate's transpose-packing driver;
+/// * under [`IsaPolicy::Auto`], the problem must fill at least one full
+///   register tile of the family's element type (smaller shapes are the
+///   128-bit edge machinery's home turf). A `Force`d executable level
+///   skips this size gate: the family driver stages sub-tile edges
+///   itself, and the parallel path relies on forcing to give every
+///   worker's sub-block the exact route the whole problem resolved to —
+///   that is what keeps threaded results bitwise equal to serial ones.
+///
+/// Everything else resolves to the compile-time base, so the key an
+/// AVX-512 host computes for a sub-tile problem equals the key a NEON
+/// host computes — and a wide host's big-shape keys can never collide
+/// with either.
+pub(crate) fn effective_isa<V: Vector>(
+    cfg: &GemmConfig,
+    op_a: Op,
+    op_b: Op,
+    m: usize,
+    n: usize,
+) -> Isa {
+    let req = cfg.requested_isa();
+    if req.is_wide() && op_a == Op::NoTrans && op_b == Op::NoTrans {
+        if let Some(fam) = family_for(req) {
+            let ks = <V::Elem as FamilyElem>::kernels(fam);
+            let forced = matches!(cfg.isa, crate::config::IsaPolicy::Force(_));
+            if forced || (m >= ks.mr && n >= ks.nr) {
+                return req;
+            }
+        }
+    }
+    caps::base_isa()
+}
+
 fn key_for<V: Vector>(
     cfg: &GemmConfig,
     op_a: Op,
@@ -195,6 +240,7 @@ fn key_for<V: Vector>(
 ) -> PlanKey {
     PlanKey {
         elem_bits: (core::mem::size_of::<V::Elem>() * 8) as u8,
+        isa: effective_isa::<V>(cfg, op_a, op_b, m, n).code(),
         op_a: op_byte(op_a),
         op_b: op_byte(op_b),
         m: m as u64,
@@ -217,6 +263,31 @@ fn compute_resolved<V: Vector>(
     threads: usize,
 ) -> ResolvedPlan {
     let elem_bytes = core::mem::size_of::<V::Elem>();
+    // Wide-family route (serial only: the parallel parent key carries the
+    // §6 grid, and each worker re-resolves its own sub-block serially).
+    // The family packs B per panel, so the encoded B plan is Sequential;
+    // blocking derives from the family's register tile, and the workspace
+    // is one packed panel plus the edge staging tiles.
+    let isa = effective_isa::<V>(cfg, op_a, op_b, m, n);
+    if threads == 1 && isa.is_wide() {
+        if let Some(fam) = family_for(isa) {
+            let ks = <V::Elem as FamilyElem>::kernels(fam);
+            let bs = BlockSizes::derive(&cfg.cache, elem_bytes, ks.nr);
+            let kc_eff = bs.kc.min(k.max(1));
+            return ResolvedPlan {
+                class: class_code(classify(m, n, k, elem_bytes, &cfg.cache)),
+                b_plan: bplan_code(BPlan::Sequential),
+                edge: edge_code(cfg.edge),
+                kc: bs.kc as u32,
+                mc: bs.mc as u32,
+                nc: bs.nc as u32,
+                tm: 1,
+                tn: 1,
+                workspace_bytes: ((kc_eff * ks.nr + ks.mr * kc_eff + ks.mr * ks.nr) * elem_bytes)
+                    as u64,
+            };
+        }
+    }
     let nr = NR_VECS * V::LANES;
     let b_plan = match op_b {
         Op::NoTrans => resolve_nn_plan(cfg, m, n, k, elem_bytes),
@@ -325,7 +396,7 @@ fn lookup_impl<V: Vector>(
     (plan, PlanSource::Computed)
 }
 
-fn decode(plan: &ResolvedPlan, source: PlanSource) -> SerialPlan {
+fn decode(plan: &ResolvedPlan, source: PlanSource, isa: Isa) -> SerialPlan {
     SerialPlan {
         b_plan: decode_bplan(plan.b_plan),
         edge: decode_edge(plan.edge),
@@ -336,12 +407,16 @@ fn decode(plan: &ResolvedPlan, source: PlanSource) -> SerialPlan {
             mc: (plan.mc as usize).max(1),
             kc: (plan.kc as usize).max(1),
         },
+        isa,
         source,
     }
 }
 
 /// The serial driver's plan for one call (threads = 1 key). Warm path:
-/// one shard read-lock hit.
+/// one shard read-lock hit. The effective ISA is recomputed, not stored:
+/// it is a pure function of the same inputs as the key, so a cached (or
+/// profile-installed) plan can only ever be served at the width it was
+/// keyed under.
 pub(crate) fn serial_plan<V: Vector>(
     cfg: &GemmConfig,
     op_a: Op,
@@ -351,7 +426,7 @@ pub(crate) fn serial_plan<V: Vector>(
     k: usize,
 ) -> SerialPlan {
     let (plan, source) = lookup::<V>(cfg, op_a, op_b, m, n, k, 1);
-    decode(&plan, source)
+    decode(&plan, source, effective_isa::<V>(cfg, op_a, op_b, m, n))
 }
 
 /// The parallel parent's §6 thread grid for the full problem, cached
@@ -410,8 +485,12 @@ pub fn install_tuned<T: crate::GemmElem>(
     k: usize,
 ) -> PlanDescription {
     let threads = base.resolved_threads().max(1);
+    // The ISA policy follows `base` (like the thread count): a tuned
+    // blocking decision must install at the vector width the application
+    // will actually dispatch to, or the override key would never match.
     let eff = GemmConfig {
         threads: base.threads,
+        isa: base.isa,
         ..*tuned
     };
     let plan = compute_resolved::<T::Vec>(&eff, op_a, op_b, m, n, k, threads);
@@ -433,10 +512,12 @@ pub fn install_tuned<T: crate::GemmElem>(
 
 /// Loads a profile file and installs every entry as an override.
 /// Returns how many entries were installed. Total: malformed files,
-/// version mismatches, and out-of-range plans are rejected as
-/// [`ProfileError`]s (never a panic) without touching the cache.
+/// version mismatches, profiles saved under a different ISA than this
+/// host dispatches ([`ProfileError::IsaMismatch`]), and out-of-range
+/// plans are rejected as [`ProfileError`]s (never a panic) without
+/// touching the cache.
 pub fn load_profile(path: impl AsRef<Path>) -> Result<usize, ProfileError> {
-    let entries = profile::load(path.as_ref())?;
+    let entries = profile::load(path.as_ref(), caps::best_isa().label())?;
     let cache = global_cache();
     let n = entries.len();
     for (key, plan) in entries {
@@ -447,10 +528,12 @@ pub fn load_profile(path: impl AsRef<Path>) -> Result<usize, ProfileError> {
 
 /// Persists every installed override (autotune installs and previously
 /// loaded profiles) to a versioned profile file a fresh process can
-/// [`load_profile`]. Returns how many entries were written.
+/// [`load_profile`] — on a host whose dispatch probe selects the same
+/// ISA; any other host rejects the file instead of applying plans tuned
+/// for the wrong vector width. Returns how many entries were written.
 pub fn save_profile(path: impl AsRef<Path>) -> Result<usize, ProfileError> {
     let entries = global_cache().profile_entries();
-    profile::save(path.as_ref(), &entries)?;
+    profile::save(path.as_ref(), &entries, caps::best_isa().label())?;
     Ok(entries.len())
 }
 
@@ -475,6 +558,7 @@ pub fn plan_cache_stats() -> CacheStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::IsaPolicy;
     use shalom_simd::{F32x4, F64x2};
 
     fn cfg() -> GemmConfig {
@@ -485,6 +569,15 @@ mod tests {
                 l3: 0,
             },
             ..GemmConfig::with_threads(1)
+        }
+    }
+
+    /// `cfg()` pinned to the 128-bit substrate, for tests that assert the
+    /// classic §4/§5.5 resolution regardless of what this host probes.
+    fn cfg_base() -> GemmConfig {
+        GemmConfig {
+            isa: IsaPolicy::Force(caps::base_isa()),
+            ..cfg()
         }
     }
 
@@ -505,14 +598,98 @@ mod tests {
     fn encoded_plan_decodes_to_driver_resolution() {
         // The encoded b_plan/edge/blocking round-trip to exactly what
         // the driver would resolve from scratch — the bitwise-identity
-        // guarantee in miniature.
-        let c = cfg();
+        // guarantee in miniature. Pinned to the 128-bit substrate so the
+        // expectation holds on wide hosts too (the wide branch has its
+        // own test below).
+        let c = cfg_base();
         for (m, n, k) in [(8, 8, 8), (5, 40, 40), (16, 2048, 64), (150, 170, 130)] {
             let rp = compute_resolved::<F64x2>(&c, Op::NoTrans, Op::NoTrans, m, n, k, 1);
-            let sp = decode(&rp, PlanSource::Computed);
+            let sp = decode(&rp, PlanSource::Computed, caps::base_isa());
             assert_eq!(sp.b_plan, resolve_nn_plan(&c, m, n, k, 8));
             assert_eq!(sp.edge, c.edge);
             assert_eq!(sp.bs, BlockSizes::derive(&c.cache, 8, 6));
+        }
+    }
+
+    #[test]
+    fn effective_isa_is_shape_and_op_gated() {
+        let auto = cfg();
+        // T modes never go wide: the families implement the NN driver.
+        assert!(!effective_isa::<F32x4>(&auto, Op::Trans, Op::NoTrans, 640, 640).is_wide());
+        assert!(!effective_isa::<F32x4>(&auto, Op::NoTrans, Op::Trans, 640, 640).is_wide());
+        // Sub-tile shapes stay on the 128-bit edge machinery.
+        assert!(!effective_isa::<F32x4>(&auto, Op::NoTrans, Op::NoTrans, 1, 1).is_wide());
+        // Forcing the base pins the base no matter the shape.
+        assert_eq!(
+            effective_isa::<F32x4>(&cfg_base(), Op::NoTrans, Op::NoTrans, 640, 640),
+            caps::base_isa()
+        );
+        if let Some(fam) = shalom_kernels::selected_wide_family() {
+            // At exactly one full tile the wide family takes over, per
+            // element type's own tile.
+            assert_eq!(
+                effective_isa::<F32x4>(&auto, Op::NoTrans, Op::NoTrans, fam.k_f32.mr, fam.k_f32.nr),
+                fam.isa
+            );
+            assert_eq!(
+                effective_isa::<F64x2>(&auto, Op::NoTrans, Op::NoTrans, fam.k_f64.mr, fam.k_f64.nr),
+                fam.isa
+            );
+            assert!(!effective_isa::<F32x4>(
+                &auto,
+                Op::NoTrans,
+                Op::NoTrans,
+                fam.k_f32.mr - 1,
+                fam.k_f32.nr
+            )
+            .is_wide());
+            // Forcing an executable wide level skips the size gate: the
+            // family stages sub-tile edges itself, and the parallel path
+            // pins workers this way to keep threaded results bitwise
+            // equal to serial ones.
+            let forced = GemmConfig {
+                isa: crate::config::IsaPolicy::Force(fam.isa),
+                ..cfg()
+            };
+            assert_eq!(
+                effective_isa::<F32x4>(&forced, Op::NoTrans, Op::NoTrans, 1, 1),
+                fam.isa
+            );
+        }
+    }
+
+    #[test]
+    fn wide_plan_encodes_family_blocking_and_keys_never_collide() {
+        let auto = cfg();
+        let based = cfg_base();
+        let k_auto = key_for::<F32x4>(&auto, Op::NoTrans, Op::NoTrans, 64, 64, 64, 1);
+        let k_base = key_for::<F32x4>(&based, Op::NoTrans, Op::NoTrans, 64, 64, 64, 1);
+        // The policies already fingerprint apart; on a wide host the keys
+        // additionally differ in the effective-ISA field itself.
+        assert_ne!(k_auto, k_base);
+        assert_eq!(k_base.isa, caps::base_isa().code());
+        assert!(k_auto.validate().is_ok() && k_base.validate().is_ok());
+        if let Some(fam) = shalom_kernels::selected_wide_family() {
+            assert_eq!(k_auto.isa, fam.isa.code());
+            let rp = compute_resolved::<F32x4>(&auto, Op::NoTrans, Op::NoTrans, 64, 64, 64, 1);
+            rp.validate().unwrap();
+            // Family route: per-panel sequential pack, serial grid, and
+            // blocking derived from the family's register tile.
+            assert_eq!(rp.b_plan, bplan_code(BPlan::Sequential));
+            assert_eq!((rp.tm, rp.tn), (1, 1));
+            let bs = BlockSizes::derive(&auto.cache, 4, fam.k_f32.nr);
+            assert_eq!(
+                (rp.kc as usize, rp.mc as usize, rp.nc as usize),
+                (bs.kc, bs.mc, bs.nc)
+            );
+            // Same signature, 128-bit pin: a different plan under a
+            // different key — the two can coexist in one cache.
+            let rp_base =
+                compute_resolved::<F32x4>(&based, Op::NoTrans, Op::NoTrans, 64, 64, 64, 1);
+            assert_eq!(
+                rp_base.b_plan,
+                bplan_code(resolve_nn_plan(&based, 64, 64, 64, 4))
+            );
         }
     }
 

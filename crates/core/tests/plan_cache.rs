@@ -218,14 +218,23 @@ fn bad_profiles_rejected_without_panic() {
         other => panic!("want Version error, got {other:?}"),
     }
 
-    // Corrupt documents -> Parse, never a panic.
-    for corrupt in [
-        "",
-        "not json",
-        "{\"entries\":[]}",
-        "{\"version\":1,\"entries\":[{\"m\":1}]}",
-        "[1,2,3]",
-    ] {
+    // v1 files predate the ISA header; they are refused as a version
+    // mismatch rather than guessed at.
+    std::fs::write(&path, "{\"version\":1,\"entries\":[]}").unwrap();
+    assert!(matches!(
+        load_profile(&path),
+        Err(ProfileError::Version { found: 1, .. })
+    ));
+
+    let host = shalom_core::host_isa().label();
+
+    // Corrupt documents -> Parse, never a panic. The v2 doc missing its
+    // ISA header is corrupt, not a silent pass.
+    let headerless = format!(
+        "{{\"version\":{},\"entries\":[]}}",
+        shalom_core::PROFILE_VERSION
+    );
+    for corrupt in ["", "not json", "{\"entries\":[]}", &headerless, "[1,2,3]"] {
         std::fs::write(&path, corrupt).unwrap();
         assert!(
             matches!(load_profile(&path), Err(ProfileError::Parse(_))),
@@ -233,12 +242,39 @@ fn bad_profiles_rejected_without_panic() {
         );
     }
 
+    // A profile tuned under a different ISA level -> IsaMismatch, with
+    // both labels echoed for the error message.
+    let other = if host == "scalar" { "avx512" } else { "scalar" };
+    std::fs::write(
+        &path,
+        format!(
+            "{{\"version\":{},\"isa\":\"{other}\",\"entries\":[\n]}}",
+            shalom_core::PROFILE_VERSION
+        ),
+    )
+    .unwrap();
+    match load_profile(&path) {
+        Err(ProfileError::IsaMismatch { found, host: h }) => {
+            assert_eq!(found, other);
+            assert_eq!(h, host);
+        }
+        got => panic!("want IsaMismatch, got {got:?}"),
+    }
+
     // Well-formed JSON with out-of-range plan parameters -> Invalid:
     // a profile may change strategy but never smuggle in a kc of 0.
-    let entry = "{\"elem_bits\":32,\"op_a\":\"N\",\"op_b\":\"N\",\"m\":8,\"n\":8,\"k\":8,\
+    let entry =
+        "{\"elem_bits\":32,\"isa\":1,\"op_a\":\"N\",\"op_b\":\"N\",\"m\":8,\"n\":8,\"k\":8,\
                  \"threads\":1,\"config_fp\":7,\"class\":0,\"b_plan\":0,\"edge\":0,\
                  \"kc\":0,\"mc\":8,\"nc\":12,\"tm\":1,\"tn\":1,\"workspace_bytes\":0}";
-    std::fs::write(&path, format!("{{\"version\":1,\"entries\":[{entry}]}}")).unwrap();
+    std::fs::write(
+        &path,
+        format!(
+            "{{\"version\":{},\"isa\":\"{host}\",\"entries\":[\n{entry}]}}",
+            shalom_core::PROFILE_VERSION
+        ),
+    )
+    .unwrap();
     assert!(matches!(load_profile(&path), Err(ProfileError::Invalid(_))));
 
     let _ = std::fs::remove_file(&path);

@@ -69,6 +69,30 @@ fn warm_pool_is_deterministic_across_calls() {
     }
 }
 
+/// Threaded results must stay bitwise equal to serial ones even when the
+/// §6 grid slices a wide-dispatched problem into sub-blocks smaller than
+/// the wide family's register tile: workers inherit the whole problem's
+/// resolved ISA (pinned via `Force`), so a sub-block must never silently
+/// drop to the 128-bit route and round differently. On hosts without a
+/// wide family both routes are the 128-bit substrate and the identity is
+/// the pre-dispatch guarantee.
+#[test]
+fn parallel_matches_serial_bitwise_across_wide_tile_boundary() {
+    // 16x16 splits below the AVX-512 f32 tile (15x16) at 2+ threads;
+    // 31x33 and 20x90 straddle both wide families' tiles unevenly.
+    for &(m, n, k) in &[(16usize, 16usize, 40usize), (31, 33, 70), (20, 90, 17)] {
+        let serial = run_f32(&base_config(1, Runtime::Pool), m, n, k, 23);
+        for &threads in &[2usize, 3, 5] {
+            let pooled = run_f32(&base_config(threads, Runtime::Pool), m, n, k, 23);
+            assert_eq!(
+                max_abs_diff(serial.as_ref(), pooled.as_ref()),
+                0.0,
+                "threads={threads} {m}x{n}x{k}: parallel diverged from serial"
+            );
+        }
+    }
+}
+
 /// Requesting far more threads than tasks (or cores) must neither hang
 /// nor change results: excess workers find the shared counter empty and
 /// go back to sleep.

@@ -36,6 +36,7 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod edge;
+pub mod family;
 pub mod main_kernel;
 pub mod nt_pack;
 pub mod pack;
@@ -43,6 +44,7 @@ pub mod tile;
 mod vector;
 pub mod wide;
 
+pub use family::{family_for, selected_wide_family, FamilyElem, KernelFamily};
 pub use tile::{cmr, solve_tile, TileConstraints, TileShape};
 pub use vector::Vector;
 

@@ -68,7 +68,10 @@ unsafe fn writeback_row<V: Vector>(
 /// * `c` valid for reads/writes of `MR_` rows of `NRV_*LANES` elements at
 ///   stride `ldc`;
 /// * no aliasing between `c` and the inputs.
-#[inline]
+// `inline(always)` is load-bearing: the `family` module wraps this body in
+// `#[target_feature(enable = "avx2,fma")]`-style dispatch shims, and the body
+// only compiles to wide FMA if it inlines into those shims.
+#[inline(always)]
 // PANIC-OK(index): acc/av/bv arrays sized by MR_/NRV_, indexed by loop counters
 // bounded by the same const generics.
 // ALLOC-FREE

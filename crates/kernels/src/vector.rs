@@ -2,19 +2,24 @@
 //!
 //! shalom-analysis: deny(panic)
 
+use crate::family::FamilyElem;
 use shalom_matrix::Scalar;
-use shalom_simd::{F32x4, F32x8, F64x2, F64x4};
+use shalom_simd::{F32x16, F32x4, F32x8, F64x2, F64x4, F64x8};
 
-/// A 128-bit SIMD vector type usable by the generic micro-kernels.
+/// A SIMD vector type usable by the generic micro-kernels.
 ///
-/// Implemented by [`F32x4`] (`j = 4`) and [`F64x2`] (`j = 2`). The dynamic
-/// `*_lane_dyn` methods take the lane index at runtime; kernels call them
-/// from loops whose trip count is the compile-time constant
+/// Implemented by the 128-bit [`F32x4`] (`j = 4`) and [`F64x2`] (`j = 2`)
+/// substrate, and by the runtime-dispatched wide types ([`F32x8`],
+/// [`F64x4`], [`F32x16`], [`F64x8`]) the kernel families instantiate. The
+/// dynamic `*_lane_dyn` methods take the lane index at runtime; kernels
+/// call them from loops whose trip count is the compile-time constant
 /// `Self::LANES`, so after unrolling the index is a constant and the match
 /// inside each implementation folds to the single lane instruction.
 pub trait Vector: Copy + Send + Sync + 'static {
-    /// The element type of each lane.
-    type Elem: Scalar;
+    /// The element type of each lane. The [`FamilyElem`] bound lets
+    /// generic drivers consult the kernel-family dispatch table without
+    /// cascading `where` clauses.
+    type Elem: Scalar + FamilyElem;
 
     /// Lane count (the paper's `j`).
     const LANES: usize;
@@ -269,6 +274,110 @@ impl Vector for F64x4 {
     #[inline(always)]
     fn reduce_sum(self) -> f64 {
         F64x4::reduce_sum(self)
+    }
+}
+
+impl Vector for F32x16 {
+    type Elem = f32;
+    const LANES: usize = 16;
+
+    #[inline(always)]
+    fn zero() -> Self {
+        F32x16::zero()
+    }
+    #[inline(always)]
+    fn splat(x: f32) -> Self {
+        F32x16::splat(x)
+    }
+    // SAFETY: SHALOM-V-SIMD — forwarded; the calling kernel's contract
+    // guarantees `ptr` covers `LANES` elements.
+    #[inline(always)]
+    unsafe fn load(ptr: *const f32) -> Self {
+        F32x16::load(ptr)
+    }
+    // SAFETY: SHALOM-V-SIMD — forwarded; the calling kernel's contract
+    // guarantees `ptr` covers `LANES` elements.
+    #[inline(always)]
+    unsafe fn store(self, ptr: *mut f32) {
+        F32x16::store(self, ptr)
+    }
+    #[inline(always)]
+    fn fma(self, a: Self, b: Self) -> Self {
+        F32x16::fma(self, a, b)
+    }
+    #[inline(always)]
+    fn fma_lane_dyn(self, a: Self, b: Self, lane: usize) -> Self {
+        F32x16::fma_lane_dyn(self, a, b, lane)
+    }
+    #[inline(always)]
+    fn extract_dyn(self, lane: usize) -> f32 {
+        // PANIC-OK: kernel contract — callers pass lane < Self::LANES
+        // (debug-asserted at the kernel entry points).
+        self.to_array()[lane]
+    }
+    #[inline(always)]
+    fn add(self, o: Self) -> Self {
+        F32x16::add(self, o)
+    }
+    #[inline(always)]
+    fn scale(self, s: f32) -> Self {
+        F32x16::scale(self, s)
+    }
+    #[inline(always)]
+    fn reduce_sum(self) -> f32 {
+        F32x16::reduce_sum(self)
+    }
+}
+
+impl Vector for F64x8 {
+    type Elem = f64;
+    const LANES: usize = 8;
+
+    #[inline(always)]
+    fn zero() -> Self {
+        F64x8::zero()
+    }
+    #[inline(always)]
+    fn splat(x: f64) -> Self {
+        F64x8::splat(x)
+    }
+    // SAFETY: SHALOM-V-SIMD — forwarded; the calling kernel's contract
+    // guarantees `ptr` covers `LANES` elements.
+    #[inline(always)]
+    unsafe fn load(ptr: *const f64) -> Self {
+        F64x8::load(ptr)
+    }
+    // SAFETY: SHALOM-V-SIMD — forwarded; the calling kernel's contract
+    // guarantees `ptr` covers `LANES` elements.
+    #[inline(always)]
+    unsafe fn store(self, ptr: *mut f64) {
+        F64x8::store(self, ptr)
+    }
+    #[inline(always)]
+    fn fma(self, a: Self, b: Self) -> Self {
+        F64x8::fma(self, a, b)
+    }
+    #[inline(always)]
+    fn fma_lane_dyn(self, a: Self, b: Self, lane: usize) -> Self {
+        F64x8::fma_lane_dyn(self, a, b, lane)
+    }
+    #[inline(always)]
+    fn extract_dyn(self, lane: usize) -> f64 {
+        // PANIC-OK: kernel contract — callers pass lane < Self::LANES
+        // (debug-asserted at the kernel entry points).
+        self.to_array()[lane]
+    }
+    #[inline(always)]
+    fn add(self, o: Self) -> Self {
+        F64x8::add(self, o)
+    }
+    #[inline(always)]
+    fn scale(self, s: f64) -> Self {
+        F64x8::scale(self, s)
+    }
+    #[inline(always)]
+    fn reduce_sum(self) -> f64 {
+        F64x8::reduce_sum(self)
     }
 }
 

@@ -9,8 +9,14 @@
 //! types and wraps it in a simple padded single-threaded NN driver for
 //! end-to-end validation and the width-scaling bench.
 //!
-//! (The production driver stays on the paper's 128-bit AdvSIMD model;
-//! this module is the measured form of the paper's future-work section.)
+//! This module models the paper's §5.5 *SVE* study: a 32-register
+//! 256-bit file, solved at `j = 8`/`j = 4`. The x86 register files the
+//! host actually dispatches at runtime (16 YMM / 32 ZMM) get their own
+//! solver runs and kernels in [`crate::family`]; the production driver
+//! selects among those via `shalom_simd::caps`. Because the wide vector
+//! types execute real AVX instructions under runtime dispatch, every
+//! entry point here requires the host probe to pass (asserted at the API
+//! boundary; see the `SHALOM-V-SIMD` contract).
 //!
 //! shalom-analysis: deny(panic)
 
@@ -40,7 +46,8 @@ pub fn wide_tiles_are_analytic() -> bool {
 /// The wide FP32 main micro-kernel: a 9 x 16 tile over [`F32x8`].
 ///
 /// # Safety
-/// As [`main_kernel_shape`] with `MR_ = 9`, `NRV_ = 2`.
+/// As [`main_kernel_shape`] with `MR_ = 9`, `NRV_ = 2`; additionally the
+/// host's AVX2+FMA probe (`shalom_simd::caps::detect`) must have passed.
 #[inline]
 pub unsafe fn wide_kernel_f32(
     kc: usize,
@@ -59,7 +66,8 @@ pub unsafe fn wide_kernel_f32(
 /// The wide FP64 main micro-kernel: a 7 x 12 tile over [`F64x4`].
 ///
 /// # Safety
-/// As [`main_kernel_shape`] with `MR_ = 7`, `NRV_ = 3`.
+/// As [`main_kernel_shape`] with `MR_ = 7`, `NRV_ = 3`; additionally the
+/// host's AVX2+FMA probe (`shalom_simd::caps::detect`) must have passed.
 #[inline]
 pub unsafe fn wide_kernel_f64(
     kc: usize,
@@ -109,6 +117,21 @@ pub fn gemm_nn_wide<T, V, const MR_: usize, const NRV_: usize>(
     assert_eq!(b.cols(), n, "B cols != C cols");
     if m == 0 || n == 0 {
         return;
+    }
+    #[cfg(all(target_arch = "x86_64", not(feature = "force-scalar")))]
+    {
+        let caps = shalom_simd::caps::detect();
+        let bits = V::LANES * T::BYTES * 8;
+        // PANIC-OK: runtime-dispatch precondition at the API boundary —
+        // the wide vector ops are only sound after their ISA probe.
+        assert!(
+            match bits {
+                256 => caps.avx2_fma,
+                512 => caps.avx512f,
+                _ => true,
+            },
+            "wide GEMM requires the {bits}-bit ISA probe to pass on this host"
+        );
     }
     let nr = NRV_ * V::LANES;
     let mp = m.div_ceil(MR_) * MR_;
@@ -205,6 +228,17 @@ mod tests {
     use super::*;
     use shalom_matrix::{assert_close, gemm_tolerance, reference, Matrix, Op};
 
+    /// True when the host may execute the 256-bit ops (see the
+    /// runtime-dispatch precondition in `gemm_nn_wide`).
+    fn runtime_ok() -> bool {
+        #[cfg(all(target_arch = "x86_64", not(feature = "force-scalar")))]
+        {
+            return shalom_simd::caps::detect().avx2_fma;
+        }
+        #[allow(unreachable_code)]
+        true
+    }
+
     #[test]
     fn wide_tiles_match_solver() {
         assert!(wide_tiles_are_analytic());
@@ -214,6 +248,9 @@ mod tests {
 
     #[test]
     fn wide_kernel_f32_exact_tile() {
+        if !runtime_ok() {
+            return;
+        }
         let kc = 19;
         let a = Matrix::<f32>::random(9, kc, 1);
         let b = Matrix::<f32>::random(kc, 16, 2);
@@ -247,6 +284,9 @@ mod tests {
 
     #[test]
     fn wide_kernel_f64_exact_tile() {
+        if !runtime_ok() {
+            return;
+        }
         let kc = 11;
         let a = Matrix::<f64>::random(7, kc, 4);
         let b = Matrix::<f64>::random(kc, 12, 5);
@@ -280,6 +320,9 @@ mod tests {
 
     #[test]
     fn wide_gemm_arbitrary_shapes() {
+        if !runtime_ok() {
+            return;
+        }
         for &(m, n, k) in &[
             (1, 1, 1),
             (9, 16, 8),
@@ -307,6 +350,9 @@ mod tests {
 
     #[test]
     fn wide_gemm_f64_and_degenerate() {
+        if !runtime_ok() {
+            return;
+        }
         let a = Matrix::<f64>::random(13, 9, 9);
         let b = Matrix::<f64>::random(9, 21, 10);
         let mut c = Matrix::<f64>::zeros(13, 21);

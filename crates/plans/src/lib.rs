@@ -39,6 +39,10 @@ pub use profile::{ProfileError, PROFILE_VERSION};
 pub struct PlanKey {
     /// Element width in bits (32 for f32, 64 for f64).
     pub elem_bits: u8,
+    /// ISA level the plan was resolved for (the core crate's stable
+    /// `Isa::code()`: 0 scalar, 1 sse2, 2 neon, 3 avx2, 4 avx512). Plans
+    /// made for one vector width never collide with another's.
+    pub isa: u8,
     /// Op on A: `b'N'` or `b'T'`.
     pub op_a: u8,
     /// Op on B: `b'N'` or `b'T'`.
@@ -63,6 +67,9 @@ impl PlanKey {
     pub fn validate(&self) -> Result<(), String> {
         if self.elem_bits != 32 && self.elem_bits != 64 {
             return Err(format!("elem_bits {} not 32/64", self.elem_bits));
+        }
+        if self.isa > 4 {
+            return Err(format!("isa code {} unknown", self.isa));
         }
         for (label, op) in [("op_a", self.op_a), ("op_b", self.op_b)] {
             if op != b'N' && op != b'T' {
@@ -142,6 +149,7 @@ mod tests {
     pub(crate) fn key(i: u64) -> PlanKey {
         PlanKey {
             elem_bits: 32,
+            isa: 1,
             op_a: b'N',
             op_b: b'N',
             m: 8 + i,
@@ -188,6 +196,25 @@ mod tests {
         }
         .validate()
         .is_err());
+        // Every shipped ISA code is accepted; unknown codes are not.
+        for isa in 0..=4u8 {
+            assert!(PlanKey { isa, ..key(0) }.validate().is_ok());
+        }
+        assert!(PlanKey { isa: 5, ..key(0) }.validate().is_err());
+    }
+
+    #[test]
+    fn keys_differing_only_in_isa_never_collide() {
+        // The tentpole guarantee in miniature: a plan resolved under one
+        // vector width can never be served for another.
+        let base = key(0);
+        for isa in 0..=4u8 {
+            for other in 0..=4u8 {
+                let ka = PlanKey { isa, ..base };
+                let kb = PlanKey { isa: other, ..base };
+                assert_eq!(ka == kb, isa == other);
+            }
+        }
     }
 
     #[test]

@@ -15,8 +15,10 @@ use std::path::Path;
 
 /// On-disk format version. Bump on any change to the entry grammar or
 /// to the meaning of the encoded discriminants; loaders reject every
-/// other version rather than guess.
-pub const PROFILE_VERSION: u32 = 1;
+/// other version rather than guess. Version 2 added the header `isa`
+/// field and the per-entry `isa` key component: a version-1 file has no
+/// ISA provenance, so it is rejected outright rather than guessed at.
+pub const PROFILE_VERSION: u32 = 2;
 
 /// Why a profile failed to load (or save).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -32,6 +34,15 @@ pub enum ProfileError {
         /// Version this library reads.
         expected: u32,
     },
+    /// The file was tuned under a different ISA than this host selects:
+    /// its blocking/packing decisions were made for another vector width
+    /// and must never be applied here.
+    IsaMismatch {
+        /// ISA label the file was saved under.
+        found: String,
+        /// ISA label this host dispatches to.
+        host: String,
+    },
     /// Structurally valid JSON whose key/plan fields fail validation.
     Invalid(String),
 }
@@ -43,6 +54,12 @@ impl fmt::Display for ProfileError {
             ProfileError::Parse(e) => write!(f, "profile parse error: {e}"),
             ProfileError::Version { found, expected } => {
                 write!(f, "profile version {found} (this library reads {expected})")
+            }
+            ProfileError::IsaMismatch { found, host } => {
+                write!(
+                    f,
+                    "profile tuned for isa {found:?} but this host dispatches {host:?}; re-tune and re-save"
+                )
             }
             ProfileError::Invalid(e) => write!(f, "profile entry invalid: {e}"),
         }
@@ -60,23 +77,28 @@ fn op_str(op: u8) -> &'static str {
 }
 
 /// Serializes entries to the versioned profile document (one entry per
-/// line, for reviewable diffs).
-pub fn to_json(entries: &[(PlanKey, ResolvedPlan)]) -> String {
+/// line, for reviewable diffs). `host_isa` is the stable label of the
+/// ISA the entries were resolved under (the core crate passes its
+/// dispatch probe's answer); loaders reject the file on any other host.
+pub fn to_json(entries: &[(PlanKey, ResolvedPlan)], host_isa: &str) -> String {
     let mut out = String::new();
-    out.push_str(&format!("{{\"version\":{PROFILE_VERSION},\"entries\":[\n"));
+    out.push_str(&format!(
+        "{{\"version\":{PROFILE_VERSION},\"isa\":\"{host_isa}\",\"entries\":[\n"
+    ));
     for (i, (key, plan)) in entries.iter().enumerate() {
         if i > 0 {
             out.push_str(",\n");
         }
         out.push_str(&format!(
             concat!(
-                "{{\"elem_bits\":{},\"op_a\":\"{}\",\"op_b\":\"{}\",",
+                "{{\"elem_bits\":{},\"isa\":{},\"op_a\":\"{}\",\"op_b\":\"{}\",",
                 "\"m\":{},\"n\":{},\"k\":{},\"threads\":{},\"config_fp\":{},",
                 "\"class\":{},\"b_plan\":{},\"edge\":{},",
                 "\"kc\":{},\"mc\":{},\"nc\":{},\"tm\":{},\"tn\":{},",
                 "\"workspace_bytes\":{}}}"
             ),
             key.elem_bits,
+            key.isa,
             op_str(key.op_a),
             op_str(key.op_b),
             key.m,
@@ -119,8 +141,14 @@ fn field_op(obj: &Json, key: &str) -> Result<u8, ProfileError> {
     }
 }
 
-/// Parses and fully validates a profile document.
-pub fn from_json(input: &str) -> Result<Vec<(PlanKey, ResolvedPlan)>, ProfileError> {
+/// Parses and fully validates a profile document. `host_isa` is the
+/// label of the ISA this host's dispatch layer selects; a document saved
+/// under any other label is rejected as [`ProfileError::IsaMismatch`]
+/// before a single entry is ingested.
+pub fn from_json(
+    input: &str,
+    host_isa: &str,
+) -> Result<Vec<(PlanKey, ResolvedPlan)>, ProfileError> {
     let doc = parse(input).map_err(ProfileError::Parse)?;
     let version = field_u64(&doc, "version")
         .map_err(|_| ProfileError::Parse("missing \"version\" field".to_string()))?;
@@ -128,6 +156,16 @@ pub fn from_json(input: &str) -> Result<Vec<(PlanKey, ResolvedPlan)>, ProfileErr
         return Err(ProfileError::Version {
             found: version,
             expected: PROFILE_VERSION,
+        });
+    }
+    let file_isa = doc
+        .get("isa")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ProfileError::Parse("missing \"isa\" field".to_string()))?;
+    if file_isa != host_isa {
+        return Err(ProfileError::IsaMismatch {
+            found: file_isa.to_string(),
+            host: host_isa.to_string(),
         });
     }
     let entries = doc
@@ -138,6 +176,7 @@ pub fn from_json(input: &str) -> Result<Vec<(PlanKey, ResolvedPlan)>, ProfileErr
     for e in entries {
         let key = PlanKey {
             elem_bits: narrow("elem_bits", field_u64(e, "elem_bits")?)?,
+            isa: narrow("isa", field_u64(e, "isa")?)?,
             op_a: field_op(e, "op_a")?,
             op_b: field_op(e, "op_b")?,
             m: field_u64(e, "m")?,
@@ -164,15 +203,21 @@ pub fn from_json(input: &str) -> Result<Vec<(PlanKey, ResolvedPlan)>, ProfileErr
     Ok(out)
 }
 
-/// Writes a profile document to `path`.
-pub fn save(path: &Path, entries: &[(PlanKey, ResolvedPlan)]) -> Result<(), ProfileError> {
-    std::fs::write(path, to_json(entries)).map_err(|e| ProfileError::Io(e.to_string()))
+/// Writes a profile document to `path`, stamped with the saving host's
+/// selected ISA label.
+pub fn save(
+    path: &Path,
+    entries: &[(PlanKey, ResolvedPlan)],
+    host_isa: &str,
+) -> Result<(), ProfileError> {
+    std::fs::write(path, to_json(entries, host_isa)).map_err(|e| ProfileError::Io(e.to_string()))
 }
 
-/// Reads and fully validates a profile document from `path`.
-pub fn load(path: &Path) -> Result<Vec<(PlanKey, ResolvedPlan)>, ProfileError> {
+/// Reads and fully validates a profile document from `path`, rejecting
+/// files saved under a different ISA than `host_isa`.
+pub fn load(path: &Path, host_isa: &str) -> Result<Vec<(PlanKey, ResolvedPlan)>, ProfileError> {
     let text = std::fs::read_to_string(path).map_err(|e| ProfileError::Io(e.to_string()))?;
-    from_json(&text)
+    from_json(&text, host_isa)
 }
 
 #[cfg(test)]
@@ -187,6 +232,7 @@ mod tests {
             (
                 PlanKey {
                     elem_bits: 64,
+                    isa: 4,
                     op_a: b'T',
                     op_b: b'T',
                     m: u64::MAX,
@@ -208,18 +254,18 @@ mod tests {
                 },
             ),
         ];
-        let text = to_json(&entries);
-        assert_eq!(from_json(&text).unwrap(), entries);
+        let text = to_json(&entries, "avx512");
+        assert_eq!(from_json(&text, "avx512").unwrap(), entries);
     }
 
     #[test]
     fn empty_profile_round_trips() {
-        assert_eq!(from_json(&to_json(&[])).unwrap(), vec![]);
+        assert_eq!(from_json(&to_json(&[], "sse2"), "sse2").unwrap(), vec![]);
     }
 
     #[test]
     fn rejects_version_mismatch() {
-        let err = from_json(r#"{"version":999,"entries":[]}"#).unwrap_err();
+        let err = from_json(r#"{"version":999,"isa":"sse2","entries":[]}"#, "sse2").unwrap_err();
         assert_eq!(
             err,
             ProfileError::Version {
@@ -227,6 +273,32 @@ mod tests {
                 expected: PROFILE_VERSION
             }
         );
+        // A version-1 document (no ISA provenance at all) is a version
+        // error, not a guess.
+        let err = from_json(r#"{"version":1,"entries":[]}"#, "sse2").unwrap_err();
+        assert!(matches!(err, ProfileError::Version { found: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_isa_mismatch() {
+        // A profile tuned on an AVX-512 host must never install its
+        // blocking decisions on a narrower machine (or vice versa).
+        let text = to_json(&[(key(0), plan(0))], "avx512");
+        let err = from_json(&text, "avx2").unwrap_err();
+        assert_eq!(
+            err,
+            ProfileError::IsaMismatch {
+                found: "avx512".to_string(),
+                host: "avx2".to_string(),
+            }
+        );
+        // The mismatch is checked before any entry parsing: even an
+        // empty entry list is rejected.
+        let err = from_json(&to_json(&[], "scalar"), "avx512").unwrap_err();
+        assert!(matches!(err, ProfileError::IsaMismatch { .. }));
+        // And the header must be present at all in a v2 document.
+        let err = from_json(r#"{"version":2,"entries":[]}"#, "sse2").unwrap_err();
+        assert!(matches!(err, ProfileError::Parse(_)));
     }
 
     #[test]
@@ -235,12 +307,12 @@ mod tests {
             "",
             "not json",
             "{\"entries\":[]}",
-            "{\"version\":1}",
-            "{\"version\":1,\"entries\":[{}]}",
-            "{\"version\":1,\"entries\":[{\"elem_bits\":32}]}",
+            "{\"version\":2}",
+            "{\"version\":2,\"isa\":\"sse2\",\"entries\":[{}]}",
+            "{\"version\":2,\"isa\":\"sse2\",\"entries\":[{\"elem_bits\":32}]}",
         ] {
             assert!(
-                matches!(from_json(bad), Err(ProfileError::Parse(_))),
+                matches!(from_json(bad, "sse2"), Err(ProfileError::Parse(_))),
                 "{bad:?}"
             );
         }
@@ -251,23 +323,39 @@ mod tests {
         // kc = 0 would make the driver's kk loop spin forever: Invalid.
         let mut entries = vec![(key(0), plan(0))];
         entries[0].1.kc = 0;
-        let text = to_json(&entries);
-        assert!(matches!(from_json(&text), Err(ProfileError::Invalid(_))));
+        let text = to_json(&entries, "sse2");
+        assert!(matches!(
+            from_json(&text, "sse2"),
+            Err(ProfileError::Invalid(_))
+        ));
         // op byte is checked via the string field, so a bad threads
         // value exercises key validation instead.
-        let text = to_json(&[(
-            PlanKey {
-                threads: 0,
-                ..key(0)
-            },
-            plan(0),
-        )]);
-        assert!(matches!(from_json(&text), Err(ProfileError::Invalid(_))));
+        let text = to_json(
+            &[(
+                PlanKey {
+                    threads: 0,
+                    ..key(0)
+                },
+                plan(0),
+            )],
+            "sse2",
+        );
+        assert!(matches!(
+            from_json(&text, "sse2"),
+            Err(ProfileError::Invalid(_))
+        ));
+        // An unknown per-entry ISA code is invalid even when the header
+        // label matches the host.
+        let text = to_json(&[(PlanKey { isa: 9, ..key(0) }, plan(0))], "sse2");
+        assert!(matches!(
+            from_json(&text, "sse2"),
+            Err(ProfileError::Invalid(_))
+        ));
     }
 
     #[test]
     fn io_errors_surface() {
         let missing = Path::new("/nonexistent/shalom/profile.json");
-        assert!(matches!(load(missing), Err(ProfileError::Io(_))));
+        assert!(matches!(load(missing, "sse2"), Err(ProfileError::Io(_))));
     }
 }

@@ -11,6 +11,7 @@ use std::thread;
 fn key(i: u64) -> PlanKey {
     PlanKey {
         elem_bits: if i.is_multiple_of(2) { 32 } else { 64 },
+        isa: (i % 5) as u8,
         op_a: if i.is_multiple_of(3) { b'T' } else { b'N' },
         op_b: if i.is_multiple_of(5) { b'T' } else { b'N' },
         m: 1 + i % 97,

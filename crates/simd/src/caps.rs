@@ -1,0 +1,261 @@
+//! Runtime CPU-capability probe and the ISA enumeration used by the
+//! kernel-family dispatch layer.
+//!
+//! The 128-bit substrate ([`crate::F32x4`]/[`crate::F64x2`]) is chosen at
+//! compile time — SSE2 is baseline on x86_64 and NEON on aarch64, so it
+//! is always safe to execute. The *wide* types
+//! ([`crate::F32x8`]/[`crate::F64x4`]/[`crate::F32x16`]/[`crate::F64x8`])
+//! execute AVX2+FMA / AVX-512F instructions that a default build cannot
+//! assume, so whether they may run is a **runtime** property of the host.
+//! This module is the single place that property is probed:
+//!
+//! * [`Isa`] names every instruction-set level the library can dispatch
+//!   to, with a stable `u8` code that plan caches and persisted autotune
+//!   profiles embed (a plan produced under one vector width must never be
+//!   applied under another);
+//! * [`detect`] probes the host once (`is_x86_feature_detected!`) and
+//!   caches the result;
+//! * [`best_isa`] is the widest ISA the host supports, [`base_isa`] the
+//!   compile-time 128-bit substrate, and [`supported`] answers whether a
+//!   given level can execute on this host.
+//!
+//! Compile-time hooks: under the `force-scalar` feature every probe
+//! reports scalar-only, and on aarch64 the NEON level is reported without
+//! a probe (NEON is baseline there; SVE would slot in as a further level
+//! the same way the AVX levels do here).
+
+use std::sync::OnceLock;
+
+/// An instruction-set level the dispatch layer can select.
+///
+/// The discriminants are **stable serialization codes**: they appear in
+/// plan-cache keys ([`Isa::code`]) and in persisted autotune profiles.
+/// Renumbering them would silently re-validate stale profiles, so new
+/// levels must only be appended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Isa {
+    /// Plain scalar arrays (the `force-scalar` build, or an unknown arch).
+    Scalar = 0,
+    /// x86_64 SSE2 — the 128-bit baseline substrate modelling NEON.
+    Sse128 = 1,
+    /// AArch64 NEON — the paper's native 128-bit target.
+    Neon128 = 2,
+    /// x86_64 AVX2+FMA — the 256-bit wide-kernel family.
+    Avx2W256 = 3,
+    /// x86_64 AVX-512F — the 512-bit wide-kernel family.
+    Avx512W512 = 4,
+}
+
+impl Isa {
+    /// Stable serialization code (plan keys, profiles).
+    pub const fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Inverse of [`Isa::code`].
+    pub const fn from_code(code: u8) -> Option<Isa> {
+        match code {
+            0 => Some(Isa::Scalar),
+            1 => Some(Isa::Sse128),
+            2 => Some(Isa::Neon128),
+            3 => Some(Isa::Avx2W256),
+            4 => Some(Isa::Avx512W512),
+            _ => None,
+        }
+    }
+
+    /// Human-readable label (profile headers, perf reports, logs).
+    pub const fn label(self) -> &'static str {
+        match self {
+            Isa::Scalar => "scalar",
+            Isa::Sse128 => "sse2",
+            Isa::Neon128 => "neon",
+            Isa::Avx2W256 => "avx2",
+            Isa::Avx512W512 => "avx512",
+        }
+    }
+
+    /// Inverse of [`Isa::label`].
+    pub fn from_label(label: &str) -> Option<Isa> {
+        match label {
+            "scalar" => Some(Isa::Scalar),
+            "sse2" => Some(Isa::Sse128),
+            "neon" => Some(Isa::Neon128),
+            "avx2" => Some(Isa::Avx2W256),
+            "avx512" => Some(Isa::Avx512W512),
+            _ => None,
+        }
+    }
+
+    /// Vector width in bits of this level's register model.
+    pub const fn vector_bits(self) -> usize {
+        match self {
+            Isa::Scalar | Isa::Sse128 | Isa::Neon128 => 128,
+            Isa::Avx2W256 => 256,
+            Isa::Avx512W512 => 512,
+        }
+    }
+
+    /// Architectural vector registers at this level (the Eq. 1 register
+    /// file the tile solver budgets against): 16 YMM for AVX2, 32 ZMM for
+    /// AVX-512, 32 for the 128-bit ARMv8 model.
+    pub const fn vector_registers(self) -> usize {
+        match self {
+            Isa::Scalar | Isa::Sse128 | Isa::Neon128 => crate::VECTOR_REGISTERS,
+            Isa::Avx2W256 => 16,
+            Isa::Avx512W512 => 32,
+        }
+    }
+
+    /// True for the runtime-dispatched wide families (wider than the
+    /// compile-time 128-bit substrate).
+    pub const fn is_wide(self) -> bool {
+        matches!(self, Isa::Avx2W256 | Isa::Avx512W512)
+    }
+}
+
+/// The host's probed vector capabilities (beyond the compile-time
+/// baseline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpuCaps {
+    /// AVX2 and FMA both present — the 256-bit family may run.
+    pub avx2_fma: bool,
+    /// AVX-512 Foundation present — the 512-bit family may run.
+    pub avx512f: bool,
+}
+
+/// Probes the host once and caches the answer. Under `force-scalar` (or
+/// off x86_64) both flags are false: the wide families never dispatch.
+pub fn detect() -> CpuCaps {
+    static CAPS: OnceLock<CpuCaps> = OnceLock::new();
+    *CAPS.get_or_init(|| {
+        #[cfg(all(target_arch = "x86_64", not(feature = "force-scalar")))]
+        {
+            CpuCaps {
+                avx2_fma: std::arch::is_x86_feature_detected!("avx2")
+                    && std::arch::is_x86_feature_detected!("fma"),
+                avx512f: std::arch::is_x86_feature_detected!("avx512f"),
+            }
+        }
+        #[cfg(not(all(target_arch = "x86_64", not(feature = "force-scalar"))))]
+        {
+            CpuCaps {
+                avx2_fma: false,
+                avx512f: false,
+            }
+        }
+    })
+}
+
+/// The compile-time 128-bit substrate this build runs its default
+/// kernels on (matches [`crate::active_backend`]).
+pub const fn base_isa() -> Isa {
+    match crate::active_backend() {
+        crate::Backend::X86Sse => Isa::Sse128,
+        crate::Backend::Neon => Isa::Neon128,
+        crate::Backend::Scalar => Isa::Scalar,
+    }
+}
+
+/// The widest ISA this host can execute: [`Isa::Avx512W512`] /
+/// [`Isa::Avx2W256`] when probed, else the compile-time base.
+pub fn best_isa() -> Isa {
+    let caps = detect();
+    if caps.avx512f {
+        Isa::Avx512W512
+    } else if caps.avx2_fma {
+        Isa::Avx2W256
+    } else {
+        base_isa()
+    }
+}
+
+/// True if `isa` can execute on this host in this build. The scalar
+/// level and the compile-time base are always supported; wide levels
+/// require their probe; the other arch's 128-bit level is not.
+pub fn supported(isa: Isa) -> bool {
+    let caps = detect();
+    match isa {
+        Isa::Scalar => true,
+        Isa::Sse128 => base_isa() == Isa::Sse128,
+        Isa::Neon128 => base_isa() == Isa::Neon128,
+        Isa::Avx2W256 => caps.avx2_fma,
+        Isa::Avx512W512 => caps.avx512f,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip_and_are_stable() {
+        for (isa, code) in [
+            (Isa::Scalar, 0u8),
+            (Isa::Sse128, 1),
+            (Isa::Neon128, 2),
+            (Isa::Avx2W256, 3),
+            (Isa::Avx512W512, 4),
+        ] {
+            assert_eq!(isa.code(), code);
+            assert_eq!(Isa::from_code(code), Some(isa));
+            assert_eq!(Isa::from_label(isa.label()), Some(isa));
+        }
+        assert_eq!(Isa::from_code(5), None);
+        assert_eq!(Isa::from_label("avx10"), None);
+    }
+
+    #[test]
+    fn base_matches_backend() {
+        let base = base_isa();
+        assert!(!base.is_wide());
+        assert!(supported(base));
+        assert_eq!(base.vector_bits(), 128);
+    }
+
+    #[test]
+    fn best_is_supported_and_at_least_base() {
+        let best = best_isa();
+        assert!(supported(best));
+        assert!(best.vector_bits() >= 128);
+        // Detection is cached and deterministic.
+        assert_eq!(best, best_isa());
+    }
+
+    #[test]
+    fn force_scalar_reports_no_wide_levels() {
+        if cfg!(feature = "force-scalar") {
+            assert_eq!(
+                detect(),
+                CpuCaps {
+                    avx2_fma: false,
+                    avx512f: false
+                }
+            );
+            assert_eq!(best_isa(), Isa::Scalar);
+        }
+    }
+
+    #[cfg(all(target_arch = "x86_64", not(feature = "force-scalar")))]
+    #[test]
+    fn x86_probe_matches_std_detection() {
+        let caps = detect();
+        assert_eq!(
+            caps.avx2_fma,
+            std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+        );
+        assert_eq!(caps.avx512f, std::arch::is_x86_feature_detected!("avx512f"));
+        if caps.avx512f {
+            assert_eq!(best_isa(), Isa::Avx512W512);
+        }
+    }
+
+    #[test]
+    fn register_files_match_the_solver_inputs() {
+        assert_eq!(Isa::Avx2W256.vector_registers(), 16);
+        assert_eq!(Isa::Avx512W512.vector_registers(), 32);
+        assert_eq!(Isa::Sse128.vector_registers(), 32);
+    }
+}

@@ -29,14 +29,18 @@
 #![allow(clippy::should_implement_trait)]
 #![allow(clippy::needless_range_loop)]
 
+pub mod caps;
 mod f32x4;
 mod f64x2;
 pub mod scalar;
 pub mod wide;
+pub mod wide512;
 
+pub use caps::{base_isa, best_isa, Isa};
 pub use f32x4::F32x4;
 pub use f64x2::F64x2;
 pub use wide::{F32x8, F64x4};
+pub use wide512::{F32x16, F64x8};
 
 /// Number of architectural 128-bit vector registers in the ARMv8 model
 /// (`V0`–`V31`). The micro-kernel tile solver budgets against this count.

@@ -1,77 +1,137 @@
-//! 256-bit vector types — the §5.5 extension point.
+//! 256-bit wide vector types — the §5.5 extension point, runtime-dispatched.
 //!
 //! The paper notes its method "can be applied to a longer vector length
 //! with a revised mr and nr computed according to the available number
 //! and length of vector registers" (SVE on A64FX/ARMv9, wider x86
-//! vectors). These types model a 256-bit SVE configuration: [`F32x8`]
-//! (`j = 8`) and [`F64x4`] (`j = 4`), with the same operation set as the
+//! vectors). These types provide the 256-bit operation set: [`F32x8`]
+//! (`j = 8`) and [`F64x4`] (`j = 4`), with the same operations as the
 //! 128-bit types so the generic kernels instantiate unchanged.
 //!
-//! Backends: AVX (+FMA when available) on x86_64; a two-register NEON
-//! polyfill on aarch64; scalar arrays elsewhere or under `force-scalar`.
+//! # Runtime dispatch contract (`SHALOM-V-SIMD`)
+//!
+//! Unlike the 128-bit substrate, AVX2+FMA cannot be assumed by a default
+//! `cargo build`. These types therefore keep a **plain array
+//! representation** on every build and route their arithmetic through
+//! small `#[target_feature(enable = ...)]`-attributed inner functions on
+//! x86_64 — so a default build emits real 256-bit FMA without global
+//! `RUSTFLAGS`, and the types are ABI-safe to pass around everywhere.
+//! The inner functions are only *sound to execute* on a host with
+//! AVX2+FMA; the dispatch layer ([`crate::caps`]) probes the CPU before
+//! any kernel family built on these types is selected, and that probe is
+//! the safety argument for every `SAFETY: SHALOM-V-SIMD` comment below.
+//! Code that bypasses the dispatch layer must check
+//! [`crate::caps::detect`] itself (the tests here do).
+//!
+//! # Rounding contract
+//!
+//! Wide arithmetic is **always fused**: one rounding per multiply-add on
+//! every path. On x86_64 that is hardware `vfmadd`; on the scalar
+//! fallback (aarch64 polyfill, `force-scalar`, other arches) it is
+//! [`f32::mul_add`]/[`f64::mul_add`], which IEEE 754 defines as exactly
+//! rounded — bitwise identical to the hardware instruction. Horizontal
+//! reduction ([`F32x8::reduce_sum`]) extracts to an array and sums in a
+//! fixed pairwise order on every path. Consequently a `force-scalar`
+//! build and a native build produce **bitwise identical** results through
+//! the wide kernels; this differs from the 128-bit path, whose fusion
+//! follows the build's `fma` target feature (see
+//! [`crate::fma_is_fused`]).
 #![allow(clippy::needless_return)] // the `return` inside the cfg-gated arm selects the backend
 
-#[cfg(all(
-    target_arch = "x86_64",
-    target_feature = "avx",
-    not(feature = "force-scalar")
-))]
-use core::arch::x86_64::*;
-
-/// 256-bit vector of eight `f32` lanes.
+/// 256-bit vector of eight `f32` lanes, stored as a plain array.
 #[derive(Clone, Copy)]
-pub struct F32x8(Repr32);
+pub struct F32x8([f32; 8]);
 
-/// 256-bit vector of four `f64` lanes.
+/// 256-bit vector of four `f64` lanes, stored as a plain array.
 #[derive(Clone, Copy)]
-pub struct F64x4(Repr64);
-
-#[cfg(all(
-    target_arch = "x86_64",
-    target_feature = "avx",
-    not(feature = "force-scalar")
-))]
-type Repr32 = __m256;
-#[cfg(all(
-    target_arch = "x86_64",
-    target_feature = "avx",
-    not(feature = "force-scalar")
-))]
-type Repr64 = __m256d;
-
-#[cfg(not(all(
-    target_arch = "x86_64",
-    target_feature = "avx",
-    not(feature = "force-scalar")
-)))]
-type Repr32 = [f32; 8];
-#[cfg(not(all(
-    target_arch = "x86_64",
-    target_feature = "avx",
-    not(feature = "force-scalar")
-)))]
-type Repr64 = [f64; 4];
+pub struct F64x4([f64; 4]);
 
 macro_rules! scalar_block {
     ($($t:tt)*) => {
-        #[cfg(not(all(
-            target_arch = "x86_64",
-            target_feature = "avx",
-            not(feature = "force-scalar")
-        )))]
+        #[cfg(not(all(target_arch = "x86_64", not(feature = "force-scalar"))))]
         { $($t)* }
     };
 }
 
 macro_rules! avx_block {
     ($($t:tt)*) => {
-        #[cfg(all(
-            target_arch = "x86_64",
-            target_feature = "avx",
-            not(feature = "force-scalar")
-        ))]
+        #[cfg(all(target_arch = "x86_64", not(feature = "force-scalar")))]
         { $($t)* }
     };
+}
+
+/// AVX2+FMA backends. Array parameters/returns keep the ABI
+/// vector-type-free (arrays pass indirectly), so these are callable from
+/// code compiled without the features; the `transmute`s are size-exact
+/// (`[f32; 8]` ↔ `__m256`, 32 bytes). Feature sets are subsets of the
+/// kernel-family wrappers' `avx2,fma`, so all of these inline there.
+#[cfg(all(target_arch = "x86_64", not(feature = "force-scalar")))]
+// Every transmute here is the same size-exact array ↔ vector-register
+// cast; spelling both types at each site would only obscure the
+// intrinsic sequences.
+#[allow(clippy::missing_transmute_annotations)]
+mod x86 {
+    use core::arch::x86_64::*;
+    use core::mem::transmute;
+
+    #[inline]
+    #[target_feature(enable = "avx")]
+    pub unsafe fn add_ps(a: [f32; 8], b: [f32; 8]) -> [f32; 8] {
+        transmute(_mm256_add_ps(transmute(a), transmute(b)))
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx")]
+    pub unsafe fn mul_ps(a: [f32; 8], b: [f32; 8]) -> [f32; 8] {
+        transmute(_mm256_mul_ps(transmute(a), transmute(b)))
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx", enable = "fma")]
+    pub unsafe fn fmadd_ps(acc: [f32; 8], a: [f32; 8], b: [f32; 8]) -> [f32; 8] {
+        transmute(_mm256_fmadd_ps(transmute(a), transmute(b), transmute(acc)))
+    }
+
+    /// `acc + a * b[lane]` — the lane-indexed FMA (`fmla .s[lane]`
+    /// analogue): broadcast via `vpermps`, then one fused multiply-add.
+    #[inline]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn fmadd_lane_ps(acc: [f32; 8], a: [f32; 8], b: [f32; 8], lane: usize) -> [f32; 8] {
+        let s = _mm256_permutevar8x32_ps(transmute(b), _mm256_set1_epi32(lane as i32));
+        transmute(_mm256_fmadd_ps(transmute(a), s, transmute(acc)))
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx")]
+    pub unsafe fn add_pd(a: [f64; 4], b: [f64; 4]) -> [f64; 4] {
+        transmute(_mm256_add_pd(transmute(a), transmute(b)))
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx")]
+    pub unsafe fn mul_pd(a: [f64; 4], b: [f64; 4]) -> [f64; 4] {
+        transmute(_mm256_mul_pd(transmute(a), transmute(b)))
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx", enable = "fma")]
+    pub unsafe fn fmadd_pd(acc: [f64; 4], a: [f64; 4], b: [f64; 4]) -> [f64; 4] {
+        transmute(_mm256_fmadd_pd(transmute(a), transmute(b), transmute(acc)))
+    }
+
+    /// `acc + a * b[lane]` for `f64`: `vpermpd` needs a const selector,
+    /// so dispatch the four lane values to monomorphic broadcasts.
+    #[inline]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn fmadd_lane_pd(acc: [f64; 4], a: [f64; 4], b: [f64; 4], lane: usize) -> [f64; 4] {
+        let bv: __m256d = transmute(b);
+        let s = match lane & 3 {
+            0 => _mm256_permute4x64_pd::<0x00>(bv),
+            1 => _mm256_permute4x64_pd::<0x55>(bv),
+            2 => _mm256_permute4x64_pd::<0xAA>(bv),
+            _ => _mm256_permute4x64_pd::<0xFF>(bv),
+        };
+        transmute(_mm256_fmadd_pd(transmute(a), s, transmute(acc)))
+    }
 }
 
 impl F32x8 {
@@ -81,15 +141,19 @@ impl F32x8 {
     /// All-zero vector.
     #[inline(always)]
     pub fn zero() -> Self {
-        avx_block! { return unsafe { Self(_mm256_setzero_ps()) }; }
-        scalar_block! { Self([0.0; 8]) }
+        Self([0.0; 8])
+    }
+
+    /// Builds a vector from an array of lanes.
+    #[inline(always)]
+    pub const fn from_array(v: [f32; 8]) -> Self {
+        Self(v)
     }
 
     /// Broadcasts `x` to all lanes.
     #[inline(always)]
     pub fn splat(x: f32) -> Self {
-        avx_block! { return unsafe { Self(_mm256_set1_ps(x)) }; }
-        scalar_block! { Self([x; 8]) }
+        Self([x; 8])
     }
 
     /// Unaligned load of 8 consecutive `f32`s.
@@ -98,8 +162,7 @@ impl F32x8 {
     /// `ptr` valid for reading 32 bytes.
     #[inline(always)]
     pub unsafe fn load(ptr: *const f32) -> Self {
-        avx_block! { return Self(_mm256_loadu_ps(ptr)); }
-        scalar_block! { Self(core::ptr::read_unaligned(ptr as *const [f32; 8])) }
+        Self(core::ptr::read_unaligned(ptr as *const [f32; 8]))
     }
 
     /// Unaligned store of all lanes.
@@ -108,22 +171,24 @@ impl F32x8 {
     /// `ptr` valid for writing 32 bytes.
     #[inline(always)]
     pub unsafe fn store(self, ptr: *mut f32) {
-        avx_block! { return _mm256_storeu_ps(ptr, self.0); }
-        scalar_block! { core::ptr::write_unaligned(ptr as *mut [f32; 8], self.0) }
+        core::ptr::write_unaligned(ptr as *mut [f32; 8], self.0)
     }
 
     /// Extracts all lanes.
     #[inline(always)]
     pub fn to_array(self) -> [f32; 8] {
-        let mut out = [0f32; 8];
-        unsafe { self.store(out.as_mut_ptr()) };
-        out
+        self.0
     }
 
     /// Lane-wise addition.
     #[inline(always)]
     pub fn add(self, o: Self) -> Self {
-        avx_block! { return unsafe { Self(_mm256_add_ps(self.0, o.0)) }; }
+        avx_block! {
+            debug_assert!(crate::caps::detect().avx2_fma);
+            // SAFETY: SHALOM-V-SIMD — 256-bit ops run only after the
+            // dispatch probe confirms AVX2+FMA (module contract).
+            return Self(unsafe { x86::add_ps(self.0, o.0) });
+        }
         scalar_block! {
             let mut r = self.0;
             for i in 0..8 { r[i] += o.0[i]; }
@@ -134,7 +199,11 @@ impl F32x8 {
     /// Lane-wise multiplication.
     #[inline(always)]
     pub fn mul(self, o: Self) -> Self {
-        avx_block! { return unsafe { Self(_mm256_mul_ps(self.0, o.0)) }; }
+        avx_block! {
+            debug_assert!(crate::caps::detect().avx2_fma);
+            // SAFETY: SHALOM-V-SIMD — see module contract.
+            return Self(unsafe { x86::mul_ps(self.0, o.0) });
+        }
         scalar_block! {
             let mut r = self.0;
             for i in 0..8 { r[i] *= o.0[i]; }
@@ -142,34 +211,41 @@ impl F32x8 {
         }
     }
 
-    /// `self + a * b` per lane (fused under AVX2+FMA builds).
+    /// `self + a * b` per lane — always fused (one rounding per lane).
     #[inline(always)]
     pub fn fma(self, a: Self, b: Self) -> Self {
-        #[cfg(all(
-            target_arch = "x86_64",
-            target_feature = "avx",
-            target_feature = "fma",
-            not(feature = "force-scalar")
-        ))]
-        {
-            return unsafe { Self(_mm256_fmadd_ps(a.0, b.0, self.0)) };
+        avx_block! {
+            debug_assert!(crate::caps::detect().avx2_fma);
+            // SAFETY: SHALOM-V-SIMD — see module contract.
+            return Self(unsafe { x86::fmadd_ps(self.0, a.0, b.0) });
         }
-        #[allow(unreachable_code)]
-        {
-            self.add(a.mul(b))
+        scalar_block! {
+            let mut r = self.0;
+            for i in 0..8 { r[i] = a.0[i].mul_add(b.0[i], r[i]); }
+            Self(r)
         }
     }
 
-    /// `self + a * b[lane]` with a runtime lane index.
+    /// `self + a * b[lane]` with a runtime lane index — always fused.
     #[inline(always)]
     pub fn fma_lane_dyn(self, a: Self, b: Self, lane: usize) -> Self {
-        self.fma(a, Self::splat(b.to_array()[lane]))
+        avx_block! {
+            debug_assert!(crate::caps::detect().avx2_fma);
+            // SAFETY: SHALOM-V-SIMD — see module contract.
+            return Self(unsafe { x86::fmadd_lane_ps(self.0, a.0, b.0, lane) });
+        }
+        scalar_block! {
+            let s = b.0[lane];
+            let mut r = self.0;
+            for i in 0..8 { r[i] = a.0[i].mul_add(s, r[i]); }
+            Self(r)
+        }
     }
 
-    /// Horizontal sum of all lanes.
+    /// Horizontal sum in a fixed pairwise order (identical on all paths).
     #[inline(always)]
     pub fn reduce_sum(self) -> f32 {
-        let v = self.to_array();
+        let v = self.0;
         ((v[0] + v[4]) + (v[1] + v[5])) + ((v[2] + v[6]) + (v[3] + v[7]))
     }
 
@@ -187,15 +263,19 @@ impl F64x4 {
     /// All-zero vector.
     #[inline(always)]
     pub fn zero() -> Self {
-        avx_block! { return unsafe { Self(_mm256_setzero_pd()) }; }
-        scalar_block! { Self([0.0; 4]) }
+        Self([0.0; 4])
+    }
+
+    /// Builds a vector from an array of lanes.
+    #[inline(always)]
+    pub const fn from_array(v: [f64; 4]) -> Self {
+        Self(v)
     }
 
     /// Broadcasts `x` to all lanes.
     #[inline(always)]
     pub fn splat(x: f64) -> Self {
-        avx_block! { return unsafe { Self(_mm256_set1_pd(x)) }; }
-        scalar_block! { Self([x; 4]) }
+        Self([x; 4])
     }
 
     /// Unaligned load of 4 consecutive `f64`s.
@@ -204,8 +284,7 @@ impl F64x4 {
     /// `ptr` valid for reading 32 bytes.
     #[inline(always)]
     pub unsafe fn load(ptr: *const f64) -> Self {
-        avx_block! { return Self(_mm256_loadu_pd(ptr)); }
-        scalar_block! { Self(core::ptr::read_unaligned(ptr as *const [f64; 4])) }
+        Self(core::ptr::read_unaligned(ptr as *const [f64; 4]))
     }
 
     /// Unaligned store of all lanes.
@@ -214,22 +293,23 @@ impl F64x4 {
     /// `ptr` valid for writing 32 bytes.
     #[inline(always)]
     pub unsafe fn store(self, ptr: *mut f64) {
-        avx_block! { return _mm256_storeu_pd(ptr, self.0); }
-        scalar_block! { core::ptr::write_unaligned(ptr as *mut [f64; 4], self.0) }
+        core::ptr::write_unaligned(ptr as *mut [f64; 4], self.0)
     }
 
     /// Extracts all lanes.
     #[inline(always)]
     pub fn to_array(self) -> [f64; 4] {
-        let mut out = [0f64; 4];
-        unsafe { self.store(out.as_mut_ptr()) };
-        out
+        self.0
     }
 
     /// Lane-wise addition.
     #[inline(always)]
     pub fn add(self, o: Self) -> Self {
-        avx_block! { return unsafe { Self(_mm256_add_pd(self.0, o.0)) }; }
+        avx_block! {
+            debug_assert!(crate::caps::detect().avx2_fma);
+            // SAFETY: SHALOM-V-SIMD — see module contract.
+            return Self(unsafe { x86::add_pd(self.0, o.0) });
+        }
         scalar_block! {
             let mut r = self.0;
             for i in 0..4 { r[i] += o.0[i]; }
@@ -240,7 +320,11 @@ impl F64x4 {
     /// Lane-wise multiplication.
     #[inline(always)]
     pub fn mul(self, o: Self) -> Self {
-        avx_block! { return unsafe { Self(_mm256_mul_pd(self.0, o.0)) }; }
+        avx_block! {
+            debug_assert!(crate::caps::detect().avx2_fma);
+            // SAFETY: SHALOM-V-SIMD — see module contract.
+            return Self(unsafe { x86::mul_pd(self.0, o.0) });
+        }
         scalar_block! {
             let mut r = self.0;
             for i in 0..4 { r[i] *= o.0[i]; }
@@ -248,34 +332,41 @@ impl F64x4 {
         }
     }
 
-    /// `self + a * b` per lane (fused under AVX2+FMA builds).
+    /// `self + a * b` per lane — always fused (one rounding per lane).
     #[inline(always)]
     pub fn fma(self, a: Self, b: Self) -> Self {
-        #[cfg(all(
-            target_arch = "x86_64",
-            target_feature = "avx",
-            target_feature = "fma",
-            not(feature = "force-scalar")
-        ))]
-        {
-            return unsafe { Self(_mm256_fmadd_pd(a.0, b.0, self.0)) };
+        avx_block! {
+            debug_assert!(crate::caps::detect().avx2_fma);
+            // SAFETY: SHALOM-V-SIMD — see module contract.
+            return Self(unsafe { x86::fmadd_pd(self.0, a.0, b.0) });
         }
-        #[allow(unreachable_code)]
-        {
-            self.add(a.mul(b))
+        scalar_block! {
+            let mut r = self.0;
+            for i in 0..4 { r[i] = a.0[i].mul_add(b.0[i], r[i]); }
+            Self(r)
         }
     }
 
-    /// `self + a * b[lane]` with a runtime lane index.
+    /// `self + a * b[lane]` with a runtime lane index — always fused.
     #[inline(always)]
     pub fn fma_lane_dyn(self, a: Self, b: Self, lane: usize) -> Self {
-        self.fma(a, Self::splat(b.to_array()[lane]))
+        avx_block! {
+            debug_assert!(crate::caps::detect().avx2_fma);
+            // SAFETY: SHALOM-V-SIMD — see module contract.
+            return Self(unsafe { x86::fmadd_lane_pd(self.0, a.0, b.0, lane) });
+        }
+        scalar_block! {
+            let s = b.0[lane];
+            let mut r = self.0;
+            for i in 0..4 { r[i] = a.0[i].mul_add(s, r[i]); }
+            Self(r)
+        }
     }
 
-    /// Horizontal sum of all lanes.
+    /// Horizontal sum in a fixed pairwise order (identical on all paths).
     #[inline(always)]
     pub fn reduce_sum(self) -> f64 {
-        let v = self.to_array();
+        let v = self.0;
         (v[0] + v[2]) + (v[1] + v[3])
     }
 
@@ -302,8 +393,22 @@ impl core::fmt::Debug for F64x4 {
 mod tests {
     use super::*;
 
+    /// True when this host may execute the wide ops (always, except an
+    /// x86_64 build running on hardware without AVX2+FMA).
+    pub(crate) fn runtime_ok() -> bool {
+        #[cfg(all(target_arch = "x86_64", not(feature = "force-scalar")))]
+        {
+            return crate::caps::detect().avx2_fma;
+        }
+        #[allow(unreachable_code)]
+        true
+    }
+
     #[test]
     fn f32x8_roundtrip_and_ops() {
+        if !runtime_ok() {
+            return;
+        }
         let a = [1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
         let v = unsafe { F32x8::load(a.as_ptr()) };
         assert_eq!(v.to_array(), a);
@@ -315,8 +420,11 @@ mod tests {
 
     #[test]
     fn f32x8_fma_and_lane() {
+        if !runtime_ok() {
+            return;
+        }
         let a = F32x8::splat(2.0);
-        let b = unsafe { F32x8::load([1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0].as_ptr()) };
+        let b = F32x8::from_array([1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
         let r = F32x8::zero().fma(a, b);
         assert_eq!(r.to_array()[4], 10.0);
         for lane in 0..8 {
@@ -327,6 +435,9 @@ mod tests {
 
     #[test]
     fn f64x4_roundtrip_and_ops() {
+        if !runtime_ok() {
+            return;
+        }
         let a = [1.0f64, 2.0, 3.0, 4.0];
         let v = unsafe { F64x4::load(a.as_ptr()) };
         assert_eq!(v.to_array(), a);
@@ -346,5 +457,72 @@ mod tests {
         unsafe { v.store(out.as_mut_ptr().add(2)) };
         assert_eq!(out[2], 1.0);
         assert_eq!(out[9], 8.0);
+    }
+
+    /// The rounding contract: every wide op is bitwise identical to the
+    /// scalar `mul_add` model, so `force-scalar` and native builds agree
+    /// bit-for-bit through the wide kernels.
+    #[test]
+    fn fused_ops_match_scalar_mul_add_model_bitwise() {
+        if !runtime_ok() {
+            return;
+        }
+        // Awkward values: subnormal-adjacent, sign-mixed, non-dyadic.
+        let mut x = 0x2545F491u32;
+        let mut next = || {
+            // xorshift32; map to a wide exponent range.
+            x ^= x << 13;
+            x ^= x >> 17;
+            x ^= x << 5;
+            ((x as f64 / u32::MAX as f64) - 0.5) * 3.0e3
+        };
+        for _ in 0..64 {
+            let af: [f32; 8] = core::array::from_fn(|_| next() as f32);
+            let bf: [f32; 8] = core::array::from_fn(|_| next() as f32);
+            let cf: [f32; 8] = core::array::from_fn(|_| next() as f32);
+            let got = F32x8::from_array(cf)
+                .fma(F32x8::from_array(af), F32x8::from_array(bf))
+                .to_array();
+            for i in 0..8 {
+                let want = af[i].mul_add(bf[i], cf[i]);
+                assert_eq!(
+                    got[i].to_bits(),
+                    want.to_bits(),
+                    "lane {i} not exactly fused"
+                );
+            }
+            for lane in 0..8 {
+                let got = F32x8::from_array(cf)
+                    .fma_lane_dyn(F32x8::from_array(af), F32x8::from_array(bf), lane)
+                    .to_array();
+                for i in 0..8 {
+                    let want = af[i].mul_add(bf[lane], cf[i]);
+                    assert_eq!(got[i].to_bits(), want.to_bits());
+                }
+            }
+            let ad: [f64; 4] = core::array::from_fn(|_| next());
+            let bd: [f64; 4] = core::array::from_fn(|_| next());
+            let cd: [f64; 4] = core::array::from_fn(|_| next());
+            let got = F64x4::from_array(cd)
+                .fma(F64x4::from_array(ad), F64x4::from_array(bd))
+                .to_array();
+            for i in 0..4 {
+                let want = ad[i].mul_add(bd[i], cd[i]);
+                assert_eq!(
+                    got[i].to_bits(),
+                    want.to_bits(),
+                    "lane {i} not exactly fused"
+                );
+            }
+            for lane in 0..4 {
+                let got = F64x4::from_array(cd)
+                    .fma_lane_dyn(F64x4::from_array(ad), F64x4::from_array(bd), lane)
+                    .to_array();
+                for i in 0..4 {
+                    let want = ad[i].mul_add(bd[lane], cd[i]);
+                    assert_eq!(got[i].to_bits(), want.to_bits());
+                }
+            }
+        }
     }
 }

@@ -1,0 +1,456 @@
+//! 512-bit wide vector types — the second rung of the §5.5 ladder.
+//!
+//! [`F32x16`] (`j = 16`) and [`F64x8`] (`j = 8`) extend the wide model to
+//! AVX-512F with the same operation set as the 128/256-bit types, so the
+//! generic kernels instantiate unchanged at a 512-bit width and the tile
+//! solver re-runs Eq. 1 against the 32-register ZMM file.
+//!
+//! The representation, dispatch contract, and rounding contract are
+//! exactly those of [`crate::wide`]: plain-array storage on every build,
+//! `#[target_feature(enable = "avx512f")]` inner functions on x86_64
+//! whose execution is justified by the [`crate::caps`] probe
+//! (`SAFETY: SHALOM-V-SIMD`), and always-fused multiply-adds (`vfmadd` /
+//! exactly-rounded [`f32::mul_add`]) so `force-scalar` and native builds
+//! agree bitwise. Lane-indexed FMA broadcasts with `vpermps`/`vpermpd`
+//! (`_mm512_permutexvar_*`), both AVX-512F.
+#![allow(clippy::needless_return)] // the `return` inside the cfg-gated arm selects the backend
+
+/// 512-bit vector of sixteen `f32` lanes, stored as a plain array.
+#[derive(Clone, Copy)]
+pub struct F32x16([f32; 16]);
+
+/// 512-bit vector of eight `f64` lanes, stored as a plain array.
+#[derive(Clone, Copy)]
+pub struct F64x8([f64; 8]);
+
+macro_rules! scalar_block {
+    ($($t:tt)*) => {
+        #[cfg(not(all(target_arch = "x86_64", not(feature = "force-scalar"))))]
+        { $($t)* }
+    };
+}
+
+macro_rules! avx512_block {
+    ($($t:tt)*) => {
+        #[cfg(all(target_arch = "x86_64", not(feature = "force-scalar")))]
+        { $($t)* }
+    };
+}
+
+/// AVX-512F backends; see `crate::wide::x86` for the ABI rationale
+/// (arrays pass indirectly, `transmute` is size-exact at 64 bytes).
+#[cfg(all(target_arch = "x86_64", not(feature = "force-scalar")))]
+#[allow(clippy::missing_transmute_annotations)]
+mod x86 {
+    use core::arch::x86_64::*;
+    use core::mem::transmute;
+
+    #[inline]
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn add_ps(a: [f32; 16], b: [f32; 16]) -> [f32; 16] {
+        transmute(_mm512_add_ps(transmute(a), transmute(b)))
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn mul_ps(a: [f32; 16], b: [f32; 16]) -> [f32; 16] {
+        transmute(_mm512_mul_ps(transmute(a), transmute(b)))
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn fmadd_ps(acc: [f32; 16], a: [f32; 16], b: [f32; 16]) -> [f32; 16] {
+        transmute(_mm512_fmadd_ps(transmute(a), transmute(b), transmute(acc)))
+    }
+
+    /// `acc + a * b[lane]`: broadcast via `vpermps`, one fused multiply-add.
+    #[inline]
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn fmadd_lane_ps(
+        acc: [f32; 16],
+        a: [f32; 16],
+        b: [f32; 16],
+        lane: usize,
+    ) -> [f32; 16] {
+        let s = _mm512_permutexvar_ps(_mm512_set1_epi32(lane as i32), transmute(b));
+        transmute(_mm512_fmadd_ps(transmute(a), s, transmute(acc)))
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn add_pd(a: [f64; 8], b: [f64; 8]) -> [f64; 8] {
+        transmute(_mm512_add_pd(transmute(a), transmute(b)))
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn mul_pd(a: [f64; 8], b: [f64; 8]) -> [f64; 8] {
+        transmute(_mm512_mul_pd(transmute(a), transmute(b)))
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn fmadd_pd(acc: [f64; 8], a: [f64; 8], b: [f64; 8]) -> [f64; 8] {
+        transmute(_mm512_fmadd_pd(transmute(a), transmute(b), transmute(acc)))
+    }
+
+    /// `acc + a * b[lane]`: broadcast via `vpermpd`, one fused multiply-add.
+    #[inline]
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn fmadd_lane_pd(acc: [f64; 8], a: [f64; 8], b: [f64; 8], lane: usize) -> [f64; 8] {
+        let s = _mm512_permutexvar_pd(_mm512_set1_epi64(lane as i64), transmute(b));
+        transmute(_mm512_fmadd_pd(transmute(a), s, transmute(acc)))
+    }
+}
+
+impl F32x16 {
+    /// Number of lanes (`j = 16`).
+    pub const LANES: usize = 16;
+
+    /// All-zero vector.
+    #[inline(always)]
+    pub fn zero() -> Self {
+        Self([0.0; 16])
+    }
+
+    /// Builds a vector from an array of lanes.
+    #[inline(always)]
+    pub const fn from_array(v: [f32; 16]) -> Self {
+        Self(v)
+    }
+
+    /// Broadcasts `x` to all lanes.
+    #[inline(always)]
+    pub fn splat(x: f32) -> Self {
+        Self([x; 16])
+    }
+
+    /// Unaligned load of 16 consecutive `f32`s.
+    ///
+    /// # Safety
+    /// `ptr` valid for reading 64 bytes.
+    #[inline(always)]
+    pub unsafe fn load(ptr: *const f32) -> Self {
+        Self(core::ptr::read_unaligned(ptr as *const [f32; 16]))
+    }
+
+    /// Unaligned store of all lanes.
+    ///
+    /// # Safety
+    /// `ptr` valid for writing 64 bytes.
+    #[inline(always)]
+    pub unsafe fn store(self, ptr: *mut f32) {
+        core::ptr::write_unaligned(ptr as *mut [f32; 16], self.0)
+    }
+
+    /// Extracts all lanes.
+    #[inline(always)]
+    pub fn to_array(self) -> [f32; 16] {
+        self.0
+    }
+
+    /// Lane-wise addition.
+    #[inline(always)]
+    pub fn add(self, o: Self) -> Self {
+        avx512_block! {
+            debug_assert!(crate::caps::detect().avx512f);
+            // SAFETY: SHALOM-V-SIMD — 512-bit ops run only after the
+            // dispatch probe confirms AVX-512F (wide module contract).
+            return Self(unsafe { x86::add_ps(self.0, o.0) });
+        }
+        scalar_block! {
+            let mut r = self.0;
+            for i in 0..16 { r[i] += o.0[i]; }
+            Self(r)
+        }
+    }
+
+    /// Lane-wise multiplication.
+    #[inline(always)]
+    pub fn mul(self, o: Self) -> Self {
+        avx512_block! {
+            debug_assert!(crate::caps::detect().avx512f);
+            // SAFETY: SHALOM-V-SIMD — see wide module contract.
+            return Self(unsafe { x86::mul_ps(self.0, o.0) });
+        }
+        scalar_block! {
+            let mut r = self.0;
+            for i in 0..16 { r[i] *= o.0[i]; }
+            Self(r)
+        }
+    }
+
+    /// `self + a * b` per lane — always fused (one rounding per lane).
+    #[inline(always)]
+    pub fn fma(self, a: Self, b: Self) -> Self {
+        avx512_block! {
+            debug_assert!(crate::caps::detect().avx512f);
+            // SAFETY: SHALOM-V-SIMD — see wide module contract.
+            return Self(unsafe { x86::fmadd_ps(self.0, a.0, b.0) });
+        }
+        scalar_block! {
+            let mut r = self.0;
+            for i in 0..16 { r[i] = a.0[i].mul_add(b.0[i], r[i]); }
+            Self(r)
+        }
+    }
+
+    /// `self + a * b[lane]` with a runtime lane index — always fused.
+    #[inline(always)]
+    pub fn fma_lane_dyn(self, a: Self, b: Self, lane: usize) -> Self {
+        avx512_block! {
+            debug_assert!(crate::caps::detect().avx512f);
+            // SAFETY: SHALOM-V-SIMD — see wide module contract.
+            return Self(unsafe { x86::fmadd_lane_ps(self.0, a.0, b.0, lane) });
+        }
+        scalar_block! {
+            let s = b.0[lane];
+            let mut r = self.0;
+            for i in 0..16 { r[i] = a.0[i].mul_add(s, r[i]); }
+            Self(r)
+        }
+    }
+
+    /// Horizontal sum in a fixed pairwise order (identical on all paths).
+    #[inline(always)]
+    pub fn reduce_sum(self) -> f32 {
+        let v = self.0;
+        let h: [f32; 8] = core::array::from_fn(|i| v[i] + v[i + 8]);
+        ((h[0] + h[4]) + (h[1] + h[5])) + ((h[2] + h[6]) + (h[3] + h[7]))
+    }
+
+    /// Multiplies all lanes by `s`.
+    #[inline(always)]
+    pub fn scale(self, s: f32) -> Self {
+        self.mul(Self::splat(s))
+    }
+}
+
+impl F64x8 {
+    /// Number of lanes (`j = 8`).
+    pub const LANES: usize = 8;
+
+    /// All-zero vector.
+    #[inline(always)]
+    pub fn zero() -> Self {
+        Self([0.0; 8])
+    }
+
+    /// Builds a vector from an array of lanes.
+    #[inline(always)]
+    pub const fn from_array(v: [f64; 8]) -> Self {
+        Self(v)
+    }
+
+    /// Broadcasts `x` to all lanes.
+    #[inline(always)]
+    pub fn splat(x: f64) -> Self {
+        Self([x; 8])
+    }
+
+    /// Unaligned load of 8 consecutive `f64`s.
+    ///
+    /// # Safety
+    /// `ptr` valid for reading 64 bytes.
+    #[inline(always)]
+    pub unsafe fn load(ptr: *const f64) -> Self {
+        Self(core::ptr::read_unaligned(ptr as *const [f64; 8]))
+    }
+
+    /// Unaligned store of all lanes.
+    ///
+    /// # Safety
+    /// `ptr` valid for writing 64 bytes.
+    #[inline(always)]
+    pub unsafe fn store(self, ptr: *mut f64) {
+        core::ptr::write_unaligned(ptr as *mut [f64; 8], self.0)
+    }
+
+    /// Extracts all lanes.
+    #[inline(always)]
+    pub fn to_array(self) -> [f64; 8] {
+        self.0
+    }
+
+    /// Lane-wise addition.
+    #[inline(always)]
+    pub fn add(self, o: Self) -> Self {
+        avx512_block! {
+            debug_assert!(crate::caps::detect().avx512f);
+            // SAFETY: SHALOM-V-SIMD — see wide module contract.
+            return Self(unsafe { x86::add_pd(self.0, o.0) });
+        }
+        scalar_block! {
+            let mut r = self.0;
+            for i in 0..8 { r[i] += o.0[i]; }
+            Self(r)
+        }
+    }
+
+    /// Lane-wise multiplication.
+    #[inline(always)]
+    pub fn mul(self, o: Self) -> Self {
+        avx512_block! {
+            debug_assert!(crate::caps::detect().avx512f);
+            // SAFETY: SHALOM-V-SIMD — see wide module contract.
+            return Self(unsafe { x86::mul_pd(self.0, o.0) });
+        }
+        scalar_block! {
+            let mut r = self.0;
+            for i in 0..8 { r[i] *= o.0[i]; }
+            Self(r)
+        }
+    }
+
+    /// `self + a * b` per lane — always fused (one rounding per lane).
+    #[inline(always)]
+    pub fn fma(self, a: Self, b: Self) -> Self {
+        avx512_block! {
+            debug_assert!(crate::caps::detect().avx512f);
+            // SAFETY: SHALOM-V-SIMD — see wide module contract.
+            return Self(unsafe { x86::fmadd_pd(self.0, a.0, b.0) });
+        }
+        scalar_block! {
+            let mut r = self.0;
+            for i in 0..8 { r[i] = a.0[i].mul_add(b.0[i], r[i]); }
+            Self(r)
+        }
+    }
+
+    /// `self + a * b[lane]` with a runtime lane index — always fused.
+    #[inline(always)]
+    pub fn fma_lane_dyn(self, a: Self, b: Self, lane: usize) -> Self {
+        avx512_block! {
+            debug_assert!(crate::caps::detect().avx512f);
+            // SAFETY: SHALOM-V-SIMD — see wide module contract.
+            return Self(unsafe { x86::fmadd_lane_pd(self.0, a.0, b.0, lane) });
+        }
+        scalar_block! {
+            let s = b.0[lane];
+            let mut r = self.0;
+            for i in 0..8 { r[i] = a.0[i].mul_add(s, r[i]); }
+            Self(r)
+        }
+    }
+
+    /// Horizontal sum in a fixed pairwise order (identical on all paths).
+    #[inline(always)]
+    pub fn reduce_sum(self) -> f64 {
+        let v = self.0;
+        let h: [f64; 4] = core::array::from_fn(|i| v[i] + v[i + 4]);
+        (h[0] + h[2]) + (h[1] + h[3])
+    }
+
+    /// Multiplies all lanes by `s`.
+    #[inline(always)]
+    pub fn scale(self, s: f64) -> Self {
+        self.mul(Self::splat(s))
+    }
+}
+
+impl core::fmt::Debug for F32x16 {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "F32x16({:?})", self.to_array())
+    }
+}
+
+impl core::fmt::Debug for F64x8 {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "F64x8({:?})", self.to_array())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// True when this host may execute the 512-bit ops.
+    fn runtime_ok() -> bool {
+        #[cfg(all(target_arch = "x86_64", not(feature = "force-scalar")))]
+        {
+            return crate::caps::detect().avx512f;
+        }
+        #[allow(unreachable_code)]
+        true
+    }
+
+    #[test]
+    fn f32x16_roundtrip_and_ops() {
+        if !runtime_ok() {
+            return;
+        }
+        let a: [f32; 16] = core::array::from_fn(|i| (i + 1) as f32);
+        let v = unsafe { F32x16::load(a.as_ptr()) };
+        assert_eq!(v.to_array(), a);
+        assert_eq!(F32x16::splat(2.0).mul(v).to_array()[15], 32.0);
+        assert_eq!(v.add(v).to_array()[0], 2.0);
+        assert_eq!(v.reduce_sum(), 136.0);
+        assert_eq!(v.scale(0.5).to_array()[3], 2.0);
+    }
+
+    #[test]
+    fn f32x16_lane_fma() {
+        if !runtime_ok() {
+            return;
+        }
+        let a = F32x16::splat(2.0);
+        let b = F32x16::from_array(core::array::from_fn(|i| (i + 1) as f32));
+        for lane in 0..16 {
+            let r = F32x16::zero().fma_lane_dyn(a, b, lane);
+            assert_eq!(r.to_array()[0], 2.0 * (lane + 1) as f32);
+            assert_eq!(r.to_array()[15], 2.0 * (lane + 1) as f32);
+        }
+    }
+
+    #[test]
+    fn f64x8_roundtrip_and_ops() {
+        if !runtime_ok() {
+            return;
+        }
+        let a: [f64; 8] = core::array::from_fn(|i| (i + 1) as f64);
+        let v = unsafe { F64x8::load(a.as_ptr()) };
+        assert_eq!(v.to_array(), a);
+        assert_eq!(v.reduce_sum(), 36.0);
+        for lane in 0..8 {
+            let r = F64x8::zero().fma_lane_dyn(F64x8::splat(3.0), v, lane);
+            assert_eq!(r.to_array()[2], 3.0 * (lane + 1) as f64);
+        }
+    }
+
+    /// Rounding contract at 512 bits: bitwise identical to scalar `mul_add`.
+    #[test]
+    fn fused_ops_match_scalar_mul_add_model_bitwise() {
+        if !runtime_ok() {
+            return;
+        }
+        let mut x = 0x9E3779B9u32;
+        let mut next = || {
+            x ^= x << 13;
+            x ^= x >> 17;
+            x ^= x << 5;
+            ((x as f64 / u32::MAX as f64) - 0.5) * 3.0e3
+        };
+        for _ in 0..64 {
+            let af: [f32; 16] = core::array::from_fn(|_| next() as f32);
+            let bf: [f32; 16] = core::array::from_fn(|_| next() as f32);
+            let cf: [f32; 16] = core::array::from_fn(|_| next() as f32);
+            let got = F32x16::from_array(cf)
+                .fma(F32x16::from_array(af), F32x16::from_array(bf))
+                .to_array();
+            for i in 0..16 {
+                assert_eq!(got[i].to_bits(), af[i].mul_add(bf[i], cf[i]).to_bits());
+            }
+            let ad: [f64; 8] = core::array::from_fn(|_| next());
+            let bd: [f64; 8] = core::array::from_fn(|_| next());
+            let cd: [f64; 8] = core::array::from_fn(|_| next());
+            for lane in 0..8 {
+                let got = F64x8::from_array(cd)
+                    .fma_lane_dyn(F64x8::from_array(ad), F64x8::from_array(bd), lane)
+                    .to_array();
+                for i in 0..8 {
+                    assert_eq!(got[i].to_bits(), ad[i].mul_add(bd[lane], cd[i]).to_bits());
+                }
+            }
+        }
+    }
+}

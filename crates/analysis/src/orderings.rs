@@ -255,6 +255,41 @@ pub const ORDERING_TAGS: &[OrderingTag] = &[
         class: TagClass::Counter,
         model: None,
     },
+    OrderingTag {
+        id: "SHALOM-O-SVC-DONE",
+        summary: "completion state: Release store under the cell mutex publishes the output \
+                  matrix; waiters Acquire-load and recheck under the same mutex before sleeping",
+        relaxed_publish_ok: false,
+        protocol: None,
+        class: TagClass::Publish,
+        model: Some("service-queue"),
+    },
+    OrderingTag {
+        id: "SHALOM-O-SVC-STAMP",
+        summary: "completion timestamp: Relaxed stamp sequenced before the state Release on the \
+                  scheduler thread; readers only look after Acquiring the state",
+        relaxed_publish_ok: true,
+        protocol: None,
+        class: TagClass::Guarded,
+        model: Some("service-queue"),
+    },
+    OrderingTag {
+        id: "SHALOM-O-SVC-PENDING",
+        summary: "scope pending count: Relaxed add under the queue mutex before the item is \
+                  reachable; Release sub after cell publish pairs with the Acquire in wait_zero",
+        relaxed_publish_ok: true,
+        protocol: None,
+        class: TagClass::Publish,
+        model: Some("service-queue"),
+    },
+    OrderingTag {
+        id: "SHALOM-O-SVC-STATS",
+        summary: "service counters: Relaxed monotone adds/maxes, read for reporting only",
+        relaxed_publish_ok: true,
+        protocol: None,
+        class: TagClass::Counter,
+        model: None,
+    },
 ];
 
 /// Looks a tag up by id.
@@ -314,10 +349,16 @@ mod tests {
     }
 
     #[test]
-    fn referenced_models_are_the_four_protocols() {
+    fn referenced_models_are_the_five_protocols() {
         assert_eq!(
             referenced_models(),
-            vec!["plan-shard", "pool-epoch", "seqlock", "trace-lane"]
+            vec![
+                "plan-shard",
+                "pool-epoch",
+                "seqlock",
+                "service-queue",
+                "trace-lane"
+            ]
         );
     }
 

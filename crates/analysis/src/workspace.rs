@@ -37,6 +37,7 @@ impl AnalysisConfig {
                 p("crates/core/src"),
                 p("crates/kernels/src"),
                 p("crates/plans/src"),
+                p("crates/service/src"),
                 p("crates/telemetry/src"),
                 p("crates/trace/src"),
             ],
@@ -44,6 +45,7 @@ impl AnalysisConfig {
                 p("crates/core/src/pool.rs"),
                 p("crates/core/src/plan.rs"),
                 p("crates/plans/src/cache.rs"),
+                p("crates/service/src"),
                 p("crates/telemetry/src"),
                 p("crates/trace/src"),
             ],
@@ -51,6 +53,7 @@ impl AnalysisConfig {
                 p("crates/core"),
                 p("crates/kernels"),
                 p("crates/plans"),
+                p("crates/service"),
                 p("crates/telemetry"),
                 p("crates/trace"),
                 p("crates/contracts"),

@@ -1,0 +1,21 @@
+//! Fixture: a service completion cell gone wrong — the done flag is
+//! published with a Relaxed store (the waiter's Acquire synchronizes
+//! with nothing), the sites carry no ordering tags, and the cell mutex
+//! is unwrapped in a deny(panic) file.
+//!
+//! shalom-analysis: deny(panic)
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Mutex;
+
+static STATE: AtomicU32 = AtomicU32::new(0);
+static LOCK: Mutex<()> = Mutex::new(());
+
+pub fn complete() {
+    let _g = LOCK.lock().unwrap();
+    STATE.store(1, Ordering::Relaxed);
+}
+
+pub fn wait_done() -> bool {
+    STATE.load(Ordering::Acquire) == 1
+}

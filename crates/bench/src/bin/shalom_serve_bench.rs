@@ -1,0 +1,406 @@
+//! `shalom-serve-bench`: load harness for the async GEMM service,
+//! writing the versioned `BENCH_service.json` report.
+//!
+//! Two sections, both running the *same* service machinery:
+//!
+//! 1. **Batching speedup** (closed loop): a stream of identical small
+//!    requests is pushed through the service twice — once with
+//!    `max_batch = 1` (the naive one-call-per-request baseline, every
+//!    arrival pays its own scheduler wake and flush) and once with
+//!    coalescing enabled. The ratio isolates what shape-bucketed
+//!    batching is worth; on a 1-core container it is pure per-request
+//!    overhead amortization, no parallelism involved. Every output is
+//!    compared bitwise against a direct `gemm_with` call — batching
+//!    may never change results.
+//! 2. **Open-loop load** (the §2-style serving scenario): Poisson
+//!    arrivals over a scaled-down VGG layer mix are submitted on their
+//!    *scheduled* timestamps regardless of service progress, and
+//!    latency is `done_at_ns - scheduled_arrival` — the open-loop
+//!    discipline that measures queueing delay without coordinated
+//!    omission. Every fourth request carries a deadline, so deadline
+//!    expiry shows up in the stats under overload instead of stalling
+//!    the run.
+//!
+//! ```text
+//! cargo run --release -p shalom-bench --bin shalom-serve-bench
+//! cargo run --release -p shalom-bench --bin shalom-serve-bench -- --part check
+//! ```
+//!
+//! `--part check` additionally enforces the acceptance gates (speedup
+//! of at least 1.5x, zero bitwise divergence) — the CI smoke
+//! configuration.
+//! `--full` scales the request counts up; `--reps` sets best-of reps
+//! for the closed-loop section.
+
+use shalom_bench::perf_report::{
+    BatchingReport, LoadReport, ServiceReport, SERVICE_REPORT_VERSION,
+};
+use shalom_bench::BenchArgs;
+use shalom_core::{gemm_with, GemmConfig, Op};
+use shalom_matrix::Matrix;
+use shalom_service::{GemmRequest, Service, ServiceConfig, ServiceError};
+use shalom_trace::now_ns;
+use std::time::{Duration, Instant};
+
+/// Side of the square GEMM in the closed-loop section: small enough
+/// that fixed per-request costs dominate, the regime batching targets.
+const DIM: usize = 8;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let host = shalom_core::host_isa();
+    eprintln!(
+        "shalom-serve-bench: host dispatches wide kernels as {:?} ({})",
+        host,
+        host.label()
+    );
+
+    let n_batch = if args.full { 8192 } else { 2048 };
+    let batching = batching_section(n_batch, args.reps);
+    println!(
+        "batching: {} requests, naive {:.3} ms / batched {:.3} ms -> {:.2}x \
+         ({} vs {} flushes, mean occupancy {:.1}, bitwise divergence {})",
+        batching.requests,
+        batching.naive_ns as f64 / 1e6,
+        batching.batched_ns as f64 / 1e6,
+        batching.speedup,
+        batching.naive_batches,
+        batching.batched_batches,
+        batching.batched_mean_occupancy,
+        batching.bitwise_divergence,
+    );
+
+    let n_load = if args.full { 4000 } else { 1000 };
+    let mut load = Vec::new();
+    for rate in [2000.0, 4000.0] {
+        let point = load_point(n_load, rate);
+        println!(
+            "load {}: offered {:.0} rps, achieved {:.0} rps, \
+             p50 {:.0} us / p99 {:.0} us / p99.9 {:.0} us, \
+             {} completed / {} rejected / {} expired in {} batches (occupancy {:.1})",
+            point.label,
+            point.offered_rps,
+            point.achieved_rps,
+            point.p50_us,
+            point.p99_us,
+            point.p999_us,
+            point.completed,
+            point.rejected,
+            point.expired,
+            point.batches,
+            point.mean_occupancy,
+        );
+        load.push(point);
+    }
+
+    let report = ServiceReport {
+        version: SERVICE_REPORT_VERSION,
+        host_isa: host.label().to_string(),
+        batching,
+        load,
+    };
+    let text = report.to_json();
+
+    // Self-validation: the document must parse back and re-serialize to
+    // the identical bytes. This is the CI schema check.
+    match ServiceReport::from_json(&text) {
+        Ok(back) if back.to_json() == text => {}
+        Ok(_) => {
+            eprintln!("shalom-serve-bench: round-trip produced different bytes");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("shalom-serve-bench: generated document failed to parse: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    let path = "BENCH_service.json";
+    if let Err(e) = std::fs::write(path, &text) {
+        eprintln!("shalom-serve-bench: cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {path} ({} bytes)", text.len());
+
+    if args.part.as_deref() == Some("check") {
+        let b = &report.batching;
+        if b.bitwise_divergence != 0 {
+            eprintln!(
+                "shalom-serve-bench: FAIL — {} outputs diverge bitwise from direct gemm",
+                b.bitwise_divergence
+            );
+            std::process::exit(1);
+        }
+        if b.speedup < 1.5 {
+            eprintln!(
+                "shalom-serve-bench: FAIL — batched speedup {:.2}x below the 1.5x gate",
+                b.speedup
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "check passed: {:.2}x >= 1.5x, zero bitwise divergence",
+            b.speedup
+        );
+    }
+}
+
+/// One closed-loop run: `n` identical requests through a service with
+/// the given flush policy, submitter and scheduler sharing the core.
+/// Returns wall nanoseconds and the service counters.
+fn run_closed_loop(
+    cfg: &GemmConfig,
+    a: &Matrix<f32>,
+    b: &Matrix<f32>,
+    cs: &mut [Matrix<f32>],
+    max_batch: usize,
+    linger: Duration,
+) -> (u64, shalom_service::ServiceStatsSnapshot) {
+    let svc = Service::start(ServiceConfig {
+        queue_capacity: cs.len().max(64),
+        max_batch,
+        max_linger: linger,
+        deadline_slack: Duration::from_micros(100),
+    });
+    let t = Instant::now();
+    svc.scope(|scope| {
+        for c in cs.iter_mut() {
+            scope
+                .submit_blocking(
+                    GemmRequest::new(
+                        *cfg,
+                        Op::NoTrans,
+                        Op::NoTrans,
+                        1.0f32,
+                        a.as_ref(),
+                        b.as_ref(),
+                        0.0f32,
+                        c.as_mut(),
+                    ),
+                    None,
+                )
+                .expect("closed-loop admission cannot fail");
+            // Hand the core to the scheduler between submissions, as a
+            // paced arrival stream would. The naive policy eats a full
+            // dispatch round-trip per request; coalescing absorbs the
+            // yield wake-free (steady-state fills do not notify).
+            std::thread::yield_now();
+        }
+    });
+    let elapsed = u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    svc.shutdown();
+    (elapsed, svc.stats())
+}
+
+/// The batching-speedup section: best-of-`reps` naive vs batched walls
+/// plus the bitwise check of every output against direct `gemm_with`.
+fn batching_section(n: usize, reps: usize) -> BatchingReport {
+    let cfg = GemmConfig::with_threads(1);
+    let a = Matrix::<f32>::random(DIM, DIM, 0xA);
+    let b = Matrix::<f32>::random(DIM, DIM, 0xB);
+    let mut expected = Matrix::<f32>::zeros(DIM, DIM);
+    gemm_with(
+        &cfg,
+        Op::NoTrans,
+        Op::NoTrans,
+        1.0,
+        a.as_ref(),
+        b.as_ref(),
+        0.0,
+        expected.as_mut(),
+    );
+    let mut cs: Vec<Matrix<f32>> = (0..n).map(|_| Matrix::zeros(DIM, DIM)).collect();
+
+    let mut divergence = 0u64;
+    let mut count_divergence = |cs: &[Matrix<f32>]| {
+        for c in cs {
+            let same = (0..DIM)
+                .all(|i| (0..DIM).all(|j| c.at(i, j).to_bits() == expected.at(i, j).to_bits()));
+            if !same {
+                divergence += 1;
+            }
+        }
+    };
+
+    let mut naive_ns = u64::MAX;
+    let mut naive_stats = None;
+    for _ in 0..reps {
+        let (ns, stats) = run_closed_loop(&cfg, &a, &b, &mut cs, 1, Duration::ZERO);
+        if ns < naive_ns {
+            naive_ns = ns;
+            naive_stats = Some(stats);
+        }
+    }
+    count_divergence(&cs);
+
+    let mut batched_ns = u64::MAX;
+    let mut batched_stats = None;
+    for _ in 0..reps {
+        let (ns, stats) = run_closed_loop(&cfg, &a, &b, &mut cs, 64, Duration::from_micros(200));
+        if ns < batched_ns {
+            batched_ns = ns;
+            batched_stats = Some(stats);
+        }
+    }
+    count_divergence(&cs);
+
+    let naive_stats = naive_stats.expect("at least one naive rep");
+    let batched_stats = batched_stats.expect("at least one batched rep");
+    BatchingReport {
+        requests: n as u64,
+        naive_ns,
+        batched_ns,
+        speedup: naive_ns as f64 / batched_ns.max(1) as f64,
+        naive_batches: naive_stats.batches,
+        batched_batches: batched_stats.batches,
+        batched_mean_occupancy: batched_stats.mean_occupancy(),
+        bitwise_divergence: divergence,
+    }
+}
+
+/// Multiplicative LCG for arrival sampling (no external RNG crate).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0
+    }
+
+    /// Uniform in (0, 1].
+    fn uniform(&mut self) -> f64 {
+        ((self.next_u64() >> 11) as f64 + 1.0) / (1u64 << 53) as f64
+    }
+}
+
+/// The serving mix: the paper's VGG layer shapes scaled to microsecond
+/// GEMMs, so a 1-core container can sustain thousands of arrivals per
+/// second while keeping five distinct plan buckets live.
+fn scaled_vgg_mix() -> Vec<(&'static str, usize, usize, usize)> {
+    shalom_workloads::vgg_layers()
+        .into_iter()
+        .map(|s| {
+            (
+                s.label,
+                s.m.div_ceil(8),
+                s.n.div_ceil(256),
+                s.k.div_ceil(64),
+            )
+        })
+        .collect()
+}
+
+/// One open-loop point: `n` Poisson arrivals at `offered_rps` over the
+/// scaled VGG mix, latency measured from the scheduled arrival.
+fn load_point(n: usize, offered_rps: f64) -> LoadReport {
+    let cfg = GemmConfig::with_threads(1);
+    let mix = scaled_vgg_mix();
+    let inputs: Vec<(Matrix<f32>, Matrix<f32>)> = mix
+        .iter()
+        .enumerate()
+        .map(|(i, &(_, m, _, k))| {
+            let n_ = mix[i].2;
+            (
+                Matrix::random(m, k, 0xC0 + i as u64),
+                Matrix::random(k, n_, 0xD0 + i as u64),
+            )
+        })
+        .collect();
+
+    // Pre-sample the whole schedule: shape picks and cumulative
+    // exponential inter-arrival times at the offered rate.
+    let mut rng = Lcg(0x5EED ^ n as u64);
+    let mean_gap_ns = 1e9 / offered_rps;
+    let mut arrivals = Vec::with_capacity(n);
+    let mut picks = Vec::with_capacity(n);
+    let mut t = 0.0f64;
+    for _ in 0..n {
+        t += -mean_gap_ns * rng.uniform().ln();
+        arrivals.push(t as u64);
+        picks.push((rng.next_u64() % mix.len() as u64) as usize);
+    }
+    let mut cs: Vec<Matrix<f32>> = picks
+        .iter()
+        .map(|&si| Matrix::zeros(mix[si].1, mix[si].2))
+        .collect();
+
+    let svc = Service::start(ServiceConfig::default());
+    let mut latencies_ns: Vec<u64> = Vec::with_capacity(n);
+    let start = Instant::now();
+    let base = now_ns();
+    svc.scope(|scope| {
+        let mut completions = Vec::with_capacity(n);
+        for (idx, c) in cs.iter_mut().enumerate() {
+            // Open loop: hold each request until its *scheduled* time.
+            // When the submitter falls behind, later arrivals go out in
+            // a burst — their latency still counts from the schedule.
+            loop {
+                let now = now_ns().saturating_sub(base);
+                if arrivals[idx] <= now {
+                    break;
+                }
+                let gap = arrivals[idx] - now;
+                std::thread::sleep(Duration::from_nanos(gap.min(200_000)));
+            }
+            let si = picks[idx];
+            let (ref a, ref b) = inputs[si];
+            let mut req = GemmRequest::new(
+                cfg,
+                Op::NoTrans,
+                Op::NoTrans,
+                1.0f32,
+                a.as_ref(),
+                b.as_ref(),
+                0.0f32,
+                c.as_mut(),
+            );
+            if idx % 4 == 3 {
+                req = req.with_deadline(Instant::now() + Duration::from_millis(10));
+            }
+            match scope.submit(req) {
+                Ok(done) => completions.push((idx, done)),
+                // Open loop: a full queue drops the arrival, it does
+                // not stall the generator.
+                Err(ServiceError::QueueFull) => {}
+                Err(e) => panic!("unexpected submit error: {e}"),
+            }
+        }
+        for (idx, done) in completions {
+            if done.wait().is_ok() {
+                if let Some(at) = done.done_at_ns() {
+                    latencies_ns.push(at.saturating_sub(base + arrivals[idx]));
+                }
+            }
+        }
+    });
+    let wall = start.elapsed().as_secs_f64();
+    svc.shutdown();
+    let stats = svc.stats();
+
+    latencies_ns.sort_unstable();
+    let pct = |q: f64| -> f64 {
+        if latencies_ns.is_empty() {
+            return 0.0;
+        }
+        let i = ((latencies_ns.len() - 1) as f64 * q).round() as usize;
+        latencies_ns[i] as f64 / 1e3
+    };
+    LoadReport {
+        label: format!("vgg-mix@{offered_rps:.0}"),
+        offered_rps,
+        achieved_rps: stats.completed as f64 / wall.max(1e-9),
+        submitted: stats.submitted,
+        completed: stats.completed,
+        rejected: stats.rejected,
+        expired: stats.expired,
+        batches: stats.batches,
+        mean_occupancy: stats.mean_occupancy(),
+        p50_us: pct(0.50),
+        p99_us: pct(0.99),
+        p999_us: pct(0.999),
+        max_us: latencies_ns.last().map_or(0.0, |&v| v as f64 / 1e3),
+    }
+}

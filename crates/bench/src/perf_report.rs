@@ -233,6 +233,201 @@ impl PerfReport {
     }
 }
 
+/// Schema identifier for the GEMM-service load report
+/// (`BENCH_service.json`, written by `shalom-serve-bench`).
+pub const SERVICE_REPORT_SCHEMA: &str = "shalom-service-report";
+
+/// Current service-report schema version; bump on any field change.
+pub const SERVICE_REPORT_VERSION: u64 = 1;
+
+/// The closed-loop batching-speedup section: the same request stream
+/// run through the service twice, once with batching disabled
+/// (`max_batch = 1`, the naive one-call-per-request baseline) and once
+/// with coalescing on — same binary, same machinery, only the flush
+/// policy differs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchingReport {
+    /// Requests per run.
+    pub requests: u64,
+    /// Best wall time for the `max_batch = 1` baseline.
+    pub naive_ns: u64,
+    /// Best wall time with coalescing enabled.
+    pub batched_ns: u64,
+    /// `naive_ns / batched_ns`.
+    pub speedup: f64,
+    /// Flushes the baseline issued (== requests by construction).
+    pub naive_batches: u64,
+    /// Flushes the coalescing run issued.
+    pub batched_batches: u64,
+    /// Mean items per flush in the coalescing run.
+    pub batched_mean_occupancy: f64,
+    /// Outputs whose bits differ from a direct `gemm_with` call.
+    /// Must be zero: batching may never change results.
+    pub bitwise_divergence: u64,
+}
+
+/// One open-loop load point: Poisson arrivals offered at a fixed rate
+/// regardless of service progress, so queueing delay is measured
+/// without coordinated omission (latency = completion stamp minus the
+/// *scheduled* arrival time, not the submit call).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadReport {
+    /// Point label (workload mix + offered rate).
+    pub label: String,
+    /// Arrival rate the generator scheduled.
+    pub offered_rps: f64,
+    /// Completions per second actually achieved.
+    pub achieved_rps: f64,
+    /// Requests admitted.
+    pub submitted: u64,
+    /// Requests that ran.
+    pub completed: u64,
+    /// Requests refused at admission (queue full).
+    pub rejected: u64,
+    /// Requests whose deadline passed before dispatch.
+    pub expired: u64,
+    /// Batched `gemm` calls issued.
+    pub batches: u64,
+    /// Mean items per non-empty flush.
+    pub mean_occupancy: f64,
+    /// Median scheduled-arrival-to-completion latency, microseconds.
+    pub p50_us: f64,
+    /// 99th percentile latency, microseconds.
+    pub p99_us: f64,
+    /// 99.9th percentile latency, microseconds.
+    pub p999_us: f64,
+    /// Worst observed latency, microseconds.
+    pub max_us: f64,
+}
+
+/// The whole `BENCH_service.json` document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceReport {
+    /// Schema version ([`SERVICE_REPORT_VERSION`] when produced here).
+    pub version: u64,
+    /// ISA label the host dispatches wide kernels under.
+    pub host_isa: String,
+    /// Closed-loop batching speedup section.
+    pub batching: BatchingReport,
+    /// Open-loop load points.
+    pub load: Vec<LoadReport>,
+}
+
+impl ServiceReport {
+    /// Serializes to the canonical JSON form (stable member order, no
+    /// whitespace) — the exact bytes `BENCH_service.json` holds.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        let b = &self.batching;
+        out.push_str(&format!(
+            "{{\"schema\":\"{}\",\"version\":{},\"host_isa\":\"{}\",\
+             \"batching\":{{\"requests\":{},\"naive_ns\":{},\"batched_ns\":{},\
+             \"speedup\":{},\"naive_batches\":{},\"batched_batches\":{},\
+             \"batched_mean_occupancy\":{},\"bitwise_divergence\":{}}},\"load\":[",
+            SERVICE_REPORT_SCHEMA,
+            self.version,
+            json::escape(&self.host_isa),
+            b.requests,
+            b.naive_ns,
+            b.batched_ns,
+            json::format_f64(b.speedup),
+            b.naive_batches,
+            b.batched_batches,
+            json::format_f64(b.batched_mean_occupancy),
+            b.bitwise_divergence,
+        ));
+        for (i, l) in self.load.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"label\":\"{}\",\"offered_rps\":{},\"achieved_rps\":{},\
+                 \"submitted\":{},\"completed\":{},\"rejected\":{},\"expired\":{},\
+                 \"batches\":{},\"mean_occupancy\":{},\"p50_us\":{},\"p99_us\":{},\
+                 \"p999_us\":{},\"max_us\":{}}}",
+                json::escape(&l.label),
+                json::format_f64(l.offered_rps),
+                json::format_f64(l.achieved_rps),
+                l.submitted,
+                l.completed,
+                l.rejected,
+                l.expired,
+                l.batches,
+                json::format_f64(l.mean_occupancy),
+                json::format_f64(l.p50_us),
+                json::format_f64(l.p99_us),
+                json::format_f64(l.p999_us),
+                json::format_f64(l.max_us),
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parses a document produced by [`ServiceReport::to_json`],
+    /// validating the schema tag and every required member.
+    pub fn from_json(text: &str) -> Result<ServiceReport, String> {
+        let root = json::parse(text)?;
+        let schema = root
+            .get("schema")
+            .and_then(|v| v.as_str())
+            .ok_or("missing schema tag")?;
+        if schema != SERVICE_REPORT_SCHEMA {
+            return Err(format!("unknown schema {schema:?}"));
+        }
+        let version = need_u64(&root, "version")?;
+        if version != SERVICE_REPORT_VERSION {
+            return Err(format!(
+                "unsupported version {version} (expected {SERVICE_REPORT_VERSION})"
+            ));
+        }
+        let host_isa = root
+            .get("host_isa")
+            .and_then(|v| v.as_str())
+            .ok_or("missing host_isa")?
+            .to_string();
+        let b = root.get("batching").ok_or("missing batching section")?;
+        let batching = BatchingReport {
+            requests: need_u64(b, "requests")?,
+            naive_ns: need_u64(b, "naive_ns")?,
+            batched_ns: need_u64(b, "batched_ns")?,
+            speedup: need_f64(b, "speedup")?,
+            naive_batches: need_u64(b, "naive_batches")?,
+            batched_batches: need_u64(b, "batched_batches")?,
+            batched_mean_occupancy: need_f64(b, "batched_mean_occupancy")?,
+            bitwise_divergence: need_u64(b, "bitwise_divergence")?,
+        };
+        let mut load = Vec::new();
+        for l in need_arr(&root, "load")? {
+            load.push(LoadReport {
+                label: l
+                    .get("label")
+                    .and_then(|v| v.as_str())
+                    .ok_or("load point missing label")?
+                    .to_string(),
+                offered_rps: need_f64(l, "offered_rps")?,
+                achieved_rps: need_f64(l, "achieved_rps")?,
+                submitted: need_u64(l, "submitted")?,
+                completed: need_u64(l, "completed")?,
+                rejected: need_u64(l, "rejected")?,
+                expired: need_u64(l, "expired")?,
+                batches: need_u64(l, "batches")?,
+                mean_occupancy: need_f64(l, "mean_occupancy")?,
+                p50_us: need_f64(l, "p50_us")?,
+                p99_us: need_f64(l, "p99_us")?,
+                p999_us: need_f64(l, "p999_us")?,
+                max_us: need_f64(l, "max_us")?,
+            });
+        }
+        Ok(ServiceReport {
+            version,
+            host_isa,
+            batching,
+            load,
+        })
+    }
+}
+
 fn need_u64(v: &JsonValue, key: &str) -> Result<u64, String> {
     v.get(key)
         .and_then(|x| x.as_u64())
@@ -320,6 +515,63 @@ mod tests {
         assert!(PerfReport::from_json(&bad).is_err());
         assert!(PerfReport::from_json("{}").is_err());
         assert!(PerfReport::from_json("not json").is_err());
+    }
+
+    fn service_sample() -> ServiceReport {
+        ServiceReport {
+            version: SERVICE_REPORT_VERSION,
+            host_isa: "avx2".to_string(),
+            batching: BatchingReport {
+                requests: 1024,
+                naive_ns: 9_000_000,
+                batched_ns: 3_000_000,
+                speedup: 3.0,
+                naive_batches: 1024,
+                batched_batches: 64,
+                batched_mean_occupancy: 16.0,
+                bitwise_divergence: 0,
+            },
+            load: vec![LoadReport {
+                label: "vgg-mix@4000".to_string(),
+                offered_rps: 4000.0,
+                achieved_rps: 3950.5,
+                submitted: 2000,
+                completed: 1990,
+                rejected: 10,
+                expired: 0,
+                batches: 400,
+                mean_occupancy: 4.975,
+                p50_us: 180.0,
+                p99_us: 900.5,
+                p999_us: 2100.0,
+                max_us: 3500.0,
+            }],
+        }
+    }
+
+    #[test]
+    fn service_report_round_trips_exactly() {
+        let r = service_sample();
+        let text = r.to_json();
+        let back = ServiceReport::from_json(&text).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn service_report_rejects_wrong_schema_and_missing_members() {
+        let good = service_sample().to_json();
+        // The two document families must not parse as each other.
+        assert!(PerfReport::from_json(&good).is_err());
+        assert!(ServiceReport::from_json(&sample().to_json()).is_err());
+        let bad = good.replace(
+            &format!("\"version\":{SERVICE_REPORT_VERSION}"),
+            "\"version\":999",
+        );
+        assert!(ServiceReport::from_json(&bad).is_err());
+        let bad = good.replace("\"bitwise_divergence\":0", "\"bitwise_divergence\":null");
+        assert!(ServiceReport::from_json(&bad).is_err());
+        assert!(ServiceReport::from_json("{}").is_err());
     }
 
     #[test]

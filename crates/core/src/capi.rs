@@ -45,6 +45,16 @@ pub const SHALOM_ERR_PARSE: i32 = -4;
 /// host dispatches to; its plans would be applied at the wrong vector
 /// width. Re-tune and re-save on this host.
 pub const SHALOM_ERR_ISA: i32 = -5;
+/// Service submission rejected: the bounded request queue was at
+/// capacity (`shalom-service` backpressure). Retry or shed load.
+pub const SHALOM_ERR_QUEUE_FULL: i32 = -6;
+/// Service request expired: its deadline passed before the batch
+/// scheduler could run it; the output matrix was not touched.
+pub const SHALOM_ERR_DEADLINE: i32 = -7;
+/// Service is shutting down and no longer accepts submissions.
+pub const SHALOM_ERR_SHUTDOWN: i32 = -8;
+/// A blocking service submission timed out waiting for queue space.
+pub const SHALOM_ERR_TIMEOUT: i32 = -9;
 
 fn profile_err_code(e: &ProfileError) -> i32 {
     match e {

@@ -85,8 +85,8 @@ pub use error::{try_gemm_with, GemmError};
 pub use parallel::{partition_threads, quantized_chunk, quantized_chunks};
 pub use plan::{
     describe_plan, install_tuned, load_profile, plan_cache_clear, plan_cache_enabled,
-    plan_cache_invalidate, plan_cache_stats, save_profile, set_plan_cache_enabled, PlanDescription,
-    PlanSource,
+    plan_cache_invalidate, plan_cache_stats, request_plan_key, save_profile,
+    set_plan_cache_enabled, PlanDescription, PlanSource,
 };
 pub use pool::prewarm;
 pub use shalom_matrix::Op;

@@ -30,6 +30,7 @@
 //!
 //! Plan lookup runs on every GEMM call; all fallible paths return through `GemmError` or fall back to recomputing the plan.
 
+use crate::api::GemmElem;
 use crate::cache::BlockSizes;
 use crate::config::{classify, EdgeSchedule, GemmConfig, ShapeClass};
 use crate::driver::{resolve_nn_plan, resolve_nt_plan, BPlan};
@@ -227,6 +228,25 @@ pub(crate) fn effective_isa<V: Vector>(
         }
     }
     caps::base_isa()
+}
+
+/// The ISA-aware plan-cache key a *serial* dispatch of this signature
+/// resolves under — the bucketing key for coalescing independent
+/// requests into one `gemm_batch` call (`shalom-service`). The §7.4
+/// batch discipline runs every member problem single-threaded, so the
+/// key is computed for `threads == 1`; requests with equal keys resolve
+/// to the same dispatch plan and can legally share a batch. This reuses
+/// the private keying logic verbatim: there is deliberately no second
+/// shape key anywhere in the system.
+pub fn request_plan_key<T: GemmElem>(
+    cfg: &GemmConfig,
+    op_a: Op,
+    op_b: Op,
+    m: usize,
+    n: usize,
+    k: usize,
+) -> PlanKey {
+    key_for::<T::Vec>(cfg, op_a, op_b, m, n, k, 1)
 }
 
 fn key_for<V: Vector>(

@@ -14,10 +14,11 @@
 
 pub use shalom_telemetry::{
     add_pack_ns, current_path, disable, enable, enabled, now_ns, pause_guard, record, record_batch,
-    record_dispatch, record_fork_join, record_plan_evictions, record_plan_lookup, reset, set_path,
-    snapshot, take_pack_ns, CounterTotals, DecisionRecord, EdgeTag, Histogram, PathTag, PauseGuard,
+    record_dispatch, record_fork_join, record_plan_evictions, record_plan_lookup,
+    record_service_flush, record_service_reject, record_service_submit, reset, set_path, snapshot,
+    take_pack_ns, CounterTotals, DecisionRecord, EdgeTag, Histogram, PathTag, PauseGuard,
     PerfSample, PlanSourceTag, PlanTag, ShapeClassTag, TelemetrySnapshot, HIST_BUCKETS,
-    RING_CAPACITY, SHARD_COUNT,
+    RING_CAPACITY, SHARD_COUNT, SVC_OCC_BUCKETS, SVC_OCC_LABELS,
 };
 
 /// Hardware-counter hooks (feature `perf-hooks`; graceful no-op without).

@@ -1,0 +1,264 @@
+//! Executable model of the GEMM service's completion publish
+//! (`SHALOM-O-SVC-DONE` / `SHALOM-O-SVC-STAMP` / `SHALOM-O-SVC-PENDING`).
+//!
+//! The scheduler thread writes the request's output matrix (abstracted
+//! to one byte), stamps `done_at_ns`, then publishes the terminal state
+//! with `state.store(DONE, Release)` *while holding the cell mutex*,
+//! and finally calls `notify_all`. The waiter Acquire-polls the state
+//! on a fast path, and otherwise rechecks it under the same mutex
+//! before each `cond.wait`. Two properties hang off that discipline:
+//!
+//! * **Publication**: a waiter that observes DONE must see the output
+//!   write and the timestamp — the Release/Acquire pair on `state` is
+//!   the only edge ordering them.
+//! * **No lost wakeup**: the store happens under the mutex the waiter
+//!   rechecks under, so a waiter between its PENDING recheck and its
+//!   `cond.wait` cannot miss the notify.
+//!
+//! [`Mutation::RelaxedDoneStore`] downgrades the publish to Relaxed:
+//! the state flip may drift ahead of the output write, and a waiter
+//! reads an unwritten result (invariant violation).
+//! [`Mutation::StoreOutsideLock`] keeps the Release but drops the mutex
+//! edge: the notify can fire in the waiter's decide-then-sleep window
+//! and the waiter sleeps forever (detected as a deadlock).
+
+use crate::explorer::System;
+
+/// Which (if any) bug is seeded into the model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Mutation {
+    /// The protocol as shipped: output write, stamp, locked Release
+    /// store, notify.
+    None,
+    /// Downgrade the state store to Relaxed: it may land first.
+    RelaxedDoneStore,
+    /// Store + notify without taking the cell mutex: lost wakeup.
+    StoreOutsideLock,
+}
+
+/// Unwritten sentinels; the scheduler only stores non-zero values.
+const POISON: u8 = 0;
+
+/// `state` values, mirroring `completion.rs`.
+const PENDING: u8 = 0;
+const DONE: u8 = 1;
+
+const S_DONE: u8 = 6;
+const R_DONE: u8 = 21;
+
+/// The model: the scheduler (tid 0) publishing one completion, one
+/// waiter (tid 1) on the cell's poll-then-wait path.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct ServiceQueue {
+    mutation: Mutation,
+    /// The request's output matrix, abstracted to one byte.
+    payload: u8,
+    /// `done_at_ns`, abstracted to one byte.
+    done_at: u8,
+    /// The completion flag (PENDING / DONE).
+    state: u8,
+    /// The cell mutex: holder tid, if held.
+    lock: Option<u8>,
+    /// Whether the waiter is asleep in `cond.wait`.
+    asleep: bool,
+    /// A pending wakeup for the sleeping waiter. Set by `notify_all`
+    /// only if the waiter is already asleep — a notify with nobody
+    /// waiting is lost, exactly like a real condvar.
+    woken: bool,
+    s_pc: u8,
+    r_pc: u8,
+    /// Set when the waiter observed DONE but read an unwritten output.
+    bad_read: bool,
+}
+
+impl ServiceQueue {
+    /// A fresh cell: state PENDING, output and stamp unwritten.
+    pub fn new(mutation: Mutation) -> ServiceQueue {
+        ServiceQueue {
+            mutation,
+            payload: POISON,
+            done_at: POISON,
+            state: PENDING,
+            lock: None,
+            asleep: false,
+            woken: false,
+            s_pc: 0,
+            r_pc: 0,
+            bad_read: false,
+        }
+    }
+
+    fn notify(&mut self) {
+        if self.asleep {
+            self.woken = true;
+        }
+    }
+}
+
+impl System for ServiceQueue {
+    fn thread_count(&self) -> usize {
+        2
+    }
+
+    fn actions(&self, tid: usize) -> Vec<&'static str> {
+        if tid == 0 {
+            match self.s_pc {
+                0 => {
+                    let mut a = vec!["s: write C (output matrix)"];
+                    if self.mutation == Mutation::RelaxedDoneStore && self.lock.is_none() {
+                        a.push("s: state = DONE EARLY (Release downgraded)");
+                    }
+                    a
+                }
+                1 => vec!["s: done_at stamp (Relaxed)"],
+                2 => {
+                    if self.mutation == Mutation::StoreOutsideLock {
+                        vec!["s: state.store(DONE) WITHOUT lock"]
+                    } else if self.lock.is_none() {
+                        vec!["s: lock cell mutex"]
+                    } else {
+                        vec![]
+                    }
+                }
+                3 => vec!["s: state.store(DONE, Release) under lock"],
+                4 => vec!["s: unlock cell mutex"],
+                5 => vec!["s: notify_all"],
+                // Mutated tail: the output write lands after the flip.
+                10 => vec!["s: late write C"],
+                11 => vec!["s: late done_at stamp"],
+                12 => vec!["s: notify_all"],
+                _ => vec![],
+            }
+        } else {
+            match self.r_pc {
+                0 => vec!["r: state.load(Acquire) fast path"],
+                1 => {
+                    if self.lock.is_none() {
+                        vec!["r: lock cell mutex"]
+                    } else {
+                        vec![]
+                    }
+                }
+                2 => vec!["r: recheck state under lock"],
+                3 => vec!["r: cond.wait — release lock, sleep"],
+                4 => {
+                    if self.woken && self.lock.is_none() {
+                        vec!["r: wake, reacquire lock"]
+                    } else {
+                        vec![]
+                    }
+                }
+                20 => vec!["r: read C and done_at"],
+                _ => vec![],
+            }
+        }
+    }
+
+    fn finished(&self, tid: usize) -> bool {
+        if tid == 0 {
+            self.s_pc == S_DONE
+        } else {
+            self.r_pc == R_DONE
+        }
+    }
+
+    fn step(&mut self, tid: usize, action: usize) {
+        if tid == 0 {
+            match (self.s_pc, action) {
+                (0, 0) => {
+                    self.payload = 1;
+                    self.s_pc = 1;
+                }
+                // Mutated: the Relaxed flip drifts ahead of the output
+                // write. The store itself still runs under the mutex
+                // (one atomic lock/store/unlock step — the downgrade
+                // weakens ordering, not the lock).
+                (0, 1) => {
+                    self.state = DONE;
+                    self.s_pc = 10;
+                }
+                (1, _) => {
+                    self.done_at = 1;
+                    self.s_pc = 2;
+                }
+                (2, _) => {
+                    if self.mutation == Mutation::StoreOutsideLock {
+                        self.state = DONE;
+                        self.s_pc = 5;
+                    } else {
+                        self.lock = Some(0);
+                        self.s_pc = 3;
+                    }
+                }
+                (3, _) => {
+                    self.state = DONE;
+                    self.s_pc = 4;
+                }
+                (4, _) => {
+                    self.lock = None;
+                    self.s_pc = 5;
+                }
+                (5, _) => {
+                    self.notify();
+                    self.s_pc = S_DONE;
+                }
+                (10, _) => {
+                    self.payload = 1;
+                    self.s_pc = 11;
+                }
+                (11, _) => {
+                    self.done_at = 1;
+                    self.s_pc = 12;
+                }
+                (12, _) => {
+                    self.notify();
+                    self.s_pc = S_DONE;
+                }
+                _ => unreachable!("scheduler stepped while done"),
+            }
+        } else {
+            match self.r_pc {
+                0 => {
+                    self.r_pc = if self.state == DONE { 20 } else { 1 };
+                }
+                1 => {
+                    self.lock = Some(1);
+                    self.r_pc = 2;
+                }
+                2 => {
+                    if self.state == DONE {
+                        self.lock = None;
+                        self.r_pc = 20;
+                    } else {
+                        self.r_pc = 3;
+                    }
+                }
+                3 => {
+                    self.lock = None;
+                    self.asleep = true;
+                    self.r_pc = 4;
+                }
+                4 => {
+                    self.woken = false;
+                    self.asleep = false;
+                    self.lock = Some(1);
+                    self.r_pc = 2;
+                }
+                20 => {
+                    if self.payload == POISON || self.done_at == POISON {
+                        self.bad_read = true;
+                    }
+                    self.r_pc = R_DONE;
+                }
+                _ => unreachable!("waiter stepped while done"),
+            }
+        }
+    }
+
+    fn check(&self) -> Result<(), String> {
+        if self.bad_read {
+            return Err("completion observed before the output write".into());
+        }
+        Ok(())
+    }
+}

@@ -10,6 +10,7 @@
 use shalom_modelcheck::models::plan_shard::{self, PlanShard};
 use shalom_modelcheck::models::pool_epoch::{self, PoolEpoch};
 use shalom_modelcheck::models::seqlock::{self, Seqlock};
+use shalom_modelcheck::models::service_queue::{self, ServiceQueue};
 use shalom_modelcheck::models::trace_lane::{self, TraceLane};
 use shalom_modelcheck::models::MODEL_NAMES;
 use shalom_modelcheck::{explore, Options, Report, Violation};
@@ -187,15 +188,73 @@ fn plan_shard_unlocked_insert_is_detected() {
     );
 }
 
+// --- service completion publish: SHALOM-O-SVC-* ---------------------
+
+#[test]
+fn service_queue_correct_exhaustive() {
+    must_pass(
+        ServiceQueue::new(service_queue::Mutation::None),
+        "service queue",
+    );
+}
+
+/// The completion flip downgraded Release -> Relaxed: the DONE store
+/// drifts ahead of the output write and a waiter reads an unwritten
+/// result matrix.
+#[test]
+fn service_queue_relaxed_done_store_is_detected() {
+    let v = must_fail(
+        ServiceQueue::new(service_queue::Mutation::RelaxedDoneStore),
+        "service queue relaxed done",
+        "before the output write",
+    );
+    assert!(
+        v.trace().iter().any(|s| s.label.contains("EARLY")),
+        "counterexample does not exercise the early flip:\n{}",
+        v.render()
+    );
+}
+
+/// The completion flip stripped of its mutex edge: the notify lands in
+/// the waiter's decide-then-sleep window and the waiter sleeps forever.
+/// Surfaces as a deadlock, not an invariant failure.
+#[test]
+fn service_queue_store_outside_lock_loses_the_wakeup() {
+    let v = match explore(
+        ServiceQueue::new(service_queue::Mutation::StoreOutsideLock),
+        &Options::default(),
+    ) {
+        Ok(r) => panic!("service queue unlocked store: mutation went undetected ({r:?})"),
+        Err(v) => v,
+    };
+    match &v {
+        Violation::Deadlock { trace } => {
+            assert!(!trace.is_empty(), "empty counterexample");
+        }
+        other => panic!("expected deadlock, got {other:?}\n{}", v.render()),
+    }
+    assert!(
+        v.trace().iter().any(|s| s.label.contains("WITHOUT lock")),
+        "counterexample does not exercise the unlocked store:\n{}",
+        v.render()
+    );
+}
+
 // --- registry contract ----------------------------------------------
 
 /// The model list the analysis-side ordering registry points at:
-/// sorted, deduplicated, and exactly these four.
+/// sorted, deduplicated, and exactly these five.
 #[test]
 fn model_names_are_the_published_contract() {
     assert_eq!(
         MODEL_NAMES,
-        &["plan-shard", "pool-epoch", "seqlock", "trace-lane"]
+        &[
+            "plan-shard",
+            "pool-epoch",
+            "seqlock",
+            "service-queue",
+            "trace-lane"
+        ]
     );
     let mut sorted = MODEL_NAMES.to_vec();
     sorted.sort_unstable();

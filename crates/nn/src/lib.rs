@@ -13,12 +13,16 @@
 //!   the GEMMs dispatched through `shalom_core::gemm_batch` (each GEMM
 //!   is itself internally parallelizable; the batch path follows the
 //!   §7.4 discipline of parallelism across independent problems);
+//! * [`Conv2d::forward_batch_via`] — the same mini-batch routed through
+//!   a running [`shalom_service::Service`], for serving paths where
+//!   layers from concurrent model instances should coalesce;
 //! * [`conv2d_direct`] — the nested-loop oracle used by the tests.
 
 #![deny(missing_docs)]
 
 use shalom_core::{gemm_batch_beta, gemm_with, BatchItem, GemmConfig, GemmElem, Op};
 use shalom_matrix::{im2col, ConvShape, MatMut, Matrix, Scalar};
+use shalom_service::{GemmRequest, Service, ServiceElem, ServiceError};
 
 /// A stride-1 2-D convolution layer with im2col + GEMM execution.
 pub struct Conv2d<T> {
@@ -107,6 +111,46 @@ impl<T: GemmElem> Conv2d<T> {
         );
         drop(items);
         outs
+    }
+
+    /// Runs the layer on a mini-batch through a running GEMM
+    /// [`Service`] instead of a direct `gemm_batch` call.
+    ///
+    /// Every per-image GEMM shares this layer's plan key, so the
+    /// service coalesces them — together with any requests *other*
+    /// threads are submitting concurrently — into shared batch flushes.
+    /// Blocks until all images complete; the result is bitwise
+    /// identical to [`Conv2d::forward_batch`].
+    pub fn forward_batch_via(
+        &self,
+        service: &Service,
+        inputs: &[Matrix<T>],
+    ) -> Result<Vec<Matrix<T>>, ServiceError>
+    where
+        T: ServiceElem,
+    {
+        let (m, n, _) = self.shape.gemm_dims();
+        let lowered: Vec<Matrix<T>> = inputs.iter().map(|x| im2col(&self.shape, x)).collect();
+        let mut outs: Vec<Matrix<T>> = (0..inputs.len()).map(|_| Matrix::zeros(m, n)).collect();
+        service.scope(|scope| -> Result<(), ServiceError> {
+            for (b, c) in lowered.iter().zip(outs.iter_mut()) {
+                scope.submit_blocking(
+                    GemmRequest::new(
+                        self.cfg,
+                        Op::NoTrans,
+                        Op::NoTrans,
+                        T::ONE,
+                        self.weights.as_ref(),
+                        b.as_ref(),
+                        T::ZERO,
+                        c.as_mut(),
+                    ),
+                    None,
+                )?;
+            }
+            Ok(())
+        })?;
+        Ok(outs)
     }
 }
 
@@ -215,6 +259,29 @@ mod tests {
                 max_abs_diff(out.as_ref(), single.as_ref()),
                 0.0,
                 "batch and single paths must agree bitwise"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_via_service_matches_forward_batch_bitwise() {
+        let shape = small_shape();
+        let layer = Conv2d::<f32>::random(shape, GemmConfig::with_threads(1), 11);
+        let inputs: Vec<Matrix<f32>> = (0..5)
+            .map(|i| Matrix::random(shape.c_in, shape.h * shape.w, 500 + i))
+            .collect();
+        let direct = layer.forward_batch(&inputs);
+        let svc = Service::start(shalom_service::ServiceConfig::default());
+        let via = layer
+            .forward_batch_via(&svc, &inputs)
+            .expect("service path");
+        svc.shutdown();
+        assert_eq!(via.len(), direct.len());
+        for (got, want) in via.iter().zip(&direct) {
+            assert_eq!(
+                max_abs_diff(got.as_ref(), want.as_ref()),
+                0.0,
+                "service and direct batch paths must agree bitwise"
             );
         }
     }

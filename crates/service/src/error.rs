@@ -1,0 +1,55 @@
+//! Service-level error type, aligned with the C ABI status codes.
+
+use std::fmt;
+
+/// Why a request could not be accepted or completed.
+///
+/// Variants map 1:1 onto the `SHALOM_ERR_*` constants in
+/// `shalom_core::capi` so a future C binding of the service can return
+/// them unchanged (`code` gives the mapping; a test pins it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The bounded queue is at capacity and the submission was
+    /// non-blocking ([`crate::ServiceScope::submit`]).
+    QueueFull,
+    /// The request's deadline passed before its bucket was flushed; the
+    /// output matrix was not touched.
+    DeadlineExceeded,
+    /// The service is shutting down (or already shut down) and accepts
+    /// no new work.
+    ShuttingDown,
+    /// A blocking submission ([`crate::Service::submit_wait`]) timed out
+    /// waiting for queue space.
+    Timeout,
+    /// Operand dimensions are inconsistent (the message says how).
+    InvalidRequest(String),
+}
+
+impl ServiceError {
+    /// The C ABI status code for this error (`SHALOM_ERR_*`).
+    pub fn code(&self) -> i32 {
+        match self {
+            ServiceError::QueueFull => -6,
+            ServiceError::DeadlineExceeded => -7,
+            ServiceError::ShuttingDown => -8,
+            ServiceError::Timeout => -9,
+            ServiceError::InvalidRequest(_) => -1,
+        }
+    }
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::QueueFull => write!(f, "service queue is full"),
+            ServiceError::DeadlineExceeded => {
+                write!(f, "request deadline passed before dispatch")
+            }
+            ServiceError::ShuttingDown => write!(f, "service is shutting down"),
+            ServiceError::Timeout => write!(f, "timed out waiting for queue space"),
+            ServiceError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}

@@ -1,0 +1,216 @@
+//! Request descriptions submitted to the service.
+
+use crate::error::ServiceError;
+use shalom_core::{GemmConfig, GemmElem, Op};
+use shalom_matrix::{MatMut, MatRef};
+use std::time::Instant;
+
+/// Element types the service accepts: [`GemmElem`] plus a stable bit
+/// transport so `alpha`/`beta` can live inside the type-erased bucket
+/// key (bit patterns, not values — `-0.0` and `0.0` bucket separately,
+/// which keeps replays bitwise-identical).
+pub trait ServiceElem: GemmElem {
+    /// Scalar bits as a `u64` (zero-extended for `f32`).
+    fn to_bits_u64(self) -> u64;
+    /// Inverse of [`ServiceElem::to_bits_u64`].
+    fn from_bits_u64(bits: u64) -> Self;
+}
+
+impl ServiceElem for f32 {
+    #[inline]
+    fn to_bits_u64(self) -> u64 {
+        self.to_bits() as u64
+    }
+    #[inline]
+    fn from_bits_u64(bits: u64) -> Self {
+        f32::from_bits(bits as u32)
+    }
+}
+
+impl ServiceElem for f64 {
+    #[inline]
+    fn to_bits_u64(self) -> u64 {
+        self.to_bits()
+    }
+    #[inline]
+    fn from_bits_u64(bits: u64) -> Self {
+        f64::from_bits(bits)
+    }
+}
+
+/// One GEMM to run: `C = alpha * op_a(A) * op_b(B) + beta * C`, plus
+/// the dispatch configuration and an optional completion deadline.
+///
+/// Borrows the operand views for `'a`; the service guarantees (via the
+/// scope API or the blocking submit) that it only touches them before
+/// the request's completion cell publishes.
+pub struct GemmRequest<'a, T: ServiceElem> {
+    /// Dispatch configuration (plans resolve per its fingerprint).
+    pub cfg: GemmConfig,
+    /// Transposition of `A`.
+    pub op_a: Op,
+    /// Transposition of `B`.
+    pub op_b: Op,
+    /// Scale on the product.
+    pub alpha: T,
+    /// Scale on the existing `C` contents.
+    pub beta: T,
+    /// Left operand (stored shape per `op_a`).
+    pub a: MatRef<'a, T>,
+    /// Right operand (stored shape per `op_b`).
+    pub b: MatRef<'a, T>,
+    /// Output, `m x n`.
+    pub c: MatMut<'a, T>,
+    /// Complete with [`ServiceError::DeadlineExceeded`] (output
+    /// untouched) if not dispatched by this instant.
+    pub deadline: Option<Instant>,
+}
+
+impl<'a, T: ServiceElem> GemmRequest<'a, T> {
+    /// A request with no deadline.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        cfg: GemmConfig,
+        op_a: Op,
+        op_b: Op,
+        alpha: T,
+        a: MatRef<'a, T>,
+        b: MatRef<'a, T>,
+        beta: T,
+        c: MatMut<'a, T>,
+    ) -> Self {
+        GemmRequest {
+            cfg,
+            op_a,
+            op_b,
+            alpha,
+            beta,
+            a,
+            b,
+            c,
+            deadline: None,
+        }
+    }
+
+    /// Attach a completion deadline.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Validate operand consistency; `(m, n, k)` on success.
+    pub fn dims(&self) -> Result<(usize, usize, usize), ServiceError> {
+        let (m, ka) = match self.op_a {
+            Op::NoTrans => (self.a.rows(), self.a.cols()),
+            Op::Trans => (self.a.cols(), self.a.rows()),
+        };
+        let (kb, n) = match self.op_b {
+            Op::NoTrans => (self.b.rows(), self.b.cols()),
+            Op::Trans => (self.b.cols(), self.b.rows()),
+        };
+        if ka != kb {
+            return Err(ServiceError::InvalidRequest(format!(
+                "inner dimensions disagree: op_a(A) is {m}x{ka}, op_b(B) is {kb}x{n}"
+            )));
+        }
+        if self.c.rows() != m || self.c.cols() != n {
+            return Err(ServiceError::InvalidRequest(format!(
+                "C is {}x{}, expected {m}x{n}",
+                self.c.rows(),
+                self.c.cols()
+            )));
+        }
+        Ok((m, n, ka))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shalom_matrix::Matrix;
+
+    #[test]
+    fn dims_validate_all_op_combinations() {
+        let a = Matrix::<f32>::zeros(3, 5);
+        let b = Matrix::<f32>::zeros(5, 2);
+        let mut c = Matrix::<f32>::zeros(3, 2);
+        let cfg = GemmConfig::default();
+        let req = GemmRequest::new(
+            cfg,
+            Op::NoTrans,
+            Op::NoTrans,
+            1.0,
+            a.as_ref(),
+            b.as_ref(),
+            0.0,
+            c.as_mut(),
+        );
+        assert_eq!(req.dims().expect("NN"), (3, 2, 5));
+
+        let at = Matrix::<f32>::zeros(5, 3);
+        let req = GemmRequest::new(
+            cfg,
+            Op::Trans,
+            Op::NoTrans,
+            1.0,
+            at.as_ref(),
+            b.as_ref(),
+            0.0,
+            c.as_mut(),
+        );
+        assert_eq!(req.dims().expect("TN"), (3, 2, 5));
+
+        let bt = Matrix::<f32>::zeros(2, 5);
+        let req = GemmRequest::new(
+            cfg,
+            Op::NoTrans,
+            Op::Trans,
+            1.0,
+            a.as_ref(),
+            bt.as_ref(),
+            0.0,
+            c.as_mut(),
+        );
+        assert_eq!(req.dims().expect("NT"), (3, 2, 5));
+
+        // Inner mismatch.
+        let bad = Matrix::<f32>::zeros(4, 2);
+        let req = GemmRequest::new(
+            cfg,
+            Op::NoTrans,
+            Op::NoTrans,
+            1.0,
+            a.as_ref(),
+            bad.as_ref(),
+            0.0,
+            c.as_mut(),
+        );
+        assert!(matches!(req.dims(), Err(ServiceError::InvalidRequest(_))));
+
+        // Output mismatch.
+        let mut bad_c = Matrix::<f32>::zeros(3, 3);
+        let req = GemmRequest::new(
+            cfg,
+            Op::NoTrans,
+            Op::NoTrans,
+            1.0,
+            a.as_ref(),
+            b.as_ref(),
+            0.0,
+            bad_c.as_mut(),
+        );
+        assert!(matches!(req.dims(), Err(ServiceError::InvalidRequest(_))));
+    }
+
+    #[test]
+    fn scalar_bits_round_trip() {
+        for v in [0.0f32, -0.0, 1.5, f32::MIN_POSITIVE] {
+            assert_eq!(f32::from_bits_u64(v.to_bits_u64()).to_bits(), v.to_bits());
+        }
+        for v in [0.0f64, -0.0, 1.5, f64::MIN_POSITIVE] {
+            assert_eq!(f64::from_bits_u64(v.to_bits_u64()).to_bits(), v.to_bits());
+        }
+        // -0.0 and 0.0 transport as distinct bit patterns (bucket split).
+        assert_ne!((-0.0f32).to_bits_u64(), 0.0f32.to_bits_u64());
+    }
+}

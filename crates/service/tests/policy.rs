@@ -1,0 +1,192 @@
+//! Scheduling-policy behavior: deadlines, backpressure, drains.
+
+use shalom_core::{GemmConfig, Op};
+use shalom_matrix::Matrix;
+use shalom_service::{GemmRequest, Service, ServiceConfig, ServiceError};
+use std::time::{Duration, Instant};
+
+fn small_req<'a>(
+    a: &'a Matrix<f32>,
+    b: &'a Matrix<f32>,
+    c: &'a mut Matrix<f32>,
+) -> GemmRequest<'a, f32> {
+    GemmRequest::new(
+        GemmConfig::default(),
+        Op::NoTrans,
+        Op::NoTrans,
+        1.0,
+        a.as_ref(),
+        b.as_ref(),
+        0.0,
+        c.as_mut(),
+    )
+}
+
+#[test]
+fn past_deadline_expires_deterministically() {
+    let svc = Service::start(ServiceConfig::default());
+    let a = Matrix::<f32>::random(4, 4, 1);
+    let b = Matrix::<f32>::random(4, 4, 2);
+    let sentinel = Matrix::<f32>::from_fn(4, 4, |i, j| (i * 4 + j) as f32);
+
+    // A deadline that already passed at submission must *always*
+    // expire — no race with the scheduler, across many attempts.
+    for _ in 0..100 {
+        let mut c = sentinel.clone();
+        let req = small_req(&a, &b, &mut c).with_deadline(Instant::now() - Duration::from_nanos(1));
+        let err = svc.submit_wait(req, None).expect_err("past deadline");
+        assert_eq!(err, ServiceError::DeadlineExceeded);
+        // Output untouched, bitwise.
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(c.at(i, j).to_bits(), sentinel.at(i, j).to_bits());
+            }
+        }
+    }
+    let stats = svc.stats();
+    assert_eq!(stats.expired, 100);
+    assert_eq!(stats.completed, 0);
+    svc.shutdown();
+}
+
+#[test]
+fn future_deadline_completes() {
+    let svc = Service::start(ServiceConfig::default());
+    let a = Matrix::<f32>::random(4, 4, 1);
+    let b = Matrix::<f32>::random(4, 4, 2);
+    let mut c = Matrix::<f32>::zeros(4, 4);
+    let req = small_req(&a, &b, &mut c).with_deadline(Instant::now() + Duration::from_secs(30));
+    svc.submit_wait(req, None).expect("generous deadline");
+    assert_eq!(svc.stats().completed, 1);
+    svc.shutdown();
+}
+
+#[test]
+fn queue_full_backpressure_under_slow_consumer() {
+    // Tiny queue, huge linger: the scheduler sits on the bucket, so
+    // admissions hit the capacity wall.
+    let svc = Service::start(ServiceConfig {
+        queue_capacity: 2,
+        max_batch: 100,
+        max_linger: Duration::from_secs(60),
+        ..ServiceConfig::default()
+    });
+    let a = Matrix::<f32>::random(4, 4, 1);
+    let b = Matrix::<f32>::random(4, 4, 2);
+    let mut c1 = Matrix::<f32>::zeros(4, 4);
+    let mut c2 = Matrix::<f32>::zeros(4, 4);
+    let mut c3 = Matrix::<f32>::zeros(4, 4);
+    let mut c4 = Matrix::<f32>::zeros(4, 4);
+
+    svc.scope(|scope| {
+        scope
+            .submit(small_req(&a, &b, &mut c1))
+            .expect("first fits");
+        scope
+            .submit(small_req(&a, &b, &mut c2))
+            .expect("second fits");
+        // Non-blocking: immediate QueueFull.
+        let err = scope
+            .submit(small_req(&a, &b, &mut c3))
+            .expect_err("queue is at capacity");
+        assert_eq!(err, ServiceError::QueueFull);
+        // Blocking with a short timeout: Timeout (nothing flushes for
+        // 60s of linger and the bucket is far from max_batch).
+        let t0 = Instant::now();
+        let err = scope
+            .submit_blocking(small_req(&a, &b, &mut c4), Some(Duration::from_millis(25)))
+            .expect_err("no space appears within the timeout");
+        assert_eq!(err, ServiceError::Timeout);
+        assert!(
+            t0.elapsed() >= Duration::from_millis(25),
+            "timeout returned early"
+        );
+        assert_eq!(svc.queue_depth(), 2);
+        // Shutdown drains the two admitted requests; the scope then
+        // joins their completions.
+        svc.shutdown();
+    });
+
+    let stats = svc.stats();
+    assert_eq!(stats.submitted, 2);
+    assert_eq!(stats.completed, 2);
+    assert_eq!(stats.rejected, 2);
+    assert_eq!(stats.flush_drain, 1);
+    // The drained members actually ran.
+    assert_ne!(c1.at(0, 0), 0.0);
+    assert_ne!(c2.at(0, 0), 0.0);
+}
+
+#[test]
+fn submissions_after_shutdown_are_refused() {
+    let svc = Service::start(ServiceConfig::default());
+    svc.shutdown();
+    let a = Matrix::<f32>::random(4, 4, 1);
+    let b = Matrix::<f32>::random(4, 4, 2);
+    let mut c = Matrix::<f32>::zeros(4, 4);
+    let err = svc
+        .submit_wait(small_req(&a, &b, &mut c), None)
+        .expect_err("service is down");
+    assert_eq!(err, ServiceError::ShuttingDown);
+    // Idempotent shutdown.
+    svc.shutdown();
+}
+
+#[test]
+fn shutdown_drains_everything_under_concurrent_submitters() {
+    const SUBMITTERS: usize = 4;
+    const PER_THREAD: usize = 200;
+    let svc = Service::start(ServiceConfig {
+        queue_capacity: 64,
+        max_batch: 16,
+        max_linger: Duration::from_micros(100),
+        ..ServiceConfig::default()
+    });
+
+    let total_ok: u64 = std::thread::scope(|s| {
+        let svc = &svc;
+        let workers: Vec<_> = (0..SUBMITTERS)
+            .map(|t| {
+                s.spawn(move || {
+                    let a = Matrix::<f32>::random(6, 6, 10 + t as u64);
+                    let b = Matrix::<f32>::random(6, 6, 20 + t as u64);
+                    let mut c = Matrix::<f32>::zeros(6, 6);
+                    let mut ok = 0u64;
+                    for _ in 0..PER_THREAD {
+                        match svc.submit_wait(small_req(&a, &b, &mut c), None) {
+                            Ok(()) => ok += 1,
+                            Err(ServiceError::ShuttingDown) => break,
+                            Err(e) => panic!("unexpected error: {e}"),
+                        }
+                    }
+                    ok
+                })
+            })
+            .collect();
+        // Let the submitters make progress, then pull the plug.
+        std::thread::sleep(Duration::from_millis(20));
+        svc.shutdown();
+        workers.into_iter().map(|w| w.join().expect("worker")).sum()
+    });
+
+    let stats = svc.stats();
+    // Every submission was accounted for: completed exactly the Ok
+    // returns (no expiry configured, drain runs the rest).
+    assert_eq!(stats.completed, total_ok);
+    assert_eq!(stats.expired, 0);
+    assert_eq!(stats.submitted, stats.completed);
+    assert_eq!(svc.queue_depth(), 0);
+    assert!(total_ok > 0, "shutdown landed before any work completed");
+}
+
+#[test]
+fn error_codes_match_capi_constants() {
+    use shalom_core::capi;
+    assert_eq!(ServiceError::QueueFull.code(), capi::SHALOM_ERR_QUEUE_FULL);
+    assert_eq!(
+        ServiceError::DeadlineExceeded.code(),
+        capi::SHALOM_ERR_DEADLINE
+    );
+    assert_eq!(ServiceError::ShuttingDown.code(), capi::SHALOM_ERR_SHUTDOWN);
+    assert_eq!(ServiceError::Timeout.code(), capi::SHALOM_ERR_TIMEOUT);
+}

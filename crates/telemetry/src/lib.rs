@@ -44,7 +44,7 @@ mod ring;
 mod snapshot;
 
 pub use clock::now_ns;
-pub use counters::{CounterTotals, SHARD_COUNT};
+pub use counters::{svc_occ_bucket, CounterTotals, SHARD_COUNT, SVC_OCC_BUCKETS, SVC_OCC_LABELS};
 pub use hist::{Histogram, HIST_BUCKETS};
 pub use perf::PerfSample;
 pub use record::{DecisionRecord, EdgeTag, PathTag, PlanSourceTag, PlanTag, ShapeClassTag};
@@ -213,6 +213,29 @@ pub fn record_plan_evictions(n: u64) {
 #[inline]
 pub fn record_trace_spans(recorded: u64, dropped: u64) {
     global().counters.observe_trace_spans(recorded, dropped);
+}
+
+/// Count one `shalom-service` submission admitted with `depth` total
+/// requests queued (including this one); tracks the queue-depth
+/// high-water mark.
+#[inline]
+pub fn record_service_submit(depth: u64) {
+    global().counters.observe_service_submit(depth);
+}
+
+/// Count one `shalom-service` submission rejected by queue-full
+/// backpressure.
+#[inline]
+pub fn record_service_reject() {
+    global().counters.observe_service_reject();
+}
+
+/// Count one `shalom-service` batch flush: `completed` requests ran
+/// through `gemm_batch`, `expired` completed with a deadline error
+/// without running. Feeds the batch-occupancy histogram.
+#[inline]
+pub fn record_service_flush(completed: usize, expired: usize) {
+    global().counters.observe_service_flush(completed, expired);
 }
 
 /// Capture a point-in-time [`TelemetrySnapshot`].

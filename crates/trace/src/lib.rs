@@ -84,11 +84,21 @@ pub enum Phase {
     Barrier = 11,
     /// Worker parked on the condvar waiting for work.
     Park = 12,
+    /// One service request admitted into the batching queue (submit-side
+    /// lock + bucket push; `aux` is the request's shape key).
+    Enqueue = 13,
+    /// Time a flushed bucket's oldest request sat waiting for batch
+    /// formation (recorded retroactively by the scheduler via
+    /// [`span_record`]; `aux` is the batch occupancy).
+    Linger = 14,
+    /// One scheduler flush: bucket extraction through `gemm_batch`
+    /// completion (`aux` is the batch occupancy).
+    BatchFlush = 15,
 }
 
 impl Phase {
     /// Every phase, in `index` order.
-    pub const ALL: [Phase; 13] = [
+    pub const ALL: [Phase; 16] = [
         Phase::Serial,
         Phase::PlanLookup,
         Phase::PackA,
@@ -102,10 +112,13 @@ impl Phase {
         Phase::QueueWait,
         Phase::Barrier,
         Phase::Park,
+        Phase::Enqueue,
+        Phase::Linger,
+        Phase::BatchFlush,
     ];
 
     /// Number of phases (`ALL.len()`).
-    pub const COUNT: usize = 13;
+    pub const COUNT: usize = 16;
 
     /// Stable lowercase name used in reports and exports.
     pub fn as_str(self) -> &'static str {
@@ -123,6 +136,9 @@ impl Phase {
             Phase::QueueWait => "queue_wait",
             Phase::Barrier => "barrier",
             Phase::Park => "park",
+            Phase::Enqueue => "enqueue",
+            Phase::Linger => "linger",
+            Phase::BatchFlush => "batch_flush",
         }
     }
 
@@ -148,21 +164,33 @@ impl Phase {
             10 => Phase::QueueWait,
             11 => Phase::Barrier,
             12 => Phase::Park,
+            13 => Phase::Enqueue,
+            14 => Phase::Linger,
+            15 => Phase::BatchFlush,
             _ => Phase::Serial,
         }
     }
 
     /// Whether this phase is idle waiting (counted against utilization)
-    /// rather than work.
+    /// rather than work. A bucket's linger is queueing latency, not
+    /// work, so it counts as waiting too.
     pub fn is_wait(self) -> bool {
-        matches!(self, Phase::QueueWait | Phase::Barrier | Phase::Park)
+        matches!(
+            self,
+            Phase::QueueWait | Phase::Barrier | Phase::Park | Phase::Linger
+        )
     }
 
     /// Whether `aux` on spans of this phase is a [`shape_key`].
     pub fn carries_shape(self) -> bool {
         matches!(
             self,
-            Phase::Serial | Phase::PlanLookup | Phase::Compute | Phase::Parallel | Phase::BatchItem
+            Phase::Serial
+                | Phase::PlanLookup
+                | Phase::Compute
+                | Phase::Parallel
+                | Phase::BatchItem
+                | Phase::Enqueue
         )
     }
 }
@@ -437,6 +465,48 @@ pub fn span_end_src(tok: SpanToken, src_code: u8) {
 fn finish_span(tok: SpanToken, src_code: u8) {
     let t1 = now_ns();
     DEPTH.with(|d| d.set(tok.depth));
+    push_record(SpanRecord {
+        t0_ns: tok.t0,
+        t1_ns: t1.max(tok.t0),
+        aux: tok.aux,
+        phase: tok.phase,
+        src: src_code,
+        depth: tok.depth,
+    });
+}
+
+/// Records a span whose endpoints the caller already measured (both in
+/// [`now_ns`] units). The token API cannot express phases that start on
+/// one thread and end on another — a bucket's linger starts at the
+/// oldest enqueue on a submitter thread and ends when the scheduler
+/// flushes it — so the scheduler stamps those retroactively here. The
+/// record lands in the *calling* thread's lane at its current nesting
+/// depth; a `t0_ns` of 0 (the inert marker) is clamped to 1.
+#[inline]
+pub fn span_record(phase: Phase, t0_ns: u64, t1_ns: u64, aux: u64) {
+    if !enabled() {
+        return;
+    }
+    record_closed(phase, t0_ns, t1_ns, aux);
+}
+
+// ALLOC-FREE
+#[inline(never)]
+fn record_closed(phase: Phase, t0_ns: u64, t1_ns: u64, aux: u64) {
+    let t0 = t0_ns.max(1);
+    push_record(SpanRecord {
+        t0_ns: t0,
+        t1_ns: t1_ns.max(t0),
+        aux,
+        phase: phase as u8,
+        src: src::NONE,
+        depth: DEPTH.with(|d| d.get()),
+    });
+}
+
+// ALLOC-FREE
+#[inline]
+fn push_record(rec: SpanRecord) {
     let idx = lane_index();
     if idx >= MAX_LANES {
         // ORDERING(SHALOM-O-TRACE-DROP): Relaxed loss counter, stats only.
@@ -456,14 +526,6 @@ fn finish_span(tok: SpanToken, src_code: u8) {
         shalom_telemetry::record_trace_spans(0, 1);
         return;
     }
-    let rec = SpanRecord {
-        t0_ns: tok.t0,
-        t1_ns: t1.max(tok.t0),
-        aux: tok.aux,
-        phase: tok.phase,
-        src: src_code,
-        depth: tok.depth,
-    };
     // SAFETY: this thread is the lane's unique owner (index from the
     // monotonic claim, cached in TLS), `len < SPANS_PER_LANE` was just
     // checked, and no reader touches index `len` until the Release
@@ -628,6 +690,29 @@ mod tests {
         assert!(Phase::Park.is_wait() && !Phase::Compute.is_wait());
         assert_eq!(src::as_str(src::PROFILE), "profile");
         assert_eq!(src::as_str(99), "none");
+    }
+
+    #[test]
+    fn span_record_backdates() {
+        let _l = state_lock();
+        enable();
+        reset();
+        let t0 = now_ns();
+        let t1 = t0 + 1234;
+        span_record(Phase::Linger, t0, t1, 9);
+        // Reversed endpoints clamp to a zero-length span, never panic.
+        span_record(Phase::BatchFlush, t1, t0, 3);
+        disable();
+        span_record(Phase::Linger, t0, t1, 9); // off: dropped silently
+        let snap = snapshot();
+        assert_eq!(snap.total_spans(), 2);
+        let lane = &snap.lanes[0];
+        assert_eq!(lane.spans[0].phase(), Phase::Linger);
+        assert_eq!(lane.spans[0].duration_ns(), 1234);
+        assert_eq!(lane.spans[0].aux, 9);
+        assert_eq!(lane.spans[1].phase(), Phase::BatchFlush);
+        assert_eq!(lane.spans[1].duration_ns(), 0);
+        reset();
     }
 
     #[test]

@@ -44,6 +44,7 @@ pub use shalom_kernels as kernels;
 pub use shalom_matrix as matrix;
 pub use shalom_nn as nn;
 pub use shalom_perfmodel as perfmodel;
+pub use shalom_service as service;
 pub use shalom_simd as simd;
 pub use shalom_workloads as workloads;
 

@@ -390,6 +390,13 @@ pub struct CodeLines {
     /// Brace depth *after* each line, counting only `{`/`}` that are
     /// real code tokens.
     pub depth_after: Vec<i64>,
+    /// Parenthesis depth *after* each line — same prefix-sum scheme as
+    /// `depth_after`, counting only `(`/`)` code tokens. Lets the
+    /// bounds pass know when a multi-line call argument list is still
+    /// open.
+    pub paren_depth_after: Vec<i64>,
+    /// Bracket depth *after* each line (`[`/`]` code tokens only).
+    pub bracket_depth_after: Vec<i64>,
 }
 
 /// Builds [`CodeLines`] from a source file.
@@ -407,6 +414,8 @@ pub fn code_lines_from(src: &str, tokens: &[Token]) -> CodeLines {
         .map(|b| if b == b'\n' { b'\n' } else { b' ' })
         .collect();
     let mut delta = vec![0i64; n_lines];
+    let mut paren_delta = vec![0i64; n_lines];
+    let mut bracket_delta = vec![0i64; n_lines];
     for tok in tokens {
         match tok.kind {
             TokenKind::LineComment | TokenKind::BlockComment => continue,
@@ -419,29 +428,44 @@ pub fn code_lines_from(src: &str, tokens: &[Token]) -> CodeLines {
             _ => {
                 masked[tok.start..tok.end].copy_from_slice(&src.as_bytes()[tok.start..tok.end]);
                 if tok.kind == TokenKind::Punct {
+                    let at = (tok.line - 1).min(n_lines - 1);
                     match src.as_bytes()[tok.start] {
-                        b'{' => delta[(tok.line - 1).min(n_lines - 1)] += 1,
-                        b'}' => delta[(tok.line - 1).min(n_lines - 1)] -= 1,
+                        b'{' => delta[at] += 1,
+                        b'}' => delta[at] -= 1,
+                        b'(' => paren_delta[at] += 1,
+                        b')' => paren_delta[at] -= 1,
+                        b'[' => bracket_delta[at] += 1,
+                        b']' => bracket_delta[at] -= 1,
                         _ => {}
                     }
                 }
             }
         }
     }
-    let mut depth = 0i64;
-    let depth_after: Vec<i64> = delta
-        .iter()
-        .map(|d| {
-            depth += d;
-            depth
-        })
-        .collect();
+    let prefix_sum = |delta: &[i64]| {
+        let mut depth = 0i64;
+        delta
+            .iter()
+            .map(|d| {
+                depth += d;
+                depth
+            })
+            .collect::<Vec<i64>>()
+    };
+    let depth_after = prefix_sum(&delta);
+    let paren_depth_after = prefix_sum(&paren_delta);
+    let bracket_depth_after = prefix_sum(&bracket_delta);
     let code = String::from_utf8(masked)
         .unwrap_or_default()
         .lines()
         .map(str::to_string)
         .collect();
-    CodeLines { code, depth_after }
+    CodeLines {
+        code,
+        depth_after,
+        paren_depth_after,
+        bracket_depth_after,
+    }
 }
 
 #[cfg(test)]
@@ -605,6 +629,25 @@ mod tests {
         let src = "fn f() { // {{{\n    let s = \"}}}}\";\n    g(); /* } */\n}\n";
         let cl = code_lines(src);
         assert_eq!(cl.depth_after, vec![1, 1, 1, 0]);
+    }
+
+    #[test]
+    fn paren_and_bracket_depths_track_code_tokens_only() {
+        let src = "call(a,\n  b[i],\n  \"(((\" , // )))\n);\n";
+        let cl = code_lines(src);
+        // Line 1 opens the call; the string and comment parens on line 3
+        // are invisible; line 4 closes it.
+        assert_eq!(cl.paren_depth_after, vec![1, 1, 1, 0]);
+        // The bracket pair opens and closes within line 2.
+        assert_eq!(cl.bracket_depth_after, vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn nested_call_args_keep_balanced_depths() {
+        let src = "b.add((k + 1) * ldb);\nv[idx(\n  j\n)] = 0;\n";
+        let cl = code_lines(src);
+        assert_eq!(cl.paren_depth_after, vec![0, 1, 1, 0]);
+        assert_eq!(cl.bracket_depth_after, vec![0, 1, 1, 0]);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! offline) that understands line/block comments (including nesting),
 //! string/char/byte/raw-string literals, and real brace depths — the
 //! exact constructs PR 2's line-based lint documented as
-//! approximations. On top of it sit five workspace passes:
+//! approximations. On top of it sit six workspace passes:
 //!
 //! 1. **atomics** — every `Ordering::` site in the audited concurrency
 //!    files must carry a registered `// ORDERING(SHALOM-O-…):`
@@ -26,6 +26,11 @@
 //!    APIs (`Vec::`, `Box::new`, `format!`, `to_vec`, …).
 //! 5. **features** — `cfg(feature = "…")` usage must match each
 //!    crate's `Cargo.toml` feature declarations.
+//! 6. **bounds** — every raw-pointer `.add`/`.offset` site in the
+//!    kernel crates is normalized into a symbolic polynomial over the
+//!    kernel's parameters (see [`sym`]) and proven contained in the
+//!    per-operand footprint the contract registry exports as a
+//!    symbolic spec (`crates/contracts/bounds.spec`).
 //!
 //! The `analyze` bin runs all passes over the repo and exits non-zero
 //! on any finding; `shalom-contracts` re-uses the lexer for its
@@ -37,6 +42,8 @@ pub mod lexer;
 pub mod orderings;
 pub mod passes;
 pub mod source;
+pub mod spec;
+pub mod sym;
 pub mod workspace;
 
 use std::fmt;
@@ -45,7 +52,7 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
     /// Pass that produced the finding (`atomics`, `protocols`,
-    /// `panics`, `allocs`, `features`).
+    /// `panics`, `allocs`, `features`, `bounds`).
     pub pass: &'static str,
     /// Rule id within the pass, e.g. `ordering-tag`.
     pub rule: &'static str,

@@ -1,4 +1,4 @@
-//! The five workspace passes plus the token-walking helpers they share.
+//! The six workspace passes plus the token-walking helpers they share.
 //!
 //! Each pass is a function from an analyzed [`SourceFile`] (plus any
 //! pass-specific context) to a list of [`Finding`]s. The workspace
@@ -8,6 +8,7 @@
 
 pub mod allocs;
 pub mod atomics;
+pub mod bounds;
 pub mod features;
 pub mod panics;
 pub mod protocols;

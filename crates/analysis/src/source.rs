@@ -41,6 +41,25 @@ pub struct OrderingAnnotation {
     pub justification: String,
 }
 
+/// One `CONTRACT(TAG[, TAG…][: key = expr, …])` anchor comment: ties
+/// the function whose header block carries it to one or more registered
+/// kernel contracts, so the bounds pass knows which footprints govern
+/// its pointer sites. Optional bindings after the `:` map spec names to
+/// in-function expressions — operand names to the local pointer path
+/// (`stream_src = s.src`) and spec symbols to parameter expressions
+/// (`m = M`, `nr = NR_VECS * V::LANES`); unbound names map to
+/// themselves.
+#[derive(Debug, Clone)]
+pub struct ContractAnnotation {
+    /// 1-based line of the comment.
+    pub line: usize,
+    /// The comma-separated tags inside the parentheses, trimmed.
+    pub tags: Vec<String>,
+    /// `key = expr` bindings after the `:`, in written order. Values
+    /// are raw expression text; the bounds pass parses them.
+    pub bindings: Vec<(String, String)>,
+}
+
 /// A parsed `// ALLOC-FREE` range (explicit begin/end pair, or a whole
 /// function body when the marker sits in a function's header block).
 #[derive(Debug, Clone, Copy)]
@@ -63,6 +82,10 @@ pub struct SourceFile {
     pub code: Vec<String>,
     /// Brace depth after each line.
     pub depth_after: Vec<i64>,
+    /// Parenthesis depth after each line (code tokens only).
+    pub paren_depth_after: Vec<i64>,
+    /// Bracket depth after each line (code tokens only).
+    pub bracket_depth_after: Vec<i64>,
     /// Token stream.
     pub tokens: Vec<Token>,
     /// Owned copy of the source the token spans index into.
@@ -75,6 +98,8 @@ pub struct SourceFile {
     pub fns: Vec<FnRegion>,
     /// `ORDERING(…)` annotations, in source order.
     pub ordering_annotations: Vec<OrderingAnnotation>,
+    /// `CONTRACT(…)` anchor annotations, in source order.
+    pub contract_annotations: Vec<ContractAnnotation>,
     /// Lines carrying a `PANIC-OK:` comment.
     pub panic_ok_lines: Vec<usize>,
     /// Lines carrying a `PANIC-OK(index):` fn-header waiver.
@@ -94,7 +119,12 @@ impl SourceFile {
     /// Lexes and analyzes one file.
     pub fn parse(label: &str, src: &str) -> SourceFile {
         let tokens = lexer::lex(src);
-        let CodeLines { code, depth_after } = lexer::code_lines_from(src, &tokens);
+        let CodeLines {
+            code,
+            depth_after,
+            paren_depth_after,
+            bracket_depth_after,
+        } = lexer::code_lines_from(src, &tokens);
         let lines: Vec<String> = src.lines().map(str::to_string).collect();
         let n = lines.len().max(1);
         let is_test_file = label.contains("/tests/") || label.starts_with("tests/");
@@ -106,12 +136,15 @@ impl SourceFile {
             lines,
             code,
             depth_after,
+            paren_depth_after,
+            bracket_depth_after,
             tokens,
             src: src.to_string(),
             is_test_file,
             in_test_mod,
             fns,
             ordering_annotations: Vec::new(),
+            contract_annotations: Vec::new(),
             panic_ok_lines: Vec::new(),
             panic_ok_index_lines: Vec::new(),
             alloc_free: Vec::new(),
@@ -205,6 +238,41 @@ impl SourceFile {
                         });
                     }
                 }
+                if let Some(rest) = find_after(cline, "CONTRACT(") {
+                    // Bindings may contain nested parentheses and
+                    // commas, so the close paren is depth-matched and
+                    // splits happen at depth 0 only.
+                    if let Some(close) = find_depth_matched_close(rest) {
+                        let body = &rest[..close];
+                        // Tags never contain `:`, so the first top-level
+                        // colon (if any) starts the binding list; `::`
+                        // inside binding values sits after it.
+                        let (tag_part, bind_part) = match body.find(':') {
+                            Some(p) => (&body[..p], Some(&body[p + 1..])),
+                            None => (body, None),
+                        };
+                        let tags = tag_part
+                            .split(',')
+                            .map(|t| t.trim().to_string())
+                            .filter(|t| !t.is_empty())
+                            .collect();
+                        let mut bindings = Vec::new();
+                        for piece in bind_part.map(split_top_commas).unwrap_or_default() {
+                            if let Some(eq) = piece.find('=') {
+                                let key = piece[..eq].trim().to_string();
+                                let val = piece[eq + 1..].trim().to_string();
+                                if !key.is_empty() && !val.is_empty() {
+                                    bindings.push((key, val));
+                                }
+                            }
+                        }
+                        self.contract_annotations.push(ContractAnnotation {
+                            line,
+                            tags,
+                            bindings,
+                        });
+                    }
+                }
                 if cline.contains("PANIC-OK:") {
                     self.panic_ok_lines.push(line);
                 }
@@ -226,6 +294,60 @@ impl SourceFile {
     pub fn has_directive(&self, directive: &str) -> bool {
         self.directives.iter().any(|d| d == directive)
     }
+
+    /// The `CONTRACT(…)` tags anchored to the function declared at
+    /// `decl_line` — annotations sitting in the contiguous header block
+    /// above the declaration.
+    pub fn contract_tags_for(&self, f: &FnRegion) -> Vec<String> {
+        self.contract_anchors_for(f)
+            .into_iter()
+            .flat_map(|a| a.tags.iter().cloned())
+            .collect()
+    }
+
+    /// The full `CONTRACT(…)` anchor annotations (tags + bindings) in
+    /// the header block of `f`.
+    pub fn contract_anchors_for(&self, f: &FnRegion) -> Vec<&ContractAnnotation> {
+        self.contract_annotations
+            .iter()
+            .filter(|a| a.line >= f.header_line && a.line < f.decl_line)
+            .collect()
+    }
+}
+
+/// Byte index of the `)` closing the group whose contents start at the
+/// beginning of `s` (the opening paren was already consumed).
+fn find_depth_matched_close(s: &str) -> Option<usize> {
+    let mut depth = 0i64;
+    for (i, c) in s.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' if depth == 0 => return Some(i),
+            ')' => depth -= 1,
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Splits at commas sitting outside any parentheses.
+fn split_top_commas(s: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth = 0i64;
+    let mut start = 0usize;
+    for (i, c) in s.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => depth -= 1,
+            ',' if depth == 0 => {
+                out.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(&s[start..]);
+    out
 }
 
 fn find_after<'a>(haystack: &'a str, needle: &str) -> Option<&'a str> {
@@ -601,6 +723,51 @@ fn g() {
         assert_eq!(f.panic_ok_lines, vec![5]);
         assert_eq!(f.alloc_free.len(), 1);
         assert_eq!((f.alloc_free[0].start, f.alloc_free[0].end), (8, 10));
+    }
+
+    #[test]
+    fn contract_annotations_anchor_to_their_fn() {
+        let src = "\
+/// Doc.
+// CONTRACT(SHALOM-K-MAIN)
+#[inline]
+unsafe fn k(p: *const f32) {}
+
+// CONTRACT(SHALOM-K-EDGE-PIPE, SHALOM-K-EDGE-BATCH)
+unsafe fn e(p: *const f32) {}
+
+fn plain() {}
+";
+        let f = SourceFile::parse("crates/x/src/a.rs", src);
+        assert_eq!(f.contract_annotations.len(), 2);
+        assert_eq!(f.contract_tags_for(&f.fns[0]), vec!["SHALOM-K-MAIN"]);
+        assert_eq!(
+            f.contract_tags_for(&f.fns[1]),
+            vec!["SHALOM-K-EDGE-PIPE", "SHALOM-K-EDGE-BATCH"]
+        );
+        assert!(f.contract_tags_for(&f.fns[2]).is_empty());
+    }
+
+    #[test]
+    fn contract_annotation_bindings_parse_depth_matched() {
+        let src = "\
+// CONTRACT(SHALOM-K-STREAM: stream_src = s.src, stream_rows = s.rows, nr = (NR_VECS) * V::LANES)
+unsafe fn k(p: *const f32) {}
+";
+        let f = SourceFile::parse("crates/x/src/a.rs", src);
+        assert_eq!(f.contract_annotations.len(), 1);
+        let a = &f.contract_annotations[0];
+        assert_eq!(a.tags, vec!["SHALOM-K-STREAM"]);
+        assert_eq!(
+            a.bindings,
+            vec![
+                ("stream_src".to_string(), "s.src".to_string()),
+                ("stream_rows".to_string(), "s.rows".to_string()),
+                ("nr".to_string(), "(NR_VECS) * V::LANES".to_string()),
+            ]
+        );
+        let anchors = f.contract_anchors_for(&f.fns[0]);
+        assert_eq!(anchors.len(), 1);
     }
 
     #[test]

@@ -1,0 +1,792 @@
+//! Symbolic polynomial expressions and the interval prover behind the
+//! `bounds` pass.
+//!
+//! A [`SymExpr`] is a multivariate polynomial with `i64` coefficients
+//! over named symbols (`kc`, `lda`, `V::LANES`, `s.src_ld`, …), stored
+//! as a normalized map from sorted symbol multisets to coefficients.
+//! Every symbol denotes a **non-negative** integer (a `usize` kernel
+//! parameter or loop counter), which is what makes the prover's
+//! coefficient check sound: a polynomial whose coefficients are all
+//! non-negative evaluates non-negative at every admissible point.
+//!
+//! [`Env`] carries what the extractor learned at a site — loop-variable
+//! ranges, `let` equalities, and `sym >= expr` facts — and answers the
+//! two questions the bounds pass needs: candidate upper/lower bounds of
+//! an expression with every range variable eliminated
+//! ([`Env::maximize`] / [`Env::minimize`]), and entailment of
+//! `expr >= 0` from the facts ([`Env::prove_ge0`]).
+//!
+//! Variable elimination substitutes variables in **reverse definition
+//! order**, so a bound that references an earlier variable (e.g.
+//! `bcols <= npanel - j`) cancels against the expression it is
+//! substituted into (`j + bcols -> npanel`) before the earlier variable
+//! is bounded — losing that correlation would forfeit exactness on the
+//! panel kernels.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A multivariate polynomial over non-negative integer symbols.
+///
+/// Keys are sorted multisets of symbol names (the empty key is the
+/// constant term); values are the nonzero coefficients.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SymExpr {
+    terms: BTreeMap<Vec<String>, i64>,
+}
+
+impl SymExpr {
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        SymExpr {
+            terms: BTreeMap::new(),
+        }
+    }
+
+    /// A constant.
+    pub fn constant(c: i64) -> Self {
+        let mut terms = BTreeMap::new();
+        if c != 0 {
+            terms.insert(Vec::new(), c);
+        }
+        SymExpr { terms }
+    }
+
+    /// A single symbol.
+    pub fn symbol(name: &str) -> Self {
+        let mut terms = BTreeMap::new();
+        terms.insert(vec![name.to_string()], 1);
+        SymExpr { terms }
+    }
+
+    fn insert(&mut self, key: Vec<String>, coeff: i64) {
+        if coeff == 0 {
+            return;
+        }
+        let slot = self.terms.entry(key).or_insert(0);
+        *slot += coeff;
+        if *slot == 0 {
+            let key: Vec<Vec<String>> = self
+                .terms
+                .iter()
+                .filter(|(_, &c)| c == 0)
+                .map(|(k, _)| k.clone())
+                .collect();
+            for k in key {
+                self.terms.remove(&k);
+            }
+        }
+    }
+
+    /// `self + o`.
+    pub fn add(&self, o: &SymExpr) -> SymExpr {
+        let mut out = self.clone();
+        for (k, &c) in &o.terms {
+            out.insert(k.clone(), c);
+        }
+        out
+    }
+
+    /// `self - o`.
+    pub fn sub(&self, o: &SymExpr) -> SymExpr {
+        let mut out = self.clone();
+        for (k, &c) in &o.terms {
+            out.insert(k.clone(), -c);
+        }
+        out
+    }
+
+    /// `self * o`.
+    pub fn mul(&self, o: &SymExpr) -> SymExpr {
+        let mut out = SymExpr::zero();
+        for (ka, &ca) in &self.terms {
+            for (kb, &cb) in &o.terms {
+                let mut k = ka.clone();
+                k.extend(kb.iter().cloned());
+                k.sort();
+                out.insert(k, ca * cb);
+            }
+        }
+        out
+    }
+
+    /// Whether this is the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// The constant value, when there are no symbolic terms.
+    pub fn as_constant(&self) -> Option<i64> {
+        match self.terms.len() {
+            0 => Some(0),
+            1 => self.terms.get(&Vec::new()).copied(),
+            _ => None,
+        }
+    }
+
+    /// Whether any monomial mentions `sym`.
+    pub fn contains(&self, sym: &str) -> bool {
+        self.terms.keys().any(|k| k.iter().any(|s| s == sym))
+    }
+
+    /// Coefficient of the *linear* monomial `sym` (0 when absent). The
+    /// guard parser uses this to recognize `kc - 1`-shaped facts; it
+    /// says nothing about higher-degree monomials mentioning `sym` —
+    /// pair with [`SymExpr::contains`] on the linear part removed when
+    /// exclusivity matters.
+    pub fn linear_coeff(&self, sym: &str) -> i64 {
+        self.terms.get(&vec![sym.to_string()]).copied().unwrap_or(0)
+    }
+
+    /// Every distinct symbol mentioned.
+    pub fn symbols(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for k in self.terms.keys() {
+            for s in k {
+                if !out.contains(&s.as_str()) {
+                    out.push(s);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Whether every coefficient is non-negative — with all symbols
+    /// non-negative, this entails the polynomial is non-negative.
+    pub fn all_coeffs_nonneg(&self) -> bool {
+        self.terms.values().all(|&c| c >= 0)
+    }
+
+    /// Substitutes `sym := with` (a symbol of multiplicity `d` in a
+    /// monomial becomes `with^d`) and renormalizes.
+    pub fn subst(&self, sym: &str, with: &SymExpr) -> SymExpr {
+        let mut out = SymExpr::zero();
+        for (k, &c) in &self.terms {
+            let d = k.iter().filter(|s| *s == sym).count();
+            if d == 0 {
+                out.insert(k.clone(), c);
+                continue;
+            }
+            let rest: Vec<String> = k.iter().filter(|s| *s != sym).cloned().collect();
+            let mut term = SymExpr {
+                terms: BTreeMap::from([(rest, c)]),
+            };
+            for _ in 0..d {
+                term = term.mul(with);
+            }
+            for (k2, &c2) in &term.terms {
+                out.insert(k2.clone(), c2);
+            }
+        }
+        out
+    }
+
+    /// Splits `self = q * ld + r` where `q` collects every monomial
+    /// containing `ld` (once) with that factor removed and `r` is the
+    /// rest. `None` when some monomial contains `ld` squared or higher —
+    /// the row-span decomposition cannot handle that.
+    pub fn split_stride(&self, ld: &str) -> Option<(SymExpr, SymExpr)> {
+        let mut q = SymExpr::zero();
+        let mut r = SymExpr::zero();
+        for (k, &c) in &self.terms {
+            match k.iter().filter(|s| s.as_str() == ld).count() {
+                0 => r.insert(k.clone(), c),
+                1 => {
+                    let mut rest = k.clone();
+                    let pos = rest.iter().position(|s| s == ld).unwrap();
+                    rest.remove(pos);
+                    q.insert(rest, c);
+                }
+                _ => return None,
+            }
+        }
+        Some((q, r))
+    }
+
+    /// Evaluates numerically through `resolve`; `None` when a symbol is
+    /// unresolvable.
+    pub fn eval(&self, resolve: &dyn Fn(&str) -> Option<i64>) -> Option<i64> {
+        let mut total = 0i64;
+        for (k, &c) in &self.terms {
+            let mut term = c;
+            for s in k {
+                term *= resolve(s)?;
+            }
+            total += term;
+        }
+        Some(total)
+    }
+
+    /// Parses an offset expression: `+ - *`, parentheses, decimal
+    /// literals (numeric suffixes ignored), `as usize`/`as isize` casts
+    /// (dropped), and symbol paths joining `::` segments and `.` fields
+    /// (`V::LANES`, `s.src_ld`). Anything else — method calls,
+    /// division, comparisons — is an error; the caller reports the site
+    /// as unsupported rather than guessing.
+    pub fn parse(text: &str) -> Result<SymExpr, String> {
+        let toks = tokenize(text)?;
+        let mut p = Parser { toks, at: 0 };
+        let e = p.expr()?;
+        if p.at != p.toks.len() {
+            return Err(format!("trailing input at `{}`", p.toks[p.at]));
+        }
+        Ok(e)
+    }
+}
+
+impl fmt::Display for SymExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return write!(f, "0");
+        }
+        // Symbolic terms first (longest key last per BTreeMap order is
+        // fine); constant term renders last for readability.
+        let mut parts: Vec<(Vec<String>, i64)> =
+            self.terms.iter().map(|(k, &c)| (k.clone(), c)).collect();
+        parts.sort_by(|a, b| (a.0.is_empty(), &a.0).cmp(&(b.0.is_empty(), &b.0)));
+        for (i, (k, c)) in parts.iter().enumerate() {
+            let mag = c.abs();
+            if i == 0 {
+                if *c < 0 {
+                    write!(f, "-")?;
+                }
+            } else if *c < 0 {
+                write!(f, " - ")?;
+            } else {
+                write!(f, " + ")?;
+            }
+            if k.is_empty() {
+                write!(f, "{mag}")?;
+            } else {
+                if mag != 1 {
+                    write!(f, "{mag}*")?;
+                }
+                write!(f, "{}", k.join("*"))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Num(i64),
+    Path(String),
+    Punct(char),
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Num(n) => write!(f, "{n}"),
+            Tok::Path(p) => write!(f, "{p}"),
+            Tok::Punct(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+fn tokenize(text: &str) -> Result<Vec<Tok>, String> {
+    let b: Vec<char> = text.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < b.len() {
+        let c = b[i];
+        if c.is_whitespace() {
+            i += 1;
+        } else if c.is_ascii_digit() {
+            let mut v: i64 = 0;
+            while i < b.len() && (b[i].is_ascii_digit() || b[i] == '_') {
+                if b[i] != '_' {
+                    v = v * 10 + (b[i] as i64 - '0' as i64);
+                }
+                i += 1;
+            }
+            // Swallow a literal suffix (`0usize`).
+            while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                i += 1;
+            }
+            out.push(Tok::Num(v));
+        } else if c.is_alphabetic() || c == '_' {
+            let mut s = String::new();
+            loop {
+                while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                    s.push(b[i]);
+                    i += 1;
+                }
+                // Join `::` path segments and `.field` accesses into one
+                // symbol; a `.ident(` method call is not a field.
+                if i + 1 < b.len() && b[i] == ':' && b[i + 1] == ':' {
+                    s.push_str("::");
+                    i += 2;
+                } else if i < b.len()
+                    && b[i] == '.'
+                    && b.get(i + 1).is_some_and(|c| c.is_alphabetic() || *c == '_')
+                {
+                    let mut j = i + 1;
+                    while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                        j += 1;
+                    }
+                    if b.get(j) == Some(&'(') {
+                        break; // method call; leave `.name(` for the parser to reject
+                    }
+                    s.push('.');
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            out.push(Tok::Path(s));
+        } else if "+-*()".contains(c) {
+            out.push(Tok::Punct(c));
+            i += 1;
+        } else {
+            return Err(format!("unsupported character `{c}`"));
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    at: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.at)
+    }
+
+    fn expr(&mut self) -> Result<SymExpr, String> {
+        let mut acc = if self.peek() == Some(&Tok::Punct('-')) {
+            self.at += 1;
+            SymExpr::zero().sub(&self.term()?)
+        } else {
+            self.term()?
+        };
+        loop {
+            match self.peek() {
+                Some(Tok::Punct('+')) => {
+                    self.at += 1;
+                    acc = acc.add(&self.term()?);
+                }
+                Some(Tok::Punct('-')) => {
+                    self.at += 1;
+                    acc = acc.sub(&self.term()?);
+                }
+                _ => return Ok(acc),
+            }
+        }
+    }
+
+    fn term(&mut self) -> Result<SymExpr, String> {
+        let mut acc = self.factor()?;
+        while self.peek() == Some(&Tok::Punct('*')) {
+            self.at += 1;
+            acc = acc.mul(&self.factor()?);
+        }
+        Ok(acc)
+    }
+
+    fn factor(&mut self) -> Result<SymExpr, String> {
+        let e = match self.peek().cloned() {
+            Some(Tok::Num(n)) => {
+                self.at += 1;
+                SymExpr::constant(n)
+            }
+            Some(Tok::Path(p)) => {
+                self.at += 1;
+                if p == "as" {
+                    return Err("dangling cast".into());
+                }
+                SymExpr::symbol(&p)
+            }
+            Some(Tok::Punct('(')) => {
+                self.at += 1;
+                let inner = self.expr()?;
+                if self.peek() != Some(&Tok::Punct(')')) {
+                    return Err("unclosed parenthesis".into());
+                }
+                self.at += 1;
+                inner
+            }
+            other => return Err(format!("expected operand, found {other:?}")),
+        };
+        // `expr as usize` — drop the cast.
+        while let Some(Tok::Path(p)) = self.peek() {
+            if p == "as" {
+                self.at += 1;
+                match self.peek() {
+                    Some(Tok::Path(_)) => self.at += 1,
+                    _ => return Err("cast without a type".into()),
+                }
+            } else {
+                return Err(format!("unexpected symbol `{p}` after operand"));
+            }
+        }
+        Ok(e)
+    }
+}
+
+/// The range the extractor established for one scoped variable.
+#[derive(Debug, Clone)]
+pub struct VarBound {
+    /// Variable name as it appears in offset expressions.
+    pub name: String,
+    /// Conservative inclusive lower bound (`0` is always sound for a
+    /// `usize`; `let mut r = kc` improves it to `kc`).
+    pub lo: SymExpr,
+    /// Candidate inclusive upper bounds, any of which is valid — an
+    /// exact `let` gives one, `a.min(b)` gives two, a guard adds more.
+    /// Empty means unbounded; expressions may reference symbols defined
+    /// earlier (previous variables or parameters), never later ones.
+    pub hi: Vec<SymExpr>,
+}
+
+/// Everything known at one site: scoped variables in definition order,
+/// `let` equalities, and `sym >= expr` facts.
+#[derive(Debug, Clone, Default)]
+pub struct Env {
+    /// Range variables, earliest definition first.
+    pub vars: Vec<VarBound>,
+    /// Equalities substituted before proving (`nr = NR_VECS*V::LANES`).
+    pub eqs: Vec<(String, SymExpr)>,
+    /// Facts of shape `sym >= expr` (e.g. `kc >= 1` from a guard).
+    pub ges: Vec<(String, SymExpr)>,
+    /// Polynomial facts known non-negative (`F >= 0`) that are not of
+    /// `sym >= expr` shape — the `div_ceil` definition contributes
+    /// `q*b - a >= 0` and `a + b - 1 - q*b >= 0`. Used as one-shot
+    /// additive witnesses: `d >= 0` holds if `d - F` has non-negative
+    /// coefficients for some fact `F`.
+    pub polys: Vec<SymExpr>,
+}
+
+/// Cap on candidate fan-out during variable elimination; real kernels
+/// stay in single digits.
+const MAX_CANDIDATES: usize = 64;
+
+impl Env {
+    /// Candidate upper bounds of `e` with every range variable
+    /// eliminated (each candidate is individually sound). Empty when
+    /// some variable needed an upper bound and had none.
+    pub fn maximize(&self, e: &SymExpr) -> Vec<SymExpr> {
+        self.eliminate(e, true)
+    }
+
+    /// Candidate lower bounds of `e`, symmetrically.
+    pub fn minimize(&self, e: &SymExpr) -> Vec<SymExpr> {
+        self.eliminate(e, false)
+    }
+
+    fn eliminate(&self, e: &SymExpr, maximize: bool) -> Vec<SymExpr> {
+        let mut frontier = vec![e.clone()];
+        for v in self.vars.iter().rev() {
+            let mut next = Vec::new();
+            for cand in frontier {
+                if !cand.contains(&v.name) {
+                    next.push(cand);
+                    continue;
+                }
+                // Monomials whose coefficient sign pushes the objective
+                // up take an upper-bound candidate (branching); the rest
+                // containing the variable take the lower bound. All
+                // symbols are non-negative, so per-monomial selection is
+                // sound; cancellation (j + bcols -> npanel) happens in
+                // the polynomial arithmetic after substitution.
+                let mut hi_side = SymExpr::zero();
+                let mut lo_side = SymExpr::zero();
+                let mut rest = SymExpr::zero();
+                for (k, &c) in &cand.terms {
+                    let target = if !k.iter().any(|s| s == &v.name) {
+                        &mut rest
+                    } else if (c > 0) == maximize {
+                        &mut hi_side
+                    } else {
+                        &mut lo_side
+                    };
+                    target.insert(k.clone(), c);
+                }
+                let lo_done = lo_side.subst(&v.name, &v.lo).add(&rest);
+                if hi_side.is_zero() {
+                    if next.len() < MAX_CANDIDATES {
+                        next.push(lo_done);
+                    }
+                    continue;
+                }
+                // Upper bound required but none known: candidate dies.
+                for h in &v.hi {
+                    if next.len() < MAX_CANDIDATES {
+                        next.push(hi_side.subst(&v.name, h).add(&lo_done));
+                    }
+                }
+            }
+            frontier = next;
+            if frontier.is_empty() {
+                return frontier;
+            }
+        }
+        // By construction bounds only reference earlier symbols, so no
+        // variable survives; drop any that would (unsound to keep).
+        frontier.retain(|c| self.vars.iter().all(|v| !c.contains(&v.name)));
+        frontier
+    }
+
+    /// Applies the equalities (to fixpoint over the list) then checks
+    /// coefficients; on failure, additionally rewrites each `sym >=
+    /// expr` fact as `sym = expr + slack` with a fresh non-negative
+    /// slack symbol and rechecks.
+    pub fn prove_ge0(&self, d: &SymExpr) -> bool {
+        let mut d = d.clone();
+        for _ in 0..self.eqs.len().max(1) {
+            let before = d.clone();
+            for (name, rhs) in &self.eqs {
+                d = d.subst(name, rhs);
+            }
+            if d == before {
+                break;
+            }
+        }
+        if d.all_coeffs_nonneg() {
+            return true;
+        }
+        let mut slacked = d.clone();
+        for (i, (name, rhs)) in self.ges.iter().enumerate() {
+            let slack = SymExpr::symbol(&format!("__slack{i}"));
+            slacked = slacked.subst(name, &rhs.add(&slack));
+        }
+        if slacked.all_coeffs_nonneg() {
+            return true;
+        }
+        // Last resort: subtract one non-negative fact. `d = F + rest`
+        // with `rest` coefficient-non-negative entails `d >= 0`.
+        self.polys
+            .iter()
+            .any(|f| d.sub(f).all_coeffs_nonneg() || slacked.sub(f).all_coeffs_nonneg())
+    }
+
+    /// Proves `e <= limit`: some maximize-candidate `u` of `e` has
+    /// `limit - u >= 0`. Returns the winning candidate for reporting,
+    /// or the first candidate (best effort) on failure.
+    pub fn prove_le(&self, e: &SymExpr, limit: &SymExpr) -> Result<SymExpr, Option<SymExpr>> {
+        let cands = self.maximize(e);
+        for u in &cands {
+            if self.prove_ge0(&limit.sub(u)) {
+                return Ok(u.clone());
+            }
+        }
+        Err(cands.into_iter().next())
+    }
+
+    /// Proves `e >= limit`, symmetrically.
+    pub fn prove_ge(&self, e: &SymExpr, limit: &SymExpr) -> Result<SymExpr, Option<SymExpr>> {
+        let cands = self.minimize(e);
+        for l in &cands {
+            if self.prove_ge0(&l.sub(limit)) {
+                return Ok(l.clone());
+            }
+        }
+        Err(cands.into_iter().next())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> SymExpr {
+        SymExpr::parse(s).unwrap()
+    }
+
+    #[test]
+    fn parse_and_normalize() {
+        assert_eq!(p("(k + 1) * ldb"), p("k*ldb + ldb"));
+        assert_eq!(p("a - a"), SymExpr::zero());
+        assert_eq!(p("2*x + x"), p("3 * x"));
+        assert_eq!(p("V::LANES * NV"), p("NV * V::LANES"));
+        assert_eq!(p("s.src_ld * r").to_string(), "r*s.src_ld");
+        assert_eq!(p("i * lda + k as usize"), p("k + i*lda"));
+        assert_eq!(p("0usize + 3"), SymExpr::constant(3));
+    }
+
+    #[test]
+    fn parse_rejects_unsupported() {
+        assert!(SymExpr::parse("a / b").is_err());
+        assert!(SymExpr::parse("a.min(b)").is_err());
+        assert!(SymExpr::parse("a < b").is_err());
+        assert!(SymExpr::parse("f(x)").is_err());
+    }
+
+    #[test]
+    fn display_is_stable() {
+        assert_eq!(p("kc*nr - nr + 4").to_string(), "kc*nr - nr + 4");
+        assert_eq!(p("0").to_string(), "0");
+        assert_eq!(p("-2*a").to_string(), "-2*a");
+    }
+
+    #[test]
+    fn split_stride_decomposes_rows() {
+        let (q, r) = p("i*lda + k").split_stride("lda").unwrap();
+        assert_eq!(q, p("i"));
+        assert_eq!(r, p("k"));
+        let (q, r) = p("(k + lane) * ldb + t * V::LANES")
+            .split_stride("ldb")
+            .unwrap();
+        assert_eq!(q, p("k + lane"));
+        assert_eq!(r, p("t * V::LANES"));
+        assert!(p("lda*lda").split_stride("lda").is_none());
+    }
+
+    #[test]
+    fn eval_resolves() {
+        let e = p("i*lda + 2");
+        let v = e.eval(&|s| match s {
+            "i" => Some(3),
+            "lda" => Some(10),
+            _ => None,
+        });
+        assert_eq!(v, Some(32));
+        assert_eq!(e.eval(&|_| None), None);
+    }
+
+    fn var(name: &str, lo: &str, hi: &[&str]) -> VarBound {
+        VarBound {
+            name: name.into(),
+            lo: p(lo),
+            hi: hi.iter().map(|h| p(h)).collect(),
+        }
+    }
+
+    #[test]
+    fn maximize_simple_loop() {
+        // for k in 0..kc: max(k*nr + jj) with jj in npanel..nr
+        let env = Env {
+            vars: vec![var("k", "0", &["kc - 1"]), var("jj", "npanel", &["nr - 1"])],
+            ..Default::default()
+        };
+        let u = env.prove_le(&p("k*nr + jj + 1"), &p("kc*nr")).unwrap();
+        assert_eq!(u, p("kc*nr - nr + nr - 1 + 1"));
+        assert!(env.prove_le(&p("k*nr + jj + 2"), &p("kc*nr")).is_err());
+    }
+
+    #[test]
+    fn correlated_bound_cancels() {
+        // j < npanel; bcols = min(3, npanel - j): j + bcols <= npanel.
+        let env = Env {
+            vars: vec![
+                var("j", "0", &["npanel - 1"]),
+                var("bcols", "0", &["3", "npanel - j"]),
+            ],
+            ..Default::default()
+        };
+        assert!(env.prove_le(&p("j + bcols"), &p("npanel")).is_ok());
+        // Without the correlated candidate the proof must fail.
+        let env2 = Env {
+            vars: vec![var("j", "0", &["npanel - 1"]), var("bcols", "0", &["3"])],
+            ..Default::default()
+        };
+        assert!(env2.prove_le(&p("j + bcols"), &p("npanel")).is_err());
+    }
+
+    #[test]
+    fn eq_facts_close_the_gap() {
+        // kk <= kc - 1; offset kk*nr + t*LANES + LANES <= kc*nr given
+        // nr = NR_VECS*LANES and t <= NR_VECS - 1.
+        let env = Env {
+            vars: vec![var("kk", "0", &["kc - 1"]), var("t", "0", &["NR_VECS - 1"])],
+            eqs: vec![("nr".into(), p("NR_VECS * V::LANES"))],
+            ..Default::default()
+        };
+        assert!(env
+            .prove_le(&p("kk*nr + t*V::LANES + V::LANES"), &p("kc*nr"))
+            .is_ok());
+        // Dropping the V::LANES scale (seeded mutation) must fail:
+        // kk*nr + t + 1 <= kc*nr is not provable without t <= LANES-1
+        // relating t to the panel tail — and indeed it is false.
+        assert!(env
+            .prove_le(&p("kk*nr + t*V::LANES + V::LANES + 1"), &p("kc*nr"))
+            .is_err());
+    }
+
+    #[test]
+    fn ge_facts_provide_slack() {
+        // Edge prologue: row 0 needs kc >= 1.
+        let env = Env {
+            ges: vec![("kc".into(), p("1"))],
+            ..Default::default()
+        };
+        assert!(env.prove_ge0(&p("kc - 1")));
+        assert!(!env.prove_ge0(&p("kc - 2")));
+        let bare = Env::default();
+        assert!(!bare.prove_ge0(&p("kc - 1")));
+    }
+
+    #[test]
+    fn exact_sliver_identity() {
+        // pack_a dst: (slivers-1)*mr*kc + (kc-1)*mr + (mr-1) + 1
+        //           = slivers*mr*kc exactly.
+        let env = Env {
+            vars: vec![
+                var("s", "0", &["slivers - 1"]),
+                var("k", "0", &["kc - 1"]),
+                var("i", "0", &["mr - 1"]),
+            ],
+            ..Default::default()
+        };
+        assert!(env
+            .prove_le(&p("s*mr*kc + k*mr + i + 1"), &p("slivers*mr*kc"))
+            .is_ok());
+        // Off by one row (seeded mutation: `k*mr + i + mr`) must fail.
+        assert!(env
+            .prove_le(&p("s*mr*kc + k*mr + i + mr + 1"), &p("slivers*mr*kc"))
+            .is_err());
+    }
+
+    #[test]
+    fn ceildiv_poly_facts_prove_formation_bounds() {
+        // slivers = nc.div_ceil(nr) gives the two facts
+        //   slivers*nr - nc >= 0 and nc + nr - 1 - slivers*nr >= 0.
+        // pack_b's source-row formation `k*ldb + s*nr` needs
+        //   s*nr <= nc - 1, i.e. nc - 1 - (slivers - 1)*nr >= 0,
+        // which is the second fact plus (nr - ... cancellation).
+        let env = Env {
+            vars: vec![var("s", "0", &["slivers - 1"])],
+            ges: vec![("nr".into(), p("1"))],
+            polys: vec![p("slivers*nr - nc"), p("nc + nr - 1 - slivers*nr")],
+            ..Default::default()
+        };
+        assert!(env.prove_le(&p("s*nr"), &p("nc - 1")).is_ok());
+        // One row further is out of bounds and must not prove.
+        assert!(env.prove_le(&p("s*nr + nr"), &p("nc - 1")).is_err());
+        // Without the facts the correlation is lost.
+        let bare = Env {
+            vars: vec![var("s", "0", &["slivers - 1"])],
+            ..Default::default()
+        };
+        assert!(bare.prove_le(&p("s*nr"), &p("nc - 1")).is_err());
+    }
+
+    #[test]
+    fn minimize_uses_lower_bounds() {
+        let env = Env {
+            vars: vec![var("r", "kc", &["s.rows - 1"])],
+            ..Default::default()
+        };
+        assert!(env.prove_ge(&p("r"), &p("kc")).is_ok());
+        assert!(env.prove_ge(&p("r"), &p("0")).is_ok());
+        assert!(env.prove_ge(&p("r"), &p("kc + 1")).is_err());
+    }
+
+    #[test]
+    fn unbounded_variable_fails_not_proves() {
+        let env = Env {
+            vars: vec![VarBound {
+                name: "k".into(),
+                lo: SymExpr::zero(),
+                hi: vec![],
+            }],
+            ..Default::default()
+        };
+        assert!(env.maximize(&p("k + 1")).is_empty());
+        assert!(env.prove_le(&p("k"), &p("kc")).is_err());
+    }
+}

@@ -6,8 +6,10 @@ use std::collections::HashSet;
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use crate::passes::{allocs, atomics, features, panics, protocols};
+use crate::passes::bounds::BoundsStats;
+use crate::passes::{allocs, atomics, bounds, features, panics, protocols};
 use crate::source::SourceFile;
+use crate::spec::Spec;
 use crate::{orderings, Finding};
 
 /// What to analyze. `repo_default()` encodes this repository's layout;
@@ -23,6 +25,13 @@ pub struct AnalysisConfig {
     /// Crate directories (each containing a `Cargo.toml` and `src/`)
     /// for the feature-gate pass.
     pub crate_dirs: Vec<PathBuf>,
+    /// Directories whose raw-pointer arithmetic the bounds pass proves
+    /// against the symbolic operand spans declared in [`Self::bounds_spec`].
+    pub bounds_roots: Vec<PathBuf>,
+    /// The symbolic footprint spec file (repo-relative) the bounds pass
+    /// checks against — the same file the contract registry evaluates
+    /// numerically for the conformance harness.
+    pub bounds_spec: PathBuf,
     /// Whether to report registry tags no audited file uses. On for the
     /// workspace run, off for fixture tests (which use few tags).
     pub check_unused_tags: bool,
@@ -60,6 +69,8 @@ impl AnalysisConfig {
                 p("crates/analysis"),
                 p("."),
             ],
+            bounds_roots: vec![p("crates/kernels/src"), p("crates/simd/src")],
+            bounds_spec: p("crates/contracts/bounds.spec"),
             check_unused_tags: true,
         }
     }
@@ -69,7 +80,18 @@ impl AnalysisConfig {
 /// I/O errors (missing roots, unreadable files) become findings rather
 /// than panics, so a misconfigured CI job fails loudly.
 pub fn analyze_repo(root: &Path, config: &AnalysisConfig) -> Vec<Finding> {
+    analyze_repo_with_stats(root, config).0
+}
+
+/// [`analyze_repo`] plus the bounds pass's proof statistics (total
+/// pointer sites seen and sites proved in-span) — the tier-1 tests pin
+/// a floor on these so the pass cannot silently stop seeing sites.
+pub fn analyze_repo_with_stats(
+    root: &Path,
+    config: &AnalysisConfig,
+) -> (Vec<Finding>, BoundsStats) {
     let mut out = Vec::new();
+    let mut stats = BoundsStats::default();
 
     // Panic- and alloc-freedom passes over every scanned file.
     for rel in &config.scan_roots {
@@ -103,6 +125,56 @@ pub fn analyze_repo(root: &Path, config: &AnalysisConfig) -> Vec<Finding> {
         }
     }
 
+    // Symbolic pointer-bounds verification over the kernel crates.
+    let spec_label = config.bounds_spec.display().to_string().replace('\\', "/");
+    match fs::read_to_string(root.join(&config.bounds_spec)) {
+        Err(e) => out.push(Finding::new(
+            "bounds",
+            "io-error",
+            &spec_label,
+            0,
+            format!("cannot read bounds spec: {e}"),
+        )),
+        Ok(text) => match Spec::parse(&text) {
+            Err(e) => out.push(Finding::new(
+                "bounds",
+                "spec-mismatch",
+                &spec_label,
+                0,
+                format!("bounds spec does not parse: {e}"),
+            )),
+            Ok(spec) => {
+                let mut anchored: HashSet<String> = HashSet::new();
+                for rel in &config.bounds_roots {
+                    for file in load_tree(root, rel, &mut out) {
+                        let (findings, st) = bounds::check(&file, &spec);
+                        out.extend(findings);
+                        stats.sites += st.sites;
+                        stats.proved += st.proved;
+                        anchored.extend(bounds::anchored_tags(&file));
+                    }
+                }
+                if config.check_unused_tags {
+                    for con in &spec.contracts {
+                        if !anchored.contains(&con.tag) {
+                            out.push(Finding::new(
+                                "bounds",
+                                "unanchored-contract",
+                                &spec_label,
+                                con.line,
+                                format!(
+                                    "contract `{}` is not anchored by any scanned \
+                                     kernel function",
+                                    con.tag
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+        },
+    }
+
     // Feature-gate consistency per crate.
     for dir in &config.crate_dirs {
         let manifest_path = root.join(dir).join("Cargo.toml");
@@ -126,7 +198,7 @@ pub fn analyze_repo(root: &Path, config: &AnalysisConfig) -> Vec<Finding> {
         out.extend(features::run(&feats, &files));
     }
 
-    out
+    (out, stats)
 }
 
 /// [`analyze_repo`] with the default config — what the bin and the

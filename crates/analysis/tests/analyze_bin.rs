@@ -22,7 +22,13 @@ fn fixture_workspace_fails_with_findings_from_all_passes() {
         "analyze must exit non-zero on the seeded fixture"
     );
     let stdout = String::from_utf8_lossy(&out.stdout);
-    for needle in ["[atomics/", "[panics/", "[allocs/", "[features/"] {
+    for needle in [
+        "[atomics/",
+        "[panics/",
+        "[allocs/",
+        "[features/",
+        "[bounds/",
+    ] {
         assert!(
             stdout.contains(needle),
             "expected {needle} findings in:\n{stdout}"

@@ -1,0 +1,28 @@
+//! Seeded mutation: vector loop guard dropped the `V::LANES` scale.
+//!
+//! The correct guard is `j + V::LANES <= n`; this copy tests `j < n`,
+//! so the final iteration's `V::LANES`-wide load runs up to
+//! `V::LANES - 1` elements past the declared row width.
+
+/// # Safety
+/// Fixture — never executed.
+// CONTRACT(FIX-MAIN)
+pub unsafe fn dropped_lane_scale<V: Vector>(
+    b: *const f32,
+    lda: usize,
+    ldb: usize,
+    ldc: usize,
+    m: usize,
+    n: usize,
+    kc: usize,
+) {
+    for k in 0..kc {
+        let mut j = 0;
+        while j < n {
+            let v = V::loadu(b.add(k * ldb + j));
+            consume(v);
+            j += V::LANES;
+        }
+    }
+    let _ = (lda, ldc, m);
+}

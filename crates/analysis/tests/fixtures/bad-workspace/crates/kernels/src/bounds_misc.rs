@@ -1,0 +1,68 @@
+//! Seeded bounds-pass rule coverage: one function per non-overflow
+//! rule (`unknown-tag`, `spec-mismatch`, `stride-split`,
+//! `unsupported-expr`, `unmapped-site`).
+
+/// # Safety
+/// Fixture — never executed.
+// CONTRACT(FIX-NOPE)
+pub unsafe fn anchors_unknown_tag(a: *const f32, kc: usize) -> f32 {
+    let mut acc = 0.0;
+    for k in 0..kc {
+        acc += *a.add(k);
+    }
+    acc
+}
+
+/// # Safety
+/// Fixture — never executed.
+// CONTRACT(FIX-MAIN: m = rows.max(1))
+pub unsafe fn binding_does_not_parse(a: *const f32, lda: usize, rows: usize, kc: usize) -> f32 {
+    let mut acc = 0.0;
+    for i in 0..rows {
+        for k in 0..kc {
+            acc += *a.add(i * lda + k);
+        }
+    }
+    acc
+}
+
+/// # Safety
+/// Fixture — never executed.
+// CONTRACT(FIX-MAIN: lda = ld2 + 1)
+pub unsafe fn compound_stride_binding(
+    c: *mut f32,
+    ldc: usize,
+    ld2: usize,
+    m: usize,
+    n: usize,
+) {
+    for i in 0..m {
+        for j in 0..n {
+            *c.add(i * ldc + j) = ld2 as f32;
+        }
+    }
+}
+
+/// # Safety
+/// Fixture — never executed.
+// CONTRACT(FIX-MAIN)
+pub unsafe fn division_in_offset(a: *const f32, lda: usize, m: usize, kc: usize) -> f32 {
+    let mut acc = 0.0;
+    for i in 0..m {
+        for k in 0..kc {
+            acc += *a.add((i * lda + k) / 2);
+        }
+    }
+    acc
+}
+
+/// # Safety
+/// Fixture — never executed.
+// CONTRACT(FIX-MAIN)
+pub unsafe fn unbound_pointer_param(a: *const f32, q: *const f32, kc: usize) -> f32 {
+    let mut acc = 0.0;
+    for k in 0..kc {
+        acc += *a.add(k) + *q.add(k);
+    }
+    acc
+}

@@ -1,0 +1,27 @@
+//! Seeded mutation: off-by-one row stride in the A walk.
+//!
+//! The correct kernel offsets `a` by `i * lda + k`; this copy advances
+//! by `lda + 1` per row, so every row after the first drifts one
+//! element to the right of its declared span.
+
+/// # Safety
+/// Fixture — never executed.
+// CONTRACT(FIX-MAIN)
+pub unsafe fn stride_off_by_one(
+    a: *const f32,
+    lda: usize,
+    ldb: usize,
+    ldc: usize,
+    m: usize,
+    n: usize,
+    kc: usize,
+) -> f32 {
+    let mut acc = 0.0;
+    for i in 0..m {
+        for k in 0..kc {
+            acc += *a.add(i * (lda + 1) + k);
+        }
+    }
+    let _ = (ldb, ldc, n);
+    acc
+}

@@ -1,0 +1,27 @@
+//! Seeded mutation: swapped `lda`/`ldb` strides.
+//!
+//! The A walk uses B's stride, so the offset `i * ldb + k` cannot be
+//! decomposed onto A's declared `lda`-strided rows and its worst case
+//! lands far outside the first row's width.
+
+/// # Safety
+/// Fixture — never executed.
+// CONTRACT(FIX-MAIN)
+pub unsafe fn swapped_strides(
+    a: *const f32,
+    lda: usize,
+    ldb: usize,
+    ldc: usize,
+    m: usize,
+    n: usize,
+    kc: usize,
+) -> f32 {
+    let mut acc = 0.0;
+    for i in 0..m {
+        for k in 0..kc {
+            acc += *a.add(i * ldb + k);
+        }
+    }
+    let _ = (lda, ldc, n);
+    acc
+}

@@ -1,0 +1,2 @@
+//! Fixture simd crate root: scanned by the bounds pass, no pointer
+//! sites to prove.

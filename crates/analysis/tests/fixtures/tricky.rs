@@ -36,3 +36,20 @@ fn raw_idents() -> usize {
     let r#match = r#type + 1;
     r#match
 }
+
+fn depths(rows: &mut Vec<Vec<usize>>, n: usize) -> usize {
+    let grid = [
+        [1usize, 2],
+        [3, 4],
+    ];
+    let total = rows.iter().map(|r| r.len()).sum::<usize>();
+    let widened = wrap(
+        combine(n as u64 as usize, grid[0][1]),
+        clamp(
+            total,
+        ),
+    );
+    let smaller = (n as i64) < 3 || total > widened;
+    rows.push(vec![grid[1][0], usize::from(smaller)]);
+    widened
+}

@@ -1,4 +1,4 @@
-//! Golden-file test: the five passes over the seeded fixture workspace
+//! Golden-file test: the six passes over the seeded fixture workspace
 //! must produce exactly the findings in `tests/golden/bad-workspace.txt`.
 //!
 //! Regenerate after an intentional rule change with:
@@ -69,6 +69,12 @@ fn every_pass_and_seeded_rule_fires_on_the_fixture() {
         ("allocs", "dangling-marker"),
         ("features", "undeclared-feature"),
         ("features", "unused-feature"),
+        ("bounds", "span-overflow"),
+        ("bounds", "unknown-tag"),
+        ("bounds", "spec-mismatch"),
+        ("bounds", "stride-split"),
+        ("bounds", "unsupported-expr"),
+        ("bounds", "unmapped-site"),
     ] {
         assert!(
             findings.iter().any(|f| f.pass == pass && f.rule == rule),
@@ -82,4 +88,32 @@ fn every_pass_and_seeded_rule_fires_on_the_fixture() {
         "fixture tree incomplete:\n{}",
         render(&findings)
     );
+}
+
+/// Each seeded kernel mutation (off-by-one row stride, dropped
+/// `V::LANES` scale, swapped `lda`/`ldb`) must produce exactly one
+/// bounds finding naming the offending expression, the derived
+/// worst-case bound, and the violated contract span.
+#[test]
+fn each_seeded_mutation_yields_exactly_one_bounds_finding() {
+    let findings = analyze_repo(&fixture_root(), &fixture_config());
+    for file in [
+        "crates/kernels/src/bounds_stride.rs",
+        "crates/kernels/src/bounds_lanes.rs",
+        "crates/kernels/src/bounds_swap.rs",
+    ] {
+        let hits: Vec<_> = findings.iter().filter(|f| f.file == file).collect();
+        assert_eq!(hits.len(), 1, "{file} findings:\n{}", render(&findings));
+        let f = hits[0];
+        assert_eq!((f.pass, f.rule), ("bounds", "span-overflow"), "{f}");
+        assert!(
+            f.message.contains("offset `"),
+            "no offending expression: {f}"
+        );
+        assert!(f.message.contains("can reach `"), "no derived bound: {f}");
+        assert!(
+            f.message.contains("declared span is"),
+            "no violated span: {f}"
+        );
+    }
 }

@@ -96,9 +96,9 @@ fn fn_regions_survive_the_torture_file() {
     let src = tricky();
     let f = SourceFile::parse("crates/x/src/tricky.rs", &src);
     let names: Vec<usize> = f.fns.iter().map(|r| r.decl_line).collect();
-    // Four fn items: strings, chars, lifetimes, raw_idents — none split
-    // or merged by the braces hidden in strings and comments.
-    assert_eq!(names.len(), 4, "{names:?}");
+    // Five fn items: strings, chars, lifetimes, raw_idents, depths —
+    // none split or merged by the braces hidden in strings and comments.
+    assert_eq!(names.len(), 5, "{names:?}");
     for r in &f.fns {
         assert!(r.body_start.is_some() && r.body_end.is_some(), "{r:?}");
         assert!(r.body_end.unwrap() > r.body_start.unwrap() || r.body_start == r.body_end);
@@ -122,6 +122,66 @@ fn raw_identifiers_lex_whole_and_normalize() {
     );
     assert_eq!(shalom_analysis::lexer::ident_name("r#type"), "type");
     assert_eq!(shalom_analysis::lexer::ident_name("head"), "head");
+}
+
+/// 0-based index of the first line containing `needle`.
+fn line_idx(src: &str, needle: &str) -> usize {
+    src.lines()
+        .position(|l| l.contains(needle))
+        .unwrap_or_else(|| panic!("fixture line containing {needle:?} not found"))
+}
+
+#[test]
+fn paren_depth_tracks_nested_multiline_calls() {
+    let src = tricky();
+    let lines = code_lines(&src);
+    // `let widened = wrap(` opens one call that stays open across the
+    // line break; the nested `clamp(` adds a second level.
+    let i = line_idx(&src, "let widened = wrap(");
+    assert_eq!(lines.paren_depth_after[i], 1, "after wrap(");
+    let j = line_idx(&src, "clamp(");
+    assert_eq!(lines.paren_depth_after[j], 2, "after clamp(");
+    // `total,` changes nothing; `),` closes clamp; `);` closes wrap.
+    assert_eq!(lines.paren_depth_after[j + 1], 2, "after clamp arg");
+    assert_eq!(lines.paren_depth_after[j + 2], 1, "after clamp close");
+    assert_eq!(lines.paren_depth_after[j + 3], 0, "after wrap close");
+    // `combine(n as u64 as usize, grid[0][1])` opens and closes on one
+    // line — casts and inline indexing leave the running depth alone.
+    let c = line_idx(&src, "combine(");
+    assert_eq!(lines.paren_depth_after[c], 1, "wrap( still open");
+}
+
+#[test]
+fn bracket_depth_tracks_multiline_array_literals() {
+    let src = tricky();
+    let lines = code_lines(&src);
+    let i = line_idx(&src, "let grid = [");
+    assert_eq!(lines.bracket_depth_after[i], 1, "outer [ open");
+    // Each inner row opens and closes on its own line.
+    assert_eq!(lines.bracket_depth_after[i + 1], 1, "after [1usize, 2],");
+    assert_eq!(lines.bracket_depth_after[i + 2], 1, "after [3, 4],");
+    assert_eq!(lines.bracket_depth_after[i + 3], 0, "after ];");
+}
+
+#[test]
+fn generic_angles_and_comparisons_do_not_disturb_depths() {
+    let src = tricky();
+    let lines = code_lines(&src);
+    // Turbofish `sum::<usize>()` and the nested `Vec<Vec<usize>>` param:
+    // `<`/`>` are plain Punct tokens, never delimiters, so both lines
+    // end at the enclosing fn-body depth with flat paren/bracket depth.
+    let t = line_idx(&src, "sum::<usize>()");
+    assert_eq!(lines.paren_depth_after[t], 0, "turbofish line");
+    assert_eq!(lines.bracket_depth_after[t], 0, "turbofish line");
+    // A line mixing real comparisons with a cast parenthesization.
+    let c = line_idx(&src, "(n as i64) < 3");
+    assert_eq!(lines.paren_depth_after[c], 0, "comparison line");
+    assert_eq!(lines.bracket_depth_after[c], 0, "comparison line");
+    assert_eq!(
+        lines.depth_after[c],
+        lines.depth_after[c - 1],
+        "comparison `<`/`>` must not change brace depth"
+    );
 }
 
 #[test]

@@ -22,8 +22,15 @@
 //!   `crates/kernels` and `crates/core` must carry a `// SAFETY:` comment
 //!   that (outside tests) resolves to a registered contract tag, every
 //!   `unsafe fn` must document its preconditions, kernel entry points
-//!   must restate them as `debug_assert!`s, and raw-pointer arithmetic is
-//!   confined to the kernel modules.
+//!   must restate them as `debug_assert!`s, raw-pointer arithmetic is
+//!   confined to the kernel modules, and every kernel function doing
+//!   raw-pointer arithmetic anchors a `// CONTRACT(TAG)` the symbolic
+//!   bounds pass can prove against.
+//!
+//! The operand shapes themselves live in `bounds.spec` at this crate's
+//! root — [`symspec`] evaluates them numerically for the harness while
+//! the `bounds` pass in `shalom-analysis` proves the kernels' pointer
+//! arithmetic against the same file symbolically.
 //!
 //! The `audit` binary (`cargo run -p shalom-contracts --bin audit`) runs
 //! all three and prints the per-contract byte-interval table; CI runs it
@@ -37,6 +44,7 @@ pub mod harness;
 pub mod lint;
 pub mod registry;
 pub mod shadow;
+pub mod symspec;
 
 pub use contract::{Access, KernelContract, KernelParams, OperandFootprint, Span};
 pub use harness::{run_conformance, HarnessConfig, Report};

@@ -25,6 +25,14 @@
 //!   the dispatch files (`driver.rs`, `parallel.rs`, `batch.rs`,
 //!   `pool.rs`) whose obligations the driver tags cover; test code is
 //!   exempt.
+//! * `contract-anchor` — inside `crates/kernels/src`, every function
+//!   that performs raw-pointer arithmetic *on pointer parameters* must
+//!   be an `unsafe fn` carrying a `// CONTRACT(TAG)` anchor resolving to
+//!   a known tag, so the symbolic bounds pass has a footprint to prove
+//!   its offsets against. Safe functions whose arithmetic is confined to
+//!   local buffers (no raw-pointer params — e.g. the wide staging
+//!   driver) are exempt: the bounds pass checks them against the
+//!   buffers' own extents without a contract.
 //!
 //! The pass is built on the shared `shalom-analysis` lexer
 //! ([`shalom_analysis::source::SourceFile`]): `unsafe` sites are found in
@@ -353,6 +361,38 @@ pub fn lint_source(label: &str, src: &str, cfg: &LintConfig) -> Vec<Violation> {
             });
         }
     }
+
+    // `contract-anchor`: kernel functions offsetting their pointer
+    // parameters must anchor a contract the bounds pass can prove.
+    if label.contains("crates/kernels/src/") {
+        for f in shalom_analysis::passes::bounds::fn_summaries(&file) {
+            if f.first_site_line.is_none() || !f.has_raw_ptr_params {
+                continue;
+            }
+            if !f.is_unsafe {
+                out.push(Violation {
+                    file: label.to_string(),
+                    line: f.decl_line,
+                    rule: "contract-anchor",
+                    msg: format!(
+                        "fn `{}` offsets raw-pointer parameters but is not an unsafe fn",
+                        f.name
+                    ),
+                });
+            } else if !f.tags.iter().any(|t| cfg.tags.iter().any(|k| k == t)) {
+                out.push(Violation {
+                    file: label.to_string(),
+                    line: f.decl_line,
+                    rule: "contract-anchor",
+                    msg: format!(
+                        "unsafe fn `{}` offsets raw-pointer parameters without a \
+                         // CONTRACT(TAG) anchor naming a registered tag",
+                        f.name
+                    ),
+                });
+            }
+        }
+    }
     out
 }
 
@@ -456,7 +496,55 @@ pub unsafe fn k(p: *const f32) {
         assert_eq!(v[0].rule, "ptr-arith");
         assert!(lint_source("crates/core/src/driver.rs", src, &cfg()).is_empty());
         assert!(lint_source("crates/core/src/pool.rs", src, &cfg()).is_empty());
-        assert!(lint_source("crates/kernels/src/main_kernel.rs", src, &cfg()).is_empty());
+        // Kernel modules are exempt from ptr-arith (the contract-anchor
+        // rule governs them instead).
+        let v = lint_source("crates/kernels/src/main_kernel.rs", src, &cfg());
+        assert!(v.iter().all(|x| x.rule != "ptr-arith"), "{v:?}");
+    }
+
+    #[test]
+    fn kernel_fn_offsetting_params_needs_contract_anchor() {
+        // A safe fn offsetting a pointer parameter: flagged.
+        let src = "fn f(p: *const f32) -> *const f32 {\n    p.add(3)\n}\n";
+        let v = lint_source("crates/kernels/src/x.rs", src, &cfg());
+        assert!(v.iter().any(|x| x.rule == "contract-anchor"), "{v:?}");
+        // Unsafe but unanchored: flagged.
+        let src = "\
+/// # Safety
+/// `p` valid.
+unsafe fn f(p: *const f32) -> *const f32 {
+    p.add(3)
+}
+";
+        let v = lint_source("crates/kernels/src/x.rs", src, &cfg());
+        assert!(v.iter().any(|x| x.rule == "contract-anchor"), "{v:?}");
+        // Anchored with a registered tag: clean.
+        let src = "\
+/// # Safety
+/// `p` valid.
+// CONTRACT(SHALOM-K-MAIN)
+unsafe fn f(p: *const f32) -> *const f32 {
+    p.add(3)
+}
+";
+        assert!(lint_source("crates/kernels/src/x.rs", src, &cfg()).is_empty());
+    }
+
+    #[test]
+    fn local_buffer_arithmetic_without_ptr_params_is_anchor_exempt() {
+        // The wide staging driver pattern: a *safe* fn whose pointer
+        // arithmetic is confined to locally owned buffers. The bounds
+        // pass proves those sites against the buffers' own extents, so
+        // no contract anchor is required.
+        let src = "\
+fn g() -> usize {
+    let v = [0f32; 8];
+    let p = v.as_ptr();
+    // SAFETY: SHALOM-K-MAIN — index < 8 by construction.
+    unsafe { p.add(3) as usize }
+}
+";
+        assert!(lint_source("crates/kernels/src/x.rs", src, &cfg()).is_empty());
     }
 
     #[test]

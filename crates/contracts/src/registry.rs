@@ -11,9 +11,7 @@
 //! * the `audit` binary prints the byte-interval table and runs the
 //!   solver/packing cross-checks below.
 
-use crate::contract::{
-    row_spans, row_spans_at, solid, KernelContract, KernelParams, OperandFootprint,
-};
+use crate::contract::{KernelContract, KernelParams, OperandFootprint};
 use shalom_kernels::tile::{solve_tile, TileConstraints, TileShape};
 use shalom_kernels::{MR, NR_F32, NR_F64, NR_VECS};
 
@@ -75,96 +73,60 @@ pub const DRIVER_TAGS: &[&str] = &[
     "SHALOM-V-SIMD",
 ];
 
+/// Contract tags declared in `bounds.spec` and anchored by kernel
+/// functions for the `bounds` static pass, but carrying no runtime
+/// [`KernelContract`]: their operands are internal helpers or local
+/// staging buffers the shadow harness never wraps.
+pub const SPEC_ONLY_TAGS: &[&str] = &[
+    // `writeback_row`: one C row of `nvecs` vectors, exercised through
+    // every enclosing kernel's `c` operand.
+    "SHALOM-K-WB",
+    // `family_gemm_nn`: the runtime-dispatched x86 driver; its packed
+    // panel and staging area are caller-managed scratch.
+    "SHALOM-K-FAMILY",
+];
+
+// Every footprint function below is a thin wrapper over the shared
+// symbolic spec (`crates/contracts/bounds.spec`, evaluated by
+// [`crate::symspec`]). The shapes are *declared* once in the spec; the
+// `bounds` static pass proves the kernels stay inside them symbolically
+// and these wrappers evaluate the very same shapes numerically for the
+// shadow-memory harness. Edit the spec, not these functions.
+
 fn main_footprint(p: &KernelParams) -> Vec<OperandFootprint> {
-    vec![
-        OperandFootprint::read("a", row_spans(p.m, p.lda, p.kc)),
-        OperandFootprint::read("b", row_spans(p.kc, p.ldb, p.n)),
-        OperandFootprint::read_write("c", row_spans(p.m, p.ldc, p.n)),
-    ]
+    crate::symspec::footprint("SHALOM-K-MAIN", p)
 }
 
 fn fused_footprint(p: &KernelParams) -> Vec<OperandFootprint> {
-    let mut fp = main_footprint(p);
-    fp.push(OperandFootprint::write("bc", solid(p.kc * p.nr)));
-    if p.ahead {
-        fp.push(OperandFootprint::read(
-            "ahead_src",
-            row_spans(p.kc, p.ldb, p.nr),
-        ));
-        fp.push(OperandFootprint::write("ahead_dst", solid(p.kc * p.nr)));
-    }
-    fp
+    crate::symspec::footprint("SHALOM-K-FUSED", p)
 }
 
 fn streamed_footprint(p: &KernelParams) -> Vec<OperandFootprint> {
-    let mut fp = vec![
-        OperandFootprint::read("a", row_spans(p.m, p.lda, p.kc)),
-        OperandFootprint::read("bc_packed", solid(p.kc * p.nr)),
-        OperandFootprint::read_write("c", row_spans(p.m, p.ldc, p.n)),
-    ];
-    if p.stream_rows > 0 {
-        fp.push(OperandFootprint::read(
-            "stream_src",
-            row_spans(p.stream_rows, p.stream_ld, p.nr),
-        ));
-        fp.push(OperandFootprint::write(
-            "stream_dst",
-            solid(p.stream_rows * p.nr),
-        ));
-    }
-    fp
+    crate::symspec::footprint("SHALOM-K-STREAM", p)
 }
 
 fn nt_kernel_footprint(p: &KernelParams) -> Vec<OperandFootprint> {
-    vec![
-        OperandFootprint::read("a", row_spans(p.m, p.lda, p.kc)),
-        OperandFootprint::read("b", row_spans(p.n, p.ldb, p.kc)),
-        OperandFootprint::read_write("c", row_spans_at(p.m, p.ldc, p.jcol, p.n)),
-        // Scatter covers every declared element (columns jcol..jcol+bcols
-        // of every packed row), so the write footprint is complete.
-        OperandFootprint::write("bc", row_spans_at(p.kc, p.nr, p.jcol, p.n)),
-    ]
+    crate::symspec::footprint("SHALOM-K-NT", p)
 }
 
 fn nt_panel_footprint(p: &KernelParams) -> Vec<OperandFootprint> {
-    vec![
-        OperandFootprint::read("a", row_spans(p.m, p.lda, p.kc)),
-        OperandFootprint::read("b", row_spans(p.n, p.ldb, p.kc)),
-        OperandFootprint::read_write("c", row_spans(p.m, p.ldc, p.n)),
-        // Scatter + zero-fill of columns npanel..nr makes the whole
-        // kc x nr panel defined.
-        OperandFootprint::write("bc", solid(p.kc * p.nr)),
-    ]
+    crate::symspec::footprint("SHALOM-K-NT-PANEL", p)
 }
 
 fn pack_copy_footprint(p: &KernelParams) -> Vec<OperandFootprint> {
-    vec![
-        OperandFootprint::read("src", row_spans(p.m, p.lda, p.n)),
-        OperandFootprint::write("dst", row_spans(p.m, p.ldb, p.n)),
-    ]
+    crate::symspec::footprint("SHALOM-K-PACK-COPY", p)
 }
 
 fn pack_transpose_footprint(p: &KernelParams) -> Vec<OperandFootprint> {
-    vec![
-        OperandFootprint::read("src", row_spans(p.m, p.lda, p.n)),
-        OperandFootprint::write("dst", row_spans(p.n, p.ldb, p.m)),
-    ]
+    crate::symspec::footprint("SHALOM-K-PACK-TRANS", p)
 }
 
 fn pack_a_goto_footprint(p: &KernelParams) -> Vec<OperandFootprint> {
-    let slivers = p.m.div_ceil(p.mr_sliver.max(1));
-    vec![
-        OperandFootprint::read("a", row_spans(p.m, p.lda, p.kc)),
-        OperandFootprint::write("dst", solid(slivers * p.mr_sliver * p.kc)),
-    ]
+    crate::symspec::footprint("SHALOM-K-PACK-A", p)
 }
 
 fn pack_b_goto_footprint(p: &KernelParams) -> Vec<OperandFootprint> {
-    let slivers = p.n.div_ceil(p.nr.max(1));
-    vec![
-        OperandFootprint::read("b", row_spans(p.kc, p.ldb, p.n)),
-        OperandFootprint::write("dst", solid(slivers * p.kc * p.nr)),
-    ]
+    crate::symspec::footprint("SHALOM-K-PACK-B", p)
 }
 
 /// Every audited entry point's contract, in a stable order.
@@ -309,12 +271,14 @@ pub fn find(id: KernelId) -> KernelContract {
         .unwrap_or_else(|| panic!("no contract registered for {id:?}"))
 }
 
-/// Every tag a `// SAFETY:` comment may reference: the kernel contract
-/// tags plus the composite driver-layer tags.
+/// Every tag a `// SAFETY:` comment or `// CONTRACT(...)` anchor may
+/// reference: the kernel contract tags, the spec-only bounds tags, and
+/// the composite driver-layer tags.
 pub fn known_tags() -> Vec<&'static str> {
     registry()
         .iter()
         .map(|c| c.tag)
+        .chain(SPEC_ONLY_TAGS.iter().copied())
         .chain(DRIVER_TAGS.iter().copied())
         .collect()
 }

@@ -1,0 +1,184 @@
+//! Cross-check: the three kernel mutations seeded for the symbolic
+//! bounds pass (`crates/analysis/tests/fixtures/bad-workspace`) are
+//! also caught *dynamically* by the NaN-poison shadow harness, so the
+//! static and runtime legs of the audit agree on what a violation is.
+//!
+//! Each mutated kernel below is a scalar copy of the corresponding
+//! fixture kernel, run over [`ShadowOperand`] buffers sized from the
+//! same `bounds.spec` shapes (via [`shalom_contracts::symspec`]) that
+//! the prover checks symbolically:
+//!
+//! * off-by-one row stride — strays into the inter-row poison gap, so
+//!   NaN propagates into every C row past the first;
+//! * dropped lane-scale guard — the final vector iteration writes past
+//!   the declared row width, tripping the out-of-mask write check;
+//! * swapped `lda`/`ldb` — A reads land in poison, NaN propagates.
+
+use shalom_contracts::shadow::ShadowOperand;
+use shalom_contracts::{symspec, KernelParams, OperandFootprint};
+
+fn params() -> KernelParams {
+    KernelParams {
+        m: 3,
+        n: 6,
+        kc: 5,
+        lanes: 1,
+        lda: 7, // padded: the inter-row gap is poison, so drift is visible
+        ldb: 9,
+        ldc: 8,
+        ..Default::default()
+    }
+}
+
+fn operand<'a>(fps: &'a [OperandFootprint], name: &str) -> &'a OperandFootprint {
+    fps.iter()
+        .find(|f| f.name == name)
+        .unwrap_or_else(|| panic!("operand {name} missing"))
+}
+
+/// Off-by-one row stride: row `i` of A is read at `i * (lda + 1) + k`.
+unsafe fn mutated_stride_kernel(
+    a: *const f32,
+    lda: usize,
+    kc: usize,
+    c: *mut f32,
+    ldc: usize,
+    m: usize,
+    n: usize,
+) {
+    for i in 0..m {
+        let mut acc = 0.0f32;
+        for k in 0..kc {
+            acc += *a.add(i * (lda + 1) + k);
+        }
+        for j in 0..n {
+            *c.add(i * ldc + j) = acc;
+        }
+    }
+}
+
+/// Dropped lane scale: the guard tests `j < n` instead of
+/// `j + LANES <= n`, so the last 4-wide store runs past the row.
+unsafe fn mutated_lanes_kernel(b: *const f32, c: *mut f32, ldc: usize, m: usize, n: usize) {
+    const LANES: usize = 4;
+    for i in 0..m {
+        let mut j = 0;
+        while j < n {
+            for l in 0..LANES {
+                *c.add(i * ldc + j + l) = *b.add(j + l);
+            }
+            j += LANES;
+        }
+    }
+}
+
+/// Swapped strides: A is walked with B's (larger) stride.
+unsafe fn mutated_swap_kernel(
+    a: *const f32,
+    ldb: usize,
+    kc: usize,
+    c: *mut f32,
+    ldc: usize,
+    m: usize,
+    n: usize,
+) {
+    for i in 0..m {
+        let mut acc = 0.0f32;
+        for k in 0..kc {
+            acc += *a.add(i * ldb + k);
+        }
+        for j in 0..n {
+            *c.add(i * ldc + j) = acc;
+        }
+    }
+}
+
+#[test]
+fn off_by_one_row_stride_propagates_poison_into_c() {
+    let p = params();
+    let fps = symspec::footprint("SHALOM-K-MAIN", &p);
+    let a = ShadowOperand::<f32>::new(operand(&fps, "a"), 11);
+    let mut c = ShadowOperand::<f32>::new(operand(&fps, "c"), 13);
+    // SAFETY: worst-case stray offset (m-1)*(lda+1) + kc - 1 = 20 stays
+    // inside a's extent (19) plus the 16-element trailing guard.
+    unsafe {
+        mutated_stride_kernel(a.const_ptr(), p.lda, p.kc, c.ptr(), p.ldc, p.m, p.n);
+    }
+    // Row 0 reads its own span; every later row strays into poison.
+    assert!(!c.elem(0).is_nan(), "row 0 must stay clean");
+    for i in 1..p.m {
+        assert!(
+            c.elem(i * p.ldc).is_nan(),
+            "row {i} read in-span despite the stride mutation"
+        );
+    }
+}
+
+#[test]
+fn dropped_lane_scale_trips_the_write_mask() {
+    let p = params();
+    let fps = symspec::footprint("SHALOM-K-MAIN", &p);
+    let b = ShadowOperand::<f32>::new(operand(&fps, "b"), 17);
+    let mut c = ShadowOperand::<f32>::new(operand(&fps, "c"), 19);
+    // SAFETY: worst-case stray offset (m-1)*ldc + n + 1 = 23 stays
+    // inside c's extent (22) plus the trailing guard.
+    unsafe {
+        mutated_lanes_kernel(b.const_ptr(), c.ptr(), p.ldc, p.m, p.n);
+    }
+    let mut violations = Vec::new();
+    c.check("dropped-lane-scale", &mut violations);
+    assert!(
+        !violations.is_empty(),
+        "the out-of-row vector store must trip the shadow write mask"
+    );
+}
+
+#[test]
+fn swapped_strides_propagate_poison_into_c() {
+    let p = params();
+    let fps = symspec::footprint("SHALOM-K-MAIN", &p);
+    let a = ShadowOperand::<f32>::new(operand(&fps, "a"), 23);
+    let mut c = ShadowOperand::<f32>::new(operand(&fps, "c"), 29);
+    // SAFETY: worst-case stray offset (m-1)*ldb + kc - 1 = 22 stays
+    // inside a's extent (19) plus the trailing guard.
+    unsafe {
+        mutated_swap_kernel(a.const_ptr(), p.ldb, p.kc, c.ptr(), p.ldc, p.m, p.n);
+    }
+    for i in 1..p.m {
+        assert!(
+            c.elem(i * p.ldc).is_nan(),
+            "row {i} read in-span despite the swapped stride"
+        );
+    }
+}
+
+/// Sanity: the unmutated access pattern leaves no poison and no write
+/// violations — the three tests above fail because of the mutations,
+/// not because the shadow buffers are mis-sized.
+#[test]
+fn correct_kernel_is_clean_on_the_same_operands() {
+    let p = params();
+    let fps = symspec::footprint("SHALOM-K-MAIN", &p);
+    let a = ShadowOperand::<f32>::new(operand(&fps, "a"), 31);
+    let mut c = ShadowOperand::<f32>::new(operand(&fps, "c"), 37);
+    // SAFETY: offsets follow the declared spans exactly.
+    unsafe {
+        for i in 0..p.m {
+            let mut acc = 0.0f32;
+            for k in 0..p.kc {
+                acc += *a.const_ptr().add(i * p.lda + k);
+            }
+            for j in 0..p.n {
+                *c.ptr().add(i * p.ldc + j) = acc;
+            }
+        }
+    }
+    for i in 0..p.m {
+        for j in 0..p.n {
+            assert!(!c.elem(i * p.ldc + j).is_nan(), "clean kernel produced NaN");
+        }
+    }
+    let mut violations = Vec::new();
+    c.check("clean", &mut violations);
+    assert!(violations.is_empty(), "{violations:?}");
+}

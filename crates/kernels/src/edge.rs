@@ -43,6 +43,7 @@ const MAX_SCALAR_COLS: usize = 3; // up to LANES-1 remainder columns (f32)
 // PANIC-OK(index): accumulator arrays are [_; M]/[_; NV]/[_; NS] indexed by loop
 // counters bounded by those const generics.
 // ALLOC-FREE
+// CONTRACT(SHALOM-K-EDGE-PIPE, SHALOM-K-EDGE-BATCH: m = M, n = NV * V::LANES + ns)
 unsafe fn edge_body<V: Vector, const M: usize, const NV: usize, const PIPE: bool>(
     ns: usize,
     kc: usize,

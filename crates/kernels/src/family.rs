@@ -326,6 +326,7 @@ pub fn family_workspace<T: FamilyElem>(fam: &KernelFamily, kc: usize) -> (usize,
 /// * `m, n, k, kc >= 1`;
 /// * `fam` was obtained from [`family_for`]/[`selected_wide_family`] on
 ///   this host (its ISA probe passed).
+// CONTRACT(SHALOM-K-FAMILY)
 pub unsafe fn family_gemm_nn<T: Scalar + FamilyElem>(
     fam: &KernelFamily,
     m: usize,

@@ -29,6 +29,7 @@ use shalom_simd::prefetch_read;
 /// # Safety
 /// `c` valid for `nvecs * V::LANES` element reads/writes.
 #[inline(always)]
+// CONTRACT(SHALOM-K-WB: lanes = V::LANES)
 unsafe fn writeback_row<V: Vector>(
     acc: &[V],
     nvecs: usize,
@@ -75,6 +76,7 @@ unsafe fn writeback_row<V: Vector>(
 // PANIC-OK(index): acc/av/bv arrays sized by MR_/NRV_, indexed by loop counters
 // bounded by the same const generics.
 // ALLOC-FREE
+// CONTRACT(SHALOM-K-MAIN: m = MR_, n = NRV_ * V::LANES)
 pub unsafe fn main_kernel_shape<V: Vector, const MR_: usize, const NRV_: usize>(
     kc: usize,
     alpha: V::Elem,
@@ -193,6 +195,7 @@ pub struct PackAhead<T> {
 // PANIC-OK(index): register arrays sized by MR/NR_VECS, indexed by loops bounded
 // by those constants.
 // ALLOC-FREE
+// CONTRACT(SHALOM-K-FUSED: m = MR, n = nr, ahead_src = src, ahead_dst = dst)
 pub unsafe fn main_kernel_fused_pack<V: Vector>(
     kc: usize,
     alpha: V::Elem,
@@ -314,6 +317,7 @@ pub struct StreamCopy<T> {
 // PANIC-OK(index): register arrays sized by MR/NR_VECS, indexed by loops bounded
 // by those constants.
 // ALLOC-FREE
+// CONTRACT(SHALOM-K-STREAM: m = MR, n = nr, stream_src = s.src, stream_dst = s.dst, stream_rows = s.rows, stream_ld = s.src_ld)
 pub unsafe fn main_kernel_streamed<V: Vector>(
     kc: usize,
     alpha: V::Elem,

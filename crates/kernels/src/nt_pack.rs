@@ -40,6 +40,7 @@ pub const NT_BCOLS: usize = 3;
 // PANIC-OK(index): acc/av/bv/tail arrays sized by M/BC const generics, indexed by
 // loop counters bounded by the same.
 // ALLOC-FREE
+// CONTRACT(SHALOM-K-NT: m = M, n = BC)
 unsafe fn nt_pack_body<V: Vector, const M: usize, const BC: usize>(
     kc: usize,
     nr: usize,
@@ -202,6 +203,7 @@ pub unsafe fn nt_pack_kernel<V: Vector>(
 /// # Safety
 /// As [`nt_pack_kernel`], with `b` valid for `npanel` rows and `c` for
 /// `m x npanel`.
+// CONTRACT(SHALOM-K-NT-PANEL: n = npanel)
 pub unsafe fn nt_pack_panel<V: Vector>(
     m: usize,
     npanel: usize,

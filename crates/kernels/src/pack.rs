@@ -17,6 +17,7 @@ use shalom_matrix::Scalar;
 /// `src` valid for `rows x cols` reads at stride `ld_src`; `dst` valid for
 /// `rows x cols` writes at stride `ld_dst`; `cols <= ld_dst`.
 // ALLOC-FREE
+// CONTRACT(SHALOM-K-PACK-COPY: m = rows, n = cols, lda = ld_src, ldb = ld_dst)
 pub unsafe fn pack_copy<T: Scalar>(
     src: *const T,
     ld_src: usize,
@@ -46,6 +47,7 @@ pub unsafe fn pack_copy<T: Scalar>(
 /// `src` valid for `rows x cols` reads at stride `ld_src`; `dst` valid for
 /// `cols x rows` writes at stride `ld_dst`; `rows <= ld_dst`.
 // ALLOC-FREE
+// CONTRACT(SHALOM-K-PACK-TRANS: m = rows, n = cols, lda = ld_src, ldb = ld_dst)
 pub unsafe fn pack_transpose<T: Scalar>(
     src: *const T,
     ld_src: usize,
@@ -82,6 +84,7 @@ pub unsafe fn pack_transpose<T: Scalar>(
 /// # Safety
 /// `a` valid for `mc x kc` reads at stride `lda`; `dst` valid for
 /// `ceil(mc/mr) * mr * kc` writes.
+// CONTRACT(SHALOM-K-PACK-A: m = mc, mr_sliver = mr)
 pub unsafe fn pack_a_slivers_goto<T: Scalar>(
     a: *const T,
     lda: usize,
@@ -126,6 +129,7 @@ pub unsafe fn pack_a_slivers_goto<T: Scalar>(
 /// # Safety
 /// `b` valid for `kc x nc` reads at stride `ldb`; `dst` valid for
 /// `ceil(nc/nr) * kc * nr` writes.
+// CONTRACT(SHALOM-K-PACK-B: n = nc)
 pub unsafe fn pack_b_slivers_goto<T: Scalar>(
     b: *const T,
     ldb: usize,

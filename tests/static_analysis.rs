@@ -1,10 +1,13 @@
 //! Tier-1 wiring of the static-analysis engine: the atomic-ordering
-//! audit, the panic- and allocation-freedom passes and the feature-gate
-//! consistency check all run under the plain workspace `cargo test -q`,
-//! so a violation fails the default test gate — not just the dedicated
-//! CI `audit` job (which also runs the `analyze` binary).
+//! audit, the panic- and allocation-freedom passes, the feature-gate
+//! consistency check and the symbolic pointer-bounds verifier all run
+//! under the plain workspace `cargo test -q`, so a violation fails the
+//! default test gate — not just the dedicated CI `audit` job (which
+//! also runs the `analyze` binary).
 
-use shalom_analysis::workspace::{analyze_repo_default, repo_root};
+use shalom_analysis::workspace::{
+    analyze_repo_default, analyze_repo_with_stats, repo_root, AnalysisConfig,
+};
 
 #[test]
 fn the_repository_passes_all_analysis_passes() {
@@ -13,5 +16,28 @@ fn the_repository_passes_all_analysis_passes() {
         findings.is_empty(),
         "static-analysis violations:\n{}",
         shalom_analysis::render(&findings)
+    );
+}
+
+/// The bounds pass must keep *seeing* the kernels' pointer arithmetic:
+/// a refactor that silently stops extracting sites (or drops whole
+/// files from the scan) would make "no findings" vacuous. The floor is
+/// set below the current site count (109) but far above zero.
+#[test]
+fn bounds_pass_proves_a_nontrivial_site_population() {
+    let (findings, stats) = analyze_repo_with_stats(&repo_root(), &AnalysisConfig::repo_default());
+    assert!(
+        findings.is_empty(),
+        "static-analysis violations:\n{}",
+        shalom_analysis::render(&findings)
+    );
+    assert!(
+        stats.sites >= 80,
+        "bounds pass extracted only {} pointer sites — the scan has shrunk",
+        stats.sites
+    );
+    assert_eq!(
+        stats.proved, stats.sites,
+        "every extracted site must be proved in-span when there are no findings"
     );
 }
